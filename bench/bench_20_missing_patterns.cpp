@@ -1,0 +1,151 @@
+//===- bench_20_missing_patterns.cpp - Paper Section 7.4 -----------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+// Reproduces the Section 7.4 experiment (the artifact's run-tests.sh):
+// generate a test case from every rule in the synthesized library,
+// compile it with the prototype and with the two reference compilers,
+// count emitted instructions, and flag the patterns each reference
+// compiler fails to map to the optimal sequence. The paper found
+// 31 612 patterns unsupported by GCC, 36 365 by Clang, and 29 498 by
+// both, out of 63 012 tests.
+//
+// Substitution: GCC 7.2 / Clang 5.0 -> the GnuLike/ClangLike reference
+// selectors of src/refsel (fixed, deliberately incomplete hand-written
+// rule sets). Absolute counts differ; the structure — a large fraction
+// of synthesized rules is missing from both references, including the
+// paper's showcase idioms — is the result to compare.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "isel/GeneratedSelector.h"
+#include "refsel/ReferenceSelectors.h"
+#include "testgen/TestCaseGenerator.h"
+
+#include <cstdio>
+#include <fstream>
+
+using namespace selgen;
+using namespace selgen::bench;
+
+namespace {
+
+/// The artifact's run-tests.sh renders an HTML table; so do we.
+void writeHtmlReport(const MissingPatternReport &Report,
+                     const std::string &Path) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return;
+  Out << "<!doctype html><html><head><meta charset=\"utf-8\">"
+      << "<title>selgen missing-pattern report</title>"
+      << "<style>td,th{padding:2px 8px;font-family:monospace}"
+      << ".miss{background:#fbb}</style></head><body>\n"
+      << "<h1>Missing-pattern report (paper Section 7.4)</h1>\n<table>"
+      << "<tr><th>goal</th><th>pattern</th>";
+  for (const std::string &Name : Report.CompilerNames)
+    Out << "<th>" << Name << "</th>";
+  Out << "</tr>\n";
+  for (const MissingPatternRow &Row : Report.Rows) {
+    Out << "<tr><td>" << Row.GoalName << "</td><td>"
+        << Row.PatternExpression << "</td>";
+    for (size_t I = 0; I < Row.InstructionCounts.size(); ++I)
+      Out << "<td" << (Row.Missing[I] ? " class=\"miss\"" : "") << ">"
+          << Row.InstructionCounts[I] << "</td>";
+    Out << "</tr>\n";
+  }
+  Out << "</table></body></html>\n";
+}
+
+} // namespace
+
+int main() {
+  printBenchHeader(
+      "Missing patterns in state-of-the-art compilers",
+      "Buchwald et al., CGO'18, Section 7.4 (paper: 63 012 tests; "
+      "31 612 missing in GCC, 36 365 in Clang, 29 498 in both)");
+
+  SmtContext Smt;
+  BenchGoals Full = makeBenchGoals("full");
+  PatternDatabase Database =
+      loadOrSynthesizeLibrary(Smt, "full", Full.Goals);
+  Database.filterNonNormalized();
+  Database.sortSpecificFirst();
+
+  GeneratedSelector Prototype(Database, Full.Goals);
+  PatternDatabase GnuRules = buildGnuLikeRules(Width);
+  PatternDatabase ClangRules = buildClangLikeRules(Width);
+  auto Gnu = makeReferenceSelector("gnu-like", GnuRules, Full.Goals);
+  auto Clang = makeReferenceSelector("clang-like", ClangRules, Full.Goals);
+
+  std::printf("compilers: prototype (%zu rules), gnu-like (%zu rules), "
+              "clang-like (%zu rules)\n",
+              Prototype.numRules(), GnuRules.size(), ClangRules.size());
+
+  MissingPatternReport Report = runMissingPatternExperiment(
+      Database, Width, {&Prototype, Gnu.get(), Clang.get()},
+      /*ValidationRuns=*/10);
+
+  TablePrinter Table({"Compiler", "Tests", "Missing patterns", "Share"});
+  for (size_t I = 0; I < Report.CompilerNames.size(); ++I)
+    Table.addRow({Report.CompilerNames[I],
+                  formatGrouped(Report.TotalTests),
+                  formatGrouped(Report.TotalMissing[I]),
+                  formatDouble(100.0 * Report.TotalMissing[I] /
+                                   std::max(1u, Report.TotalTests),
+                               1) +
+                      " %"});
+  Table.addRow({"both references", formatGrouped(Report.TotalTests),
+                formatGrouped(Report.MissingInAllReferences),
+                formatDouble(100.0 * Report.MissingInAllReferences /
+                                 std::max(1u, Report.TotalTests),
+                             1) +
+                    " %"});
+  std::printf("\n%s", Table.render().c_str());
+
+  unsigned Mismatches = 0;
+  for (const MissingPatternRow &Row : Report.Rows)
+    Mismatches += Row.BehaviourMismatch ? 1 : 0;
+  std::printf("\ndifferential validation: %u behaviour mismatches across "
+              "all compilers and tests\n",
+              Mismatches);
+
+  // The paper's showcase idioms (Section 7.4 bullet list).
+  std::printf("\nshowcase rows (paper Section 7.4 examples):\n");
+  unsigned Shown = 0;
+  for (const MissingPatternRow &Row : Report.Rows) {
+    bool Showcase =
+        (Row.GoalName == "blsr" &&
+         Row.PatternExpression.find("Or(") != std::string::npos) ||
+        (Row.GoalName == "blsr" &&
+         Row.PatternExpression.find("And(") != std::string::npos) ||
+        Row.GoalName == "blsmsk" ||
+        Row.GoalName.find("lea_bis") == 0 ||
+        Row.GoalName == "test_js";
+    if (!Showcase || Shown >= 12)
+      continue;
+    ++Shown;
+    std::printf("  %-12s %-55s proto=%u gnu=%u clang=%u%s\n",
+                Row.GoalName.c_str(), Row.PatternExpression.c_str(),
+                Row.InstructionCounts[0], Row.InstructionCounts[1],
+                Row.InstructionCounts[2],
+                Row.Missing[1] && Row.Missing[2] ? "  <- missed by both"
+                                                 : "");
+  }
+
+  // Sample C test program, as the artifact emits.
+  for (const Rule &R : Database.rules()) {
+    if (R.GoalName != "blsr")
+      continue;
+    std::printf("\nsample generated C test program (Section 5.7):\n%s",
+                emitCTestProgram(R, Width, "test_blsr").c_str());
+    break;
+  }
+
+  writeHtmlReport(Report, "missing-patterns.html");
+  std::printf("\nfull HTML report written to missing-patterns.html "
+              "(the artifact's test-result.html analogue)\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+//===- bench_30_cegis_comparison.cpp - Paper Section 7.2 in-text ---------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+// Reproduces the Section 7.2 in-text experiment: "We then tried to
+// synthesize an x86 addition instruction with a memory operand. This
+// instruction uses 3 IR operations (Load, Add, Store) and takes 5
+// seconds to synthesize with our iterative approach. Running the
+// original CEGIS algorithm on the same machine, the synthesis for this
+// instruction did not finish within 64 hours."
+//
+// (The paper's 3-operation instruction is add with a *destination*
+// memory operand: load, add, store.) The classical baseline gets the
+// oversupplied template multiset — every IR operation |Copies| times —
+// and a wall-clock budget instead of 64 hours.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "ir/Printer.h"
+#include "support/Error.h"
+#include "synth/Synthesizer.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace selgen;
+using namespace selgen::bench;
+
+int main() {
+  printBenchHeader(
+      "Iterative vs classical CEGIS on add with a memory operand",
+      "Buchwald et al., CGO'18, Section 7.2 (paper: 5 s iterative vs "
+      ">64 h classical at 32 bit)");
+
+  double ClassicBudget = 120.0;
+  if (const char *Budget = std::getenv("SELGEN_BENCH_CLASSIC_BUDGET"))
+    ClassicBudget = std::atof(Budget);
+
+  SmtContext Smt;
+  GoalLibrary Goals = GoalLibrary::build(Width, {"Binary"});
+  const GoalInstruction *Goal = Goals.find("add_mr_b");
+  if (!Goal)
+    reportFatalError("add_mr_b goal missing");
+
+  // Iterative CEGIS (Section 5.4).
+  SynthesisOptions Options;
+  Options.Width = Width;
+  Options.MaxPatternSize = Goal->MaxPatternSize;
+  Options.QueryTimeoutMs = 60000;
+  Synthesizer Iterative(Smt, Options);
+  GoalSynthesisResult IterativeResult = Iterative.synthesize(*Goal->Spec);
+
+  std::printf("iterative CEGIS: %zu patterns, minimal size %u, %s "
+              "(%lu multisets considered, %lu skipped, %lu run)\n",
+              IterativeResult.Patterns.size(), IterativeResult.MinimalSize,
+              formatDuration(IterativeResult.Seconds).c_str(),
+              (unsigned long)IterativeResult.MultisetsConsidered,
+              (unsigned long)IterativeResult.MultisetsSkipped,
+              (unsigned long)IterativeResult.MultisetsRun);
+  for (size_t I = 0; I < IterativeResult.Patterns.size() && I < 4; ++I)
+    std::printf("  pattern: %s\n",
+                printGraphExpression(IterativeResult.Patterns[I]).c_str());
+
+  // Classical CEGIS with an oversupplied multiset: every operation
+  // twice, as one must "add multiple instances of each operation"
+  // when the required multiplicity is unknown (Section 1).
+  SynthesisOptions ClassicOptions = Options;
+  ClassicOptions.TimeBudgetSeconds = ClassicBudget;
+  ClassicOptions.QueryTimeoutMs =
+      static_cast<unsigned>(ClassicBudget * 1000);
+  Synthesizer Classic(Smt, ClassicOptions);
+
+  Timer Clock;
+  GoalSynthesisResult ClassicResult =
+      Classic.synthesizeClassic(*Goal->Spec, /*Copies=*/2);
+  double ClassicSeconds = Clock.elapsedSeconds();
+
+  if (ClassicResult.Patterns.empty())
+    std::printf("classical CEGIS (2 copies of each of the %zu operations = "
+                "%zu templates): NO pattern within the %s budget\n",
+                Options.Alphabet.size(), 2 * Options.Alphabet.size(),
+                formatDuration(ClassicBudget).c_str());
+  else
+    std::printf("classical CEGIS: first pattern (%u live operations) "
+                "after %s\n",
+                ClassicResult.Patterns[0].numOperations(),
+                formatDuration(ClassicSeconds).c_str());
+
+  double Speedup = ClassicSeconds / std::max(IterativeResult.Seconds, 1e-3);
+  std::printf("\niterative %s vs classical %s%s -> iterative is >= %.0fx "
+              "faster\n(the paper reports 5 s vs more than 64 hours, a "
+              ">46 000x gap)\n",
+              formatDuration(IterativeResult.Seconds).c_str(),
+              formatDuration(ClassicSeconds).c_str(),
+              ClassicResult.Patterns.empty() ? " (budget, unsolved)" : "",
+              Speedup);
+  return 0;
+}

@@ -1,0 +1,201 @@
+//===- bench_60_mvalue_encoding.cpp - M-value vs array theory ------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+// Ablation for the paper's central memory-modeling claim (Section 4.1):
+// program verifiers model memory with the SMT theory of arrays, but
+// "we found these approaches to be unsuitable for our needs: ... the
+// SMT solver (Z3) consistently ran out of memory". This benchmark runs
+// memory-equivalence queries of the kind the CEGIS verification step
+// issues — store chains over *symbolic* pointers whose equality
+// requires case-splitting on aliasing — under
+//   (a) the paper's finite M-value bit-vector encoding, and
+//   (b) a conventional array-theory encoding (extensional equality),
+// at growing chain lengths, and compares solver behaviour.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "semantics/MemoryModel.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+
+using namespace selgen;
+using namespace selgen::bench;
+
+namespace {
+
+constexpr unsigned QueryTimeoutMs = 30000;
+
+/// Equivalence query: storing values to N pairwise-distinct symbolic
+/// pointers commutes — forward order equals reverse order. The solver
+/// must reason about every aliasing case to prove unsat.
+/// Returns seconds; \p Verdict receives the solver result.
+double mvalueCommuteQuery(SmtContext &Smt, unsigned NumPointers,
+                          SmtResult &Verdict) {
+  std::vector<z3::expr> Pointers;
+  for (unsigned I = 0; I < NumPointers; ++I)
+    Pointers.push_back(Smt.bvConst("p" + std::to_string(I), 8));
+  MemoryModel Model(Smt, Pointers);
+
+  z3::expr M = Smt.bvConst("m", Model.mvalueWidth());
+  std::vector<z3::expr> Values;
+  for (unsigned I = 0; I < NumPointers; ++I)
+    Values.push_back(Smt.bvConst("x" + std::to_string(I), 8));
+
+  z3::expr Forward = M, Backward = M;
+  for (unsigned I = 0; I < NumPointers; ++I)
+    Forward = Model.store(Forward, Pointers[I], Values[I]);
+  for (unsigned I = NumPointers; I-- > 0;)
+    Backward = Model.store(Backward, Pointers[I], Values[I]);
+
+  Timer Clock;
+  SmtSolver Solver(Smt);
+  Solver.setTimeoutMilliseconds(QueryTimeoutMs);
+  for (unsigned I = 0; I < NumPointers; ++I)
+    for (unsigned J = I + 1; J < NumPointers; ++J)
+      Solver.add(Pointers[I] != Pointers[J]);
+  Solver.add(Forward != Backward);
+  Verdict = Solver.check();
+  return Clock.elapsedSeconds();
+}
+
+double arrayCommuteQuery(SmtContext &Smt, unsigned NumPointers,
+                         SmtResult &Verdict) {
+  z3::context &Ctx = Smt.ctx();
+  z3::expr M0 = Ctx.constant(
+      "amem", Ctx.array_sort(Ctx.bv_sort(8), Ctx.bv_sort(8)));
+  std::vector<z3::expr> Pointers, Values;
+  for (unsigned I = 0; I < NumPointers; ++I) {
+    Pointers.push_back(Ctx.bv_const(("q" + std::to_string(I)).c_str(), 8));
+    Values.push_back(Ctx.bv_const(("y" + std::to_string(I)).c_str(), 8));
+  }
+  z3::expr Forward = M0, Backward = M0;
+  for (unsigned I = 0; I < NumPointers; ++I)
+    Forward = z3::store(Forward, Pointers[I], Values[I]);
+  for (unsigned I = NumPointers; I-- > 0;)
+    Backward = z3::store(Backward, Pointers[I], Values[I]);
+
+  Timer Clock;
+  SmtSolver Solver(Smt, "QF_ABV");
+  Solver.setTimeoutMilliseconds(QueryTimeoutMs);
+  for (unsigned I = 0; I < NumPointers; ++I)
+    for (unsigned J = I + 1; J < NumPointers; ++J)
+      Solver.add(Pointers[I] != Pointers[J]);
+  Solver.add(Forward != Backward);
+  Verdict = Solver.check();
+  return Clock.elapsedSeconds();
+}
+
+/// Counterexample query: without the distinctness assumption, the two
+/// orders differ — find a witness (aliasing pointers).
+double aliasWitnessQuery(SmtContext &Smt, unsigned NumPointers,
+                         bool UseArrays, SmtResult &Verdict) {
+  if (!UseArrays) {
+    std::vector<z3::expr> Pointers;
+    for (unsigned I = 0; I < NumPointers; ++I)
+      Pointers.push_back(Smt.bvConst("pw" + std::to_string(I), 8));
+    MemoryModel Model(Smt, Pointers);
+    z3::expr M = Smt.bvConst("mw", Model.mvalueWidth());
+    std::vector<z3::expr> Values;
+    for (unsigned I = 0; I < NumPointers; ++I)
+      Values.push_back(Smt.bvConst("xw" + std::to_string(I), 8));
+    z3::expr Forward = M, Backward = M;
+    for (unsigned I = 0; I < NumPointers; ++I)
+      Forward = Model.store(Forward, Pointers[I], Values[I]);
+    for (unsigned I = NumPointers; I-- > 0;)
+      Backward = Model.store(Backward, Pointers[I], Values[I]);
+    Timer Clock;
+    SmtSolver Solver(Smt);
+    Solver.setTimeoutMilliseconds(QueryTimeoutMs);
+    Solver.add(Forward != Backward);
+    Verdict = Solver.check();
+    return Clock.elapsedSeconds();
+  }
+  z3::context &Ctx = Smt.ctx();
+  z3::expr M0 = Ctx.constant(
+      "amemw", Ctx.array_sort(Ctx.bv_sort(8), Ctx.bv_sort(8)));
+  std::vector<z3::expr> Pointers, Values;
+  for (unsigned I = 0; I < NumPointers; ++I) {
+    Pointers.push_back(
+        Ctx.bv_const(("qw" + std::to_string(I)).c_str(), 8));
+    Values.push_back(Ctx.bv_const(("yw" + std::to_string(I)).c_str(), 8));
+  }
+  z3::expr Forward = M0, Backward = M0;
+  for (unsigned I = 0; I < NumPointers; ++I)
+    Forward = z3::store(Forward, Pointers[I], Values[I]);
+  for (unsigned I = NumPointers; I-- > 0;)
+    Backward = z3::store(Backward, Pointers[I], Values[I]);
+  Timer Clock;
+  SmtSolver Solver(Smt, "QF_ABV");
+  Solver.setTimeoutMilliseconds(QueryTimeoutMs);
+  Solver.add(Forward != Backward);
+  Verdict = Solver.check();
+  return Clock.elapsedSeconds();
+}
+
+const char *verdictName(SmtResult Verdict) {
+  switch (Verdict) {
+  case SmtResult::Sat:
+    return "sat";
+  case SmtResult::Unsat:
+    return "unsat";
+  case SmtResult::Unknown:
+    return "TIMEOUT";
+  }
+  return "?";
+}
+
+} // namespace
+
+int main() {
+  printBenchHeader(
+      "M-value bit-vector encoding vs SMT array theory",
+      "Buchwald et al., CGO'18, Section 4.1 (paper: with arrays, Z3 "
+      "\"consistently ran out of memory\" during CEGIS)");
+
+  SmtContext Smt;
+  TablePrinter Table({"Query", "Chain", "M-value", "verdict",
+                      "Array theory", "verdict"});
+
+  for (unsigned NumPointers : {2u, 4u, 6u, 8u}) {
+    SmtResult VerdictA = SmtResult::Unknown, VerdictB = SmtResult::Unknown;
+    double MvSeconds = mvalueCommuteQuery(Smt, NumPointers, VerdictA);
+    double ArraySeconds = arrayCommuteQuery(Smt, NumPointers, VerdictB);
+    Table.addRow({"store-commute (unsat)", std::to_string(NumPointers),
+                  formatDouble(MvSeconds * 1e3, 1) + " ms",
+                  verdictName(VerdictA),
+                  formatDouble(ArraySeconds * 1e3, 1) + " ms",
+                  verdictName(VerdictB)});
+  }
+  for (unsigned NumPointers : {2u, 4u, 6u}) {
+    SmtResult VerdictA = SmtResult::Unknown, VerdictB = SmtResult::Unknown;
+    double MvSeconds =
+        aliasWitnessQuery(Smt, NumPointers, /*UseArrays=*/false, VerdictA);
+    double ArraySeconds =
+        aliasWitnessQuery(Smt, NumPointers, /*UseArrays=*/true, VerdictB);
+    Table.addRow({"alias witness (sat)", std::to_string(NumPointers),
+                  formatDouble(MvSeconds * 1e3, 1) + " ms",
+                  verdictName(VerdictA),
+                  formatDouble(ArraySeconds * 1e3, 1) + " ms",
+                  verdictName(VerdictB)});
+  }
+
+  std::printf("\n%s", Table.render().c_str());
+  std::printf(
+      "\nobservations (see EXPERIMENTS.md): on isolated queries at this toy "
+      "scale Z3's array\nengine is competitive — the M-value encoding's "
+      "advantage inside CEGIS is architectural:\n(a) everything stays in one "
+      "theory, QF_BV, which the paper measured as 2x faster\noverall "
+      "(Section 2.3); (b) an M-value counterexample is a plain bit-vector "
+      "that can be\nsubstituted into the next synthesis query as a literal "
+      "test case, whereas an array\ncounterexample has no finite literal "
+      "form; and (c) the M-value width is fixed by the\ngoal's valid "
+      "pointers, so synthesis queries over dozens of test cases stay "
+      "bounded —\nwith arrays the paper reports Z3 running out of memory "
+      "exactly there.\n");
+  return 0;
+}

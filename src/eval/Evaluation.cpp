@@ -1,0 +1,157 @@
+//===- Evaluation.cpp - Code-quality and compile-time experiments -------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Evaluation.h"
+
+#include "support/Rng.h"
+#include "support/Timer.h"
+#include "x86/Emulator.h"
+
+#include <cmath>
+
+using namespace selgen;
+
+namespace {
+
+/// Runs one selected function on one input set; returns the cycle
+/// count and compares against the reference result.
+uint64_t runOnce(const MachineFunction &MF, const Function &F,
+                 const std::vector<BitValue> &Args,
+                 const MemoryState &InitialMemory,
+                 const FunctionResult &Reference, bool &Mismatch) {
+  std::map<MReg, BitValue> Regs;
+  const auto &ArgRegs = MF.entry()->ArgRegs;
+  for (size_t I = 0; I < ArgRegs.size(); ++I)
+    Regs[ArgRegs[I]] = Args[I];
+  MachineRunResult Result =
+      runMachineFunction(MF, Regs, InitialMemory, /*MaxInstructions=*/1u << 24);
+
+  if (Result.StepLimitHit ||
+      Result.ReturnValues.size() != Reference.ReturnValues.size()) {
+    Mismatch = true;
+    return Result.Cycles;
+  }
+  for (size_t I = 0; I < Reference.ReturnValues.size(); ++I)
+    if (Result.ReturnValues[I] != Reference.ReturnValues[I])
+      Mismatch = true;
+  if (Reference.FinalMemory)
+    for (const auto &[Address, Value] : Reference.FinalMemory->bytes())
+      if (Result.Memory.peekByte(Address) != Value)
+        Mismatch = true;
+  (void)F;
+  return Result.Cycles;
+}
+
+/// Deterministic input sets per workload.
+struct InputSet {
+  std::vector<BitValue> Args;
+  MemoryState Memory;
+};
+
+std::vector<InputSet> makeInputs(const WorkloadProfile &Profile,
+                                 unsigned Width, unsigned Count) {
+  Rng Random(Profile.Seed ^ 0xABCDEF);
+  std::vector<InputSet> Inputs;
+  for (unsigned I = 0; I < Count; ++I) {
+    InputSet Set;
+    for (unsigned A = 0; A < 3; ++A)
+      Set.Args.push_back(Random.nextBitValue(Width));
+    for (unsigned B = 0; B < (1u << std::min(Width, 8u)); ++B)
+      Set.Memory.storeByte(B, static_cast<uint8_t>(Random.nextBelow(256)));
+    Inputs.push_back(std::move(Set));
+  }
+  return Inputs;
+}
+
+double geometricMean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0;
+  double LogSum = 0;
+  for (double Value : Values)
+    LogSum += std::log(Value);
+  return std::exp(LogSum / Values.size());
+}
+
+} // namespace
+
+CodeQualityResult
+selgen::runCodeQualityExperiment(InstructionSelector &Handwritten,
+                                 InstructionSelector &Basic,
+                                 InstructionSelector &Full, unsigned Width,
+                                 unsigned RunsPerWorkload) {
+  CodeQualityResult Result;
+  std::vector<double> Coverages, BasicRatios, FullRatios;
+
+  for (const WorkloadProfile &Profile : cint2000Profiles()) {
+    Function F = buildWorkload(Profile, Width);
+
+    SelectionResult Hand = Handwritten.select(F);
+    SelectionResult BasicSel = Basic.select(F);
+    SelectionResult FullSel = Full.select(F);
+
+    CodeQualityRow Row;
+    Row.Benchmark = Profile.Name;
+    Row.Coverage = FullSel.coverage();
+    Row.CoverageBasic = BasicSel.coverage();
+
+    for (const InputSet &Inputs :
+         makeInputs(Profile, Width, RunsPerWorkload)) {
+      FunctionResult Reference =
+          runFunction(F, Inputs.Args, Inputs.Memory, /*MaxSteps=*/1u << 24);
+      if (Reference.Undefined || Reference.StepLimitHit) {
+        Row.Mismatch = true;
+        continue;
+      }
+      Row.HandwrittenCycles += runOnce(*Hand.MF, F, Inputs.Args,
+                                       Inputs.Memory, Reference,
+                                       Row.Mismatch);
+      Row.BasicCycles += runOnce(*BasicSel.MF, F, Inputs.Args,
+                                 Inputs.Memory, Reference, Row.Mismatch);
+      Row.FullCycles += runOnce(*FullSel.MF, F, Inputs.Args, Inputs.Memory,
+                                Reference, Row.Mismatch);
+    }
+
+    if (Row.HandwrittenCycles > 0) {
+      Row.BasicOverHandwritten =
+          100.0 * Row.BasicCycles / Row.HandwrittenCycles;
+      Row.FullOverHandwritten =
+          100.0 * Row.FullCycles / Row.HandwrittenCycles;
+      BasicRatios.push_back(Row.BasicOverHandwritten);
+      FullRatios.push_back(Row.FullOverHandwritten);
+      Coverages.push_back(std::max(Row.Coverage, 1e-6));
+    }
+    Result.Rows.push_back(std::move(Row));
+  }
+
+  Result.GeoMeanCoverage = geometricMean(Coverages);
+  Result.GeoMeanBasicRatio = geometricMean(BasicRatios);
+  Result.GeoMeanFullRatio = geometricMean(FullRatios);
+  return Result;
+}
+
+CompileTimeResult
+selgen::runCompileTimeExperiment(InstructionSelector &Handwritten,
+                                 InstructionSelector &Basic,
+                                 InstructionSelector &Full, unsigned Width,
+                                 unsigned Repetitions) {
+  CompileTimeResult Result;
+  for (const WorkloadProfile &Profile : cint2000Profiles()) {
+    Function F = buildWorkload(Profile, Width);
+    CompileTimeRow Row;
+    Row.Benchmark = Profile.Name;
+    for (unsigned Rep = 0; Rep < Repetitions; ++Rep) {
+      Row.HandwrittenSeconds += Handwritten.select(F).SelectionSeconds;
+      Row.BasicSeconds += Basic.select(F).SelectionSeconds;
+      Row.FullSeconds += Full.select(F).SelectionSeconds;
+    }
+    Result.TotalHandwritten += Row.HandwrittenSeconds;
+    Result.TotalBasic += Row.BasicSeconds;
+    Result.TotalFull += Row.FullSeconds;
+    Result.Rows.push_back(std::move(Row));
+  }
+  return Result;
+}

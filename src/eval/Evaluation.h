@@ -1,0 +1,90 @@
+//===- Evaluation.h - Code-quality and compile-time experiments --*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drivers for the paper's Section 7.3 experiments:
+///
+/// * code quality (Table 1): run every synthetic CINT2000 workload
+///   compiled with the handwritten selector and with prototype
+///   selectors generated from the basic and the full rule library;
+///   report coverage and runtime ratios (runtime = cost-weighted
+///   dynamic instruction count on the emulator);
+/// * compile time: wall-clock of the instruction-selection phase per
+///   selector (the full-library prototype tries tens of thousands of
+///   rules one by one, reproducing the paper's slowdown).
+///
+/// Every emulator run is checked against the IR interpreter, so the
+/// experiment doubles as an end-to-end soundness test of the
+/// synthesized rules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_EVAL_EVALUATION_H
+#define SELGEN_EVAL_EVALUATION_H
+
+#include "eval/Workloads.h"
+#include "isel/Selector.h"
+
+#include <string>
+#include <vector>
+
+namespace selgen {
+
+/// One Table 1 row.
+struct CodeQualityRow {
+  std::string Benchmark;
+  double Coverage = 0;           ///< Synthesized-rule coverage (full).
+  double CoverageBasic = 0;      ///< Coverage of the basic library.
+  uint64_t HandwrittenCycles = 0;
+  uint64_t BasicCycles = 0;
+  uint64_t FullCycles = 0;
+  double BasicOverHandwritten = 0; ///< In percent, as Table 1.
+  double FullOverHandwritten = 0;
+  bool Mismatch = false; ///< Any selector disagreed with the oracle.
+};
+
+/// The whole experiment.
+struct CodeQualityResult {
+  std::vector<CodeQualityRow> Rows;
+  double GeoMeanCoverage = 0;
+  double GeoMeanBasicRatio = 0;
+  double GeoMeanFullRatio = 0;
+};
+
+/// Runs the Table 1 experiment over all CINT2000 profiles.
+/// \p RunsPerWorkload distinct deterministic input sets are executed
+/// and their cycle counts summed.
+CodeQualityResult runCodeQualityExperiment(InstructionSelector &Handwritten,
+                                           InstructionSelector &Basic,
+                                           InstructionSelector &Full,
+                                           unsigned Width,
+                                           unsigned RunsPerWorkload = 3);
+
+/// One compile-time row (selection-phase wall time).
+struct CompileTimeRow {
+  std::string Benchmark;
+  double HandwrittenSeconds = 0;
+  double BasicSeconds = 0;
+  double FullSeconds = 0;
+};
+
+struct CompileTimeResult {
+  std::vector<CompileTimeRow> Rows;
+  double TotalHandwritten = 0, TotalBasic = 0, TotalFull = 0;
+};
+
+/// Runs the selection-phase timing experiment (paper Section 7.3's
+/// 1.66x / 1217x observation).
+CompileTimeResult runCompileTimeExperiment(InstructionSelector &Handwritten,
+                                           InstructionSelector &Basic,
+                                           InstructionSelector &Full,
+                                           unsigned Width,
+                                           unsigned Repetitions = 3);
+
+} // namespace selgen
+
+#endif // SELGEN_EVAL_EVALUATION_H

@@ -1,0 +1,221 @@
+//===- Function.cpp - Control-flow graphs of basic blocks -------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+
+#include "ir/Normalizer.h"
+#include "ir/Verifier.h"
+#include "support/Error.h"
+
+#include <map>
+
+using namespace selgen;
+
+std::vector<NodeRef> BasicBlock::terminatorOperands() const {
+  std::vector<NodeRef> Operands;
+  switch (Term.TermKind) {
+  case Terminator::Kind::Return:
+    return Term.ReturnValues;
+  case Terminator::Kind::Jump:
+    return Term.Then.Arguments;
+  case Terminator::Kind::Branch:
+    Operands.push_back(Term.Condition);
+    Operands.insert(Operands.end(), Term.Then.Arguments.begin(),
+                    Term.Then.Arguments.end());
+    Operands.insert(Operands.end(), Term.Else.Arguments.begin(),
+                    Term.Else.Arguments.end());
+    return Operands;
+  }
+  SELGEN_UNREACHABLE("bad terminator kind");
+}
+
+BasicBlock *Function::createBlock(const std::string &BlockName,
+                                  std::vector<Sort> ArgSorts) {
+  assert(!ArgSorts.empty() && ArgSorts[0].isMemory() &&
+         "block argument 0 must be the memory token");
+  Blocks.push_back(
+      std::make_unique<BasicBlock>(BlockName, Width, std::move(ArgSorts)));
+  return Blocks.back().get();
+}
+
+unsigned Function::numOperations() const {
+  unsigned Count = 0;
+  for (const auto &BB : Blocks)
+    for (Node *N : BB->body().liveNodesFrom(BB->terminatorOperands()))
+      if (N->opcode() != Opcode::Arg)
+        ++Count;
+  return Count;
+}
+
+FunctionResult selgen::runFunction(const Function &F,
+                                   const std::vector<BitValue> &Arguments,
+                                   const MemoryState &InitialMemory,
+                                   uint64_t MaxSteps) {
+  FunctionResult Result;
+  BasicBlock *Current = F.entry();
+
+  std::vector<EvalValue> BlockArgs;
+  BlockArgs.push_back(
+      EvalValue::fromMemory(std::make_shared<MemoryState>(InitialMemory)));
+  for (const BitValue &Value : Arguments)
+    BlockArgs.push_back(EvalValue::fromBits(Value));
+
+  // Static operation count per block, so the dynamic counter does not
+  // re-walk the graph on every loop iteration.
+  std::map<const BasicBlock *, uint64_t> StaticCounts;
+  auto staticCount = [&StaticCounts](const BasicBlock *BB) {
+    auto It = StaticCounts.find(BB);
+    if (It != StaticCounts.end())
+      return It->second;
+    uint64_t Count = 0;
+    for (Node *N : BB->body().liveNodesFrom(BB->terminatorOperands()))
+      if (N->opcode() != Opcode::Arg)
+        ++Count;
+    StaticCounts[BB] = Count;
+    return Count;
+  };
+
+  while (true) {
+    Result.ExecutedOperations += staticCount(Current);
+    if (Result.ExecutedOperations > MaxSteps) {
+      Result.StepLimitHit = true;
+      return Result;
+    }
+
+    std::vector<NodeRef> Operands = Current->terminatorOperands();
+    EvalResult Evaluated =
+        evaluateGraphRefs(Current->body(), BlockArgs, Operands);
+    if (Evaluated.Undefined) {
+      Result.Undefined = true;
+      return Result;
+    }
+
+    const Terminator &Term = Current->terminator();
+    switch (Term.TermKind) {
+    case Terminator::Kind::Return: {
+      assert(!Evaluated.Results.empty() &&
+             Evaluated.Results[0].ValueSort.isMemory() &&
+             "return must pass the memory token first");
+      Result.FinalMemory = Evaluated.Results[0].Mem;
+      for (unsigned I = 1; I < Evaluated.Results.size(); ++I)
+        Result.ReturnValues.push_back(Evaluated.Results[I].Bits);
+      return Result;
+    }
+    case Terminator::Kind::Jump: {
+      Current = Term.Then.Target;
+      BlockArgs = std::move(Evaluated.Results);
+      break;
+    }
+    case Terminator::Kind::Branch: {
+      bool Taken = Evaluated.Results[0].Flag;
+      const BlockEdge &Edge = Taken ? Term.Then : Term.Else;
+      unsigned Offset = 1 + (Taken ? 0 : Term.Then.Arguments.size());
+      std::vector<EvalValue> NextArgs(
+          Evaluated.Results.begin() + Offset,
+          Evaluated.Results.begin() + Offset + Edge.Arguments.size());
+      Current = Edge.Target;
+      BlockArgs = std::move(NextArgs);
+      break;
+    }
+    }
+  }
+}
+
+std::vector<std::string> selgen::verifyFunction(const Function &F) {
+  std::vector<std::string> Problems;
+  auto problem = [&Problems](const std::string &Where,
+                             const std::string &Message) {
+    Problems.push_back(Where + ": " + Message);
+  };
+
+  if (F.blocks().empty()) {
+    Problems.push_back("function has no blocks");
+    return Problems;
+  }
+
+  for (const auto &BB : F.blocks()) {
+    const std::string &Where = BB->name();
+    for (const std::string &BodyProblem : verifyGraph(BB->body()))
+      problem(Where, BodyProblem);
+    if (BB->body().numArgs() == 0 || !BB->body().argSort(0).isMemory())
+      problem(Where, "block argument 0 must be the memory token");
+
+    const Terminator &Term = BB->terminator();
+    auto checkEdge = [&](const BlockEdge &Edge, const char *Label) {
+      if (!Edge.Target) {
+        problem(Where, std::string(Label) + " edge has no target");
+        return;
+      }
+      const Graph &TargetBody = Edge.Target->body();
+      if (Edge.Arguments.size() != TargetBody.numArgs()) {
+        problem(Where, std::string(Label) + " edge passes " +
+                           std::to_string(Edge.Arguments.size()) +
+                           " arguments, target takes " +
+                           std::to_string(TargetBody.numArgs()));
+        return;
+      }
+      for (unsigned I = 0; I < Edge.Arguments.size(); ++I)
+        if (Edge.Arguments[I].sort() != TargetBody.argSort(I))
+          problem(Where, std::string(Label) + " edge argument " +
+                             std::to_string(I) + " has sort " +
+                             Edge.Arguments[I].sort().str() + ", target wants " +
+                             TargetBody.argSort(I).str());
+    };
+
+    switch (Term.TermKind) {
+    case Terminator::Kind::Return:
+      if (Term.ReturnValues.empty() ||
+          !Term.ReturnValues[0].sort().isMemory())
+        problem(Where, "return must pass the memory token first");
+      break;
+    case Terminator::Kind::Jump:
+      checkEdge(Term.Then, "jump");
+      break;
+    case Terminator::Kind::Branch:
+      if (!Term.Condition.isValid() || !Term.Condition.sort().isBool())
+        problem(Where, "branch condition must be boolean");
+      checkEdge(Term.Then, "then");
+      checkEdge(Term.Else, "else");
+      break;
+    }
+  }
+  return Problems;
+}
+
+void selgen::normalizeFunction(Function &F) {
+  for (const auto &BB : F.blocks()) {
+    std::vector<NodeRef> Operands = BB->terminatorOperands();
+    Graph &Body = BB->body();
+    Body.setResults(Operands);
+    Graph Normalized = normalizeGraph(Body);
+    std::vector<NodeRef> NewOperands = Normalized.results();
+    Normalized.setResults({});
+
+    Terminator &Term = BB->terminator();
+    size_t Index = 0;
+    auto take = [&NewOperands, &Index] { return NewOperands[Index++]; };
+    switch (Term.TermKind) {
+    case Terminator::Kind::Return:
+      for (NodeRef &Ref : Term.ReturnValues)
+        Ref = take();
+      break;
+    case Terminator::Kind::Jump:
+      for (NodeRef &Ref : Term.Then.Arguments)
+        Ref = take();
+      break;
+    case Terminator::Kind::Branch:
+      Term.Condition = take();
+      for (NodeRef &Ref : Term.Then.Arguments)
+        Ref = take();
+      for (NodeRef &Ref : Term.Else.Arguments)
+        Ref = take();
+      break;
+    }
+    assert(Index == NewOperands.size() && "terminator rewiring mismatch");
+    Body = std::move(Normalized);
+  }
+}

@@ -1,0 +1,150 @@
+//===- Function.h - Control-flow graphs of basic blocks ---------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole functions for the evaluation pipeline: a CFG of basic blocks,
+/// each carrying a single-block Graph as its body. SSA across blocks
+/// uses block arguments (the modern equivalent of phi functions).
+///
+/// Conventions:
+/// * Block argument 0 of every block is the incoming memory token.
+/// * The entry block's remaining arguments are the function arguments.
+/// * Return passes the final memory token plus the return values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_IR_FUNCTION_H
+#define SELGEN_IR_FUNCTION_H
+
+#include "ir/Graph.h"
+#include "ir/Interpreter.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace selgen {
+
+class BasicBlock;
+
+/// A CFG edge: target block plus the values passed for its arguments.
+struct BlockEdge {
+  BasicBlock *Target = nullptr;
+  std::vector<NodeRef> Arguments;
+};
+
+/// Block terminator: return, unconditional jump, or two-way branch.
+struct Terminator {
+  enum class Kind { Return, Jump, Branch };
+  Kind TermKind = Kind::Return;
+  std::vector<NodeRef> ReturnValues; // Return: [memory, values...].
+  NodeRef Condition;                 // Branch: a Bool value.
+  BlockEdge Then;                    // Branch taken / Jump target.
+  BlockEdge Else;                    // Branch not taken.
+};
+
+/// A basic block: argument-taking body graph plus terminator.
+class BasicBlock {
+public:
+  BasicBlock(std::string Name, unsigned Width, std::vector<Sort> ArgSorts)
+      : Name(std::move(Name)), Body(Width, std::move(ArgSorts)) {}
+
+  const std::string &name() const { return Name; }
+  Graph &body() { return Body; }
+  const Graph &body() const { return Body; }
+
+  Terminator &terminator() { return Term; }
+  const Terminator &terminator() const { return Term; }
+
+  void setReturn(std::vector<NodeRef> Values) {
+    Term.TermKind = Terminator::Kind::Return;
+    Term.ReturnValues = std::move(Values);
+  }
+  void setJump(BasicBlock *Target, std::vector<NodeRef> Arguments) {
+    Term.TermKind = Terminator::Kind::Jump;
+    Term.Then = {Target, std::move(Arguments)};
+  }
+  void setBranch(NodeRef Condition, BasicBlock *ThenTarget,
+                 std::vector<NodeRef> ThenArguments, BasicBlock *ElseTarget,
+                 std::vector<NodeRef> ElseArguments) {
+    Term.TermKind = Terminator::Kind::Branch;
+    Term.Condition = Condition;
+    Term.Then = {ThenTarget, std::move(ThenArguments)};
+    Term.Else = {ElseTarget, std::move(ElseArguments)};
+  }
+
+  /// All NodeRefs the terminator consumes, in a fixed order.
+  std::vector<NodeRef> terminatorOperands() const;
+
+private:
+  std::string Name;
+  Graph Body;
+  Terminator Term;
+};
+
+/// A function: entry block plus further blocks, all of one data width.
+class Function {
+public:
+  Function(std::string Name, unsigned Width)
+      : Name(std::move(Name)), Width(Width) {}
+
+  const std::string &name() const { return Name; }
+  unsigned width() const { return Width; }
+
+  /// Creates and owns a new block. The first created block is the
+  /// entry. Argument sorts must start with Sort::memory().
+  BasicBlock *createBlock(const std::string &BlockName,
+                          std::vector<Sort> ArgSorts);
+
+  BasicBlock *entry() const {
+    assert(!Blocks.empty() && "function has no blocks");
+    return Blocks.front().get();
+  }
+  const std::vector<std::unique_ptr<BasicBlock>> &blocks() const {
+    return Blocks;
+  }
+
+  /// Total IR operation count over all block bodies, counting only
+  /// nodes live for the terminators (the denominator of the paper's
+  /// coverage metric).
+  unsigned numOperations() const;
+
+private:
+  std::string Name;
+  unsigned Width;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+};
+
+/// Outcome of running a function.
+struct FunctionResult {
+  bool Undefined = false;    ///< Some operation hit undefined behaviour.
+  bool StepLimitHit = false; ///< The step budget ran out (likely a loop).
+  std::vector<BitValue> ReturnValues;
+  std::shared_ptr<MemoryState> FinalMemory;
+  uint64_t ExecutedOperations = 0; ///< Dynamic IR operation count.
+};
+
+/// Runs \p F with the given W-bit arguments and initial memory.
+/// \p MaxSteps bounds the number of executed IR operations.
+FunctionResult runFunction(const Function &F,
+                           const std::vector<BitValue> &Arguments,
+                           const MemoryState &InitialMemory,
+                           uint64_t MaxSteps = 1u << 20);
+
+/// Verifies CFG-level invariants (edge argument sorts, memory-first
+/// block signatures, terminator sanity). Returns problem descriptions.
+std::vector<std::string> verifyFunction(const Function &F);
+
+/// Normalizes every block body in place (rebuilding bodies and
+/// re-wiring terminators), as the compiler front end would before
+/// instruction selection.
+void normalizeFunction(Function &F);
+
+} // namespace selgen
+
+#endif // SELGEN_IR_FUNCTION_H

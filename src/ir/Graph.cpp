@@ -1,0 +1,260 @@
+//===- Graph.cpp - Single-block SSA data-dependence graphs -----------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Graph.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace selgen;
+
+Graph::Graph(unsigned Width, std::vector<Sort> ArgSorts) : Width(Width) {
+  for (unsigned I = 0; I < ArgSorts.size(); ++I) {
+    Node *ArgNode = addNode(Opcode::Arg, {}, {ArgSorts[I]});
+    ArgNode->setArgIndex(I);
+    Args.push_back(ArgNode);
+  }
+}
+
+std::vector<Sort> Graph::argSorts() const {
+  std::vector<Sort> Sorts;
+  Sorts.reserve(Args.size());
+  for (const Node *ArgNode : Args)
+    Sorts.push_back(ArgNode->resultSort(0));
+  return Sorts;
+}
+
+Node *Graph::addNode(Opcode Op, std::vector<NodeRef> Operands,
+                     std::vector<Sort> ResultSorts) {
+  NodeList.push_back(std::make_unique<Node>(NextId++, Op, std::move(Operands),
+                                            std::move(ResultSorts)));
+  return NodeList.back().get();
+}
+
+NodeRef Graph::createConst(const BitValue &Value) {
+  Node *N = addNode(Opcode::Const, {}, {Sort::value(Value.width())});
+  N->setConstValue(Value);
+  return N->result();
+}
+
+NodeRef Graph::createUnary(Opcode Op, NodeRef Operand) {
+  assert((Op == Opcode::Not || Op == Opcode::Minus) && "not a unary opcode");
+  assert(Operand.sort() == Sort::value(Width) && "operand sort mismatch");
+  return addNode(Op, {Operand}, {Sort::value(Width)})->result();
+}
+
+NodeRef Graph::createBinary(Opcode Op, NodeRef Lhs, NodeRef Rhs) {
+  assert(opcodeArgSorts(Op, Width).size() == 2 && "not a binary opcode");
+  assert(Lhs.sort() == Sort::value(Width) && "lhs sort mismatch");
+  assert(Rhs.sort() == Sort::value(Width) && "rhs sort mismatch");
+  assert(Op != Opcode::Cmp && "use createCmp for comparisons");
+  return addNode(Op, {Lhs, Rhs}, {Sort::value(Width)})->result();
+}
+
+NodeRef Graph::createCmp(Relation Rel, NodeRef Lhs, NodeRef Rhs) {
+  assert(Lhs.sort() == Sort::value(Width) && "lhs sort mismatch");
+  assert(Rhs.sort() == Sort::value(Width) && "rhs sort mismatch");
+  Node *N = addNode(Opcode::Cmp, {Lhs, Rhs}, {Sort::boolean()});
+  N->setRelation(Rel);
+  return N->result();
+}
+
+NodeRef Graph::createMux(NodeRef Selector, NodeRef TrueValue,
+                         NodeRef FalseValue) {
+  assert(Selector.sort().isBool() && "selector must be boolean");
+  assert(TrueValue.sort() == Sort::value(Width) && "true value mismatch");
+  assert(FalseValue.sort() == Sort::value(Width) && "false value mismatch");
+  return addNode(Opcode::Mux, {Selector, TrueValue, FalseValue},
+                 {Sort::value(Width)})
+      ->result();
+}
+
+Node *Graph::createLoad(NodeRef Memory, NodeRef Pointer) {
+  assert(Memory.sort().isMemory() && "first operand must be memory");
+  assert(Pointer.sort() == Sort::value(Width) && "pointer sort mismatch");
+  return addNode(Opcode::Load, {Memory, Pointer},
+                 {Sort::memory(), Sort::value(Width)});
+}
+
+NodeRef Graph::createStore(NodeRef Memory, NodeRef Pointer, NodeRef Value) {
+  assert(Memory.sort().isMemory() && "first operand must be memory");
+  assert(Pointer.sort() == Sort::value(Width) && "pointer sort mismatch");
+  assert(Value.sort() == Sort::value(Width) && "value sort mismatch");
+  return addNode(Opcode::Store, {Memory, Pointer, Value}, {Sort::memory()})
+      ->result();
+}
+
+Node *Graph::createCond(NodeRef Selector) {
+  assert(Selector.sort().isBool() && "selector must be boolean");
+  return addNode(Opcode::Cond, {Selector},
+                 {Sort::boolean(), Sort::boolean()});
+}
+
+Node *Graph::createNode(Opcode Op, const std::vector<NodeRef> &Operands) {
+  assert(Op != Opcode::Arg && "arguments are created with the graph");
+  std::vector<Sort> Expected = opcodeArgSorts(Op, Width);
+  assert(Operands.size() == Expected.size() && "operand count mismatch");
+  for (unsigned I = 0; I < Operands.size(); ++I) {
+    (void)I;
+    assert(Operands[I].sort() == Expected[I] && "operand sort mismatch");
+  }
+  return addNode(Op, Operands, opcodeResultSorts(Op, Width));
+}
+
+void Graph::setResults(std::vector<NodeRef> NewResults) {
+  Results = std::move(NewResults);
+}
+
+std::vector<Sort> Graph::resultSorts() const {
+  std::vector<Sort> Sorts;
+  Sorts.reserve(Results.size());
+  for (const NodeRef &Ref : Results)
+    Sorts.push_back(Ref.sort());
+  return Sorts;
+}
+
+std::vector<Node *> Graph::scheduledNodes() const {
+  // Creation order already respects dependencies because operands must
+  // exist when a node is created; filter out the Arg pseudo-nodes.
+  std::vector<Node *> Scheduled;
+  for (const auto &N : NodeList)
+    if (N->opcode() != Opcode::Arg)
+      Scheduled.push_back(N.get());
+  return Scheduled;
+}
+
+unsigned Graph::numOperations() const {
+  unsigned Count = 0;
+  for (const auto &N : NodeList)
+    if (N->opcode() != Opcode::Arg)
+      ++Count;
+  return Count;
+}
+
+std::vector<Node *> Graph::liveNodes() const { return liveNodesFrom(Results); }
+
+std::vector<Node *>
+Graph::liveNodesFrom(const std::vector<NodeRef> &Roots) const {
+  std::set<const Node *> Live;
+  std::vector<Node *> Worklist;
+  for (const NodeRef &Ref : Roots)
+    if (Ref.isValid() && Live.insert(Ref.Def).second)
+      Worklist.push_back(Ref.Def);
+  while (!Worklist.empty()) {
+    Node *N = Worklist.back();
+    Worklist.pop_back();
+    for (const NodeRef &Operand : N->operands())
+      if (Live.insert(Operand.Def).second)
+        Worklist.push_back(Operand.Def);
+  }
+  std::vector<Node *> Ordered;
+  for (const auto &N : NodeList)
+    if (Live.count(N.get()))
+      Ordered.push_back(N.get());
+  return Ordered;
+}
+
+void Graph::removeDeadNodes() {
+  std::set<const Node *> Live;
+  for (Node *N : liveNodes())
+    Live.insert(N);
+  auto IsDead = [&Live](const std::unique_ptr<Node> &N) {
+    return N->opcode() != Opcode::Arg && !Live.count(N.get());
+  };
+  NodeList.erase(std::remove_if(NodeList.begin(), NodeList.end(), IsDead),
+                 NodeList.end());
+}
+
+std::string Graph::fingerprint() const {
+  // Number the live nodes by depth-first post-order from the results,
+  // so structurally identical graphs fingerprint identically no matter
+  // in which order their nodes were created.
+  std::map<const Node *, unsigned> Numbering;
+  std::vector<Node *> Live;
+  auto visit = [&](auto &&Self, Node *N) -> void {
+    if (Numbering.count(N))
+      return;
+    // Mark before recursing is unnecessary: graphs are acyclic.
+    for (const NodeRef &Operand : N->operands())
+      Self(Self, Operand.Def);
+    Numbering[N] = Numbering.size();
+    Live.push_back(N);
+  };
+  for (const NodeRef &Ref : Results)
+    if (Ref.isValid())
+      visit(visit, Ref.Def);
+
+  std::string Result = "w" + std::to_string(Width) + ";";
+  for (Node *N : Live) {
+    Result += opcodeName(N->opcode());
+    switch (N->opcode()) {
+    case Opcode::Arg:
+      Result += "#" + std::to_string(N->argIndex());
+      break;
+    case Opcode::Const:
+      Result += "#" + N->constValue().toHexString() + ":" +
+                std::to_string(N->constValue().width());
+      break;
+    case Opcode::Cmp:
+      Result += "#" + std::string(relationName(N->relation()));
+      break;
+    default:
+      break;
+    }
+    Result += "(";
+    for (unsigned I = 0; I < N->numOperands(); ++I) {
+      if (I != 0)
+        Result += ",";
+      NodeRef Operand = N->operand(I);
+      Result += std::to_string(Numbering.at(Operand.Def)) + "." +
+                std::to_string(Operand.Index);
+    }
+    Result += ");";
+  }
+  Result += "->";
+  for (unsigned I = 0; I < Results.size(); ++I) {
+    if (I != 0)
+      Result += ",";
+    Result += std::to_string(Numbering.at(Results[I].Def)) + "." +
+              std::to_string(Results[I].Index);
+  }
+  return Result;
+}
+
+Graph Graph::clone() const {
+  Graph Copy(Width, argSorts());
+  std::map<const Node *, Node *> Mapping;
+  for (unsigned I = 0; I < Args.size(); ++I)
+    Mapping[Args[I]] = Copy.Args[I];
+  for (const auto &N : NodeList) {
+    if (N->opcode() == Opcode::Arg)
+      continue;
+    std::vector<NodeRef> Operands;
+    Operands.reserve(N->numOperands());
+    for (const NodeRef &Operand : N->operands())
+      Operands.emplace_back(Mapping.at(Operand.Def), Operand.Index);
+    Node *NewNode = Copy.addNode(N->opcode(), std::move(Operands), [&] {
+      std::vector<Sort> Sorts;
+      for (unsigned I = 0; I < N->numResults(); ++I)
+        Sorts.push_back(N->resultSort(I));
+      return Sorts;
+    }());
+    if (N->opcode() == Opcode::Const)
+      NewNode->setConstValue(N->constValue());
+    if (N->opcode() == Opcode::Cmp)
+      NewNode->setRelation(N->relation());
+    Mapping[N.get()] = NewNode;
+  }
+  std::vector<NodeRef> NewResults;
+  for (const NodeRef &Ref : Results)
+    NewResults.emplace_back(Mapping.at(Ref.Def), Ref.Index);
+  Copy.setResults(std::move(NewResults));
+  return Copy;
+}

@@ -1,0 +1,137 @@
+//===- GraphViz.cpp - DOT rendering of IR graphs -----------------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/GraphViz.h"
+
+#include <map>
+
+using namespace selgen;
+
+namespace {
+
+std::string nodeLabel(const Node *N) {
+  switch (N->opcode()) {
+  case Opcode::Arg:
+    return "a" + std::to_string(N->argIndex());
+  case Opcode::Const:
+    return "Const " + N->constValue().toSignedString();
+  case Opcode::Cmp:
+    return std::string("Cmp ") + relationName(N->relation());
+  default:
+    return opcodeName(N->opcode());
+  }
+}
+
+std::string nodeShape(const Node *N) {
+  switch (N->opcode()) {
+  case Opcode::Arg:
+    return "ellipse";
+  case Opcode::Const:
+    return "plaintext";
+  case Opcode::Load:
+  case Opcode::Store:
+    return "box3d";
+  default:
+    return "box";
+  }
+}
+
+/// Emits the nodes and data edges of one graph with a name prefix, so
+/// several block bodies can share a file. Returns the mapping used.
+std::map<const Node *, std::string>
+emitBody(const Graph &G, const std::vector<NodeRef> &Roots,
+         const std::string &Prefix, std::string &Out) {
+  std::map<const Node *, std::string> Names;
+  for (Node *N : G.liveNodesFrom(Roots)) {
+    std::string Name = Prefix + "n" + std::to_string(N->id());
+    Names[N] = Name;
+    Out += "  " + Name + " [label=\"" + nodeLabel(N) + "\", shape=" +
+           nodeShape(N) + "];\n";
+  }
+  for (Node *N : G.liveNodesFrom(Roots)) {
+    for (unsigned I = 0; I < N->numOperands(); ++I) {
+      NodeRef Operand = N->operand(I);
+      std::string Attributes;
+      if (Operand.sort().isMemory())
+        Attributes = " [style=dashed, color=gray40]"; // Memory chain.
+      else if (Operand.sort().isBool())
+        Attributes = " [color=blue]";
+      Out += "  " + Names.at(Operand.Def) + " -> " + Names.at(N) +
+             Attributes + ";\n";
+    }
+  }
+  return Names;
+}
+
+} // namespace
+
+std::string selgen::graphToDot(const Graph &G, const std::string &Name) {
+  std::string Out = "digraph " + Name + " {\n  rankdir=BT;\n";
+  std::map<const Node *, std::string> Names =
+      emitBody(G, G.results(), "", Out);
+  // Result markers.
+  for (unsigned I = 0; I < G.results().size(); ++I) {
+    NodeRef Ref = G.results()[I];
+    std::string Marker = "res" + std::to_string(I);
+    Out += "  " + Marker + " [label=\"Res" + std::to_string(I) +
+           "\", shape=ellipse, style=dotted];\n";
+    Out += "  " + Names.at(Ref.Def) + " -> " + Marker +
+           " [style=dotted];\n";
+  }
+  Out += "}\n";
+  return Out;
+}
+
+std::string selgen::functionToDot(const Function &F) {
+  std::string Out = "digraph " + F.name() + " {\n  rankdir=BT;\n";
+  std::map<const BasicBlock *, std::string> BlockAnchors;
+
+  unsigned BlockIndex = 0;
+  for (const auto &BB : F.blocks()) {
+    std::string Prefix = "b" + std::to_string(BlockIndex++) + "_";
+    Out += "  subgraph cluster_" + Prefix + " {\n    label=\"" +
+           BB->name() + "\";\n";
+    std::string Body;
+    std::map<const Node *, std::string> Names =
+        emitBody(BB->body(), BB->terminatorOperands(), Prefix, Body);
+    // Indent the body inside the cluster.
+    Out += Body;
+    std::string Anchor = Prefix + "term";
+    const char *TermLabel =
+        BB->terminator().TermKind == Terminator::Kind::Return ? "Return"
+        : BB->terminator().TermKind == Terminator::Kind::Jump ? "Jmp"
+                                                              : "Branch";
+    Out += "    " + Anchor + " [label=\"" + TermLabel +
+           "\", shape=diamond];\n";
+    for (const NodeRef &Operand : BB->terminatorOperands())
+      if (Names.count(Operand.Def))
+        Out += "    " + Names.at(Operand.Def) + " -> " + Anchor +
+               " [style=dotted];\n";
+    Out += "  }\n";
+    BlockAnchors[BB.get()] = Anchor;
+  }
+
+  // Control-flow edges.
+  for (const auto &BB : F.blocks()) {
+    const Terminator &Term = BB->terminator();
+    std::string From = BlockAnchors.at(BB.get());
+    auto edge = [&](const BlockEdge &Edge, const char *Label) {
+      if (Edge.Target)
+        Out += "  " + From + " -> " + BlockAnchors.at(Edge.Target) +
+               " [label=\"" + Label +
+               "\", style=bold, constraint=false];\n";
+    };
+    if (Term.TermKind == Terminator::Kind::Jump)
+      edge(Term.Then, "");
+    if (Term.TermKind == Terminator::Kind::Branch) {
+      edge(Term.Then, "taken");
+      edge(Term.Else, "else");
+    }
+  }
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,35 @@
+//===- GraphViz.h - DOT rendering of IR graphs -------------------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graphviz DOT output for graphs and whole functions, in the style of
+/// libFirm's VCG dumps — patterns like paper Figure 1a become pictures
+/// with `dot -Tsvg`. Memory edges are drawn dashed so the memory chain
+/// of Section 4.1 is visible at a glance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_IR_GRAPHVIZ_H
+#define SELGEN_IR_GRAPHVIZ_H
+
+#include "ir/Function.h"
+#include "ir/Graph.h"
+
+#include <string>
+
+namespace selgen {
+
+/// Renders the live part of \p G as a DOT digraph named \p Name.
+std::string graphToDot(const Graph &G, const std::string &Name = "pattern");
+
+/// Renders a whole function: one cluster per basic block, dotted
+/// control-flow edges between terminators and block headers.
+std::string functionToDot(const Function &F);
+
+} // namespace selgen
+
+#endif // SELGEN_IR_GRAPHVIZ_H

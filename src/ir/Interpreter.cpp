@@ -1,0 +1,190 @@
+//===- Interpreter.cpp - Concrete IR evaluation ----------------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Interpreter.h"
+
+#include "support/Error.h"
+
+#include <map>
+
+using namespace selgen;
+
+bool selgen::evaluateRelation(Relation Rel, const BitValue &Lhs,
+                              const BitValue &Rhs) {
+  switch (Rel) {
+  case Relation::Eq:
+    return Lhs == Rhs;
+  case Relation::Ne:
+    return Lhs != Rhs;
+  case Relation::Ult:
+    return Lhs.ult(Rhs);
+  case Relation::Ule:
+    return Lhs.ule(Rhs);
+  case Relation::Ugt:
+    return Lhs.ugt(Rhs);
+  case Relation::Uge:
+    return Lhs.uge(Rhs);
+  case Relation::Slt:
+    return Lhs.slt(Rhs);
+  case Relation::Sle:
+    return Lhs.sle(Rhs);
+  case Relation::Sgt:
+    return Lhs.sgt(Rhs);
+  case Relation::Sge:
+    return Lhs.sge(Rhs);
+  }
+  SELGEN_UNREACHABLE("bad relation");
+}
+
+namespace {
+
+/// Per-evaluation state: values for every (node, result index).
+class GraphEvaluator {
+public:
+  GraphEvaluator(const Graph &G, const std::vector<EvalValue> &Args)
+      : G(G), Args(Args) {}
+
+  EvalResult run(const std::vector<NodeRef> &Refs) {
+    assert(Args.size() == G.numArgs() && "argument count mismatch");
+    for (unsigned I = 0; I < Args.size(); ++I) {
+      (void)I;
+      assert(Args[I].ValueSort == G.argSort(I) && "argument sort mismatch");
+    }
+    for (Node *N : G.liveNodesFrom(Refs))
+      evaluateNode(N);
+    EvalResult Result;
+    Result.Undefined = Undefined;
+    for (const NodeRef &Ref : Refs)
+      Result.Results.push_back(value(Ref));
+    return Result;
+  }
+
+private:
+  const Graph &G;
+  const std::vector<EvalValue> &Args;
+  std::map<std::pair<const Node *, unsigned>, EvalValue> Values;
+  bool Undefined = false;
+
+  const EvalValue &value(const NodeRef &Ref) const {
+    return Values.at({Ref.Def, Ref.Index});
+  }
+
+  void define(Node *N, unsigned Index, EvalValue Value) {
+    Values[{N, Index}] = std::move(Value);
+  }
+
+  const BitValue &bits(Node *N, unsigned OperandIndex) const {
+    return value(N->operand(OperandIndex)).Bits;
+  }
+
+  /// Copies the memory operand so the producer's state stays intact
+  /// (each M-value is an immutable snapshot, as in SSA).
+  std::shared_ptr<MemoryState> copyMemory(Node *N, unsigned OperandIndex) {
+    const EvalValue &Operand = value(N->operand(OperandIndex));
+    assert(Operand.ValueSort.isMemory() && "expected a memory operand");
+    return std::make_shared<MemoryState>(*Operand.Mem);
+  }
+
+  void evaluateNode(Node *N) {
+    unsigned Width = G.width();
+    switch (N->opcode()) {
+    case Opcode::Arg:
+      define(N, 0, Args[N->argIndex()]);
+      return;
+    case Opcode::Const:
+      define(N, 0, EvalValue::fromBits(N->constValue()));
+      return;
+    case Opcode::Add:
+      define(N, 0, EvalValue::fromBits(bits(N, 0).add(bits(N, 1))));
+      return;
+    case Opcode::Sub:
+      define(N, 0, EvalValue::fromBits(bits(N, 0).sub(bits(N, 1))));
+      return;
+    case Opcode::Mul:
+      define(N, 0, EvalValue::fromBits(bits(N, 0).mul(bits(N, 1))));
+      return;
+    case Opcode::And:
+      define(N, 0, EvalValue::fromBits(bits(N, 0).bitAnd(bits(N, 1))));
+      return;
+    case Opcode::Or:
+      define(N, 0, EvalValue::fromBits(bits(N, 0).bitOr(bits(N, 1))));
+      return;
+    case Opcode::Xor:
+      define(N, 0, EvalValue::fromBits(bits(N, 0).bitXor(bits(N, 1))));
+      return;
+    case Opcode::Not:
+      define(N, 0, EvalValue::fromBits(bits(N, 0).bitNot()));
+      return;
+    case Opcode::Minus:
+      define(N, 0, EvalValue::fromBits(bits(N, 0).neg()));
+      return;
+    case Opcode::Shl:
+    case Opcode::Shr:
+    case Opcode::Shrs: {
+      const BitValue &Amount = bits(N, 1);
+      // C semantics: undefined unless 0 <= amount < width.
+      if (Amount.uge(BitValue(Width, Width))) {
+        Undefined = true;
+        define(N, 0, EvalValue::fromBits(BitValue::zero(Width)));
+        return;
+      }
+      unsigned Shift = static_cast<unsigned>(Amount.zextValue());
+      const BitValue &Value = bits(N, 0);
+      BitValue Result = N->opcode() == Opcode::Shl    ? Value.shl(Shift)
+                        : N->opcode() == Opcode::Shr ? Value.lshr(Shift)
+                                                      : Value.ashr(Shift);
+      define(N, 0, EvalValue::fromBits(Result));
+      return;
+    }
+    case Opcode::Load: {
+      std::shared_ptr<MemoryState> State = copyMemory(N, 0);
+      uint64_t Address = bits(N, 1).zextValue();
+      BitValue Loaded = State->loadValue(Address, Width / 8);
+      define(N, 0, EvalValue::fromMemory(std::move(State)));
+      define(N, 1, EvalValue::fromBits(std::move(Loaded)));
+      return;
+    }
+    case Opcode::Store: {
+      std::shared_ptr<MemoryState> State = copyMemory(N, 0);
+      uint64_t Address = bits(N, 1).zextValue();
+      State->storeValue(Address, bits(N, 2));
+      define(N, 0, EvalValue::fromMemory(std::move(State)));
+      return;
+    }
+    case Opcode::Cmp:
+      define(N, 0,
+             EvalValue::fromBool(
+                 evaluateRelation(N->relation(), bits(N, 0), bits(N, 1))));
+      return;
+    case Opcode::Mux: {
+      bool Selector = value(N->operand(0)).Flag;
+      define(N, 0, Selector ? value(N->operand(1)) : value(N->operand(2)));
+      return;
+    }
+    case Opcode::Cond: {
+      bool Selector = value(N->operand(0)).Flag;
+      define(N, 0, EvalValue::fromBool(Selector));
+      define(N, 1, EvalValue::fromBool(!Selector));
+      return;
+    }
+    }
+    SELGEN_UNREACHABLE("bad opcode");
+  }
+};
+
+} // namespace
+
+EvalResult selgen::evaluateGraph(const Graph &G,
+                                 const std::vector<EvalValue> &Args) {
+  return GraphEvaluator(G, Args).run(G.results());
+}
+
+EvalResult selgen::evaluateGraphRefs(const Graph &G,
+                                     const std::vector<EvalValue> &Args,
+                                     const std::vector<NodeRef> &Refs) {
+  return GraphEvaluator(G, Args).run(Refs);
+}

@@ -1,0 +1,83 @@
+//===- Interpreter.h - Concrete IR evaluation --------------------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reference (concrete) semantics for the IR. This is the executable
+/// twin of the SMT postconditions in semantics/IrSemantics: the
+/// property tests assert that both agree on random inputs, and the
+/// evaluation harness uses it as the oracle for selected machine code.
+///
+/// The interpreter tracks precondition violations (shift amounts out of
+/// range) the way the paper's P predicates do: a violated precondition
+/// makes the affected results undefined.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_IR_INTERPRETER_H
+#define SELGEN_IR_INTERPRETER_H
+
+#include "ir/Graph.h"
+#include "ir/Memory.h"
+
+#include <memory>
+#include <vector>
+
+namespace selgen {
+
+/// A runtime value of any sort.
+struct EvalValue {
+  Sort ValueSort = Sort::boolean();
+  BitValue Bits;                    // Valid if ValueSort.isValue().
+  bool Flag = false;                // Valid if ValueSort.isBool().
+  std::shared_ptr<MemoryState> Mem; // Valid if ValueSort.isMemory().
+
+  static EvalValue fromBits(BitValue Value) {
+    EvalValue Result;
+    Result.ValueSort = Sort::value(Value.width());
+    Result.Bits = std::move(Value);
+    return Result;
+  }
+  static EvalValue fromBool(bool Value) {
+    EvalValue Result;
+    Result.ValueSort = Sort::boolean();
+    Result.Flag = Value;
+    return Result;
+  }
+  static EvalValue fromMemory(std::shared_ptr<MemoryState> State) {
+    EvalValue Result;
+    Result.ValueSort = Sort::memory();
+    Result.Mem = std::move(State);
+    return Result;
+  }
+};
+
+/// The outcome of evaluating a graph.
+struct EvalResult {
+  /// True if any operation's precondition was violated; the result
+  /// values are then meaningless (the behaviour is undefined).
+  bool Undefined = false;
+  std::vector<EvalValue> Results;
+};
+
+/// Evaluates \p G on \p Args (which must match the graph's argument
+/// sorts). Memory operands are deep-copied internally, so the caller's
+/// MemoryState objects are not modified.
+EvalResult evaluateGraph(const Graph &G, const std::vector<EvalValue> &Args);
+
+/// Like evaluateGraph, but computes the values of \p Refs instead of
+/// the graph's declared results. Used by the CFG interpreter to
+/// evaluate terminator operands.
+EvalResult evaluateGraphRefs(const Graph &G,
+                             const std::vector<EvalValue> &Args,
+                             const std::vector<NodeRef> &Refs);
+
+/// Evaluates the concrete semantics of a comparison.
+bool evaluateRelation(Relation Rel, const BitValue &Lhs, const BitValue &Rhs);
+
+} // namespace selgen
+
+#endif // SELGEN_IR_INTERPRETER_H

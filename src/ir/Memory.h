@@ -1,0 +1,97 @@
+//===- Memory.h - Concrete memory state --------------------------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concrete counterpart of the paper's M-values: a sparse
+/// byte-addressable memory plus per-address access flags. The access
+/// flags exist for the same reason as in the SMT model (Section 4.1):
+/// a load must change the memory token so that the chaining of memory
+/// operations is observable, and the test oracle can check that a
+/// pattern reads exactly the addresses the goal instruction reads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_IR_MEMORY_H
+#define SELGEN_IR_MEMORY_H
+
+#include "support/BitValue.h"
+
+#include <cstdint>
+#include <map>
+
+namespace selgen {
+
+/// Sparse byte-addressable memory with access flags.
+class MemoryState {
+public:
+  MemoryState() = default;
+
+  uint8_t loadByte(uint64_t Address) {
+    AccessFlags[Address] = true;
+    auto It = Bytes.find(Address);
+    return It == Bytes.end() ? 0 : It->second;
+  }
+
+  /// Reads without setting the access flag (for oracles and dumps).
+  uint8_t peekByte(uint64_t Address) const {
+    auto It = Bytes.find(Address);
+    return It == Bytes.end() ? 0 : It->second;
+  }
+
+  void storeByte(uint64_t Address, uint8_t Value) { Bytes[Address] = Value; }
+
+  /// Loads \p NumBytes bytes little-endian starting at \p Address.
+  BitValue loadValue(uint64_t Address, unsigned NumBytes) {
+    BitValue Result(NumBytes * 8, 0);
+    for (unsigned I = 0; I < NumBytes; ++I)
+      Result = Result.insert(I * 8, BitValue(8, loadByte(Address + I)));
+    return Result;
+  }
+
+  /// Stores \p Value little-endian starting at \p Address.
+  void storeValue(uint64_t Address, const BitValue &Value) {
+    assert(Value.width() % 8 == 0 && "store width must be whole bytes");
+    for (unsigned I = 0; I < Value.width() / 8; ++I)
+      storeByte(Address + I,
+                static_cast<uint8_t>(Value.extract(I * 8 + 7, I * 8)
+                                         .zextValue()));
+  }
+
+  bool wasAccessed(uint64_t Address) const {
+    auto It = AccessFlags.find(Address);
+    return It != AccessFlags.end() && It->second;
+  }
+
+  const std::map<uint64_t, uint8_t> &bytes() const { return Bytes; }
+  const std::map<uint64_t, bool> &accessFlags() const { return AccessFlags; }
+
+  /// Contents-and-flags equality; the oracle for "the pattern has the
+  /// same memory effect as the goal".
+  bool operator==(const MemoryState &RHS) const {
+    return normalizedBytes() == RHS.normalizedBytes() &&
+           AccessFlags == RHS.AccessFlags;
+  }
+  bool operator!=(const MemoryState &RHS) const { return !(*this == RHS); }
+
+private:
+  std::map<uint64_t, uint8_t> Bytes;
+  std::map<uint64_t, bool> AccessFlags;
+
+  /// Bytes with explicit zeroes dropped, so "never written" and
+  /// "written zero" compare equal (both read back as zero).
+  std::map<uint64_t, uint8_t> normalizedBytes() const {
+    std::map<uint64_t, uint8_t> Result;
+    for (const auto &[Address, Value] : Bytes)
+      if (Value != 0)
+        Result.emplace(Address, Value);
+    return Result;
+  }
+};
+
+} // namespace selgen
+
+#endif // SELGEN_IR_MEMORY_H

@@ -1,0 +1,124 @@
+//===- Node.h - IR graph nodes -----------------------------------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Nodes of the SSA data-dependence graph. An operation may have
+/// multiple results (Load yields a memory token and a value, Cond
+/// yields two jump outcomes), so operands reference a (node, result
+/// index) pair rather than a node alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_IR_NODE_H
+#define SELGEN_IR_NODE_H
+
+#include "ir/Opcode.h"
+#include "support/BitValue.h"
+
+#include <vector>
+
+namespace selgen {
+
+class Node;
+
+/// A use of one specific result of a node.
+struct NodeRef {
+  Node *Def = nullptr;
+  unsigned Index = 0;
+
+  NodeRef() = default;
+  NodeRef(Node *Def, unsigned Index = 0) : Def(Def), Index(Index) {}
+
+  bool isValid() const { return Def != nullptr; }
+  Sort sort() const;
+
+  bool operator==(const NodeRef &RHS) const {
+    return Def == RHS.Def && Index == RHS.Index;
+  }
+  bool operator!=(const NodeRef &RHS) const { return !(*this == RHS); }
+};
+
+/// A single IR operation instance inside a Graph.
+///
+/// Attribute storage is unified: Const carries its value, Cmp its
+/// relation, Arg its argument index. Nodes are owned by their Graph and
+/// identified by a graph-unique id.
+class Node {
+public:
+  Node(unsigned Id, Opcode Op, std::vector<NodeRef> Operands,
+       std::vector<Sort> ResultSorts)
+      : Id(Id), Op(Op), Operands(std::move(Operands)),
+        ResultSorts(std::move(ResultSorts)) {}
+
+  unsigned id() const { return Id; }
+  Opcode opcode() const { return Op; }
+
+  unsigned numOperands() const { return Operands.size(); }
+  NodeRef operand(unsigned I) const {
+    assert(I < Operands.size() && "operand index out of range");
+    return Operands[I];
+  }
+  void setOperand(unsigned I, NodeRef Ref) {
+    assert(I < Operands.size() && "operand index out of range");
+    Operands[I] = Ref;
+  }
+  const std::vector<NodeRef> &operands() const { return Operands; }
+
+  unsigned numResults() const { return ResultSorts.size(); }
+  Sort resultSort(unsigned I) const {
+    assert(I < ResultSorts.size() && "result index out of range");
+    return ResultSorts[I];
+  }
+  NodeRef result(unsigned I = 0) { return NodeRef(this, I); }
+
+  // Attribute accessors; asserted against the opcode.
+  const BitValue &constValue() const {
+    assert(Op == Opcode::Const && "not a Const node");
+    return ConstValue;
+  }
+  void setConstValue(BitValue Value) {
+    assert(Op == Opcode::Const && "not a Const node");
+    ConstValue = std::move(Value);
+  }
+
+  Relation relation() const {
+    assert(Op == Opcode::Cmp && "not a Cmp node");
+    return Rel;
+  }
+  void setRelation(Relation NewRel) {
+    assert(Op == Opcode::Cmp && "not a Cmp node");
+    Rel = NewRel;
+  }
+
+  unsigned argIndex() const {
+    assert(Op == Opcode::Arg && "not an Arg node");
+    return ArgIdx;
+  }
+  void setArgIndex(unsigned Index) {
+    assert(Op == Opcode::Arg && "not an Arg node");
+    ArgIdx = Index;
+  }
+
+private:
+  unsigned Id;
+  Opcode Op;
+  std::vector<NodeRef> Operands;
+  std::vector<Sort> ResultSorts;
+
+  BitValue ConstValue;
+  Relation Rel = Relation::Eq;
+  unsigned ArgIdx = 0;
+};
+
+inline Sort NodeRef::sort() const {
+  assert(Def && "sort of invalid NodeRef");
+  return Def->resultSort(Index);
+}
+
+} // namespace selgen
+
+#endif // SELGEN_IR_NODE_H

@@ -1,0 +1,348 @@
+//===- Normalizer.cpp - IR canonicalization ---------------------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Normalizer.h"
+
+#include "ir/Interpreter.h"
+#include "support/Error.h"
+
+#include <map>
+
+using namespace selgen;
+
+namespace {
+
+/// Rewrites a graph bottom-up, applying local rules and value
+/// numbering (CSE). A single pass suffices because operands are always
+/// rewritten before their users and every rule produces already-normal
+/// nodes.
+class NormalizerImpl {
+public:
+  NormalizerImpl(const Graph &Old)
+      : Old(Old), New(Old.width(), Old.argSorts()) {}
+
+  Graph run() {
+    for (unsigned I = 0; I < Old.numArgs(); ++I)
+      Mapping[{Old.arg(I).Def, 0}] = New.arg(I);
+    for (Node *N : Old.liveNodes())
+      if (N->opcode() != Opcode::Arg)
+        rewriteNode(N);
+    std::vector<NodeRef> Results;
+    for (const NodeRef &Ref : Old.results())
+      Results.push_back(Mapping.at({Ref.Def, Ref.Index}));
+    New.setResults(std::move(Results));
+    New.removeDeadNodes();
+    return std::move(New);
+  }
+
+private:
+  const Graph &Old;
+  Graph New;
+  std::map<std::pair<const Node *, unsigned>, NodeRef> Mapping;
+  std::map<std::string, Node *> ValueNumbers;
+  std::map<std::pair<const Node *, unsigned>, std::string> KeyCache;
+
+  unsigned width() const { return Old.width(); }
+
+  static const Node *asConst(NodeRef Ref) {
+    return Ref.Def->opcode() == Opcode::Const ? Ref.Def : nullptr;
+  }
+
+  NodeRef makeConst(const BitValue &Value) {
+    return numbered(Opcode::Const, {}, Value.toHexString(), [&] {
+      return New.createConst(Value).Def;
+    });
+  }
+
+  /// Deterministic structural key of an already-rewritten value, used
+  /// to order commutative operands. Memoized, so shared subgraphs cost
+  /// linear time.
+  std::string operandKey(NodeRef Ref) {
+    auto CacheKey = std::make_pair(const_cast<const Node *>(Ref.Def),
+                                   Ref.Index);
+    auto It = KeyCache.find(CacheKey);
+    if (It != KeyCache.end())
+      return It->second;
+    const Node *N = Ref.Def;
+    std::string Key;
+    switch (N->opcode()) {
+    case Opcode::Arg:
+      Key = "a" + std::to_string(N->argIndex());
+      break;
+    case Opcode::Const:
+      Key = "c" + N->constValue().toHexString();
+      break;
+    default:
+      Key = opcodeName(N->opcode());
+      if (N->opcode() == Opcode::Cmp)
+        Key += relationName(N->relation());
+      Key += "(";
+      for (const NodeRef &Operand : N->operands())
+        Key += operandKey(Operand) + ",";
+      Key += ")";
+    }
+    if (N->numResults() > 1)
+      Key += "." + std::to_string(Ref.Index);
+    KeyCache[CacheKey] = Key;
+    return Key;
+  }
+
+  /// Value numbering: returns the existing node for \p Key or creates
+  /// one via \p Create.
+  template <typename CreateFn>
+  NodeRef numbered(Opcode Op, const std::vector<NodeRef> &Operands,
+                   const std::string &Attribute, CreateFn Create) {
+    std::string Key = std::string(opcodeName(Op)) + "[" + Attribute + "]";
+    for (const NodeRef &Operand : Operands)
+      Key += std::to_string(Operand.Def->id()) + "." +
+             std::to_string(Operand.Index) + ",";
+    auto It = ValueNumbers.find(Key);
+    if (It != ValueNumbers.end())
+      return NodeRef(It->second, 0);
+    Node *N = Create();
+    ValueNumbers[Key] = N;
+    return NodeRef(N, 0);
+  }
+
+  NodeRef makeUnary(Opcode Op, NodeRef Operand) {
+    return numbered(Op, {Operand}, "",
+                    [&] { return New.createUnary(Op, Operand).Def; });
+  }
+
+  NodeRef makeBinaryRaw(Opcode Op, NodeRef Lhs, NodeRef Rhs) {
+    return numbered(Op, {Lhs, Rhs}, "",
+                    [&] { return New.createBinary(Op, Lhs, Rhs).Def; });
+  }
+
+  void rewriteNode(Node *N) {
+    std::vector<NodeRef> Operands;
+    Operands.reserve(N->numOperands());
+    for (const NodeRef &Operand : N->operands())
+      Operands.push_back(Mapping.at({Operand.Def, Operand.Index}));
+
+    switch (N->opcode()) {
+    case Opcode::Arg:
+      SELGEN_UNREACHABLE("Arg nodes are premapped");
+    case Opcode::Const:
+      Mapping[{N, 0}] = makeConst(N->constValue());
+      return;
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::Shr:
+    case Opcode::Shrs:
+      Mapping[{N, 0}] = simplifyBinary(N->opcode(), Operands[0], Operands[1]);
+      return;
+    case Opcode::Not:
+    case Opcode::Minus:
+      Mapping[{N, 0}] = simplifyUnary(N->opcode(), Operands[0]);
+      return;
+    case Opcode::Cmp: {
+      Relation Rel = N->relation();
+      // Canonicalize: constant on the right.
+      if (asConst(Operands[0]) && !asConst(Operands[1])) {
+        std::swap(Operands[0], Operands[1]);
+        Rel = swapRelation(Rel);
+      }
+      Mapping[{N, 0}] = numbered(Opcode::Cmp, Operands, relationName(Rel),
+                                 [&] {
+                                   return New.createCmp(Rel, Operands[0],
+                                                        Operands[1])
+                                       .Def;
+                                 });
+      return;
+    }
+    case Opcode::Mux:
+      if (operandKey(Operands[1]) == operandKey(Operands[2])) {
+        Mapping[{N, 0}] = Operands[1];
+        return;
+      }
+      Mapping[{N, 0}] = numbered(Opcode::Mux, Operands, "", [&] {
+        return New.createMux(Operands[0], Operands[1], Operands[2]).Def;
+      });
+      return;
+    case Opcode::Load: {
+      NodeRef Placeholder = numbered(Opcode::Load, Operands, "", [&] {
+        return New.createLoad(Operands[0], Operands[1]);
+      });
+      Mapping[{N, 0}] = NodeRef(Placeholder.Def, 0);
+      Mapping[{N, 1}] = NodeRef(Placeholder.Def, 1);
+      return;
+    }
+    case Opcode::Store: {
+      NodeRef Placeholder = numbered(Opcode::Store, Operands, "", [&] {
+        return New.createStore(Operands[0], Operands[1], Operands[2]).Def;
+      });
+      Mapping[{N, 0}] = Placeholder;
+      return;
+    }
+    case Opcode::Cond: {
+      NodeRef Placeholder = numbered(Opcode::Cond, Operands, "", [&] {
+        return New.createCond(Operands[0]);
+      });
+      Mapping[{N, 0}] = NodeRef(Placeholder.Def, 0);
+      Mapping[{N, 1}] = NodeRef(Placeholder.Def, 1);
+      return;
+    }
+    }
+    SELGEN_UNREACHABLE("bad opcode");
+  }
+
+  NodeRef simplifyUnary(Opcode Op, NodeRef Operand) {
+    if (const Node *C = asConst(Operand)) {
+      const BitValue &Value = C->constValue();
+      return makeConst(Op == Opcode::Not ? Value.bitNot() : Value.neg());
+    }
+    // Not(Not(x)) -> x; Minus(Minus(x)) -> x. The operand is already a
+    // node of the new graph, so its operand can be reused directly.
+    if (Operand.Def->opcode() == Op)
+      return Operand.Def->operand(0);
+    return makeUnary(Op, Operand);
+  }
+
+  NodeRef simplifyBinary(Opcode Op, NodeRef Lhs, NodeRef Rhs) {
+    const Node *LhsConst = asConst(Lhs);
+    const Node *RhsConst = asConst(Rhs);
+
+    // Fold fully constant operations (shifts only when defined).
+    if (LhsConst && RhsConst) {
+      BitValue A = LhsConst->constValue();
+      BitValue B = RhsConst->constValue();
+      bool ShiftOp =
+          Op == Opcode::Shl || Op == Opcode::Shr || Op == Opcode::Shrs;
+      if (!ShiftOp || B.ult(BitValue(width(), width())))
+        return makeConst(foldBinary(Op, A, B));
+    }
+
+    // Constants to the right for commutative operations.
+    if (opcodeIsCommutative(Op) && LhsConst && !RhsConst) {
+      std::swap(Lhs, Rhs);
+      std::swap(LhsConst, RhsConst);
+    }
+
+    BitValue Zero = BitValue::zero(width());
+    BitValue One(width(), 1);
+
+    switch (Op) {
+    case Opcode::Add:
+      if (RhsConst && RhsConst->constValue().isZero())
+        return Lhs;
+      // Reassociate constants: (x + c1) + c2 -> x + (c1 + c2).
+      if (RhsConst && Lhs.Def->opcode() == Opcode::Add)
+        if (const Node *Inner = asConst(Lhs.Def->operand(1))) {
+          NodeRef X = Lhs.Def->operand(0);
+          return simplifyBinary(
+              Opcode::Add, X,
+              makeConst(Inner->constValue().add(RhsConst->constValue())));
+        }
+      break;
+    case Opcode::Sub:
+      if (operandKey(Lhs) == operandKey(Rhs))
+        return makeConst(Zero);
+      // x - c -> x + (-c): the canonical form production compilers use.
+      if (RhsConst)
+        return simplifyBinary(Opcode::Add, Lhs,
+                              makeConst(RhsConst->constValue().neg()));
+      if (LhsConst && LhsConst->constValue().isZero())
+        return simplifyUnary(Opcode::Minus, Rhs);
+      break;
+    case Opcode::Mul:
+      if (RhsConst) {
+        const BitValue &C = RhsConst->constValue();
+        if (C.isZero())
+          return makeConst(Zero);
+        if (C == One)
+          return Lhs;
+        // Strength reduction: x * 2^k -> x << k.
+        if (C.popcount() == 1)
+          return simplifyBinary(
+              Opcode::Shl, Lhs,
+              makeConst(BitValue(width(), C.countTrailingZeros())));
+      }
+      break;
+    case Opcode::And:
+      if (operandKey(Lhs) == operandKey(Rhs))
+        return Lhs;
+      if (RhsConst && RhsConst->constValue().isZero())
+        return makeConst(Zero);
+      if (RhsConst && RhsConst->constValue().isAllOnes())
+        return Lhs;
+      break;
+    case Opcode::Or:
+      if (operandKey(Lhs) == operandKey(Rhs))
+        return Lhs;
+      if (RhsConst && RhsConst->constValue().isZero())
+        return Lhs;
+      if (RhsConst && RhsConst->constValue().isAllOnes())
+        return makeConst(BitValue::allOnes(width()));
+      break;
+    case Opcode::Xor:
+      if (operandKey(Lhs) == operandKey(Rhs))
+        return makeConst(Zero);
+      if (RhsConst && RhsConst->constValue().isZero())
+        return Lhs;
+      if (RhsConst && RhsConst->constValue().isAllOnes())
+        return simplifyUnary(Opcode::Not, Lhs);
+      break;
+    case Opcode::Shl:
+    case Opcode::Shr:
+    case Opcode::Shrs:
+      if (RhsConst && RhsConst->constValue().isZero())
+        return Lhs;
+      break;
+    default:
+      break;
+    }
+
+    // Order commutative operands deterministically when neither side
+    // is constant.
+    if (opcodeIsCommutative(Op) && !LhsConst && !RhsConst &&
+        operandKey(Rhs) < operandKey(Lhs))
+      std::swap(Lhs, Rhs);
+
+    return makeBinaryRaw(Op, Lhs, Rhs);
+  }
+
+  BitValue foldBinary(Opcode Op, const BitValue &A, const BitValue &B) {
+    switch (Op) {
+    case Opcode::Add:
+      return A.add(B);
+    case Opcode::Sub:
+      return A.sub(B);
+    case Opcode::Mul:
+      return A.mul(B);
+    case Opcode::And:
+      return A.bitAnd(B);
+    case Opcode::Or:
+      return A.bitOr(B);
+    case Opcode::Xor:
+      return A.bitXor(B);
+    case Opcode::Shl:
+      return A.shl(unsigned(B.zextValue()));
+    case Opcode::Shr:
+      return A.lshr(unsigned(B.zextValue()));
+    case Opcode::Shrs:
+      return A.ashr(unsigned(B.zextValue()));
+    default:
+      SELGEN_UNREACHABLE("not a foldable binary opcode");
+    }
+  }
+};
+
+} // namespace
+
+Graph selgen::normalizeGraph(const Graph &G) {
+  return NormalizerImpl(G).run();
+}
+
+bool selgen::isNormalized(const Graph &G) {
+  return normalizeGraph(G).fingerprint() == G.fingerprint();
+}

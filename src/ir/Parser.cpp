@@ -1,0 +1,236 @@
+//===- Parser.cpp - Textual IR input ----------------------------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "support/StringUtils.h"
+
+#include <map>
+
+using namespace selgen;
+
+namespace {
+
+/// Hand-written recursive-descent parser for the printer's format.
+class GraphParser {
+public:
+  GraphParser(const std::string &Text) : Lines(splitString(Text, '\n')) {}
+
+  std::optional<Graph> parse(std::string *ErrorMessage) {
+    std::optional<Graph> Result = parseImpl();
+    if (!Result && ErrorMessage)
+      *ErrorMessage = Error;
+    return Result;
+  }
+
+private:
+  std::vector<std::string> Lines;
+  size_t LineIndex = 0;
+  std::string Error;
+  std::map<std::string, NodeRef> Defs;
+
+  bool fail(const std::string &Message) {
+    Error = "line " + std::to_string(LineIndex + 1) + ": " + Message;
+    return false;
+  }
+
+  std::string nextLine() {
+    while (LineIndex < Lines.size()) {
+      std::string Line = trimString(Lines[LineIndex]);
+      if (!Line.empty() && !startsWith(Line, "#"))
+        return Line;
+      ++LineIndex;
+    }
+    return "";
+  }
+
+  static std::optional<Sort> parseSort(const std::string &Text) {
+    if (Text == "mem")
+      return Sort::memory();
+    if (Text == "bool")
+      return Sort::boolean();
+    if (startsWith(Text, "bv"))
+      return Sort::value(std::stoul(Text.substr(2)));
+    return std::nullopt;
+  }
+
+  /// Parses "Name(arg, arg, ...)" into (Name, args). Returns false on
+  /// malformed syntax.
+  static bool splitCall(const std::string &Text, std::string &Name,
+                        std::vector<std::string> &Arguments) {
+    size_t Open = Text.find('(');
+    size_t Close = Text.rfind(')');
+    if (Open == std::string::npos || Close == std::string::npos ||
+        Close < Open)
+      return false;
+    Name = trimString(Text.substr(0, Open));
+    std::string Inner =
+        trimString(Text.substr(Open + 1, Close - Open - 1));
+    Arguments.clear();
+    if (Inner.empty())
+      return true;
+    for (const std::string &Part : splitString(Inner, ','))
+      Arguments.push_back(trimString(Part));
+    return true;
+  }
+
+  std::optional<NodeRef> lookupRef(const std::string &Name) {
+    // A reference is "a0", "n3", or "n3.1".
+    std::string Base = Name;
+    unsigned Index = 0;
+    size_t Dot = Name.find('.');
+    if (Dot != std::string::npos) {
+      Base = Name.substr(0, Dot);
+      Index = std::stoul(Name.substr(Dot + 1));
+    }
+    auto It = Defs.find(Base);
+    if (It == Defs.end())
+      return std::nullopt;
+    if (Index >= It->second.Def->numResults())
+      return std::nullopt;
+    return NodeRef(It->second.Def, Index);
+  }
+
+  std::optional<Graph> parseImpl() {
+    std::string Header = nextLine();
+    ++LineIndex;
+    if (!startsWith(Header, "graph w")) {
+      fail("expected 'graph w<width> args(...) {'");
+      return std::nullopt;
+    }
+    size_t ArgsPos = Header.find(" args(");
+    if (ArgsPos == std::string::npos || Header.back() != '{') {
+      fail("malformed graph header");
+      return std::nullopt;
+    }
+    unsigned Width = std::stoul(Header.substr(7, ArgsPos - 7));
+    std::string Name;
+    std::vector<std::string> SortNames;
+    std::string ArgsPart =
+        trimString(Header.substr(ArgsPos + 1, Header.size() - ArgsPos - 2));
+    if (!splitCall(ArgsPart, Name, SortNames) || Name != "args") {
+      fail("malformed argument list");
+      return std::nullopt;
+    }
+    std::vector<Sort> ArgSorts;
+    for (const std::string &SortName : SortNames) {
+      std::optional<Sort> S = parseSort(SortName);
+      if (!S) {
+        fail("unknown sort: " + SortName);
+        return std::nullopt;
+      }
+      ArgSorts.push_back(*S);
+    }
+
+    Graph G(Width, ArgSorts);
+    for (unsigned I = 0; I < G.numArgs(); ++I)
+      Defs["a" + std::to_string(I)] = G.arg(I);
+
+    while (true) {
+      std::string Line = nextLine();
+      ++LineIndex;
+      if (Line.empty()) {
+        fail("unexpected end of input");
+        return std::nullopt;
+      }
+      if (Line == "}")
+        return G;
+      if (startsWith(Line, "results(")) {
+        std::vector<std::string> RefNames;
+        if (!splitCall(Line, Name, RefNames)) {
+          fail("malformed results list");
+          return std::nullopt;
+        }
+        std::vector<NodeRef> Results;
+        for (const std::string &RefName : RefNames) {
+          std::optional<NodeRef> Ref = lookupRef(RefName);
+          if (!Ref) {
+            fail("unknown value: " + RefName);
+            return std::nullopt;
+          }
+          Results.push_back(*Ref);
+        }
+        G.setResults(std::move(Results));
+        continue;
+      }
+      if (!parseDefinition(G, Line))
+        return std::nullopt;
+    }
+  }
+
+  bool parseDefinition(Graph &G, const std::string &Line) {
+    size_t Equals = Line.find(" = ");
+    if (Equals == std::string::npos)
+      return fail("expected 'name = Opcode(...)'");
+    std::string DefName = trimString(Line.substr(0, Equals));
+    std::string Rhs = trimString(Line.substr(Equals + 3));
+
+    // Split off an optional attribute "Opcode[attr](...)".
+    std::string Attribute;
+    size_t Bracket = Rhs.find('[');
+    if (Bracket != std::string::npos && Bracket < Rhs.find('(')) {
+      size_t CloseBracket = Rhs.find(']', Bracket);
+      if (CloseBracket == std::string::npos)
+        return fail("unterminated attribute");
+      Attribute = Rhs.substr(Bracket + 1, CloseBracket - Bracket - 1);
+      Rhs = Rhs.substr(0, Bracket) + Rhs.substr(CloseBracket + 1);
+    }
+
+    std::string OpName;
+    std::vector<std::string> OperandNames;
+    if (!splitCall(Rhs, OpName, OperandNames))
+      return fail("malformed operation");
+
+    std::vector<NodeRef> Operands;
+    for (const std::string &OperandName : OperandNames) {
+      std::optional<NodeRef> Ref = lookupRef(OperandName);
+      if (!Ref)
+        return fail("unknown value: " + OperandName);
+      Operands.push_back(*Ref);
+    }
+
+    if (OpName == "Const") {
+      // Attribute "0x2a:8" = value:width.
+      std::vector<std::string> Parts = splitString(Attribute, ':');
+      if (Parts.size() != 2 || !startsWith(Parts[0], "0x"))
+        return fail("malformed Const attribute: " + Attribute);
+      unsigned ConstWidth = std::stoul(Parts[1]);
+      BitValue Value =
+          BitValue::fromString(ConstWidth, Parts[0].substr(2), 16);
+      Defs[DefName] = G.createConst(Value);
+      return true;
+    }
+
+    std::optional<Opcode> Op = tryOpcodeFromName(OpName);
+    if (!Op || *Op == Opcode::Arg)
+      return fail("unknown operation: " + OpName);
+    std::vector<Sort> Expected = opcodeArgSorts(*Op, G.width());
+    if (Operands.size() != Expected.size())
+      return fail("operand count mismatch for " + OpName);
+    for (unsigned I = 0; I < Operands.size(); ++I)
+      if (Operands[I].sort() != Expected[I])
+        return fail("operand sort mismatch for " + OpName);
+    Node *N = G.createNode(*Op, Operands);
+    if (*Op == Opcode::Cmp) {
+      bool Known = false;
+      for (Relation Rel : allRelations())
+        Known |= Attribute == relationName(Rel);
+      if (!Known)
+        return fail("unknown relation: " + Attribute);
+      N->setRelation(relationFromName(Attribute));
+    }
+    Defs[DefName] = N->result(0);
+    return true;
+  }
+};
+
+} // namespace
+
+std::optional<Graph> selgen::parseGraph(const std::string &Text,
+                                        std::string *ErrorMessage) {
+  return GraphParser(Text).parse(ErrorMessage);
+}

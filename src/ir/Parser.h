@@ -1,0 +1,33 @@
+//===- Parser.h - Textual IR input --------------------------------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual graph format produced by ir/Printer. Used by the
+/// pattern database loader; errors abort via reportFatalError (pattern
+/// files are machine-generated, so malformed input is a bug, not a
+/// user error).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_IR_PARSER_H
+#define SELGEN_IR_PARSER_H
+
+#include "ir/Graph.h"
+
+#include <optional>
+#include <string>
+
+namespace selgen {
+
+/// Parses one graph from \p Text. \p ErrorMessage (if non-null)
+/// receives a description on failure.
+std::optional<Graph> parseGraph(const std::string &Text,
+                                std::string *ErrorMessage = nullptr);
+
+} // namespace selgen
+
+#endif // SELGEN_IR_PARSER_H

@@ -1,0 +1,121 @@
+//===- Printer.cpp - Textual IR output --------------------------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include <map>
+
+using namespace selgen;
+
+namespace {
+
+std::string refName(const std::map<const Node *, std::string> &Names,
+                    const NodeRef &Ref) {
+  std::string Name = Names.at(Ref.Def);
+  if (Ref.Def->numResults() > 1)
+    Name += "." + std::to_string(Ref.Index);
+  return Name;
+}
+
+std::string attributeSuffix(const Node *N) {
+  switch (N->opcode()) {
+  case Opcode::Const:
+    return "[" + N->constValue().toHexString() + ":" +
+           std::to_string(N->constValue().width()) + "]";
+  case Opcode::Cmp:
+    return std::string("[") + relationName(N->relation()) + "]";
+  default:
+    return "";
+  }
+}
+
+} // namespace
+
+std::string selgen::printGraph(const Graph &G) {
+  std::map<const Node *, std::string> Names;
+  std::string Body;
+  unsigned NextNumber = 0;
+  for (Node *N : G.liveNodes()) {
+    if (N->opcode() == Opcode::Arg) {
+      Names[N] = "a" + std::to_string(N->argIndex());
+      continue;
+    }
+    std::string Name = "n" + std::to_string(NextNumber++);
+    Names[N] = Name;
+    Body += "  " + Name + " = " + opcodeName(N->opcode()) +
+            attributeSuffix(N) + "(";
+    for (unsigned I = 0; I < N->numOperands(); ++I) {
+      if (I != 0)
+        Body += ", ";
+      Body += refName(Names, N->operand(I));
+    }
+    Body += ")\n";
+  }
+
+  std::string Header = "graph w" + std::to_string(G.width()) + " args(";
+  for (unsigned I = 0; I < G.numArgs(); ++I) {
+    if (I != 0)
+      Header += ", ";
+    Header += G.argSort(I).str();
+  }
+  Header += ") {\n";
+
+  std::string Footer = "  results(";
+  const auto &Results = G.results();
+  for (unsigned I = 0; I < Results.size(); ++I) {
+    if (I != 0)
+      Footer += ", ";
+    Footer += refName(Names, Results[I]);
+  }
+  Footer += ")\n}\n";
+  return Header + Body + Footer;
+}
+
+namespace {
+
+std::string expressionFor(const NodeRef &Ref,
+                          std::map<const Node *, std::string> &Cache) {
+  const Node *N = Ref.Def;
+  if (N->opcode() == Opcode::Arg)
+    return "a" + std::to_string(N->argIndex());
+  if (N->opcode() == Opcode::Const)
+    return "Const(" + N->constValue().toSignedString() + ")";
+  auto It = Cache.find(N);
+  std::string Text;
+  if (It != Cache.end()) {
+    Text = It->second;
+  } else {
+    Text = opcodeName(N->opcode());
+    if (N->opcode() == Opcode::Cmp)
+      Text += std::string("<") + relationName(N->relation()) + ">";
+    Text += "(";
+    for (unsigned I = 0; I < N->numOperands(); ++I) {
+      if (I != 0)
+        Text += ", ";
+      Text += expressionFor(N->operand(I), Cache);
+    }
+    Text += ")";
+    Cache[N] = Text;
+  }
+  if (N->numResults() > 1)
+    Text += "." + std::to_string(Ref.Index);
+  return Text;
+}
+
+} // namespace
+
+std::string selgen::printGraphExpression(const Graph &G) {
+  std::map<const Node *, std::string> Cache;
+  std::string Result;
+  const auto &Results = G.results();
+  for (unsigned I = 0; I < Results.size(); ++I) {
+    if (I != 0)
+      Result += "; ";
+    Result += expressionFor(Results[I], Cache);
+  }
+  return Result;
+}

@@ -1,0 +1,43 @@
+//===- Printer.h - Textual IR output -----------------------------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders graphs in the textual format shared with ir/Parser. The
+/// pattern database stores patterns in this format, one graph per
+/// record:
+///
+/// \code
+///   graph w32 args(mem, bv32, bv32) {
+///     n0 = Load(a0, a1)
+///     n1 = Add(n0.1, a2)
+///     results(n0.0, n1)
+///   }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_IR_PRINTER_H
+#define SELGEN_IR_PRINTER_H
+
+#include "ir/Graph.h"
+
+#include <string>
+
+namespace selgen {
+
+/// Renders \p G in the canonical text format (only nodes reachable
+/// from the results are printed).
+std::string printGraph(const Graph &G);
+
+/// Renders \p G as a compact single-line expression per result, e.g.
+/// "And(a0, Add(a0, Const(0xff)))" — the human-friendly form used in
+/// reports and examples.
+std::string printGraphExpression(const Graph &G);
+
+} // namespace selgen
+
+#endif // SELGEN_IR_PRINTER_H

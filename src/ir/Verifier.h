@@ -1,0 +1,37 @@
+//===- Verifier.h - IR well-formedness checks --------------------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural well-formedness checks for graphs, mirroring the paper's
+/// well-formed-program constraint (Section 5.1) on the concrete side:
+/// sort-correct wiring, acyclicity (guaranteed by construction but
+/// re-checked), and linearity of the memory chain ("all memory
+/// operations are totally ordered in a chain of M-values",
+/// Section 4.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_IR_VERIFIER_H
+#define SELGEN_IR_VERIFIER_H
+
+#include "ir/Graph.h"
+
+#include <string>
+#include <vector>
+
+namespace selgen {
+
+/// Checks \p G and returns a list of human-readable problems; empty
+/// means the graph is well formed.
+std::vector<std::string> verifyGraph(const Graph &G);
+
+/// Convenience wrapper: true if verifyGraph reports no problems.
+bool isWellFormed(const Graph &G);
+
+} // namespace selgen
+
+#endif // SELGEN_IR_VERIFIER_H

@@ -1,0 +1,507 @@
+//===- HandwrittenSelector.cpp - Hand-tuned baseline selector -----------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "isel/HandwrittenSelector.h"
+
+#include "isel/Lowering.h"
+#include "support/Error.h"
+#include "support/Timer.h"
+#include "x86/MachinePasses.h"
+
+#include <map>
+#include <set>
+
+using namespace selgen;
+
+namespace {
+
+using ValueKey = std::pair<const Node *, unsigned>;
+
+/// Hand-tuned lowering of one basic block.
+class HandwrittenBlockLowering {
+public:
+  HandwrittenBlockLowering(FunctionLowering &Lowering, const BasicBlock *BB)
+      : L(Lowering), BB(BB), MB(Lowering.machineBlock(BB)) {}
+
+  void run() {
+    computeLiveness();
+    detectFoldableShapes();
+    for (Node *N : Live) {
+      if (Done.count(N) || RmwMembers.count(N) || FoldableLoads.count(N))
+        continue;
+      lowerNode(N);
+    }
+    L.lowerTerminator(BB, [this](MachineBlock *, NodeRef Condition) {
+      return lowerCondition(Condition);
+    });
+  }
+
+private:
+  FunctionLowering &L;
+  const BasicBlock *BB;
+  MachineBlock *MB;
+
+  std::vector<Node *> Live;
+  std::map<ValueKey, unsigned> UseCounts;
+  std::set<const Node *> Done;
+  /// Loads deferred for folding into a consumer's memory operand.
+  std::set<const Node *> FoldableLoads;
+  /// Load and arithmetic nodes absorbed into a read-modify-write store.
+  std::set<const Node *> RmwMembers;
+  /// Store -> (load, operation) of a detected read-modify-write shape.
+  std::map<const Node *, std::pair<const Node *, const Node *>> RmwShapes;
+  /// The Sub or Cmp node whose flags the last emitted flag-setting
+  /// instruction left behind (flag-reuse trick).
+  const Node *FlagsFrom = nullptr;
+
+  unsigned width() const { return BB->body().width(); }
+
+  void computeLiveness() {
+    std::vector<NodeRef> Roots = BB->terminatorOperands();
+    for (const NodeRef &Ref : Roots)
+      ++UseCounts[{Ref.Def, Ref.Index}];
+    for (Node *N : BB->body().liveNodesFrom(Roots)) {
+      if (N->opcode() != Opcode::Arg)
+        Live.push_back(N);
+      for (const NodeRef &Operand : N->operands())
+        ++UseCounts[{Operand.Def, Operand.Index}];
+    }
+  }
+
+  static bool opcodeAllowsMemSource(Opcode Op) {
+    switch (Op) {
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Cmp:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  /// Precomputes which loads fold into consumers and which
+  /// load-op-store triples become destination-addressing-mode
+  /// instructions.
+  void detectFoldableShapes() {
+    static const std::map<Opcode, MOpcode> RmwOps = {
+        {Opcode::Add, MOpcode::Add},
+        {Opcode::Sub, MOpcode::Sub},
+        {Opcode::And, MOpcode::And},
+        {Opcode::Or, MOpcode::Or},
+        {Opcode::Xor, MOpcode::Xor}};
+
+    for (Node *StoreNode : Live) {
+      if (StoreNode->opcode() != Opcode::Store)
+        continue;
+      NodeRef StoredValue = StoreNode->operand(2);
+      const Node *Op = StoredValue.Def;
+      if (!RmwOps.count(Op->opcode()) || useCount(StoredValue) != 1)
+        continue;
+      const Node *LoadNode = Op->operand(0).Def;
+      if (LoadNode->opcode() != Opcode::Load || Op->operand(0).Index != 1)
+        continue;
+      if (!(LoadNode->operand(1) == StoreNode->operand(1)))
+        continue;
+      if (!(StoreNode->operand(0) ==
+            NodeRef(const_cast<Node *>(LoadNode), 0)))
+        continue;
+      if (useCount(NodeRef(const_cast<Node *>(LoadNode), 1)) != 1)
+        continue;
+      RmwShapes[StoreNode] = {LoadNode, Op};
+      RmwMembers.insert(LoadNode);
+      RmwMembers.insert(Op);
+    }
+
+    for (Node *LoadNode : Live) {
+      if (LoadNode->opcode() != Opcode::Load ||
+          RmwMembers.count(LoadNode))
+        continue;
+      NodeRef Value(LoadNode, 1);
+      if (useCount(Value) != 1 || anyStoreAfter(LoadNode))
+        continue;
+      // Find the unique user and require the load in a position that
+      // accepts a memory operand (src2 of two-operand arithmetic or a
+      // compare operand).
+      for (Node *User : Live) {
+        for (unsigned I = 0; I < User->numOperands(); ++I) {
+          if (!(User->operand(I) == Value))
+            continue;
+          if (opcodeAllowsMemSource(User->opcode()) && I == 1 &&
+              !RmwMembers.count(User))
+            FoldableLoads.insert(LoadNode);
+        }
+      }
+    }
+  }
+
+  unsigned useCount(NodeRef Ref) const {
+    auto It = UseCounts.find({Ref.Def, Ref.Index});
+    return It == UseCounts.end() ? 0 : It->second;
+  }
+
+  /// Appends an instruction, maintaining the flag-tracking state.
+  /// \p NewFlagsFrom names the IR node whose comparison semantics the
+  /// flags now hold (null if clobbered meaninglessly).
+  void append(MachineInstr Instr, const Node *NewFlagsFrom = nullptr) {
+    switch (Instr.Op) {
+    case MOpcode::Mov:
+    case MOpcode::Lea:
+    case MOpcode::Not:
+    case MOpcode::Cmov:
+    case MOpcode::Setcc:
+      break; // These preserve flags on x86.
+    default:
+      FlagsFrom = NewFlagsFrom;
+      break;
+    }
+    MB->append(std::move(Instr));
+  }
+
+  // -- Address folding ----------------------------------------------------
+
+  /// Decomposes an address value into base + index * scale + disp,
+  /// recomputing shared subexpressions freely (the overlap trick).
+  /// Terms that do not fit are materialized into the base register.
+  MemRef foldAddress(NodeRef Address) {
+    MemRef Ref;
+    int64_t Disp = 0;
+    std::vector<NodeRef> Terms;
+    std::set<const Node *> Absorbed;
+    collectTerms(Address, Terms, Disp, Absorbed, /*Depth=*/0);
+
+    for (const NodeRef &Term : Terms) {
+      // A scaled index: x << 1/2/3 or the Shl result itself.
+      const Node *Def = Term.Def;
+      if (!Ref.Index && Def->opcode() == Opcode::Shl &&
+          Def->operand(1).Def->opcode() == Opcode::Const) {
+        uint64_t Shift = Def->operand(1).Def->constValue().zextValue();
+        if (Shift >= 1 && Shift <= 3) {
+          Ref.Index = regOf(Def->operand(0));
+          Ref.Scale = 1u << Shift;
+          markAbsorbed(Def, Absorbed);
+          continue;
+        }
+      }
+      if (!Ref.Base) {
+        Ref.Base = regOf(Term);
+        continue;
+      }
+      if (!Ref.Index) {
+        Ref.Index = regOf(Term);
+        Ref.Scale = 1;
+        continue;
+      }
+      // Too many components: collapse the rest into the base.
+      MReg Combined = L.machineFunction().newReg();
+      append({MOpcode::Add, CondCode::E, MOperand::reg(Combined),
+              MOperand::reg(*Ref.Base), regOperandOf(Term)});
+      Ref.Base = Combined;
+    }
+    Ref.Disp = Disp;
+
+    // Single-use absorbed interior nodes need no standalone lowering.
+    for (const Node *N : Absorbed)
+      Done.insert(N);
+    return Ref;
+  }
+
+  /// Collects additive terms of an address tree, following single-use
+  /// *and* multi-use Adds (overlap is allowed; multi-use interior
+  /// nodes are simply not marked absorbed, so they are also lowered
+  /// standalone for their other users).
+  void collectTerms(NodeRef Value, std::vector<NodeRef> &Terms,
+                    int64_t &Disp, std::set<const Node *> &Absorbed,
+                    unsigned Depth) {
+    const Node *Def = Value.Def;
+    if (Def->opcode() == Opcode::Const) {
+      Disp += Def->constValue().sextValue();
+      return;
+    }
+    if (Def->opcode() == Opcode::Add && Depth < 4) {
+      if (useCount(Value) <= 1 || Depth == 0)
+        markAbsorbed(Def, Absorbed);
+      collectTerms(Def->operand(0), Terms, Disp, Absorbed, Depth + 1);
+      collectTerms(Def->operand(1), Terms, Disp, Absorbed, Depth + 1);
+      return;
+    }
+    Terms.push_back(Value);
+  }
+
+  void markAbsorbed(const Node *N, std::set<const Node *> &Absorbed) {
+    // Only absorb a node whose every use is inside this fold; a
+    // multi-use node is recomputed here and additionally lowered for
+    // its other users.
+    unsigned Uses = 0;
+    for (unsigned I = 0; I < N->numResults(); ++I)
+      Uses += useCount(NodeRef(const_cast<Node *>(N), I));
+    if (Uses <= 1)
+      Absorbed.insert(N);
+  }
+
+  // -- Operand helpers ------------------------------------------------------
+
+  MReg regOf(NodeRef Ref) {
+    MOperand Op = ensureValue(Ref);
+    if (!Op.isReg())
+      Op = L.regOperand(MB, Ref);
+    assert(Op.isReg() && "expected a register");
+    return Op.R;
+  }
+
+  MOperand regOperandOf(NodeRef Ref) {
+    MOperand Op = ensureValue(Ref);
+    return Op.isReg() ? Op : L.regOperand(MB, Ref);
+  }
+
+  /// Register-or-immediate source operand; additionally folds a
+  /// single-use Load into a memory operand when no later store can
+  /// alias (the source addressing-mode trick).
+  MOperand srcOperand(NodeRef Ref) {
+    const Node *Def = Ref.Def;
+    if (Def->opcode() == Opcode::Const)
+      return MOperand::imm(Def->constValue());
+    if (Def->opcode() == Opcode::Load && Ref.Index == 1 &&
+        FoldableLoads.count(Def) && !L.hasValue(Ref)) {
+      Done.insert(Def);
+      L.setValue(NodeRef(const_cast<Node *>(Def), 0), MOperand::none());
+      return MOperand::mem(foldAddress(Def->operand(1)));
+    }
+    return ensureValue(Ref);
+  }
+
+  /// Late materialization: a value that was deferred (a foldable load
+  /// whose consumer turned out not to use srcOperand) is emitted on
+  /// first demand.
+  MOperand ensureValue(NodeRef Ref) {
+    if (L.hasValue(Ref))
+      return L.value(Ref);
+    Node *Def = Ref.Def;
+    if (Def->opcode() == Opcode::Load) {
+      MReg Dst = L.machineFunction().newReg();
+      append({MOpcode::Mov, CondCode::E, MOperand::reg(Dst),
+              MOperand::mem(foldAddress(Def->operand(1))), {}});
+      L.setValue(NodeRef(Def, 0), MOperand::none());
+      L.setValue(NodeRef(Def, 1), MOperand::reg(Dst));
+      return L.value(Ref);
+    }
+    return L.regOperand(MB, Ref);
+  }
+
+  /// True if a Store follows \p LoadNode on the memory chain (folding
+  /// the load forward past it would reorder an aliasing access).
+  bool anyStoreAfter(const Node *LoadNode) {
+    NodeRef Memory(const_cast<Node *>(LoadNode), 0);
+    while (true) {
+      const Node *User = nullptr;
+      for (Node *N : Live)
+        for (const NodeRef &Operand : N->operands())
+          if (Operand == Memory)
+            User = N;
+      if (!User)
+        return false;
+      if (User->opcode() == Opcode::Store)
+        return true;
+      // Loads: continue down the chain.
+      Memory = NodeRef(const_cast<Node *>(User), 0);
+    }
+  }
+
+  // -- Per-node lowering ----------------------------------------------------
+
+  void define(Node *N, unsigned Index, MOperand Op) {
+    L.setValue(NodeRef(N, Index), std::move(Op));
+  }
+
+  void lowerNode(Node *N) {
+    switch (N->opcode()) {
+    case Opcode::Arg:
+    case Opcode::Const: // Materialized or folded on demand.
+    case Opcode::Cmp:   // Lowered at consumers (flags).
+    case Opcode::Cond:
+      return;
+    case Opcode::Load: {
+      if (L.hasValue(NodeRef(N, 1)))
+        return; // Already folded into a consumer.
+      MReg Dst = L.machineFunction().newReg();
+      append({MOpcode::Mov, CondCode::E, MOperand::reg(Dst),
+              MOperand::mem(foldAddress(N->operand(1))), {}});
+      define(N, 0, MOperand::none());
+      define(N, 1, MOperand::reg(Dst));
+      return;
+    }
+    case Opcode::Store: {
+      // Destination addressing mode: store(load(addr) op x) -> op (addr), x.
+      if (lowerReadModifyWrite(N))
+        return;
+      MOperand Value = flexOperandOf(N->operand(2));
+      append({MOpcode::Mov, CondCode::E,
+              MOperand::mem(foldAddress(N->operand(1))), Value, {}});
+      define(N, 0, MOperand::none());
+      return;
+    }
+    case Opcode::Add: {
+      if (lowerAddAsLea(N))
+        return;
+      lowerBinary(N, MOpcode::Add);
+      return;
+    }
+    case Opcode::Sub: {
+      MOperand Lhs = regOperandOf(N->operand(0));
+      MOperand Rhs = srcOperand(N->operand(1));
+      MReg Dst = L.machineFunction().newReg();
+      append({MOpcode::Sub, CondCode::E, MOperand::reg(Dst), Lhs, Rhs},
+             /*NewFlagsFrom=*/N);
+      define(N, 0, MOperand::reg(Dst));
+      return;
+    }
+    case Opcode::Mul:
+      lowerBinary(N, MOpcode::Imul);
+      return;
+    case Opcode::And:
+      lowerBinary(N, MOpcode::And);
+      return;
+    case Opcode::Or:
+      lowerBinary(N, MOpcode::Or);
+      return;
+    case Opcode::Xor:
+      lowerBinary(N, MOpcode::Xor);
+      return;
+    case Opcode::Shl:
+      lowerBinary(N, MOpcode::Shl);
+      return;
+    case Opcode::Shr:
+      lowerBinary(N, MOpcode::Shr);
+      return;
+    case Opcode::Shrs:
+      lowerBinary(N, MOpcode::Sar);
+      return;
+    case Opcode::Not:
+    case Opcode::Minus: {
+      MOperand Src = regOperandOf(N->operand(0));
+      MReg Dst = L.machineFunction().newReg();
+      append({N->opcode() == Opcode::Not ? MOpcode::Not : MOpcode::Neg,
+              CondCode::E, MOperand::reg(Dst), Src, {}});
+      define(N, 0, MOperand::reg(Dst));
+      return;
+    }
+    case Opcode::Mux: {
+      MOperand TrueValue = regOperandOf(N->operand(1));
+      MOperand FalseValue = regOperandOf(N->operand(2));
+      CondCode CC = lowerCondition(N->operand(0));
+      MReg Dst = L.machineFunction().newReg();
+      append({MOpcode::Cmov, CC, MOperand::reg(Dst), TrueValue, FalseValue});
+      define(N, 0, MOperand::reg(Dst));
+      return;
+    }
+    }
+    SELGEN_UNREACHABLE("bad opcode");
+  }
+
+  void lowerBinary(Node *N, MOpcode Op) {
+    MOperand Lhs = regOperandOf(N->operand(0));
+    // Shift counts must be an immediate or a register on x86; other
+    // two-operand arithmetic also accepts a memory source.
+    bool IsShift =
+        Op == MOpcode::Shl || Op == MOpcode::Shr || Op == MOpcode::Sar;
+    MOperand Rhs = IsShift ? flexOperandOf(N->operand(1))
+                           : srcOperand(N->operand(1));
+    MReg Dst = L.machineFunction().newReg();
+    append({Op, CondCode::E, MOperand::reg(Dst), Lhs, Rhs});
+    define(N, 0, MOperand::reg(Dst));
+  }
+
+  MOperand flexOperandOf(NodeRef Ref) {
+    if (Ref.Def->opcode() == Opcode::Const)
+      return MOperand::imm(Ref.Def->constValue());
+    return regOperandOf(Ref);
+  }
+
+  /// Folds a 3+-component Add tree into one lea.
+  bool lowerAddAsLea(Node *N) {
+    // Count the components a fold would produce.
+    int64_t Disp = 0;
+    std::vector<NodeRef> Terms;
+    std::set<const Node *> Probe;
+    collectTerms(NodeRef(N, 0), Terms, Disp, Probe, /*Depth=*/0);
+    unsigned Components =
+        Terms.size() + (Disp != 0 ? 1 : 0) +
+        (!Terms.empty() && Terms[0].Def->opcode() == Opcode::Shl ? 1 : 0);
+    if (Components < 3 || Terms.size() > 2)
+      return false;
+    MReg Dst = L.machineFunction().newReg();
+    append({MOpcode::Lea, CondCode::E, MOperand::reg(Dst),
+            MOperand::mem(foldAddress(NodeRef(N, 0))), {}});
+    define(N, 0, MOperand::reg(Dst));
+    return true;
+  }
+
+  /// Destination addressing mode: Store(m1, p, op(Load(m0, p), x)),
+  /// precomputed by detectFoldableShapes.
+  bool lowerReadModifyWrite(Node *StoreNode) {
+    auto It = RmwShapes.find(StoreNode);
+    if (It == RmwShapes.end())
+      return false;
+    const auto &[LoadNode, Op] = It->second;
+    static const std::map<Opcode, MOpcode> RmwOps = {
+        {Opcode::Add, MOpcode::Add},
+        {Opcode::Sub, MOpcode::Sub},
+        {Opcode::And, MOpcode::And},
+        {Opcode::Or, MOpcode::Or},
+        {Opcode::Xor, MOpcode::Xor}};
+
+    MOperand Rhs = flexOperandOf(Op->operand(1));
+    MOperand Mem = MOperand::mem(foldAddress(StoreNode->operand(1)));
+    append({RmwOps.at(Op->opcode()), CondCode::E, Mem, Mem, Rhs});
+    define(const_cast<Node *>(LoadNode), 0, MOperand::none());
+    define(StoreNode, 0, MOperand::none());
+    return true;
+  }
+
+  /// Emits (or reuses) a flag-setting sequence for a boolean value and
+  /// returns the branch condition code.
+  CondCode lowerCondition(NodeRef Condition) {
+    const Node *Def = Condition.Def;
+    if (Def->opcode() != Opcode::Cmp)
+      reportFatalError("handwritten selector: branch condition is not a "
+                       "comparison");
+    // Flag-reuse trick: a live sub x, y already set the flags of
+    // cmp x, y.
+    if (FlagsFrom && FlagsFrom->opcode() == Opcode::Sub &&
+        FlagsFrom->operand(0) == Def->operand(0) &&
+        FlagsFrom->operand(1) == Def->operand(1))
+      return condCodeForRelation(Def->relation());
+
+    MOperand Lhs = regOperandOf(Def->operand(0));
+    MOperand Rhs = srcOperand(Def->operand(1));
+    append({MOpcode::Cmp, CondCode::E, {}, Lhs, Rhs}, Def);
+    return condCodeForRelation(Def->relation());
+  }
+};
+
+} // namespace
+
+SelectionResult HandwrittenSelector::select(const Function &F) {
+  Timer Clock;
+  SelectionResult Result;
+  FunctionLowering Lowering(F, name());
+
+  for (const auto &BB : F.blocks()) {
+    HandwrittenBlockLowering Block(Lowering, BB.get());
+    Block.run();
+  }
+
+  Result.TotalOperations = F.numOperations();
+  Result.FallbackOperations = Result.TotalOperations;
+  Result.MF = Lowering.takeMachineFunction();
+  removeDeadInstructions(*Result.MF);
+  Result.SelectionSeconds = Clock.elapsedSeconds();
+  return Result;
+}

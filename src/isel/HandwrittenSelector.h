@@ -1,0 +1,39 @@
+//===- HandwrittenSelector.h - Hand-tuned baseline selector ------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hand-tuned greedy instruction selector standing in for
+/// libFirm's x86 backend (paper Section 7.1's "Handwritten" column).
+/// Besides solid per-operation lowering it implements the two tricks
+/// the paper credits the handwritten selector with (Section 7.3):
+///
+/// * overlapping address-mode folding: effective addresses are folded
+///   into memory operands and lea instructions even when parts of the
+///   address computation have other users (they are recomputed, which
+///   trades one instruction for less register pressure);
+/// * flag reuse: a branch on cmp(x, y) reuses the flags of an earlier
+///   sub(x, y) in the same block when they are still live.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_ISEL_HANDWRITTENSELECTOR_H
+#define SELGEN_ISEL_HANDWRITTENSELECTOR_H
+
+#include "isel/Selector.h"
+
+namespace selgen {
+
+/// The hand-tuned baseline selector.
+class HandwrittenSelector : public InstructionSelector {
+public:
+  std::string name() const override { return "handwritten"; }
+  SelectionResult select(const Function &F) override;
+};
+
+} // namespace selgen
+
+#endif // SELGEN_ISEL_HANDWRITTENSELECTOR_H

@@ -1,0 +1,113 @@
+//===- Lowering.cpp - Shared function-lowering scaffolding --------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "isel/Lowering.h"
+
+#include "support/Error.h"
+
+using namespace selgen;
+
+FunctionLowering::FunctionLowering(const Function &F,
+                                   const std::string &SelectorName)
+    : F(F), MF(std::make_unique<MachineFunction>(
+                 F.name() + "." + SelectorName, F.width())) {
+  // CFG skeleton plus block argument registers (memory tokens get no
+  // register; they exist only as instruction ordering).
+  for (const auto &BB : F.blocks()) {
+    MachineBlock *MB = MF->createBlock(BB->name());
+    Blocks[BB.get()] = MB;
+    const Graph &Body = BB->body();
+    for (unsigned I = 0; I < Body.numArgs(); ++I) {
+      NodeRef Arg = Body.arg(I);
+      if (Arg.sort().isMemory()) {
+        setValue(Arg, MOperand::none());
+        continue;
+      }
+      MReg R = MF->newReg();
+      MB->ArgRegs.push_back(R);
+      setValue(Arg, MOperand::reg(R));
+    }
+  }
+}
+
+MOperand FunctionLowering::regOperand(MachineBlock *MB, NodeRef Ref,
+                                      bool *MaterializedConst) {
+  if (hasValue(Ref))
+    return value(Ref);
+  if (Ref.Def->opcode() == Opcode::Const) {
+    MReg R = MF->newReg();
+    MB->append({MOpcode::Mov, CondCode::E, MOperand::reg(R),
+                MOperand::imm(Ref.Def->constValue()), {}});
+    setValue(Ref, MOperand::reg(R));
+    if (MaterializedConst)
+      *MaterializedConst = true;
+    return value(Ref);
+  }
+  reportFatalError("instruction selection: operand of node #" +
+                   std::to_string(Ref.Def->id()) + " has no value");
+}
+
+MOperand FunctionLowering::flexOperand(MachineBlock *MB, NodeRef Ref) {
+  if (hasValue(Ref))
+    return value(Ref);
+  if (Ref.Def->opcode() == Opcode::Const)
+    return MOperand::imm(Ref.Def->constValue());
+  return regOperand(MB, Ref);
+}
+
+std::vector<std::pair<MReg, MOperand>>
+FunctionLowering::edgeMoves(MachineBlock *MB, const BlockEdge &Edge) {
+  std::vector<std::pair<MReg, MOperand>> Moves;
+  MachineBlock *Target = Blocks.at(Edge.Target);
+  unsigned ArgRegIndex = 0;
+  for (unsigned I = 0; I < Edge.Arguments.size(); ++I) {
+    NodeRef Value = Edge.Arguments[I];
+    if (Value.sort().isMemory())
+      continue;
+    Moves.emplace_back(Target->ArgRegs[ArgRegIndex++],
+                       flexOperand(MB, Value));
+  }
+  return Moves;
+}
+
+void FunctionLowering::lowerTerminator(
+    const BasicBlock *BB,
+    const std::function<CondCode(MachineBlock *, NodeRef)> &LowerCondition) {
+  MachineBlock *MB = Blocks.at(BB);
+  const Terminator &Term = BB->terminator();
+  MTerminator &MTerm = MB->terminator();
+
+  switch (Term.TermKind) {
+  case Terminator::Kind::Return: {
+    MTerm.TermKind = MTerminator::Kind::Ret;
+    for (const NodeRef &Value : Term.ReturnValues)
+      if (!Value.sort().isMemory())
+        MTerm.ReturnValues.push_back(flexOperand(MB, Value));
+    return;
+  }
+  case Terminator::Kind::Jump: {
+    MTerm.TermKind = MTerminator::Kind::Jmp;
+    MTerm.Then = Blocks.at(Term.Then.Target);
+    MTerm.ThenMoves = edgeMoves(MB, Term.Then);
+    return;
+  }
+  case Terminator::Kind::Branch: {
+    MTerm.TermKind = MTerminator::Kind::Jcc;
+    // Edge moves are computed before the flag-setting sequence so a
+    // constant materialization cannot clobber the flags... moves run
+    // at edge time, after the jcc, so they may not touch flags. They
+    // only use mov, which preserves flags on x86.
+    MTerm.Then = Blocks.at(Term.Then.Target);
+    MTerm.Else = Blocks.at(Term.Else.Target);
+    MTerm.ThenMoves = edgeMoves(MB, Term.Then);
+    MTerm.ElseMoves = edgeMoves(MB, Term.Else);
+    MTerm.CC = LowerCondition(MB, Term.Condition);
+    return;
+  }
+  }
+  SELGEN_UNREACHABLE("bad terminator kind");
+}

@@ -1,0 +1,85 @@
+//===- Lowering.h - Shared function-lowering scaffolding ---------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CFG skeleton construction, value mapping, and terminator lowering
+/// shared by every instruction selector in the project. A selector
+/// only has to provide (a) the lowering of block bodies and (b) how a
+/// branch condition becomes a flag-setting sequence plus a condition
+/// code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_ISEL_LOWERING_H
+#define SELGEN_ISEL_LOWERING_H
+
+#include "ir/Function.h"
+#include "x86/MachineIR.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+
+namespace selgen {
+
+/// Mutable lowering state for one function.
+class FunctionLowering {
+public:
+  FunctionLowering(const Function &F, const std::string &SelectorName);
+
+  const Function &function() const { return F; }
+  MachineFunction &machineFunction() { return *MF; }
+  std::unique_ptr<MachineFunction> takeMachineFunction() {
+    return std::move(MF);
+  }
+
+  MachineBlock *machineBlock(const BasicBlock *BB) const {
+    return Blocks.at(BB);
+  }
+
+  // -- Value mapping -----------------------------------------------------
+  bool hasValue(NodeRef Ref) const {
+    return Values.count({Ref.Def, Ref.Index}) != 0;
+  }
+  MOperand value(NodeRef Ref) const {
+    return Values.at({Ref.Def, Ref.Index});
+  }
+  void setValue(NodeRef Ref, MOperand Operand) {
+    Values[{Ref.Def, Ref.Index}] = std::move(Operand);
+  }
+
+  /// Returns a register operand for \p Ref: the mapped register, or a
+  /// freshly emitted `mov $imm, reg` into \p MB if the value is an IR
+  /// constant that has not been materialized yet. \p MaterializedConst
+  /// (if non-null) is set when a constant materialization happened.
+  MOperand regOperand(MachineBlock *MB, NodeRef Ref,
+                      bool *MaterializedConst = nullptr);
+
+  /// Returns an operand for \p Ref that may be an immediate (constant
+  /// values are used inline instead of materialized).
+  MOperand flexOperand(MachineBlock *MB, NodeRef Ref);
+
+  /// Lowers the terminator of \p BB. \p LowerCondition emits the
+  /// flag-setting instructions for a branch condition into the block
+  /// and returns the condition code to branch on.
+  void lowerTerminator(const BasicBlock *BB,
+                       const std::function<CondCode(MachineBlock *, NodeRef)>
+                           &LowerCondition);
+
+private:
+  const Function &F;
+  std::unique_ptr<MachineFunction> MF;
+  std::map<const BasicBlock *, MachineBlock *> Blocks;
+  std::map<std::pair<const Node *, unsigned>, MOperand> Values;
+
+  std::vector<std::pair<MReg, MOperand>>
+  edgeMoves(MachineBlock *MB, const BlockEdge &Edge);
+};
+
+} // namespace selgen
+
+#endif // SELGEN_ISEL_LOWERING_H

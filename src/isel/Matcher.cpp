@@ -1,0 +1,185 @@
+//===- Matcher.cpp - DAG pattern matching -------------------------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "isel/Matcher.h"
+
+#include <set>
+
+using namespace selgen;
+
+namespace {
+
+/// Recursive structural matcher.
+class MatcherState {
+public:
+  MatcherState(const Graph &Pattern, const std::vector<ArgRole> &Roles)
+      : Pattern(Pattern), Roles(Roles) {
+    Result.ArgBindings.assign(Pattern.numArgs(), NodeRef());
+  }
+
+  std::optional<MatchResult> run(const Node *PatternRoot,
+                                 const Node *SubjectRoot) {
+    if (!matchNode(PatternRoot, SubjectRoot))
+      return std::nullopt;
+    return finish();
+  }
+
+  std::optional<MatchResult> runValue(NodeRef PatternValue,
+                                      NodeRef SubjectValue) {
+    if (!matchValue(PatternValue, SubjectValue))
+      return std::nullopt;
+    return finish();
+  }
+
+private:
+  const Graph &Pattern;
+  const std::vector<ArgRole> &Roles;
+  MatchResult Result;
+
+  std::optional<MatchResult> finish() {
+    for (const auto &[PatternNode, SubjectNode] : Result.NodeMap)
+      if (PatternNode->opcode() != Opcode::Const)
+        Result.CoveredNodes.push_back(SubjectNode);
+    return std::move(Result);
+  }
+
+  ArgRole roleOf(unsigned ArgIndex) const {
+    return Roles.empty() ? ArgRole::Reg : Roles[ArgIndex];
+  }
+
+  bool bindArg(const Node *PatternArg, NodeRef SubjectValue) {
+    unsigned Index = PatternArg->argIndex();
+    if (PatternArg->resultSort(0) != SubjectValue.sort())
+      return false;
+    switch (roleOf(Index)) {
+    case ArgRole::Imm:
+      // Instruction immediates must come from IR constants.
+      if (SubjectValue.Def->opcode() != Opcode::Const)
+        return false;
+      break;
+    case ArgRole::Mem:
+    case ArgRole::Reg:
+    case ArgRole::Addr:
+      break;
+    }
+    NodeRef &Binding = Result.ArgBindings[Index];
+    if (Binding.isValid())
+      return Binding == SubjectValue; // Repeated argument: same value.
+    Binding = SubjectValue;
+    return true;
+  }
+
+  bool matchValue(NodeRef PatternValue, NodeRef SubjectValue) {
+    const Node *PatternNode = PatternValue.Def;
+    if (PatternNode->opcode() == Opcode::Arg)
+      return bindArg(PatternNode, SubjectValue);
+    if (PatternValue.Index != SubjectValue.Index)
+      return false;
+    return matchNode(PatternNode, SubjectValue.Def);
+  }
+
+  bool matchNode(const Node *PatternNode, const Node *SubjectNode) {
+    auto [It, Inserted] = Result.NodeMap.try_emplace(PatternNode,
+                                                     SubjectNode);
+    if (!Inserted)
+      return It->second == SubjectNode; // Shared pattern node: same match.
+    if (PatternNode->opcode() != SubjectNode->opcode()) {
+      Result.NodeMap.erase(It);
+      return false;
+    }
+    bool Ok = true;
+    switch (PatternNode->opcode()) {
+    case Opcode::Const:
+      Ok = PatternNode->constValue().width() ==
+               SubjectNode->constValue().width() &&
+           PatternNode->constValue() == SubjectNode->constValue();
+      break;
+    case Opcode::Cmp:
+      Ok = PatternNode->relation() == SubjectNode->relation();
+      break;
+    default:
+      break;
+    }
+    if (Ok)
+      for (unsigned I = 0; I < PatternNode->numOperands() && Ok; ++I)
+        Ok = matchValue(PatternNode->operand(I), SubjectNode->operand(I));
+    if (!Ok)
+      Result.NodeMap.erase(PatternNode);
+    return Ok;
+  }
+};
+
+} // namespace
+
+std::optional<MatchResult>
+selgen::matchPattern(const Graph &Pattern, const std::vector<ArgRole> &Roles,
+                     const Node *PatternRoot, const Node *SubjectRoot) {
+  return MatcherState(Pattern, Roles).run(PatternRoot, SubjectRoot);
+}
+
+std::optional<MatchResult>
+selgen::matchPatternValue(const Graph &Pattern,
+                          const std::vector<ArgRole> &Roles,
+                          NodeRef PatternValue, NodeRef SubjectValue) {
+  return MatcherState(Pattern, Roles).runValue(PatternValue, SubjectValue);
+}
+
+const Node *selgen::patternRoot(const Graph &Pattern) {
+  // The root must reach every operation of the pattern, because
+  // matching proceeds from the root downwards. A multi-result pattern
+  // like [Load.0, Add(Load.1, a2)] is rooted at the Add, not at the
+  // Load. Patterns without a covering result (e.g. two independent
+  // comparisons) cannot be matched and yield null.
+  std::set<const Node *> AllOps;
+  for (Node *N : Pattern.liveNodes())
+    if (N->opcode() != Opcode::Arg)
+      AllOps.insert(N);
+
+  for (const NodeRef &Ref : Pattern.results()) {
+    if (Ref.Def->opcode() == Opcode::Arg)
+      continue;
+    std::set<const Node *> Reached;
+    std::vector<const Node *> Worklist = {Ref.Def};
+    while (!Worklist.empty()) {
+      const Node *N = Worklist.back();
+      Worklist.pop_back();
+      if (N->opcode() == Opcode::Arg || !Reached.insert(N).second)
+        continue;
+      for (const NodeRef &Operand : N->operands())
+        Worklist.push_back(Operand.Def);
+    }
+    if (Reached.size() == AllOps.size())
+      return Ref.Def;
+  }
+  return nullptr;
+}
+
+bool selgen::matchedConstantsSatisfyPreconditions(const Graph &,
+                                                  const MatchResult &Match,
+                                                  unsigned Width) {
+  for (const auto &[PatternNode, SubjectNode] : Match.NodeMap) {
+    (void)SubjectNode;
+    Opcode Op = PatternNode->opcode();
+    if (Op != Opcode::Shl && Op != Opcode::Shr && Op != Opcode::Shrs)
+      continue;
+    // Find the concrete amount if the amount operand is a constant or
+    // an Imm-bound argument; runtime amounts stay unchecked (the rule
+    // is still sound: out-of-range amounts are undefined IR).
+    NodeRef Amount = PatternNode->operand(1);
+    const BitValue *Value = nullptr;
+    if (Amount.Def->opcode() == Opcode::Const)
+      Value = &Amount.Def->constValue();
+    else if (Amount.Def->opcode() == Opcode::Arg) {
+      NodeRef Bound = Match.ArgBindings[Amount.Def->argIndex()];
+      if (Bound.isValid() && Bound.Def->opcode() == Opcode::Const)
+        Value = &Bound.Def->constValue();
+    }
+    if (Value && Value->uge(BitValue(Value->width(), Width)))
+      return false;
+  }
+  return true;
+}

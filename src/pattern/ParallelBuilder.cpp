@@ -1,0 +1,93 @@
+//===- ParallelBuilder.cpp - Multi-threaded library synthesis -----------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pattern/ParallelBuilder.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <thread>
+
+using namespace selgen;
+
+PatternDatabase selgen::synthesizeRuleLibraryParallel(
+    const GoalLibrary &Library, const SynthesisOptions &Options,
+    unsigned NumThreads, LibraryBuildReport *Report,
+    const std::vector<std::string> &TotalModeGoals) {
+  if (NumThreads == 0)
+    NumThreads = std::max(1u, std::thread::hardware_concurrency());
+  NumThreads = std::min<unsigned>(
+      NumThreads, std::max<size_t>(1, Library.goals().size()));
+
+  struct GoalOutcome {
+    const GoalInstruction *Goal = nullptr;
+    GoalSynthesisResult Result;
+  };
+  std::vector<GoalOutcome> Outcomes(Library.goals().size());
+  std::atomic<size_t> NextGoal{0};
+
+  auto isTotalMode = [&TotalModeGoals](const std::string &Name) {
+    return std::find(TotalModeGoals.begin(), TotalModeGoals.end(), Name) !=
+           TotalModeGoals.end();
+  };
+
+  auto worker = [&] {
+    // One Z3 context per worker: contexts are confined to a thread.
+    SmtContext Smt;
+    while (true) {
+      size_t Index = NextGoal.fetch_add(1);
+      if (Index >= Library.goals().size())
+        return;
+      const GoalInstruction &Goal = Library.goals()[Index];
+      SynthesisOptions GoalOptions = Options;
+      GoalOptions.MaxPatternSize = Goal.MaxPatternSize;
+      if (isTotalMode(Goal.Name))
+        GoalOptions.RequireTotalPatterns = true;
+      Synthesizer Synth(Smt, GoalOptions);
+      Outcomes[Index].Goal = &Goal;
+      Outcomes[Index].Result = Synth.synthesize(*Goal.Spec);
+    }
+  };
+
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back(worker);
+  for (std::thread &T : Threads)
+    T.join();
+
+  // Aggregate in goal order so the result is deterministic.
+  PatternDatabase Database;
+  std::map<std::string, GroupReport> Groups;
+  for (GoalOutcome &Outcome : Outcomes) {
+    if (!Outcome.Goal)
+      continue;
+    GroupReport &Group = Groups[Outcome.Goal->Group];
+    Group.Group = Outcome.Goal->Group;
+    ++Group.Goals;
+    Group.Seconds += Outcome.Result.Seconds;
+    if (!Outcome.Result.Complete)
+      ++Group.IncompleteGoals;
+    for (Graph &Pattern : Outcome.Result.Patterns) {
+      Group.MaxPatternSize =
+          std::max(Group.MaxPatternSize, Pattern.numOperations());
+      if (Database.add(Outcome.Goal->Name, std::move(Pattern)))
+        ++Group.Patterns;
+    }
+  }
+
+  if (Report) {
+    for (auto &[Name, Group] : Groups) {
+      (void)Name;
+      Report->Groups.push_back(Group);
+      Report->TotalSeconds += Group.Seconds;
+      Report->TotalPatterns += Group.Patterns;
+      Report->TotalGoals += Group.Goals;
+    }
+  }
+  return Database;
+}

@@ -1,0 +1,41 @@
+//===- ParallelBuilder.h - Multi-threaded library synthesis ------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parallel rule-library synthesis (paper Section 5.5: "Either we can
+/// run the synthesizer in parallel on multiple machines, or we can
+/// first synthesize patterns for a basic set of instructions and
+/// expand on these as needed"; the paper's timings are from an 8-core
+/// machine). Each worker owns its own Z3 context — contexts are not
+/// thread-safe, but independent contexts are — pulls goals from a
+/// shared queue, and the per-goal pattern sets are aggregated into one
+/// PatternDatabase at the end, exactly like merging the databases of
+/// parallel machine runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_PATTERN_PARALLELBUILDER_H
+#define SELGEN_PATTERN_PARALLELBUILDER_H
+
+#include "pattern/LibraryBuilder.h"
+
+namespace selgen {
+
+/// Like synthesizeRuleLibrary, but distributes goals over
+/// \p NumThreads workers (each with a private SmtContext).
+/// \p NumThreads = 0 uses the hardware concurrency. The result is
+/// deterministic up to rule order; the database contents equal a
+/// sequential run's. \p TotalModeGoals lists goals synthesized with
+/// the total-pattern policy (see SynthesisOptions).
+PatternDatabase synthesizeRuleLibraryParallel(
+    const GoalLibrary &Library, const SynthesisOptions &Options,
+    unsigned NumThreads = 0, LibraryBuildReport *Report = nullptr,
+    const std::vector<std::string> &TotalModeGoals = {});
+
+} // namespace selgen
+
+#endif // SELGEN_PATTERN_PARALLELBUILDER_H

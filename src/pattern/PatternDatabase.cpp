@@ -1,0 +1,177 @@
+//===- PatternDatabase.cpp - The rule library ---------------------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pattern/PatternDatabase.h"
+
+#include "ir/Normalizer.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "support/Error.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+using namespace selgen;
+
+bool PatternDatabase::add(std::string GoalName, Graph Pattern) {
+  std::string Key = GoalName + "|" + Pattern.fingerprint();
+  if (!Index.insert(std::move(Key)).second)
+    return false;
+  Rules.emplace_back(std::move(GoalName), std::move(Pattern));
+  return true;
+}
+
+void PatternDatabase::rebuildIndex() {
+  Index.clear();
+  for (const Rule &R : Rules)
+    Index.insert(R.GoalName + "|" + R.Pattern.fingerprint());
+}
+
+void PatternDatabase::merge(PatternDatabase &&Other) {
+  for (Rule &R : Other.Rules)
+    add(std::move(R.GoalName), std::move(R.Pattern));
+  Other.Rules.clear();
+}
+
+std::vector<const Rule *>
+PatternDatabase::rulesForGoal(const std::string &GoalName) const {
+  std::vector<const Rule *> Result;
+  for (const Rule &R : Rules)
+    if (R.GoalName == GoalName)
+      Result.push_back(&R);
+  return Result;
+}
+
+size_t PatternDatabase::filterCommutativeDuplicates() {
+  std::set<std::string> Seen;
+  size_t Before = Rules.size();
+  std::vector<Rule> Kept;
+  for (Rule &R : Rules) {
+    // The normalizer orders commutative operands canonically, so two
+    // commutative variants share a normalized fingerprint.
+    std::string Key =
+        R.GoalName + "|" + normalizeGraph(R.Pattern).fingerprint();
+    if (Seen.insert(Key).second)
+      Kept.push_back(std::move(R));
+  }
+  Rules = std::move(Kept);
+  rebuildIndex();
+  return Before - Rules.size();
+}
+
+size_t PatternDatabase::filterNonNormalized() {
+  size_t Before = Rules.size();
+  std::vector<Rule> Kept;
+  for (Rule &R : Rules)
+    if (isNormalized(R.Pattern))
+      Kept.push_back(std::move(R));
+  Rules = std::move(Kept);
+  rebuildIndex();
+  return Before - Rules.size();
+}
+
+void PatternDatabase::sortSpecificFirst() {
+  auto numConstants = [](const Graph &G) {
+    unsigned Count = 0;
+    for (Node *N : G.liveNodes())
+      if (N->opcode() == Opcode::Const)
+        ++Count;
+    return Count;
+  };
+  std::stable_sort(Rules.begin(), Rules.end(),
+                   [&](const Rule &A, const Rule &B) {
+                     unsigned OpsA = A.Pattern.numOperations();
+                     unsigned OpsB = B.Pattern.numOperations();
+                     if (OpsA != OpsB)
+                       return OpsA > OpsB;
+                     unsigned ConstsA = numConstants(A.Pattern);
+                     unsigned ConstsB = numConstants(B.Pattern);
+                     if (ConstsA != ConstsB)
+                       return ConstsA > ConstsB;
+                     return A.Pattern.fingerprint() <
+                            B.Pattern.fingerprint();
+                   });
+}
+
+std::string PatternDatabase::serialize() const {
+  std::string Result;
+  for (const Rule &R : Rules) {
+    Result += "rule " + R.GoalName + "\n";
+    Result += printGraph(R.Pattern);
+    Result += "endrule\n";
+  }
+  return Result;
+}
+
+PatternDatabase PatternDatabase::deserialize(const std::string &Text,
+                                             std::string *ErrorMessage) {
+  PatternDatabase Database;
+  std::istringstream Stream(Text);
+  std::string Line;
+  std::string GoalName;
+  std::string GraphText;
+  bool InRule = false;
+  auto fail = [&](const std::string &Message) {
+    if (ErrorMessage)
+      *ErrorMessage = Message;
+    return PatternDatabase();
+  };
+  while (std::getline(Stream, Line)) {
+    std::string Trimmed = trimString(Line);
+    if (Trimmed.empty() || startsWith(Trimmed, "#"))
+      continue;
+    if (startsWith(Trimmed, "rule ")) {
+      if (InRule)
+        return fail("nested rule record");
+      GoalName = trimString(Trimmed.substr(5));
+      GraphText.clear();
+      InRule = true;
+      continue;
+    }
+    if (Trimmed == "endrule") {
+      if (!InRule)
+        return fail("endrule without rule");
+      std::string ParseError;
+      std::optional<Graph> Pattern = parseGraph(GraphText, &ParseError);
+      if (!Pattern)
+        return fail("bad pattern for " + GoalName + ": " + ParseError);
+      Database.add(GoalName, std::move(*Pattern));
+      InRule = false;
+      continue;
+    }
+    if (InRule)
+      GraphText += Line + "\n";
+    else
+      return fail("unexpected line outside rule record: " + Trimmed);
+  }
+  if (InRule)
+    return fail("unterminated rule record");
+  return Database;
+}
+
+void PatternDatabase::saveToFile(const std::string &Path) const {
+  std::ofstream Out(Path);
+  if (!Out)
+    reportFatalError("cannot write pattern database: " + Path);
+  Out << serialize();
+}
+
+PatternDatabase PatternDatabase::loadFromFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    reportFatalError("cannot read pattern database: " + Path);
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Error;
+  PatternDatabase Database = deserialize(Buffer.str(), &Error);
+  if (!Error.empty())
+    reportFatalError("corrupt pattern database " + Path + ": " + Error);
+  return Database;
+}

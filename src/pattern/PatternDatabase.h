@@ -1,0 +1,91 @@
+//===- PatternDatabase.h - The rule library ----------------------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pattern database of paper Section 3/5.5: (goal, pattern) rules
+/// collected across synthesizer runs, with aggregation, duplicate
+/// filtering (commutative variants collapse onto one canonical form),
+/// the non-normalized-pattern filter of Section 5.6, and a
+/// specific-to-general sort. Serializes to a plain-text format so
+/// libraries can be merged from parallel runs, exactly like the
+/// artifact's rule-library.dat.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_PATTERN_PATTERNDATABASE_H
+#define SELGEN_PATTERN_PATTERNDATABASE_H
+
+#include "ir/Graph.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace selgen {
+
+/// One instruction selection rule: "if Pattern matches, emit Goal".
+struct Rule {
+  std::string GoalName;
+  Graph Pattern;
+
+  Rule(std::string GoalName, Graph Pattern)
+      : GoalName(std::move(GoalName)), Pattern(std::move(Pattern)) {}
+};
+
+/// A library of rules.
+class PatternDatabase {
+public:
+  /// Adds a rule; exact duplicates (same goal, structurally identical
+  /// pattern) are dropped. Returns true if the rule was new.
+  bool add(std::string GoalName, Graph Pattern);
+
+  /// Merges another database (aggregation across synthesizer runs,
+  /// Section 5.5).
+  void merge(PatternDatabase &&Other);
+
+  const std::vector<Rule> &rules() const { return Rules; }
+  std::vector<const Rule *> rulesForGoal(const std::string &GoalName) const;
+  size_t size() const { return Rules.size(); }
+
+  /// Removes duplicates modulo commutative-operand normalization: if
+  /// two rules for the same goal normalize to the same canonical
+  /// graph, only the first stays (Section 5.5, "remove duplicated
+  /// patterns that might stem from commutative arithmetic
+  /// operations"). Returns the number of rules removed.
+  size_t filterCommutativeDuplicates();
+
+  /// Removes rules whose pattern is not in normal form; the compiler
+  /// would never present such IR to the instruction selector
+  /// (Section 5.6). Returns the number of rules removed.
+  size_t filterNonNormalized();
+
+  /// Sorts from more specific to less specific patterns (Section 5.6):
+  /// more operations first; ties broken toward patterns with more
+  /// constants, then deterministically by fingerprint.
+  void sortSpecificFirst();
+
+  /// Serialization (text, self-delimiting records).
+  std::string serialize() const;
+  static PatternDatabase deserialize(const std::string &Text,
+                                     std::string *ErrorMessage = nullptr);
+
+  /// File convenience wrappers; abort on I/O errors.
+  void saveToFile(const std::string &Path) const;
+  static PatternDatabase loadFromFile(const std::string &Path);
+
+private:
+  std::vector<Rule> Rules;
+  /// Fingerprint index ("goal|fingerprint") for O(log n) duplicate
+  /// detection; the paper-scale library has 154 470 entries.
+  std::set<std::string> Index;
+
+  void rebuildIndex();
+};
+
+} // namespace selgen
+
+#endif // SELGEN_PATTERN_PATTERNDATABASE_H

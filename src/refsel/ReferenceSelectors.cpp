@@ -1,0 +1,282 @@
+//===- ReferenceSelectors.cpp - "State of the art" stand-ins -------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "refsel/ReferenceSelectors.h"
+
+#include "ir/Normalizer.h"
+
+using namespace selgen;
+
+namespace {
+
+/// Small helper for writing rule patterns by hand. All patterns are
+/// normalized before they enter the library, since the compilers they
+/// model only ever see normalized IR.
+class RuleSetBuilder {
+public:
+  RuleSetBuilder(PatternDatabase &Database, unsigned Width)
+      : Database(Database), Width(Width) {}
+
+  unsigned W() const { return Width; }
+
+  /// Adds a rule with value arguments only.
+  void rule(const std::string &GoalName, unsigned NumArgs,
+            const std::function<std::vector<NodeRef>(Graph &)> &Build) {
+    std::vector<Sort> Sorts(NumArgs, Sort::value(Width));
+    addRule(GoalName, std::move(Sorts), Build);
+  }
+
+  /// Adds a rule whose first argument is the memory token.
+  void memRule(const std::string &GoalName, unsigned NumValueArgs,
+               const std::function<std::vector<NodeRef>(Graph &)> &Build) {
+    std::vector<Sort> Sorts = {Sort::memory()};
+    for (unsigned I = 0; I < NumValueArgs; ++I)
+      Sorts.push_back(Sort::value(Width));
+    addRule(GoalName, std::move(Sorts), Build);
+  }
+
+private:
+  PatternDatabase &Database;
+  unsigned Width;
+
+  void addRule(const std::string &GoalName, std::vector<Sort> Sorts,
+               const std::function<std::vector<NodeRef>(Graph &)> &Build) {
+    Graph Pattern(Width, std::move(Sorts));
+    Pattern.setResults(Build(Pattern));
+    Database.add(GoalName, normalizeGraph(Pattern));
+  }
+};
+
+/// The rules every mainstream backend has: one rule per plain
+/// instruction form.
+void addCommonRules(RuleSetBuilder &B) {
+  unsigned W = B.W();
+
+  B.rule("mov_ri", 1, [](Graph &G) {
+    return std::vector<NodeRef>{G.arg(0)};
+  });
+
+  const std::pair<const char *, Opcode> Binaries[] = {
+      {"add_rr", Opcode::Add}, {"sub_rr", Opcode::Sub},
+      {"and_rr", Opcode::And}, {"or_rr", Opcode::Or},
+      {"xor_rr", Opcode::Xor}, {"imul_rr", Opcode::Mul}};
+  for (const auto &[Name, Op] : Binaries)
+    B.rule(Name, 2, [Op = Op](Graph &G) {
+      return std::vector<NodeRef>{
+          G.createBinary(Op, G.arg(0), G.arg(1))};
+    });
+
+  B.rule("neg_r", 1, [](Graph &G) {
+    return std::vector<NodeRef>{G.createUnary(Opcode::Minus, G.arg(0))};
+  });
+  B.rule("not_r", 1, [](Graph &G) {
+    return std::vector<NodeRef>{G.createUnary(Opcode::Not, G.arg(0))};
+  });
+
+  const std::pair<const char *, Opcode> Shifts[] = {
+      {"shl_rc", Opcode::Shl}, {"shr_rc", Opcode::Shr},
+      {"sar_rc", Opcode::Shrs}};
+  for (const auto &[Name, Op] : Shifts)
+    B.rule(Name, 2, [Op = Op](Graph &G) {
+      return std::vector<NodeRef>{
+          G.createBinary(Op, G.arg(0), G.arg(1))};
+    });
+
+  B.memRule("mov_load_b", 1, [](Graph &G) {
+    Node *Load = G.createLoad(G.arg(0), G.arg(1));
+    return std::vector<NodeRef>{NodeRef(Load, 0), NodeRef(Load, 1)};
+  });
+  B.memRule("mov_store_b", 2, [](Graph &G) {
+    return std::vector<NodeRef>{
+        G.createStore(G.arg(0), G.arg(1), G.arg(2))};
+  });
+
+  for (CondCode CC : relationCondCodes()) {
+    Relation Rel = relationForCondCode(CC);
+    B.rule(std::string("cmp_j") + condCodeName(CC), 2, [Rel](Graph &G) {
+      Node *Jump = G.createCond(G.createCmp(Rel, G.arg(0), G.arg(1)));
+      return std::vector<NodeRef>{NodeRef(Jump, 0), NodeRef(Jump, 1)};
+    });
+    B.rule(std::string("cmov") + condCodeName(CC), 4, [Rel](Graph &G) {
+      return std::vector<NodeRef>{G.createMux(
+          G.createCmp(Rel, G.arg(0), G.arg(1)), G.arg(2), G.arg(3))};
+    });
+  }
+  (void)W;
+}
+
+} // namespace
+
+PatternDatabase selgen::buildGnuLikeRules(unsigned Width) {
+  PatternDatabase Database;
+  RuleSetBuilder B(Database, Width);
+  addCommonRules(B);
+
+  // Immediate forms of the two-operand arithmetic family.
+  const std::pair<const char *, Opcode> ImmediateForms[] = {
+      {"add_ri", Opcode::Add},
+      {"and_ri", Opcode::And},
+      {"or_ri", Opcode::Or},
+      {"xor_ri", Opcode::Xor}};
+  for (const auto &[Name, Op] : ImmediateForms)
+    B.rule(Name, 2, [Op = Op](Graph &G) {
+      return std::vector<NodeRef>{G.createBinary(Op, G.arg(0), G.arg(1))};
+    });
+
+  // Immediate shift forms.
+  B.rule("shl_ri", 2, [](Graph &G) {
+    return std::vector<NodeRef>{
+        G.createBinary(Opcode::Shl, G.arg(0), G.arg(1))};
+  });
+  B.rule("sar_ri", 2, [](Graph &G) {
+    return std::vector<NodeRef>{
+        G.createBinary(Opcode::Shrs, G.arg(0), G.arg(1))};
+  });
+
+  // The classic blsr idiom x & (x - 1) (paper Section 7.4: both
+  // compilers support it).
+  B.rule("blsr", 1, [](Graph &G) {
+    NodeRef MinusOne = G.createConst(BitValue::allOnes(G.width()));
+    return std::vector<NodeRef>{G.createBinary(
+        Opcode::And, G.arg(0),
+        G.createBinary(Opcode::Add, G.arg(0), MinusOne))};
+  });
+
+  // inc/dec.
+  B.rule("inc_r", 1, [](Graph &G) {
+    return std::vector<NodeRef>{G.createBinary(
+        Opcode::Add, G.arg(0), G.createConst(BitValue(G.width(), 1)))};
+  });
+  B.rule("dec_r", 1, [](Graph &G) {
+    return std::vector<NodeRef>{G.createBinary(
+        Opcode::Add, G.arg(0),
+        G.createConst(BitValue::allOnes(G.width())))};
+  });
+
+  // test x, y; je / jne.
+  for (CondCode CC : {CondCode::E, CondCode::NE}) {
+    Relation Rel = relationForCondCode(CC);
+    B.rule(std::string("test_j") + condCodeName(CC), 2, [Rel](Graph &G) {
+      NodeRef Masked = G.createBinary(Opcode::And, G.arg(0), G.arg(1));
+      Node *Jump = G.createCond(
+          G.createCmp(Rel, Masked, G.createConst(
+                                       BitValue::zero(G.width()))));
+      return std::vector<NodeRef>{NodeRef(Jump, 0), NodeRef(Jump, 1)};
+    });
+  }
+
+  // Displacement loads/stores.
+  B.memRule("mov_load_bd", 2, [](Graph &G) {
+    Node *Load = G.createLoad(
+        G.arg(0), G.createBinary(Opcode::Add, G.arg(1), G.arg(2)));
+    return std::vector<NodeRef>{NodeRef(Load, 0), NodeRef(Load, 1)};
+  });
+  B.memRule("mov_store_bd", 3, [](Graph &G) {
+    return std::vector<NodeRef>{G.createStore(
+        G.arg(0), G.createBinary(Opcode::Add, G.arg(1), G.arg(2)),
+        G.arg(3))};
+  });
+
+  return Database;
+}
+
+PatternDatabase selgen::buildClangLikeRules(unsigned Width) {
+  PatternDatabase Database;
+  RuleSetBuilder B(Database, Width);
+  addCommonRules(B);
+
+  // Immediate arithmetic (same family as GnuLike, minus xor_ri — real
+  // rule sets drift apart in exactly such details).
+  const std::pair<const char *, Opcode> ImmediateForms[] = {
+      {"add_ri", Opcode::Add},
+      {"and_ri", Opcode::And},
+      {"or_ri", Opcode::Or}};
+  for (const auto &[Name, Op] : ImmediateForms)
+    B.rule(Name, 2, [Op = Op](Graph &G) {
+      return std::vector<NodeRef>{G.createBinary(Op, G.arg(0), G.arg(1))};
+    });
+  B.rule("shl_ri", 2, [](Graph &G) {
+    return std::vector<NodeRef>{
+        G.createBinary(Opcode::Shl, G.arg(0), G.arg(1))};
+  });
+  B.rule("shr_ri", 2, [](Graph &G) {
+    return std::vector<NodeRef>{
+        G.createBinary(Opcode::Shr, G.arg(0), G.arg(1))};
+  });
+
+  // BMI idioms: blsr, andn, blsi (but not blsmsk).
+  B.rule("blsr", 1, [](Graph &G) {
+    NodeRef MinusOne = G.createConst(BitValue::allOnes(G.width()));
+    return std::vector<NodeRef>{G.createBinary(
+        Opcode::And, G.arg(0),
+        G.createBinary(Opcode::Add, G.arg(0), MinusOne))};
+  });
+  B.rule("andn", 2, [](Graph &G) {
+    return std::vector<NodeRef>{G.createBinary(
+        Opcode::And, G.createUnary(Opcode::Not, G.arg(0)), G.arg(1))};
+  });
+  B.rule("blsi", 1, [](Graph &G) {
+    return std::vector<NodeRef>{G.createBinary(
+        Opcode::And, G.arg(0), G.createUnary(Opcode::Minus, G.arg(0)))};
+  });
+
+  // setcc patterns.
+  for (CondCode CC : relationCondCodes()) {
+    Relation Rel = relationForCondCode(CC);
+    B.rule(std::string("set") + condCodeName(CC), 2, [Rel](Graph &G) {
+      return std::vector<NodeRef>{
+          G.createMux(G.createCmp(Rel, G.arg(0), G.arg(1)),
+                      G.createConst(BitValue(G.width(), 1)),
+                      G.createConst(BitValue::zero(G.width())))};
+    });
+  }
+
+  // Source addressing mode for add (LLVM folds loads aggressively).
+  B.memRule("add_rm_b", 2, [](Graph &G) {
+    Node *Load = G.createLoad(G.arg(0), G.arg(1));
+    return std::vector<NodeRef>{
+        NodeRef(Load, 0),
+        G.createBinary(Opcode::Add, G.arg(2), NodeRef(Load, 1))};
+  });
+
+  // Compare against immediate.
+  for (CondCode CC : {CondCode::E, CondCode::NE, CondCode::L, CondCode::GE}) {
+    Relation Rel = relationForCondCode(CC);
+    B.rule(std::string("cmpi_j") + condCodeName(CC), 2, [Rel](Graph &G) {
+      Node *Jump = G.createCond(G.createCmp(Rel, G.arg(0), G.arg(1)));
+      return std::vector<NodeRef>{NodeRef(Jump, 0), NodeRef(Jump, 1)};
+    });
+  }
+
+  return Database;
+}
+
+namespace {
+
+/// A GeneratedSelector with a different display name.
+class NamedReferenceSelector : public GeneratedSelector {
+public:
+  NamedReferenceSelector(std::string SelectorName,
+                         const PatternDatabase &Rules,
+                         const GoalLibrary &Goals)
+      : GeneratedSelector(Rules, Goals),
+        SelectorName(std::move(SelectorName)) {}
+
+  std::string name() const override { return SelectorName; }
+
+private:
+  std::string SelectorName;
+};
+
+} // namespace
+
+std::unique_ptr<InstructionSelector>
+selgen::makeReferenceSelector(const std::string &Name,
+                              const PatternDatabase &Rules,
+                              const GoalLibrary &Goals) {
+  return std::make_unique<NamedReferenceSelector>(Name, Rules, Goals);
+}

@@ -1,0 +1,53 @@
+//===- ReferenceSelectors.h - "State of the art" stand-ins -------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stand-ins for the compilers under test in the paper's Section 7.4
+/// experiment (GCC 7.2 and Clang 5.0). We cannot ship those compilers,
+/// so we model what the experiment needs from them: rule-based
+/// instruction selectors with *fixed, incomplete* pattern libraries —
+/// each with the "obvious" one-rule-per-instruction set plus a
+/// different handful of idioms, the way real backends accumulate
+/// pattern coverage. The missing-pattern harness compiles every
+/// synthesized pattern with these selectors and counts the patterns
+/// each fails to map to the optimal instruction sequence.
+///
+/// Both rule sets are hand-written here (not synthesized), mirroring
+/// how production md/td files come to be.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_REFSEL_REFERENCESELECTORS_H
+#define SELGEN_REFSEL_REFERENCESELECTORS_H
+
+#include "isel/GeneratedSelector.h"
+#include "pattern/PatternDatabase.h"
+#include "x86/Goals.h"
+
+#include <memory>
+
+namespace selgen {
+
+/// The hand-maintained rule library of the GCC-like reference
+/// compiler: obvious per-instruction rules, lea folding for base+index,
+/// the classic blsr idiom, and test-against-zero jumps.
+PatternDatabase buildGnuLikeRules(unsigned Width);
+
+/// The hand-maintained rule library of the Clang-like reference
+/// compiler: obvious rules, andn and blsi idioms, setcc patterns, and
+/// source addressing modes for add.
+PatternDatabase buildClangLikeRules(unsigned Width);
+
+/// Wraps a reference rule library in a selector. \p Goals must outlive
+/// the selector.
+std::unique_ptr<InstructionSelector>
+makeReferenceSelector(const std::string &Name, const PatternDatabase &Rules,
+                      const GoalLibrary &Goals);
+
+} // namespace selgen
+
+#endif // SELGEN_REFSEL_REFERENCESELECTORS_H

@@ -1,0 +1,90 @@
+//===- InstrSpec.cpp - Semantic instruction models ---------------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "semantics/InstrSpec.h"
+
+#include "support/Error.h"
+
+using namespace selgen;
+
+z3::sort SemanticsContext::smtSort(const Sort &S) const {
+  switch (S.Kind) {
+  case SortKind::Value:
+    return Smt.ctx().bv_sort(S.Width);
+  case SortKind::Bool:
+    return Smt.ctx().bool_sort();
+  case SortKind::Memory:
+    return Smt.ctx().bv_sort(Memory ? Memory->mvalueWidth() : 1);
+  }
+  SELGEN_UNREACHABLE("bad sort kind");
+}
+
+z3::expr SemanticsContext::freshConst(const std::string &Name,
+                                      const Sort &S) const {
+  return Smt.ctx().constant(Name.c_str(), smtSort(S));
+}
+
+InstrSpec::InstrSpec(std::string Name, std::vector<Sort> ArgSorts,
+                     std::vector<Sort> InternalSorts,
+                     std::vector<Sort> ResultSorts,
+                     std::vector<ArgRole> ArgRoles)
+    : Name(std::move(Name)), ArgSorts(std::move(ArgSorts)),
+      InternalSorts(std::move(InternalSorts)),
+      ResultSorts(std::move(ResultSorts)), ArgRoles(std::move(ArgRoles)) {
+  assert((this->ArgRoles.empty() ||
+          this->ArgRoles.size() == this->ArgSorts.size()) &&
+         "role list must match the argument list");
+}
+
+InstrSpec::~InstrSpec() = default;
+
+z3::expr InstrSpec::precondition(SemanticsContext &Context,
+                                 const std::vector<z3::expr> &,
+                                 const std::vector<z3::expr> &) const {
+  return Context.Smt.boolVal(true);
+}
+
+std::vector<z3::expr>
+InstrSpec::validPointers(SmtContext &, unsigned,
+                         const std::vector<z3::expr> &) const {
+  return {};
+}
+
+bool InstrSpec::accessesMemory() const {
+  for (const Sort &S : ArgSorts)
+    if (S.isMemory())
+      return true;
+  for (const Sort &S : ResultSorts)
+    if (S.isMemory())
+      return true;
+  return false;
+}
+
+LambdaSpec::LambdaSpec(std::string Name, std::vector<Sort> ArgSorts,
+                       std::vector<Sort> ResultSorts,
+                       std::vector<ArgRole> ArgRoles, ResultsFn Results,
+                       PointersFn Pointers)
+    : InstrSpec(std::move(Name), std::move(ArgSorts), /*InternalSorts=*/{},
+                std::move(ResultSorts), std::move(ArgRoles)),
+      Results(std::move(Results)), Pointers(std::move(Pointers)) {}
+
+std::vector<z3::expr>
+LambdaSpec::computeResults(SemanticsContext &Context,
+                           const std::vector<z3::expr> &Args,
+                           [[maybe_unused]] const std::vector<z3::expr>
+                               &Internals) const {
+  assert(Internals.empty() && "goal instructions carry no internals");
+  return Results(Context, Args);
+}
+
+std::vector<z3::expr>
+LambdaSpec::validPointers(SmtContext &Smt, unsigned Width,
+                          const std::vector<z3::expr> &Args) const {
+  if (!Pointers)
+    return {};
+  return Pointers(Smt, Width, Args);
+}

@@ -1,0 +1,149 @@
+//===- InstrSpec.h - Semantic instruction models -----------------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The semantic model of an instruction (paper Section 4): an
+/// interface given by the argument, internal-attribute, and result
+/// sorts (Sa, Si, Sr), a precondition P, and a postcondition Q. Q is
+/// represented functionally — computeResults() yields the result
+/// expressions in terms of arguments and internal attributes — which
+/// the synthesizer turns into the relational Q by equating with result
+/// variables.
+///
+/// Both the IR operations (semantics/IrSemantics) and the machine
+/// instructions (x86/Goals) are InstrSpecs; the synthesizer treats
+/// them uniformly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_SEMANTICS_INSTRSPEC_H
+#define SELGEN_SEMANTICS_INSTRSPEC_H
+
+#include "ir/Opcode.h"
+#include "semantics/MemoryModel.h"
+#include "smt/SmtContext.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace selgen {
+
+/// How an argument of a goal instruction is matched by the generated
+/// instruction selector. Synthesis itself ignores roles; the code
+/// generator uses them (e.g. an Imm argument must be bound to an IR
+/// Const node).
+enum class ArgRole {
+  Reg,  ///< Any value in a register.
+  Imm,  ///< Must be an IR constant (instruction immediate).
+  Mem,  ///< The memory chain token.
+  Addr, ///< A pointer value (address computation input).
+};
+
+/// Everything the synthesizer needs to know to build formulas for one
+/// instantiation of an instruction.
+struct SemanticsContext {
+  SmtContext &Smt;
+  unsigned Width;            ///< Data width W (8/16/32).
+  const MemoryModel *Memory; ///< Goal-specific; may be memory-free.
+
+  /// Side conditions collected while building IR memory operations:
+  /// the V+ ⊆ V constraints of the paper (Sections 4.1/5.2). The
+  /// synthesis query asserts their conjunction; the verification query
+  /// may negate it (condition (3)).
+  std::vector<z3::expr> RangeConditions;
+
+  /// Maps a Sort to the Z3 sort of this instantiation.
+  z3::sort smtSort(const Sort &S) const;
+
+  /// Creates a fresh constant of sort \p S.
+  z3::expr freshConst(const std::string &Name, const Sort &S) const;
+};
+
+/// Semantic model of a single instruction.
+class InstrSpec {
+public:
+  InstrSpec(std::string Name, std::vector<Sort> ArgSorts,
+            std::vector<Sort> InternalSorts, std::vector<Sort> ResultSorts,
+            std::vector<ArgRole> ArgRoles = {});
+  virtual ~InstrSpec();
+
+  const std::string &name() const { return Name; }
+
+  // The interface functions Sa, Si, Sr of the paper.
+  const std::vector<Sort> &argSorts() const { return ArgSorts; }
+  const std::vector<Sort> &internalSorts() const { return InternalSorts; }
+  const std::vector<Sort> &resultSorts() const { return ResultSorts; }
+
+  /// Argument roles (empty = all Reg). Meaningful for goals only.
+  const std::vector<ArgRole> &argRoles() const { return ArgRoles; }
+  ArgRole argRole(unsigned I) const {
+    return ArgRoles.empty() ? ArgRole::Reg : ArgRoles[I];
+  }
+
+  /// The precondition P(i, va, vi). True by default. Results are never
+  /// needed: all our postconditions are functional.
+  virtual z3::expr precondition(SemanticsContext &Context,
+                                const std::vector<z3::expr> &Args,
+                                const std::vector<z3::expr> &Internals) const;
+
+  /// The functional postcondition: result expressions in terms of
+  /// arguments and internal attributes. Memory-accessing IR operations
+  /// append their V+ ⊆ V side conditions to Context.RangeConditions.
+  virtual std::vector<z3::expr>
+  computeResults(SemanticsContext &Context, const std::vector<z3::expr> &Args,
+                 const std::vector<z3::expr> &Internals) const = 0;
+
+  /// The valid pointers V(g, va) this instruction dereferences, as
+  /// expressions over \p Args (paper Section 4.1). Only goal
+  /// instructions override this; it feeds the MemoryModel
+  /// construction, so it must not itself require a MemoryModel.
+  virtual std::vector<z3::expr>
+  validPointers(SmtContext &Smt, unsigned Width,
+                const std::vector<z3::expr> &Args) const;
+
+  /// True if the interface involves the memory sort.
+  bool accessesMemory() const;
+
+private:
+  std::string Name;
+  std::vector<Sort> ArgSorts;
+  std::vector<Sort> InternalSorts;
+  std::vector<Sort> ResultSorts;
+  std::vector<ArgRole> ArgRoles;
+};
+
+/// A goal instruction spec built from lambdas, sparing the x86 library
+/// one subclass per instruction. See x86/Goals.cpp for usage.
+class LambdaSpec : public InstrSpec {
+public:
+  using ResultsFn = std::function<std::vector<z3::expr>(
+      SemanticsContext &, const std::vector<z3::expr> &)>;
+  using PointersFn = std::function<std::vector<z3::expr>(
+      SmtContext &, unsigned, const std::vector<z3::expr> &)>;
+
+  LambdaSpec(std::string Name, std::vector<Sort> ArgSorts,
+             std::vector<Sort> ResultSorts, std::vector<ArgRole> ArgRoles,
+             ResultsFn Results, PointersFn Pointers = nullptr);
+
+  std::vector<z3::expr>
+  computeResults(SemanticsContext &Context, const std::vector<z3::expr> &Args,
+                 const std::vector<z3::expr> &Internals) const override;
+
+  std::vector<z3::expr>
+  validPointers(SmtContext &Smt, unsigned Width,
+                const std::vector<z3::expr> &Args) const override;
+
+private:
+  ResultsFn Results;
+  PointersFn Pointers;
+};
+
+} // namespace selgen
+
+#endif // SELGEN_SEMANTICS_INSTRSPEC_H

@@ -1,0 +1,83 @@
+//===- IrSemantics.h - SMT semantics of the IR operations --------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// InstrSpec models for every IR template operation. These are the
+/// components the synthesizer assembles into candidate patterns.
+///
+/// Internal attributes (paper: "values chosen at synthesis time"):
+/// * Const carries its constant (sort Value(W)).
+/// * Cmp carries its relation, encoded as a 4-bit code with the
+///   precondition code <= 9.
+///
+/// Preconditions:
+/// * Shl/Shr/Shrs require 0 <= amount < W (C semantics).
+/// * Everything else is total. Load/Store validity is not a
+///   precondition but the V+ ⊆ V side condition (see InstrSpec.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_SEMANTICS_IRSEMANTICS_H
+#define SELGEN_SEMANTICS_IRSEMANTICS_H
+
+#include "ir/Graph.h"
+#include "semantics/InstrSpec.h"
+
+#include <memory>
+
+namespace selgen {
+
+/// An InstrSpec for one IR opcode; remembers the opcode so the
+/// synthesizer can reconstruct Graph nodes from solver models.
+class IrOpSpec : public InstrSpec {
+public:
+  IrOpSpec(Opcode Op, unsigned Width);
+
+  Opcode opcode() const { return Op; }
+
+  z3::expr precondition(SemanticsContext &Context,
+                        const std::vector<z3::expr> &Args,
+                        const std::vector<z3::expr> &Internals) const override;
+
+  std::vector<z3::expr>
+  computeResults(SemanticsContext &Context, const std::vector<z3::expr> &Args,
+                 const std::vector<z3::expr> &Internals) const override;
+
+private:
+  Opcode Op;
+  unsigned Width;
+};
+
+/// The numeric encoding of relations used for Cmp's internal attribute.
+unsigned relationCode(Relation Rel);
+Relation relationFromCode(unsigned Code);
+
+/// Symbolic comparison with a fixed relation.
+z3::expr relationExpr(Relation Rel, const z3::expr &Lhs, const z3::expr &Rhs);
+
+/// Symbolic comparison with a symbolic 4-bit relation code (an ite
+/// cascade over all ten relations).
+z3::expr relationExprFromCode(SmtContext &Smt, const z3::expr &Code,
+                              const z3::expr &Lhs, const z3::expr &Rhs);
+
+/// Symbolic evaluation of an entire pattern graph: the P+/Q+/V+ lift
+/// of Section 5.1, computed directly on a concrete Graph (used by the
+/// equivalence oracle in tests and by the missing-pattern harness; the
+/// synthesizer builds the same formulas through its location-variable
+/// encoding instead).
+struct GraphSemantics {
+  z3::expr Precondition;            ///< P+ (conjunction over operations).
+  std::vector<z3::expr> Results;    ///< Result expressions.
+  std::vector<z3::expr> RangeConditions; ///< V+ ⊆ V side conditions.
+};
+
+GraphSemantics buildGraphSemantics(SemanticsContext &Context, const Graph &G,
+                                   const std::vector<z3::expr> &Args);
+
+} // namespace selgen
+
+#endif // SELGEN_SEMANTICS_IRSEMANTICS_H

@@ -1,0 +1,138 @@
+//===- MemoryModel.cpp - The paper's M-value encoding -----------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "semantics/MemoryModel.h"
+
+#include <cassert>
+
+using namespace selgen;
+
+MemoryModel::MemoryModel(SmtContext &Smt,
+                         std::vector<z3::expr> ValidPointers,
+                         unsigned ByteWidth)
+    : Smt(Smt), ValidPointers(std::move(ValidPointers)),
+      ByteWidth(ByteWidth) {
+  assert(ByteWidth >= 1 && "byte width must be positive");
+}
+
+unsigned MemoryModel::mvalueWidth() const {
+  unsigned Width = numValidPointers() * (ByteWidth + 1);
+  return Width == 0 ? 1 : Width;
+}
+
+z3::expr MemoryModel::contentsAt(const z3::expr &Memory,
+                                 unsigned Index) const {
+  unsigned Lo = Index * (ByteWidth + 1);
+  return Memory.extract(Lo + ByteWidth - 1, Lo);
+}
+
+z3::expr MemoryModel::accessFlagAt(const z3::expr &Memory,
+                                   unsigned Index) const {
+  unsigned Bit = Index * (ByteWidth + 1) + ByteWidth;
+  return Memory.extract(Bit, Bit);
+}
+
+/// Returns \p Memory with bits [Lo, Lo+width(Patch)-1] replaced by
+/// \p Patch — the replace() helper of the paper's st definition.
+static z3::expr replaceBits(const z3::expr &Memory, unsigned Lo,
+                            const z3::expr &Patch) {
+  unsigned Width = Memory.get_sort().bv_size();
+  unsigned PatchWidth = Patch.get_sort().bv_size();
+  unsigned Hi = Lo + PatchWidth - 1;
+  // concat(high part, patch, low part), omitting empty parts.
+  z3::expr Result = Patch;
+  if (Lo > 0)
+    Result = z3::concat(Result, Memory.extract(Lo - 1, 0));
+  if (Hi + 1 < Width)
+    Result = z3::concat(Memory.extract(Width - 1, Hi + 1), Result);
+  return Result;
+}
+
+z3::expr MemoryModel::store(const z3::expr &Memory, const z3::expr &Pointer,
+                            const z3::expr &Byte) const {
+  assert(hasMemory() && "store in a memory-free model");
+  // First-match-wins ite cascade: build from the last valid pointer
+  // backwards so V[0] ends up with the highest priority.
+  z3::expr Result = Memory;
+  for (unsigned I = numValidPointers(); I-- > 0;) {
+    unsigned Lo = I * (ByteWidth + 1);
+    Result = z3::ite(Pointer == ValidPointers[I],
+                     replaceBits(Memory, Lo, Byte), Result);
+  }
+  return Result;
+}
+
+std::pair<z3::expr, z3::expr>
+MemoryModel::load(const z3::expr &Memory, const z3::expr &Pointer) const {
+  assert(hasMemory() && "load in a memory-free model");
+  z3::expr Value = Smt.ctx().bv_val(0, ByteWidth);
+  z3::expr NewMemory = Memory;
+  z3::expr One = Smt.ctx().bv_val(1, 1);
+  for (unsigned I = numValidPointers(); I-- > 0;) {
+    z3::expr Matches = Pointer == ValidPointers[I];
+    Value = z3::ite(Matches, contentsAt(Memory, I), Value);
+    unsigned FlagBit = I * (ByteWidth + 1) + ByteWidth;
+    NewMemory =
+        z3::ite(Matches, replaceBits(Memory, FlagBit, One), NewMemory);
+  }
+  return {Value, NewMemory};
+}
+
+z3::expr MemoryModel::inRange(const z3::expr &Pointer) const {
+  std::vector<z3::expr> Matches;
+  for (const z3::expr &Valid : ValidPointers)
+    Matches.push_back(Pointer == Valid);
+  return Smt.mkOr(Matches);
+}
+
+std::pair<z3::expr, z3::expr>
+MemoryModel::loadValue(const z3::expr &Memory, const z3::expr &Pointer,
+                       unsigned NumBytes) const {
+  assert(NumBytes >= 1 && "load of zero bytes");
+  unsigned PointerWidth = Pointer.get_sort().bv_size();
+  z3::expr Current = Memory;
+  z3::expr Value(Smt.ctx());
+  for (unsigned I = 0; I < NumBytes; ++I) {
+    z3::expr Address = (Pointer + Smt.ctx().bv_val(I, PointerWidth))
+                           .simplify();
+    auto [Byte, Next] = load(Current, Address);
+    Current = Next;
+    Value = I == 0 ? Byte : z3::concat(Byte, Value); // Little endian.
+  }
+  return {Value, Current};
+}
+
+z3::expr MemoryModel::storeValue(const z3::expr &Memory,
+                                 const z3::expr &Pointer,
+                                 const z3::expr &Value) const {
+  unsigned ValueWidth = Value.get_sort().bv_size();
+  assert(ValueWidth % ByteWidth == 0 && "store width not a byte multiple");
+  unsigned PointerWidth = Pointer.get_sort().bv_size();
+  z3::expr Current = Memory;
+  for (unsigned I = 0; I < ValueWidth / ByteWidth; ++I) {
+    z3::expr Address = (Pointer + Smt.ctx().bv_val(I, PointerWidth))
+                           .simplify();
+    z3::expr Byte = Value.extract((I + 1) * ByteWidth - 1, I * ByteWidth);
+    Current = store(Current, Address, Byte);
+  }
+  return Current;
+}
+
+BitValue MemoryModel::contentsMask() const {
+  BitValue Mask = BitValue::zero(mvalueWidth());
+  for (unsigned I = 0; I < numValidPointers(); ++I)
+    for (unsigned B = 0; B < ByteWidth; ++B)
+      Mask.setBit(I * (ByteWidth + 1) + B, true);
+  return Mask;
+}
+
+BitValue MemoryModel::flagsMask() const {
+  BitValue Mask = BitValue::zero(mvalueWidth());
+  for (unsigned I = 0; I < numValidPointers(); ++I)
+    Mask.setBit(I * (ByteWidth + 1) + ByteWidth, true);
+  return Mask;
+}

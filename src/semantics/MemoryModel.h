@@ -1,0 +1,109 @@
+//===- MemoryModel.h - The paper's M-value encoding -------------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The novel memory encoding of the paper (Section 4.1): instead of
+/// the SMT theory of arrays — which the authors found to blow up the
+/// solver — an M-value is a plain bit-vector that stores, for each
+/// *valid pointer* of the goal instruction, one byte of memory contents
+/// plus an access flag.
+///
+/// Layout for valid pointers V[0..n-1] and byte width w:
+///   bits [i*(w+1)     .. i*(w+1)+w-1]  contents for V[i]
+///   bit  [i*(w+1)+w]                    access flag for V[i]
+///
+/// The store function compares the pointer against the valid pointers
+/// in a fixed order; only the first aliasing valid pointer is ever
+/// used, which keeps the model consistent under aliasing (Section 4.1,
+/// "Representation of M-Values").
+///
+/// A MemoryModel instance is specific to one goal instruction *and*
+/// one vector of argument expressions: during CEGIS the valid pointers
+/// are re-evaluated under each concrete test case ("the valid pointers
+/// are not evaluated until the call to st or ld").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_SEMANTICS_MEMORYMODEL_H
+#define SELGEN_SEMANTICS_MEMORYMODEL_H
+
+#include "smt/SmtContext.h"
+
+#include <utility>
+#include <vector>
+
+namespace selgen {
+
+/// Builds the goal-specific M-value sort and the primitive ld/st
+/// functions over it.
+class MemoryModel {
+public:
+  /// \p ValidPointers are the pointer expressions the goal
+  /// dereferences, in terms of this instantiation's argument
+  /// expressions. \p ByteWidth is the width of a memory byte (w in the
+  /// paper; 8 unless a test shrinks it).
+  MemoryModel(SmtContext &Smt, std::vector<z3::expr> ValidPointers,
+              unsigned ByteWidth = 8);
+
+  unsigned numValidPointers() const { return ValidPointers.size(); }
+  unsigned byteWidth() const { return ByteWidth; }
+
+  /// Width of the M-value bit-vector: |V| * (w + 1), at least 1 so the
+  /// sort exists even for memory-free goals.
+  unsigned mvalueWidth() const;
+
+  /// True if this goal accesses memory at all.
+  bool hasMemory() const { return !ValidPointers.empty(); }
+
+  /// The st function of the paper: returns the M-value \p Memory with
+  /// the contents byte of the first valid pointer equal to \p Pointer
+  /// replaced by \p Byte. If no valid pointer matches, returns
+  /// \p Memory unchanged (callers rule this out via inRange).
+  z3::expr store(const z3::expr &Memory, const z3::expr &Pointer,
+                 const z3::expr &Byte) const;
+
+  /// The ld function: yields the contents byte for the first matching
+  /// valid pointer, plus the successor M-value with that pointer's
+  /// access flag set.
+  std::pair<z3::expr, z3::expr> load(const z3::expr &Memory,
+                                     const z3::expr &Pointer) const;
+
+  /// The "valid pointer" constraint (paper Sections 4.1/5.2):
+  /// \p Pointer equals one of the valid pointers.
+  z3::expr inRange(const z3::expr &Pointer) const;
+
+  /// Multi-byte little-endian load of \p NumBytes bytes; chains the
+  /// access flags through all byte loads.
+  std::pair<z3::expr, z3::expr> loadValue(const z3::expr &Memory,
+                                          const z3::expr &Pointer,
+                                          unsigned NumBytes) const;
+
+  /// Multi-byte little-endian store of \p Value (width must be a
+  /// multiple of the byte width).
+  z3::expr storeValue(const z3::expr &Memory, const z3::expr &Pointer,
+                      const z3::expr &Value) const;
+
+  /// Contents byte stored for valid pointer \p Index.
+  z3::expr contentsAt(const z3::expr &Memory, unsigned Index) const;
+  /// Access flag stored for valid pointer \p Index.
+  z3::expr accessFlagAt(const z3::expr &Memory, unsigned Index) const;
+
+  /// Bit masks over the M-value separating contents from flag bits;
+  /// the iterative-CEGIS memory analysis (Section 5.4) uses these to
+  /// decide whether a goal needs loads, stores, or both.
+  BitValue contentsMask() const;
+  BitValue flagsMask() const;
+
+private:
+  SmtContext &Smt;
+  std::vector<z3::expr> ValidPointers;
+  unsigned ByteWidth;
+};
+
+} // namespace selgen
+
+#endif // SELGEN_SEMANTICS_MEMORYMODEL_H

@@ -1,0 +1,87 @@
+//===- SmtContext.cpp - Z3 context wrapper ----------------------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/SmtContext.h"
+
+#include "support/Error.h"
+#include "support/Statistics.h"
+
+using namespace selgen;
+
+z3::expr SmtContext::literal(const BitValue &Value) {
+  if (Value.width() <= 64)
+    return Ctx.bv_val(static_cast<uint64_t>(Value.zextValue()),
+                      Value.width());
+  // Wide literals go through the decimal string constructor.
+  return Ctx.bv_val(Value.toUnsignedString().c_str(), Value.width());
+}
+
+BitValue SmtContext::evalBits(const z3::model &Model, const z3::expr &Expr) {
+  z3::expr Evaluated = Model.eval(Expr, /*model_completion=*/true);
+  assert(Evaluated.is_bv() && "expected a bit-vector expression");
+  unsigned Width = Evaluated.get_sort().bv_size();
+  uint64_t Narrow = 0;
+  if (Evaluated.is_numeral_u64(Narrow))
+    return BitValue(Width, Narrow);
+  // Wide values: parse the decimal numeral string.
+  return BitValue::fromString(Width, Evaluated.get_decimal_string(0), 10);
+}
+
+bool SmtContext::evalBool(const z3::model &Model, const z3::expr &Expr) {
+  z3::expr Evaluated = Model.eval(Expr, /*model_completion=*/true);
+  assert(Evaluated.is_bool() && "expected a boolean expression");
+  return Evaluated.is_true();
+}
+
+z3::expr SmtContext::mkAnd(const std::vector<z3::expr> &Conjuncts) {
+  z3::expr Result = Ctx.bool_val(true);
+  for (const z3::expr &Conjunct : Conjuncts)
+    Result = Result && Conjunct;
+  return Result.simplify();
+}
+
+z3::expr SmtContext::mkOr(const std::vector<z3::expr> &Disjuncts) {
+  z3::expr Result = Ctx.bool_val(false);
+  for (const z3::expr &Disjunct : Disjuncts)
+    Result = Result || Disjunct;
+  return Result.simplify();
+}
+
+SmtSolver::SmtSolver(SmtContext &Context, const char *Logic)
+    : Context(Context), Solver(Context.ctx(), Logic) {}
+
+void SmtSolver::setTimeoutMilliseconds(unsigned Milliseconds) {
+  z3::params Params(Context.ctx());
+  Params.set("timeout", Milliseconds);
+  Solver.set(Params);
+}
+
+static SmtResult recordResult(z3::check_result Result) {
+  Statistics::get().add("smt.checks");
+  switch (Result) {
+  case z3::sat:
+    Statistics::get().add("smt.sat");
+    return SmtResult::Sat;
+  case z3::unsat:
+    Statistics::get().add("smt.unsat");
+    return SmtResult::Unsat;
+  case z3::unknown:
+    Statistics::get().add("smt.unknown");
+    return SmtResult::Unknown;
+  }
+  SELGEN_UNREACHABLE("bad check result");
+}
+
+SmtResult SmtSolver::check() { return recordResult(Solver.check()); }
+
+SmtResult
+SmtSolver::checkAssuming(const std::vector<z3::expr> &Assumptions) {
+  z3::expr_vector Vector(Context.ctx());
+  for (const z3::expr &Assumption : Assumptions)
+    Vector.push_back(Assumption);
+  return recordResult(Solver.check(Vector));
+}

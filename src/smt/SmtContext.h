@@ -1,0 +1,106 @@
+//===- SmtContext.h - Z3 context wrapper --------------------------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thin RAII layer over the Z3 C++ API. Following the paper
+/// (Section 2.3), everything is modeled in the quantifier-free
+/// bit-vector theory QF_BV: booleans appear only at the formula level,
+/// and all values — including the location variables and the M-values —
+/// are bit-vectors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_SMT_SMTCONTEXT_H
+#define SELGEN_SMT_SMTCONTEXT_H
+
+#include "ir/Sort.h"
+#include "support/BitValue.h"
+
+#include <z3++.h>
+
+#include <string>
+#include <vector>
+
+namespace selgen {
+
+/// Owns a z3::context and provides conversions between the project's
+/// value types and Z3 terms.
+class SmtContext {
+public:
+  SmtContext() = default;
+  SmtContext(const SmtContext &) = delete;
+  SmtContext &operator=(const SmtContext &) = delete;
+
+  z3::context &ctx() { return Ctx; }
+
+  /// Creates a bit-vector literal from a BitValue of any width.
+  z3::expr literal(const BitValue &Value);
+
+  /// Creates a fresh bit-vector constant.
+  z3::expr bvConst(const std::string &Name, unsigned Width) {
+    return Ctx.bv_const(Name.c_str(), Width);
+  }
+
+  /// Creates a fresh boolean constant.
+  z3::expr boolConst(const std::string &Name) {
+    return Ctx.bool_const(Name.c_str());
+  }
+
+  z3::expr boolVal(bool Value) { return Ctx.bool_val(Value); }
+
+  /// Extracts the value of bit-vector expression \p Expr under
+  /// \p Model, with model completion (unconstrained bits become 0).
+  BitValue evalBits(const z3::model &Model, const z3::expr &Expr);
+
+  /// Extracts a boolean under \p Model with model completion.
+  bool evalBool(const z3::model &Model, const z3::expr &Expr);
+
+  /// Conjunction of a vector (true for the empty vector).
+  z3::expr mkAnd(const std::vector<z3::expr> &Conjuncts);
+
+  /// Disjunction of a vector (false for the empty vector).
+  z3::expr mkOr(const std::vector<z3::expr> &Disjuncts);
+
+private:
+  z3::context Ctx;
+};
+
+/// Outcome of a solver query.
+enum class SmtResult { Sat, Unsat, Unknown };
+
+/// A solver bound to a context, with query statistics and timeout
+/// support. Statistics land in the global Statistics registry under
+/// "smt.checks", "smt.sat", "smt.unsat", "smt.unknown".
+class SmtSolver {
+public:
+  /// \p Logic defaults to QF_BV (the paper's setting, Section 2.3:
+  /// constraining Z3 to one theory "reduced the solving time by a
+  /// factor of two"); pass e.g. "QF_ABV" for array-theory experiments.
+  explicit SmtSolver(SmtContext &Context, const char *Logic = "QF_BV");
+
+  void add(const z3::expr &Assertion) { Solver.add(Assertion); }
+  void push() { Solver.push(); }
+  void pop() { Solver.pop(); }
+  void reset() { Solver.reset(); }
+
+  /// Sets the per-check timeout. Zero disables the timeout.
+  void setTimeoutMilliseconds(unsigned Milliseconds);
+
+  SmtResult check();
+  /// Like check(), with extra assumptions for this query only.
+  SmtResult checkAssuming(const std::vector<z3::expr> &Assumptions);
+
+  z3::model model() { return Solver.get_model(); }
+
+private:
+  SmtContext &Context;
+  z3::solver Solver;
+};
+
+} // namespace selgen
+
+#endif // SELGEN_SMT_SMTCONTEXT_H

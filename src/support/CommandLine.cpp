@@ -1,0 +1,75 @@
+//===- CommandLine.cpp - Minimal flag parsing ----------------------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CommandLine.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+using namespace selgen;
+
+CommandLine::CommandLine(int Argc, char **Argv,
+                         const std::vector<std::string> &KnownFlags) {
+  auto isKnown = [&KnownFlags](const std::string &Name) {
+    return std::find(KnownFlags.begin(), KnownFlags.end(), Name) !=
+           KnownFlags.end();
+  };
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (!startsWith(Arg, "--")) {
+      Positional.push_back(Arg);
+      continue;
+    }
+    std::string Name = Arg.substr(2);
+    std::string Value;
+    size_t Equals = Name.find('=');
+    if (Equals != std::string::npos) {
+      Value = Name.substr(Equals + 1);
+      Name = Name.substr(0, Equals);
+    } else if (I + 1 < Argc && !startsWith(Argv[I + 1], "--")) {
+      Value = Argv[++I];
+    }
+    if (!isKnown(Name)) {
+      Errors.push_back("unknown option: --" + Name);
+      continue;
+    }
+    Options[Name] = Value;
+  }
+}
+
+std::string CommandLine::stringOption(const std::string &Name,
+                                      const std::string &Default) const {
+  auto It = Options.find(Name);
+  return It == Options.end() || It->second.empty() ? Default : It->second;
+}
+
+int64_t CommandLine::intOption(const std::string &Name,
+                               int64_t Default) const {
+  auto It = Options.find(Name);
+  return It == Options.end() || It->second.empty()
+             ? Default
+             : std::atoll(It->second.c_str());
+}
+
+double CommandLine::doubleOption(const std::string &Name,
+                                 double Default) const {
+  auto It = Options.find(Name);
+  return It == Options.end() || It->second.empty()
+             ? Default
+             : std::atof(It->second.c_str());
+}
+
+std::string CommandLine::usage(const std::string &Program,
+                               const std::vector<std::string> &KnownFlags) {
+  std::string Result = "usage: " + Program;
+  for (const std::string &Flag : KnownFlags)
+    Result += " [--" + Flag + " <value>]";
+  return Result;
+}

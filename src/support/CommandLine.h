@@ -1,0 +1,58 @@
+//===- CommandLine.h - Minimal flag parsing ----------------------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately small command-line parser for the examples and
+/// benchmark harnesses: --flag, --key value, --key=value, and free
+/// positional arguments. Unknown flags are reported, not silently
+/// accepted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_SUPPORT_COMMANDLINE_H
+#define SELGEN_SUPPORT_COMMANDLINE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace selgen {
+
+/// Parsed command line.
+class CommandLine {
+public:
+  /// Parses argv. \p KnownFlags lists accepted option names (without
+  /// the leading dashes); anything else lands in errors().
+  CommandLine(int Argc, char **Argv,
+              const std::vector<std::string> &KnownFlags);
+
+  bool hasFlag(const std::string &Name) const {
+    return Options.count(Name) != 0;
+  }
+
+  std::string stringOption(const std::string &Name,
+                           const std::string &Default) const;
+  int64_t intOption(const std::string &Name, int64_t Default) const;
+  double doubleOption(const std::string &Name, double Default) const;
+
+  const std::vector<std::string> &positional() const { return Positional; }
+  const std::vector<std::string> &errors() const { return Errors; }
+
+  /// Renders a usage line from the known flags.
+  static std::string usage(const std::string &Program,
+                           const std::vector<std::string> &KnownFlags);
+
+private:
+  std::map<std::string, std::string> Options;
+  std::vector<std::string> Positional;
+  std::vector<std::string> Errors;
+};
+
+} // namespace selgen
+
+#endif // SELGEN_SUPPORT_COMMANDLINE_H

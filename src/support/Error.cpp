@@ -1,0 +1,16 @@
+//===- Error.cpp - Fatal error reporting -----------------------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void selgen::reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "error: %s\n", Message.c_str());
+  std::abort();
+}

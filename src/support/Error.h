@@ -1,0 +1,31 @@
+//===- Error.h - Fatal error reporting ---------------------------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal-error reporting and the unreachable marker used across the
+/// library, in the spirit of LLVM's report_fatal_error and
+/// llvm_unreachable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_SUPPORT_ERROR_H
+#define SELGEN_SUPPORT_ERROR_H
+
+#include <string>
+
+namespace selgen {
+
+/// Prints "error: <message>" to stderr and aborts.
+[[noreturn]] void reportFatalError(const std::string &Message);
+
+} // namespace selgen
+
+/// Marks a point in the code that must never be reached.
+#define SELGEN_UNREACHABLE(Message)                                           \
+  ::selgen::reportFatalError(std::string("unreachable: ") + (Message))
+
+#endif // SELGEN_SUPPORT_ERROR_H

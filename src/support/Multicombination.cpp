@@ -1,0 +1,93 @@
+//===- Multicombination.cpp - Multiset enumeration ------------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Multicombination.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace selgen;
+
+MulticombinationEnumerator::MulticombinationEnumerator(unsigned NumItems,
+                                                       unsigned Size)
+    : NumItems(NumItems), State(Size, 0), Done(NumItems == 0 && Size > 0) {
+  assert(Size >= 1 && "empty multisets are not enumerated");
+}
+
+bool MulticombinationEnumerator::next() {
+  if (Done)
+    return false;
+  // Find the rightmost position that can still be incremented.
+  unsigned Size = State.size();
+  unsigned Pos = Size;
+  while (Pos > 0 && State[Pos - 1] == NumItems - 1)
+    --Pos;
+  if (Pos == 0) {
+    Done = true;
+    return false;
+  }
+  unsigned NewValue = State[Pos - 1] + 1;
+  for (unsigned I = Pos - 1; I < Size; ++I)
+    State[I] = NewValue;
+  return true;
+}
+
+static uint64_t saturatingMul(uint64_t A, uint64_t B) {
+  if (A != 0 && B > std::numeric_limits<uint64_t>::max() / A)
+    return std::numeric_limits<uint64_t>::max();
+  return A * B;
+}
+
+uint64_t selgen::binomial(uint64_t N, uint64_t K) {
+  if (K > N)
+    return 0;
+  if (K > N - K)
+    K = N - K;
+  uint64_t Result = 1;
+  for (uint64_t I = 1; I <= K; ++I) {
+    // Result * (N - K + I) is divisible by I because the running
+    // product covers I consecutive integers.
+    Result = saturatingMul(Result, N - K + I) / I;
+  }
+  return Result;
+}
+
+uint64_t selgen::multisetCount(unsigned NumItems, unsigned Size) {
+  if (NumItems == 0)
+    return Size == 0 ? 1 : 0;
+  return binomial(uint64_t(NumItems) + Size - 1, Size);
+}
+
+uint64_t selgen::factorial(unsigned N) {
+  uint64_t Result = 1;
+  for (unsigned I = 2; I <= N; ++I)
+    Result = saturatingMul(Result, I);
+  return Result;
+}
+
+double selgen::classicalSearchSpaceLog2(unsigned NumOperations) {
+  double Log2 = 0;
+  for (unsigned I = 2; I <= NumOperations; ++I)
+    Log2 += std::log2(static_cast<double>(I));
+  return Log2;
+}
+
+double selgen::iterativeSearchSpaceLog2(unsigned NumOperations,
+                                        unsigned MaxSize) {
+  double Total = 0;
+  for (unsigned Size = 1; Size <= MaxSize; ++Size) {
+    // ((n, l)) * l! computed in floating point to avoid overflow.
+    double Term = 1;
+    for (unsigned I = 0; I < Size; ++I)
+      Term *= static_cast<double>(NumOperations + I) / (I + 1);
+    for (unsigned I = 2; I <= Size; ++I)
+      Term *= I;
+    Total += Term;
+  }
+  return std::log2(Total);
+}

@@ -1,0 +1,67 @@
+//===- Multicombination.h - Multiset enumeration ----------------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Enumeration of l-multicombinations (multisets of size l drawn from n
+/// items), following Knuth, TAOCP Vol. 4 Fasc. 3, used by the iterative
+/// CEGIS driver (paper Section 5.4). Also provides the search-space
+/// size estimates quoted in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_SUPPORT_MULTICOMBINATION_H
+#define SELGEN_SUPPORT_MULTICOMBINATION_H
+
+#include <cstdint>
+#include <vector>
+
+namespace selgen {
+
+/// Enumerates all multisets of size \p Size over items {0, ..., NumItems-1}
+/// in lexicographically nondecreasing order. Each state is a nondecreasing
+/// index vector, e.g. for NumItems=3, Size=2: 00 01 02 11 12 22.
+class MulticombinationEnumerator {
+public:
+  MulticombinationEnumerator(unsigned NumItems, unsigned Size);
+
+  /// Returns false once all multicombinations have been produced.
+  bool atEnd() const { return Done; }
+
+  /// The current multiset as a nondecreasing vector of item indices.
+  const std::vector<unsigned> &current() const { return State; }
+
+  /// Advances to the next multicombination; returns false if exhausted.
+  bool next();
+
+private:
+  unsigned NumItems;
+  std::vector<unsigned> State;
+  bool Done;
+};
+
+/// Returns the number of l-multicombinations of n items, i.e. the
+/// multiset coefficient ((n, l)) = C(n + l - 1, l). Saturates at
+/// UINT64_MAX on overflow.
+uint64_t multisetCount(unsigned NumItems, unsigned Size);
+
+/// Returns C(n, k) saturating at UINT64_MAX.
+uint64_t binomial(uint64_t N, uint64_t K);
+
+/// Returns n! saturating at UINT64_MAX.
+uint64_t factorial(unsigned N);
+
+/// Log2 of the classical-CEGIS search-space estimate |I|! from the
+/// paper's Section 5.4 ("Search Space Estimate").
+double classicalSearchSpaceLog2(unsigned NumOperations);
+
+/// Log2 of the iterative-CEGIS search-space estimate
+/// sum_{l=1}^{lmax} ((|I|, l)) * l! from the paper's Section 5.4.
+double iterativeSearchSpaceLog2(unsigned NumOperations, unsigned MaxSize);
+
+} // namespace selgen
+
+#endif // SELGEN_SUPPORT_MULTICOMBINATION_H

@@ -1,0 +1,83 @@
+//===- Rng.h - Deterministic random number generation -----------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic RNG (SplitMix64) used by the workload
+/// generator and the property-based tests. Determinism matters: the
+/// evaluation harness must produce the same synthetic "SPEC-like"
+/// programs on every run so that measurements are comparable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_SUPPORT_RNG_H
+#define SELGEN_SUPPORT_RNG_H
+
+#include "support/BitValue.h"
+
+#include <cstdint>
+
+namespace selgen {
+
+/// SplitMix64: tiny, fast, and good enough for workload generation.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  uint64_t nextUInt64() {
+    State += 0x9E3779B97F4A7C15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a uniform value in [0, Bound). \p Bound must be positive.
+  uint64_t nextBelow(uint64_t Bound) { return nextUInt64() % Bound; }
+
+  /// Returns a uniform value in [Lo, Hi] (inclusive).
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(nextBelow(uint64_t(Hi - Lo) + 1));
+  }
+
+  bool nextBool() { return nextUInt64() & 1; }
+
+  /// Returns a uniform BitValue of the given width.
+  BitValue nextBitValue(unsigned Width) {
+    BitValue Result(Width, 0);
+    for (unsigned I = 0; I < Width; I += 64)
+      Result = Result.bitOr(
+          BitValue(Width, nextUInt64()).shl(I));
+    return Result;
+  }
+
+  /// Returns a BitValue biased toward "interesting" values (0, 1, -1,
+  /// sign bit, small constants) half of the time; uniform otherwise.
+  /// Useful seeds for CEGIS test cases and property tests.
+  BitValue nextInterestingBitValue(unsigned Width) {
+    switch (nextBelow(10)) {
+    case 0:
+      return BitValue::zero(Width);
+    case 1:
+      return BitValue(Width, 1);
+    case 2:
+      return BitValue::allOnes(Width);
+    case 3:
+      return BitValue::signBit(Width);
+    case 4:
+      return BitValue(Width, nextBelow(16));
+    default:
+      return nextBitValue(Width);
+    }
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace selgen
+
+#endif // SELGEN_SUPPORT_RNG_H

@@ -1,0 +1,37 @@
+//===- Statistics.cpp - Named statistic counters ---------------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+using namespace selgen;
+
+Statistics &Statistics::get() {
+  static Statistics Instance;
+  return Instance;
+}
+
+void Statistics::add(const std::string &Name, int64_t Delta) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  Counters[Name] += Delta;
+}
+
+int64_t Statistics::value(const std::string &Name) const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? 0 : It->second;
+}
+
+void Statistics::clear() {
+  std::lock_guard<std::mutex> Guard(Lock);
+  Counters.clear();
+}
+
+void Statistics::print(std::ostream &OS) const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  for (const auto &[Name, Value] : Counters)
+    OS << Name << " = " << Value << "\n";
+}

@@ -1,0 +1,53 @@
+//===- Statistics.h - Named statistic counters -------------------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide registry of named counters, in the spirit of LLVM's
+/// Statistic class. The synthesizer uses it to report solver-call
+/// counts, skipped multisets, counterexample counts, and so on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_SUPPORT_STATISTICS_H
+#define SELGEN_SUPPORT_STATISTICS_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace selgen {
+
+/// Registry of named 64-bit counters. Thread-safe: the parallel
+/// synthesis driver (pattern/ParallelBuilder) bumps counters from
+/// several workers.
+class Statistics {
+public:
+  /// Returns the singleton registry.
+  static Statistics &get();
+
+  /// Adds \p Delta to the counter named \p Name (creating it at zero).
+  void add(const std::string &Name, int64_t Delta = 1);
+
+  /// Returns the current value of \p Name, or zero if never touched.
+  int64_t value(const std::string &Name) const;
+
+  /// Resets all counters. Tests use this for isolation.
+  void clear();
+
+  /// Prints all counters, sorted by name.
+  void print(std::ostream &OS) const;
+
+private:
+  mutable std::mutex Lock;
+  std::map<std::string, int64_t> Counters;
+};
+
+} // namespace selgen
+
+#endif // SELGEN_SUPPORT_STATISTICS_H

@@ -1,0 +1,65 @@
+//===- Timer.h - Wall-clock timing -------------------------------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock timers used by the synthesis driver and the benchmark
+/// harnesses, plus formatting of durations in the paper's style
+/// ("100 h 50 min 54 s").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_SUPPORT_TIMER_H
+#define SELGEN_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <string>
+
+namespace selgen {
+
+/// A simple wall-clock stopwatch.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  double elapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  int64_t elapsedMilliseconds() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               Clock::now() - Start)
+        .count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Formats a duration the way the paper's tables do, e.g.
+/// "3 min 25 s", "18 h 10 min 58 s", "5 s", "420 ms".
+inline std::string formatDuration(double Seconds) {
+  if (Seconds < 1.0)
+    return std::to_string(static_cast<int64_t>(Seconds * 1000)) + " ms";
+  int64_t Total = static_cast<int64_t>(Seconds);
+  int64_t Hours = Total / 3600;
+  int64_t Minutes = (Total % 3600) / 60;
+  int64_t Secs = Total % 60;
+  std::string Result;
+  if (Hours > 0)
+    Result += std::to_string(Hours) + " h ";
+  if (Hours > 0 || Minutes > 0)
+    Result += std::to_string(Minutes) + " min ";
+  Result += std::to_string(Secs) + " s";
+  return Result;
+}
+
+} // namespace selgen
+
+#endif // SELGEN_SUPPORT_TIMER_H

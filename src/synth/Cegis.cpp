@@ -1,0 +1,308 @@
+//===- Cegis.cpp - Counterexample-guided inductive synthesis -----------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Cegis.h"
+
+#include "support/Rng.h"
+#include "support/Timer.h"
+#include "support/Statistics.h"
+
+#include <set>
+
+using namespace selgen;
+
+namespace {
+
+/// Builds the argument expressions and memory model for one concrete
+/// test case.
+struct ConcreteInstance {
+  std::vector<z3::expr> Args;
+  std::unique_ptr<MemoryModel> Memory;
+};
+
+ConcreteInstance makeConcreteInstance(SmtContext &Smt, unsigned Width,
+                                      const InstrSpec &Goal,
+                                      const TestCase &Test) {
+  ConcreteInstance Instance;
+  // Memory arguments need the M-value width, which needs the valid
+  // pointers, which need the (value) arguments — so build value
+  // literals first and patch memory literals in after the model
+  // exists. Valid pointers never depend on memory arguments.
+  std::vector<unsigned> MemoryArgIndices;
+  for (unsigned I = 0; I < Goal.argSorts().size(); ++I) {
+    const Sort &S = Goal.argSorts()[I];
+    if (S.isMemory()) {
+      MemoryArgIndices.push_back(I);
+      Instance.Args.push_back(Smt.ctx().bv_val(0, 1)); // Placeholder.
+    } else {
+      assert(S.isValue() && "goal arguments are values or memory");
+      Instance.Args.push_back(Smt.literal(Test[I]));
+    }
+  }
+  Instance.Memory = std::make_unique<MemoryModel>(
+      Smt, Goal.validPointers(Smt, Width, Instance.Args));
+  for (unsigned I : MemoryArgIndices) {
+    assert(Test[I].width() == Instance.Memory->mvalueWidth() &&
+           "memory test value width mismatch");
+    Instance.Args[I] = Smt.literal(Test[I]);
+  }
+  return Instance;
+}
+
+/// Builds fresh symbolic arguments and the memory model over them.
+ConcreteInstance makeSymbolicInstance(SmtContext &Smt, unsigned Width,
+                                      const InstrSpec &Goal,
+                                      const std::string &Tag) {
+  ConcreteInstance Instance;
+  std::vector<unsigned> MemoryArgIndices;
+  for (unsigned I = 0; I < Goal.argSorts().size(); ++I) {
+    const Sort &S = Goal.argSorts()[I];
+    if (S.isMemory()) {
+      MemoryArgIndices.push_back(I);
+      Instance.Args.push_back(Smt.ctx().bv_val(0, 1)); // Placeholder.
+    } else {
+      Instance.Args.push_back(
+          Smt.bvConst(Tag + "_a" + std::to_string(I), S.Width));
+    }
+  }
+  Instance.Memory = std::make_unique<MemoryModel>(
+      Smt, Goal.validPointers(Smt, Width, Instance.Args));
+  for (unsigned I : MemoryArgIndices)
+    Instance.Args[I] = Smt.bvConst(Tag + "_a" + std::to_string(I),
+                                   Instance.Memory->mvalueWidth());
+  return Instance;
+}
+
+/// Equality of a pattern result with the goal result of the same sort.
+z3::expr resultsEqual(SmtContext &Smt, const std::vector<z3::expr> &Lhs,
+                      const std::vector<z3::expr> &Rhs) {
+  assert(Lhs.size() == Rhs.size() && "result count mismatch");
+  std::vector<z3::expr> Equalities;
+  for (unsigned I = 0; I < Lhs.size(); ++I)
+    Equalities.push_back(Lhs[I] == Rhs[I]);
+  return Smt.mkAnd(Equalities);
+}
+
+} // namespace
+
+std::vector<TestCase> selgen::makeInitialTests(const InstrSpec &Goal,
+                                               unsigned Width,
+                                               SmtContext &Smt, uint64_t Seed,
+                                               unsigned Count) {
+  // The memory width depends only on the number of valid pointers;
+  // probe it once with zero-valued arguments.
+  std::vector<z3::expr> ProbeArgs;
+  for (const Sort &S : Goal.argSorts())
+    ProbeArgs.push_back(
+        Smt.ctx().bv_val(0, S.isMemory() ? 1 : S.Width));
+  MemoryModel Probe(Smt, Goal.validPointers(Smt, Width, ProbeArgs));
+  unsigned MemoryWidth = Probe.mvalueWidth();
+
+  Rng Generator(Seed);
+  std::vector<TestCase> Tests;
+  for (unsigned T = 0; T < Count; ++T) {
+    TestCase Test;
+    for (const Sort &S : Goal.argSorts()) {
+      if (S.isMemory())
+        Test.push_back(Generator.nextBitValue(MemoryWidth));
+      else if (T == 0)
+        Test.push_back(BitValue(S.Width, 1)); // A simple deterministic seed.
+      else
+        Test.push_back(Generator.nextInterestingBitValue(S.Width));
+    }
+    Tests.push_back(std::move(Test));
+  }
+  return Tests;
+}
+
+bool selgen::verifyPatternAgainstGoal(SmtContext &Smt, unsigned Width,
+                                      const InstrSpec &Goal,
+                                      const Graph &Pattern,
+                                      TestCase *Counterexample,
+                                      unsigned QueryTimeoutMs,
+                                      bool RequireTotal) {
+  ConcreteInstance Instance =
+      makeSymbolicInstance(Smt, Width, Goal, "verify");
+
+  SemanticsContext GoalContext{Smt, Width, Instance.Memory.get(), {}};
+  std::vector<z3::expr> GoalResults =
+      Goal.computeResults(GoalContext, Instance.Args, {});
+  z3::expr GoalPrecondition =
+      Goal.precondition(GoalContext, Instance.Args, {});
+
+  SemanticsContext PatternContext{Smt, Width, Instance.Memory.get(), {}};
+  GraphSemantics PatternSemantics =
+      buildGraphSemantics(PatternContext, Pattern, Instance.Args);
+
+  // Search for a counterexample: the pattern's precondition holds, and
+  // (1) the goal's does not, or (2) some result differs, or (3) the
+  // pattern touches memory outside the goal's valid pointers.
+  std::vector<z3::expr> ResultMismatches;
+  for (unsigned R = 0; R < GoalResults.size(); ++R)
+    ResultMismatches.push_back(PatternSemantics.Results[R] !=
+                               GoalResults[R]);
+
+  SmtSolver Solver(Smt);
+  if (QueryTimeoutMs)
+    Solver.setTimeoutMilliseconds(QueryTimeoutMs);
+  if (RequireTotal) {
+    // Total mode: wherever the goal is defined, the pattern must be
+    // defined, in range, and equal.
+    Solver.add(GoalPrecondition);
+    Solver.add(!PatternSemantics.Precondition ||
+               Smt.mkOr(ResultMismatches) ||
+               !Smt.mkAnd(PatternSemantics.RangeConditions));
+  } else {
+    // Paper semantics: wherever the pattern is defined, the goal must
+    // be defined and equal, and the pattern must stay in range.
+    Solver.add(PatternSemantics.Precondition);
+    Solver.add(!GoalPrecondition || Smt.mkOr(ResultMismatches) ||
+               !Smt.mkAnd(PatternSemantics.RangeConditions));
+  }
+
+  SmtResult Result = Solver.check();
+  if (Result == SmtResult::Unsat)
+    return true;
+  if (Result == SmtResult::Sat && Counterexample) {
+    z3::model Model = Solver.model();
+    Counterexample->clear();
+    for (const z3::expr &Arg : Instance.Args)
+      Counterexample->push_back(Smt.evalBits(Model, Arg));
+  }
+  return false;
+}
+
+CegisOutcome selgen::runCegisAllPatterns(SmtContext &Smt, unsigned Width,
+                                         const InstrSpec &Goal,
+                                         const std::vector<Opcode> &Templates,
+                                         std::vector<TestCase> &SharedTests,
+                                         const CegisOptions &Options) {
+  CegisOutcome Outcome;
+  ProgramEncoding Encoding(Smt, Width, Goal, Templates,
+                           Options.RequireAllUsed);
+
+  SmtSolver Synthesis(Smt);
+  if (Options.QueryTimeoutMs)
+    Synthesis.setTimeoutMilliseconds(Options.QueryTimeoutMs);
+  Synthesis.add(Encoding.wellFormed());
+
+  // Non-vacuity witness: the candidate's precondition and memory range
+  // conditions must be satisfiable for at least one input. Without
+  // this, any pattern with an unsatisfiable P+ (say, a shift by a
+  // constant >= the width) is vacuously "equivalent" to every goal and
+  // floods the enumeration with junk rules no defined program can
+  // trigger.
+  {
+    ConcreteInstance Witness =
+        makeSymbolicInstance(Smt, Width, Goal, "wit");
+    EncodedInstance Encoded =
+        Encoding.instantiate(Witness.Args, *Witness.Memory, "wit");
+    Synthesis.add(Encoded.Definitions);
+    Synthesis.add(Encoded.Precondition);
+    Synthesis.add(Encoded.RangeCondition);
+  }
+
+  if (SharedTests.empty())
+    SharedTests = makeInitialTests(Goal, Width, Smt, Options.RngSeed,
+                                   /*Count=*/3);
+
+  // Assert the synthesis condition for one test case:
+  //   definitions ∧ (P+ -> (P(g) ∧ vr = vr' ∧ V+ ⊆ V)).
+  unsigned AssertedTests = 0;
+  auto assertTestCase = [&](const TestCase &Test) {
+    ConcreteInstance Instance =
+        makeConcreteInstance(Smt, Width, Goal, Test);
+    std::string Tag = "t" + std::to_string(AssertedTests++);
+    EncodedInstance Encoded =
+        Encoding.instantiate(Instance.Args, *Instance.Memory, Tag);
+
+    SemanticsContext GoalContext{Smt, Width, Instance.Memory.get(), {}};
+    std::vector<z3::expr> GoalResults =
+        Goal.computeResults(GoalContext, Instance.Args, {});
+    z3::expr GoalPrecondition =
+        Goal.precondition(GoalContext, Instance.Args, {});
+
+    Synthesis.add(Encoded.Definitions);
+    if (Options.RequireTotalPatterns)
+      Synthesis.add(z3::implies(
+          GoalPrecondition,
+          Encoded.Precondition &&
+              resultsEqual(Smt, Encoded.Results, GoalResults) &&
+              Encoded.RangeCondition));
+    else
+      Synthesis.add(z3::implies(Encoded.Precondition,
+                                GoalPrecondition &&
+                                    resultsEqual(Smt, Encoded.Results,
+                                                 GoalResults) &&
+                                    Encoded.RangeCondition));
+  };
+
+  for (const TestCase &Test : SharedTests)
+    assertTestCase(Test);
+
+  std::set<std::string> SeenFingerprints;
+
+  Timer Clock;
+  for (unsigned Iteration = 0; Iteration < Options.MaxIterations;
+       ++Iteration) {
+    if (Options.TimeBudgetSeconds > 0 &&
+        Clock.elapsedSeconds() > Options.TimeBudgetSeconds) {
+      Outcome.SolverTrouble = true;
+      return Outcome;
+    }
+    ++Outcome.SynthesisQueries;
+    Statistics::get().add("cegis.synthesis_queries");
+    SmtResult Result = Synthesis.check();
+    if (Result == SmtResult::Unsat) {
+      Outcome.Exhausted = true;
+      return Outcome;
+    }
+    if (Result == SmtResult::Unknown) {
+      Outcome.SolverTrouble = true;
+      return Outcome;
+    }
+
+    Graph Candidate = Encoding.reconstruct(Synthesis.model());
+
+    // Exclude this exact assignment from future synthesis queries
+    // regardless of the verification outcome: a wrong candidate is
+    // also killed by its counterexample, but the explicit clause
+    // protects against re-deriving it through solver nondeterminism.
+    {
+      z3::model Model = Synthesis.model();
+      std::vector<z3::expr> Same;
+      for (const z3::expr &Var : Encoding.decisionVariables())
+        Same.push_back(Var == Model.eval(Var, /*model_completion=*/true));
+      Synthesis.add(!Smt.mkAnd(Same));
+    }
+
+    ++Outcome.VerificationQueries;
+    Statistics::get().add("cegis.verification_queries");
+    TestCase Counterexample;
+    if (verifyPatternAgainstGoal(Smt, Width, Goal, Candidate,
+                                 &Counterexample, Options.QueryTimeoutMs,
+                                 Options.RequireTotalPatterns)) {
+      if (SeenFingerprints.insert(Candidate.fingerprint()).second)
+        Outcome.Patterns.push_back(std::move(Candidate));
+      if (Outcome.Patterns.size() >= Options.MaxPatterns)
+        return Outcome;
+      continue;
+    }
+
+    if (Counterexample.empty()) {
+      // Timeout or unknown in verification.
+      Outcome.SolverTrouble = true;
+      return Outcome;
+    }
+
+    ++Outcome.Counterexamples;
+    Statistics::get().add("cegis.counterexamples");
+    SharedTests.push_back(Counterexample);
+    assertTestCase(Counterexample);
+  }
+  return Outcome;
+}

@@ -1,0 +1,87 @@
+//===- Cegis.h - Counterexample-guided inductive synthesis -------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CEGIS core of paper Section 5.2/5.3: alternating synthesis and
+/// verification queries over the location-variable encoding, repeated
+/// with exclusion clauses until every pattern expressible with the
+/// given template multiset has been found (CEGISAllPatterns).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_SYNTH_CEGIS_H
+#define SELGEN_SYNTH_CEGIS_H
+
+#include "synth/Encoding.h"
+
+#include <vector>
+
+namespace selgen {
+
+/// Knobs for one CEGIS run.
+struct CegisOptions {
+  unsigned MaxPatterns = 32;     ///< Per multiset.
+  unsigned MaxIterations = 512;  ///< Synthesis/verify round bound.
+  double TimeBudgetSeconds = 0;  ///< Wall-clock cap; 0 = none.
+  /// If true, a pattern must be defined (P+ holds) wherever the goal's
+  /// precondition holds, instead of only having to agree where the
+  /// pattern is defined. The paper's formulas use the partial
+  /// semantics (false); the total mode is an ablation that produces a
+  /// much smaller library without rules that rely on the matched IR's
+  /// undefined behaviour.
+  bool RequireTotalPatterns = false;
+  unsigned QueryTimeoutMs = 0;   ///< Per solver check; 0 = none.
+  uint64_t RngSeed = 0x5e1f5e1f; ///< Seed for the initial test cases.
+  /// Enforce the all-operations-used refinement; the classical-CEGIS
+  /// baseline disables it (the original encoding allows dead
+  /// components).
+  bool RequireAllUsed = true;
+};
+
+/// What one CEGISAllPatterns run produced.
+struct CegisOutcome {
+  std::vector<Graph> Patterns;
+  /// True if the final synthesis query was unsatisfiable, i.e. the
+  /// pattern list is provably complete for this multiset.
+  bool Exhausted = false;
+  /// True if a solver call returned unknown (timeout); results are
+  /// then incomplete.
+  bool SolverTrouble = false;
+  unsigned SynthesisQueries = 0;
+  unsigned VerificationQueries = 0;
+  unsigned Counterexamples = 0;
+};
+
+/// Runs CEGISAllPatterns for \p Goal over the template multiset
+/// \p Templates. \p SharedTests carries test cases across multisets of
+/// the same goal (any counterexample for one candidate is a valid test
+/// case for all of them); newly discovered counterexamples are
+/// appended.
+CegisOutcome runCegisAllPatterns(SmtContext &Smt, unsigned Width,
+                                 const InstrSpec &Goal,
+                                 const std::vector<Opcode> &Templates,
+                                 std::vector<TestCase> &SharedTests,
+                                 const CegisOptions &Options);
+
+/// Builds a deterministic initial test-case set for \p Goal.
+std::vector<TestCase> makeInitialTests(const InstrSpec &Goal, unsigned Width,
+                                       SmtContext &Smt, uint64_t Seed,
+                                       unsigned Count);
+
+/// Verifies that \p Pattern is equivalent to \p Goal for all inputs
+/// (the verification query of Section 5.2, run standalone). Returns
+/// true if equivalent; if \p Counterexample is non-null and the check
+/// fails with a model, the failing test case is stored there.
+bool verifyPatternAgainstGoal(SmtContext &Smt, unsigned Width,
+                              const InstrSpec &Goal, const Graph &Pattern,
+                              TestCase *Counterexample = nullptr,
+                              unsigned QueryTimeoutMs = 0,
+                              bool RequireTotal = false);
+
+} // namespace selgen
+
+#endif // SELGEN_SYNTH_CEGIS_H

@@ -1,0 +1,312 @@
+//===- Encoding.cpp - Location-variable program encoding ---------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Encoding.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace selgen;
+
+ProgramEncoding::ProgramEncoding(SmtContext &Smt, unsigned Width,
+                                 const InstrSpec &Goal,
+                                 std::vector<Opcode> Templates,
+                                 bool RequireAllUsed)
+    : Smt(Smt), Width(Width), Goal(Goal), WellFormed(Smt.boolVal(true)),
+      RequireAllUsed(RequireAllUsed) {
+  unsigned TotalCells = 0;
+  for (Opcode Op : Templates)
+    TotalCells += opcodeResultSorts(Op, Width).size();
+  unsigned NumLocations = Goal.argSorts().size() + TotalCells;
+
+  LocationBits = 1;
+  while ((1u << LocationBits) < NumLocations + 1)
+    ++LocationBits;
+  ++LocationBits; // Headroom so comparisons cannot wrap.
+
+  // Pattern arguments occupy the first locations.
+  for (unsigned I = 0; I < Goal.argSorts().size(); ++I)
+    Sources.push_back(Source{Goal.argSorts()[I], /*IsArg=*/true, I, 0, 0,
+                             locationLiteral(I)});
+
+  // One TemplateOp per multiset element.
+  for (unsigned OpIndex = 0; OpIndex < Templates.size(); ++OpIndex) {
+    Opcode Op = Templates[OpIndex];
+    TemplateOp Entry{std::make_unique<IrOpSpec>(Op, Width),
+                     Smt.bvConst("loc_op" + std::to_string(OpIndex),
+                                 LocationBits),
+                     {},
+                     {}};
+    const IrOpSpec &Spec = *Entry.Spec;
+    for (unsigned K = 0; K < Spec.argSorts().size(); ++K)
+      Entry.ArgLocations.push_back(
+          Smt.bvConst("loc_op" + std::to_string(OpIndex) + "_arg" +
+                          std::to_string(K),
+                      LocationBits));
+    for (unsigned K = 0; K < Spec.internalSorts().size(); ++K) {
+      const Sort &S = Spec.internalSorts()[K];
+      assert(S.isValue() && "internal attributes are bit-vectors");
+      Entry.Internals.push_back(
+          Smt.bvConst("attr_op" + std::to_string(OpIndex) + "_" +
+                          std::to_string(K),
+                      S.Width));
+    }
+    for (unsigned J = 0; J < Spec.resultSorts().size(); ++J)
+      Sources.push_back(Source{
+          Spec.resultSorts()[J], /*IsArg=*/false, 0, OpIndex, J,
+          (Entry.Location + Smt.ctx().bv_val(J, LocationBits)).simplify()});
+    Ops.push_back(std::move(Entry));
+  }
+
+  // One result location variable per goal result.
+  for (unsigned R = 0; R < Goal.resultSorts().size(); ++R)
+    ResultLocations.push_back(
+        Smt.bvConst("loc_res" + std::to_string(R), LocationBits));
+
+  // Decision variables: everything an exclusion clause must cover.
+  for (const TemplateOp &Entry : Ops) {
+    DecisionVars.push_back(Entry.Location);
+    for (const z3::expr &Loc : Entry.ArgLocations)
+      DecisionVars.push_back(Loc);
+    for (const z3::expr &Attr : Entry.Internals)
+      DecisionVars.push_back(Attr);
+  }
+  for (const z3::expr &Loc : ResultLocations)
+    DecisionVars.push_back(Loc);
+
+  buildWellFormed();
+}
+
+z3::expr ProgramEncoding::locationLiteral(unsigned Location) const {
+  return Smt.ctx().bv_val(Location, LocationBits);
+}
+
+void ProgramEncoding::buildWellFormed() {
+  std::vector<z3::expr> Constraints;
+  unsigned NumArgs = Goal.argSorts().size();
+
+  // Block placement: every operation's result block lies after the
+  // argument locations.
+  z3::expr_vector DistinctCells(Smt.ctx());
+  for (unsigned I = 0; I < NumArgs; ++I)
+    DistinctCells.push_back(locationLiteral(I));
+  unsigned TotalCells = 0;
+  for (const TemplateOp &Entry : Ops)
+    TotalCells += Entry.Spec->resultSorts().size();
+  for (const TemplateOp &Entry : Ops) {
+    unsigned BlockSize = Entry.Spec->resultSorts().size();
+    Constraints.push_back(z3::uge(Entry.Location, locationLiteral(NumArgs)));
+    Constraints.push_back(z3::ule(
+        Entry.Location,
+        locationLiteral(NumArgs + TotalCells - BlockSize)));
+    for (unsigned J = 0; J < BlockSize; ++J)
+      DistinctCells.push_back(
+          Entry.Location + Smt.ctx().bv_val(J, LocationBits));
+  }
+  // ψcons: all argument locations and result cells are distinct.
+  if (DistinctCells.size() > 1)
+    Constraints.push_back(z3::distinct(DistinctCells));
+
+  // Argument sources: sort-correct range plus acyclicity.
+  for (const TemplateOp &Entry : Ops) {
+    const IrOpSpec &Spec = *Entry.Spec;
+    for (unsigned K = 0; K < Spec.argSorts().size(); ++K) {
+      const Sort &WantedSort = Spec.argSorts()[K];
+      std::vector<z3::expr> Choices;
+      for (const Source &Src : Sources) {
+        if (Src.ValueSort != WantedSort)
+          continue;
+        if (!Src.IsArg && &Ops[Src.OpIndex] == &Entry)
+          continue; // An operation cannot consume its own result.
+        Choices.push_back(Entry.ArgLocations[K] == Src.Location &&
+                          z3::ult(Src.Location, Entry.Location));
+      }
+      Constraints.push_back(Smt.mkOr(Choices));
+    }
+    // Cmp's relation code is global (not input-dependent), so assert
+    // it here rather than in P+.
+    if (Spec.opcode() == Opcode::Cmp)
+      Constraints.push_back(z3::ule(
+          Entry.Internals[0],
+          Smt.ctx().bv_val(relationCode(Relation::Sge), 4)));
+  }
+
+  // Result sources: sort-correct.
+  for (unsigned R = 0; R < Goal.resultSorts().size(); ++R) {
+    const Sort &WantedSort = Goal.resultSorts()[R];
+    std::vector<z3::expr> Choices;
+    for (const Source &Src : Sources)
+      if (Src.ValueSort == WantedSort)
+        Choices.push_back(ResultLocations[R] == Src.Location);
+    Constraints.push_back(Smt.mkOr(Choices));
+  }
+
+  // Refinement: every operation must be used (at least one of its
+  // result cells feeds another operation or a pattern result). A fully
+  // unused operation means the same pattern exists for a smaller
+  // multiset, which iterative deepening has already explored — and
+  // without this constraint an unused Const would enumerate one
+  // "distinct" solution per constant value.
+  for (unsigned OpIndex = 0; RequireAllUsed && OpIndex < Ops.size();
+       ++OpIndex) {
+    std::vector<z3::expr> Uses;
+    for (const Source &Src : Sources) {
+      if (Src.IsArg || Src.OpIndex != OpIndex)
+        continue;
+      for (const TemplateOp &Consumer : Ops) {
+        const IrOpSpec &Spec = *Consumer.Spec;
+        for (unsigned K = 0; K < Spec.argSorts().size(); ++K)
+          if (Spec.argSorts()[K] == Src.ValueSort &&
+              &Consumer != &Ops[OpIndex])
+            Uses.push_back(Consumer.ArgLocations[K] == Src.Location);
+      }
+      for (unsigned R = 0; R < Goal.resultSorts().size(); ++R)
+        if (Goal.resultSorts()[R] == Src.ValueSort)
+          Uses.push_back(ResultLocations[R] == Src.Location);
+    }
+    Constraints.push_back(Smt.mkOr(Uses));
+  }
+
+  WellFormed = Smt.mkAnd(Constraints);
+}
+
+EncodedInstance ProgramEncoding::instantiate(const std::vector<z3::expr> &Args,
+                                             const MemoryModel &Memory,
+                                             const std::string &Tag) {
+  assert(Args.size() == Goal.argSorts().size() && "argument count mismatch");
+  SemanticsContext Context{Smt, Width, &Memory, {}};
+
+  // Fresh value variables for every operation argument and result.
+  std::vector<std::vector<z3::expr>> ArgValues, ResultValues;
+  for (unsigned OpIndex = 0; OpIndex < Ops.size(); ++OpIndex) {
+    const IrOpSpec &Spec = *Ops[OpIndex].Spec;
+    std::vector<z3::expr> OpArgs, OpResults;
+    for (unsigned K = 0; K < Spec.argSorts().size(); ++K)
+      OpArgs.push_back(Context.freshConst(
+          Tag + "_e" + std::to_string(OpIndex) + "_" + std::to_string(K),
+          Spec.argSorts()[K]));
+    for (unsigned J = 0; J < Spec.resultSorts().size(); ++J)
+      OpResults.push_back(Context.freshConst(
+          Tag + "_r" + std::to_string(OpIndex) + "_" + std::to_string(J),
+          Spec.resultSorts()[J]));
+    ArgValues.push_back(std::move(OpArgs));
+    ResultValues.push_back(std::move(OpResults));
+  }
+
+  auto sourceValue = [&](const Source &Src) {
+    return Src.IsArg ? Args[Src.ArgIndex]
+                     : ResultValues[Src.OpIndex][Src.ResultIndex];
+  };
+
+  std::vector<z3::expr> Definitions;
+  std::vector<z3::expr> Preconditions;
+
+  for (unsigned OpIndex = 0; OpIndex < Ops.size(); ++OpIndex) {
+    const TemplateOp &Entry = Ops[OpIndex];
+    const IrOpSpec &Spec = *Entry.Spec;
+
+    // Connection constraint: a chosen source location forces the
+    // argument value to equal that source's value. Ill-sorted pairs
+    // are skipped entirely.
+    for (unsigned K = 0; K < Spec.argSorts().size(); ++K) {
+      for (const Source &Src : Sources) {
+        if (Src.ValueSort != Spec.argSorts()[K])
+          continue;
+        if (!Src.IsArg && Src.OpIndex == OpIndex)
+          continue;
+        Definitions.push_back(
+            z3::implies(Entry.ArgLocations[K] == Src.Location,
+                        ArgValues[OpIndex][K] == sourceValue(Src)));
+      }
+    }
+
+    // Operation semantics (Q as definitions of the result variables).
+    std::vector<z3::expr> Computed =
+        Spec.computeResults(Context, ArgValues[OpIndex], Entry.Internals);
+    for (unsigned J = 0; J < Computed.size(); ++J)
+      Definitions.push_back(ResultValues[OpIndex][J] == Computed[J]);
+
+    Preconditions.push_back(
+        Spec.precondition(Context, ArgValues[OpIndex], Entry.Internals));
+  }
+
+  // Pattern results: connect each goal result to its chosen source.
+  EncodedInstance Instance{Smt.boolVal(true), Smt.boolVal(true),
+                           Smt.boolVal(true), {}};
+  for (unsigned R = 0; R < Goal.resultSorts().size(); ++R) {
+    z3::expr ResultValue = Context.freshConst(
+        Tag + "_vr" + std::to_string(R), Goal.resultSorts()[R]);
+    for (const Source &Src : Sources)
+      if (Src.ValueSort == Goal.resultSorts()[R])
+        Definitions.push_back(z3::implies(ResultLocations[R] == Src.Location,
+                                          ResultValue == sourceValue(Src)));
+    Instance.Results.push_back(ResultValue);
+  }
+
+  Instance.Definitions = Smt.mkAnd(Definitions);
+  Instance.Precondition = Smt.mkAnd(Preconditions);
+  Instance.RangeCondition = Smt.mkAnd(Context.RangeConditions);
+  return Instance;
+}
+
+Graph ProgramEncoding::reconstruct(const z3::model &Model) const {
+  Graph G(Width, Goal.argSorts());
+
+  // Read all block starts and order the operations by location.
+  std::vector<std::pair<unsigned, unsigned>> Placement; // (location, op).
+  for (unsigned OpIndex = 0; OpIndex < Ops.size(); ++OpIndex) {
+    unsigned Location = static_cast<unsigned>(
+        Smt.evalBits(Model, Ops[OpIndex].Location).zextValue());
+    Placement.emplace_back(Location, OpIndex);
+  }
+  std::sort(Placement.begin(), Placement.end());
+
+  unsigned NumArgs = Goal.argSorts().size();
+  // Location cell -> produced value.
+  std::map<unsigned, NodeRef> CellValues;
+  for (unsigned I = 0; I < NumArgs; ++I)
+    CellValues[I] = G.arg(I);
+
+  auto lookupCell = [&CellValues](unsigned Location) {
+    auto It = CellValues.find(Location);
+    if (It == CellValues.end())
+      reportFatalError("model reconstruction: dangling location " +
+                       std::to_string(Location));
+    return It->second;
+  };
+
+  for (const auto &[Location, OpIndex] : Placement) {
+    const TemplateOp &Entry = Ops[OpIndex];
+    const IrOpSpec &Spec = *Entry.Spec;
+    std::vector<NodeRef> Operands;
+    for (unsigned K = 0; K < Spec.argSorts().size(); ++K) {
+      unsigned SourceLocation = static_cast<unsigned>(
+          Smt.evalBits(Model, Entry.ArgLocations[K]).zextValue());
+      Operands.push_back(lookupCell(SourceLocation));
+    }
+    Node *N = G.createNode(Spec.opcode(), Operands);
+    if (Spec.opcode() == Opcode::Const)
+      N->setConstValue(Smt.evalBits(Model, Entry.Internals[0]));
+    if (Spec.opcode() == Opcode::Cmp)
+      N->setRelation(relationFromCode(static_cast<unsigned>(
+          Smt.evalBits(Model, Entry.Internals[0]).zextValue())));
+    for (unsigned J = 0; J < Spec.resultSorts().size(); ++J)
+      CellValues[Location + J] = NodeRef(N, J);
+  }
+
+  std::vector<NodeRef> Results;
+  for (const z3::expr &Loc : ResultLocations) {
+    unsigned Location =
+        static_cast<unsigned>(Smt.evalBits(Model, Loc).zextValue());
+    Results.push_back(lookupCell(Location));
+  }
+  G.setResults(std::move(Results));
+  G.removeDeadNodes();
+  return G;
+}

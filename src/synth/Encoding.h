@@ -1,0 +1,135 @@
+//===- Encoding.h - Location-variable program encoding -----------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The extended Gulwani-style program encoding of paper Section 5.1:
+/// a candidate IR pattern is a set of bit-vector *location variables*
+/// that place the template operations in a linear order and choose
+/// every operand's source. Extensions over the original encoding:
+///
+/// * multiple result values: each operation owns a block of
+///   |Sr(o)| consecutive locations, and the consistency constraint
+///   ψcons uses `distinct` over all block cells;
+/// * multiple sorts: an argument's location variable only ranges over
+///   sources of the same sort, and ill-sorted connections are excluded
+///   from the connection constraint;
+/// * internal attributes: Const values and Cmp relations are
+///   existential variables of the synthesis query (S+i);
+/// * memory: the V+ ⊆ V side conditions of the memory operations are
+///   collected so the search algorithm (Section 5.2) can assert or
+///   negate them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_SYNTH_ENCODING_H
+#define SELGEN_SYNTH_ENCODING_H
+
+#include "ir/Graph.h"
+#include "semantics/IrSemantics.h"
+#include "smt/SmtContext.h"
+
+#include <memory>
+#include <vector>
+
+namespace selgen {
+
+/// One concrete CEGIS test case: a value per goal argument (memory
+/// arguments are M-value bit-vectors).
+using TestCase = std::vector<BitValue>;
+
+/// The per-instantiation output of the encoding: everything the search
+/// algorithm needs to assert about one set of argument expressions.
+struct EncodedInstance {
+  /// Definitional constraints: operand connections and operation
+  /// semantics (the Q+ of the paper, plus the connection constraint).
+  z3::expr Definitions;
+  /// P+: conjunction of the operations' preconditions.
+  z3::expr Precondition;
+  /// V+ ⊆ V: conjunction of the memory range conditions.
+  z3::expr RangeCondition;
+  /// The pattern's result values (what the location-selected sources
+  /// feed into vr).
+  std::vector<z3::expr> Results;
+};
+
+/// The encoding of one template multiset against one goal interface.
+class ProgramEncoding {
+public:
+  /// \p Goal provides the pattern interface (its Sa become the pattern
+  /// arguments, its Sr the pattern results). \p Templates is the
+  /// multiset I of IR operations; entries may repeat.
+  /// \p RequireAllUsed enables the all-operations-used refinement; the
+  /// classical-CEGIS baseline (Section 7.2 comparison) runs without it,
+  /// as in the original encoding.
+  ProgramEncoding(SmtContext &Smt, unsigned Width, const InstrSpec &Goal,
+                  std::vector<Opcode> Templates, bool RequireAllUsed = true);
+
+  /// The well-formed-program constraint ϕwf: consistency (distinct
+  /// locations), acyclicity (argument sources precede the operation),
+  /// sort-correct source ranges, and the all-operations-used
+  /// refinement (any fully unused operation would mean the pattern
+  /// was already found with a smaller multiset).
+  z3::expr wellFormed() const { return WellFormed; }
+
+  /// Instantiates connection and semantics constraints for one vector
+  /// of argument expressions (literals during synthesis, fresh
+  /// constants during verification). \p Memory is the goal's memory
+  /// model for these arguments.
+  EncodedInstance instantiate(const std::vector<z3::expr> &Args,
+                              const MemoryModel &Memory,
+                              const std::string &Tag);
+
+  /// The location and internal-attribute variables, in a fixed order;
+  /// the exclusion clause of CEGISAllPatterns (Section 5.3) ranges
+  /// over exactly these.
+  const std::vector<z3::expr> &decisionVariables() const {
+    return DecisionVars;
+  }
+
+  /// Reconstructs the concrete pattern graph from a model of the
+  /// synthesis query (Section 5.2, last step).
+  Graph reconstruct(const z3::model &Model) const;
+
+  unsigned numTemplates() const { return Ops.size(); }
+
+private:
+  struct TemplateOp {
+    std::unique_ptr<IrOpSpec> Spec;
+    z3::expr Location;                  ///< Block start L(o).
+    std::vector<z3::expr> ArgLocations; ///< Source location per argument.
+    std::vector<z3::expr> Internals;    ///< Internal attribute variables.
+  };
+
+  /// A potential operand source: a pattern argument or a template
+  /// operation's result cell.
+  struct Source {
+    Sort ValueSort;
+    bool IsArg;
+    unsigned ArgIndex;     ///< Pattern argument index (IsArg).
+    unsigned OpIndex;      ///< Template index (!IsArg).
+    unsigned ResultIndex;  ///< Result cell within the op (!IsArg).
+    z3::expr Location;     ///< Location expression of this source.
+  };
+
+  SmtContext &Smt;
+  unsigned Width;
+  const InstrSpec &Goal;
+  std::vector<TemplateOp> Ops;
+  std::vector<z3::expr> ResultLocations; ///< One per goal result.
+  std::vector<Source> Sources;
+  std::vector<z3::expr> DecisionVars;
+  z3::expr WellFormed;
+  unsigned LocationBits;
+  bool RequireAllUsed;
+
+  z3::expr locationLiteral(unsigned Location) const;
+  void buildWellFormed();
+};
+
+} // namespace selgen
+
+#endif // SELGEN_SYNTH_ENCODING_H

@@ -1,0 +1,299 @@
+//===- Synthesizer.cpp - Iterative CEGIS driver ------------------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Synthesizer.h"
+
+#include "support/Multicombination.h"
+#include "support/Statistics.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace selgen;
+
+SynthesisOptions::SynthesisOptions() : Alphabet(allTemplateOpcodes()) {}
+
+Synthesizer::Synthesizer(SmtContext &Smt, SynthesisOptions Options)
+    : Smt(Smt), Options(std::move(Options)) {}
+
+std::vector<Opcode> Synthesizer::requiredMemoryOps(const InstrSpec &Goal) {
+  if (!Goal.accessesMemory())
+    return {};
+
+  // Locate the memory argument and the memory result.
+  int MemoryArg = -1, MemoryResult = -1;
+  for (unsigned I = 0; I < Goal.argSorts().size(); ++I)
+    if (Goal.argSorts()[I].isMemory())
+      MemoryArg = static_cast<int>(I);
+  for (unsigned I = 0; I < Goal.resultSorts().size(); ++I)
+    if (Goal.resultSorts()[I].isMemory())
+      MemoryResult = static_cast<int>(I);
+  if (MemoryArg < 0 || MemoryResult < 0)
+    return {};
+
+  // Symbolic arguments and the goal's results over them.
+  std::vector<z3::expr> Args;
+  std::vector<unsigned> MemoryArgIndices;
+  for (unsigned I = 0; I < Goal.argSorts().size(); ++I) {
+    const Sort &S = Goal.argSorts()[I];
+    if (S.isMemory()) {
+      MemoryArgIndices.push_back(I);
+      Args.push_back(Smt.ctx().bv_val(0, 1)); // Placeholder.
+    } else {
+      Args.push_back(
+          Smt.bvConst("memq_a" + std::to_string(I), S.Width));
+    }
+  }
+  MemoryModel Memory(Smt,
+                     Goal.validPointers(Smt, Options.Width, Args));
+  for (unsigned I : MemoryArgIndices)
+    Args[I] =
+        Smt.bvConst("memq_a" + std::to_string(I), Memory.mvalueWidth());
+
+  SemanticsContext Context{Smt, Options.Width, &Memory, {}};
+  std::vector<z3::expr> Results = Goal.computeResults(Context, Args, {});
+
+  z3::expr Difference = Results[MemoryResult] ^ Args[MemoryArg];
+
+  // "By checking whether va[m] and vr[m'] differ in memory contents or
+  // in an access flag, we can even find out whether g requires a load,
+  // store, or both operations." (Section 5.4)
+  auto differsUnder = [&](const BitValue &Mask) {
+    SmtSolver Solver(Smt);
+    if (Options.QueryTimeoutMs)
+      Solver.setTimeoutMilliseconds(Options.QueryTimeoutMs);
+    Solver.add((Difference & Smt.literal(Mask)) !=
+               Smt.ctx().bv_val(0, Memory.mvalueWidth()));
+    return Solver.check() == SmtResult::Sat;
+  };
+
+  std::vector<Opcode> Required;
+  if (differsUnder(Memory.flagsMask()))
+    Required.push_back(Opcode::Load);
+  if (differsUnder(Memory.contentsMask()))
+    Required.push_back(Opcode::Store);
+  return Required;
+}
+
+bool Synthesizer::shouldSkipMultiset(const InstrSpec &Goal,
+                                     const std::vector<Opcode> &Multiset,
+                                     unsigned Width) {
+  // Gather the sorts in play. Comparing by Sort works because all
+  // template operations use Value(Width), Bool, and Memory only.
+  auto sortsOf = [Width](Opcode Op) {
+    return std::make_pair(opcodeArgSorts(Op, Width),
+                          opcodeResultSorts(Op, Width));
+  };
+
+  // Criterion 1: more single-result producers of a sort than there are
+  // consumers of that sort means at least one result necessarily
+  // dangles, and the pattern would already have been found with a
+  // smaller multiset.
+  {
+    std::map<std::string, unsigned> SingleProducers, Consumers;
+    for (Opcode Op : Multiset) {
+      auto [ArgSorts, ResultSorts] = sortsOf(Op);
+      if (ResultSorts.size() == 1)
+        ++SingleProducers[ResultSorts[0].str()];
+      for (const Sort &S : ArgSorts)
+        ++Consumers[S.str()];
+    }
+    for (const Sort &S : Goal.resultSorts())
+      ++Consumers[S.str()];
+    for (const auto &[SortName, Count] : SingleProducers)
+      if (Count > Consumers[SortName])
+        return true;
+  }
+
+  // Criterion 2: every sort some operation consumes needs a source: a
+  // pattern argument of that sort, or an operation producing it
+  // without consuming it.
+  {
+    std::set<std::string> Needed, Available;
+    for (Opcode Op : Multiset) {
+      auto [ArgSorts, ResultSorts] = sortsOf(Op);
+      std::set<std::string> OpConsumes;
+      for (const Sort &S : ArgSorts) {
+        Needed.insert(S.str());
+        OpConsumes.insert(S.str());
+      }
+      for (const Sort &S : ResultSorts)
+        if (!OpConsumes.count(S.str()))
+          Available.insert(S.str());
+    }
+    for (const Sort &S : Goal.argSorts())
+      Available.insert(S.str());
+    for (const std::string &SortName : Needed)
+      if (!Available.count(SortName))
+        return true;
+  }
+
+  // Goal-result variant of criterion 2: every goal result sort must be
+  // producible (by an argument or by some operation's result).
+  {
+    std::set<std::string> Producible;
+    for (const Sort &S : Goal.argSorts())
+      Producible.insert(S.str());
+    for (Opcode Op : Multiset)
+      for (const Sort &S : opcodeResultSorts(Op, Width))
+        Producible.insert(S.str());
+    for (const Sort &S : Goal.resultSorts())
+      if (!Producible.count(S.str()))
+        return true;
+  }
+
+  return false;
+}
+
+namespace {
+
+/// Appends a CEGIS outcome to a result, deduplicating patterns.
+void absorbOutcome(GoalSynthesisResult &Result,
+                   std::set<std::string> &Fingerprints,
+                   CegisOutcome &&Outcome, unsigned MaxPatterns) {
+  for (Graph &Pattern : Outcome.Patterns) {
+    if (Result.Patterns.size() >= MaxPatterns)
+      break;
+    if (Fingerprints.insert(Pattern.fingerprint()).second)
+      Result.Patterns.push_back(std::move(Pattern));
+  }
+  if (!Outcome.Exhausted)
+    Result.Complete = false;
+}
+
+} // namespace
+
+GoalSynthesisResult Synthesizer::synthesize(const InstrSpec &Goal) {
+  Timer Clock;
+  GoalSynthesisResult Result;
+  Result.GoalName = Goal.name();
+
+  // Memory pre-analysis: fixed multiset prefix O.
+  std::vector<Opcode> Prefix;
+  if (Options.UseMemoryRefinement)
+    Prefix = requiredMemoryOps(Goal);
+
+  // The enumerated alphabet excludes the fixed prefix operations; for
+  // goals without memory access the source criterion would drop
+  // Load/Store anyway, the prefix refinement just never enumerates
+  // them ("we instead take O as the fixed first members of I'").
+  std::vector<Opcode> Alphabet = Options.Alphabet;
+  if (Options.UseMemoryRefinement && Goal.accessesMemory()) {
+    Alphabet.erase(std::remove_if(Alphabet.begin(), Alphabet.end(),
+                                  [](Opcode Op) {
+                                    return opcodeTouchesMemory(Op);
+                                  }),
+                   Alphabet.end());
+  }
+
+  std::vector<TestCase> SharedTests;
+  std::set<std::string> Fingerprints;
+  CegisOptions CegisOpts;
+  CegisOpts.QueryTimeoutMs = Options.QueryTimeoutMs;
+  CegisOpts.MaxPatterns = Options.MaxPatternsPerMultiset;
+  CegisOpts.RequireTotalPatterns = Options.RequireTotalPatterns;
+
+  auto overBudget = [&] {
+    return Options.TimeBudgetSeconds > 0 &&
+           Clock.elapsedSeconds() > Options.TimeBudgetSeconds;
+  };
+
+  for (unsigned Size = Prefix.size();
+       Size <= std::max(Options.MaxPatternSize, unsigned(Prefix.size()));
+       ++Size) {
+    unsigned EnumeratedSize = Size - Prefix.size();
+    bool FoundThisSize = false;
+
+    auto runMultiset = [&](std::vector<Opcode> Multiset) {
+      ++Result.MultisetsConsidered;
+      if (Options.UseSkipCriteria &&
+          shouldSkipMultiset(Goal, Multiset, Options.Width)) {
+        ++Result.MultisetsSkipped;
+        Statistics::get().add("synth.multisets_skipped");
+        return;
+      }
+      ++Result.MultisetsRun;
+      Statistics::get().add("synth.multisets_run");
+      // Bound each CEGIS run by the remaining per-goal budget, so one
+      // slow multiset cannot blow far past it.
+      if (Options.TimeBudgetSeconds > 0)
+        CegisOpts.TimeBudgetSeconds = std::max(
+            1.0, Options.TimeBudgetSeconds - Clock.elapsedSeconds());
+      CegisOutcome Outcome = runCegisAllPatterns(
+          Smt, Options.Width, Goal, Multiset, SharedTests, CegisOpts);
+      if (!Outcome.Patterns.empty())
+        FoundThisSize = true;
+      absorbOutcome(Result, Fingerprints, std::move(Outcome),
+                    Options.MaxPatternsPerGoal);
+    };
+
+    if (EnumeratedSize == 0) {
+      runMultiset(Prefix);
+    } else {
+      MulticombinationEnumerator Enumerator(Alphabet.size(),
+                                            EnumeratedSize);
+      do {
+        if (overBudget()) {
+          Result.Complete = false;
+          break;
+        }
+        std::vector<Opcode> Multiset = Prefix;
+        for (unsigned Index : Enumerator.current())
+          Multiset.push_back(Alphabet[Index]);
+        runMultiset(Multiset);
+      } while (Enumerator.next());
+    }
+
+    if (FoundThisSize) {
+      Result.MinimalSize = Size;
+      if (Options.FindAllMinimal)
+        break;
+    }
+    if (overBudget()) {
+      Result.Complete = false;
+      break;
+    }
+  }
+
+  Result.Seconds = Clock.elapsedSeconds();
+  return Result;
+}
+
+GoalSynthesisResult Synthesizer::synthesizeClassic(const InstrSpec &Goal,
+                                                   unsigned Copies) {
+  Timer Clock;
+  GoalSynthesisResult Result;
+  Result.GoalName = Goal.name() + " (classic)";
+
+  std::vector<Opcode> Multiset;
+  for (unsigned C = 0; C < Copies; ++C)
+    for (Opcode Op : Options.Alphabet)
+      Multiset.push_back(Op);
+
+  // Without the source criterion, memory operations in the template
+  // set of a memory-free goal make the encoding unsatisfiable-by-
+  // construction, exactly as in the original algorithm.
+  std::vector<TestCase> SharedTests;
+  std::set<std::string> Fingerprints;
+  CegisOptions CegisOpts;
+  CegisOpts.QueryTimeoutMs = Options.QueryTimeoutMs;
+  CegisOpts.MaxPatterns = 1; // The baseline searches for any program.
+  CegisOpts.RequireAllUsed = false;
+  CegisOpts.TimeBudgetSeconds = Options.TimeBudgetSeconds;
+
+  Result.MultisetsConsidered = Result.MultisetsRun = 1;
+  CegisOutcome Outcome = runCegisAllPatterns(
+      Smt, Options.Width, Goal, Multiset, SharedTests, CegisOpts);
+  absorbOutcome(Result, Fingerprints, std::move(Outcome),
+                Options.MaxPatternsPerGoal);
+  if (!Result.Patterns.empty())
+    Result.MinimalSize = Result.Patterns.front().numOperations();
+  Result.Seconds = Clock.elapsedSeconds();
+  return Result;
+}

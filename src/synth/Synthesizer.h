@@ -1,0 +1,105 @@
+//===- Synthesizer.h - Iterative CEGIS driver --------------------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The iterative CEGIS algorithm of paper Section 5.4 (Algorithm 2):
+/// enumerate l-multicombinations of the IR operation alphabet with
+/// increasing l, run CEGISAllPatterns on each, and return all patterns
+/// of minimal size. Includes the paper's refinements:
+///
+/// * memory-requirement analysis: a pre-analysis on the goal's
+///   postcondition decides whether the pattern must contain a load, a
+///   store, or both, and those operations become a fixed prefix of
+///   every multiset (reducing ((|I|, l)) to ((|I|, l - |O|)));
+/// * skip criteria: multisets that provably admit no new minimal
+///   pattern (dangling single-sort results; missing source of a
+///   required sort) are skipped without touching the solver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_SYNTH_SYNTHESIZER_H
+#define SELGEN_SYNTH_SYNTHESIZER_H
+
+#include "synth/Cegis.h"
+
+#include <string>
+#include <vector>
+
+namespace selgen {
+
+/// Configuration of an iterative CEGIS run.
+struct SynthesisOptions {
+  unsigned Width = 8;
+  /// The operation alphabet I (each operation once).
+  std::vector<Opcode> Alphabet;
+  /// Cap on the iterative deepening (overridden per goal by
+  /// GoalInstruction::MaxPatternSize when driven from a GoalLibrary).
+  unsigned MaxPatternSize = 4;
+  bool UseMemoryRefinement = true;
+  bool UseSkipCriteria = true;
+  /// Stop after the smallest l that produced patterns (the paper's
+  /// semantics); otherwise keep deepening to MaxPatternSize.
+  bool FindAllMinimal = true;
+  /// Require patterns to be defined wherever the goal is (ablation;
+  /// see CegisOptions::RequireTotalPatterns).
+  bool RequireTotalPatterns = false;
+  unsigned MaxPatternsPerGoal = 512;
+  unsigned MaxPatternsPerMultiset = 32;
+  unsigned QueryTimeoutMs = 60000;
+  /// Wall-clock budget for one goal; 0 = unlimited.
+  double TimeBudgetSeconds = 0;
+
+  SynthesisOptions();
+};
+
+/// Outcome of synthesizing one goal.
+struct GoalSynthesisResult {
+  std::string GoalName;
+  std::vector<Graph> Patterns; ///< Deduplicated by fingerprint.
+  unsigned MinimalSize = 0;    ///< l of the patterns found.
+  bool Complete = true;  ///< False on budget/timeout/solver trouble.
+  double Seconds = 0;
+  uint64_t MultisetsConsidered = 0;
+  uint64_t MultisetsSkipped = 0; ///< By the skip criteria.
+  uint64_t MultisetsRun = 0;     ///< Actually handed to CEGIS.
+};
+
+/// Drives iterative CEGIS for individual goals.
+class Synthesizer {
+public:
+  Synthesizer(SmtContext &Smt, SynthesisOptions Options);
+
+  const SynthesisOptions &options() const { return Options; }
+
+  /// Runs Algorithm 2 for \p Goal.
+  GoalSynthesisResult synthesize(const InstrSpec &Goal);
+
+  /// Runs one classical (non-iterative) CEGIS with an oversupplied
+  /// template multiset containing \p Copies copies of every alphabet
+  /// operation — the baseline of the paper's Section 7.2 comparison.
+  GoalSynthesisResult synthesizeClassic(const InstrSpec &Goal,
+                                        unsigned Copies);
+
+  /// The memory-requirement pre-analysis (Section 5.4): returns the
+  /// subset of {Load, Store} every pattern for \p Goal must contain.
+  std::vector<Opcode> requiredMemoryOps(const InstrSpec &Goal);
+
+  /// The two skip criteria (Section 5.4) plus the goal-result variant
+  /// of the source criterion. Returns true if the multiset cannot
+  /// yield a new minimal pattern.
+  static bool shouldSkipMultiset(const InstrSpec &Goal,
+                                 const std::vector<Opcode> &Multiset,
+                                 unsigned Width);
+
+private:
+  SmtContext &Smt;
+  SynthesisOptions Options;
+};
+
+} // namespace selgen
+
+#endif // SELGEN_SYNTH_SYNTHESIZER_H

@@ -1,0 +1,77 @@
+//===- TestCaseGenerator.h - Test programs from patterns ---------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The test-case generator of paper Sections 5.7/7.4: every rule in
+/// the pattern database becomes (a) a runnable IR function that can be
+/// compiled by any of the project's instruction selectors, and (b) a
+/// C program, like the artifact's run-tests.sh emits. The
+/// missing-pattern experiment compiles each test function with a set
+/// of compilers, counts emitted instructions, and flags the compilers
+/// that need more instructions than the best one — the paper's
+/// "unsupported pattern" criterion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_TESTGEN_TESTCASEGENERATOR_H
+#define SELGEN_TESTGEN_TESTCASEGENERATOR_H
+
+#include "isel/Selector.h"
+#include "pattern/PatternDatabase.h"
+
+#include <string>
+#include <vector>
+
+namespace selgen {
+
+/// Wraps a rule's pattern into a complete runnable Function. Value and
+/// memory results are returned; boolean results (compare-and-jump
+/// patterns) become a two-way branch returning 1 or 0.
+Function buildPatternTestFunction(const Rule &RuleToTest, unsigned Width,
+                                  const std::string &Name);
+
+/// Emits a self-contained C translation unit for the pattern — the
+/// shape of program the artifact feeds to GCC and Clang.
+std::string emitCTestProgram(const Rule &RuleToTest, unsigned Width,
+                             const std::string &FunctionName);
+
+/// One row of the Section 7.4 comparison.
+struct MissingPatternRow {
+  std::string GoalName;
+  std::string PatternExpression;
+  std::vector<unsigned> InstructionCounts; ///< Per compiler.
+  std::vector<bool> Missing;               ///< Count exceeds the best.
+  bool BehaviourMismatch = false; ///< Differential test failed somewhere.
+};
+
+/// Aggregated report.
+struct MissingPatternReport {
+  std::vector<std::string> CompilerNames;
+  std::vector<MissingPatternRow> Rows;
+  std::vector<unsigned> TotalMissing; ///< Per compiler.
+  /// Patterns missing in every compiler except the best one's
+  /// (the paper's "29 498 rules that both Clang and GCC miss" when run
+  /// with [prototype, gnu-like, clang-like]).
+  unsigned MissingInAllReferences = 0;
+  unsigned TotalTests = 0;
+};
+
+/// Runs the comparison: each rule's test function is compiled with
+/// every compiler; a compiler "misses" the pattern if it emits more
+/// instructions than the minimum across compilers. Compilers at index
+/// >= 1 are the references for MissingInAllReferences. If
+/// \p ValidationRuns > 0, each compiled function is differentially
+/// tested against the IR interpreter on that many random inputs.
+MissingPatternReport
+runMissingPatternExperiment(const PatternDatabase &Database, unsigned Width,
+                            const std::vector<InstructionSelector *> &Compilers,
+                            unsigned ValidationRuns = 0,
+                            uint64_t Seed = 0xC0DE);
+
+} // namespace selgen
+
+#endif // SELGEN_TESTGEN_TESTCASEGENERATOR_H

@@ -1,0 +1,95 @@
+//===- AddressingMode.cpp - x86 addressing-mode descriptors ------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "x86/AddressingMode.h"
+
+#include <cassert>
+
+using namespace selgen;
+
+std::string AddressingMode::suffix() const {
+  std::string Result;
+  if (HasBase)
+    Result += "b";
+  if (HasIndex) {
+    Result += "i";
+    if (Scale != 1)
+      Result += "s";
+  }
+  if (HasDisp)
+    Result += "d";
+  if (HasIndex && Scale != 1)
+    Result += std::to_string(Scale);
+  return Result;
+}
+
+void AddressingMode::appendArgs(std::vector<Sort> &Sorts,
+                                std::vector<ArgRole> &Roles,
+                                unsigned Width) const {
+  if (HasBase) {
+    Sorts.push_back(Sort::value(Width));
+    Roles.push_back(ArgRole::Reg);
+  }
+  if (HasIndex) {
+    Sorts.push_back(Sort::value(Width));
+    Roles.push_back(ArgRole::Reg);
+  }
+  if (HasDisp) {
+    Sorts.push_back(Sort::value(Width));
+    Roles.push_back(ArgRole::Imm);
+  }
+}
+
+z3::expr AddressingMode::addressExpr(SmtContext &Smt, unsigned Width,
+                                     const std::vector<z3::expr> &Args,
+                                     unsigned Offset) const {
+  z3::expr Address = Smt.ctx().bv_val(0, Width);
+  unsigned Index = Offset;
+  if (HasBase)
+    Address = Address + Args[Index++];
+  if (HasIndex)
+    Address = Address + Args[Index++] * Smt.ctx().bv_val(Scale, Width);
+  if (HasDisp)
+    Address = Address + Args[Index++];
+  return Address.simplify();
+}
+
+MemRef AddressingMode::memRef(const std::vector<MOperand> &Bound,
+                              unsigned Offset) const {
+  MemRef Ref;
+  unsigned Index = Offset;
+  if (HasBase) {
+    assert(Bound[Index].isReg() && "base must be a register");
+    Ref.Base = Bound[Index++].R;
+  }
+  if (HasIndex) {
+    assert(Bound[Index].isReg() && "index must be a register");
+    Ref.Index = Bound[Index++].R;
+    Ref.Scale = Scale;
+  }
+  if (HasDisp) {
+    assert(Bound[Index].isImm() && "displacement must be an immediate");
+    Ref.Disp = Bound[Index++].Imm.sextValue();
+  }
+  return Ref;
+}
+
+const std::vector<AddressingMode> &AddressingMode::fullSet() {
+  static const std::vector<AddressingMode> Modes = [] {
+    std::vector<AddressingMode> Result;
+    Result.push_back({true, false, 1, false}); // b
+    Result.push_back({true, false, 1, true});  // bd
+    Result.push_back({true, true, 1, false});  // bi
+    Result.push_back({true, true, 1, true});   // bid
+    for (unsigned Scale : {2u, 4u, 8u}) {
+      Result.push_back({true, true, Scale, false}); // bis
+      Result.push_back({true, true, Scale, true});  // bisd
+    }
+    return Result;
+  }();
+  return Modes;
+}

@@ -1,0 +1,80 @@
+//===- AddressingMode.h - x86 addressing-mode descriptors --------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Descriptors for the x86 addressing modes
+/// [base + index * scale + disp] ("the famous addressing modes",
+/// paper Section 1). Each memory-accessing goal instruction is
+/// expanded into one variant per addressing mode, exactly like the
+/// artifact's --srcam/--destam switches: "an instruction's synthesis
+/// takes longer the more components its addressing mode has"
+/// (paper Appendix A.6).
+///
+/// The base and index are Reg-role goal arguments; the displacement is
+/// an Imm-role argument (a symbolic immediate).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_X86_ADDRESSINGMODE_H
+#define SELGEN_X86_ADDRESSINGMODE_H
+
+#include "semantics/InstrSpec.h"
+#include "x86/MachineIR.h"
+
+#include <string>
+#include <vector>
+
+namespace selgen {
+
+/// One addressing-mode shape.
+struct AddressingMode {
+  bool HasBase = true;
+  bool HasIndex = false;
+  unsigned Scale = 1; ///< 1, 2, 4, or 8; meaningful only with HasIndex.
+  bool HasDisp = false;
+
+  /// Short suffix used in goal names: "b", "bd", "bi", "bis4", ...
+  std::string suffix() const;
+
+  /// Number of goal arguments this mode contributes (base + index +
+  /// disp as present).
+  unsigned numArgs() const {
+    return (HasBase ? 1 : 0) + (HasIndex ? 1 : 0) + (HasDisp ? 1 : 0);
+  }
+
+  /// Number of address components (the paper's complexity measure).
+  unsigned numComponents() const {
+    return (HasBase ? 1 : 0) + (HasIndex ? 1 : 0) + (Scale != 1 ? 1 : 0) +
+           (HasDisp ? 1 : 0);
+  }
+
+  /// Appends this mode's argument sorts and roles to a goal interface.
+  void appendArgs(std::vector<Sort> &Sorts, std::vector<ArgRole> &Roles,
+                  unsigned Width) const;
+
+  /// The address expression over goal arguments; \p Offset is the
+  /// index of this mode's first argument within \p Args.
+  z3::expr addressExpr(SmtContext &Smt, unsigned Width,
+                       const std::vector<z3::expr> &Args,
+                       unsigned Offset) const;
+
+  /// Builds the machine memory operand from matched operand bindings;
+  /// \p Offset as above. Reg-role bindings must be registers, the
+  /// displacement binding an immediate.
+  MemRef memRef(const std::vector<MOperand> &Bound, unsigned Offset) const;
+
+  /// The standard set of source addressing modes used by the full
+  /// setup: b, bd, bi, bid, bis{2,4,8}, bisd{2,4,8}.
+  static const std::vector<AddressingMode> &fullSet();
+
+  /// Just [base] — the basic setup's only mode.
+  static AddressingMode baseOnly() { return {}; }
+};
+
+} // namespace selgen
+
+#endif // SELGEN_X86_ADDRESSINGMODE_H

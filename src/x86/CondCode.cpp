@@ -1,0 +1,105 @@
+//===- CondCode.cpp - x86 condition codes ------------------------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "x86/CondCode.h"
+
+#include "support/Error.h"
+
+using namespace selgen;
+
+CondCode selgen::condCodeForRelation(Relation Rel) {
+  switch (Rel) {
+  case Relation::Eq:
+    return CondCode::E;
+  case Relation::Ne:
+    return CondCode::NE;
+  case Relation::Ult:
+    return CondCode::B;
+  case Relation::Ule:
+    return CondCode::BE;
+  case Relation::Ugt:
+    return CondCode::A;
+  case Relation::Uge:
+    return CondCode::AE;
+  case Relation::Slt:
+    return CondCode::L;
+  case Relation::Sle:
+    return CondCode::LE;
+  case Relation::Sgt:
+    return CondCode::G;
+  case Relation::Sge:
+    return CondCode::GE;
+  }
+  SELGEN_UNREACHABLE("bad relation");
+}
+
+Relation selgen::relationForCondCode(CondCode CC) {
+  switch (CC) {
+  case CondCode::E:
+    return Relation::Eq;
+  case CondCode::NE:
+    return Relation::Ne;
+  case CondCode::B:
+    return Relation::Ult;
+  case CondCode::BE:
+    return Relation::Ule;
+  case CondCode::A:
+    return Relation::Ugt;
+  case CondCode::AE:
+    return Relation::Uge;
+  case CondCode::L:
+    return Relation::Slt;
+  case CondCode::LE:
+    return Relation::Sle;
+  case CondCode::G:
+    return Relation::Sgt;
+  case CondCode::GE:
+    return Relation::Sge;
+  case CondCode::S:
+  case CondCode::NS:
+    SELGEN_UNREACHABLE("S/NS have no two-operand relation");
+  }
+  SELGEN_UNREACHABLE("bad condition code");
+}
+
+const char *selgen::condCodeName(CondCode CC) {
+  switch (CC) {
+  case CondCode::E:
+    return "e";
+  case CondCode::NE:
+    return "ne";
+  case CondCode::B:
+    return "b";
+  case CondCode::BE:
+    return "be";
+  case CondCode::A:
+    return "a";
+  case CondCode::AE:
+    return "ae";
+  case CondCode::L:
+    return "l";
+  case CondCode::LE:
+    return "le";
+  case CondCode::G:
+    return "g";
+  case CondCode::GE:
+    return "ge";
+  case CondCode::S:
+    return "s";
+  case CondCode::NS:
+    return "ns";
+  }
+  SELGEN_UNREACHABLE("bad condition code");
+}
+
+const std::vector<CondCode> &selgen::relationCondCodes() {
+  static const std::vector<CondCode> All = {
+      CondCode::E, CondCode::NE, CondCode::B,  CondCode::BE,
+      CondCode::A, CondCode::AE, CondCode::L,  CondCode::LE,
+      CondCode::G, CondCode::GE};
+  return All;
+}

@@ -1,0 +1,56 @@
+//===- CondCode.h - x86 condition codes ---------------------------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// x86 condition codes and their correspondence with IR comparison
+/// relations. The paper treats a compare-and-jump pair as one goal
+/// instruction and synthesizes per condition code (Sections 4.2/5);
+/// the mapping below drives that enumeration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_X86_CONDCODE_H
+#define SELGEN_X86_CONDCODE_H
+
+#include "ir/Opcode.h"
+
+namespace selgen {
+
+/// The integer condition codes of the jcc/setcc/cmovcc families.
+enum class CondCode {
+  E,  ///< Equal (ZF).
+  NE, ///< Not equal.
+  B,  ///< Below (unsigned <, CF).
+  BE, ///< Below or equal.
+  A,  ///< Above (unsigned >).
+  AE, ///< Above or equal.
+  L,  ///< Less (signed <).
+  LE, ///< Less or equal.
+  G,  ///< Greater (signed >).
+  GE, ///< Greater or equal.
+  S,  ///< Sign (SF).
+  NS, ///< No sign.
+};
+
+/// The condition code selecting on the result of "cmp a, b" that
+/// realizes relation \p Rel.
+CondCode condCodeForRelation(Relation Rel);
+
+/// The relation computed by "cmp a, b; jcc" for \p CC. S/NS have no
+/// two-operand relation (they test the sign of a subtraction) and
+/// assert.
+Relation relationForCondCode(CondCode CC);
+
+/// Mnemonic suffix, e.g. "e", "ne", "b".
+const char *condCodeName(CondCode CC);
+
+/// The ten condition codes that mirror relations (excluding S/NS).
+const std::vector<CondCode> &relationCondCodes();
+
+} // namespace selgen
+
+#endif // SELGEN_X86_CONDCODE_H

@@ -1,0 +1,53 @@
+//===- Emulator.h - x86-like machine code emulator ---------------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes MachineFunctions. This emulator substitutes for the
+/// paper's hardware testbed: the evaluation harness measures dynamic,
+/// cost-weighted instruction counts ("cycles") instead of wall-clock
+/// seconds. The per-opcode cost table is a coarse micro-op model whose
+/// purpose is to make better instruction selection (fewer, cheaper
+/// instructions; folded addressing modes) visible in the totals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_X86_EMULATOR_H
+#define SELGEN_X86_EMULATOR_H
+
+#include "ir/Memory.h"
+#include "x86/MachineIR.h"
+
+#include <map>
+
+namespace selgen {
+
+/// Result of running a machine function.
+struct MachineRunResult {
+  bool StepLimitHit = false;
+  std::vector<BitValue> ReturnValues;
+  MemoryState Memory;
+  uint64_t InstructionCount = 0; ///< Dynamic instructions executed.
+  uint64_t Cycles = 0;           ///< Cost-weighted dynamic count.
+};
+
+/// Runs \p MF. \p InitialRegs seeds virtual registers (the entry
+/// block's ArgRegs are expected to be covered). \p MaxInstructions
+/// bounds execution (loops!).
+MachineRunResult
+runMachineFunction(const MachineFunction &MF,
+                   const std::map<MReg, BitValue> &InitialRegs,
+                   const MemoryState &InitialMemory,
+                   uint64_t MaxInstructions = 1u << 22);
+
+/// The cost (in model cycles) of one instruction, including its
+/// operand kinds (memory operands cost extra). Exposed so benches can
+/// report static cost sums as well.
+uint64_t instructionCost(const MachineInstr &Instr);
+
+} // namespace selgen
+
+#endif // SELGEN_X86_EMULATOR_H

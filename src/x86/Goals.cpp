@@ -1,0 +1,887 @@
+//===- Goals.cpp - The x86 goal-instruction library --------------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "x86/Goals.h"
+
+#include "semantics/IrSemantics.h"
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace selgen;
+
+namespace {
+
+/// Shorthands used by every goal builder below.
+/// x86 masks shift counts to the operand width (taken from the
+/// operand's sort).
+static z3::expr maskCount(const z3::expr &Count) {
+  unsigned Width = Count.get_sort().bv_size();
+  assert((Width & (Width - 1)) == 0 && "width must be a power of two");
+  return Count & Count.ctx().bv_val(Width - 1, Width);
+}
+
+struct GoalBuilder {
+  GoalLibrary &Library;
+  unsigned Width;
+
+  Sort V() const { return Sort::value(Width); }
+  Sort B() const { return Sort::boolean(); }
+  Sort M() const { return Sort::memory(); }
+
+
+  void add(std::string Name, std::string Group, std::vector<Sort> ArgSorts,
+           std::vector<ArgRole> Roles, std::vector<Sort> ResultSorts,
+           LambdaSpec::ResultsFn Results, EmitFn Emit,
+           unsigned MaxPatternSize,
+           LambdaSpec::PointersFn Pointers = nullptr) {
+    GoalInstruction Goal;
+    Goal.Name = Name;
+    Goal.Group = std::move(Group);
+    Goal.Spec = std::make_unique<LambdaSpec>(
+        std::move(Name), std::move(ArgSorts), std::move(ResultSorts),
+        std::move(Roles), std::move(Results), std::move(Pointers));
+    Goal.Emit = std::move(Emit);
+    Goal.MaxPatternSize = MaxPatternSize;
+    Library.add(std::move(Goal));
+  }
+
+  /// Valid pointers of one W-bit access at the address computed by
+  /// \p AM over the arguments starting at \p Offset: every byte of the
+  /// access is a valid pointer (paper Section 4.1, store32 example).
+  LambdaSpec::PointersFn accessPointers(AddressingMode AM,
+                                        unsigned Offset) const {
+    unsigned NumBytes = Width / 8;
+    return [AM, Offset, NumBytes](SmtContext &Smt, unsigned W,
+                                  const std::vector<z3::expr> &Args) {
+      z3::expr Address = AM.addressExpr(Smt, W, Args, Offset);
+      std::vector<z3::expr> Pointers;
+      for (unsigned I = 0; I < NumBytes; ++I)
+        Pointers.push_back((Address + Smt.ctx().bv_val(I, W)).simplify());
+      return Pointers;
+    };
+  }
+
+  // ---- Group builders -------------------------------------------------
+  void addBasic();
+  void addLoadStore();
+  void addUnary();
+  void addBinary();
+  void addFlags();
+  void addBmi();
+
+  // ---- Shared goal constructors ---------------------------------------
+  void addBinaryRR(const std::string &Name, MOpcode Op,
+                   const std::string &Group);
+  void addBinaryRI(const std::string &Name, MOpcode Op,
+                   const std::string &Group);
+  void addBinaryRM(const std::string &Name, MOpcode Op,
+                   const AddressingMode &AM, const std::string &Group);
+  void addBinaryMR(const std::string &Name, MOpcode Op,
+                   const AddressingMode &AM, const std::string &Group);
+  void addShift(const std::string &Name, MOpcode Op, bool ImmediateCount,
+                const std::string &Group);
+  void addUnaryR(const std::string &Name, MOpcode Op,
+                 const std::string &Group, unsigned MaxSize);
+  void addUnaryM(const std::string &Name, MOpcode Op,
+                 const AddressingMode &AM, const std::string &Group,
+                 unsigned MaxSize);
+  void addLea(const AddressingMode &AM, const std::string &Group);
+  void addCmpJcc(CondCode CC, const std::string &Group);
+  void addCmpImmJcc(CondCode CC, const std::string &Group);
+  void addCmpMemJcc(CondCode CC, const AddressingMode &AM,
+                    const std::string &Group);
+  void addTestJcc(CondCode CC, const std::string &Group);
+  void addSetcc(CondCode CC, const std::string &Group);
+  void addCmov(CondCode CC, const std::string &Group);
+  void addStoreImm(const AddressingMode &AM, const std::string &Group);
+
+};
+
+/// Semantic function of a plain binary machine operation.
+static z3::expr binaryExpr(MOpcode Op, const z3::expr &Lhs,
+                           const z3::expr &Rhs) {
+    switch (Op) {
+    case MOpcode::Add:
+      return Lhs + Rhs;
+    case MOpcode::Sub:
+      return Lhs - Rhs;
+    case MOpcode::Imul:
+      return Lhs * Rhs;
+    case MOpcode::And:
+      return Lhs & Rhs;
+    case MOpcode::Or:
+      return Lhs | Rhs;
+    case MOpcode::Xor:
+      return Lhs ^ Rhs;
+    default:
+      SELGEN_UNREACHABLE("not a plain binary machine opcode");
+    }
+  }
+
+/// Semantic function of a unary machine operation; the width comes
+/// from the operand.
+static z3::expr unaryExpr(MOpcode Op, const z3::expr &Src) {
+  z3::context &Ctx = Src.ctx();
+  unsigned Width = Src.get_sort().bv_size();
+  switch (Op) {
+  case MOpcode::Neg:
+    return -Src;
+  case MOpcode::Not:
+    return ~Src;
+  case MOpcode::Inc:
+    return Src + Ctx.bv_val(1, Width);
+  case MOpcode::Dec:
+    return Src - Ctx.bv_val(1, Width);
+  default:
+    SELGEN_UNREACHABLE("not a unary machine opcode");
+  }
+}
+
+void GoalBuilder::addBinaryRR(const std::string &Name, MOpcode Op,
+                              const std::string &Group) {
+  add(Name, Group, {V(), V()}, {ArgRole::Reg, ArgRole::Reg}, {V()},
+      [Op](SemanticsContext &, const std::vector<z3::expr> &Args) {
+        return std::vector<z3::expr>{binaryExpr(Op, Args[0], Args[1])};
+      },
+      [Op](MachineFunction &MF, const std::vector<MOperand> &Args) {
+        EmittedGoal Out;
+        MReg Dst = MF.newReg();
+        Out.Instrs.push_back(
+            {Op, CondCode::E, MOperand::reg(Dst), Args[0], Args[1]});
+        Out.Results = {MOperand::reg(Dst)};
+        return Out;
+      },
+      /*MaxPatternSize=*/2);
+}
+
+void GoalBuilder::addBinaryRI(const std::string &Name, MOpcode Op,
+                              const std::string &Group) {
+  add(Name, Group, {V(), V()}, {ArgRole::Reg, ArgRole::Imm}, {V()},
+      [Op](SemanticsContext &, const std::vector<z3::expr> &Args) {
+        return std::vector<z3::expr>{binaryExpr(Op, Args[0], Args[1])};
+      },
+      [Op](MachineFunction &MF, const std::vector<MOperand> &Args) {
+        EmittedGoal Out;
+        MReg Dst = MF.newReg();
+        Out.Instrs.push_back(
+            {Op, CondCode::E, MOperand::reg(Dst), Args[0], Args[1]});
+        Out.Results = {MOperand::reg(Dst)};
+        return Out;
+      },
+      /*MaxPatternSize=*/2);
+}
+
+void GoalBuilder::addBinaryRM(const std::string &Name, MOpcode Op,
+                              const AddressingMode &AM,
+                              const std::string &Group) {
+  // Interface: [memory, AM args..., register operand] ->
+  //            [memory', register op loaded].
+  std::vector<Sort> Sorts = {M()};
+  std::vector<ArgRole> Roles = {ArgRole::Mem};
+  AM.appendArgs(Sorts, Roles, Width);
+  Sorts.push_back(V());
+  Roles.push_back(ArgRole::Reg);
+  unsigned RegIndex = Sorts.size() - 1;
+
+  add(Name, Group, std::move(Sorts), std::move(Roles), {M(), V()},
+      [Op, AM, RegIndex](SemanticsContext &Context,
+                               const std::vector<z3::expr> &Args) {
+        z3::expr Address =
+            AM.addressExpr(Context.Smt, Context.Width, Args, /*Offset=*/1);
+        auto [Loaded, NewMemory] =
+            Context.Memory->loadValue(Args[0], Address, Context.Width / 8);
+        return std::vector<z3::expr>{
+            NewMemory, binaryExpr(Op, Args[RegIndex], Loaded)};
+      },
+      [Op, AM, RegIndex](MachineFunction &MF,
+                         const std::vector<MOperand> &Args) {
+        EmittedGoal Out;
+        MReg Dst = MF.newReg();
+        Out.Instrs.push_back({Op, CondCode::E, MOperand::reg(Dst),
+                              Args[RegIndex],
+                              MOperand::mem(AM.memRef(Args, 1))});
+        Out.Results = {MOperand::none(), MOperand::reg(Dst)};
+        return Out;
+      },
+      /*MaxPatternSize=*/2 + AM.numArgs() + (AM.Scale != 1 ? 2 : 0),
+      accessPointers(AM, /*Offset=*/1));
+}
+
+void GoalBuilder::addBinaryMR(const std::string &Name, MOpcode Op,
+                              const AddressingMode &AM,
+                              const std::string &Group) {
+  // Destination addressing mode: [memory, AM args..., register] ->
+  // [memory']; load-op-store ("an instruction using a destination
+  // addressing mode needs one more IR operation", paper Appendix A.6).
+  std::vector<Sort> Sorts = {M()};
+  std::vector<ArgRole> Roles = {ArgRole::Mem};
+  AM.appendArgs(Sorts, Roles, Width);
+  Sorts.push_back(V());
+  Roles.push_back(ArgRole::Reg);
+  unsigned RegIndex = Sorts.size() - 1;
+
+  add(Name, Group, std::move(Sorts), std::move(Roles), {M()},
+      [Op, AM, RegIndex](SemanticsContext &Context,
+                               const std::vector<z3::expr> &Args) {
+        z3::expr Address =
+            AM.addressExpr(Context.Smt, Context.Width, Args, /*Offset=*/1);
+        auto [Loaded, Mem1] =
+            Context.Memory->loadValue(Args[0], Address, Context.Width / 8);
+        z3::expr Mem2 = Context.Memory->storeValue(
+            Mem1, Address, binaryExpr(Op, Loaded, Args[RegIndex]));
+        return std::vector<z3::expr>{Mem2};
+      },
+      [Op, AM, RegIndex](MachineFunction &MF,
+                         const std::vector<MOperand> &Args) {
+        (void)MF;
+        EmittedGoal Out;
+        MOperand Mem = MOperand::mem(AM.memRef(Args, 1));
+        Out.Instrs.push_back({Op, CondCode::E, Mem, Mem, Args[RegIndex]});
+        Out.Results = {MOperand::none()};
+        return Out;
+      },
+      /*MaxPatternSize=*/3 + AM.numArgs() + (AM.Scale != 1 ? 2 : 0),
+      accessPointers(AM, /*Offset=*/1));
+}
+
+void GoalBuilder::addShift(const std::string &Name, MOpcode Op,
+                           bool ImmediateCount, const std::string &Group) {
+  add(Name, Group, {V(), V()},
+      {ArgRole::Reg, ImmediateCount ? ArgRole::Imm : ArgRole::Reg}, {V()},
+      [Op](SemanticsContext &, const std::vector<z3::expr> &Args) {
+        z3::expr Count = maskCount(Args[1]);
+        z3::expr Value = Op == MOpcode::Shl   ? z3::shl(Args[0], Count)
+                         : Op == MOpcode::Shr ? z3::lshr(Args[0], Count)
+                                              : z3::ashr(Args[0], Count);
+        return std::vector<z3::expr>{Value};
+      },
+      [Op](MachineFunction &MF, const std::vector<MOperand> &Args) {
+        EmittedGoal Out;
+        MReg Dst = MF.newReg();
+        Out.Instrs.push_back(
+            {Op, CondCode::E, MOperand::reg(Dst), Args[0], Args[1]});
+        Out.Results = {MOperand::reg(Dst)};
+        return Out;
+      },
+      /*MaxPatternSize=*/2);
+}
+
+void GoalBuilder::addUnaryR(const std::string &Name, MOpcode Op,
+                            const std::string &Group, unsigned MaxSize) {
+  add(Name, Group, {V()}, {ArgRole::Reg}, {V()},
+      [Op](SemanticsContext &, const std::vector<z3::expr> &Args) {
+        return std::vector<z3::expr>{unaryExpr(Op, Args[0])};
+      },
+      [Op](MachineFunction &MF, const std::vector<MOperand> &Args) {
+        EmittedGoal Out;
+        MReg Dst = MF.newReg();
+        Out.Instrs.push_back(
+            {Op, CondCode::E, MOperand::reg(Dst), Args[0], {}});
+        Out.Results = {MOperand::reg(Dst)};
+        return Out;
+      },
+      MaxSize);
+}
+
+void GoalBuilder::addUnaryM(const std::string &Name, MOpcode Op,
+                            const AddressingMode &AM,
+                            const std::string &Group, unsigned MaxSize) {
+  std::vector<Sort> Sorts = {M()};
+  std::vector<ArgRole> Roles = {ArgRole::Mem};
+  AM.appendArgs(Sorts, Roles, Width);
+
+  add(Name, Group, std::move(Sorts), std::move(Roles), {M()},
+      [Op, AM](SemanticsContext &Context,
+                     const std::vector<z3::expr> &Args) {
+        z3::expr Address =
+            AM.addressExpr(Context.Smt, Context.Width, Args, /*Offset=*/1);
+        auto [Loaded, Mem1] =
+            Context.Memory->loadValue(Args[0], Address, Context.Width / 8);
+        z3::expr Mem2 =
+            Context.Memory->storeValue(Mem1, Address, unaryExpr(Op, Loaded));
+        return std::vector<z3::expr>{Mem2};
+      },
+      [Op, AM](MachineFunction &MF, const std::vector<MOperand> &Args) {
+        (void)MF;
+        EmittedGoal Out;
+        MOperand Mem = MOperand::mem(AM.memRef(Args, 1));
+        Out.Instrs.push_back({Op, CondCode::E, Mem, Mem, {}});
+        Out.Results = {MOperand::none()};
+        return Out;
+      },
+      MaxSize, accessPointers(AM, /*Offset=*/1));
+}
+
+void GoalBuilder::addLea(const AddressingMode &AM, const std::string &Group) {
+  // lea computes the effective address without touching memory.
+  std::vector<Sort> Sorts;
+  std::vector<ArgRole> Roles;
+  AM.appendArgs(Sorts, Roles, Width);
+
+  add("lea_" + AM.suffix(), Group, std::move(Sorts), std::move(Roles), {V()},
+      [AM](SemanticsContext &Context,
+                 const std::vector<z3::expr> &Args) {
+        return std::vector<z3::expr>{
+            AM.addressExpr(Context.Smt, Context.Width, Args, /*Offset=*/0)};
+      },
+      [AM](MachineFunction &MF, const std::vector<MOperand> &Args) {
+        EmittedGoal Out;
+        MReg Dst = MF.newReg();
+        Out.Instrs.push_back({MOpcode::Lea, CondCode::E, MOperand::reg(Dst),
+                              MOperand::mem(AM.memRef(Args, 0)),
+                              {}});
+        Out.Results = {MOperand::reg(Dst)};
+        return Out;
+      },
+      /*MaxPatternSize=*/AM.numArgs() + (AM.Scale != 1 ? 2 : 0) + 1);
+}
+
+void GoalBuilder::addCmpJcc(CondCode CC, const std::string &Group) {
+  Relation Rel = relationForCondCode(CC);
+  add(std::string("cmp_j") + condCodeName(CC), Group, {V(), V()},
+      {ArgRole::Reg, ArgRole::Reg}, {B(), B()},
+      [Rel](SemanticsContext &, const std::vector<z3::expr> &Args) {
+        z3::expr Taken = relationExpr(Rel, Args[0], Args[1]);
+        return std::vector<z3::expr>{Taken, !Taken};
+      },
+      [CC](MachineFunction &MF, const std::vector<MOperand> &Args) {
+        (void)MF;
+        EmittedGoal Out;
+        Out.Instrs.push_back(
+            {MOpcode::Cmp, CondCode::E, {}, Args[0], Args[1]});
+        Out.Results = {MOperand::none(), MOperand::none()};
+        Out.JumpCC = CC;
+        return Out;
+      },
+      /*MaxPatternSize=*/2);
+}
+
+void GoalBuilder::addCmpImmJcc(CondCode CC, const std::string &Group) {
+  Relation Rel = relationForCondCode(CC);
+  add(std::string("cmpi_j") + condCodeName(CC), Group, {V(), V()},
+      {ArgRole::Reg, ArgRole::Imm}, {B(), B()},
+      [Rel](SemanticsContext &, const std::vector<z3::expr> &Args) {
+        z3::expr Taken = relationExpr(Rel, Args[0], Args[1]);
+        return std::vector<z3::expr>{Taken, !Taken};
+      },
+      [CC](MachineFunction &MF, const std::vector<MOperand> &Args) {
+        (void)MF;
+        EmittedGoal Out;
+        Out.Instrs.push_back(
+            {MOpcode::Cmp, CondCode::E, {}, Args[0], Args[1]});
+        Out.Results = {MOperand::none(), MOperand::none()};
+        Out.JumpCC = CC;
+        return Out;
+      },
+      /*MaxPatternSize=*/2);
+}
+
+void GoalBuilder::addCmpMemJcc(CondCode CC, const AddressingMode &AM,
+                               const std::string &Group) {
+  Relation Rel = relationForCondCode(CC);
+  std::vector<Sort> Sorts = {M()};
+  std::vector<ArgRole> Roles = {ArgRole::Mem};
+  AM.appendArgs(Sorts, Roles, Width);
+  Sorts.push_back(V());
+  Roles.push_back(ArgRole::Reg);
+  unsigned RegIndex = Sorts.size() - 1;
+
+  add(std::string("cmpm_") + AM.suffix() + "_j" + condCodeName(CC), Group,
+      std::move(Sorts), std::move(Roles), {M(), B(), B()},
+      [Rel, AM, RegIndex](SemanticsContext &Context,
+                                const std::vector<z3::expr> &Args) {
+        z3::expr Address =
+            AM.addressExpr(Context.Smt, Context.Width, Args, /*Offset=*/1);
+        auto [Loaded, NewMemory] =
+            Context.Memory->loadValue(Args[0], Address, Context.Width / 8);
+        z3::expr Taken = relationExpr(Rel, Args[RegIndex], Loaded);
+        return std::vector<z3::expr>{NewMemory, Taken, !Taken};
+      },
+      [CC, AM, RegIndex](MachineFunction &MF,
+                         const std::vector<MOperand> &Args) {
+        (void)MF;
+        EmittedGoal Out;
+        Out.Instrs.push_back({MOpcode::Cmp, CondCode::E, {}, Args[RegIndex],
+                              MOperand::mem(AM.memRef(Args, 1))});
+        Out.Results = {MOperand::none(), MOperand::none(), MOperand::none()};
+        Out.JumpCC = CC;
+        return Out;
+      },
+      /*MaxPatternSize=*/3 + AM.numArgs() + (AM.Scale != 1 ? 2 : 0),
+      accessPointers(AM, /*Offset=*/1));
+}
+
+void GoalBuilder::addTestJcc(CondCode CC, const std::string &Group) {
+  add(std::string("test_j") + condCodeName(CC), Group, {V(), V()},
+      {ArgRole::Reg, ArgRole::Reg}, {B(), B()},
+      [CC](SemanticsContext &Context,
+                 const std::vector<z3::expr> &Args) {
+        z3::expr Value = Args[0] & Args[1];
+        z3::expr Zero = Context.Smt.ctx().bv_val(0, Context.Width);
+        z3::expr Taken = Context.Smt.boolVal(false);
+        switch (CC) {
+        case CondCode::E:
+          Taken = Value == Zero;
+          break;
+        case CondCode::NE:
+          Taken = Value != Zero;
+          break;
+        case CondCode::S:
+          Taken = Value < Zero;
+          break;
+        case CondCode::NS:
+          Taken = Value >= Zero;
+          break;
+        case CondCode::LE: // ZF or SF (OF = 0 after test).
+          Taken = Value <= Zero;
+          break;
+        case CondCode::G:
+          Taken = Value > Zero;
+          break;
+        default:
+          SELGEN_UNREACHABLE("unsupported test condition");
+        }
+        return std::vector<z3::expr>{Taken, !Taken};
+      },
+      [CC](MachineFunction &MF, const std::vector<MOperand> &Args) {
+        (void)MF;
+        EmittedGoal Out;
+        Out.Instrs.push_back(
+            {MOpcode::Test, CondCode::E, {}, Args[0], Args[1]});
+        Out.Results = {MOperand::none(), MOperand::none()};
+        Out.JumpCC = CC;
+        return Out;
+      },
+      /*MaxPatternSize=*/4);
+}
+
+void GoalBuilder::addSetcc(CondCode CC, const std::string &Group) {
+  Relation Rel = relationForCondCode(CC);
+  add(std::string("set") + condCodeName(CC), Group, {V(), V()},
+      {ArgRole::Reg, ArgRole::Reg}, {V()},
+      [Rel](SemanticsContext &Context,
+                  const std::vector<z3::expr> &Args) {
+        return std::vector<z3::expr>{
+            z3::ite(relationExpr(Rel, Args[0], Args[1]),
+                    Context.Smt.ctx().bv_val(1, Context.Width),
+                    Context.Smt.ctx().bv_val(0, Context.Width))};
+      },
+      [CC](MachineFunction &MF, const std::vector<MOperand> &Args) {
+        EmittedGoal Out;
+        MReg Dst = MF.newReg();
+        Out.Instrs.push_back(
+            {MOpcode::Cmp, CondCode::E, {}, Args[0], Args[1]});
+        Out.Instrs.push_back(
+            {MOpcode::Setcc, CC, MOperand::reg(Dst), {}, {}});
+        Out.Results = {MOperand::reg(Dst)};
+        return Out;
+      },
+      /*MaxPatternSize=*/4);
+}
+
+void GoalBuilder::addCmov(CondCode CC, const std::string &Group) {
+  Relation Rel = relationForCondCode(CC);
+  add(std::string("cmov") + condCodeName(CC), Group, {V(), V(), V(), V()},
+      {ArgRole::Reg, ArgRole::Reg, ArgRole::Reg, ArgRole::Reg}, {V()},
+      [Rel](SemanticsContext &, const std::vector<z3::expr> &Args) {
+        return std::vector<z3::expr>{
+            z3::ite(relationExpr(Rel, Args[0], Args[1]), Args[2], Args[3])};
+      },
+      [CC](MachineFunction &MF, const std::vector<MOperand> &Args) {
+        EmittedGoal Out;
+        MReg Dst = MF.newReg();
+        Out.Instrs.push_back(
+            {MOpcode::Cmp, CondCode::E, {}, Args[0], Args[1]});
+        Out.Instrs.push_back(
+            {MOpcode::Cmov, CC, MOperand::reg(Dst), Args[2], Args[3]});
+        Out.Results = {MOperand::reg(Dst)};
+        return Out;
+      },
+      /*MaxPatternSize=*/2);
+}
+
+void GoalBuilder::addStoreImm(const AddressingMode &AM,
+                              const std::string &Group) {
+  // mov [am], imm — a store whose value operand is an instruction
+  // immediate; the pattern is the same Store as mov_store, but the
+  // matcher only binds it to IR constants.
+  std::vector<Sort> Sorts = {M()};
+  std::vector<ArgRole> Roles = {ArgRole::Mem};
+  AM.appendArgs(Sorts, Roles, Width);
+  Sorts.push_back(V());
+  Roles.push_back(ArgRole::Imm);
+  unsigned ImmIndex = Sorts.size() - 1;
+
+  add("mov_storei_" + AM.suffix(), Group, std::move(Sorts),
+      std::move(Roles), {M()},
+      [AM, ImmIndex](SemanticsContext &Context,
+                     const std::vector<z3::expr> &Args) {
+        z3::expr Address =
+            AM.addressExpr(Context.Smt, Context.Width, Args, /*Offset=*/1);
+        return std::vector<z3::expr>{Context.Memory->storeValue(
+            Args[0], Address, Args[ImmIndex])};
+      },
+      [AM, ImmIndex](MachineFunction &MF,
+                     const std::vector<MOperand> &Args) {
+        (void)MF;
+        EmittedGoal Out;
+        Out.Instrs.push_back({MOpcode::Mov, CondCode::E,
+                              MOperand::mem(AM.memRef(Args, 1)),
+                              Args[ImmIndex],
+                              {}});
+        Out.Results = {MOperand::none()};
+        return Out;
+      },
+      /*MaxPatternSize=*/1 + AM.numArgs() + (AM.Scale != 1 ? 2 : 0),
+      accessPointers(AM, /*Offset=*/1));
+}
+
+void GoalBuilder::addBasic() {
+  const std::string Group = "Basic";
+
+  // mov r, imm: the identity pattern over an Imm-role argument; the
+  // matcher binds it to an IR Const node.
+  add("mov_ri", Group, {V()}, {ArgRole::Imm}, {V()},
+      [](SemanticsContext &, const std::vector<z3::expr> &Args) {
+        return std::vector<z3::expr>{Args[0]};
+      },
+      [](MachineFunction &MF, const std::vector<MOperand> &Args) {
+        EmittedGoal Out;
+        MReg Dst = MF.newReg();
+        Out.Instrs.push_back(
+            {MOpcode::Mov, CondCode::E, MOperand::reg(Dst), Args[0], {}});
+        Out.Results = {MOperand::reg(Dst)};
+        return Out;
+      },
+      /*MaxPatternSize=*/0);
+
+  addUnaryR("neg_r", MOpcode::Neg, Group, /*MaxSize=*/1);
+  addUnaryR("not_r", MOpcode::Not, Group, /*MaxSize=*/1);
+
+  addBinaryRR("add_rr", MOpcode::Add, Group);
+  addBinaryRR("sub_rr", MOpcode::Sub, Group);
+  addBinaryRR("and_rr", MOpcode::And, Group);
+  addBinaryRR("or_rr", MOpcode::Or, Group);
+  addBinaryRR("xor_rr", MOpcode::Xor, Group);
+  addBinaryRR("imul_rr", MOpcode::Imul, Group);
+
+  addLea({true, true, 1, false}, Group); // lea (b,i)
+
+  addShift("shl_ri", MOpcode::Shl, /*ImmediateCount=*/true, Group);
+  addShift("shr_ri", MOpcode::Shr, /*ImmediateCount=*/true, Group);
+  addShift("sar_ri", MOpcode::Sar, /*ImmediateCount=*/true, Group);
+  addShift("shl_rc", MOpcode::Shl, /*ImmediateCount=*/false, Group);
+  addShift("shr_rc", MOpcode::Shr, /*ImmediateCount=*/false, Group);
+  addShift("sar_rc", MOpcode::Sar, /*ImmediateCount=*/false, Group);
+
+  for (CondCode CC : relationCondCodes())
+    addCmpJcc(CC, Group);
+}
+
+void GoalBuilder::addLoadStore() {
+  const std::string Group = "LoadStore";
+  addStoreImm(AddressingMode{true, false, 1, false}, Group);
+  addStoreImm(AddressingMode{true, false, 1, true}, Group);
+  for (const AddressingMode &AM : AddressingMode::fullSet()) {
+    // mov r, [am] — load.
+    {
+      std::vector<Sort> Sorts = {M()};
+      std::vector<ArgRole> Roles = {ArgRole::Mem};
+      AM.appendArgs(Sorts, Roles, Width);
+      add("mov_load_" + AM.suffix(), Group, std::move(Sorts),
+          std::move(Roles), {M(), V()},
+          [AM](SemanticsContext &Context,
+                     const std::vector<z3::expr> &Args) {
+            z3::expr Address =
+                AM.addressExpr(Context.Smt, Context.Width, Args, /*Offset=*/1);
+            auto [Loaded, NewMemory] =
+                Context.Memory->loadValue(Args[0], Address, Context.Width / 8);
+            return std::vector<z3::expr>{NewMemory, Loaded};
+          },
+          [AM](MachineFunction &MF, const std::vector<MOperand> &Args) {
+            EmittedGoal Out;
+            MReg Dst = MF.newReg();
+            Out.Instrs.push_back({MOpcode::Mov, CondCode::E,
+                                  MOperand::reg(Dst),
+                                  MOperand::mem(AM.memRef(Args, 1)),
+                                  {}});
+            Out.Results = {MOperand::none(), MOperand::reg(Dst)};
+            return Out;
+          },
+          /*MaxPatternSize=*/1 + AM.numArgs() + (AM.Scale != 1 ? 2 : 0),
+          accessPointers(AM, /*Offset=*/1));
+    }
+    // mov [am], r — store.
+    {
+      std::vector<Sort> Sorts = {M()};
+      std::vector<ArgRole> Roles = {ArgRole::Mem};
+      AM.appendArgs(Sorts, Roles, Width);
+      Sorts.push_back(V());
+      Roles.push_back(ArgRole::Reg);
+      unsigned RegIndex = Sorts.size() - 1;
+      add("mov_store_" + AM.suffix(), Group, std::move(Sorts),
+          std::move(Roles), {M()},
+          [AM, RegIndex](SemanticsContext &Context,
+                               const std::vector<z3::expr> &Args) {
+            z3::expr Address =
+                AM.addressExpr(Context.Smt, Context.Width, Args, /*Offset=*/1);
+            return std::vector<z3::expr>{Context.Memory->storeValue(
+                Args[0], Address, Args[RegIndex])};
+          },
+          [AM, RegIndex](MachineFunction &MF,
+                         const std::vector<MOperand> &Args) {
+            (void)MF;
+            EmittedGoal Out;
+            Out.Instrs.push_back({MOpcode::Mov, CondCode::E,
+                                  MOperand::mem(AM.memRef(Args, 1)),
+                                  Args[RegIndex],
+                                  {}});
+            Out.Results = {MOperand::none()};
+            return Out;
+          },
+          /*MaxPatternSize=*/1 + AM.numArgs() + (AM.Scale != 1 ? 2 : 0),
+          accessPointers(AM, /*Offset=*/1));
+    }
+  }
+}
+
+void GoalBuilder::addUnary() {
+  const std::string Group = "Unary";
+  addUnaryR("inc_r", MOpcode::Inc, Group, /*MaxSize=*/2);
+  addUnaryR("dec_r", MOpcode::Dec, Group, /*MaxSize=*/2);
+  for (const AddressingMode &AM :
+       {AddressingMode{true, false, 1, false},
+        AddressingMode{true, false, 1, true},
+        AddressingMode{true, true, 1, false}}) {
+    unsigned Extra = AM.numArgs();
+    addUnaryM("neg_m_" + AM.suffix(), MOpcode::Neg, AM, Group, 3 + Extra);
+    addUnaryM("not_m_" + AM.suffix(), MOpcode::Not, AM, Group, 3 + Extra);
+    addUnaryM("inc_m_" + AM.suffix(), MOpcode::Inc, AM, Group, 4 + Extra);
+    addUnaryM("dec_m_" + AM.suffix(), MOpcode::Dec, AM, Group, 4 + Extra);
+  }
+}
+
+void GoalBuilder::addBinary() {
+  const std::string Group = "Binary";
+  addBinaryRI("add_ri", MOpcode::Add, Group);
+  addBinaryRI("sub_ri", MOpcode::Sub, Group);
+  addBinaryRI("and_ri", MOpcode::And, Group);
+  addBinaryRI("or_ri", MOpcode::Or, Group);
+  addBinaryRI("xor_ri", MOpcode::Xor, Group);
+  addBinaryRI("imul_ri", MOpcode::Imul, Group);
+
+  // Source and destination addressing-mode variants of the two-operand
+  // arithmetic family. The source set uses the full addressing modes;
+  // the destination set the simple ones (as the artifact's defaults).
+  const std::vector<std::pair<std::string, MOpcode>> Ops = {
+      {"add", MOpcode::Add}, {"sub", MOpcode::Sub}, {"and", MOpcode::And},
+      {"or", MOpcode::Or},   {"xor", MOpcode::Xor}};
+  for (const auto &[Name, Op] : Ops) {
+    for (const AddressingMode &AM : AddressingMode::fullSet())
+      addBinaryRM(Name + "_rm_" + AM.suffix(), Op, AM, Group);
+    for (const AddressingMode &AM :
+         {AddressingMode{true, false, 1, false},
+          AddressingMode{true, false, 1, true}})
+      addBinaryMR(Name + "_mr_" + AM.suffix(), Op, AM, Group);
+  }
+
+  for (const AddressingMode &AM :
+       {AddressingMode{true, false, 1, false},
+        AddressingMode{true, false, 1, true}})
+    addBinaryRM("imul_rm_" + AM.suffix(), MOpcode::Imul, AM, Group);
+
+  // xchg r1, r2: two results wired straight from the swapped
+  // arguments — exercises the multi-result identity corner of the
+  // encoding (a zero-operation pattern with two results).
+  add("xchg_rr", Group, {V(), V()}, {ArgRole::Reg, ArgRole::Reg},
+      {V(), V()},
+      [](SemanticsContext &, const std::vector<z3::expr> &Args) {
+        return std::vector<z3::expr>{Args[1], Args[0]};
+      },
+      [](MachineFunction &MF, const std::vector<MOperand> &Args) {
+        EmittedGoal Out;
+        MReg First = MF.newReg(), Second = MF.newReg();
+        Out.Instrs.push_back(
+            {MOpcode::Mov, CondCode::E, MOperand::reg(First), Args[1], {}});
+        Out.Instrs.push_back(
+            {MOpcode::Mov, CondCode::E, MOperand::reg(Second), Args[0], {}});
+        Out.Results = {MOperand::reg(First), MOperand::reg(Second)};
+        return Out;
+      },
+      /*MaxPatternSize=*/0);
+
+  // The full lea family.
+  for (const AddressingMode &AM : AddressingMode::fullSet())
+    if (AM.numComponents() >= 2 && !(AM.HasBase && !AM.HasIndex && !AM.HasDisp))
+      addLea(AM, Group);
+  // Index-scale-displacement without base (the paper's
+  // "lea bytes+42(x,x,2)" shape needs no dedicated goal: it is the
+  // bisd pattern with base == index).
+  addLea({false, true, 4, true}, Group);
+  addLea({false, true, 2, true}, Group);
+
+  // Fixed-count rotates (the rotate count is an enumerable attribute,
+  // so each count is its own goal; see Goals.h).
+  for (unsigned Count : {1u, 4u}) {
+    for (bool Left : {true, false}) {
+      std::string Name =
+          std::string(Left ? "rol" : "ror") + std::to_string(Count) + "_r";
+      MOpcode Op = Left ? MOpcode::Rol : MOpcode::Ror;
+      add(Name, Group, {V()}, {ArgRole::Reg}, {V()},
+          [Count, Left](SemanticsContext &Context,
+                        const std::vector<z3::expr> &Args) {
+            unsigned W = Context.Width;
+            unsigned Other = W - Count;
+            z3::context &Ctx = Context.Smt.ctx();
+            z3::expr ShiftedLeft =
+                z3::shl(Args[0], Ctx.bv_val(Left ? Count : Other, W));
+            z3::expr ShiftedRight =
+                z3::lshr(Args[0], Ctx.bv_val(Left ? Other : Count, W));
+            return std::vector<z3::expr>{ShiftedLeft | ShiftedRight};
+          },
+          [Op, Count](MachineFunction &MF,
+                      const std::vector<MOperand> &Args) {
+            EmittedGoal Out;
+            MReg Dst = MF.newReg();
+            Out.Instrs.push_back({Op, CondCode::E, MOperand::reg(Dst),
+                                  Args[0],
+                                  MOperand::imm(BitValue(
+                                      MF.width(), Count))});
+            Out.Results = {MOperand::reg(Dst)};
+            return Out;
+          },
+          /*MaxPatternSize=*/5);
+    }
+  }
+}
+
+void GoalBuilder::addFlags() {
+  const std::string Group = "Flags";
+  for (CondCode CC : relationCondCodes()) {
+    addCmpImmJcc(CC, Group);
+    addSetcc(CC, Group);
+    addCmov(CC, Group);
+    addCmpMemJcc(CC, AddressingMode{true, false, 1, false}, Group);
+    addCmpMemJcc(CC, AddressingMode{true, false, 1, true}, Group);
+  }
+  for (CondCode CC : {CondCode::E, CondCode::NE, CondCode::S, CondCode::NS,
+                      CondCode::LE, CondCode::G})
+    addTestJcc(CC, Group);
+}
+
+void GoalBuilder::addBmi() {
+  const std::string Group = "Bmi";
+  const std::vector<std::pair<std::string, MOpcode>> Ops = {
+      {"andn", MOpcode::Andn},
+      {"blsr", MOpcode::Blsr},
+      {"blsi", MOpcode::Blsi},
+      {"blsmsk", MOpcode::Blsmsk}};
+  for (const auto &[Name, Op] : Ops) {
+    unsigned NumArgs = Op == MOpcode::Andn ? 2 : 1;
+    std::vector<Sort> Sorts(NumArgs, V());
+    std::vector<ArgRole> Roles(NumArgs, ArgRole::Reg);
+    add(Name, Group, std::move(Sorts), std::move(Roles), {V()},
+        [Op](SemanticsContext &Context,
+                   const std::vector<z3::expr> &Args) {
+          z3::expr One = Context.Smt.ctx().bv_val(1, Context.Width);
+          z3::expr Value = Args[0];
+          switch (Op) {
+          case MOpcode::Andn:
+            Value = ~Args[0] & Args[1];
+            break;
+          case MOpcode::Blsr:
+            Value = Args[0] & (Args[0] - One);
+            break;
+          case MOpcode::Blsi:
+            Value = Args[0] & -Args[0];
+            break;
+          case MOpcode::Blsmsk:
+            Value = Args[0] ^ (Args[0] - One);
+            break;
+          default:
+            SELGEN_UNREACHABLE("not a BMI opcode");
+          }
+          return std::vector<z3::expr>{Value};
+        },
+        [Op, NumArgs](MachineFunction &MF,
+                      const std::vector<MOperand> &Args) {
+          EmittedGoal Out;
+          MReg Dst = MF.newReg();
+          Out.Instrs.push_back({Op, CondCode::E, MOperand::reg(Dst), Args[0],
+                                NumArgs == 2 ? Args[1] : MOperand::none()});
+          Out.Results = {MOperand::reg(Dst)};
+          return Out;
+        },
+        /*MaxPatternSize=*/4);
+  }
+}
+
+} // namespace
+
+const GoalInstruction *GoalLibrary::find(const std::string &Name) const {
+  for (const GoalInstruction &Goal : Goals)
+    if (Goal.Name == Name)
+      return &Goal;
+  return nullptr;
+}
+
+std::vector<const GoalInstruction *>
+GoalLibrary::group(const std::string &GroupName) const {
+  std::vector<const GoalInstruction *> Result;
+  for (const GoalInstruction &Goal : Goals)
+    if (Goal.Group == GroupName)
+      Result.push_back(&Goal);
+  return Result;
+}
+
+const std::vector<std::string> &GoalLibrary::allGroups() {
+  static const std::vector<std::string> Groups = {
+      "Basic", "LoadStore", "Unary", "Binary", "Flags", "Bmi"};
+  return Groups;
+}
+
+GoalLibrary GoalLibrary::subset(GoalLibrary &&Source,
+                                const std::vector<std::string> &Names) {
+  GoalLibrary Result;
+  for (const std::string &Name : Names) {
+    bool Found = false;
+    for (GoalInstruction &Goal : Source.Goals) {
+      if (Goal.Name != Name)
+        continue;
+      Result.Goals.push_back(std::move(Goal));
+      Found = true;
+      break;
+    }
+    if (!Found)
+      reportFatalError("unknown goal in subset: " + Name);
+  }
+  return Result;
+}
+
+GoalLibrary GoalLibrary::build(unsigned Width,
+                               const std::vector<std::string> &Groups) {
+  GoalLibrary Library;
+  GoalBuilder Builder{Library, Width};
+  for (const std::string &Group : Groups) {
+    if (Group == "Basic")
+      Builder.addBasic();
+    else if (Group == "LoadStore")
+      Builder.addLoadStore();
+    else if (Group == "Unary")
+      Builder.addUnary();
+    else if (Group == "Binary")
+      Builder.addBinary();
+    else if (Group == "Flags")
+      Builder.addFlags();
+    else if (Group == "Bmi")
+      Builder.addBmi();
+    else
+      reportFatalError("unknown goal group: " + Group);
+  }
+  return Library;
+}

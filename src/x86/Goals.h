@@ -1,0 +1,103 @@
+//===- Goals.h - The x86 goal-instruction library ----------------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library of goal machine instructions M the synthesizer works
+/// through (paper Section 3, Algorithm 1). Each goal bundles:
+///
+/// * a semantic spec (InstrSpec) giving its interface and its SMT
+///   postcondition — built with the same M-value primitives as the IR
+///   operations (paper Section 4.1);
+/// * its instruction group, mirroring Table 2 (Basic, LoadStore,
+///   Unary, Binary, Flags, plus the artifact's Bmi extension);
+/// * an emission recipe used by the generated instruction selector to
+///   produce machine code once a pattern for this goal matched.
+///
+/// Goals have no internal attributes: condition codes, scales, and
+/// fixed rotate counts are expanded into separate goal variants ("we
+/// run a separate synthesis for each possible assignment", Section 5),
+/// while immediates and displacements are symbolic Imm-role arguments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_X86_GOALS_H
+#define SELGEN_X86_GOALS_H
+
+#include "semantics/InstrSpec.h"
+#include "x86/AddressingMode.h"
+#include "x86/MachineIR.h"
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace selgen {
+
+/// What a goal's emission recipe produced.
+struct EmittedGoal {
+  /// Instructions to append to the current machine block.
+  std::vector<MachineInstr> Instrs;
+  /// One operand per goal result: the register holding a value result,
+  /// None for memory results.
+  std::vector<MOperand> Results;
+  /// For compare-and-jump goals: the condition code the block
+  /// terminator must use (the flags are set by Instrs).
+  std::optional<CondCode> JumpCC;
+};
+
+/// Emission recipe: goal argument bindings (one MOperand per goal
+/// argument: Reg-role -> register, Imm-role -> immediate, Mem-role ->
+/// None) to emitted machine code. \p MF provides fresh registers.
+using EmitFn = std::function<EmittedGoal(MachineFunction &MF,
+                                         const std::vector<MOperand> &Args)>;
+
+/// One goal machine instruction.
+struct GoalInstruction {
+  std::string Name;
+  std::string Group;
+  std::unique_ptr<InstrSpec> Spec;
+  EmitFn Emit;
+  /// Upper bound on the minimal pattern size, used to cap the
+  /// iterative deepening.
+  unsigned MaxPatternSize = 7;
+};
+
+/// The goal library for one data width.
+class GoalLibrary {
+public:
+  void add(GoalInstruction Goal) { Goals.push_back(std::move(Goal)); }
+
+  const std::vector<GoalInstruction> &goals() const { return Goals; }
+
+  const GoalInstruction *find(const std::string &Name) const;
+
+  std::vector<const GoalInstruction *>
+  group(const std::string &GroupName) const;
+
+  /// Builds the goals of the named groups for width \p Width.
+  /// Group names: "Basic", "LoadStore", "Unary", "Binary", "Flags",
+  /// "Bmi". Unknown names abort.
+  static GoalLibrary build(unsigned Width,
+                           const std::vector<std::string> &Groups);
+
+  /// All group names, in Table 2 order plus "Bmi".
+  static const std::vector<std::string> &allGroups();
+
+  /// Moves the named goals out of \p Source into a new library
+  /// (preserving \p Names order). Unknown names abort.
+  static GoalLibrary subset(GoalLibrary &&Source,
+                            const std::vector<std::string> &Names);
+
+private:
+  std::vector<GoalInstruction> Goals;
+};
+
+} // namespace selgen
+
+#endif // SELGEN_X86_GOALS_H

@@ -1,0 +1,159 @@
+//===- MachineIR.cpp - x86-like machine code representation ------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "x86/MachineIR.h"
+
+#include "support/Error.h"
+
+using namespace selgen;
+
+const char *selgen::mopcodeName(MOpcode Op) {
+  switch (Op) {
+  case MOpcode::Mov:
+    return "mov";
+  case MOpcode::Lea:
+    return "lea";
+  case MOpcode::Neg:
+    return "neg";
+  case MOpcode::Not:
+    return "not";
+  case MOpcode::Inc:
+    return "inc";
+  case MOpcode::Dec:
+    return "dec";
+  case MOpcode::Add:
+    return "add";
+  case MOpcode::Sub:
+    return "sub";
+  case MOpcode::Imul:
+    return "imul";
+  case MOpcode::And:
+    return "and";
+  case MOpcode::Or:
+    return "or";
+  case MOpcode::Xor:
+    return "xor";
+  case MOpcode::Shl:
+    return "shl";
+  case MOpcode::Shr:
+    return "shr";
+  case MOpcode::Sar:
+    return "sar";
+  case MOpcode::Rol:
+    return "rol";
+  case MOpcode::Ror:
+    return "ror";
+  case MOpcode::Andn:
+    return "andn";
+  case MOpcode::Blsr:
+    return "blsr";
+  case MOpcode::Blsi:
+    return "blsi";
+  case MOpcode::Blsmsk:
+    return "blsmsk";
+  case MOpcode::Cmov:
+    return "cmov";
+  case MOpcode::Cmp:
+    return "cmp";
+  case MOpcode::Test:
+    return "test";
+  case MOpcode::Setcc:
+    return "set";
+  }
+  SELGEN_UNREACHABLE("bad machine opcode");
+}
+
+static std::string printMemRef(const MemRef &M) {
+  std::string Result;
+  if (M.Disp != 0)
+    Result += std::to_string(M.Disp);
+  Result += "(";
+  if (M.Base)
+    Result += "%v" + std::to_string(*M.Base);
+  if (M.Index) {
+    Result += ",%v" + std::to_string(*M.Index);
+    Result += "," + std::to_string(M.Scale);
+  }
+  Result += ")";
+  return Result;
+}
+
+static std::string printOperand(const MOperand &Op) {
+  switch (Op.K) {
+  case MOperand::Kind::None:
+    return "<none>";
+  case MOperand::Kind::Reg:
+    return "%v" + std::to_string(Op.R);
+  case MOperand::Kind::Imm:
+    return "$" + Op.Imm.toSignedString();
+  case MOperand::Kind::Mem:
+    return printMemRef(Op.M);
+  }
+  SELGEN_UNREACHABLE("bad operand kind");
+}
+
+std::string selgen::printMachineInstr(const MachineInstr &Instr) {
+  std::string Result = mopcodeName(Instr.Op);
+  if (Instr.Op == MOpcode::Setcc || Instr.Op == MOpcode::Cmov)
+    Result += condCodeName(Instr.CC);
+  // AT&T-style: sources first, destination last.
+  std::vector<std::string> Operands;
+  if (!Instr.Src1.isNone())
+    Operands.push_back(printOperand(Instr.Src1));
+  if (!Instr.Src2.isNone())
+    Operands.push_back(printOperand(Instr.Src2));
+  if (!Instr.Dst.isNone())
+    Operands.push_back(printOperand(Instr.Dst));
+  for (unsigned I = 0; I < Operands.size(); ++I)
+    Result += (I == 0 ? " " : ", ") + Operands[I];
+  return Result;
+}
+
+std::string selgen::printMachineFunction(const MachineFunction &MF) {
+  std::string Result = MF.name() + ": # width " +
+                       std::to_string(MF.width()) + "\n";
+  for (const auto &Block : MF.blocks()) {
+    Result += Block->name() + ":";
+    if (!Block->ArgRegs.empty()) {
+      Result += " # args:";
+      for (MReg R : Block->ArgRegs)
+        Result += " %v" + std::to_string(R);
+    }
+    Result += "\n";
+    for (const MachineInstr &Instr : Block->instructions())
+      Result += "  " + printMachineInstr(Instr) + "\n";
+
+    const MTerminator &Term = Block->terminator();
+    auto printMoves =
+        [](const std::vector<std::pair<MReg, MOperand>> &Moves) {
+          std::string Text;
+          for (const auto &[Dst, Src] : Moves)
+            Text += " %v" + std::to_string(Dst) + "<-" + printOperand(Src);
+          return Text;
+        };
+    switch (Term.TermKind) {
+    case MTerminator::Kind::Ret: {
+      Result += "  ret";
+      for (const MOperand &Value : Term.ReturnValues)
+        Result += " " + printOperand(Value);
+      Result += "\n";
+      break;
+    }
+    case MTerminator::Kind::Jmp:
+      Result += "  jmp " + Term.Then->name() + printMoves(Term.ThenMoves) +
+                "\n";
+      break;
+    case MTerminator::Kind::Jcc:
+      Result += "  j" + std::string(condCodeName(Term.CC)) + " " +
+                Term.Then->name() + printMoves(Term.ThenMoves) + "\n";
+      Result += "  jmp " + Term.Else->name() + printMoves(Term.ElseMoves) +
+                "\n";
+      break;
+    }
+  }
+  return Result;
+}

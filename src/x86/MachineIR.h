@@ -1,0 +1,216 @@
+//===- MachineIR.h - x86-like machine code representation --------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine-level program representation emitted by the instruction
+/// selectors and executed by the emulator. It models the 32-bit x86
+/// integer subset the paper targets, parametric in the data width so
+/// the synthesis experiments can run at 8 or 16 bits as well.
+///
+/// Simplifications relative to real x86 (documented in DESIGN.md):
+/// * Instructions are three-address over unlimited virtual registers;
+///   register allocation is outside the scope of the paper's selector
+///   comparison (both selectors are measured in the same setting).
+/// * FLAGS are modeled (ZF/SF/CF/OF) and set by arithmetic, compare,
+///   and test instructions, which lets the handwritten selector play
+///   its flag-reuse trick (paper Section 7.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_X86_MACHINEIR_H
+#define SELGEN_X86_MACHINEIR_H
+
+#include "support/BitValue.h"
+#include "x86/CondCode.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace selgen {
+
+/// A virtual register id.
+using MReg = unsigned;
+
+/// The machine opcodes of the x86 integer subset.
+enum class MOpcode {
+  Mov,   ///< dst = src1 (reg/imm/mem source, reg/mem destination).
+  Lea,   ///< dst = address of src1 (mem operand, not dereferenced).
+  Neg,   ///< dst = -src1; sets flags.
+  Not,   ///< dst = ~src1; does not set flags (as on x86).
+  Inc,   ///< dst = src1 + 1; sets flags (except CF, as on x86).
+  Dec,   ///< dst = src1 - 1; sets flags (except CF).
+  Add,   ///< dst = src1 + src2; sets flags.
+  Sub,   ///< dst = src1 - src2; sets flags.
+  Imul,  ///< dst = src1 * src2 (low word); flags undefined here.
+  And,   ///< dst = src1 & src2; sets flags, CF=OF=0.
+  Or,    ///< dst = src1 | src2; sets flags, CF=OF=0.
+  Xor,   ///< dst = src1 ^ src2; sets flags, CF=OF=0.
+  Shl,   ///< dst = src1 << (src2 mod W).
+  Shr,   ///< dst = src1 >>u (src2 mod W).
+  Sar,   ///< dst = src1 >>s (src2 mod W).
+  Rol,   ///< dst = rotate left.
+  Ror,   ///< dst = rotate right.
+  Andn,  ///< dst = ~src1 & src2 (BMI).
+  Blsr,  ///< dst = src1 & (src1 - 1) (BMI).
+  Blsi,  ///< dst = src1 & -src1 (BMI).
+  Blsmsk,///< dst = src1 ^ (src1 - 1) (BMI).
+  Cmov,  ///< dst = cc(flags) ? src1 : src2 (conditional move).
+  Cmp,   ///< flags = compare(src1, src2); no destination.
+  Test,  ///< flags = logic-compare(src1 & src2); no destination.
+  Setcc, ///< dst = cc(flags) ? 1 : 0.
+};
+
+/// A memory operand: [base + index * scale + disp].
+struct MemRef {
+  std::optional<MReg> Base;
+  std::optional<MReg> Index;
+  unsigned Scale = 1; // 1, 2, 4, or 8.
+  int64_t Disp = 0;
+
+  /// Number of address components, the paper's complexity measure for
+  /// addressing modes.
+  unsigned numComponents() const {
+    return (Base ? 1 : 0) + (Index ? 1 : 0) + (Scale != 1 ? 1 : 0) +
+           (Disp != 0 ? 1 : 0);
+  }
+};
+
+/// A generic machine operand.
+struct MOperand {
+  enum class Kind { None, Reg, Imm, Mem };
+  Kind K = Kind::None;
+  MReg R = 0;
+  BitValue Imm;
+  MemRef M;
+
+  static MOperand none() { return {}; }
+  static MOperand reg(MReg R) {
+    MOperand Op;
+    Op.K = Kind::Reg;
+    Op.R = R;
+    return Op;
+  }
+  static MOperand imm(BitValue Value) {
+    MOperand Op;
+    Op.K = Kind::Imm;
+    Op.Imm = std::move(Value);
+    return Op;
+  }
+  static MOperand mem(MemRef Ref) {
+    MOperand Op;
+    Op.K = Kind::Mem;
+    Op.M = std::move(Ref);
+    return Op;
+  }
+
+  bool isNone() const { return K == Kind::None; }
+  bool isReg() const { return K == Kind::Reg; }
+  bool isImm() const { return K == Kind::Imm; }
+  bool isMem() const { return K == Kind::Mem; }
+};
+
+/// One machine instruction. Operand roles by convention:
+/// Dst is the destination (Reg, Mem for stores/read-modify-write, or
+/// None for Cmp/Test); Src1/Src2 are sources.
+struct MachineInstr {
+  MOpcode Op;
+  CondCode CC = CondCode::E; // Setcc/Cmov only.
+  MOperand Dst;
+  MOperand Src1;
+  MOperand Src2;
+};
+
+class MachineBlock;
+
+/// Terminator of a machine block.
+struct MTerminator {
+  enum class Kind { Ret, Jmp, Jcc };
+  Kind TermKind = Kind::Ret;
+  CondCode CC = CondCode::E; // Jcc.
+  MachineBlock *Then = nullptr;
+  MachineBlock *Else = nullptr;
+  /// Values returned (Ret only).
+  std::vector<MOperand> ReturnValues;
+  /// Parallel copies performed when taking the edge (SSA block
+  /// arguments lowered to moves). First = target's argument register.
+  std::vector<std::pair<MReg, MOperand>> ThenMoves;
+  std::vector<std::pair<MReg, MOperand>> ElseMoves;
+};
+
+/// A machine basic block.
+class MachineBlock {
+public:
+  explicit MachineBlock(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+  std::vector<MachineInstr> &instructions() { return Instrs; }
+  const std::vector<MachineInstr> &instructions() const { return Instrs; }
+  void append(MachineInstr Instr) { Instrs.push_back(std::move(Instr)); }
+
+  MTerminator &terminator() { return Term; }
+  const MTerminator &terminator() const { return Term; }
+
+  /// Argument registers this block expects to be filled by incoming
+  /// edge moves.
+  std::vector<MReg> ArgRegs;
+
+private:
+  std::string Name;
+  std::vector<MachineInstr> Instrs;
+  MTerminator Term;
+};
+
+/// A machine function: CFG of machine blocks, entry first.
+class MachineFunction {
+public:
+  MachineFunction(std::string Name, unsigned Width)
+      : Name(std::move(Name)), Width(Width) {}
+
+  const std::string &name() const { return Name; }
+  unsigned width() const { return Width; }
+
+  MachineBlock *createBlock(const std::string &BlockName) {
+    Blocks.push_back(std::make_unique<MachineBlock>(BlockName));
+    return Blocks.back().get();
+  }
+  MachineBlock *entry() const { return Blocks.front().get(); }
+  const std::vector<std::unique_ptr<MachineBlock>> &blocks() const {
+    return Blocks;
+  }
+
+  /// Allocates a fresh virtual register.
+  MReg newReg() { return NextReg++; }
+
+  /// Static instruction count over all blocks.
+  unsigned numInstructions() const {
+    unsigned Count = 0;
+    for (const auto &Block : Blocks)
+      Count += Block->instructions().size();
+    return Count;
+  }
+
+private:
+  std::string Name;
+  unsigned Width;
+  std::vector<std::unique_ptr<MachineBlock>> Blocks;
+  MReg NextReg = 0;
+};
+
+/// Mnemonic for an opcode, e.g. "add".
+const char *mopcodeName(MOpcode Op);
+
+/// Renders a whole machine function as pseudo-assembly.
+std::string printMachineFunction(const MachineFunction &MF);
+
+/// Renders one instruction.
+std::string printMachineInstr(const MachineInstr &Instr);
+
+} // namespace selgen
+
+#endif // SELGEN_X86_MACHINEIR_H

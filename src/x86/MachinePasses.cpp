@@ -1,0 +1,120 @@
+//===- MachinePasses.cpp - Machine-code cleanup passes ------------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "x86/MachinePasses.h"
+
+#include <set>
+
+using namespace selgen;
+
+namespace {
+
+/// True if the instruction writes the flags.
+bool setsFlags(const MachineInstr &Instr) {
+  switch (Instr.Op) {
+  case MOpcode::Mov:
+  case MOpcode::Lea:
+  case MOpcode::Not:
+  case MOpcode::Cmov:
+  case MOpcode::Setcc:
+    return false;
+  default:
+    return true;
+  }
+}
+
+/// True if the instruction reads the flags.
+bool readsFlags(const MachineInstr &Instr) {
+  return Instr.Op == MOpcode::Cmov || Instr.Op == MOpcode::Setcc;
+}
+
+void collectReadRegs(const MOperand &Op, std::set<MReg> &Regs) {
+  switch (Op.K) {
+  case MOperand::Kind::Reg:
+    Regs.insert(Op.R);
+    break;
+  case MOperand::Kind::Mem:
+    if (Op.M.Base)
+      Regs.insert(*Op.M.Base);
+    if (Op.M.Index)
+      Regs.insert(*Op.M.Index);
+    break;
+  default:
+    break;
+  }
+}
+
+} // namespace
+
+unsigned selgen::removeDeadInstructions(MachineFunction &MF) {
+  unsigned TotalRemoved = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+
+    // Registers read anywhere (instruction sources, memory-operand
+    // destinations' address registers, edge moves, returns).
+    std::set<MReg> ReadRegs;
+    for (const auto &Block : MF.blocks()) {
+      for (const MachineInstr &Instr : Block->instructions()) {
+        collectReadRegs(Instr.Src1, ReadRegs);
+        collectReadRegs(Instr.Src2, ReadRegs);
+        if (Instr.Dst.isMem())
+          collectReadRegs(Instr.Dst, ReadRegs);
+      }
+      const MTerminator &Term = Block->terminator();
+      for (const MOperand &Value : Term.ReturnValues)
+        collectReadRegs(Value, ReadRegs);
+      for (const auto &[Dst, Src] : Term.ThenMoves) {
+        (void)Dst;
+        collectReadRegs(Src, ReadRegs);
+      }
+      for (const auto &[Dst, Src] : Term.ElseMoves) {
+        (void)Dst;
+        collectReadRegs(Src, ReadRegs);
+      }
+    }
+
+    for (const auto &Block : MF.blocks()) {
+      auto &Instrs = Block->instructions();
+      // Backwards scan tracking whether the current flag definition is
+      // still needed.
+      bool FlagsLive =
+          Block->terminator().TermKind == MTerminator::Kind::Jcc;
+      std::vector<bool> Keep(Instrs.size(), true);
+      for (size_t I = Instrs.size(); I-- > 0;) {
+        const MachineInstr &Instr = Instrs[I];
+        bool DefinesNeededFlags = setsFlags(Instr) && FlagsLive;
+        bool WritesLiveReg =
+            Instr.Dst.isReg() && ReadRegs.count(Instr.Dst.R);
+        bool HasMemEffect = Instr.Dst.isMem();
+        // Memory reads are side-effect free in this model, so a dead
+        // load can go as well. Cmp/Test (no destination) are dead once
+        // their flags are unconsumed.
+        bool DeadDestination =
+            Instr.Dst.isNone() || (Instr.Dst.isReg() && !WritesLiveReg);
+        if (!DefinesNeededFlags && !HasMemEffect && DeadDestination) {
+          Keep[I] = false;
+          Changed = true;
+          ++TotalRemoved;
+        }
+        if (setsFlags(Instr))
+          FlagsLive = false;
+        if (readsFlags(Instr))
+          FlagsLive = true;
+      }
+      if (Changed) {
+        std::vector<MachineInstr> Remaining;
+        for (size_t I = 0; I < Instrs.size(); ++I)
+          if (Keep[I])
+            Remaining.push_back(std::move(Instrs[I]));
+        Instrs = std::move(Remaining);
+      }
+    }
+  }
+  return TotalRemoved;
+}

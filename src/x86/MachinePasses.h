@@ -1,0 +1,33 @@
+//===- MachinePasses.h - Machine-code cleanup passes -------------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Post-selection cleanup shared by all instruction selectors. The
+/// only pass is a conservative dead-code elimination: greedy selectors
+/// that fold shared subexpressions (the handwritten selector's
+/// overlapping address modes) can leave the standalone computation of
+/// an absorbed value behind; removing it models what any real backend
+/// does before emission.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_X86_MACHINEPASSES_H
+#define SELGEN_X86_MACHINEPASSES_H
+
+#include "x86/MachineIR.h"
+
+namespace selgen {
+
+/// Removes instructions whose register result is never read and whose
+/// side effects are unobservable (no memory destination; flags not
+/// consumed before the next flag definition). Runs to a fixpoint.
+/// Returns the number of instructions removed.
+unsigned removeDeadInstructions(MachineFunction &MF);
+
+} // namespace selgen
+
+#endif // SELGEN_X86_MACHINEPASSES_H

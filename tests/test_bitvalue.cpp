@@ -1,0 +1,212 @@
+//===- test_bitvalue.cpp - BitValue unit and property tests ------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitValue.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace selgen;
+
+TEST(BitValue, ConstructionTruncates) {
+  BitValue V(8, 0x1234);
+  EXPECT_EQ(V.zextValue(), 0x34u);
+  EXPECT_EQ(V.width(), 8u);
+}
+
+TEST(BitValue, ZeroAllOnesSignBit) {
+  EXPECT_TRUE(BitValue::zero(13).isZero());
+  EXPECT_TRUE(BitValue::allOnes(13).isAllOnes());
+  EXPECT_EQ(BitValue::allOnes(13).zextValue(), 0x1FFFu);
+  EXPECT_TRUE(BitValue::signBit(13).isNegative());
+  EXPECT_EQ(BitValue::signBit(13).zextValue(), 1u << 12);
+}
+
+TEST(BitValue, SextValue) {
+  EXPECT_EQ(BitValue(8, 0xFF).sextValue(), -1);
+  EXPECT_EQ(BitValue(8, 0x7F).sextValue(), 127);
+  EXPECT_EQ(BitValue(16, 0x8000).sextValue(), -32768);
+  EXPECT_EQ(BitValue(64, ~uint64_t(0)).sextValue(), -1);
+}
+
+TEST(BitValue, BitAccess) {
+  BitValue V(70, 0);
+  V.setBit(69, true);
+  V.setBit(3, true);
+  EXPECT_TRUE(V.bit(69));
+  EXPECT_TRUE(V.bit(3));
+  EXPECT_FALSE(V.bit(68));
+  V.setBit(69, false);
+  EXPECT_FALSE(V.bit(69));
+}
+
+TEST(BitValue, WideArithmeticCarries) {
+  // 2^64 - 1 + 1 carries into the second word.
+  BitValue Low = BitValue(128, ~uint64_t(0));
+  BitValue One(128, 1);
+  BitValue Sum = Low.add(One);
+  EXPECT_FALSE(Sum.bit(63));
+  EXPECT_TRUE(Sum.bit(64));
+  EXPECT_EQ(Sum.sub(One), Low);
+}
+
+TEST(BitValue, MulMatchesShift) {
+  for (unsigned Width : {8u, 16u, 32u, 64u, 96u}) {
+    BitValue X(Width, 0x5B);
+    EXPECT_EQ(X.mul(BitValue(Width, 8)), X.shl(3))
+        << "width " << Width;
+  }
+}
+
+TEST(BitValue, DivisionConventions) {
+  BitValue X(8, 100);
+  EXPECT_EQ(X.udiv(BitValue(8, 7)).zextValue(), 14u);
+  EXPECT_EQ(X.urem(BitValue(8, 7)).zextValue(), 2u);
+  // SMT-LIB conventions for division by zero.
+  EXPECT_TRUE(X.udiv(BitValue::zero(8)).isAllOnes());
+  EXPECT_EQ(X.urem(BitValue::zero(8)), X);
+}
+
+TEST(BitValue, ShiftsBeyondWidth) {
+  BitValue X(8, 0x80);
+  EXPECT_TRUE(X.shl(8).isZero());
+  EXPECT_TRUE(X.lshr(8).isZero());
+  EXPECT_TRUE(X.ashr(8).isAllOnes()); // Sign fill.
+  EXPECT_TRUE(BitValue(8, 0x40).ashr(8).isZero());
+}
+
+TEST(BitValue, ArithmeticShiftKeepsSign) {
+  EXPECT_EQ(BitValue(8, 0xF0).ashr(2).zextValue(), 0xFCu);
+  EXPECT_EQ(BitValue(8, 0x70).ashr(2).zextValue(), 0x1Cu);
+}
+
+TEST(BitValue, Rotates) {
+  BitValue X(8, 0b10010110);
+  EXPECT_EQ(X.rotl(3).zextValue(), 0b10110100u);
+  EXPECT_EQ(X.rotr(3).zextValue(), 0b11010010u);
+  EXPECT_EQ(X.rotl(8), X);
+  EXPECT_EQ(X.rotl(11), X.rotl(3));
+}
+
+TEST(BitValue, ExtensionAndTruncation) {
+  BitValue X(8, 0x9C);
+  EXPECT_EQ(X.zext(16).zextValue(), 0x009Cu);
+  EXPECT_EQ(X.sext(16).zextValue(), 0xFF9Cu);
+  EXPECT_EQ(X.sext(16).trunc(8), X);
+  EXPECT_EQ(X.zext(100).trunc(8), X);
+}
+
+TEST(BitValue, ExtractInsertConcat) {
+  BitValue X(16, 0xABCD);
+  EXPECT_EQ(X.extract(15, 8).zextValue(), 0xABu);
+  EXPECT_EQ(X.extract(7, 0).zextValue(), 0xCDu);
+  EXPECT_EQ(X.extract(11, 4).zextValue(), 0xBCu);
+  EXPECT_EQ(BitValue::concat(X.extract(15, 8), X.extract(7, 0)), X);
+  BitValue Patched = X.insert(4, BitValue(8, 0x55));
+  EXPECT_EQ(Patched.zextValue(), 0xA55Du);
+}
+
+TEST(BitValue, Comparisons) {
+  BitValue A(8, 0x01), B(8, 0xFF);
+  EXPECT_TRUE(A.ult(B));
+  EXPECT_TRUE(B.slt(A)); // 0xFF is -1 signed.
+  EXPECT_TRUE(A.sgt(B));
+  EXPECT_TRUE(A.ule(A));
+  EXPECT_TRUE(A.sge(A));
+  EXPECT_FALSE(A.ugt(B));
+}
+
+TEST(BitValue, CountingOperations) {
+  BitValue X(16, 0x0F30);
+  EXPECT_EQ(X.popcount(), 6u);
+  EXPECT_EQ(X.countLeadingZeros(), 4u);
+  EXPECT_EQ(X.countTrailingZeros(), 4u);
+  EXPECT_EQ(BitValue::zero(16).countLeadingZeros(), 16u);
+  EXPECT_EQ(BitValue::zero(16).countTrailingZeros(), 16u);
+}
+
+TEST(BitValue, Strings) {
+  BitValue X(16, 0xABCD);
+  EXPECT_EQ(X.toHexString(), "0xabcd");
+  EXPECT_EQ(X.toUnsignedString(), "43981");
+  EXPECT_EQ(X.toSignedString(), "-21555");
+  EXPECT_EQ(BitValue::zero(8).toUnsignedString(), "0");
+  EXPECT_EQ(BitValue::fromString(16, "abcd", 16), X);
+  EXPECT_EQ(BitValue::fromString(16, "43981", 10), X);
+  EXPECT_EQ(BitValue::fromString(16, "-21555", 10), X);
+  EXPECT_EQ(BitValue::fromString(8, "10010110", 2).zextValue(), 0x96u);
+}
+
+TEST(BitValue, WideStringsRoundTrip) {
+  Rng Random(7);
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    BitValue X = Random.nextBitValue(100);
+    EXPECT_EQ(BitValue::fromString(100, X.toUnsignedString(), 10), X);
+    EXPECT_EQ(BitValue::fromString(100, X.toHexString().substr(2), 16), X);
+  }
+}
+
+TEST(BitValue, HashDistinguishesWidths) {
+  EXPECT_NE(BitValue(8, 5).hash(), BitValue(16, 5).hash());
+  EXPECT_EQ(BitValue(8, 5).hash(), BitValue(8, 5).hash());
+}
+
+// --- Property tests against native 64-bit arithmetic -------------------
+
+class BitValueProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitValueProperty, MatchesNativeArithmetic) {
+  unsigned Width = GetParam();
+  uint64_t Mask =
+      Width == 64 ? ~uint64_t(0) : ((uint64_t(1) << Width) - 1);
+  Rng Random(Width * 7919);
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    uint64_t A = Random.nextUInt64() & Mask;
+    uint64_t B = Random.nextUInt64() & Mask;
+    BitValue X(Width, A), Y(Width, B);
+    EXPECT_EQ(X.add(Y).zextValue(), (A + B) & Mask);
+    EXPECT_EQ(X.sub(Y).zextValue(), (A - B) & Mask);
+    EXPECT_EQ(X.mul(Y).zextValue(), (A * B) & Mask);
+    EXPECT_EQ(X.bitAnd(Y).zextValue(), A & B);
+    EXPECT_EQ(X.bitOr(Y).zextValue(), A | B);
+    EXPECT_EQ(X.bitXor(Y).zextValue(), A ^ B);
+    EXPECT_EQ(X.bitNot().zextValue(), ~A & Mask);
+    EXPECT_EQ(X.neg().zextValue(), (~A + 1) & Mask);
+    unsigned Shift = static_cast<unsigned>(B % Width);
+    EXPECT_EQ(X.shl(Shift).zextValue(), (A << Shift) & Mask);
+    EXPECT_EQ(X.lshr(Shift).zextValue(), A >> Shift);
+    EXPECT_EQ(X.ult(Y), A < B);
+    if (B != 0) {
+      EXPECT_EQ(X.udiv(Y).zextValue(), A / B);
+      EXPECT_EQ(X.urem(Y).zextValue(), A % B);
+    }
+  }
+}
+
+TEST_P(BitValueProperty, AlgebraicIdentities) {
+  unsigned Width = GetParam();
+  Rng Random(Width * 31337);
+  for (int Trial = 0; Trial < 100; ++Trial) {
+    BitValue X = Random.nextBitValue(Width);
+    BitValue Y = Random.nextBitValue(Width);
+    EXPECT_EQ(X.add(Y), Y.add(X));
+    EXPECT_EQ(X.sub(Y), Y.sub(X).neg());
+    EXPECT_EQ(X.bitXor(X), BitValue::zero(Width));
+    EXPECT_EQ(X.bitNot().bitNot(), X);
+    EXPECT_EQ(X.neg().neg(), X);
+    EXPECT_EQ(X.rotl(5).rotr(5), X);
+    // Division identity: x = q * y + r with r < y.
+    if (!Y.isZero()) {
+      BitValue Q = X.udiv(Y), R = X.urem(Y);
+      EXPECT_EQ(Q.mul(Y).add(R), X);
+      EXPECT_TRUE(R.ult(Y));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitValueProperty,
+                         ::testing::Values(7u, 8u, 16u, 24u, 32u, 64u));

@@ -1,0 +1,113 @@
+//===- test_bitvalue_vs_z3.cpp - Cross-validating the two bit-vector stacks ----===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// BitValue (the concrete semantics under interpreter/emulator) and Z3
+// bit-vectors (the symbolic semantics under the synthesizer) are two
+// independent implementations of two's-complement arithmetic. This
+// property suite pits them against each other on random inputs: a
+// divergence here would silently poison either the synthesis (wrong
+// rules) or the evaluation (wrong oracle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/SmtContext.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace selgen;
+
+namespace {
+
+class CrossValidation : public ::testing::TestWithParam<unsigned> {
+protected:
+  SmtContext Smt;
+  Rng Random{GetParam() * 0x1234567};
+
+  BitValue evalExpr(const z3::expr &Expr) {
+    SmtSolver Solver(Smt);
+    EXPECT_EQ(Solver.check(), SmtResult::Sat);
+    return Smt.evalBits(Solver.model(), Expr.simplify());
+  }
+
+  bool evalBoolExpr(const z3::expr &Expr) {
+    SmtSolver Solver(Smt);
+    EXPECT_EQ(Solver.check(), SmtResult::Sat);
+    return Smt.evalBool(Solver.model(), Expr.simplify());
+  }
+};
+
+} // namespace
+
+TEST_P(CrossValidation, ArithmeticAndLogic) {
+  unsigned Width = GetParam();
+  for (int Trial = 0; Trial < 40; ++Trial) {
+    BitValue A = Random.nextInterestingBitValue(Width);
+    BitValue B = Random.nextInterestingBitValue(Width);
+    z3::expr X = Smt.literal(A), Y = Smt.literal(B);
+
+    EXPECT_EQ(evalExpr(X + Y), A.add(B));
+    EXPECT_EQ(evalExpr(X - Y), A.sub(B));
+    EXPECT_EQ(evalExpr(X * Y), A.mul(B));
+    EXPECT_EQ(evalExpr(X & Y), A.bitAnd(B));
+    EXPECT_EQ(evalExpr(X | Y), A.bitOr(B));
+    EXPECT_EQ(evalExpr(X ^ Y), A.bitXor(B));
+    EXPECT_EQ(evalExpr(~X), A.bitNot());
+    EXPECT_EQ(evalExpr(-X), A.neg());
+    EXPECT_EQ(evalExpr(z3::udiv(X, Y)), A.udiv(B));
+    EXPECT_EQ(evalExpr(z3::urem(X, Y)), A.urem(B));
+  }
+}
+
+TEST_P(CrossValidation, Shifts) {
+  unsigned Width = GetParam();
+  for (int Trial = 0; Trial < 40; ++Trial) {
+    BitValue A = Random.nextBitValue(Width);
+    unsigned Amount = static_cast<unsigned>(Random.nextBelow(Width));
+    z3::expr X = Smt.literal(A);
+    z3::expr N = Smt.ctx().bv_val(Amount, Width);
+    EXPECT_EQ(evalExpr(z3::shl(X, N)), A.shl(Amount));
+    EXPECT_EQ(evalExpr(z3::lshr(X, N)), A.lshr(Amount));
+    EXPECT_EQ(evalExpr(z3::ashr(X, N)), A.ashr(Amount));
+  }
+}
+
+TEST_P(CrossValidation, Comparisons) {
+  unsigned Width = GetParam();
+  for (int Trial = 0; Trial < 40; ++Trial) {
+    BitValue A = Random.nextInterestingBitValue(Width);
+    BitValue B = Random.nextInterestingBitValue(Width);
+    z3::expr X = Smt.literal(A), Y = Smt.literal(B);
+    EXPECT_EQ(evalBoolExpr(z3::ult(X, Y)), A.ult(B));
+    EXPECT_EQ(evalBoolExpr(z3::ule(X, Y)), A.ule(B));
+    EXPECT_EQ(evalBoolExpr(X < Y), A.slt(B));  // Signed in z3++.
+    EXPECT_EQ(evalBoolExpr(X <= Y), A.sle(B));
+    EXPECT_EQ(evalBoolExpr(X == Y), A == B);
+  }
+}
+
+TEST_P(CrossValidation, WidthChanges) {
+  unsigned Width = GetParam();
+  for (int Trial = 0; Trial < 30; ++Trial) {
+    BitValue A = Random.nextBitValue(Width);
+    z3::expr X = Smt.literal(A);
+    EXPECT_EQ(evalExpr(z3::zext(X, 7)), A.zext(Width + 7));
+    EXPECT_EQ(evalExpr(z3::sext(X, 7)), A.sext(Width + 7));
+    if (Width >= 4) {
+      unsigned Lo = static_cast<unsigned>(Random.nextBelow(Width / 2));
+      unsigned Hi =
+          Lo + static_cast<unsigned>(Random.nextBelow(Width - Lo));
+      EXPECT_EQ(evalExpr(X.extract(Hi, Lo)), A.extract(Hi, Lo));
+    }
+    BitValue B = Random.nextBitValue(Width);
+    EXPECT_EQ(evalExpr(z3::concat(X, Smt.literal(B))),
+              BitValue::concat(A, B));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CrossValidation,
+                         ::testing::Values(3u, 8u, 16u, 32u, 36u, 64u));

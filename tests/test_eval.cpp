@@ -1,0 +1,118 @@
+//===- test_eval.cpp - Workload generator and experiment driver tests ----------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Evaluation.h"
+#include "ir/Verifier.h"
+#include "isel/HandwrittenSelector.h"
+#include "refsel/ReferenceSelectors.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace selgen;
+
+namespace {
+constexpr unsigned W = 8;
+} // namespace
+
+TEST(Workloads, ElevenCint2000Profiles) {
+  const auto &Profiles = cint2000Profiles();
+  ASSERT_EQ(Profiles.size(), 11u);
+  std::set<std::string> Names;
+  for (const WorkloadProfile &Profile : Profiles)
+    Names.insert(Profile.Name);
+  EXPECT_EQ(Names.size(), 11u);
+  EXPECT_TRUE(Names.count("181.mcf"));
+  EXPECT_TRUE(Names.count("186.crafty"));
+}
+
+TEST(Workloads, DeterministicGeneration) {
+  const WorkloadProfile &Profile = cint2000Profiles()[0];
+  Function A = buildWorkload(Profile, W);
+  Function B = buildWorkload(Profile, W);
+  ASSERT_EQ(A.blocks().size(), B.blocks().size());
+  for (size_t I = 0; I < A.blocks().size(); ++I) {
+    Graph &GA = A.blocks()[I]->body();
+    Graph &GB = B.blocks()[I]->body();
+    GA.setResults(A.blocks()[I]->terminatorOperands());
+    GB.setResults(B.blocks()[I]->terminatorOperands());
+    EXPECT_EQ(GA.fingerprint(), GB.fingerprint());
+  }
+}
+
+TEST(Workloads, AllProfilesWellFormedAndDefined) {
+  Rng Random(1);
+  for (const WorkloadProfile &Profile : cint2000Profiles()) {
+    Function F = buildWorkload(Profile, W);
+    EXPECT_TRUE(verifyFunction(F).empty()) << Profile.Name;
+    EXPECT_GT(F.numOperations(), Profile.BodyOps / 2) << Profile.Name;
+
+    for (int Run = 0; Run < 3; ++Run) {
+      std::vector<BitValue> Args = {Random.nextBitValue(W),
+                                    Random.nextBitValue(W),
+                                    Random.nextBitValue(W)};
+      MemoryState Memory;
+      for (int B = 0; B < 256; ++B)
+        Memory.storeByte(B, static_cast<uint8_t>(Random.nextBelow(256)));
+      FunctionResult Result = runFunction(F, Args, Memory, 1u << 22);
+      EXPECT_FALSE(Result.Undefined) << Profile.Name;
+      EXPECT_FALSE(Result.StepLimitHit) << Profile.Name;
+      EXPECT_EQ(Result.ReturnValues.size(), 1u) << Profile.Name;
+    }
+  }
+}
+
+TEST(Workloads, ProfilesProduceDifferentMixes) {
+  Function Crafty = buildWorkload(cint2000Profiles()[4], W); // crafty
+  Function Mcf = buildWorkload(cint2000Profiles()[3], W);    // mcf
+  auto countOps = [](const Function &F, Opcode Op) {
+    unsigned Count = 0;
+    for (const auto &BB : F.blocks())
+      for (Node *N : BB->body().liveNodesFrom(BB->terminatorOperands()))
+        Count += N->opcode() == Op ? 1 : 0;
+    return Count;
+  };
+  // mcf is load-heavy; crafty is logic-heavy.
+  EXPECT_GT(countOps(Mcf, Opcode::Load), countOps(Crafty, Opcode::Load));
+}
+
+TEST(Evaluation, CodeQualityExperimentRuns) {
+  GoalLibrary Goals = GoalLibrary::build(W, GoalLibrary::allGroups());
+  PatternDatabase Gnu = buildGnuLikeRules(W);
+  PatternDatabase Clang = buildClangLikeRules(W);
+  auto GnuSel = makeReferenceSelector("gnu-like", Gnu, Goals);
+  auto ClangSel = makeReferenceSelector("clang-like", Clang, Goals);
+  HandwrittenSelector Handwritten;
+
+  CodeQualityResult Result = runCodeQualityExperiment(
+      Handwritten, *GnuSel, *ClangSel, W, /*RunsPerWorkload=*/1);
+  ASSERT_EQ(Result.Rows.size(), 11u);
+  for (const CodeQualityRow &Row : Result.Rows) {
+    EXPECT_FALSE(Row.Mismatch) << Row.Benchmark;
+    EXPECT_GT(Row.HandwrittenCycles, 0u) << Row.Benchmark;
+    EXPECT_GT(Row.Coverage, 0.5) << Row.Benchmark;
+    EXPECT_GT(Row.BasicOverHandwritten, 50.0) << Row.Benchmark;
+  }
+  EXPECT_GT(Result.GeoMeanBasicRatio, 90.0);
+  EXPECT_GT(Result.GeoMeanCoverage, 0.5);
+}
+
+TEST(Evaluation, CompileTimeExperimentRuns) {
+  GoalLibrary Goals = GoalLibrary::build(W, GoalLibrary::allGroups());
+  PatternDatabase Gnu = buildGnuLikeRules(W);
+  auto BasicSel = makeReferenceSelector("basic", Gnu, Goals);
+  auto FullSel = makeReferenceSelector("full", Gnu, Goals);
+  HandwrittenSelector Handwritten;
+
+  CompileTimeResult Result = runCompileTimeExperiment(
+      Handwritten, *BasicSel, *FullSel, W, /*Repetitions=*/1);
+  ASSERT_EQ(Result.Rows.size(), 11u);
+  EXPECT_GE(Result.TotalHandwritten, 0.0);
+  EXPECT_GE(Result.TotalBasic, 0.0);
+}

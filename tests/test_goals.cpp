@@ -1,0 +1,231 @@
+//===- test_goals.cpp - Goal spec / emission consistency tests -----------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The strongest invariant in x86/Goals: for every goal instruction,
+// the SMT postcondition (used by the synthesizer) and the emission
+// recipe (used by the generated selector, executed on the emulator)
+// must describe the same machine behaviour. This test sweeps every
+// goal with random inputs and compares the two.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+#include "x86/Emulator.h"
+#include "x86/Goals.h"
+
+#include <gtest/gtest.h>
+
+using namespace selgen;
+
+namespace {
+
+constexpr unsigned Width = 8;
+
+struct GoalConsistency : public ::testing::Test {
+  SmtContext Smt;
+  Rng Random{20260706};
+
+  /// Evaluates a goal's SMT semantics on concrete inputs.
+  struct SpecOutcome {
+    std::vector<BitValue> ValueResults;
+    std::vector<bool> BoolResults;
+    BitValue MemoryResult{1, 0};
+    bool HasMemoryResult = false;
+  };
+
+  SpecOutcome evalSpec(const GoalInstruction &Goal,
+                       const std::vector<BitValue> &Args,
+                       const MemoryModel &Memory,
+                       const std::vector<z3::expr> &ArgExprs) {
+    SemanticsContext Context{Smt, Width, &Memory, {}};
+    std::vector<z3::expr> Results =
+        Goal.Spec->computeResults(Context, ArgExprs, {});
+    (void)Args;
+    SmtSolver Solver(Smt);
+    EXPECT_EQ(Solver.check(), SmtResult::Sat);
+    z3::model Model = Solver.model();
+
+    SpecOutcome Outcome;
+    for (unsigned R = 0; R < Results.size(); ++R) {
+      const Sort &S = Goal.Spec->resultSorts()[R];
+      if (S.isBool())
+        Outcome.BoolResults.push_back(Smt.evalBool(Model, Results[R]));
+      else if (S.isMemory()) {
+        Outcome.MemoryResult = Smt.evalBits(Model, Results[R]);
+        Outcome.HasMemoryResult = true;
+      } else
+        Outcome.ValueResults.push_back(Smt.evalBits(Model, Results[R]));
+    }
+    return Outcome;
+  }
+};
+
+} // namespace
+
+TEST_F(GoalConsistency, SpecMatchesEmissionForAllGoals) {
+  GoalLibrary Library = GoalLibrary::build(Width, GoalLibrary::allGroups());
+  ASSERT_GT(Library.goals().size(), 100u);
+
+  for (const GoalInstruction &Goal : Library.goals()) {
+    for (int Trial = 0; Trial < 8; ++Trial) {
+      // Concrete arguments per role; memory argument filled in after
+      // the valid pointers are known.
+      const auto &Sorts = Goal.Spec->argSorts();
+      std::vector<BitValue> Args(Sorts.size(), BitValue(1, 0));
+      std::vector<z3::expr> ArgExprs;
+      std::vector<unsigned> MemoryArgs;
+      for (unsigned I = 0; I < Sorts.size(); ++I) {
+        if (Sorts[I].isMemory()) {
+          MemoryArgs.push_back(I);
+          ArgExprs.push_back(Smt.ctx().bv_val(0, 1));
+          continue;
+        }
+        BitValue Value = Random.nextBitValue(Width);
+        // Shift-count immediates behave like x86 (masked), so any
+        // value is fine; keep displacements small for readability.
+        Args[I] = Value;
+        ArgExprs.push_back(Smt.literal(Value));
+      }
+
+      MemoryModel Memory(Smt,
+                         Goal.Spec->validPointers(Smt, Width, ArgExprs));
+
+      // Concrete initial memory: random bytes everywhere the goal can
+      // touch, mirrored into the M-value (flags clear).
+      MemoryState ConcreteMemory;
+      std::vector<uint64_t> PointerValues;
+      {
+        SmtSolver Solver(Smt);
+        EXPECT_EQ(Solver.check(), SmtResult::Sat);
+        z3::model Model = Solver.model();
+        for (const z3::expr &Pointer :
+             Goal.Spec->validPointers(Smt, Width, ArgExprs))
+          PointerValues.push_back(
+              Smt.evalBits(Model, Pointer).zextValue());
+      }
+      BitValue MemoryBits = BitValue::zero(Memory.mvalueWidth());
+      for (unsigned P = 0; P < PointerValues.size(); ++P) {
+        uint8_t Byte = static_cast<uint8_t>(Random.nextBelow(256));
+        ConcreteMemory.storeByte(PointerValues[P], Byte);
+        MemoryBits = MemoryBits.insert(P * 9, BitValue(8, Byte));
+      }
+      for (unsigned I : MemoryArgs) {
+        Args[I] = MemoryBits;
+        ArgExprs[I] = Smt.literal(MemoryBits);
+      }
+
+      SpecOutcome Spec = evalSpec(Goal, Args, Memory, ArgExprs);
+
+      // Run the emission recipe.
+      MachineFunction MF("goal", Width);
+      MachineBlock *Block = MF.createBlock("entry");
+      std::map<MReg, BitValue> Regs;
+      std::vector<MOperand> Bindings;
+      for (unsigned I = 0; I < Sorts.size(); ++I) {
+        switch (Goal.Spec->argRole(I)) {
+        case ArgRole::Mem:
+          Bindings.push_back(MOperand::none());
+          break;
+        case ArgRole::Imm:
+          Bindings.push_back(MOperand::imm(Args[I]));
+          break;
+        case ArgRole::Reg:
+        case ArgRole::Addr: {
+          MReg R = MF.newReg();
+          Regs[R] = Args[I];
+          Bindings.push_back(MOperand::reg(R));
+          break;
+        }
+        }
+      }
+      EmittedGoal Emitted = Goal.Emit(MF, Bindings);
+      for (MachineInstr &Instr : Emitted.Instrs)
+        Block->append(std::move(Instr));
+      // Return the value results; jump goals return a setcc of the CC.
+      MTerminator &Term = Block->terminator();
+      Term.TermKind = MTerminator::Kind::Ret;
+      for (const MOperand &Op : Emitted.Results)
+        if (!Op.isNone())
+          Term.ReturnValues.push_back(Op);
+      if (Emitted.JumpCC) {
+        MReg Taken = MF.newReg();
+        Block->append(
+            {MOpcode::Setcc, *Emitted.JumpCC, MOperand::reg(Taken), {}, {}});
+        Term.ReturnValues.push_back(MOperand::reg(Taken));
+      }
+
+      MachineRunResult Machine =
+          runMachineFunction(MF, Regs, ConcreteMemory);
+
+      // Compare value results.
+      ASSERT_EQ(Machine.ReturnValues.size(),
+                Spec.ValueResults.size() + (Emitted.JumpCC ? 1 : 0))
+          << Goal.Name;
+      for (unsigned R = 0; R < Spec.ValueResults.size(); ++R)
+        EXPECT_EQ(Machine.ReturnValues[R], Spec.ValueResults[R])
+            << Goal.Name << " value result " << R;
+
+      // Compare the jump outcome with the spec's "taken" result.
+      if (Emitted.JumpCC) {
+        ASSERT_FALSE(Spec.BoolResults.empty()) << Goal.Name;
+        EXPECT_EQ(Machine.ReturnValues.back().zextValue(),
+                  Spec.BoolResults[0] ? 1u : 0u)
+            << Goal.Name << " taken-vs-cc";
+        // The two bool results are complementary.
+        ASSERT_EQ(Spec.BoolResults.size(), 2u);
+        EXPECT_NE(Spec.BoolResults[0], Spec.BoolResults[1]) << Goal.Name;
+      }
+
+      // Compare memory contents at every valid pointer.
+      if (Spec.HasMemoryResult) {
+        for (unsigned P = 0; P < PointerValues.size(); ++P) {
+          uint64_t Expected =
+              Spec.MemoryResult.extract(P * 9 + 7, P * 9).zextValue();
+          EXPECT_EQ(Machine.Memory.peekByte(PointerValues[P]), Expected)
+              << Goal.Name << " memory slot " << P;
+        }
+      }
+    }
+  }
+}
+
+TEST(GoalLibrary, GroupsAndLookup) {
+  GoalLibrary Library =
+      GoalLibrary::build(Width, GoalLibrary::allGroups());
+  EXPECT_NE(Library.find("add_rr"), nullptr);
+  EXPECT_NE(Library.find("mov_load_bisd8"), nullptr);
+  EXPECT_NE(Library.find("cmp_jl"), nullptr);
+  EXPECT_EQ(Library.find("no_such_goal"), nullptr);
+
+  EXPECT_GE(Library.group("Basic").size(), 25u);
+  EXPECT_EQ(Library.group("LoadStore").size(), 22u); // 10 AMs x load/store + 2 store-imm.
+  EXPECT_GE(Library.group("Flags").size(), 50u);
+  EXPECT_EQ(Library.group("Bmi").size(), 4u);
+}
+
+TEST(GoalLibrary, RolesAreConsistent) {
+  GoalLibrary Library =
+      GoalLibrary::build(Width, GoalLibrary::allGroups());
+  for (const GoalInstruction &Goal : Library.goals()) {
+    const auto &Sorts = Goal.Spec->argSorts();
+    for (unsigned I = 0; I < Sorts.size(); ++I) {
+      if (Sorts[I].isMemory())
+        EXPECT_EQ(Goal.Spec->argRole(I), ArgRole::Mem) << Goal.Name;
+      else
+        EXPECT_NE(Goal.Spec->argRole(I), ArgRole::Mem) << Goal.Name;
+    }
+    // Memory-accessing goals expose valid pointers; pure-register
+    // goals do not.
+    SmtContext Smt;
+    std::vector<z3::expr> Args;
+    for (const Sort &S : Sorts)
+      Args.push_back(Smt.ctx().bv_val(0, S.isMemory() ? 1 : S.Width));
+    bool HasPointers =
+        !Goal.Spec->validPointers(Smt, Width, Args).empty();
+    EXPECT_EQ(HasPointers, Goal.Spec->accessesMemory()) << Goal.Name;
+  }
+}

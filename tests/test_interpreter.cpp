@@ -1,0 +1,230 @@
+//===- test_interpreter.cpp - IR interpreter tests ----------------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+#include "ir/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace selgen;
+
+namespace {
+
+EvalValue bits(unsigned Width, uint64_t Value) {
+  return EvalValue::fromBits(BitValue(Width, Value));
+}
+
+BitValue evalBinary(Opcode Op, uint64_t A, uint64_t B, unsigned W = 8) {
+  Graph G(W, {Sort::value(W), Sort::value(W)});
+  G.setResults({G.createBinary(Op, G.arg(0), G.arg(1))});
+  EvalResult R = evaluateGraph(G, {bits(W, A), bits(W, B)});
+  EXPECT_FALSE(R.Undefined);
+  return R.Results[0].Bits;
+}
+
+} // namespace
+
+TEST(Interpreter, BinaryOperations) {
+  EXPECT_EQ(evalBinary(Opcode::Add, 200, 100).zextValue(), 44u);
+  EXPECT_EQ(evalBinary(Opcode::Sub, 5, 10).zextValue(), 251u);
+  EXPECT_EQ(evalBinary(Opcode::Mul, 20, 20).zextValue(), 144u);
+  EXPECT_EQ(evalBinary(Opcode::And, 0xCC, 0xAA).zextValue(), 0x88u);
+  EXPECT_EQ(evalBinary(Opcode::Or, 0xCC, 0xAA).zextValue(), 0xEEu);
+  EXPECT_EQ(evalBinary(Opcode::Xor, 0xCC, 0xAA).zextValue(), 0x66u);
+  EXPECT_EQ(evalBinary(Opcode::Shl, 0x0F, 4).zextValue(), 0xF0u);
+  EXPECT_EQ(evalBinary(Opcode::Shr, 0xF0, 4).zextValue(), 0x0Fu);
+  EXPECT_EQ(evalBinary(Opcode::Shrs, 0xF0, 4).zextValue(), 0xFFu);
+}
+
+TEST(Interpreter, UnaryOperations) {
+  Graph G(8, {Sort::value(8)});
+  G.setResults({G.createUnary(Opcode::Not, G.arg(0)),
+                G.createUnary(Opcode::Minus, G.arg(0))});
+  // setResults with two independent results.
+  EvalResult R = evaluateGraph(G, {bits(8, 0x0F)});
+  EXPECT_EQ(R.Results[0].Bits.zextValue(), 0xF0u);
+  EXPECT_EQ(R.Results[1].Bits.zextValue(), 0xF1u);
+}
+
+TEST(Interpreter, ConstantsAndSharing) {
+  Graph G(8, {Sort::value(8)});
+  NodeRef C = G.createConst(BitValue(8, 3));
+  NodeRef Sum = G.createBinary(Opcode::Add, G.arg(0), C);
+  NodeRef Product = G.createBinary(Opcode::Mul, Sum, Sum); // Shared node.
+  G.setResults({Product});
+  EvalResult R = evaluateGraph(G, {bits(8, 4)});
+  EXPECT_EQ(R.Results[0].Bits.zextValue(), 49u);
+}
+
+TEST(Interpreter, ShiftOutOfRangeIsUndefined) {
+  Graph G(8, {Sort::value(8), Sort::value(8)});
+  G.setResults({G.createBinary(Opcode::Shl, G.arg(0), G.arg(1))});
+  EXPECT_FALSE(evaluateGraph(G, {bits(8, 1), bits(8, 7)}).Undefined);
+  EXPECT_TRUE(evaluateGraph(G, {bits(8, 1), bits(8, 8)}).Undefined);
+  EXPECT_TRUE(evaluateGraph(G, {bits(8, 1), bits(8, 0xFF)}).Undefined);
+}
+
+TEST(Interpreter, Relations) {
+  BitValue A(8, 0x01), B(8, 0xFF); // B = -1 signed, 255 unsigned.
+  EXPECT_TRUE(evaluateRelation(Relation::Ult, A, B));
+  EXPECT_FALSE(evaluateRelation(Relation::Slt, A, B));
+  EXPECT_TRUE(evaluateRelation(Relation::Sgt, A, B));
+  EXPECT_TRUE(evaluateRelation(Relation::Ne, A, B));
+  EXPECT_TRUE(evaluateRelation(Relation::Eq, A, A));
+  EXPECT_TRUE(evaluateRelation(Relation::Uge, B, A));
+}
+
+TEST(Interpreter, CmpMuxCond) {
+  Graph G(8, {Sort::value(8), Sort::value(8)});
+  NodeRef Cmp = G.createCmp(Relation::Slt, G.arg(0), G.arg(1));
+  NodeRef Mux = G.createMux(Cmp, G.arg(0), G.arg(1)); // signed min
+  Node *Jump = G.createCond(Cmp);
+  G.setResults({Mux, NodeRef(Jump, 0), NodeRef(Jump, 1)});
+
+  EvalResult R = evaluateGraph(G, {bits(8, 0xFE), bits(8, 3)});
+  EXPECT_EQ(R.Results[0].Bits.zextValue(), 0xFEu); // -2 < 3.
+  EXPECT_TRUE(R.Results[1].Flag);
+  EXPECT_FALSE(R.Results[2].Flag);
+
+  R = evaluateGraph(G, {bits(8, 3), bits(8, 0xFE)});
+  EXPECT_EQ(R.Results[0].Bits.zextValue(), 0xFEu);
+  EXPECT_FALSE(R.Results[1].Flag);
+  EXPECT_TRUE(R.Results[2].Flag);
+}
+
+TEST(Interpreter, MemoryChainLittleEndian) {
+  Graph G(16, {Sort::memory(), Sort::value(16), Sort::value(16)});
+  NodeRef Stored = G.createStore(G.arg(0), G.arg(1), G.arg(2));
+  Node *Load = G.createLoad(Stored, G.arg(1));
+  G.setResults({NodeRef(Load, 0), NodeRef(Load, 1)});
+
+  auto Memory = std::make_shared<MemoryState>();
+  EvalResult R = evaluateGraph(
+      G, {EvalValue::fromMemory(Memory), bits(16, 0x100), bits(16, 0xABCD)});
+  EXPECT_EQ(R.Results[1].Bits.zextValue(), 0xABCDu);
+  // Little endian byte placement.
+  EXPECT_EQ(R.Results[0].Mem->peekByte(0x100), 0xCDu);
+  EXPECT_EQ(R.Results[0].Mem->peekByte(0x101), 0xABu);
+  // The caller's memory object is untouched (value semantics).
+  EXPECT_EQ(Memory->peekByte(0x100), 0u);
+  // Access flags set by the load.
+  EXPECT_TRUE(R.Results[0].Mem->wasAccessed(0x100));
+  EXPECT_TRUE(R.Results[0].Mem->wasAccessed(0x101));
+}
+
+TEST(Interpreter, MemoryStateEquality) {
+  MemoryState A, B;
+  A.storeByte(5, 7);
+  EXPECT_NE(A, B);
+  B.storeByte(5, 7);
+  EXPECT_EQ(A, B);
+  // A zero write equals an untouched byte.
+  A.storeByte(9, 0);
+  EXPECT_EQ(A, B);
+  // Access flags are part of the state (the M-value design).
+  (void)A.loadByte(5);
+  EXPECT_NE(A, B);
+  (void)B.loadByte(5);
+  EXPECT_EQ(A, B);
+}
+
+TEST(Interpreter, EvaluateGraphRefs) {
+  Graph G(8, {Sort::value(8)});
+  NodeRef NotA = G.createUnary(Opcode::Not, G.arg(0));
+  NodeRef NegA = G.createUnary(Opcode::Minus, G.arg(0));
+  G.setResults({NotA});
+  EvalResult R = evaluateGraphRefs(G, {bits(8, 1)}, {NegA, NotA});
+  EXPECT_EQ(R.Results[0].Bits.zextValue(), 0xFFu);
+  EXPECT_EQ(R.Results[1].Bits.zextValue(), 0xFEu);
+}
+
+// --- Whole-function interpretation -------------------------------------
+
+namespace {
+
+/// sum(i for i in [0, n)) with a loop, returning the accumulator.
+Function makeLoopFunction(unsigned W) {
+  Function F("sum", W);
+  BasicBlock *Entry = F.createBlock("entry", {Sort::memory(), Sort::value(W)});
+  BasicBlock *Loop = F.createBlock(
+      "loop", {Sort::memory(), Sort::value(W), Sort::value(W), Sort::value(W)});
+  BasicBlock *Exit = F.createBlock("exit", {Sort::memory(), Sort::value(W)});
+
+  {
+    Graph &G = Entry->body();
+    NodeRef Zero = G.createConst(BitValue::zero(W));
+    Entry->setJump(Loop, {G.arg(0), Zero, Zero, G.arg(1)});
+  }
+  {
+    Graph &G = Loop->body();
+    NodeRef I = G.arg(1), Acc = G.arg(2), N = G.arg(3);
+    NodeRef NewAcc = G.createBinary(Opcode::Add, Acc, I);
+    NodeRef NextI =
+        G.createBinary(Opcode::Add, I, G.createConst(BitValue(W, 1)));
+    NodeRef Continue = G.createCmp(Relation::Ult, NextI, N);
+    Loop->setBranch(Continue, Loop, {G.arg(0), NextI, NewAcc, N}, Exit,
+                    {G.arg(0), NewAcc});
+  }
+  {
+    Graph &G = Exit->body();
+    Exit->setReturn({G.arg(0), G.arg(1)});
+  }
+  return F;
+}
+
+} // namespace
+
+TEST(FunctionInterpreter, LoopComputesSum) {
+  Function F = makeLoopFunction(8);
+  EXPECT_TRUE(verifyFunction(F).empty());
+  FunctionResult R = runFunction(F, {BitValue(8, 10)}, MemoryState());
+  ASSERT_FALSE(R.Undefined);
+  ASSERT_FALSE(R.StepLimitHit);
+  ASSERT_EQ(R.ReturnValues.size(), 1u);
+  EXPECT_EQ(R.ReturnValues[0].zextValue(), 45u); // 0+1+...+9.
+  EXPECT_GT(R.ExecutedOperations, 20u);
+}
+
+TEST(FunctionInterpreter, StepLimit) {
+  Function F = makeLoopFunction(8);
+  FunctionResult R =
+      runFunction(F, {BitValue(8, 200)}, MemoryState(), /*MaxSteps=*/10);
+  EXPECT_TRUE(R.StepLimitHit);
+}
+
+TEST(FunctionInterpreter, MemoryFlowsThroughBlocks) {
+  unsigned W = 8;
+  Function F("memflow", W);
+  BasicBlock *Entry =
+      F.createBlock("entry", {Sort::memory(), Sort::value(W)});
+  BasicBlock *Next = F.createBlock("next", {Sort::memory(), Sort::value(W)});
+  {
+    Graph &G = Entry->body();
+    NodeRef Stored = G.createStore(G.arg(0), G.arg(1),
+                                   G.createConst(BitValue(W, 0x7A)));
+    Entry->setJump(Next, {Stored, G.arg(1)});
+  }
+  {
+    Graph &G = Next->body();
+    Node *Load = G.createLoad(G.arg(0), G.arg(1));
+    Next->setReturn({NodeRef(Load, 0), NodeRef(Load, 1)});
+  }
+  FunctionResult R = runFunction(F, {BitValue(W, 0x20)}, MemoryState());
+  ASSERT_EQ(R.ReturnValues.size(), 1u);
+  EXPECT_EQ(R.ReturnValues[0].zextValue(), 0x7Au);
+  EXPECT_EQ(R.FinalMemory->peekByte(0x20), 0x7Au);
+}
+
+TEST(FunctionInterpreter, VerifierCatchesBadEdges) {
+  Function F("bad", 8);
+  BasicBlock *Entry = F.createBlock("entry", {Sort::memory(), Sort::value(8)});
+  BasicBlock *Next = F.createBlock("next", {Sort::memory(), Sort::value(8)});
+  Graph &G = Entry->body();
+  // Too few edge arguments.
+  Entry->setJump(Next, {G.arg(0)});
+  EXPECT_FALSE(verifyFunction(F).empty());
+}

@@ -1,0 +1,249 @@
+//===- test_ir_graph.cpp - Graph construction/printing/parsing tests ----------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Graph.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+using namespace selgen;
+
+namespace {
+
+/// The pattern of paper Figure 1a: an addition with one operand loaded
+/// from memory. Arguments (memory, pointer, register operand); results
+/// (memory, sum).
+Graph makeFigure1Pattern(unsigned Width = 32) {
+  Graph G(Width, {Sort::memory(), Sort::value(Width), Sort::value(Width)});
+  Node *Load = G.createLoad(G.arg(0), G.arg(1));
+  NodeRef Sum = G.createBinary(Opcode::Add, NodeRef(Load, 1), G.arg(2));
+  G.setResults({NodeRef(Load, 0), Sum});
+  return G;
+}
+
+} // namespace
+
+TEST(Graph, BuildFigure1) {
+  Graph G = makeFigure1Pattern();
+  EXPECT_EQ(G.numArgs(), 3u);
+  EXPECT_EQ(G.numOperations(), 2u);
+  EXPECT_TRUE(isWellFormed(G));
+  EXPECT_EQ(G.results()[0].sort(), Sort::memory());
+  EXPECT_EQ(G.results()[1].sort(), Sort::value(32));
+}
+
+TEST(Graph, ExpressionPrinting) {
+  Graph G = makeFigure1Pattern();
+  EXPECT_EQ(printGraphExpression(G),
+            "Load(a0, a1).0; Add(Load(a0, a1).1, a2)");
+}
+
+TEST(Graph, FingerprintIgnoresCreationOrder) {
+  // Two structurally identical graphs built in different node orders.
+  Graph A(8, {Sort::value(8), Sort::value(8)});
+  NodeRef NotA = A.createUnary(Opcode::Not, A.arg(0));
+  NodeRef NegB = A.createUnary(Opcode::Minus, A.arg(1));
+  A.setResults({A.createBinary(Opcode::Add, NotA, NegB)});
+
+  Graph B(8, {Sort::value(8), Sort::value(8)});
+  NodeRef NegB2 = B.createUnary(Opcode::Minus, B.arg(1));
+  NodeRef NotA2 = B.createUnary(Opcode::Not, B.arg(0));
+  B.setResults({B.createBinary(Opcode::Add, NotA2, NegB2)});
+
+  EXPECT_EQ(A.fingerprint(), B.fingerprint());
+}
+
+TEST(Graph, FingerprintDistinguishesStructure) {
+  Graph A(8, {Sort::value(8), Sort::value(8)});
+  A.setResults({A.createBinary(Opcode::Add, A.arg(0), A.arg(1))});
+  Graph B(8, {Sort::value(8), Sort::value(8)});
+  B.setResults({B.createBinary(Opcode::Add, B.arg(1), B.arg(0))});
+  EXPECT_NE(A.fingerprint(), B.fingerprint());
+
+  Graph C(8, {Sort::value(8), Sort::value(8)});
+  C.setResults({C.createBinary(Opcode::Sub, C.arg(0), C.arg(1))});
+  EXPECT_NE(A.fingerprint(), C.fingerprint());
+}
+
+TEST(Graph, FingerprintCoversAttributes) {
+  Graph A(8, {Sort::value(8)});
+  A.setResults({A.createBinary(Opcode::Add, A.arg(0),
+                               A.createConst(BitValue(8, 1)))});
+  Graph B(8, {Sort::value(8)});
+  B.setResults({B.createBinary(Opcode::Add, B.arg(0),
+                               B.createConst(BitValue(8, 2)))});
+  EXPECT_NE(A.fingerprint(), B.fingerprint());
+
+  Graph C(8, {Sort::value(8), Sort::value(8)});
+  C.setResults({C.createCmp(Relation::Slt, C.arg(0), C.arg(1))});
+  Graph D(8, {Sort::value(8), Sort::value(8)});
+  D.setResults({D.createCmp(Relation::Ult, D.arg(0), D.arg(1))});
+  EXPECT_NE(C.fingerprint(), D.fingerprint());
+}
+
+TEST(Graph, CloneIsIdentical) {
+  Graph G = makeFigure1Pattern();
+  Graph Copy = G.clone();
+  EXPECT_EQ(G.fingerprint(), Copy.fingerprint());
+  EXPECT_TRUE(isWellFormed(Copy));
+}
+
+TEST(Graph, DeadNodeRemoval) {
+  Graph G(8, {Sort::value(8)});
+  G.createBinary(Opcode::Add, G.arg(0), G.arg(0)); // Dead.
+  NodeRef Live = G.createUnary(Opcode::Not, G.arg(0));
+  G.setResults({Live});
+  EXPECT_EQ(G.numOperations(), 2u);
+  G.removeDeadNodes();
+  EXPECT_EQ(G.numOperations(), 1u);
+  EXPECT_TRUE(isWellFormed(G));
+}
+
+TEST(Graph, LiveNodesFromRoots) {
+  Graph G(8, {Sort::value(8)});
+  NodeRef A = G.createUnary(Opcode::Not, G.arg(0));
+  NodeRef B = G.createUnary(Opcode::Minus, G.arg(0));
+  G.setResults({A});
+  EXPECT_EQ(G.liveNodes().size(), 2u);        // Arg + Not.
+  EXPECT_EQ(G.liveNodesFrom({B}).size(), 2u); // Arg + Minus.
+  EXPECT_EQ(G.liveNodesFrom({A, B}).size(), 3u);
+}
+
+TEST(Printer, RoundTripThroughParser) {
+  Graph G = makeFigure1Pattern();
+  std::string Text = printGraph(G);
+  std::string Error;
+  std::optional<Graph> Parsed = parseGraph(Text, &Error);
+  ASSERT_TRUE(Parsed.has_value()) << Error;
+  EXPECT_EQ(Parsed->fingerprint(), G.fingerprint());
+}
+
+TEST(Printer, RoundTripWithAttributes) {
+  Graph G(16, {Sort::value(16), Sort::value(16)});
+  NodeRef C = G.createConst(BitValue(16, 0xBEEF));
+  NodeRef Cmp = G.createCmp(Relation::Sle, G.arg(0), C);
+  NodeRef Mux = G.createMux(Cmp, G.arg(1), C);
+  Node *Jump = G.createCond(Cmp);
+  G.setResults({Mux, NodeRef(Jump, 0), NodeRef(Jump, 1)});
+
+  std::string Error;
+  std::optional<Graph> Parsed = parseGraph(printGraph(G), &Error);
+  ASSERT_TRUE(Parsed.has_value()) << Error;
+  EXPECT_EQ(Parsed->fingerprint(), G.fingerprint());
+}
+
+TEST(Parser, RejectsMalformedInput) {
+  std::string Error;
+  EXPECT_FALSE(parseGraph("nonsense", &Error).has_value());
+  EXPECT_FALSE(Error.empty());
+  EXPECT_FALSE(parseGraph("graph w8 args(bv8) {\n", &Error).has_value());
+  EXPECT_FALSE(
+      parseGraph("graph w8 args(bv8) {\n  n0 = Bogus(a0)\n  results(n0)\n}\n",
+                 &Error)
+          .has_value() &&
+      Error.empty());
+  EXPECT_FALSE(parseGraph("graph w8 args(bv8) {\n  results(n7)\n}\n", &Error)
+                   .has_value());
+}
+
+TEST(Verifier, DetectsSortErrors) {
+  Graph G(8, {Sort::memory(), Sort::value(8)});
+  Node *Load = G.createLoad(G.arg(0), G.arg(1));
+  G.setResults({NodeRef(Load, 0), NodeRef(Load, 1)});
+  EXPECT_TRUE(verifyGraph(G).empty());
+
+  // Wire the load's value result into a memory operand slot.
+  Load->setOperand(0, NodeRef(Load, 1));
+  EXPECT_FALSE(verifyGraph(G).empty());
+}
+
+TEST(Verifier, DetectsNonlinearMemoryChain) {
+  Graph G(8, {Sort::memory(), Sort::value(8), Sort::value(8)});
+  // Two stores consuming the same memory token: not a chain.
+  NodeRef S1 = G.createStore(G.arg(0), G.arg(1), G.arg(2));
+  NodeRef S2 = G.createStore(G.arg(0), G.arg(2), G.arg(1));
+  G.setResults({S1});
+  (void)S2;
+  std::vector<std::string> Problems = verifyGraph(G);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("chain"), std::string::npos);
+}
+
+TEST(Verifier, AcceptsProperChain) {
+  Graph G(8, {Sort::memory(), Sort::value(8), Sort::value(8)});
+  NodeRef S1 = G.createStore(G.arg(0), G.arg(1), G.arg(2));
+  NodeRef S2 = G.createStore(S1, G.arg(2), G.arg(1));
+  G.setResults({S2});
+  EXPECT_TRUE(verifyGraph(G).empty());
+}
+
+TEST(Opcode, NamesRoundTrip) {
+  for (Opcode Op : allTemplateOpcodes())
+    EXPECT_EQ(opcodeFromName(opcodeName(Op)), Op);
+  for (Relation Rel : allRelations()) {
+    EXPECT_EQ(relationFromName(relationName(Rel)), Rel);
+    EXPECT_EQ(negateRelation(negateRelation(Rel)), Rel);
+    EXPECT_EQ(swapRelation(swapRelation(Rel)), Rel);
+  }
+}
+
+TEST(Opcode, Signatures) {
+  EXPECT_EQ(opcodeArgSorts(Opcode::Load, 32).size(), 2u);
+  EXPECT_EQ(opcodeResultSorts(Opcode::Load, 32).size(), 2u);
+  EXPECT_EQ(opcodeResultSorts(Opcode::Cond, 32).size(), 2u);
+  EXPECT_TRUE(opcodeHasInternalAttribute(Opcode::Const));
+  EXPECT_TRUE(opcodeHasInternalAttribute(Opcode::Cmp));
+  EXPECT_FALSE(opcodeHasInternalAttribute(Opcode::Add));
+  EXPECT_TRUE(opcodeIsCommutative(Opcode::Xor));
+  EXPECT_FALSE(opcodeIsCommutative(Opcode::Sub));
+  EXPECT_TRUE(opcodeTouchesMemory(Opcode::Store));
+}
+
+// --- GraphViz rendering ---------------------------------------------------
+
+#include "ir/GraphViz.h"
+
+TEST(GraphViz, PatternDot) {
+  Graph G = makeFigure1Pattern();
+  std::string Dot = graphToDot(G, "fig1");
+  EXPECT_NE(Dot.find("digraph fig1"), std::string::npos);
+  EXPECT_NE(Dot.find("Load"), std::string::npos);
+  EXPECT_NE(Dot.find("Add"), std::string::npos);
+  EXPECT_NE(Dot.find("style=dashed"), std::string::npos); // Memory edge.
+  EXPECT_NE(Dot.find("Res1"), std::string::npos);
+  // Balanced braces (very rough well-formedness).
+  EXPECT_EQ(std::count(Dot.begin(), Dot.end(), '{'),
+            std::count(Dot.begin(), Dot.end(), '}'));
+}
+
+TEST(GraphViz, FunctionDot) {
+  Function F("dotfn", 8);
+  BasicBlock *Entry =
+      F.createBlock("entry", {Sort::memory(), Sort::value(8)});
+  BasicBlock *Then = F.createBlock("then", {Sort::memory()});
+  BasicBlock *Else = F.createBlock("els", {Sort::memory()});
+  {
+    Graph &G = Entry->body();
+    NodeRef C = G.createCmp(Relation::Eq, G.arg(1),
+                            G.createConst(BitValue(8, 0)));
+    Entry->setBranch(C, Then, {G.arg(0)}, Else, {G.arg(0)});
+  }
+  for (BasicBlock *BB : {Then, Else}) {
+    Graph &G = BB->body();
+    BB->setReturn({G.arg(0), G.createConst(BitValue(8, 1))});
+  }
+  std::string Dot = functionToDot(F);
+  EXPECT_NE(Dot.find("cluster_b0_"), std::string::npos);
+  EXPECT_NE(Dot.find("taken"), std::string::npos);
+  EXPECT_NE(Dot.find("Branch"), std::string::npos);
+  EXPECT_EQ(std::count(Dot.begin(), Dot.end(), '{'),
+            std::count(Dot.begin(), Dot.end(), '}'));
+}

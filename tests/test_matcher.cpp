@@ -1,0 +1,231 @@
+//===- test_matcher.cpp - DAG pattern matcher tests ----------------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "isel/Matcher.h"
+
+#include <gtest/gtest.h>
+
+using namespace selgen;
+
+namespace {
+
+constexpr unsigned W = 8;
+const std::vector<ArgRole> RegReg = {ArgRole::Reg, ArgRole::Reg};
+const std::vector<ArgRole> RegImm = {ArgRole::Reg, ArgRole::Imm};
+
+/// Subject: r = (x + 5) & x over one argument.
+struct Subject {
+  Graph G{W, {Sort::value(W)}};
+  Node *Add = nullptr;
+  Node *And = nullptr;
+
+  Subject() {
+    NodeRef Sum = G.createBinary(Opcode::Add, G.arg(0),
+                                 G.createConst(BitValue(W, 5)));
+    Add = Sum.Def;
+    NodeRef Masked = G.createBinary(Opcode::And, Sum, G.arg(0));
+    And = Masked.Def;
+    G.setResults({Masked});
+  }
+};
+
+} // namespace
+
+TEST(Matcher, PlainBinaryMatch) {
+  Subject S;
+  Graph Pattern(W, {Sort::value(W), Sort::value(W)});
+  Pattern.setResults(
+      {Pattern.createBinary(Opcode::And, Pattern.arg(0), Pattern.arg(1))});
+
+  const Node *Root = patternRoot(Pattern);
+  ASSERT_NE(Root, nullptr);
+  std::optional<MatchResult> Match = matchPattern(Pattern, RegReg, Root,
+                                                  S.And);
+  ASSERT_TRUE(Match.has_value());
+  // a0 binds the Add value, a1 the argument.
+  EXPECT_EQ(Match->ArgBindings[0].Def, S.Add);
+  EXPECT_EQ(Match->ArgBindings[1].Def, S.G.arg(0).Def);
+  EXPECT_EQ(Match->CoveredNodes.size(), 1u);
+}
+
+TEST(Matcher, DeepMatchCoversInterior) {
+  Subject S;
+  // Pattern And(Add(a0, a1), a0) with a1 an immediate.
+  Graph Pattern(W, {Sort::value(W), Sort::value(W)});
+  NodeRef Sum =
+      Pattern.createBinary(Opcode::Add, Pattern.arg(0), Pattern.arg(1));
+  Pattern.setResults(
+      {Pattern.createBinary(Opcode::And, Sum, Pattern.arg(0))});
+
+  std::optional<MatchResult> Match =
+      matchPattern(Pattern, RegImm, patternRoot(Pattern), S.And);
+  ASSERT_TRUE(Match.has_value());
+  EXPECT_EQ(Match->CoveredNodes.size(), 2u);
+  ASSERT_TRUE(Match->ArgBindings[1].isValid());
+  EXPECT_EQ(Match->ArgBindings[1].Def->opcode(), Opcode::Const);
+}
+
+TEST(Matcher, RepeatedArgumentMustBindSameValue) {
+  // Pattern And(a0, a0) requires both operands equal.
+  Graph Pattern(W, {Sort::value(W)});
+  Pattern.setResults(
+      {Pattern.createBinary(Opcode::And, Pattern.arg(0), Pattern.arg(0))});
+
+  Subject S; // And(Add(...), arg) has different operands.
+  EXPECT_FALSE(matchPattern(Pattern, {ArgRole::Reg}, patternRoot(Pattern),
+                            S.And)
+                   .has_value());
+
+  Graph Same(W, {Sort::value(W)});
+  NodeRef Masked =
+      Same.createBinary(Opcode::And, Same.arg(0), Same.arg(0));
+  Same.setResults({Masked});
+  EXPECT_TRUE(matchPattern(Pattern, {ArgRole::Reg}, patternRoot(Pattern),
+                           Masked.Def)
+                  .has_value());
+}
+
+TEST(Matcher, ImmRoleRequiresConstant) {
+  Subject S;
+  Graph Pattern(W, {Sort::value(W), Sort::value(W)});
+  Pattern.setResults(
+      {Pattern.createBinary(Opcode::Add, Pattern.arg(0), Pattern.arg(1))});
+  // At the Add node: a1 would bind the Const 5 -> ok with Imm role.
+  EXPECT_TRUE(matchPattern(Pattern, RegImm, patternRoot(Pattern), S.Add)
+                  .has_value());
+  // Swapped roles: a0 (Imm) would bind the argument -> reject.
+  EXPECT_FALSE(matchPattern(Pattern, {ArgRole::Imm, ArgRole::Reg},
+                            patternRoot(Pattern), S.Add)
+                   .has_value());
+}
+
+TEST(Matcher, ConstantValuesMustBeEqual) {
+  Subject S; // Contains Const 5.
+  Graph Pattern(W, {Sort::value(W)});
+  Pattern.setResults({Pattern.createBinary(
+      Opcode::Add, Pattern.arg(0), Pattern.createConst(BitValue(W, 5)))});
+  EXPECT_TRUE(matchPattern(Pattern, {ArgRole::Reg}, patternRoot(Pattern),
+                           S.Add)
+                  .has_value());
+
+  Graph Pattern6(W, {Sort::value(W)});
+  Pattern6.setResults({Pattern6.createBinary(
+      Opcode::Add, Pattern6.arg(0), Pattern6.createConst(BitValue(W, 6)))});
+  EXPECT_FALSE(matchPattern(Pattern6, {ArgRole::Reg},
+                            patternRoot(Pattern6), S.Add)
+                   .has_value());
+}
+
+TEST(Matcher, RelationMustMatch) {
+  Graph SubjectG(W, {Sort::value(W), Sort::value(W)});
+  NodeRef Cmp =
+      SubjectG.createCmp(Relation::Slt, SubjectG.arg(0), SubjectG.arg(1));
+  SubjectG.setResults({Cmp});
+
+  for (Relation Rel : {Relation::Slt, Relation::Ult}) {
+    Graph Pattern(W, {Sort::value(W), Sort::value(W)});
+    Pattern.setResults(
+        {Pattern.createCmp(Rel, Pattern.arg(0), Pattern.arg(1))});
+    bool Expect = Rel == Relation::Slt;
+    EXPECT_EQ(matchPattern(Pattern, RegReg, patternRoot(Pattern), Cmp.Def)
+                  .has_value(),
+              Expect);
+  }
+}
+
+TEST(Matcher, MultiResultIndicesRespected) {
+  // Subject: Load feeding an Add with the *value* result.
+  Graph SubjectG(W, {Sort::memory(), Sort::value(W), Sort::value(W)});
+  Node *Load = SubjectG.createLoad(SubjectG.arg(0), SubjectG.arg(1));
+  NodeRef Sum = SubjectG.createBinary(Opcode::Add, NodeRef(Load, 1),
+                                      SubjectG.arg(2));
+  SubjectG.setResults({NodeRef(Load, 0), Sum});
+
+  // Pattern add_rm: [Load.0, Add(Load.1, a2)].
+  Graph Pattern(W, {Sort::memory(), Sort::value(W), Sort::value(W)});
+  Node *PLoad = Pattern.createLoad(Pattern.arg(0), Pattern.arg(1));
+  NodeRef PSum = Pattern.createBinary(Opcode::Add, NodeRef(PLoad, 1),
+                                      Pattern.arg(2));
+  Pattern.setResults({NodeRef(PLoad, 0), PSum});
+
+  const Node *Root = patternRoot(Pattern);
+  ASSERT_NE(Root, nullptr);
+  EXPECT_EQ(Root->opcode(), Opcode::Add); // Covering root, not the Load.
+
+  std::vector<ArgRole> Roles = {ArgRole::Mem, ArgRole::Reg, ArgRole::Reg};
+  std::optional<MatchResult> Match =
+      matchPattern(Pattern, Roles, Root, Sum.Def);
+  ASSERT_TRUE(Match.has_value());
+  EXPECT_EQ(Match->CoveredNodes.size(), 2u);
+}
+
+TEST(Matcher, RootlessDisconnectedPattern) {
+  // Two independent comparisons: no single result covers both.
+  Graph Pattern(W, {Sort::value(W), Sort::value(W)});
+  NodeRef A = Pattern.createCmp(Relation::Slt, Pattern.arg(0),
+                                Pattern.arg(1));
+  NodeRef B = Pattern.createCmp(Relation::Sge, Pattern.arg(0),
+                                Pattern.arg(1));
+  Pattern.setResults({A, B});
+  EXPECT_EQ(patternRoot(Pattern), nullptr);
+}
+
+TEST(Matcher, MatchValueForJumpPatterns) {
+  // Pattern Cond(Cmp<slt>(a0, a1)); subject branch condition.
+  Graph Pattern(W, {Sort::value(W), Sort::value(W)});
+  NodeRef PCmp =
+      Pattern.createCmp(Relation::Slt, Pattern.arg(0), Pattern.arg(1));
+  Node *Jump = Pattern.createCond(PCmp);
+  Pattern.setResults({NodeRef(Jump, 0), NodeRef(Jump, 1)});
+
+  Graph SubjectG(W, {Sort::value(W), Sort::value(W)});
+  NodeRef SCmp =
+      SubjectG.createCmp(Relation::Slt, SubjectG.arg(0), SubjectG.arg(1));
+  SubjectG.setResults({});
+
+  std::optional<MatchResult> Match =
+      matchPatternValue(Pattern, RegReg, Jump->operand(0), SCmp);
+  ASSERT_TRUE(Match.has_value());
+  EXPECT_EQ(Match->CoveredNodes.size(), 1u); // The Cmp only.
+}
+
+TEST(Matcher, ShiftPreconditionOnMatchedConstants) {
+  // Pattern Shl(a0, a1) with a1 immediate; subject shifts by 12 > 7.
+  Graph Pattern(W, {Sort::value(W), Sort::value(W)});
+  Pattern.setResults(
+      {Pattern.createBinary(Opcode::Shl, Pattern.arg(0), Pattern.arg(1))});
+
+  Graph SubjectG(W, {Sort::value(W)});
+  NodeRef BadShift = SubjectG.createBinary(
+      Opcode::Shl, SubjectG.arg(0), SubjectG.createConst(BitValue(W, 12)));
+  SubjectG.setResults({BadShift});
+
+  std::optional<MatchResult> Match =
+      matchPattern(Pattern, RegImm, patternRoot(Pattern), BadShift.Def);
+  ASSERT_TRUE(Match.has_value());
+  EXPECT_FALSE(
+      matchedConstantsSatisfyPreconditions(Pattern, *Match, W));
+
+  Graph GoodSubject(W, {Sort::value(W)});
+  NodeRef GoodShift = GoodSubject.createBinary(
+      Opcode::Shl, GoodSubject.arg(0),
+      GoodSubject.createConst(BitValue(W, 3)));
+  GoodSubject.setResults({GoodShift});
+  Match = matchPattern(Pattern, RegImm, patternRoot(Pattern),
+                       GoodShift.Def);
+  ASSERT_TRUE(Match.has_value());
+  EXPECT_TRUE(matchedConstantsSatisfyPreconditions(Pattern, *Match, W));
+}
+
+TEST(Matcher, OpcodeMismatchFails) {
+  Subject S;
+  Graph Pattern(W, {Sort::value(W), Sort::value(W)});
+  Pattern.setResults(
+      {Pattern.createBinary(Opcode::Or, Pattern.arg(0), Pattern.arg(1))});
+  EXPECT_FALSE(matchPattern(Pattern, RegReg, patternRoot(Pattern), S.And)
+                   .has_value());
+}

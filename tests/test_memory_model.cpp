@@ -1,0 +1,133 @@
+//===- test_memory_model.cpp - M-value encoding tests --------------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "semantics/MemoryModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace selgen;
+
+namespace {
+
+/// Fixture with a 3-valid-pointer model at width 8, pointers being
+/// p, p+1, p+2 over a symbolic p.
+class MemoryModelTest : public ::testing::Test {
+protected:
+  SmtContext Smt;
+  z3::expr P = Smt.bvConst("p", 8);
+  MemoryModel Model{Smt,
+                    {P, (P + Smt.ctx().bv_val(1, 8)).simplify(),
+                     (P + Smt.ctx().bv_val(2, 8)).simplify()}};
+
+  /// Checks validity of a boolean expression.
+  bool isValid(const z3::expr &E) {
+    SmtSolver Solver(Smt);
+    Solver.add(!E);
+    return Solver.check() == SmtResult::Unsat;
+  }
+};
+
+} // namespace
+
+TEST_F(MemoryModelTest, Layout) {
+  EXPECT_EQ(Model.numValidPointers(), 3u);
+  EXPECT_EQ(Model.byteWidth(), 8u);
+  // |V| * (w + 1) = 3 * 9 = 27 bits (the paper's BitVec36 example has
+  // 4 pointers: 4 * 9 = 36).
+  EXPECT_EQ(Model.mvalueWidth(), 27u);
+  EXPECT_TRUE(Model.hasMemory());
+}
+
+TEST_F(MemoryModelTest, PaperStore32Example) {
+  // The paper's store32 has V = [p, p+1, p+2, p+3] and M = BitVec36.
+  MemoryModel Wide(Smt, {P, (P + 1).simplify(), (P + 2).simplify(),
+                         (P + 3).simplify()});
+  EXPECT_EQ(Wide.mvalueWidth(), 36u);
+}
+
+TEST_F(MemoryModelTest, StoreThenLoadSameAddress) {
+  z3::expr M = Smt.bvConst("m", Model.mvalueWidth());
+  z3::expr X = Smt.bvConst("x", 8);
+  z3::expr Stored = Model.store(M, P, X);
+  auto [Loaded, After] = Model.load(Stored, P);
+  EXPECT_TRUE(isValid(Loaded == X));
+  // The load set the access flag of the first valid pointer.
+  EXPECT_TRUE(isValid(Model.accessFlagAt(After, 0) ==
+                      Smt.ctx().bv_val(1, 1)));
+}
+
+TEST_F(MemoryModelTest, StoreDoesNotTouchOtherSlots) {
+  z3::expr M = Smt.bvConst("m", Model.mvalueWidth());
+  z3::expr X = Smt.bvConst("x", 8);
+  z3::expr Stored = Model.store(M, P, X);
+  EXPECT_TRUE(isValid(Model.contentsAt(Stored, 1) ==
+                      Model.contentsAt(M, 1)));
+  EXPECT_TRUE(isValid(Model.contentsAt(Stored, 2) ==
+                      Model.contentsAt(M, 2)));
+  EXPECT_TRUE(isValid(Model.accessFlagAt(Stored, 0) ==
+                      Model.accessFlagAt(M, 0)));
+}
+
+TEST_F(MemoryModelTest, AliasingUsesFirstMatch) {
+  // Aliasing model: V = [q, q] (the same pointer twice, as a syntactic
+  // analysis of a specification might produce). Only slot 0 is ever
+  // used (paper Section 4.1's fixed-order rule).
+  z3::expr Q = Smt.bvConst("q", 8);
+  MemoryModel Aliased(Smt, {Q, Q});
+  z3::expr M = Smt.bvConst("m2", Aliased.mvalueWidth());
+  z3::expr X = Smt.bvConst("x2", 8);
+  z3::expr Stored = Aliased.store(M, Q, X);
+  EXPECT_TRUE(isValid(Aliased.contentsAt(Stored, 0) == X));
+  EXPECT_TRUE(isValid(Aliased.contentsAt(Stored, 1) ==
+                      Aliased.contentsAt(M, 1)));
+  auto [Loaded, After] = Aliased.load(Stored, Q);
+  EXPECT_TRUE(isValid(Loaded == X));
+  EXPECT_TRUE(isValid(Aliased.accessFlagAt(After, 1) ==
+                      Aliased.accessFlagAt(M, 1)));
+}
+
+TEST_F(MemoryModelTest, InRange) {
+  EXPECT_TRUE(isValid(Model.inRange(P)));
+  EXPECT_TRUE(isValid(Model.inRange((P + 2).simplify())));
+  // p+5 can never equal p, p+1, or p+2 (mod 256 arithmetic with fixed
+  // offsets).
+  EXPECT_TRUE(isValid(!Model.inRange((P + 5).simplify())));
+}
+
+TEST_F(MemoryModelTest, MultiByteRoundTrip) {
+  z3::expr M = Smt.bvConst("m3", Model.mvalueWidth());
+  z3::expr X = Smt.bvConst("x3", 16);
+  z3::expr Stored = Model.storeValue(M, P, X);
+  auto [Loaded, After] = Model.loadValue(Stored, P, 2);
+  (void)After;
+  EXPECT_TRUE(isValid(Loaded == X));
+  // Little endian: the low byte lands at the first pointer.
+  EXPECT_TRUE(isValid(Model.contentsAt(Stored, 0) == X.extract(7, 0)));
+  EXPECT_TRUE(isValid(Model.contentsAt(Stored, 1) == X.extract(15, 8)));
+}
+
+TEST_F(MemoryModelTest, Masks) {
+  BitValue Contents = Model.contentsMask();
+  BitValue Flags = Model.flagsMask();
+  EXPECT_EQ(Contents.width(), 27u);
+  EXPECT_TRUE(Contents.bitAnd(Flags).isZero());
+  EXPECT_TRUE(Contents.bitOr(Flags).isAllOnes());
+  EXPECT_EQ(Flags.popcount(), 3u);
+  EXPECT_EQ(Contents.popcount(), 24u);
+  EXPECT_TRUE(Flags.bit(8));
+  EXPECT_TRUE(Flags.bit(17));
+  EXPECT_TRUE(Flags.bit(26));
+}
+
+TEST_F(MemoryModelTest, MemoryFreeModel) {
+  MemoryModel Empty(Smt, {});
+  EXPECT_FALSE(Empty.hasMemory());
+  EXPECT_EQ(Empty.mvalueWidth(), 1u); // Sort must still exist.
+  SmtSolver Solver(Smt);
+  Solver.add(Empty.inRange(P)); // Nothing is in range.
+  EXPECT_EQ(Solver.check(), SmtResult::Unsat);
+}

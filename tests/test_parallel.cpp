@@ -1,0 +1,118 @@
+//===- test_parallel.cpp - Parallel synthesis and edge-move tests --------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "isel/HandwrittenSelector.h"
+#include "pattern/ParallelBuilder.h"
+#include "x86/Emulator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace selgen;
+
+namespace {
+constexpr unsigned W = 8;
+} // namespace
+
+TEST(ParallelBuilder, MatchesSequentialResult) {
+  GoalLibrary All = GoalLibrary::build(W, {"Basic"});
+  GoalLibrary Goals = GoalLibrary::subset(
+      std::move(All), {"neg_r", "not_r", "add_rr", "xor_rr", "cmp_je"});
+
+  SynthesisOptions Options;
+  Options.Width = W;
+  Options.QueryTimeoutMs = 30000;
+  Options.TimeBudgetSeconds = 30;
+
+  LibraryBuildReport SequentialReport, ParallelReport;
+  SmtContext Smt;
+  PatternDatabase Sequential =
+      synthesizeRuleLibrary(Smt, Goals, Options, &SequentialReport);
+  PatternDatabase Parallel = synthesizeRuleLibraryParallel(
+      Goals, Options, /*NumThreads=*/3, &ParallelReport);
+
+  ASSERT_EQ(Sequential.size(), Parallel.size());
+  // Same rule sets (fingerprint multisets are equal).
+  std::multiset<std::string> A, B;
+  for (const Rule &R : Sequential.rules())
+    A.insert(R.GoalName + "|" + R.Pattern.fingerprint());
+  for (const Rule &R : Parallel.rules())
+    B.insert(R.GoalName + "|" + R.Pattern.fingerprint());
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(SequentialReport.TotalGoals, ParallelReport.TotalGoals);
+  EXPECT_EQ(SequentialReport.TotalPatterns, ParallelReport.TotalPatterns);
+}
+
+TEST(ParallelBuilder, TotalModeListApplies) {
+  GoalLibrary All = GoalLibrary::build(W, {"Bmi"});
+  GoalLibrary Goals = GoalLibrary::subset(std::move(All), {"blsr"});
+
+  SynthesisOptions Options;
+  Options.Width = W;
+  Options.QueryTimeoutMs = 30000;
+  Options.TimeBudgetSeconds = 60;
+
+  PatternDatabase Database = synthesizeRuleLibraryParallel(
+      Goals, Options, 2, nullptr, /*TotalModeGoals=*/{"blsr"});
+  // Total mode pushes the minimal size to 3 (the canonical idiom).
+  for (const Rule &R : Database.rules())
+    EXPECT_GE(R.Pattern.numOperations(), 3u);
+  EXPECT_FALSE(Database.rules().empty());
+}
+
+TEST(EdgeMoves, ParallelSwapSemantics) {
+  // A loop block that swaps its two arguments each iteration: the edge
+  // moves (x <- y, y <- x) must be parallel, not sequential.
+  Function F("swap", W);
+  BasicBlock *Entry = F.createBlock(
+      "entry", {Sort::memory(), Sort::value(W), Sort::value(W)});
+  BasicBlock *Loop = F.createBlock(
+      "loop",
+      {Sort::memory(), Sort::value(W), Sort::value(W), Sort::value(W)});
+  BasicBlock *Exit = F.createBlock("exit", {Sort::memory(), Sort::value(W)});
+  {
+    Graph &G = Entry->body();
+    Entry->setJump(Loop, {G.arg(0), G.createConst(BitValue::zero(W)),
+                          G.arg(1), G.arg(2)});
+  }
+  {
+    Graph &G = Loop->body();
+    NodeRef I = G.arg(1), X = G.arg(2), Y = G.arg(3);
+    NodeRef NextI =
+        G.createBinary(Opcode::Add, I, G.createConst(BitValue(W, 1)));
+    NodeRef Continue = G.createCmp(Relation::Ult, NextI,
+                                   G.createConst(BitValue(W, 2)));
+    // Swap x and y on the back edge.
+    Loop->setBranch(Continue, Loop, {G.arg(0), NextI, Y, X}, Exit,
+                    {G.arg(0), X});
+  }
+  {
+    Graph &G = Exit->body();
+    Exit->setReturn({G.arg(0), G.arg(1)});
+  }
+
+  // Two iterations mean exactly one swap on the back edge; compute
+  // the expected value with the IR interpreter, then demand the
+  // machine code agrees (a sequential-move bug would collapse x and y).
+  FunctionResult Reference =
+      runFunction(F, {BitValue(W, 0xAA), BitValue(W, 0x55)}, MemoryState());
+  ASSERT_FALSE(Reference.Undefined);
+
+  HandwrittenSelector Selector;
+  SelectionResult Selected = Selector.select(F);
+  std::map<MReg, BitValue> Regs;
+  const auto &ArgRegs = Selected.MF->entry()->ArgRegs;
+  Regs[ArgRegs[0]] = BitValue(W, 0xAA);
+  Regs[ArgRegs[1]] = BitValue(W, 0x55);
+  MachineRunResult Machine =
+      runMachineFunction(*Selected.MF, Regs, MemoryState());
+  ASSERT_EQ(Machine.ReturnValues.size(), 1u);
+  EXPECT_EQ(Machine.ReturnValues[0], Reference.ReturnValues[0]);
+  // And the reference itself saw a real swap (sanity).
+  EXPECT_EQ(Reference.ReturnValues[0].zextValue(), 0x55u);
+}

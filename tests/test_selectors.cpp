@@ -1,0 +1,370 @@
+//===- test_selectors.cpp - Instruction selector tests -------------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Normalizer.h"
+#include "isel/GeneratedSelector.h"
+#include "isel/HandwrittenSelector.h"
+#include "refsel/ReferenceSelectors.h"
+#include "support/Rng.h"
+#include "x86/Emulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace selgen;
+
+namespace {
+
+constexpr unsigned W = 8;
+
+/// Counts instructions with a given opcode.
+unsigned countOpcode(const MachineFunction &MF, MOpcode Op) {
+  unsigned Count = 0;
+  for (const auto &Block : MF.blocks())
+    for (const MachineInstr &Instr : Block->instructions())
+      Count += Instr.Op == Op ? 1 : 0;
+  return Count;
+}
+
+/// Runs both the IR interpreter and the machine function; true if all
+/// return values and memory bytes agree.
+bool agreesWithInterpreter(const Function &F, const MachineFunction &MF,
+                           const std::vector<BitValue> &Args,
+                           const MemoryState &Memory) {
+  FunctionResult Reference = runFunction(F, Args, Memory);
+  if (Reference.Undefined)
+    return true;
+  std::map<MReg, BitValue> Regs;
+  const auto &ArgRegs = MF.entry()->ArgRegs;
+  for (size_t I = 0; I < ArgRegs.size(); ++I)
+    Regs[ArgRegs[I]] = Args[I];
+  MachineRunResult Machine = runMachineFunction(MF, Regs, Memory);
+  if (Machine.ReturnValues.size() != Reference.ReturnValues.size())
+    return false;
+  for (size_t I = 0; I < Reference.ReturnValues.size(); ++I)
+    if (Machine.ReturnValues[I] != Reference.ReturnValues[I])
+      return false;
+  for (const auto &[Address, Value] : Reference.FinalMemory->bytes())
+    if (Machine.Memory.peekByte(Address) != Value)
+      return false;
+  return true;
+}
+
+/// One-block function over [mem, a, b] returning [mem', result].
+Function singleBlock(const std::function<NodeRef(Graph &)> &Build,
+                     bool WithMemoryResult = false) {
+  Function F("f", W);
+  BasicBlock *Entry = F.createBlock(
+      "entry", {Sort::memory(), Sort::value(W), Sort::value(W)});
+  Graph &G = Entry->body();
+  NodeRef Result = Build(G);
+  NodeRef Memory = G.arg(0);
+  if (WithMemoryResult) {
+    // Build() returns the final memory token in that case.
+    Entry->setReturn({Result});
+  } else {
+    Entry->setReturn({Memory, Result});
+  }
+  return F;
+}
+
+/// The goal library and the hand-curated rules, shared by the tests.
+struct SelectorTest : public ::testing::Test {
+  GoalLibrary Goals = GoalLibrary::build(W, GoalLibrary::allGroups());
+  PatternDatabase GnuRules = buildGnuLikeRules(W);
+  HandwrittenSelector Handwritten;
+
+  void differential(const Function &F, InstructionSelector &Selector,
+                    int Runs = 60) {
+    SelectionResult Selected = Selector.select(F);
+    Rng Random(99);
+    for (int Run = 0; Run < Runs; ++Run) {
+      std::vector<BitValue> Args;
+      for (unsigned I = 1; I < F.entry()->body().numArgs(); ++I)
+        Args.push_back(Random.nextInterestingBitValue(W));
+      MemoryState Memory;
+      for (int B = 0; B < 12; ++B)
+        Memory.storeByte(Random.nextBelow(256),
+                         static_cast<uint8_t>(Random.nextBelow(256)));
+      EXPECT_TRUE(agreesWithInterpreter(F, *Selected.MF, Args, Memory))
+          << Selector.name() << " run " << Run;
+    }
+  }
+};
+
+} // namespace
+
+TEST_F(SelectorTest, HandwrittenFoldsReadModifyWrite) {
+  // store [a], load [a] + b  ==>  add (a), b.
+  Function F = singleBlock(
+      [](Graph &G) {
+        Node *Load = G.createLoad(G.arg(0), G.arg(1));
+        NodeRef Sum =
+            G.createBinary(Opcode::Add, NodeRef(Load, 1), G.arg(2));
+        return G.createStore(NodeRef(Load, 0), G.arg(1), Sum);
+      },
+      /*WithMemoryResult=*/true);
+
+  SelectionResult R = Handwritten.select(F);
+  // One add with a memory destination, no separate mov load/store.
+  EXPECT_EQ(R.MF->numInstructions(), 1u);
+  EXPECT_EQ(countOpcode(*R.MF, MOpcode::Add), 1u);
+  differential(F, Handwritten);
+}
+
+TEST_F(SelectorTest, HandwrittenFoldsLea) {
+  // a + b*4 + 3 => one lea.
+  Function F = singleBlock([](Graph &G) {
+    NodeRef Scaled = G.createBinary(Opcode::Shl, G.arg(2),
+                                    G.createConst(BitValue(W, 2)));
+    return G.createBinary(
+        Opcode::Add, G.createBinary(Opcode::Add, G.arg(1), Scaled),
+        G.createConst(BitValue(W, 3)));
+  });
+  SelectionResult R = Handwritten.select(F);
+  EXPECT_EQ(countOpcode(*R.MF, MOpcode::Lea), 1u);
+  EXPECT_EQ(R.MF->numInstructions(), 1u);
+  differential(F, Handwritten);
+}
+
+TEST_F(SelectorTest, HandwrittenReusesSubFlags) {
+  // z = a - b; if (a < b) ... : the cmp is folded into the sub.
+  Function F("subcmp", W);
+  BasicBlock *Entry = F.createBlock(
+      "entry", {Sort::memory(), Sort::value(W), Sort::value(W)});
+  BasicBlock *Then = F.createBlock("then", {Sort::memory(), Sort::value(W)});
+  BasicBlock *Else = F.createBlock("else", {Sort::memory(), Sort::value(W)});
+  {
+    Graph &G = Entry->body();
+    NodeRef Difference = G.createBinary(Opcode::Sub, G.arg(1), G.arg(2));
+    NodeRef Less = G.createCmp(Relation::Ult, G.arg(1), G.arg(2));
+    Entry->setBranch(Less, Then, {G.arg(0), Difference}, Else,
+                     {G.arg(0), Difference});
+  }
+  for (BasicBlock *BB : {Then, Else}) {
+    Graph &G = BB->body();
+    BB->setReturn({G.arg(0), G.arg(1)});
+  }
+
+  SelectionResult R = Handwritten.select(F);
+  EXPECT_EQ(countOpcode(*R.MF, MOpcode::Cmp), 0u) << "flag reuse missing";
+  EXPECT_EQ(countOpcode(*R.MF, MOpcode::Sub), 1u);
+  differential(F, Handwritten);
+}
+
+TEST_F(SelectorTest, HandwrittenFoldsLoadIntoArithmetic) {
+  // b + load [a]  =>  add with memory source.
+  Function F = singleBlock([](Graph &G) {
+    Node *Load = G.createLoad(G.arg(0), G.arg(1));
+    return G.createBinary(Opcode::Add, G.arg(2), NodeRef(Load, 1));
+  });
+  SelectionResult R = Handwritten.select(F);
+  bool FoldedLoad = false;
+  for (const MachineInstr &Instr : R.MF->entry()->instructions())
+    FoldedLoad |= Instr.Op == MOpcode::Add && Instr.Src2.isMem();
+  EXPECT_TRUE(FoldedLoad);
+  differential(F, Handwritten);
+}
+
+TEST_F(SelectorTest, HandwrittenDoesNotFoldLoadPastStore) {
+  // load [a]; store [b]; use the load: folding would reorder.
+  Function F = singleBlock(
+      [](Graph &G) {
+        Node *Load = G.createLoad(G.arg(0), G.arg(1));
+        NodeRef Stored = G.createStore(NodeRef(Load, 0), G.arg(2),
+                                       G.createConst(BitValue(W, 9)));
+        NodeRef Sum =
+            G.createBinary(Opcode::Add, G.arg(2), NodeRef(Load, 1));
+        G.setResults({Stored, Sum});
+        (void)Sum;
+        return Stored;
+      },
+      /*WithMemoryResult=*/true);
+  // Rebuild with both results.
+  Function F2("f2", W);
+  BasicBlock *Entry = F2.createBlock(
+      "entry", {Sort::memory(), Sort::value(W), Sort::value(W)});
+  Graph &G = Entry->body();
+  Node *Load = G.createLoad(G.arg(0), G.arg(1));
+  NodeRef Stored = G.createStore(NodeRef(Load, 0), G.arg(2),
+                                 G.createConst(BitValue(W, 9)));
+  NodeRef Sum = G.createBinary(Opcode::Add, G.arg(2), NodeRef(Load, 1));
+  Entry->setReturn({Stored, Sum});
+
+  SelectionResult R = Handwritten.select(F2);
+  // The load must be a standalone mov, not folded into the add.
+  for (const MachineInstr &Instr : R.MF->entry()->instructions()) {
+    if (Instr.Op == MOpcode::Add) {
+      EXPECT_FALSE(Instr.Src2.isMem());
+    }
+  }
+  differential(F2, Handwritten);
+}
+
+TEST_F(SelectorTest, GeneratedCoversWithReferenceRules) {
+  auto Gnu = makeReferenceSelector("gnu-like", GnuRules, Goals);
+  Function F = singleBlock([](Graph &G) {
+    NodeRef T = G.createBinary(Opcode::Xor, G.arg(1), G.arg(2));
+    return G.createBinary(Opcode::And, T,
+                          G.createUnary(Opcode::Not, G.arg(1)));
+  });
+  normalizeFunction(F);
+  SelectionResult R = Gnu->select(F);
+  EXPECT_GT(R.coverage(), 0.5);
+  differential(F, *Gnu);
+}
+
+TEST_F(SelectorTest, GeneratedSelectsBlsrIdiom) {
+  auto Gnu = makeReferenceSelector("gnu-like", GnuRules, Goals);
+  Function F = singleBlock([](Graph &G) {
+    return G.createBinary(
+        Opcode::And, G.arg(1),
+        G.createBinary(Opcode::Sub, G.arg(1),
+                       G.createConst(BitValue(W, 1))));
+  });
+  normalizeFunction(F);
+  SelectionResult R = Gnu->select(F);
+  EXPECT_EQ(countOpcode(*R.MF, MOpcode::Blsr), 1u);
+  differential(F, *Gnu);
+}
+
+TEST_F(SelectorTest, GeneratedMatchesJumpRules) {
+  Function F("jump", W);
+  BasicBlock *Entry = F.createBlock(
+      "entry", {Sort::memory(), Sort::value(W), Sort::value(W)});
+  BasicBlock *Then = F.createBlock("then", {Sort::memory()});
+  BasicBlock *Else = F.createBlock("else", {Sort::memory()});
+  {
+    Graph &G = Entry->body();
+    NodeRef Less = G.createCmp(Relation::Slt, G.arg(1), G.arg(2));
+    Entry->setBranch(Less, Then, {G.arg(0)}, Else, {G.arg(0)});
+  }
+  {
+    Graph &G = Then->body();
+    Then->setReturn({G.arg(0), G.createConst(BitValue(W, 1))});
+  }
+  {
+    Graph &G = Else->body();
+    Else->setReturn({G.arg(0), G.createConst(BitValue(W, 0))});
+  }
+
+  auto Gnu = makeReferenceSelector("gnu-like", GnuRules, Goals);
+  SelectionResult R = Gnu->select(F);
+  EXPECT_EQ(R.MF->entry()->terminator().TermKind, MTerminator::Kind::Jcc);
+  EXPECT_EQ(R.MF->entry()->terminator().CC, CondCode::L);
+  differential(F, *Gnu);
+}
+
+TEST_F(SelectorTest, GeneratedFallsBackGracefully) {
+  // An empty rule library: everything goes through the fallback and
+  // the result is still correct.
+  PatternDatabase Empty;
+  GeneratedSelector Bare(Empty, Goals);
+  EXPECT_EQ(Bare.numRules(), 0u);
+
+  Function F = singleBlock([](Graph &G) {
+    NodeRef Cmp = G.createCmp(Relation::Ugt, G.arg(1), G.arg(2));
+    NodeRef Mux = G.createMux(Cmp, G.arg(1), G.arg(2)); // unsigned max
+    Node *Load = G.createLoad(G.arg(0), Mux);
+    return G.createBinary(Opcode::Sub, NodeRef(Load, 1), G.arg(2));
+  });
+  SelectionResult R = Bare.select(F);
+  EXPECT_EQ(R.CoveredOperations, 0u);
+  EXPECT_GT(R.FallbackOperations, 0u);
+  EXPECT_DOUBLE_EQ(R.coverage(), 0.0);
+  differential(F, Bare);
+}
+
+TEST_F(SelectorTest, CoverageAccounting) {
+  auto Gnu = makeReferenceSelector("gnu-like", GnuRules, Goals);
+  Function F = singleBlock([](Graph &G) {
+    return G.createBinary(Opcode::Add, G.arg(1), G.arg(2));
+  });
+  SelectionResult R = Gnu->select(F);
+  EXPECT_EQ(R.TotalOperations, 1u);
+  EXPECT_EQ(R.CoveredOperations, 1u);
+  EXPECT_DOUBLE_EQ(R.coverage(), 1.0);
+}
+
+TEST_F(SelectorTest, ReferenceSelectorsDiffer) {
+  PatternDatabase Clang = buildClangLikeRules(W);
+  // Clang-like has andn; Gnu-like does not.
+  Function F = singleBlock([](Graph &G) {
+    return G.createBinary(Opcode::And, G.createUnary(Opcode::Not, G.arg(1)),
+                          G.arg(2));
+  });
+  normalizeFunction(F);
+  auto GnuSel = makeReferenceSelector("gnu-like", GnuRules, Goals);
+  auto ClangSel = makeReferenceSelector("clang-like", Clang, Goals);
+  SelectionResult RG = GnuSel->select(F);
+  SelectionResult RC = ClangSel->select(F);
+  EXPECT_EQ(countOpcode(*RC.MF, MOpcode::Andn), 1u);
+  EXPECT_EQ(countOpcode(*RG.MF, MOpcode::Andn), 0u);
+  EXPECT_LT(RC.MF->numInstructions(), RG.MF->numInstructions());
+  differential(F, *GnuSel);
+  differential(F, *ClangSel);
+}
+
+TEST_F(SelectorTest, MatchedShiftPreconditionBlocksRule) {
+  // shl by 12 at width 8 is undefined IR; the shl_ri rule must not
+  // fire, but the fallback still emits something deterministic.
+  auto Gnu = makeReferenceSelector("gnu-like", GnuRules, Goals);
+  Function F = singleBlock([](Graph &G) {
+    return G.createBinary(Opcode::Shl, G.arg(1),
+                          G.createConst(BitValue(W, 12)));
+  });
+  SelectionResult R = Gnu->select(F);
+  (void)R; // Selection must simply not crash; behaviour is undefined IR.
+}
+
+TEST_F(SelectorTest, RandomProgramsDifferential) {
+  PatternDatabase Clang = buildClangLikeRules(W);
+  auto GnuSel = makeReferenceSelector("gnu-like", GnuRules, Goals);
+  auto ClangSel = makeReferenceSelector("clang-like", Clang, Goals);
+
+  Rng Random(31415);
+  for (int Trial = 0; Trial < 25; ++Trial) {
+    Function F = singleBlock([&](Graph &G) {
+      std::vector<NodeRef> Pool = {G.arg(1), G.arg(2)};
+      auto pick = [&] { return Pool[Random.nextBelow(Pool.size())]; };
+      for (int I = 0; I < 8; ++I) {
+        switch (Random.nextBelow(7)) {
+        case 0:
+          Pool.push_back(G.createBinary(Opcode::Add, pick(), pick()));
+          break;
+        case 1:
+          Pool.push_back(G.createBinary(Opcode::Sub, pick(), pick()));
+          break;
+        case 2:
+          Pool.push_back(G.createBinary(Opcode::And, pick(), pick()));
+          break;
+        case 3:
+          Pool.push_back(G.createBinary(Opcode::Xor, pick(), pick()));
+          break;
+        case 4:
+          Pool.push_back(G.createUnary(Opcode::Not, pick()));
+          break;
+        case 5:
+          Pool.push_back(
+              G.createConst(Random.nextInterestingBitValue(W)));
+          break;
+        case 6: {
+          NodeRef Cmp = G.createCmp(
+              allRelations()[Random.nextBelow(allRelations().size())],
+              pick(), pick());
+          Pool.push_back(G.createMux(Cmp, pick(), pick()));
+          break;
+        }
+        }
+      }
+      return Pool.back();
+    });
+    normalizeFunction(F);
+    differential(F, Handwritten, 15);
+    differential(F, *GnuSel, 15);
+    differential(F, *ClangSel, 15);
+  }
+}

@@ -1,0 +1,235 @@
+//===- test_semantics.cpp - SMT semantics vs interpreter tests -----------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The central consistency property of the whole system: the symbolic
+// semantics (semantics/IrSemantics) and the concrete semantics
+// (ir/Interpreter) must agree. The synthesizer trusts the former, the
+// evaluation pipeline the latter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Interpreter.h"
+#include "ir/Printer.h"
+#include "semantics/IrSemantics.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace selgen;
+
+namespace {
+
+class SemanticsTest : public ::testing::Test {
+protected:
+  SmtContext Smt;
+
+  /// Evaluates a bit-vector expression that must simplify to a
+  /// constant.
+  BitValue constEval(const z3::expr &E) {
+    z3::expr Simplified = E.simplify();
+    SmtSolver Solver(Smt); // Model-based fallback for stubborn terms.
+    EXPECT_EQ(Solver.check(), SmtResult::Sat);
+    return Smt.evalBits(Solver.model(), Simplified);
+  }
+
+  bool constEvalBool(const z3::expr &E) {
+    SmtSolver Solver(Smt);
+    EXPECT_EQ(Solver.check(), SmtResult::Sat);
+    return Smt.evalBool(Solver.model(), E.simplify());
+  }
+};
+
+} // namespace
+
+TEST_F(SemanticsTest, RelationCodesRoundTrip) {
+  for (Relation Rel : allRelations())
+    EXPECT_EQ(relationFromCode(relationCode(Rel)), Rel);
+}
+
+TEST_F(SemanticsTest, RelationExprMatchesInterpreter) {
+  Rng Random(11);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    BitValue A = Random.nextInterestingBitValue(8);
+    BitValue B = Random.nextInterestingBitValue(8);
+    for (Relation Rel : allRelations()) {
+      z3::expr E = relationExpr(Rel, Smt.literal(A), Smt.literal(B));
+      EXPECT_EQ(constEvalBool(E), evaluateRelation(Rel, A, B))
+          << relationName(Rel) << "(" << A.toUnsignedString() << ", "
+          << B.toUnsignedString() << ")";
+    }
+  }
+}
+
+TEST_F(SemanticsTest, RelationCodeCascade) {
+  BitValue A(8, 5), B(8, 250);
+  for (Relation Rel : allRelations()) {
+    z3::expr Code = Smt.ctx().bv_val(relationCode(Rel), 4);
+    z3::expr E = relationExprFromCode(Smt, Code, Smt.literal(A),
+                                      Smt.literal(B));
+    EXPECT_EQ(constEvalBool(E), evaluateRelation(Rel, A, B));
+  }
+}
+
+TEST_F(SemanticsTest, ShiftPreconditions) {
+  unsigned Width = 8;
+  IrOpSpec Shl(Opcode::Shl, Width);
+  MemoryModel NoMemory(Smt, {});
+  SemanticsContext Context{Smt, Width, &NoMemory, {}};
+  z3::expr X = Smt.literal(BitValue(8, 1));
+
+  z3::expr InRange = Shl.precondition(
+      Context, {X, Smt.literal(BitValue(8, 7))}, {});
+  z3::expr OutOfRange = Shl.precondition(
+      Context, {X, Smt.literal(BitValue(8, 8))}, {});
+  EXPECT_TRUE(constEvalBool(InRange));
+  EXPECT_FALSE(constEvalBool(OutOfRange));
+}
+
+TEST_F(SemanticsTest, GraphSemanticsMatchesInterpreterOnRandomGraphs) {
+  unsigned Width = 8;
+  Rng Random(4242);
+
+  for (int Trial = 0; Trial < 60; ++Trial) {
+    // Random straight-line graph over two arguments.
+    Graph G(Width, {Sort::value(Width), Sort::value(Width)});
+    std::vector<NodeRef> Pool = {G.arg(0), G.arg(1)};
+    auto pick = [&] { return Pool[Random.nextBelow(Pool.size())]; };
+    unsigned NumOps = 2 + Random.nextBelow(8);
+    for (unsigned I = 0; I < NumOps; ++I) {
+      switch (Random.nextBelow(9)) {
+      case 0:
+        Pool.push_back(G.createBinary(Opcode::Add, pick(), pick()));
+        break;
+      case 1:
+        Pool.push_back(G.createBinary(Opcode::Sub, pick(), pick()));
+        break;
+      case 2:
+        Pool.push_back(G.createBinary(Opcode::Mul, pick(), pick()));
+        break;
+      case 3:
+        Pool.push_back(G.createBinary(Opcode::And, pick(), pick()));
+        break;
+      case 4:
+        Pool.push_back(G.createBinary(Opcode::Xor, pick(), pick()));
+        break;
+      case 5:
+        Pool.push_back(G.createUnary(Opcode::Not, pick()));
+        break;
+      case 6:
+        Pool.push_back(G.createUnary(Opcode::Minus, pick()));
+        break;
+      case 7:
+        Pool.push_back(G.createConst(Random.nextInterestingBitValue(Width)));
+        break;
+      case 8: {
+        NodeRef Cmp = G.createCmp(
+            allRelations()[Random.nextBelow(allRelations().size())], pick(),
+            pick());
+        Pool.push_back(G.createMux(Cmp, pick(), pick()));
+        break;
+      }
+      }
+    }
+    G.setResults({Pool.back()});
+
+    for (int Input = 0; Input < 5; ++Input) {
+      BitValue A = Random.nextBitValue(Width);
+      BitValue B = Random.nextBitValue(Width);
+
+      EvalResult Concrete = evaluateGraph(
+          G, {EvalValue::fromBits(A), EvalValue::fromBits(B)});
+      ASSERT_FALSE(Concrete.Undefined);
+
+      MemoryModel NoMemory(Smt, {});
+      SemanticsContext Context{Smt, Width, &NoMemory, {}};
+      GraphSemantics Symbolic = buildGraphSemantics(
+          Context, G, {Smt.literal(A), Smt.literal(B)});
+      EXPECT_EQ(constEval(Symbolic.Results[0]), Concrete.Results[0].Bits)
+          << printGraphExpression(G) << " on " << A.toHexString() << ", "
+          << B.toHexString();
+      EXPECT_TRUE(constEvalBool(Symbolic.Precondition));
+    }
+  }
+}
+
+TEST_F(SemanticsTest, GraphSemanticsMemoryAgreesWithInterpreter) {
+  unsigned Width = 8;
+  // Pattern: store a2 to [a1], load it back, add 1.
+  Graph G(Width, {Sort::memory(), Sort::value(Width), Sort::value(Width)});
+  NodeRef Stored = G.createStore(G.arg(0), G.arg(1), G.arg(2));
+  Node *Load = G.createLoad(Stored, G.arg(1));
+  NodeRef Sum = G.createBinary(Opcode::Add, NodeRef(Load, 1),
+                               G.createConst(BitValue(Width, 1)));
+  G.setResults({NodeRef(Load, 0), Sum});
+
+  // Symbolic side: one valid pointer (the address argument).
+  z3::expr Pointer = Smt.literal(BitValue(Width, 0x40));
+  MemoryModel Model(Smt, {Pointer});
+  SemanticsContext Context{Smt, Width, &Model, {}};
+  z3::expr MemoryIn = Smt.literal(BitValue(Model.mvalueWidth(), 0));
+  z3::expr ValueIn = Smt.literal(BitValue(Width, 0x21));
+  GraphSemantics Symbolic =
+      buildGraphSemantics(Context, G, {MemoryIn, Pointer, ValueIn});
+
+  EXPECT_EQ(constEval(Symbolic.Results[1]).zextValue(), 0x22u);
+  // Memory result: contents byte 0x21, access flag set.
+  BitValue MemOut = constEval(Symbolic.Results[0]);
+  EXPECT_EQ(MemOut.extract(7, 0).zextValue(), 0x21u);
+  EXPECT_TRUE(MemOut.bit(8));
+  // Every range condition holds (the pattern only touches the valid
+  // pointer).
+  for (const z3::expr &Range : Symbolic.RangeConditions)
+    EXPECT_TRUE(constEvalBool(Range));
+
+  // Concrete side agrees.
+  auto Memory = std::make_shared<MemoryState>();
+  EvalResult Concrete = evaluateGraph(
+      G, {EvalValue::fromMemory(Memory),
+          EvalValue::fromBits(BitValue(Width, 0x40)),
+          EvalValue::fromBits(BitValue(Width, 0x21))});
+  EXPECT_EQ(Concrete.Results[1].Bits.zextValue(), 0x22u);
+  EXPECT_EQ(Concrete.Results[0].Mem->peekByte(0x40), 0x21u);
+}
+
+TEST_F(SemanticsTest, RangeConditionViolatedForForeignPointer) {
+  unsigned Width = 8;
+  Graph G(Width, {Sort::memory(), Sort::value(Width)});
+  Node *Load = G.createLoad(
+      G.arg(0), G.createBinary(Opcode::Add, G.arg(1),
+                               G.createConst(BitValue(Width, 5))));
+  G.setResults({NodeRef(Load, 0), NodeRef(Load, 1)});
+
+  // Valid pointers: only a1 itself; the pattern loads a1+5.
+  z3::expr Pointer = Smt.bvConst("ptr", Width);
+  MemoryModel Model(Smt, {Pointer});
+  SemanticsContext Context{Smt, Width, &Model, {}};
+  z3::expr MemoryIn = Smt.bvConst("mem", Model.mvalueWidth());
+  GraphSemantics Symbolic =
+      buildGraphSemantics(Context, G, {MemoryIn, Pointer});
+
+  ASSERT_FALSE(Symbolic.RangeConditions.empty());
+  SmtSolver Solver(Smt);
+  Solver.add(Smt.mkAnd(Symbolic.RangeConditions));
+  EXPECT_EQ(Solver.check(), SmtResult::Unsat);
+}
+
+TEST_F(SemanticsTest, ConstAndCmpInternalsAreTyped) {
+  IrOpSpec Const(Opcode::Const, 16);
+  ASSERT_EQ(Const.internalSorts().size(), 1u);
+  EXPECT_EQ(Const.internalSorts()[0], Sort::value(16));
+
+  IrOpSpec Cmp(Opcode::Cmp, 16);
+  ASSERT_EQ(Cmp.internalSorts().size(), 1u);
+  EXPECT_EQ(Cmp.internalSorts()[0], Sort::value(4));
+  EXPECT_TRUE(Cmp.resultSorts()[0].isBool());
+}
+
+TEST_F(SemanticsTest, AccessesMemoryFlag) {
+  EXPECT_TRUE(IrOpSpec(Opcode::Load, 8).accessesMemory());
+  EXPECT_TRUE(IrOpSpec(Opcode::Store, 8).accessesMemory());
+  EXPECT_FALSE(IrOpSpec(Opcode::Add, 8).accessesMemory());
+}

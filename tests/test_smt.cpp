@@ -1,0 +1,138 @@
+//===- test_smt.cpp - SMT layer and CommandLine tests --------------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/SmtContext.h"
+#include "support/CommandLine.h"
+#include "support/Statistics.h"
+
+#include <gtest/gtest.h>
+
+using namespace selgen;
+
+TEST(SmtContext, LiteralRoundTrip) {
+  SmtContext Smt;
+  for (unsigned Width : {1u, 8u, 36u, 64u, 100u}) {
+    BitValue Value = BitValue::allOnes(Width).lshr(Width / 3);
+    z3::expr Literal = Smt.literal(Value);
+    EXPECT_EQ(Literal.get_sort().bv_size(), Width);
+    SmtSolver Solver(Smt);
+    ASSERT_EQ(Solver.check(), SmtResult::Sat);
+    EXPECT_EQ(Smt.evalBits(Solver.model(), Literal), Value)
+        << "width " << Width;
+  }
+}
+
+TEST(SmtContext, SolveAndExtract) {
+  SmtContext Smt;
+  z3::expr X = Smt.bvConst("x", 16);
+  SmtSolver Solver(Smt);
+  Solver.add(X * Smt.ctx().bv_val(3, 16) == Smt.ctx().bv_val(0x2A, 16));
+  ASSERT_EQ(Solver.check(), SmtResult::Sat);
+  BitValue Solution = Smt.evalBits(Solver.model(), X);
+  EXPECT_EQ(Solution.mul(BitValue(16, 3)).zextValue(), 0x2Au);
+}
+
+TEST(SmtContext, UnsatAndPushPop) {
+  SmtContext Smt;
+  z3::expr X = Smt.bvConst("y", 8);
+  SmtSolver Solver(Smt);
+  Solver.add(z3::ult(X, Smt.ctx().bv_val(5, 8)));
+  Solver.push();
+  Solver.add(z3::ugt(X, Smt.ctx().bv_val(10, 8)));
+  EXPECT_EQ(Solver.check(), SmtResult::Unsat);
+  Solver.pop();
+  EXPECT_EQ(Solver.check(), SmtResult::Sat);
+}
+
+TEST(SmtContext, CheckAssuming) {
+  SmtContext Smt;
+  z3::expr B = Smt.boolConst("b");
+  SmtSolver Solver(Smt);
+  Solver.add(B || !B);
+  EXPECT_EQ(Solver.checkAssuming({B}), SmtResult::Sat);
+  EXPECT_EQ(Solver.checkAssuming({B, !B}), SmtResult::Unsat);
+  EXPECT_EQ(Solver.check(), SmtResult::Sat); // Assumptions don't stick.
+}
+
+TEST(SmtContext, AndOrHelpers) {
+  SmtContext Smt;
+  EXPECT_TRUE(Smt.mkAnd({}).is_true());
+  EXPECT_TRUE(Smt.mkOr({}).is_false());
+  z3::expr B = Smt.boolConst("c");
+  SmtSolver Solver(Smt);
+  Solver.add(Smt.mkAnd({B, !B}));
+  EXPECT_EQ(Solver.check(), SmtResult::Unsat);
+}
+
+TEST(SmtContext, StatisticsCountChecks) {
+  Statistics::get().clear();
+  SmtContext Smt;
+  SmtSolver Solver(Smt);
+  Solver.add(Smt.boolVal(true));
+  Solver.check();
+  Solver.check();
+  EXPECT_EQ(Statistics::get().value("smt.checks"), 2);
+  EXPECT_EQ(Statistics::get().value("smt.sat"), 2);
+  Statistics::get().clear();
+}
+
+TEST(SmtContext, EvalBool) {
+  SmtContext Smt;
+  z3::expr B = Smt.boolConst("d");
+  SmtSolver Solver(Smt);
+  Solver.add(B);
+  ASSERT_EQ(Solver.check(), SmtResult::Sat);
+  EXPECT_TRUE(Smt.evalBool(Solver.model(), B));
+  EXPECT_FALSE(Smt.evalBool(Solver.model(), !B));
+}
+
+// --- CommandLine ---------------------------------------------------------
+
+namespace {
+
+std::vector<char *> argvOf(std::vector<std::string> &Storage) {
+  std::vector<char *> Result;
+  for (std::string &S : Storage)
+    Result.push_back(S.data());
+  return Result;
+}
+
+} // namespace
+
+TEST(CommandLine, ParsesFlagsValuesAndPositionals) {
+  // Note: "--flag value" greedily binds the next non-option token, so
+  // valueless flags go last or use "--flag=" syntax.
+  std::vector<std::string> Args = {"prog", "--width",  "16",
+                                   "--scale=full", "pos1", "pos2",
+                                   "--verbose"};
+  std::vector<char *> Argv = argvOf(Args);
+  CommandLine Cli(static_cast<int>(Argv.size()), Argv.data(),
+                  {"width", "scale", "verbose"});
+  EXPECT_TRUE(Cli.errors().empty());
+  EXPECT_EQ(Cli.intOption("width", 8), 16);
+  EXPECT_EQ(Cli.stringOption("scale", "small"), "full");
+  EXPECT_TRUE(Cli.hasFlag("verbose"));
+  EXPECT_FALSE(Cli.hasFlag("quiet"));
+  EXPECT_EQ(Cli.positional(),
+            (std::vector<std::string>{"pos1", "pos2"}));
+  EXPECT_EQ(Cli.doubleOption("budget", 2.5), 2.5);
+}
+
+TEST(CommandLine, ReportsUnknownOptions) {
+  std::vector<std::string> Args = {"prog", "--bogus", "--width", "8"};
+  std::vector<char *> Argv = argvOf(Args);
+  CommandLine Cli(static_cast<int>(Argv.size()), Argv.data(), {"width"});
+  ASSERT_EQ(Cli.errors().size(), 1u);
+  EXPECT_NE(Cli.errors()[0].find("bogus"), std::string::npos);
+  EXPECT_EQ(Cli.intOption("width", 0), 8);
+}
+
+TEST(CommandLine, Usage) {
+  std::string Text = CommandLine::usage("prog", {"width", "runs"});
+  EXPECT_NE(Text.find("--width"), std::string::npos);
+  EXPECT_NE(Text.find("--runs"), std::string::npos);
+}

@@ -1,0 +1,155 @@
+//===- test_support.cpp - Support library tests -------------------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Multicombination.h"
+#include "support/Rng.h"
+#include "support/Statistics.h"
+#include "support/StringUtils.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+using namespace selgen;
+
+TEST(Multicombination, EnumeratesAllNondecreasing) {
+  MulticombinationEnumerator Enumerator(3, 2);
+  std::vector<std::vector<unsigned>> All;
+  do {
+    All.push_back(Enumerator.current());
+  } while (Enumerator.next());
+  std::vector<std::vector<unsigned>> Expected = {
+      {0, 0}, {0, 1}, {0, 2}, {1, 1}, {1, 2}, {2, 2}};
+  EXPECT_EQ(All, Expected);
+}
+
+TEST(Multicombination, CountMatchesEnumeration) {
+  for (unsigned NumItems : {1u, 3u, 5u}) {
+    for (unsigned Size : {1u, 2u, 3u, 4u}) {
+      MulticombinationEnumerator Enumerator(NumItems, Size);
+      uint64_t Count = 0;
+      std::set<std::vector<unsigned>> Unique;
+      do {
+        ++Count;
+        Unique.insert(Enumerator.current());
+      } while (Enumerator.next());
+      EXPECT_EQ(Count, multisetCount(NumItems, Size))
+          << NumItems << " choose " << Size;
+      EXPECT_EQ(Unique.size(), Count) << "duplicates produced";
+    }
+  }
+}
+
+TEST(Multicombination, PaperNumbers) {
+  // Section 5.4: "if |I| = 21, l = 6, and |O| = 2, we require 10 626
+  // instead of 230 230 iterations."
+  EXPECT_EQ(multisetCount(21, 6), 230230u);
+  EXPECT_EQ(multisetCount(21, 4), 10626u);
+}
+
+TEST(Multicombination, SearchSpaceEstimates) {
+  // Section 5.4: |I| = 21, lmax = 7 yields about 2^65 for classical
+  // CEGIS and about 2^32 for iterative CEGIS.
+  EXPECT_NEAR(classicalSearchSpaceLog2(21), 65.0, 1.0);
+  EXPECT_NEAR(iterativeSearchSpaceLog2(21, 7), 32.0, 1.0);
+}
+
+TEST(Multicombination, BinomialAndFactorial) {
+  EXPECT_EQ(binomial(10, 3), 120u);
+  EXPECT_EQ(binomial(10, 0), 1u);
+  EXPECT_EQ(binomial(3, 10), 0u);
+  EXPECT_EQ(factorial(0), 1u);
+  EXPECT_EQ(factorial(10), 3628800u);
+  // Saturation instead of overflow.
+  EXPECT_EQ(factorial(50), ~uint64_t(0));
+}
+
+TEST(Rng, Deterministic) {
+  Rng A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.nextUInt64(), B.nextUInt64());
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng Random(5);
+  for (int I = 0; I < 1000; ++I) {
+    EXPECT_LT(Random.nextBelow(17), 17u);
+    int64_t V = Random.nextInRange(-5, 5);
+    EXPECT_GE(V, -5);
+    EXPECT_LE(V, 5);
+  }
+}
+
+TEST(Rng, BitValueWidths) {
+  Rng Random(5);
+  EXPECT_EQ(Random.nextBitValue(100).width(), 100u);
+  EXPECT_EQ(Random.nextInterestingBitValue(32).width(), 32u);
+}
+
+TEST(Statistics, AccumulatesAndClears) {
+  Statistics &Stats = Statistics::get();
+  Stats.clear();
+  Stats.add("unit.counter");
+  Stats.add("unit.counter", 41);
+  EXPECT_EQ(Stats.value("unit.counter"), 42);
+  EXPECT_EQ(Stats.value("unit.untouched"), 0);
+  Stats.clear();
+  EXPECT_EQ(Stats.value("unit.counter"), 0);
+}
+
+TEST(Strings, SplitJoinTrim) {
+  EXPECT_EQ(splitString("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(joinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(trimString("  hi \t\n"), "hi");
+  EXPECT_EQ(trimString("   "), "");
+  EXPECT_TRUE(startsWith("graph w8", "graph"));
+  EXPECT_FALSE(startsWith("gr", "graph"));
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(padLeft("7", 3), "  7");
+  EXPECT_EQ(padRight("7", 3), "7  ");
+  EXPECT_EQ(padLeft("1234", 3), "1234");
+}
+
+TEST(Strings, Formatting) {
+  EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(formatGrouped(63012), "63 012");
+  EXPECT_EQ(formatGrouped(154470), "154 470");
+  EXPECT_EQ(formatGrouped(42), "42");
+  EXPECT_EQ(formatGrouped(1234567), "1 234 567");
+}
+
+TEST(Strings, TablePrinter) {
+  TablePrinter Table({"Group", "#Goals", "Time"});
+  Table.addRow({"Basic", "39", "3 min 25 s"});
+  Table.addRow({"Flags", "265", "72 h 07 min 05 s"});
+  std::string Rendered = Table.render();
+  EXPECT_NE(Rendered.find("Basic"), std::string::npos);
+  EXPECT_NE(Rendered.find("---"), std::string::npos);
+  // Numeric columns right-aligned: "39" ends where "265" ends.
+  EXPECT_NE(Rendered.find(" 39"), std::string::npos);
+}
+
+TEST(Timer, DurationFormat) {
+  EXPECT_EQ(formatDuration(0.42), "420 ms");
+  EXPECT_EQ(formatDuration(5), "5 s");
+  EXPECT_EQ(formatDuration(205), "3 min 25 s");
+  EXPECT_EQ(formatDuration(65458), "18 h 10 min 58 s");
+}
+
+TEST(Timer, MeasuresElapsed) {
+  Timer Clock;
+  volatile double Sink = 0;
+  for (int I = 0; I < 100000; ++I)
+    Sink = Sink + std::sqrt(static_cast<double>(I));
+  EXPECT_GE(Clock.elapsedSeconds(), 0.0);
+  EXPECT_GE(Clock.elapsedMilliseconds(), 0);
+}

@@ -1,0 +1,171 @@
+//===- test_testgen.cpp - Test-case generator tests ----------------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+#include "isel/HandwrittenSelector.h"
+#include "refsel/ReferenceSelectors.h"
+#include "testgen/TestCaseGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace selgen;
+
+namespace {
+
+constexpr unsigned W = 8;
+
+Rule makeBlsrRule() {
+  Graph G(W, {Sort::value(W)});
+  G.setResults({G.createBinary(
+      Opcode::And,
+      G.createBinary(Opcode::Add, G.arg(0),
+                     G.createConst(BitValue::allOnes(W))),
+      G.arg(0))});
+  return Rule("blsr", std::move(G));
+}
+
+Rule makeJumpRule() {
+  Graph G(W, {Sort::value(W), Sort::value(W)});
+  Node *Jump =
+      G.createCond(G.createCmp(Relation::Slt, G.arg(0), G.arg(1)));
+  G.setResults({NodeRef(Jump, 0), NodeRef(Jump, 1)});
+  return Rule("cmp_jl", std::move(G));
+}
+
+Rule makeStoreRule() {
+  Graph G(W, {Sort::memory(), Sort::value(W), Sort::value(W)});
+  G.setResults({G.createStore(G.arg(0), G.arg(1), G.arg(2))});
+  return Rule("mov_store_b", std::move(G));
+}
+
+} // namespace
+
+TEST(TestGen, ValueTestFunction) {
+  Rule R = makeBlsrRule();
+  Function F = buildPatternTestFunction(R, W, "t0");
+  EXPECT_TRUE(verifyFunction(F).empty());
+
+  // f(x) = x & (x - 1).
+  FunctionResult Result =
+      runFunction(F, {BitValue(W, 0b1100)}, MemoryState());
+  ASSERT_EQ(Result.ReturnValues.size(), 1u);
+  EXPECT_EQ(Result.ReturnValues[0].zextValue(), 0b1000u);
+}
+
+TEST(TestGen, JumpTestFunctionBranches) {
+  Rule R = makeJumpRule();
+  Function F = buildPatternTestFunction(R, W, "t1");
+  EXPECT_TRUE(verifyFunction(F).empty());
+  EXPECT_EQ(F.blocks().size(), 3u);
+
+  FunctionResult Taken =
+      runFunction(F, {BitValue(W, 1), BitValue(W, 2)}, MemoryState());
+  EXPECT_EQ(Taken.ReturnValues[0].zextValue(), 1u);
+  FunctionResult NotTaken =
+      runFunction(F, {BitValue(W, 2), BitValue(W, 1)}, MemoryState());
+  EXPECT_EQ(NotTaken.ReturnValues[0].zextValue(), 0u);
+}
+
+TEST(TestGen, MemoryTestFunction) {
+  Rule R = makeStoreRule();
+  Function F = buildPatternTestFunction(R, W, "t2");
+  EXPECT_TRUE(verifyFunction(F).empty());
+  FunctionResult Result = runFunction(
+      F, {BitValue(W, 0x44), BitValue(W, 0x5C)}, MemoryState());
+  EXPECT_EQ(Result.FinalMemory->peekByte(0x44), 0x5Cu);
+}
+
+TEST(TestGen, CProgramEmission) {
+  std::string C = emitCTestProgram(makeBlsrRule(), W, "test_blsr");
+  EXPECT_NE(C.find("#include <stdint.h>"), std::string::npos);
+  EXPECT_NE(C.find("uint8_t test_blsr(uint8_t a0)"), std::string::npos);
+  EXPECT_NE(C.find("goal: blsr"), std::string::npos);
+  EXPECT_NE(C.find("return"), std::string::npos);
+  EXPECT_NE(C.find("&"), std::string::npos);
+
+  std::string CJump = emitCTestProgram(makeJumpRule(), W, "test_jl");
+  EXPECT_NE(CJump.find("(int8_t)"), std::string::npos); // Signed compare.
+  EXPECT_NE(CJump.find("? 1 : 0"), std::string::npos);
+
+  std::string CStore = emitCTestProgram(makeStoreRule(), W, "test_st");
+  EXPECT_NE(CStore.find("volatile uint8_t *"), std::string::npos);
+  EXPECT_NE(CStore.find("= a2;"), std::string::npos);
+}
+
+TEST(TestGen, MissingPatternExperiment) {
+  GoalLibrary Goals = GoalLibrary::build(W, GoalLibrary::allGroups());
+  PatternDatabase Gnu = buildGnuLikeRules(W);
+  PatternDatabase Clang = buildClangLikeRules(W);
+  auto GnuSel = makeReferenceSelector("gnu-like", Gnu, Goals);
+  auto ClangSel = makeReferenceSelector("clang-like", Clang, Goals);
+
+  // Library under test: blsr (both support) and andn (only clang-like).
+  PatternDatabase Library;
+  {
+    Rule Blsr = makeBlsrRule();
+    Library.add(Blsr.GoalName, Blsr.Pattern.clone());
+    Graph Andn(W, {Sort::value(W), Sort::value(W)});
+    Andn.setResults({Andn.createBinary(
+        Opcode::And, Andn.createUnary(Opcode::Not, Andn.arg(0)),
+        Andn.arg(1))});
+    Library.add("andn", std::move(Andn));
+  }
+
+  MissingPatternReport Report = runMissingPatternExperiment(
+      Library, W, {GnuSel.get(), ClangSel.get()}, /*ValidationRuns=*/25);
+
+  ASSERT_EQ(Report.TotalTests, 2u);
+  ASSERT_EQ(Report.Rows.size(), 2u);
+  for (const MissingPatternRow &Row : Report.Rows)
+    EXPECT_FALSE(Row.BehaviourMismatch) << Row.PatternExpression;
+
+  // blsr: both optimal. andn: gnu-like needs more instructions.
+  const MissingPatternRow *AndnRow = nullptr;
+  for (const MissingPatternRow &Row : Report.Rows)
+    if (Row.GoalName == "andn")
+      AndnRow = &Row;
+  ASSERT_NE(AndnRow, nullptr);
+  EXPECT_TRUE(AndnRow->Missing[0]);  // gnu-like misses it.
+  EXPECT_FALSE(AndnRow->Missing[1]); // clang-like has it.
+  EXPECT_EQ(Report.TotalMissing[0], 1u);
+  EXPECT_EQ(Report.TotalMissing[1], 0u);
+}
+
+TEST(TestGen, ValidationCatchesMiscompile) {
+  // A deliberately broken "compiler": claims blsr is blsi.
+  class Broken : public InstructionSelector {
+  public:
+    std::string name() const override { return "broken"; }
+    SelectionResult select(const Function &F) override {
+      SelectionResult R;
+      auto MF = std::make_unique<MachineFunction>("broken", W);
+      MachineBlock *Block = MF->createBlock("entry");
+      MReg A = MF->newReg();
+      Block->ArgRegs = {A};
+      MReg T = MF->newReg();
+      Block->append(
+          {MOpcode::Blsi, CondCode::E, MOperand::reg(T), MOperand::reg(A),
+           {}});
+      Block->terminator().TermKind = MTerminator::Kind::Ret;
+      Block->terminator().ReturnValues = {MOperand::reg(T)};
+      R.MF = std::move(MF);
+      R.TotalOperations = F.numOperations();
+      return R;
+    }
+  };
+
+  PatternDatabase Library;
+  {
+    Rule Blsr = makeBlsrRule();
+    Library.add(Blsr.GoalName, Blsr.Pattern.clone());
+  }
+  Broken Compiler;
+  MissingPatternReport Report = runMissingPatternExperiment(
+      Library, W, {&Compiler}, /*ValidationRuns=*/30);
+  ASSERT_EQ(Report.Rows.size(), 1u);
+  EXPECT_TRUE(Report.Rows[0].BehaviourMismatch);
+}

@@ -1,0 +1,307 @@
+//===- test_x86.cpp - Machine IR, emulator, and passes tests -------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Interpreter.h"
+#include "x86/AddressingMode.h"
+#include "x86/Emulator.h"
+#include "x86/MachinePasses.h"
+
+#include <gtest/gtest.h>
+
+using namespace selgen;
+
+namespace {
+
+/// Builds a single-block function computing a sequence of instructions
+/// over two 8-bit arguments in v0/v1 and returning one value.
+struct MiniProgram {
+  MachineFunction MF{"test", 8};
+  MachineBlock *Block = MF.createBlock("entry");
+  MReg A, B;
+
+  MiniProgram() {
+    A = MF.newReg();
+    B = MF.newReg();
+    Block->ArgRegs = {A, B};
+  }
+
+  void ret(MOperand Value) {
+    Block->terminator().TermKind = MTerminator::Kind::Ret;
+    Block->terminator().ReturnValues = {Value};
+  }
+
+  MachineRunResult run(uint64_t AV, uint64_t BV,
+                       MemoryState Memory = MemoryState()) {
+    return runMachineFunction(
+        MF, {{A, BitValue(8, AV)}, {B, BitValue(8, BV)}}, Memory);
+  }
+};
+
+} // namespace
+
+TEST(CondCodes, RelationRoundTrip) {
+  for (CondCode CC : relationCondCodes())
+    EXPECT_EQ(condCodeForRelation(relationForCondCode(CC)), CC);
+}
+
+TEST(Emulator, BasicArithmetic) {
+  MiniProgram P;
+  MReg T = P.MF.newReg();
+  P.Block->append({MOpcode::Add, CondCode::E, MOperand::reg(T),
+                   MOperand::reg(P.A), MOperand::reg(P.B)});
+  MReg U = P.MF.newReg();
+  P.Block->append({MOpcode::Imul, CondCode::E, MOperand::reg(U),
+                   MOperand::reg(T), MOperand::imm(BitValue(8, 3))});
+  P.ret(MOperand::reg(U));
+  EXPECT_EQ(P.run(10, 5).ReturnValues[0].zextValue(), 45u);
+}
+
+TEST(Emulator, CmpSetccForAllConditions) {
+  // setcc after cmp must agree with the IR relation for every cc.
+  for (CondCode CC : relationCondCodes()) {
+    Relation Rel = relationForCondCode(CC);
+    for (uint64_t AV : {0u, 1u, 127u, 128u, 255u}) {
+      for (uint64_t BV : {0u, 1u, 127u, 128u, 255u}) {
+        MiniProgram P;
+        P.Block->append({MOpcode::Cmp, CondCode::E, {}, MOperand::reg(P.A),
+                         MOperand::reg(P.B)});
+        MReg T = P.MF.newReg();
+        P.Block->append({MOpcode::Setcc, CC, MOperand::reg(T), {}, {}});
+        P.ret(MOperand::reg(T));
+        bool Expected =
+            evaluateRelation(Rel, BitValue(8, AV), BitValue(8, BV));
+        EXPECT_EQ(P.run(AV, BV).ReturnValues[0].zextValue(),
+                  Expected ? 1u : 0u)
+            << condCodeName(CC) << " on " << AV << ", " << BV;
+      }
+    }
+  }
+}
+
+TEST(Emulator, SignConditions) {
+  // test a, a; js.
+  MiniProgram P;
+  P.Block->append({MOpcode::Test, CondCode::E, {}, MOperand::reg(P.A),
+                   MOperand::reg(P.A)});
+  MReg T = P.MF.newReg();
+  P.Block->append({MOpcode::Setcc, CondCode::S, MOperand::reg(T), {}, {}});
+  P.ret(MOperand::reg(T));
+  EXPECT_EQ(P.run(0x80, 0).ReturnValues[0].zextValue(), 1u);
+  EXPECT_EQ(P.run(0x7F, 0).ReturnValues[0].zextValue(), 0u);
+}
+
+TEST(Emulator, MemoryOperandsAndLea) {
+  MiniProgram P;
+  MemRef Address;
+  Address.Base = P.A;
+  Address.Index = P.B;
+  Address.Scale = 2;
+  Address.Disp = 3;
+  MReg T = P.MF.newReg();
+  P.Block->append(
+      {MOpcode::Lea, CondCode::E, MOperand::reg(T), MOperand::mem(Address),
+       {}});
+  P.ret(MOperand::reg(T));
+  // 0x10 + 2*0x04 + 3 = 0x1B.
+  EXPECT_EQ(P.run(0x10, 0x04).ReturnValues[0].zextValue(), 0x1Bu);
+
+  MiniProgram Q;
+  MemRef Slot;
+  Slot.Base = Q.A;
+  Q.Block->append({MOpcode::Mov, CondCode::E, MOperand::mem(Slot),
+                   MOperand::reg(Q.B), {}});
+  MReg U = Q.MF.newReg();
+  Q.Block->append({MOpcode::Mov, CondCode::E, MOperand::reg(U),
+                   MOperand::mem(Slot), {}});
+  Q.ret(MOperand::reg(U));
+  MachineRunResult R = Q.run(0x20, 0x5A);
+  EXPECT_EQ(R.ReturnValues[0].zextValue(), 0x5Au);
+  EXPECT_EQ(R.Memory.peekByte(0x20), 0x5Au);
+}
+
+TEST(Emulator, ReadModifyWrite) {
+  MiniProgram P;
+  MemRef Slot;
+  Slot.Base = P.A;
+  MOperand Mem = MOperand::mem(Slot);
+  P.Block->append({MOpcode::Add, CondCode::E, Mem, Mem, MOperand::reg(P.B)});
+  P.ret(MOperand::imm(BitValue(8, 0)));
+  MemoryState Memory;
+  Memory.storeByte(0x30, 10);
+  MachineRunResult R = P.run(0x30, 7, Memory);
+  EXPECT_EQ(R.Memory.peekByte(0x30), 17u);
+}
+
+TEST(Emulator, IncDecPreserveCarry) {
+  // cmp sets CF; inc must preserve it so a later jb still works.
+  MiniProgram P;
+  P.Block->append({MOpcode::Cmp, CondCode::E, {}, MOperand::reg(P.A),
+                   MOperand::reg(P.B)});
+  MReg T = P.MF.newReg();
+  P.Block->append(
+      {MOpcode::Inc, CondCode::E, MOperand::reg(T), MOperand::reg(P.A), {}});
+  MReg U = P.MF.newReg();
+  P.Block->append({MOpcode::Setcc, CondCode::B, MOperand::reg(U), {}, {}});
+  P.ret(MOperand::reg(U));
+  EXPECT_EQ(P.run(1, 2).ReturnValues[0].zextValue(), 1u);
+  EXPECT_EQ(P.run(2, 1).ReturnValues[0].zextValue(), 0u);
+}
+
+TEST(Emulator, ShiftsMaskCount) {
+  MiniProgram P;
+  MReg T = P.MF.newReg();
+  P.Block->append({MOpcode::Shl, CondCode::E, MOperand::reg(T),
+                   MOperand::reg(P.A), MOperand::reg(P.B)});
+  P.ret(MOperand::reg(T));
+  // Count 9 masks to 1 at width 8.
+  EXPECT_EQ(P.run(3, 9).ReturnValues[0].zextValue(), 6u);
+}
+
+TEST(Emulator, RotatesAndBmi) {
+  MiniProgram P;
+  MReg T = P.MF.newReg();
+  P.Block->append({MOpcode::Rol, CondCode::E, MOperand::reg(T),
+                   MOperand::reg(P.A), MOperand::imm(BitValue(8, 1))});
+  MReg U = P.MF.newReg();
+  P.Block->append(
+      {MOpcode::Blsr, CondCode::E, MOperand::reg(U), MOperand::reg(T), {}});
+  P.ret(MOperand::reg(U));
+  // rol(0x81, 1) = 0x03; blsr(0x03) = 0x02.
+  EXPECT_EQ(P.run(0x81, 0).ReturnValues[0].zextValue(), 0x02u);
+}
+
+TEST(Emulator, CmovBothWays) {
+  for (uint64_t AV : {1u, 5u}) {
+    MiniProgram P;
+    P.Block->append({MOpcode::Cmp, CondCode::E, {}, MOperand::reg(P.A),
+                     MOperand::imm(BitValue(8, 3))});
+    MReg T = P.MF.newReg();
+    P.Block->append({MOpcode::Cmov, CondCode::L, MOperand::reg(T),
+                     MOperand::imm(BitValue(8, 100)),
+                     MOperand::imm(BitValue(8, 200))});
+    P.ret(MOperand::reg(T));
+    EXPECT_EQ(P.run(AV, 0).ReturnValues[0].zextValue(),
+              AV < 3 ? 100u : 200u);
+  }
+}
+
+TEST(Emulator, CostsRewardFolding) {
+  // A folded load (mem source operand) must cost less than separate
+  // load + op; a RMW must cost less than load + op + store.
+  MachineInstr Load{MOpcode::Mov, CondCode::E, MOperand::reg(1),
+                    MOperand::mem(MemRef{}), {}};
+  MachineInstr Op{MOpcode::Add, CondCode::E, MOperand::reg(2),
+                  MOperand::reg(0), MOperand::reg(1)};
+  MachineInstr Folded{MOpcode::Add, CondCode::E, MOperand::reg(2),
+                      MOperand::reg(0), MOperand::mem(MemRef{})};
+  EXPECT_LT(instructionCost(Folded),
+            instructionCost(Load) + instructionCost(Op));
+
+  MachineInstr Store{MOpcode::Mov, CondCode::E, MOperand::mem(MemRef{}),
+                     MOperand::reg(2), {}};
+  MachineInstr Rmw{MOpcode::Add, CondCode::E, MOperand::mem(MemRef{}),
+                   MOperand::mem(MemRef{}), MOperand::reg(0)};
+  EXPECT_LT(instructionCost(Rmw), instructionCost(Load) +
+                                      instructionCost(Op) +
+                                      instructionCost(Store));
+}
+
+TEST(Emulator, StepLimit) {
+  // Jumps count toward the instruction budget, so even an empty
+  // spinning block terminates with StepLimitHit.
+  MachineFunction MF("spin", 8);
+  MachineBlock *Block = MF.createBlock("entry");
+  Block->terminator().TermKind = MTerminator::Kind::Jmp;
+  Block->terminator().Then = Block;
+  MachineRunResult R =
+      runMachineFunction(MF, {}, MemoryState(), /*MaxInstructions=*/100);
+  EXPECT_TRUE(R.StepLimitHit);
+}
+
+TEST(MachinePasses, RemovesDeadCode) {
+  MiniProgram P;
+  MReg Dead = P.MF.newReg();
+  P.Block->append({MOpcode::Shl, CondCode::E, MOperand::reg(Dead),
+                   MOperand::reg(P.B), MOperand::imm(BitValue(8, 2))});
+  MReg T = P.MF.newReg();
+  P.Block->append({MOpcode::Add, CondCode::E, MOperand::reg(T),
+                   MOperand::reg(P.A), MOperand::reg(P.B)});
+  P.ret(MOperand::reg(T));
+  EXPECT_EQ(removeDeadInstructions(P.MF), 1u);
+  EXPECT_EQ(P.MF.numInstructions(), 1u);
+  EXPECT_EQ(P.run(4, 5).ReturnValues[0].zextValue(), 9u);
+}
+
+TEST(MachinePasses, KeepsFlagSettersForConsumers) {
+  MiniProgram P;
+  // The cmp's register result... cmp has none; but an add whose result
+  // is dead still feeds the setcc through flags and must stay.
+  MReg Dead = P.MF.newReg();
+  P.Block->append({MOpcode::Sub, CondCode::E, MOperand::reg(Dead),
+                   MOperand::reg(P.A), MOperand::reg(P.B)});
+  MReg T = P.MF.newReg();
+  P.Block->append({MOpcode::Setcc, CondCode::E, MOperand::reg(T), {}, {}});
+  P.ret(MOperand::reg(T));
+  EXPECT_EQ(removeDeadInstructions(P.MF), 0u);
+  EXPECT_EQ(P.run(7, 7).ReturnValues[0].zextValue(), 1u);
+  EXPECT_EQ(P.run(7, 8).ReturnValues[0].zextValue(), 0u);
+}
+
+TEST(MachinePasses, RemovesDeadCompare) {
+  MiniProgram P;
+  P.Block->append({MOpcode::Cmp, CondCode::E, {}, MOperand::reg(P.A),
+                   MOperand::reg(P.B)});
+  P.ret(MOperand::reg(P.A));
+  EXPECT_EQ(removeDeadInstructions(P.MF), 1u);
+}
+
+TEST(MachinePasses, TransitiveDeadChains) {
+  MiniProgram P;
+  MReg T1 = P.MF.newReg(), T2 = P.MF.newReg();
+  P.Block->append({MOpcode::Not, CondCode::E, MOperand::reg(T1),
+                   MOperand::reg(P.A), {}});
+  P.Block->append({MOpcode::Not, CondCode::E, MOperand::reg(T2),
+                   MOperand::reg(T1), {}});
+  P.ret(MOperand::reg(P.B));
+  EXPECT_EQ(removeDeadInstructions(P.MF), 2u);
+}
+
+TEST(AddressingModes, SuffixesAndComponents) {
+  EXPECT_EQ(AddressingMode({true, false, 1, false}).suffix(), "b");
+  EXPECT_EQ(AddressingMode({true, false, 1, true}).suffix(), "bd");
+  EXPECT_EQ(AddressingMode({true, true, 1, false}).suffix(), "bi");
+  EXPECT_EQ(AddressingMode({true, true, 4, true}).suffix(), "bisd4");
+  EXPECT_EQ(AddressingMode({true, true, 8, false}).numComponents(), 3u);
+  EXPECT_EQ(AddressingMode::fullSet().size(), 10u);
+}
+
+TEST(AddressingModes, MemRefConstruction) {
+  AddressingMode AM{true, true, 4, true};
+  std::vector<MOperand> Bound = {MOperand::none(), MOperand::reg(7),
+                                 MOperand::reg(9),
+                                 MOperand::imm(BitValue(8, 0xFE))};
+  MemRef Ref = AM.memRef(Bound, 1);
+  EXPECT_EQ(*Ref.Base, 7u);
+  EXPECT_EQ(*Ref.Index, 9u);
+  EXPECT_EQ(Ref.Scale, 4u);
+  EXPECT_EQ(Ref.Disp, -2); // Sign-extended displacement.
+}
+
+TEST(MachineIR, Printing) {
+  MachineInstr Instr{MOpcode::Add, CondCode::E, MOperand::reg(2),
+                     MOperand::reg(0), MOperand::imm(BitValue(8, 255))};
+  EXPECT_EQ(printMachineInstr(Instr), "add %v0, $-1, %v2");
+  MemRef Address;
+  Address.Base = 1;
+  Address.Index = 3;
+  Address.Scale = 4;
+  Address.Disp = 42;
+  MachineInstr Lea{MOpcode::Lea, CondCode::E, MOperand::reg(5),
+                   MOperand::mem(Address),
+                   {}};
+  EXPECT_EQ(printMachineInstr(Lea), "lea 42(%v1,%v3,4), %v5");
+}

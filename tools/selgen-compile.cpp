@@ -1,0 +1,117 @@
+//===- selgen-compile.cpp - Compile workloads with a rule library ---------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+// The build-compiler.sh/spec.sh analogue: load a synthesized rule
+// library, generate an instruction selector from it, compile one of
+// the synthetic CINT2000-profile workloads (or all of them), and
+// report machine code, coverage, and emulator cycles against the
+// hand-tuned baseline.
+//
+//   selgen-compile --library rules.dat --benchmark 186.crafty --print-asm
+//   selgen-compile --library rules.dat            # all benchmarks
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Workloads.h"
+#include "isel/GeneratedSelector.h"
+#include "isel/HandwrittenSelector.h"
+#include "support/CommandLine.h"
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+#include "x86/Emulator.h"
+
+#include <cstdio>
+
+using namespace selgen;
+
+namespace {
+
+struct RunOutcome {
+  uint64_t Cycles = 0;
+  bool Mismatch = false;
+};
+
+RunOutcome runSelected(const Function &F, const MachineFunction &MF,
+                       unsigned Width, unsigned Runs) {
+  RunOutcome Outcome;
+  Rng Random(1234);
+  for (unsigned Run = 0; Run < Runs; ++Run) {
+    std::vector<BitValue> Args = {Random.nextBitValue(Width),
+                                  Random.nextBitValue(Width),
+                                  Random.nextBitValue(Width)};
+    MemoryState Memory;
+    for (unsigned B = 0; B < 256; ++B)
+      Memory.storeByte(B, static_cast<uint8_t>(Random.nextBelow(256)));
+    FunctionResult Reference = runFunction(F, Args, Memory, 1u << 22);
+
+    std::map<MReg, BitValue> Regs;
+    const auto &ArgRegs = MF.entry()->ArgRegs;
+    for (size_t I = 0; I < ArgRegs.size(); ++I)
+      Regs[ArgRegs[I]] = Args[I];
+    MachineRunResult Machine =
+        runMachineFunction(MF, Regs, Memory, 1u << 24);
+    Outcome.Cycles += Machine.Cycles;
+    if (Reference.ReturnValues.empty() ||
+        Machine.ReturnValues.size() != 1 ||
+        Machine.ReturnValues[0] != Reference.ReturnValues[0])
+      Outcome.Mismatch = true;
+  }
+  return Outcome;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const std::vector<std::string> Flags = {"library", "benchmark", "width",
+                                          "runs", "print-asm", "help"};
+  CommandLine Cli(argc, argv, Flags);
+  if (!Cli.errors().empty() || Cli.hasFlag("help")) {
+    for (const std::string &Error : Cli.errors())
+      std::fprintf(stderr, "%s\n", Error.c_str());
+    std::fprintf(stderr, "%s\n",
+                 CommandLine::usage("selgen-compile", Flags).c_str());
+    return Cli.hasFlag("help") ? 0 : 1;
+  }
+
+  unsigned Width = static_cast<unsigned>(Cli.intOption("width", 8));
+  unsigned Runs = static_cast<unsigned>(Cli.intOption("runs", 3));
+  std::string LibraryPath = Cli.stringOption("library", "rules.dat");
+
+  PatternDatabase Database = PatternDatabase::loadFromFile(LibraryPath);
+  Database.filterNonNormalized();
+  Database.sortSpecificFirst();
+  GoalLibrary Goals = GoalLibrary::build(Width, GoalLibrary::allGroups());
+  GeneratedSelector Generated(Database, Goals);
+  HandwrittenSelector Handwritten;
+  std::printf("library %s: %zu rules (%zu usable)\n", LibraryPath.c_str(),
+              Database.size(), Generated.numRules());
+
+  std::string Wanted = Cli.stringOption("benchmark", "");
+  TablePrinter Table({"Benchmark", "Coverage", "Generated", "Handwritten",
+                      "Ratio", "Check"});
+  for (const WorkloadProfile &Profile : cint2000Profiles()) {
+    if (!Wanted.empty() && Profile.Name != Wanted)
+      continue;
+    Function F = buildWorkload(Profile, Width);
+    SelectionResult Gen = Generated.select(F);
+    SelectionResult Hand = Handwritten.select(F);
+
+    if (Cli.hasFlag("print-asm"))
+      std::printf("\n%s\n", printMachineFunction(*Gen.MF).c_str());
+
+    RunOutcome GenRun = runSelected(F, *Gen.MF, Width, Runs);
+    RunOutcome HandRun = runSelected(F, *Hand.MF, Width, Runs);
+    Table.addRow(
+        {Profile.Name, formatDouble(100 * Gen.coverage(), 1) + " %",
+         formatGrouped(GenRun.Cycles), formatGrouped(HandRun.Cycles),
+         formatDouble(100.0 * GenRun.Cycles /
+                          std::max<uint64_t>(1, HandRun.Cycles),
+                      1) +
+             " %",
+         GenRun.Mismatch || HandRun.Mismatch ? "MISMATCH" : "ok"});
+  }
+  std::printf("\n%s", Table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,123 @@
+//===- selgen-synth.cpp - Rule-library synthesis driver -------------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+// The command-line face of Algorithm 1's Synthesizer procedure (the
+// artifact's full-synthesis.sh): synthesize instruction selection
+// rules for a set of goal instructions and write the rule library to
+// disk. Libraries from separate runs (different machines, different
+// goal subsets) can be merged by re-running with --merge-into.
+//
+//   selgen-synth --groups Basic,Bmi --output rules.dat
+//   selgen-synth --goals andn,blsr --total --width 16 --output bmi.dat
+//   selgen-synth --groups Flags --merge-into rules.dat
+//
+//===----------------------------------------------------------------------===//
+
+#include "pattern/ParallelBuilder.h"
+#include "support/CommandLine.h"
+#include "support/StringUtils.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <fstream>
+
+using namespace selgen;
+
+int main(int argc, char **argv) {
+  const std::vector<std::string> Flags = {
+      "groups", "goals", "width",  "budget",     "total",
+      "threads", "output", "merge-into", "max-size", "help"};
+  CommandLine Cli(argc, argv, Flags);
+  if (!Cli.errors().empty() || Cli.hasFlag("help")) {
+    for (const std::string &Error : Cli.errors())
+      std::fprintf(stderr, "%s\n", Error.c_str());
+    std::fprintf(stderr, "%s\n",
+                 CommandLine::usage("selgen-synth", Flags).c_str());
+    std::fprintf(stderr,
+                 "  --groups   comma list of Basic,LoadStore,Unary,Binary,"
+                 "Flags,Bmi (default Basic)\n"
+                 "  --goals    comma list of goal names (overrides groups)\n"
+                 "  --width    data width in bits (default 8)\n"
+                 "  --budget   per-goal budget in seconds (default 10)\n"
+                 "  --total    require total patterns\n"
+                 "  --threads  worker threads (default hardware)\n"
+                 "  --max-size override the iterative-deepening cap\n"
+                 "  --output   rule library file (default rules.dat)\n"
+                 "  --merge-into  merge results into an existing library\n");
+    return Cli.hasFlag("help") ? 0 : 1;
+  }
+
+  unsigned Width = static_cast<unsigned>(Cli.intOption("width", 8));
+  GoalLibrary All = GoalLibrary::build(Width, GoalLibrary::allGroups());
+
+  GoalLibrary Selected;
+  std::string GoalsOption = Cli.stringOption("goals", "");
+  if (!GoalsOption.empty()) {
+    Selected = GoalLibrary::subset(std::move(All),
+                                   splitString(GoalsOption, ','));
+  } else {
+    std::vector<std::string> Names;
+    for (const std::string &Group :
+         splitString(Cli.stringOption("groups", "Basic"), ','))
+      for (const GoalInstruction *Goal : All.group(Group))
+        Names.push_back(Goal->Name);
+    if (Names.empty()) {
+      std::fprintf(stderr, "error: no goals selected\n");
+      return 1;
+    }
+    Selected = GoalLibrary::subset(std::move(All), Names);
+  }
+
+  SynthesisOptions Options;
+  Options.Width = Width;
+  Options.FindAllMinimal = true;
+  Options.RequireTotalPatterns = Cli.hasFlag("total");
+  Options.TimeBudgetSeconds = Cli.doubleOption("budget", 10.0);
+  Options.QueryTimeoutMs = 30000;
+  if (int64_t MaxSize = Cli.intOption("max-size", 0); MaxSize > 0)
+    for (const GoalInstruction &Goal : Selected.goals())
+      const_cast<GoalInstruction &>(Goal).MaxPatternSize =
+          static_cast<unsigned>(MaxSize);
+
+  unsigned Threads = static_cast<unsigned>(Cli.intOption("threads", 0));
+
+  std::printf("synthesizing %zu goals at %u bit (%.0fs budget, %s)\n",
+              Selected.goals().size(), Width, Options.TimeBudgetSeconds,
+              Options.RequireTotalPatterns ? "total patterns"
+                                           : "paper partial semantics");
+  Timer Clock;
+  LibraryBuildReport Report;
+  PatternDatabase Database = synthesizeRuleLibraryParallel(
+      Selected, Options, Threads, &Report);
+
+  for (const GroupReport &Group : Report.Groups)
+    std::printf("  %-10s %3u goals  %4zu patterns  max size %u  %s"
+                "  (%u capped)\n",
+                Group.Group.c_str(), Group.Goals, Group.Patterns,
+                Group.MaxPatternSize,
+                formatDuration(Group.Seconds).c_str(),
+                Group.IncompleteGoals);
+
+  std::string MergeTarget = Cli.stringOption("merge-into", "");
+  if (!MergeTarget.empty()) {
+    std::ifstream Probe(MergeTarget);
+    PatternDatabase Existing =
+        Probe.good() ? PatternDatabase::loadFromFile(MergeTarget)
+                     : PatternDatabase();
+    size_t Before = Existing.size();
+    Existing.merge(std::move(Database));
+    Existing.saveToFile(MergeTarget);
+    std::printf("merged into %s: %zu -> %zu rules (%s total)\n",
+                MergeTarget.c_str(), Before, Existing.size(),
+                formatDuration(Clock.elapsedSeconds()).c_str());
+    return 0;
+  }
+
+  std::string Output = Cli.stringOption("output", "rules.dat");
+  Database.saveToFile(Output);
+  std::printf("wrote %zu rules to %s in %s\n", Database.size(),
+              Output.c_str(), formatDuration(Clock.elapsedSeconds()).c_str());
+  return 0;
+}
