@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_10_table1_codequality.dir/bench_10_table1_codequality.cpp.o"
+  "CMakeFiles/bench_10_table1_codequality.dir/bench_10_table1_codequality.cpp.o.d"
+  "bench_10_table1_codequality"
+  "bench_10_table1_codequality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_10_table1_codequality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

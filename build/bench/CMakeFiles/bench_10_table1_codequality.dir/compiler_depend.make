@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_10_table1_codequality.
+# This may be replaced when dependencies are built.

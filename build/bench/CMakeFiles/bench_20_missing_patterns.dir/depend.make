@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_20_missing_patterns.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_30_cegis_comparison.dir/bench_30_cegis_comparison.cpp.o"
+  "CMakeFiles/bench_30_cegis_comparison.dir/bench_30_cegis_comparison.cpp.o.d"
+  "bench_30_cegis_comparison"
+  "bench_30_cegis_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_30_cegis_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_30_cegis_comparison.
+# This may be replaced when dependencies are built.

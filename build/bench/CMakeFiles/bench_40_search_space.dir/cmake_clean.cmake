@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_40_search_space.dir/bench_40_search_space.cpp.o"
+  "CMakeFiles/bench_40_search_space.dir/bench_40_search_space.cpp.o.d"
+  "bench_40_search_space"
+  "bench_40_search_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_40_search_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_50_pruning_ablation.dir/bench_50_pruning_ablation.cpp.o"
+  "CMakeFiles/bench_50_pruning_ablation.dir/bench_50_pruning_ablation.cpp.o.d"
+  "bench_50_pruning_ablation"
+  "bench_50_pruning_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_50_pruning_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

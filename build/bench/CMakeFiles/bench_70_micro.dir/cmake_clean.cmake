@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_70_micro.dir/bench_70_micro.cpp.o"
+  "CMakeFiles/bench_70_micro.dir/bench_70_micro.cpp.o.d"
+  "bench_70_micro"
+  "bench_70_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_70_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libselgen_bench_common.a"
+  "../lib/libselgen_bench_common.pdb"
+  "CMakeFiles/selgen_bench_common.dir/BenchCommon.cpp.o"
+  "CMakeFiles/selgen_bench_common.dir/BenchCommon.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selgen_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libselgen_bench_common.a"
+)

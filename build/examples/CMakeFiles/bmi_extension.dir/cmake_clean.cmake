@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmi_extension.dir/bmi_extension.cpp.o"
+  "CMakeFiles/bmi_extension.dir/bmi_extension.cpp.o.d"
+  "bmi_extension"
+  "bmi_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmi_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_synthesis.dir/parallel_synthesis.cpp.o"
+  "CMakeFiles/parallel_synthesis.dir/parallel_synthesis.cpp.o.d"
+  "parallel_synthesis"
+  "parallel_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

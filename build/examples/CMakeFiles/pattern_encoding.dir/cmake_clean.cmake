@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_encoding.dir/pattern_encoding.cpp.o"
+  "CMakeFiles/pattern_encoding.dir/pattern_encoding.cpp.o.d"
+  "pattern_encoding"
+  "pattern_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

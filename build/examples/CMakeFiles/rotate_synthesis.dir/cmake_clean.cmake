@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotate_synthesis.dir/rotate_synthesis.cpp.o"
+  "CMakeFiles/rotate_synthesis.dir/rotate_synthesis.cpp.o.d"
+  "rotate_synthesis"
+  "rotate_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotate_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

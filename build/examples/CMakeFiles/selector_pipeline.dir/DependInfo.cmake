@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/selector_pipeline.cpp" "examples/CMakeFiles/selector_pipeline.dir/selector_pipeline.cpp.o" "gcc" "examples/CMakeFiles/selector_pipeline.dir/selector_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/selgen_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/refsel/CMakeFiles/selgen_refsel.dir/DependInfo.cmake"
+  "/root/repo/build/src/testgen/CMakeFiles/selgen_testgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/isel/CMakeFiles/selgen_isel.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/selgen_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/selgen_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/selgen_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantics/CMakeFiles/selgen_semantics.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/selgen_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/selgen_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/selgen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selector_pipeline.dir/selector_pipeline.cpp.o"
+  "CMakeFiles/selector_pipeline.dir/selector_pipeline.cpp.o.d"
+  "selector_pipeline"
+  "selector_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selector_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selgen_eval.dir/Evaluation.cpp.o"
+  "CMakeFiles/selgen_eval.dir/Evaluation.cpp.o.d"
+  "CMakeFiles/selgen_eval.dir/Workloads.cpp.o"
+  "CMakeFiles/selgen_eval.dir/Workloads.cpp.o.d"
+  "libselgen_eval.a"
+  "libselgen_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selgen_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

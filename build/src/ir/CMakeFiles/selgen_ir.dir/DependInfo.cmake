@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/Function.cpp" "src/ir/CMakeFiles/selgen_ir.dir/Function.cpp.o" "gcc" "src/ir/CMakeFiles/selgen_ir.dir/Function.cpp.o.d"
+  "/root/repo/src/ir/Graph.cpp" "src/ir/CMakeFiles/selgen_ir.dir/Graph.cpp.o" "gcc" "src/ir/CMakeFiles/selgen_ir.dir/Graph.cpp.o.d"
+  "/root/repo/src/ir/GraphViz.cpp" "src/ir/CMakeFiles/selgen_ir.dir/GraphViz.cpp.o" "gcc" "src/ir/CMakeFiles/selgen_ir.dir/GraphViz.cpp.o.d"
+  "/root/repo/src/ir/Interpreter.cpp" "src/ir/CMakeFiles/selgen_ir.dir/Interpreter.cpp.o" "gcc" "src/ir/CMakeFiles/selgen_ir.dir/Interpreter.cpp.o.d"
+  "/root/repo/src/ir/Normalizer.cpp" "src/ir/CMakeFiles/selgen_ir.dir/Normalizer.cpp.o" "gcc" "src/ir/CMakeFiles/selgen_ir.dir/Normalizer.cpp.o.d"
+  "/root/repo/src/ir/Opcode.cpp" "src/ir/CMakeFiles/selgen_ir.dir/Opcode.cpp.o" "gcc" "src/ir/CMakeFiles/selgen_ir.dir/Opcode.cpp.o.d"
+  "/root/repo/src/ir/Parser.cpp" "src/ir/CMakeFiles/selgen_ir.dir/Parser.cpp.o" "gcc" "src/ir/CMakeFiles/selgen_ir.dir/Parser.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "src/ir/CMakeFiles/selgen_ir.dir/Printer.cpp.o" "gcc" "src/ir/CMakeFiles/selgen_ir.dir/Printer.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/ir/CMakeFiles/selgen_ir.dir/Verifier.cpp.o" "gcc" "src/ir/CMakeFiles/selgen_ir.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/selgen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selgen_ir.dir/Function.cpp.o"
+  "CMakeFiles/selgen_ir.dir/Function.cpp.o.d"
+  "CMakeFiles/selgen_ir.dir/Graph.cpp.o"
+  "CMakeFiles/selgen_ir.dir/Graph.cpp.o.d"
+  "CMakeFiles/selgen_ir.dir/GraphViz.cpp.o"
+  "CMakeFiles/selgen_ir.dir/GraphViz.cpp.o.d"
+  "CMakeFiles/selgen_ir.dir/Interpreter.cpp.o"
+  "CMakeFiles/selgen_ir.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/selgen_ir.dir/Normalizer.cpp.o"
+  "CMakeFiles/selgen_ir.dir/Normalizer.cpp.o.d"
+  "CMakeFiles/selgen_ir.dir/Opcode.cpp.o"
+  "CMakeFiles/selgen_ir.dir/Opcode.cpp.o.d"
+  "CMakeFiles/selgen_ir.dir/Parser.cpp.o"
+  "CMakeFiles/selgen_ir.dir/Parser.cpp.o.d"
+  "CMakeFiles/selgen_ir.dir/Printer.cpp.o"
+  "CMakeFiles/selgen_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/selgen_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/selgen_ir.dir/Verifier.cpp.o.d"
+  "libselgen_ir.a"
+  "libselgen_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selgen_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

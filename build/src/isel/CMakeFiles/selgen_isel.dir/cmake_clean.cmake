@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selgen_isel.dir/GeneratedSelector.cpp.o"
+  "CMakeFiles/selgen_isel.dir/GeneratedSelector.cpp.o.d"
+  "CMakeFiles/selgen_isel.dir/HandwrittenSelector.cpp.o"
+  "CMakeFiles/selgen_isel.dir/HandwrittenSelector.cpp.o.d"
+  "CMakeFiles/selgen_isel.dir/Lowering.cpp.o"
+  "CMakeFiles/selgen_isel.dir/Lowering.cpp.o.d"
+  "CMakeFiles/selgen_isel.dir/Matcher.cpp.o"
+  "CMakeFiles/selgen_isel.dir/Matcher.cpp.o.d"
+  "libselgen_isel.a"
+  "libselgen_isel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selgen_isel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selgen_pattern.dir/LibraryBuilder.cpp.o"
+  "CMakeFiles/selgen_pattern.dir/LibraryBuilder.cpp.o.d"
+  "CMakeFiles/selgen_pattern.dir/ParallelBuilder.cpp.o"
+  "CMakeFiles/selgen_pattern.dir/ParallelBuilder.cpp.o.d"
+  "CMakeFiles/selgen_pattern.dir/PatternDatabase.cpp.o"
+  "CMakeFiles/selgen_pattern.dir/PatternDatabase.cpp.o.d"
+  "libselgen_pattern.a"
+  "libselgen_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selgen_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

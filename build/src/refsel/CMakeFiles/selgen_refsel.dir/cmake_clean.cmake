@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selgen_refsel.dir/ReferenceSelectors.cpp.o"
+  "CMakeFiles/selgen_refsel.dir/ReferenceSelectors.cpp.o.d"
+  "libselgen_refsel.a"
+  "libselgen_refsel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selgen_refsel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

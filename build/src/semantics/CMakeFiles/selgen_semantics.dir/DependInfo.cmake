@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/semantics/InstrSpec.cpp" "src/semantics/CMakeFiles/selgen_semantics.dir/InstrSpec.cpp.o" "gcc" "src/semantics/CMakeFiles/selgen_semantics.dir/InstrSpec.cpp.o.d"
+  "/root/repo/src/semantics/IrSemantics.cpp" "src/semantics/CMakeFiles/selgen_semantics.dir/IrSemantics.cpp.o" "gcc" "src/semantics/CMakeFiles/selgen_semantics.dir/IrSemantics.cpp.o.d"
+  "/root/repo/src/semantics/MemoryModel.cpp" "src/semantics/CMakeFiles/selgen_semantics.dir/MemoryModel.cpp.o" "gcc" "src/semantics/CMakeFiles/selgen_semantics.dir/MemoryModel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smt/CMakeFiles/selgen_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/selgen_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/selgen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

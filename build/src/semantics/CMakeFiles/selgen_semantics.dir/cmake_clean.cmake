@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selgen_semantics.dir/InstrSpec.cpp.o"
+  "CMakeFiles/selgen_semantics.dir/InstrSpec.cpp.o.d"
+  "CMakeFiles/selgen_semantics.dir/IrSemantics.cpp.o"
+  "CMakeFiles/selgen_semantics.dir/IrSemantics.cpp.o.d"
+  "CMakeFiles/selgen_semantics.dir/MemoryModel.cpp.o"
+  "CMakeFiles/selgen_semantics.dir/MemoryModel.cpp.o.d"
+  "libselgen_semantics.a"
+  "libselgen_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selgen_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

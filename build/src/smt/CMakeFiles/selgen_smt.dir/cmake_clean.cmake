@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selgen_smt.dir/SmtContext.cpp.o"
+  "CMakeFiles/selgen_smt.dir/SmtContext.cpp.o.d"
+  "libselgen_smt.a"
+  "libselgen_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selgen_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

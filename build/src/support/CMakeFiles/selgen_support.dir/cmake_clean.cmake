@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selgen_support.dir/BitValue.cpp.o"
+  "CMakeFiles/selgen_support.dir/BitValue.cpp.o.d"
+  "CMakeFiles/selgen_support.dir/CommandLine.cpp.o"
+  "CMakeFiles/selgen_support.dir/CommandLine.cpp.o.d"
+  "CMakeFiles/selgen_support.dir/Error.cpp.o"
+  "CMakeFiles/selgen_support.dir/Error.cpp.o.d"
+  "CMakeFiles/selgen_support.dir/Multicombination.cpp.o"
+  "CMakeFiles/selgen_support.dir/Multicombination.cpp.o.d"
+  "CMakeFiles/selgen_support.dir/Statistics.cpp.o"
+  "CMakeFiles/selgen_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/selgen_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/selgen_support.dir/StringUtils.cpp.o.d"
+  "libselgen_support.a"
+  "libselgen_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selgen_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selgen_synth.dir/Cegis.cpp.o"
+  "CMakeFiles/selgen_synth.dir/Cegis.cpp.o.d"
+  "CMakeFiles/selgen_synth.dir/Encoding.cpp.o"
+  "CMakeFiles/selgen_synth.dir/Encoding.cpp.o.d"
+  "CMakeFiles/selgen_synth.dir/Synthesizer.cpp.o"
+  "CMakeFiles/selgen_synth.dir/Synthesizer.cpp.o.d"
+  "libselgen_synth.a"
+  "libselgen_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selgen_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

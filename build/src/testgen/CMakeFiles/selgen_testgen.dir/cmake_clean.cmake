@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selgen_testgen.dir/TestCaseGenerator.cpp.o"
+  "CMakeFiles/selgen_testgen.dir/TestCaseGenerator.cpp.o.d"
+  "libselgen_testgen.a"
+  "libselgen_testgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selgen_testgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/x86/AddressingMode.cpp" "src/x86/CMakeFiles/selgen_x86.dir/AddressingMode.cpp.o" "gcc" "src/x86/CMakeFiles/selgen_x86.dir/AddressingMode.cpp.o.d"
+  "/root/repo/src/x86/CondCode.cpp" "src/x86/CMakeFiles/selgen_x86.dir/CondCode.cpp.o" "gcc" "src/x86/CMakeFiles/selgen_x86.dir/CondCode.cpp.o.d"
+  "/root/repo/src/x86/Emulator.cpp" "src/x86/CMakeFiles/selgen_x86.dir/Emulator.cpp.o" "gcc" "src/x86/CMakeFiles/selgen_x86.dir/Emulator.cpp.o.d"
+  "/root/repo/src/x86/Goals.cpp" "src/x86/CMakeFiles/selgen_x86.dir/Goals.cpp.o" "gcc" "src/x86/CMakeFiles/selgen_x86.dir/Goals.cpp.o.d"
+  "/root/repo/src/x86/MachineIR.cpp" "src/x86/CMakeFiles/selgen_x86.dir/MachineIR.cpp.o" "gcc" "src/x86/CMakeFiles/selgen_x86.dir/MachineIR.cpp.o.d"
+  "/root/repo/src/x86/MachinePasses.cpp" "src/x86/CMakeFiles/selgen_x86.dir/MachinePasses.cpp.o" "gcc" "src/x86/CMakeFiles/selgen_x86.dir/MachinePasses.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/semantics/CMakeFiles/selgen_semantics.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/selgen_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/selgen_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/selgen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selgen_x86.dir/AddressingMode.cpp.o"
+  "CMakeFiles/selgen_x86.dir/AddressingMode.cpp.o.d"
+  "CMakeFiles/selgen_x86.dir/CondCode.cpp.o"
+  "CMakeFiles/selgen_x86.dir/CondCode.cpp.o.d"
+  "CMakeFiles/selgen_x86.dir/Emulator.cpp.o"
+  "CMakeFiles/selgen_x86.dir/Emulator.cpp.o.d"
+  "CMakeFiles/selgen_x86.dir/Goals.cpp.o"
+  "CMakeFiles/selgen_x86.dir/Goals.cpp.o.d"
+  "CMakeFiles/selgen_x86.dir/MachineIR.cpp.o"
+  "CMakeFiles/selgen_x86.dir/MachineIR.cpp.o.d"
+  "CMakeFiles/selgen_x86.dir/MachinePasses.cpp.o"
+  "CMakeFiles/selgen_x86.dir/MachinePasses.cpp.o.d"
+  "libselgen_x86.a"
+  "libselgen_x86.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selgen_x86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitvalue.dir/test_bitvalue.cpp.o"
+  "CMakeFiles/test_bitvalue.dir/test_bitvalue.cpp.o.d"
+  "test_bitvalue"
+  "test_bitvalue.pdb"
+  "test_bitvalue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitvalue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

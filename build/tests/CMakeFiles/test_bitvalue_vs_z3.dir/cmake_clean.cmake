@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitvalue_vs_z3.dir/test_bitvalue_vs_z3.cpp.o"
+  "CMakeFiles/test_bitvalue_vs_z3.dir/test_bitvalue_vs_z3.cpp.o.d"
+  "test_bitvalue_vs_z3"
+  "test_bitvalue_vs_z3.pdb"
+  "test_bitvalue_vs_z3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitvalue_vs_z3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_goals.dir/test_goals.cpp.o"
+  "CMakeFiles/test_goals.dir/test_goals.cpp.o.d"
+  "test_goals"
+  "test_goals.pdb"
+  "test_goals[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_goals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pattern_db.dir/test_pattern_db.cpp.o"
+  "CMakeFiles/test_pattern_db.dir/test_pattern_db.cpp.o.d"
+  "test_pattern_db"
+  "test_pattern_db.pdb"
+  "test_pattern_db[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pattern_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

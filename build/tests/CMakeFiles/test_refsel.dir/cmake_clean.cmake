@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_refsel.dir/test_refsel.cpp.o"
+  "CMakeFiles/test_refsel.dir/test_refsel.cpp.o.d"
+  "test_refsel"
+  "test_refsel.pdb"
+  "test_refsel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_refsel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

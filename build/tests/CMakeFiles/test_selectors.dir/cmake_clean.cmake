@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selectors.dir/test_selectors.cpp.o"
+  "CMakeFiles/test_selectors.dir/test_selectors.cpp.o.d"
+  "test_selectors"
+  "test_selectors.pdb"
+  "test_selectors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_testgen.dir/test_testgen.cpp.o"
+  "CMakeFiles/test_testgen.dir/test_testgen.cpp.o.d"
+  "test_testgen"
+  "test_testgen.pdb"
+  "test_testgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_testgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

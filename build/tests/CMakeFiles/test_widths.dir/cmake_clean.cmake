@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_widths.dir/test_widths.cpp.o"
+  "CMakeFiles/test_widths.dir/test_widths.cpp.o.d"
+  "test_widths"
+  "test_widths.pdb"
+  "test_widths[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_widths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selgen-compile.dir/selgen-compile.cpp.o"
+  "CMakeFiles/selgen-compile.dir/selgen-compile.cpp.o.d"
+  "selgen-compile"
+  "selgen-compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selgen-compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

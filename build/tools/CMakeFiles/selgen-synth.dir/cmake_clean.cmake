@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selgen-synth.dir/selgen-synth.cpp.o"
+  "CMakeFiles/selgen-synth.dir/selgen-synth.cpp.o.d"
+  "selgen-synth"
+  "selgen-synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selgen-synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selgen-testgen.dir/selgen-testgen.cpp.o"
+  "CMakeFiles/selgen-testgen.dir/selgen-testgen.cpp.o.d"
+  "selgen-testgen"
+  "selgen-testgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selgen-testgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_synth_help "/root/repo/build/tools/selgen-synth" "--help")
+set_tests_properties(tool_synth_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_compile_help "/root/repo/build/tools/selgen-compile" "--help")
+set_tests_properties(tool_compile_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_testgen_help "/root/repo/build/tools/selgen-testgen" "--help")
+set_tests_properties(tool_testgen_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_pipeline "sh" "-c" "/root/repo/build/tools/selgen-synth --goals neg_r,not_r --budget 10 --output tool-pipeline.dat && /root/repo/build/tools/selgen-testgen --library tool-pipeline.dat --output-dir tool-pipeline-tests && /root/repo/build/tools/selgen-compile --library tool-pipeline.dat --benchmark 175.vpr")
+set_tests_properties(tool_pipeline PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")

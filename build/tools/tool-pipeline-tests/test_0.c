@@ -1,0 +1,7 @@
+#include <stdint.h>
+
+/* goal: neg_r; pattern: Minus(a0) */
+uint8_t test_0(uint8_t a0) {
+  uint8_t t0 = (uint8_t)(-a0);
+  return t0;
+}

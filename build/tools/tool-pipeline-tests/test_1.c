@@ -1,0 +1,7 @@
+#include <stdint.h>
+
+/* goal: not_r; pattern: Not(a0) */
+uint8_t test_1(uint8_t a0) {
+  uint8_t t0 = (uint8_t)(~a0);
+  return t0;
+}
