@@ -12,8 +12,10 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <memory>
 
 #include "support/Error.h"
+#include "support/Statistics.h"
 #include "pattern/ParallelBuilder.h"
 
 #include <thread>
@@ -130,6 +132,16 @@ PatternDatabase selgen::bench::loadOrSynthesizeLibrary(
   if (const char *Env = std::getenv("SELGEN_BENCH_THREADS"))
     Threads = std::max(1, std::atoi(Env));
 
+  // CI warms a persistent cache across runs; opt in via env var so
+  // default local bench runs stay hermetic.
+  std::unique_ptr<SynthesisCache> Cache;
+  if (const char *CacheDir = std::getenv("SELGEN_CACHE_DIR"))
+    if (*CacheDir) {
+      Cache = std::make_unique<SynthesisCache>(CacheDir);
+      if (!Cache->usable())
+        Cache.reset();
+    }
+
   std::printf("[bench] synthesizing the %s rule library "
               "(%zu goals, %.0fs per-goal budget, %u threads; "
               "paper Section 5.5 parallel mode)...\n",
@@ -146,9 +158,13 @@ PatternDatabase selgen::bench::loadOrSynthesizeLibrary(
   Options.MaxPatternsPerGoal = 128;
 
   Timer Total;
+  ParallelBuildOptions Build;
+  Build.NumThreads = Threads;
+  Build.TotalModeGoals = Bench.TotalModeGoals;
+  Build.Cache = Cache.get();
   LibraryBuildReport LocalReport;
-  PatternDatabase Database = synthesizeRuleLibraryParallel(
-      Goals, Options, Threads, &LocalReport, Bench.TotalModeGoals);
+  PatternDatabase Database =
+      synthesizeRuleLibraryParallel(Goals, Options, Build, &LocalReport);
   (void)IsTotalMode;
   if (Report)
     *Report = LocalReport;
@@ -156,6 +172,12 @@ PatternDatabase selgen::bench::loadOrSynthesizeLibrary(
   std::printf("[bench] %s library: %zu rules in %s; caching to %s\n",
               Kind.c_str(), Database.size(),
               formatDuration(Total.elapsedSeconds()).c_str(), Path.c_str());
+  if (Cache)
+    std::printf("[bench] synthesis cache: %u hits, %u misses\n",
+                LocalReport.CacheHits, LocalReport.CacheMisses);
+  if (const char *StatsPath = std::getenv("SELGEN_STATS_JSON"))
+    if (*StatsPath)
+      Statistics::get().writeJsonFile(StatsPath);
   Database.saveToFile(Path);
   return Database;
 }

@@ -41,6 +41,13 @@ struct LibraryBuildReport {
   double TotalSeconds = 0;
   size_t TotalPatterns = 0;
   unsigned TotalGoals = 0;
+  /// Goals served from / missed in the persistent synthesis cache
+  /// (always zero for cache-less builds).
+  unsigned CacheHits = 0;
+  unsigned CacheMisses = 0;
+  /// Wall-clock time of the whole build (parallel builds only;
+  /// TotalSeconds sums per-goal solver time instead).
+  double WallSeconds = 0;
 };
 
 /// Runs Algorithm 1 over all goals of \p Library. Per-goal iterative

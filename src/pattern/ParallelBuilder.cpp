@@ -1,4 +1,4 @@
-//===- ParallelBuilder.cpp - Multi-threaded library synthesis -----------------===//
+//===- ParallelBuilder.cpp - Work-stealing library synthesis ------------------===//
 //
 // Part of the selgen project (CGO'18 instruction-selection synthesis
 // reproduction).
@@ -7,75 +7,408 @@
 
 #include "pattern/ParallelBuilder.h"
 
+#include "support/Statistics.h"
+#include "support/Timer.h"
+#include "synth/SpecFingerprint.h"
+
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <map>
 #include <mutex>
+#include <numeric>
 #include <thread>
 
 using namespace selgen;
 
-PatternDatabase selgen::synthesizeRuleLibraryParallel(
-    const GoalLibrary &Library, const SynthesisOptions &Options,
-    unsigned NumThreads, LibraryBuildReport *Report,
-    const std::vector<std::string> &TotalModeGoals) {
-  if (NumThreads == 0)
-    NumThreads = std::max(1u, std::thread::hardware_concurrency());
-  NumThreads = std::min<unsigned>(
-      NumThreads, std::max<size_t>(1, Library.goals().size()));
+namespace {
 
-  struct GoalOutcome {
-    const GoalInstruction *Goal = nullptr;
-    GoalSynthesisResult Result;
+/// Cap on the shared counterexample pool per goal; beyond this, new
+/// counterexamples still constrain the chunk that found them but are
+/// not propagated (they only accelerate CEGIS, never change results).
+constexpr size_t MaxSharedTests = 512;
+
+/// One schedulable unit.
+struct Task {
+  enum Kind {
+    StartGoal, ///< Cache probe + memory pre-analysis + first size.
+    Chunk,     ///< One rank sub-range of one size's enumeration.
   };
-  std::vector<GoalOutcome> Outcomes(Library.goals().size());
-  std::atomic<size_t> NextGoal{0};
+  Kind TaskKind = StartGoal;
+  size_t GoalIndex = 0;
+  unsigned Size = 0;        ///< Chunk only.
+  uint64_t BeginRank = 0;   ///< Chunk only.
+  uint64_t EndRank = 0;     ///< Chunk only.
+  unsigned OwnerWorker = 0; ///< Worker whose deque first held the task.
+};
 
-  auto isTotalMode = [&TotalModeGoals](const std::string &Name) {
-    return std::find(TotalModeGoals.begin(), TotalModeGoals.end(), Name) !=
-           TotalModeGoals.end();
-  };
+/// A mutex-protected work-stealing deque. The owner pushes and pops at
+/// the back (LIFO, keeps a worker on the goal it just split); thieves
+/// take from the front, i.e. the far end of a split rank range. Chunk
+/// granularity is coarse (whole CEGIS runs), so a mutex per deque is
+/// nowhere near contention.
+class WorkDeque {
+public:
+  void push(Task T) {
+    std::lock_guard<std::mutex> Guard(M);
+    Items.push_back(T);
+  }
+  bool popBack(Task &T) {
+    std::lock_guard<std::mutex> Guard(M);
+    if (Items.empty())
+      return false;
+    T = Items.back();
+    Items.pop_back();
+    return true;
+  }
+  bool stealFront(Task &T) {
+    std::lock_guard<std::mutex> Guard(M);
+    if (Items.empty())
+      return false;
+    T = Items.front();
+    Items.pop_front();
+    return true;
+  }
 
-  auto worker = [&] {
+private:
+  std::mutex M;
+  std::deque<Task> Items;
+};
+
+/// Shared per-goal synthesis state.
+struct GoalState {
+  const GoalInstruction *Goal = nullptr;
+  SynthesisOptions Options; ///< Effective (per-goal) options.
+
+  // Written by the StartGoal task, read-only afterwards.
+  SynthesisPlan Plan;
+  std::string CacheKey;
+  bool CacheHit = false;
+
+  // Guarded by M while chunks of one size run concurrently.
+  std::mutex M;
+  std::vector<TestCase> SharedTests;
+  std::set<std::string> Fingerprints;
+  GoalSynthesisResult Result;
+  unsigned PendingChunks = 0;
+  /// Completed chunk outcomes of the current size, keyed by BeginRank;
+  /// merged in ascending rank order so the pattern set matches a
+  /// sequential run.
+  std::map<uint64_t, RangeOutcome> SizeBuffer;
+
+  // Telemetry.
+  Timer Wall; ///< Reset when the goal is picked up.
+  double QueueWaitSeconds = 0;
+  double SolverSeconds = 0;
+  unsigned Chunks = 0;
+  unsigned StolenChunks = 0;
+};
+
+class Scheduler {
+public:
+  Scheduler(const GoalLibrary &Library, const SynthesisOptions &BaseOptions,
+            const ParallelBuildOptions &Build)
+      : Build(Build) {
+    NumThreads = Build.NumThreads;
+    if (NumThreads == 0)
+      NumThreads = std::max(1u, std::thread::hardware_concurrency());
+
+    States = std::vector<GoalState>(Library.goals().size());
+    for (size_t I = 0; I < Library.goals().size(); ++I) {
+      GoalState &S = States[I];
+      S.Goal = &Library.goals()[I];
+      S.Options = BaseOptions;
+      S.Options.MaxPatternSize = S.Goal->MaxPatternSize;
+      if (std::find(Build.TotalModeGoals.begin(), Build.TotalModeGoals.end(),
+                    S.Goal->Name) != Build.TotalModeGoals.end())
+        S.Options.RequireTotalPatterns = true;
+    }
+    RemainingGoals = States.size();
+    Deques = std::vector<WorkDeque>(NumThreads);
+  }
+
+  void run() {
+    // Seed the deques with goal start-ups, longest iterative-deepening
+    // caps first: those are the likeliest long poles, and starting
+    // them early gives the splitter the most room.
+    std::vector<size_t> Order(States.size());
+    std::iota(Order.begin(), Order.end(), 0);
+    std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+      return States[A].Goal->MaxPatternSize > States[B].Goal->MaxPatternSize;
+    });
+    for (size_t I = 0; I < Order.size(); ++I) {
+      Task T;
+      T.TaskKind = Task::StartGoal;
+      T.GoalIndex = Order[I];
+      T.OwnerWorker = static_cast<unsigned>(I % NumThreads);
+      Deques[T.OwnerWorker].push(T);
+    }
+
+    std::vector<std::thread> Threads;
+    for (unsigned W = 0; W < NumThreads; ++W)
+      Threads.emplace_back([this, W] { workerMain(W); });
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  std::vector<GoalState> &states() { return States; }
+  unsigned numThreads() const { return NumThreads; }
+
+private:
+  const ParallelBuildOptions &Build;
+  unsigned NumThreads = 1;
+  std::vector<GoalState> States;
+  std::vector<WorkDeque> Deques;
+  std::atomic<size_t> RemainingGoals{0};
+  Timer SchedulerClock;
+
+  std::mutex IdleMutex;
+  std::condition_variable IdleCv;
+
+  void notifyWorkers() { IdleCv.notify_all(); }
+
+  bool popOwnOrSteal(unsigned WorkerId, Task &T) {
+    if (Deques[WorkerId].popBack(T))
+      return true;
+    for (unsigned Offset = 1; Offset < NumThreads; ++Offset) {
+      unsigned Victim = (WorkerId + Offset) % NumThreads;
+      if (Deques[Victim].stealFront(T))
+        return true;
+    }
+    return false;
+  }
+
+  void workerMain(unsigned WorkerId) {
     // One Z3 context per worker: contexts are confined to a thread.
     SmtContext Smt;
+    Task T;
     while (true) {
-      size_t Index = NextGoal.fetch_add(1);
-      if (Index >= Library.goals().size())
+      if (popOwnOrSteal(WorkerId, T)) {
+        if (T.TaskKind == Task::StartGoal)
+          startGoal(WorkerId, Smt, T);
+        else
+          runChunk(WorkerId, T);
+        continue;
+      }
+      if (RemainingGoals.load() == 0)
         return;
-      const GoalInstruction &Goal = Library.goals()[Index];
-      SynthesisOptions GoalOptions = Options;
-      GoalOptions.MaxPatternSize = Goal.MaxPatternSize;
-      if (isTotalMode(Goal.Name))
-        GoalOptions.RequireTotalPatterns = true;
-      Synthesizer Synth(Smt, GoalOptions);
-      Outcomes[Index].Goal = &Goal;
-      Outcomes[Index].Result = Synth.synthesize(*Goal.Spec);
+      // Chunks in flight may spawn follow-up sizes; nap briefly. The
+      // timeout bounds any missed notify.
+      std::unique_lock<std::mutex> Lock(IdleMutex);
+      IdleCv.wait_for(Lock, std::chrono::milliseconds(2));
     }
-  };
+  }
 
-  std::vector<std::thread> Threads;
-  for (unsigned T = 0; T < NumThreads; ++T)
-    Threads.emplace_back(worker);
-  for (std::thread &T : Threads)
-    T.join();
+  void startGoal(unsigned WorkerId, SmtContext &Smt, const Task &T) {
+    GoalState &S = States[T.GoalIndex];
+    S.QueueWaitSeconds = SchedulerClock.elapsedSeconds();
+    S.Wall.reset();
+    S.Result.GoalName = S.Goal->Name;
+
+    if (Build.Cache) {
+      S.CacheKey = synthesisCacheKey(Smt, *S.Goal->Spec, S.Options);
+      if (std::optional<GoalSynthesisResult> Cached =
+              Build.Cache->lookup(S.CacheKey)) {
+        Statistics::get().add("cache.hits");
+        S.CacheHit = true;
+        S.Result = std::move(*Cached);
+        finishGoal(S);
+        return;
+      }
+      Statistics::get().add("cache.misses");
+    }
+
+    Synthesizer Synth(Smt, S.Options);
+    S.Plan = Synth.plan(*S.Goal->Spec);
+    scheduleSize(WorkerId, T.GoalIndex, S.Plan.MinSize);
+  }
+
+  void scheduleSize(unsigned WorkerId, size_t GoalIndex, unsigned Size) {
+    GoalState &S = States[GoalIndex];
+    uint64_t NumRanks = Synthesizer::numMultisets(S.Plan, Size);
+    if (NumRanks == 0) {
+      // Degenerate (empty alphabet): nothing at this size.
+      advanceAfterSize(WorkerId, GoalIndex, Size, /*Found=*/false);
+      return;
+    }
+
+    uint64_t MaxChunks =
+        std::max<uint64_t>(1, uint64_t(NumThreads) * Build.ChunksPerThread);
+    uint64_t NumChunks = std::max<uint64_t>(
+        1, std::min(MaxChunks, NumRanks / std::max<uint64_t>(
+                                   1, Build.MinChunkRanks)));
+    {
+      std::lock_guard<std::mutex> Guard(S.M);
+      S.PendingChunks = static_cast<unsigned>(NumChunks);
+      S.SizeBuffer.clear();
+    }
+
+    uint64_t Base = NumRanks / NumChunks;
+    uint64_t Extra = NumRanks % NumChunks;
+    uint64_t Begin = 0;
+    for (uint64_t C = 0; C < NumChunks; ++C) {
+      uint64_t Length = Base + (C < Extra ? 1 : 0);
+      Task Chunk;
+      Chunk.TaskKind = Task::Chunk;
+      Chunk.GoalIndex = GoalIndex;
+      Chunk.Size = Size;
+      Chunk.BeginRank = Begin;
+      Chunk.EndRank = Begin + Length;
+      Chunk.OwnerWorker = WorkerId;
+      Begin += Length;
+      Deques[WorkerId].push(Chunk);
+    }
+    Statistics::get().add("scheduler.chunks", static_cast<int64_t>(NumChunks));
+    notifyWorkers();
+  }
+
+  void runChunk(unsigned WorkerId, const Task &T) {
+    GoalState &S = States[T.GoalIndex];
+    bool Stolen = T.OwnerWorker != WorkerId;
+    if (Stolen)
+      Statistics::get().add("scheduler.steals");
+
+    std::vector<TestCase> Tests;
+    size_t Snapshot;
+    {
+      std::lock_guard<std::mutex> Guard(S.M);
+      Tests = S.SharedTests;
+      Snapshot = Tests.size();
+    }
+
+    double Budget = 0;
+    if (S.Options.TimeBudgetSeconds > 0)
+      Budget = std::max(0.001, S.Options.TimeBudgetSeconds -
+                                   S.Wall.elapsedSeconds());
+
+    // A fresh Z3 context per chunk: solver model-enumeration order
+    // depends on context history, and capped multiset enumerations
+    // (MaxPatternsPerMultiset) keep whichever representatives come
+    // first — a fresh context makes each chunk's outcome independent
+    // of what this worker happened to solve before (e.g. of which
+    // other goals were cache hits). Context setup is microseconds
+    // against a chunk's solver work.
+    SmtContext ChunkSmt;
+    Synthesizer Synth(ChunkSmt, S.Options);
+    RangeOutcome Outcome = Synth.synthesizeRange(
+        *S.Goal->Spec, S.Plan, T.Size, T.BeginRank, T.EndRank, Tests, Budget);
+
+    bool Finalize = false;
+    {
+      std::lock_guard<std::mutex> Guard(S.M);
+      for (size_t I = Snapshot;
+           I < Tests.size() && S.SharedTests.size() < MaxSharedTests; ++I)
+        S.SharedTests.push_back(Tests[I]);
+      S.SolverSeconds += Outcome.Seconds;
+      ++S.Chunks;
+      if (Stolen)
+        ++S.StolenChunks;
+      S.SizeBuffer.emplace(T.BeginRank, std::move(Outcome));
+      Finalize = --S.PendingChunks == 0;
+    }
+    if (Finalize)
+      finalizeSize(WorkerId, T.GoalIndex, T.Size);
+  }
+
+  void finalizeSize(unsigned WorkerId, size_t GoalIndex, unsigned Size) {
+    GoalState &S = States[GoalIndex];
+    bool Found = false;
+    {
+      std::lock_guard<std::mutex> Guard(S.M);
+      for (auto &[Begin, Outcome] : S.SizeBuffer) {
+        (void)Begin;
+        if (Outcome.FoundAny)
+          Found = true;
+        absorbRangeOutcome(S.Result, S.Fingerprints, std::move(Outcome),
+                           S.Options.MaxPatternsPerGoal);
+      }
+      S.SizeBuffer.clear();
+    }
+    advanceAfterSize(WorkerId, GoalIndex, Size, Found);
+  }
+
+  /// The iterative-deepening decision, mirroring
+  /// Synthesizer::synthesize: stop after the smallest productive size
+  /// (FindAllMinimal), on budget expiry, or at the size cap.
+  void advanceAfterSize(unsigned WorkerId, size_t GoalIndex, unsigned Size,
+                        bool Found) {
+    GoalState &S = States[GoalIndex];
+    if (Found) {
+      S.Result.MinimalSize = Size;
+      if (S.Options.FindAllMinimal) {
+        finishGoal(S);
+        return;
+      }
+    }
+    bool OverBudget = S.Options.TimeBudgetSeconds > 0 &&
+                      S.Wall.elapsedSeconds() > S.Options.TimeBudgetSeconds;
+    if (OverBudget) {
+      S.Result.Complete = false;
+      finishGoal(S);
+      return;
+    }
+    if (Size >= S.Plan.MaxSize) {
+      finishGoal(S);
+      return;
+    }
+    scheduleSize(WorkerId, GoalIndex, Size + 1);
+  }
+
+  void finishGoal(GoalState &S) {
+    if (!S.CacheHit) {
+      S.Result.Seconds = S.SolverSeconds;
+      if (Build.Cache && S.Result.Complete)
+        Build.Cache->store(S.CacheKey, S.Result);
+    }
+
+    GoalTelemetry Telemetry;
+    Telemetry.Goal = S.Goal->Name;
+    Telemetry.Group = S.Goal->Group;
+    Telemetry.CacheHit = S.CacheHit;
+    Telemetry.Complete = S.Result.Complete;
+    Telemetry.QueueWaitSeconds = S.QueueWaitSeconds;
+    Telemetry.SolverSeconds = S.SolverSeconds;
+    Telemetry.WallSeconds = S.Wall.elapsedSeconds();
+    Telemetry.Counterexamples = S.Result.Counterexamples;
+    Telemetry.MultisetsRun = S.Result.MultisetsRun;
+    Telemetry.MultisetsSkipped = S.Result.MultisetsSkipped;
+    Telemetry.Patterns = S.Result.Patterns.size();
+    Telemetry.Chunks = S.Chunks;
+    Telemetry.StolenChunks = S.StolenChunks;
+    Statistics::get().recordGoal(std::move(Telemetry));
+
+    RemainingGoals.fetch_sub(1);
+    notifyWorkers();
+  }
+};
+
+} // namespace
+
+PatternDatabase selgen::synthesizeRuleLibraryParallel(
+    const GoalLibrary &Library, const SynthesisOptions &Options,
+    const ParallelBuildOptions &Build, LibraryBuildReport *Report) {
+  Timer Wall;
+  Scheduler Sched(Library, Options, Build);
+  Sched.run();
 
   // Aggregate in goal order so the result is deterministic.
   PatternDatabase Database;
   std::map<std::string, GroupReport> Groups;
-  for (GoalOutcome &Outcome : Outcomes) {
-    if (!Outcome.Goal)
-      continue;
-    GroupReport &Group = Groups[Outcome.Goal->Group];
-    Group.Group = Outcome.Goal->Group;
+  unsigned CacheHits = 0, CacheMisses = 0;
+  for (GoalState &S : Sched.states()) {
+    GroupReport &Group = Groups[S.Goal->Group];
+    Group.Group = S.Goal->Group;
     ++Group.Goals;
-    Group.Seconds += Outcome.Result.Seconds;
-    if (!Outcome.Result.Complete)
+    Group.Seconds += S.Result.Seconds;
+    if (!S.Result.Complete)
       ++Group.IncompleteGoals;
-    for (Graph &Pattern : Outcome.Result.Patterns) {
+    if (Build.Cache)
+      ++(S.CacheHit ? CacheHits : CacheMisses);
+    for (Graph &Pattern : S.Result.Patterns) {
       Group.MaxPatternSize =
           std::max(Group.MaxPatternSize, Pattern.numOperations());
-      if (Database.add(Outcome.Goal->Name, std::move(Pattern)))
+      if (Database.add(S.Goal->Name, std::move(Pattern)))
         ++Group.Patterns;
     }
   }
@@ -88,6 +421,19 @@ PatternDatabase selgen::synthesizeRuleLibraryParallel(
       Report->TotalPatterns += Group.Patterns;
       Report->TotalGoals += Group.Goals;
     }
+    Report->CacheHits = CacheHits;
+    Report->CacheMisses = CacheMisses;
+    Report->WallSeconds = Wall.elapsedSeconds();
   }
   return Database;
+}
+
+PatternDatabase selgen::synthesizeRuleLibraryParallel(
+    const GoalLibrary &Library, const SynthesisOptions &Options,
+    unsigned NumThreads, LibraryBuildReport *Report,
+    const std::vector<std::string> &TotalModeGoals) {
+  ParallelBuildOptions Build;
+  Build.NumThreads = NumThreads;
+  Build.TotalModeGoals = TotalModeGoals;
+  return synthesizeRuleLibraryParallel(Library, Options, Build, Report);
 }

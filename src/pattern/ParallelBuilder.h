@@ -1,4 +1,4 @@
-//===- ParallelBuilder.h - Multi-threaded library synthesis ------*- C++ -*-===//
+//===- ParallelBuilder.h - Work-stealing library synthesis -------*- C++ -*-===//
 //
 // Part of the selgen project (CGO'18 instruction-selection synthesis
 // reproduction).
@@ -10,11 +10,24 @@
 /// run the synthesizer in parallel on multiple machines, or we can
 /// first synthesize patterns for a basic set of instructions and
 /// expand on these as needed"; the paper's timings are from an 8-core
-/// machine). Each worker owns its own Z3 context — contexts are not
-/// thread-safe, but independent contexts are — pulls goals from a
-/// shared queue, and the per-goal pattern sets are aggregated into one
-/// PatternDatabase at the end, exactly like merging the databases of
-/// parallel machine runs.
+/// machine).
+///
+/// Scheduling: a work-stealing deque scheduler. Each worker owns a
+/// deque of tasks (goal start-ups and enumeration chunks) and its own
+/// Z3 context — contexts are confined to a thread, but independent
+/// contexts are safe. Owners pop from the back of their deque; idle
+/// workers steal from the front of a victim's deque. Crucially, the
+/// dominant long-pole goals (large multicombination enumerations, the
+/// tail that serializes a static per-goal dispatch) are split into
+/// rank sub-ranges via Synthesizer::synthesizeRange, so stragglers are
+/// shared among workers instead of pinning one. Per-size chunk
+/// outcomes are merged in rank order, which keeps the resulting
+/// database equal to a sequential run's.
+///
+/// Caching: with a SynthesisCache attached, each goal's cache key
+/// (content hash of its SMT spec, width, options, and encoder version)
+/// is probed before any solving; hits are served from disk and
+/// complete results are stored back, so warm reruns skip Z3 entirely.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,15 +35,38 @@
 #define SELGEN_PATTERN_PARALLELBUILDER_H
 
 #include "pattern/LibraryBuilder.h"
+#include "pattern/SynthesisCache.h"
 
 namespace selgen {
 
-/// Like synthesizeRuleLibrary, but distributes goals over
-/// \p NumThreads workers (each with a private SmtContext).
-/// \p NumThreads = 0 uses the hardware concurrency. The result is
-/// deterministic up to rule order; the database contents equal a
-/// sequential run's. \p TotalModeGoals lists goals synthesized with
-/// the total-pattern policy (see SynthesisOptions).
+/// Configuration of one parallel library build.
+struct ParallelBuildOptions {
+  /// Worker threads; 0 uses the hardware concurrency.
+  unsigned NumThreads = 0;
+  /// Goals synthesized with the total-pattern policy (see
+  /// SynthesisOptions::RequireTotalPatterns).
+  std::vector<std::string> TotalModeGoals;
+  /// Persistent result cache; null disables caching.
+  SynthesisCache *Cache = nullptr;
+  /// Minimum enumeration ranks per chunk when splitting a size's
+  /// multiset range; sizes below this run as a single chunk.
+  uint64_t MinChunkRanks = 32;
+  /// Upper bound on chunks per (goal, size), as a multiple of the
+  /// worker count.
+  unsigned ChunksPerThread = 4;
+};
+
+/// Like synthesizeRuleLibrary, but distributes goals — and sub-ranges
+/// of the heavy goals' enumerations — over worker threads with work
+/// stealing. The result is deterministic up to rule order; the
+/// database contents equal a sequential run's. Per-goal telemetry
+/// (queue wait, solver time, cache hit/miss, counterexamples) is
+/// recorded in the global Statistics registry.
+PatternDatabase synthesizeRuleLibraryParallel(
+    const GoalLibrary &Library, const SynthesisOptions &Options,
+    const ParallelBuildOptions &Build, LibraryBuildReport *Report = nullptr);
+
+/// Backward-compatible convenience overload.
 PatternDatabase synthesizeRuleLibraryParallel(
     const GoalLibrary &Library, const SynthesisOptions &Options,
     unsigned NumThreads = 0, LibraryBuildReport *Report = nullptr,

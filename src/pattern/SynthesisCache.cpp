@@ -1,0 +1,203 @@
+//===- SynthesisCache.cpp - Persistent synthesis result cache -----------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pattern/SynthesisCache.h"
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "support/Statistics.h"
+#include "support/StringUtils.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <unistd.h>
+
+using namespace selgen;
+
+namespace {
+constexpr const char *MagicLine = "selgen-cache v1";
+constexpr const char *EndLine = "end";
+} // namespace
+
+std::string SynthesisCache::defaultDirectory() {
+  if (const char *Env = std::getenv("SELGEN_CACHE_DIR"))
+    if (*Env)
+      return Env;
+  if (const char *Xdg = std::getenv("XDG_CACHE_HOME"))
+    if (*Xdg)
+      return std::string(Xdg) + "/selgen";
+  if (const char *Home = std::getenv("HOME"))
+    if (*Home)
+      return std::string(Home) + "/.cache/selgen";
+  return ".selgen-cache";
+}
+
+SynthesisCache::SynthesisCache(std::string RootDirectory)
+    : Directory(std::move(RootDirectory)) {
+  Directory += "/v1";
+  std::error_code EC;
+  std::filesystem::create_directories(Directory, EC);
+  Usable = !EC && std::filesystem::is_directory(Directory, EC);
+}
+
+std::string SynthesisCache::shardPath(const std::string &Key) const {
+  return Directory + "/" + Key + ".shard";
+}
+
+std::string SynthesisCache::serializeResult(const GoalSynthesisResult &Result) {
+  std::ostringstream Out;
+  Out << MagicLine << "\n";
+  Out << "goal " << Result.GoalName << "\n";
+  Out.precision(6);
+  Out << "seconds " << std::fixed << Result.Seconds << "\n";
+  Out << "minimal-size " << Result.MinimalSize << "\n";
+  Out << "multisets " << Result.MultisetsConsidered << " "
+      << Result.MultisetsSkipped << " " << Result.MultisetsRun << "\n";
+  Out << "queries " << Result.SynthesisQueries << " "
+      << Result.VerificationQueries << " " << Result.Counterexamples << "\n";
+  Out << "patterns " << Result.Patterns.size() << "\n";
+  for (const Graph &Pattern : Result.Patterns) {
+    Out << "pattern\n";
+    Out << printGraph(Pattern);
+    Out << "endpattern\n";
+  }
+  Out << EndLine << "\n";
+  return Out.str();
+}
+
+std::optional<GoalSynthesisResult>
+SynthesisCache::deserializeResult(const std::string &Text) {
+  GoalSynthesisResult Result;
+  std::istringstream Stream(Text);
+  std::string Line;
+
+  if (!std::getline(Stream, Line) || trimString(Line) != MagicLine)
+    return std::nullopt;
+
+  size_t DeclaredPatterns = 0;
+  bool SawPatternsField = false;
+  bool SawEnd = false;
+  while (std::getline(Stream, Line)) {
+    std::string Trimmed = trimString(Line);
+    if (Trimmed.empty())
+      continue;
+    if (Trimmed == EndLine) {
+      SawEnd = true;
+      break;
+    }
+    if (startsWith(Trimmed, "goal ")) {
+      Result.GoalName = trimString(Trimmed.substr(5));
+    } else if (startsWith(Trimmed, "seconds ")) {
+      Result.Seconds = std::atof(Trimmed.substr(8).c_str());
+    } else if (startsWith(Trimmed, "minimal-size ")) {
+      Result.MinimalSize =
+          static_cast<unsigned>(std::atoll(Trimmed.substr(13).c_str()));
+    } else if (startsWith(Trimmed, "multisets ")) {
+      std::istringstream Fields(Trimmed.substr(10));
+      if (!(Fields >> Result.MultisetsConsidered >> Result.MultisetsSkipped >>
+            Result.MultisetsRun))
+        return std::nullopt;
+    } else if (startsWith(Trimmed, "queries ")) {
+      std::istringstream Fields(Trimmed.substr(8));
+      if (!(Fields >> Result.SynthesisQueries >> Result.VerificationQueries >>
+            Result.Counterexamples))
+        return std::nullopt;
+    } else if (startsWith(Trimmed, "patterns ")) {
+      DeclaredPatterns =
+          static_cast<size_t>(std::atoll(Trimmed.substr(9).c_str()));
+      SawPatternsField = true;
+    } else if (Trimmed == "pattern") {
+      std::string GraphText;
+      bool Terminated = false;
+      while (std::getline(Stream, Line)) {
+        if (trimString(Line) == "endpattern") {
+          Terminated = true;
+          break;
+        }
+        GraphText += Line + "\n";
+      }
+      if (!Terminated)
+        return std::nullopt;
+      std::string ParseError;
+      std::optional<Graph> Pattern = parseGraph(GraphText, &ParseError);
+      if (!Pattern)
+        return std::nullopt;
+      Result.Patterns.push_back(std::move(*Pattern));
+    } else {
+      return std::nullopt; // Unknown field: likely corruption.
+    }
+  }
+
+  // A shard is valid only if fully terminated and internally
+  // consistent; anything else is treated as a miss, not an error.
+  if (!SawEnd || !SawPatternsField || Result.GoalName.empty() ||
+      Result.Patterns.size() != DeclaredPatterns)
+    return std::nullopt;
+  Result.Complete = true; // Only complete results are ever stored.
+  return Result;
+}
+
+std::optional<GoalSynthesisResult>
+SynthesisCache::lookup(const std::string &Key) const {
+  if (!Usable)
+    return std::nullopt;
+  std::ifstream In(shardPath(Key));
+  if (!In)
+    return std::nullopt;
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  std::optional<GoalSynthesisResult> Result =
+      deserializeResult(Buffer.str());
+  if (!Result)
+    Statistics::get().add("cache.corrupt_shards");
+  return Result;
+}
+
+bool SynthesisCache::store(const std::string &Key,
+                           const GoalSynthesisResult &Result) const {
+  if (!Usable || !Result.Complete)
+    return false;
+
+  // Unique temp file in the same directory, published atomically.
+  static std::atomic<uint64_t> Counter{0};
+  std::string TempPath = Directory + "/." + Key + ".tmp." +
+                         std::to_string(::getpid()) + "." +
+                         std::to_string(Counter.fetch_add(1));
+  {
+    std::ofstream Out(TempPath);
+    if (!Out)
+      return false;
+    Out << serializeResult(Result);
+    if (!Out) {
+      std::error_code EC;
+      std::filesystem::remove(TempPath, EC);
+      return false;
+    }
+  }
+  std::error_code EC;
+  std::filesystem::rename(TempPath, shardPath(Key), EC);
+  if (EC) {
+    std::filesystem::remove(TempPath, EC);
+    return false;
+  }
+  appendIndexLine(Key, Result);
+  return true;
+}
+
+void SynthesisCache::appendIndexLine(const std::string &Key,
+                                     const GoalSynthesisResult &Result) const {
+  // Advisory only: one line per store, append mode, failures ignored.
+  std::ofstream Index(Directory + "/index.log", std::ios::app);
+  if (!Index)
+    return;
+  Index << Key << " " << Result.GoalName << " " << Result.Patterns.size()
+        << " " << formatDouble(Result.Seconds, 3) << "\n";
+}

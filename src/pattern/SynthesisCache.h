@@ -1,0 +1,91 @@
+//===- SynthesisCache.h - Persistent synthesis result cache ------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A content-addressed, on-disk cache of per-goal synthesis results.
+/// Rule-library synthesis is embarrassingly parallel but expensive
+/// (hours of Z3 time at paper scale, Section 5.5); since the pattern
+/// set for a goal is a pure function of (goal semantics, data width,
+/// synthesis options, encoder version), solved goals can be reused
+/// across runs, machines, and CI jobs.
+///
+/// Layout: a versioned directory (`<dir>/v1/`) of per-goal shard files
+/// named by cache key (`<key>.shard`), plus an append-only advisory
+/// index (`index.log`). Each shard is a self-delimiting text record:
+/// header fields, the serialized pattern graphs, and an explicit `end`
+/// trailer. Lookups never trust a shard blindly — a missing trailer,
+/// a pattern-count mismatch, or a parse error all degrade to a cache
+/// miss, so truncated or corrupt shards cannot poison a build.
+///
+/// Concurrency: writers create a unique temp file in the same
+/// directory and publish it with an atomic rename, so concurrent
+/// builders (or concurrent CI jobs sharing a cache volume) can race
+/// freely; both write identical content for the same key. The index is
+/// advisory only and not required for correctness.
+///
+/// Only *complete* results (no budget/timeout casualties) are stored:
+/// an incomplete pattern set depends on the time budget and would leak
+/// that nondeterminism into later runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_PATTERN_SYNTHESISCACHE_H
+#define SELGEN_PATTERN_SYNTHESISCACHE_H
+
+#include "synth/Synthesizer.h"
+
+#include <optional>
+#include <string>
+
+namespace selgen {
+
+/// On-disk store of GoalSynthesisResults, addressed by cache key (see
+/// synthesisCacheKey in synth/SpecFingerprint.h).
+class SynthesisCache {
+public:
+  /// Opens (and creates, if needed) the cache under \p Directory.
+  explicit SynthesisCache(std::string Directory);
+
+  /// The default cache location: $SELGEN_CACHE_DIR if set, else
+  /// $XDG_CACHE_HOME/selgen, else $HOME/.cache/selgen, else
+  /// ".selgen-cache" in the working directory.
+  static std::string defaultDirectory();
+
+  const std::string &directory() const { return Directory; }
+
+  /// False if the cache directory could not be created; lookups and
+  /// stores on an unusable cache are no-ops.
+  bool usable() const { return Usable; }
+
+  /// Returns the cached result for \p Key, or std::nullopt on miss
+  /// (absent, unreadable, or corrupt shard).
+  std::optional<GoalSynthesisResult> lookup(const std::string &Key) const;
+
+  /// Stores \p Result under \p Key via temp file + atomic rename.
+  /// Incomplete results are rejected. Returns true if the shard was
+  /// published.
+  bool store(const std::string &Key, const GoalSynthesisResult &Result) const;
+
+  /// Path of the shard file for \p Key (exists only after a store).
+  std::string shardPath(const std::string &Key) const;
+
+  /// Serialization of one result record (exposed for tests).
+  static std::string serializeResult(const GoalSynthesisResult &Result);
+  static std::optional<GoalSynthesisResult>
+  deserializeResult(const std::string &Text);
+
+private:
+  std::string Directory; ///< The versioned subdirectory (<root>/v1).
+  bool Usable = false;   ///< False if the directory cannot be created.
+
+  void appendIndexLine(const std::string &Key,
+                       const GoalSynthesisResult &Result) const;
+};
+
+} // namespace selgen
+
+#endif // SELGEN_PATTERN_SYNTHESISCACHE_H

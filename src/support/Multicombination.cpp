@@ -19,6 +19,35 @@ MulticombinationEnumerator::MulticombinationEnumerator(unsigned NumItems,
   assert(Size >= 1 && "empty multisets are not enumerated");
 }
 
+MulticombinationEnumerator::MulticombinationEnumerator(unsigned NumItems,
+                                                       unsigned Size,
+                                                       uint64_t StartRank)
+    : MulticombinationEnumerator(NumItems, Size) {
+  if (Done)
+    return;
+  if (StartRank >= multisetCount(NumItems, Size)) {
+    Done = true;
+    return;
+  }
+  // Unrank: at each position, count how many multisets start with each
+  // candidate value v; the suffix after choosing v is a multiset of the
+  // remaining length over items {v, ..., NumItems-1}.
+  uint64_t Remaining = StartRank;
+  unsigned MinValue = 0;
+  for (unsigned Pos = 0; Pos < Size; ++Pos) {
+    unsigned SuffixLength = Size - Pos - 1;
+    for (unsigned Value = MinValue; Value < NumItems; ++Value) {
+      uint64_t Block = multisetCount(NumItems - Value, SuffixLength);
+      if (Remaining < Block) {
+        State[Pos] = Value;
+        MinValue = Value;
+        break;
+      }
+      Remaining -= Block;
+    }
+  }
+}
+
 bool MulticombinationEnumerator::next() {
   if (Done)
     return false;

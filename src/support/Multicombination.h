@@ -28,6 +28,14 @@ class MulticombinationEnumerator {
 public:
   MulticombinationEnumerator(unsigned NumItems, unsigned Size);
 
+  /// Starts the enumeration at lexicographic rank \p StartRank (0-based)
+  /// instead of at the first multiset; an out-of-range rank yields an
+  /// exhausted enumerator. The parallel library builder uses this to
+  /// split one size's enumeration into independently resumable
+  /// sub-ranges.
+  MulticombinationEnumerator(unsigned NumItems, unsigned Size,
+                             uint64_t StartRank);
+
   /// Returns false once all multicombinations have been produced.
   bool atEnd() const { return Done; }
 

@@ -7,6 +7,10 @@
 
 #include "support/Statistics.h"
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
 using namespace selgen;
 
 Statistics &Statistics::get() {
@@ -25,13 +29,107 @@ int64_t Statistics::value(const std::string &Name) const {
   return It == Counters.end() ? 0 : It->second;
 }
 
+void Statistics::recordGoal(GoalTelemetry Telemetry) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  Goals.push_back(std::move(Telemetry));
+}
+
+std::vector<GoalTelemetry> Statistics::goals() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return Goals;
+}
+
 void Statistics::clear() {
   std::lock_guard<std::mutex> Guard(Lock);
   Counters.clear();
+  Goals.clear();
 }
 
 void Statistics::print(std::ostream &OS) const {
   std::lock_guard<std::mutex> Guard(Lock);
   for (const auto &[Name, Value] : Counters)
     OS << Name << " = " << Value << "\n";
+}
+
+namespace {
+
+/// Escapes a string for a JSON string literal. Counter and goal names
+/// are plain identifiers, but be safe anyway.
+std::string jsonEscape(const std::string &Value) {
+  std::string Result;
+  for (char C : Value) {
+    switch (C) {
+    case '"':
+      Result += "\\\"";
+      break;
+    case '\\':
+      Result += "\\\\";
+      break;
+    case '\n':
+      Result += "\\n";
+      break;
+    case '\t':
+      Result += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buffer[8];
+        std::snprintf(Buffer, sizeof(Buffer), "\\u%04x", C);
+        Result += Buffer;
+      } else {
+        Result += C;
+      }
+    }
+  }
+  return Result;
+}
+
+std::string jsonDouble(double Value) {
+  std::ostringstream Stream;
+  Stream.precision(6);
+  Stream << std::fixed << Value;
+  return Stream.str();
+}
+
+} // namespace
+
+std::string Statistics::toJson() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  std::string Out = "{\n  \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, Value] : Counters) {
+    Out += First ? "\n" : ",\n";
+    Out += "    \"" + jsonEscape(Name) + "\": " + std::to_string(Value);
+    First = false;
+  }
+  Out += "\n  },\n  \"goals\": [";
+  First = true;
+  for (const GoalTelemetry &G : Goals) {
+    Out += First ? "\n" : ",\n";
+    Out += "    {\"goal\": \"" + jsonEscape(G.Goal) + "\"";
+    Out += ", \"group\": \"" + jsonEscape(G.Group) + "\"";
+    Out += std::string(", \"cache_hit\": ") + (G.CacheHit ? "true" : "false");
+    Out += std::string(", \"complete\": ") + (G.Complete ? "true" : "false");
+    Out += ", \"queue_wait_seconds\": " + jsonDouble(G.QueueWaitSeconds);
+    Out += ", \"solver_seconds\": " + jsonDouble(G.SolverSeconds);
+    Out += ", \"wall_seconds\": " + jsonDouble(G.WallSeconds);
+    Out += ", \"counterexamples\": " + std::to_string(G.Counterexamples);
+    Out += ", \"multisets_run\": " + std::to_string(G.MultisetsRun);
+    Out += ", \"multisets_skipped\": " + std::to_string(G.MultisetsSkipped);
+    Out += ", \"patterns\": " + std::to_string(G.Patterns);
+    Out += ", \"chunks\": " + std::to_string(G.Chunks);
+    Out += ", \"stolen_chunks\": " + std::to_string(G.StolenChunks);
+    Out += "}";
+    First = false;
+  }
+  Out += "\n  ]\n}\n";
+  return Out;
+}
+
+bool Statistics::writeJsonFile(const std::string &Path) const {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << toJson();
+  return static_cast<bool>(Out);
 }

@@ -10,6 +10,11 @@
 /// Statistic class. The synthesizer uses it to report solver-call
 /// counts, skipped multisets, counterexample counts, and so on.
 ///
+/// The registry also collects structured per-goal telemetry from the
+/// parallel library builder (queue wait, solver time, cache hit/miss,
+/// counterexample counts) and can dump everything as JSON for the
+/// benchmark harnesses and CI (--stats-json).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SELGEN_SUPPORT_STATISTICS_H
@@ -20,8 +25,31 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <vector>
 
 namespace selgen {
+
+/// Structured telemetry for one synthesized (or cache-served) goal.
+struct GoalTelemetry {
+  std::string Goal;
+  std::string Group;
+  bool CacheHit = false;
+  bool Complete = true;
+  /// Seconds between scheduling and the first worker picking the goal up.
+  double QueueWaitSeconds = 0;
+  /// Accumulated chunk execution time (solver-dominated).
+  double SolverSeconds = 0;
+  /// Wall-clock time from pickup to completion.
+  double WallSeconds = 0;
+  uint64_t Counterexamples = 0;
+  uint64_t MultisetsRun = 0;
+  uint64_t MultisetsSkipped = 0;
+  uint64_t Patterns = 0;
+  /// Enumeration chunks the goal was split into across all sizes.
+  unsigned Chunks = 0;
+  /// Chunks executed by a worker other than the goal's owner.
+  unsigned StolenChunks = 0;
+};
 
 /// Registry of named 64-bit counters. Thread-safe: the parallel
 /// synthesis driver (pattern/ParallelBuilder) bumps counters from
@@ -37,15 +65,29 @@ public:
   /// Returns the current value of \p Name, or zero if never touched.
   int64_t value(const std::string &Name) const;
 
-  /// Resets all counters. Tests use this for isolation.
+  /// Records one goal's telemetry record.
+  void recordGoal(GoalTelemetry Telemetry);
+
+  /// Snapshot of the recorded goal telemetry.
+  std::vector<GoalTelemetry> goals() const;
+
+  /// Resets all counters and goal records. Tests use this for isolation.
   void clear();
 
   /// Prints all counters, sorted by name.
   void print(std::ostream &OS) const;
 
+  /// Renders counters plus per-goal telemetry as a JSON object
+  /// ({"counters": {...}, "goals": [...]}).
+  std::string toJson() const;
+
+  /// Writes toJson() to \p Path; returns false on I/O failure.
+  bool writeJsonFile(const std::string &Path) const;
+
 private:
   mutable std::mutex Lock;
   std::map<std::string, int64_t> Counters;
+  std::vector<GoalTelemetry> Goals;
 };
 
 } // namespace selgen

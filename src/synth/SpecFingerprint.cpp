@@ -1,0 +1,97 @@
+//===- SpecFingerprint.cpp - Content fingerprints for caching -----------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/SpecFingerprint.h"
+
+#include "support/Hashing.h"
+
+using namespace selgen;
+
+const char *const selgen::EncoderVersionTag = "cegis-enc-v1";
+
+std::string selgen::instrSpecFingerprint(SmtContext &Smt,
+                                         const InstrSpec &Spec,
+                                         unsigned Width) {
+  StableHasher Hasher;
+  Hasher.str("spec").str(Spec.name()).u64(Width);
+  for (const Sort &S : Spec.argSorts())
+    Hasher.str(S.str());
+  for (const Sort &S : Spec.internalSorts())
+    Hasher.str(S.str());
+  for (const Sort &S : Spec.resultSorts())
+    Hasher.str(S.str());
+  for (unsigned I = 0; I < Spec.argSorts().size(); ++I)
+    Hasher.u64(static_cast<uint64_t>(Spec.argRole(I)));
+
+  // Symbolic arguments with fixed names, so the printed Z3 terms are
+  // reproducible across processes. Memory arguments need the goal's
+  // MemoryModel (built from its valid pointers) for their width, the
+  // same two-phase construction as Synthesizer::requiredMemoryOps.
+  std::vector<z3::expr> Args;
+  std::vector<unsigned> MemoryArgIndices;
+  for (unsigned I = 0; I < Spec.argSorts().size(); ++I) {
+    const Sort &S = Spec.argSorts()[I];
+    if (S.isMemory()) {
+      MemoryArgIndices.push_back(I);
+      Args.push_back(Smt.ctx().bv_val(0, 1)); // Placeholder.
+    } else if (S.isBool()) {
+      Args.push_back(Smt.boolConst("fp_a" + std::to_string(I)));
+    } else {
+      Args.push_back(Smt.bvConst("fp_a" + std::to_string(I), S.Width));
+    }
+  }
+  std::vector<z3::expr> ValidPointers;
+  if (Spec.accessesMemory())
+    ValidPointers = Spec.validPointers(Smt, Width, Args);
+  MemoryModel Memory(Smt, ValidPointers);
+  for (z3::expr &Pointer : ValidPointers)
+    Hasher.str(Pointer.to_string());
+  for (unsigned I : MemoryArgIndices)
+    Args[I] = Smt.bvConst("fp_a" + std::to_string(I), Memory.mvalueWidth());
+
+  SemanticsContext Context{Smt, Width, &Memory, {}};
+  std::vector<z3::expr> Internals;
+  for (unsigned I = 0; I < Spec.internalSorts().size(); ++I)
+    Internals.push_back(Context.freshConst("fp_i" + std::to_string(I),
+                                           Spec.internalSorts()[I]));
+
+  Hasher.str(Spec.precondition(Context, Args, Internals).to_string());
+  std::vector<z3::expr> Results = Spec.computeResults(Context, Args, Internals);
+  for (const z3::expr &Result : Results)
+    Hasher.str(Result.to_string());
+  for (const z3::expr &Condition : Context.RangeConditions)
+    Hasher.str(Condition.to_string());
+  return Hasher.hex();
+}
+
+std::string
+selgen::synthesisOptionsFingerprint(const SynthesisOptions &Options) {
+  StableHasher Hasher;
+  Hasher.str("options").u64(Options.Width);
+  for (Opcode Op : Options.Alphabet)
+    Hasher.str(opcodeName(Op));
+  Hasher.u64(Options.MaxPatternSize)
+      .boolean(Options.UseMemoryRefinement)
+      .boolean(Options.UseSkipCriteria)
+      .boolean(Options.FindAllMinimal)
+      .boolean(Options.RequireTotalPatterns)
+      .u64(Options.MaxPatternsPerGoal)
+      .u64(Options.MaxPatternsPerMultiset);
+  return Hasher.hex();
+}
+
+std::string selgen::synthesisCacheKey(SmtContext &Smt, const InstrSpec &Spec,
+                                      const SynthesisOptions &Options) {
+  StableHasher Hasher;
+  Hasher.str("key")
+      .str(Spec.name())
+      .str(instrSpecFingerprint(Smt, Spec, Options.Width))
+      .u64(Options.Width)
+      .str(synthesisOptionsFingerprint(Options))
+      .str(EncoderVersionTag);
+  return Hasher.hex();
+}

@@ -1,0 +1,52 @@
+//===- SpecFingerprint.h - Content fingerprints for caching ------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stable content fingerprints for the persistent synthesis cache: a
+/// goal's semantic spec is fingerprinted by symbolically evaluating its
+/// precondition and postcondition into Z3 terms and hashing their
+/// printed forms, so a cache entry is invalidated exactly when the
+/// instruction's SMT semantics change — not merely when its name does.
+/// SynthesisOptions are fingerprinted over every field that can change
+/// the synthesized pattern set; time budgets and solver timeouts are
+/// deliberately excluded because only *complete* results are ever
+/// cached, and a complete result is independent of them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_SYNTH_SPECFINGERPRINT_H
+#define SELGEN_SYNTH_SPECFINGERPRINT_H
+
+#include "synth/Synthesizer.h"
+
+#include <string>
+
+namespace selgen {
+
+/// Version tag of the synthesis encoder, mixed into every cache key.
+/// Bump whenever synth/Encoding, synth/Cegis, or the Synthesizer search
+/// loop change in a way that can alter synthesized pattern sets.
+extern const char *const EncoderVersionTag;
+
+/// Hex fingerprint of \p Spec's SMT semantics at data width \p Width:
+/// interface sorts, argument roles, precondition, result expressions,
+/// and memory range conditions.
+std::string instrSpecFingerprint(SmtContext &Smt, const InstrSpec &Spec,
+                                 unsigned Width);
+
+/// Hex fingerprint of the result-relevant SynthesisOptions fields.
+std::string synthesisOptionsFingerprint(const SynthesisOptions &Options);
+
+/// The full cache key for synthesizing \p Spec under \p Options:
+/// goal name + spec fingerprint + width + options fingerprint +
+/// encoder version, hashed to one hex string.
+std::string synthesisCacheKey(SmtContext &Smt, const InstrSpec &Spec,
+                              const SynthesisOptions &Options);
+
+} // namespace selgen
+
+#endif // SELGEN_SYNTH_SPECFINGERPRINT_H

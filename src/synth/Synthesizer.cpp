@@ -157,6 +157,9 @@ namespace {
 void absorbOutcome(GoalSynthesisResult &Result,
                    std::set<std::string> &Fingerprints,
                    CegisOutcome &&Outcome, unsigned MaxPatterns) {
+  Result.SynthesisQueries += Outcome.SynthesisQueries;
+  Result.VerificationQueries += Outcome.VerificationQueries;
+  Result.Counterexamples += Outcome.Counterexamples;
   for (Graph &Pattern : Outcome.Patterns) {
     if (Result.Patterns.size() >= MaxPatterns)
       break;
@@ -169,87 +172,162 @@ void absorbOutcome(GoalSynthesisResult &Result,
 
 } // namespace
 
-GoalSynthesisResult Synthesizer::synthesize(const InstrSpec &Goal) {
-  Timer Clock;
-  GoalSynthesisResult Result;
-  Result.GoalName = Goal.name();
+SynthesisPlan Synthesizer::plan(const InstrSpec &Goal) {
+  SynthesisPlan Plan;
 
   // Memory pre-analysis: fixed multiset prefix O.
-  std::vector<Opcode> Prefix;
   if (Options.UseMemoryRefinement)
-    Prefix = requiredMemoryOps(Goal);
+    Plan.Prefix = requiredMemoryOps(Goal);
 
   // The enumerated alphabet excludes the fixed prefix operations; for
   // goals without memory access the source criterion would drop
   // Load/Store anyway, the prefix refinement just never enumerates
   // them ("we instead take O as the fixed first members of I'").
-  std::vector<Opcode> Alphabet = Options.Alphabet;
+  Plan.Alphabet = Options.Alphabet;
   if (Options.UseMemoryRefinement && Goal.accessesMemory()) {
-    Alphabet.erase(std::remove_if(Alphabet.begin(), Alphabet.end(),
-                                  [](Opcode Op) {
-                                    return opcodeTouchesMemory(Op);
-                                  }),
-                   Alphabet.end());
+    Plan.Alphabet.erase(std::remove_if(Plan.Alphabet.begin(),
+                                       Plan.Alphabet.end(),
+                                       [](Opcode Op) {
+                                         return opcodeTouchesMemory(Op);
+                                       }),
+                        Plan.Alphabet.end());
   }
 
-  std::vector<TestCase> SharedTests;
+  Plan.MinSize = Plan.Prefix.size();
+  Plan.MaxSize =
+      std::max(Options.MaxPatternSize, unsigned(Plan.Prefix.size()));
+  return Plan;
+}
+
+uint64_t Synthesizer::numMultisets(const SynthesisPlan &Plan, unsigned Size) {
+  unsigned EnumeratedSize = Size - Plan.MinSize;
+  if (EnumeratedSize == 0)
+    return 1; // The prefix itself is the only multiset.
+  return multisetCount(Plan.Alphabet.size(), EnumeratedSize);
+}
+
+RangeOutcome Synthesizer::synthesizeRange(const InstrSpec &Goal,
+                                          const SynthesisPlan &Plan,
+                                          unsigned Size, uint64_t BeginRank,
+                                          uint64_t EndRank,
+                                          std::vector<TestCase> &SharedTests,
+                                          double BudgetSeconds) {
+  Timer Clock;
+  RangeOutcome Result;
   std::set<std::string> Fingerprints;
+
   CegisOptions CegisOpts;
   CegisOpts.QueryTimeoutMs = Options.QueryTimeoutMs;
   CegisOpts.MaxPatterns = Options.MaxPatternsPerMultiset;
   CegisOpts.RequireTotalPatterns = Options.RequireTotalPatterns;
 
   auto overBudget = [&] {
+    return BudgetSeconds > 0 && Clock.elapsedSeconds() > BudgetSeconds;
+  };
+
+  auto runMultiset = [&](std::vector<Opcode> Multiset) {
+    ++Result.MultisetsConsidered;
+    if (Options.UseSkipCriteria &&
+        shouldSkipMultiset(Goal, Multiset, Options.Width)) {
+      ++Result.MultisetsSkipped;
+      Statistics::get().add("synth.multisets_skipped");
+      return;
+    }
+    ++Result.MultisetsRun;
+    Statistics::get().add("synth.multisets_run");
+    // Bound each CEGIS run by the remaining budget, so one slow
+    // multiset cannot blow far past it.
+    if (BudgetSeconds > 0)
+      CegisOpts.TimeBudgetSeconds =
+          std::max(1.0, BudgetSeconds - Clock.elapsedSeconds());
+    CegisOutcome Outcome = runCegisAllPatterns(
+        Smt, Options.Width, Goal, Multiset, SharedTests, CegisOpts);
+    Result.SynthesisQueries += Outcome.SynthesisQueries;
+    Result.VerificationQueries += Outcome.VerificationQueries;
+    Result.Counterexamples += Outcome.Counterexamples;
+    if (!Outcome.Patterns.empty())
+      Result.FoundAny = true;
+    if (!Outcome.Exhausted)
+      Result.Complete = false;
+    for (Graph &Pattern : Outcome.Patterns) {
+      if (Result.Patterns.size() >= Options.MaxPatternsPerGoal)
+        break;
+      if (Fingerprints.insert(Pattern.fingerprint()).second)
+        Result.Patterns.push_back(std::move(Pattern));
+    }
+  };
+
+  unsigned EnumeratedSize = Size - Plan.MinSize;
+  if (EnumeratedSize == 0) {
+    if (BeginRank == 0 && EndRank > 0)
+      runMultiset(Plan.Prefix);
+  } else {
+    MulticombinationEnumerator Enumerator(Plan.Alphabet.size(),
+                                          EnumeratedSize, BeginRank);
+    for (uint64_t Rank = BeginRank; Rank < EndRank && !Enumerator.atEnd();
+         ++Rank) {
+      if (overBudget()) {
+        Result.Complete = false;
+        break;
+      }
+      std::vector<Opcode> Multiset = Plan.Prefix;
+      for (unsigned Index : Enumerator.current())
+        Multiset.push_back(Plan.Alphabet[Index]);
+      runMultiset(std::move(Multiset));
+      if (!Enumerator.next())
+        break;
+    }
+  }
+
+  Result.Seconds = Clock.elapsedSeconds();
+  return Result;
+}
+
+void selgen::absorbRangeOutcome(GoalSynthesisResult &Result,
+                                std::set<std::string> &Fingerprints,
+                                RangeOutcome &&Outcome,
+                                unsigned MaxPatternsPerGoal) {
+  Result.MultisetsConsidered += Outcome.MultisetsConsidered;
+  Result.MultisetsSkipped += Outcome.MultisetsSkipped;
+  Result.MultisetsRun += Outcome.MultisetsRun;
+  Result.Counterexamples += Outcome.Counterexamples;
+  Result.SynthesisQueries += Outcome.SynthesisQueries;
+  Result.VerificationQueries += Outcome.VerificationQueries;
+  if (!Outcome.Complete)
+    Result.Complete = false;
+  for (Graph &Pattern : Outcome.Patterns) {
+    if (Result.Patterns.size() >= MaxPatternsPerGoal)
+      break;
+    if (Fingerprints.insert(Pattern.fingerprint()).second)
+      Result.Patterns.push_back(std::move(Pattern));
+  }
+}
+
+GoalSynthesisResult Synthesizer::synthesize(const InstrSpec &Goal) {
+  Timer Clock;
+  GoalSynthesisResult Result;
+  Result.GoalName = Goal.name();
+
+  SynthesisPlan Plan = this->plan(Goal);
+  std::vector<TestCase> SharedTests;
+  std::set<std::string> Fingerprints;
+
+  auto overBudget = [&] {
     return Options.TimeBudgetSeconds > 0 &&
            Clock.elapsedSeconds() > Options.TimeBudgetSeconds;
   };
 
-  for (unsigned Size = Prefix.size();
-       Size <= std::max(Options.MaxPatternSize, unsigned(Prefix.size()));
-       ++Size) {
-    unsigned EnumeratedSize = Size - Prefix.size();
-    bool FoundThisSize = false;
-
-    auto runMultiset = [&](std::vector<Opcode> Multiset) {
-      ++Result.MultisetsConsidered;
-      if (Options.UseSkipCriteria &&
-          shouldSkipMultiset(Goal, Multiset, Options.Width)) {
-        ++Result.MultisetsSkipped;
-        Statistics::get().add("synth.multisets_skipped");
-        return;
-      }
-      ++Result.MultisetsRun;
-      Statistics::get().add("synth.multisets_run");
-      // Bound each CEGIS run by the remaining per-goal budget, so one
-      // slow multiset cannot blow far past it.
-      if (Options.TimeBudgetSeconds > 0)
-        CegisOpts.TimeBudgetSeconds = std::max(
-            1.0, Options.TimeBudgetSeconds - Clock.elapsedSeconds());
-      CegisOutcome Outcome = runCegisAllPatterns(
-          Smt, Options.Width, Goal, Multiset, SharedTests, CegisOpts);
-      if (!Outcome.Patterns.empty())
-        FoundThisSize = true;
-      absorbOutcome(Result, Fingerprints, std::move(Outcome),
-                    Options.MaxPatternsPerGoal);
-    };
-
-    if (EnumeratedSize == 0) {
-      runMultiset(Prefix);
-    } else {
-      MulticombinationEnumerator Enumerator(Alphabet.size(),
-                                            EnumeratedSize);
-      do {
-        if (overBudget()) {
-          Result.Complete = false;
-          break;
-        }
-        std::vector<Opcode> Multiset = Prefix;
-        for (unsigned Index : Enumerator.current())
-          Multiset.push_back(Alphabet[Index]);
-        runMultiset(Multiset);
-      } while (Enumerator.next());
-    }
-
+  for (unsigned Size = Plan.MinSize; Size <= Plan.MaxSize; ++Size) {
+    double Remaining = 0;
+    if (Options.TimeBudgetSeconds > 0)
+      Remaining =
+          std::max(0.001, Options.TimeBudgetSeconds - Clock.elapsedSeconds());
+    RangeOutcome Outcome =
+        synthesizeRange(Goal, Plan, Size, 0, numMultisets(Plan, Size),
+                        SharedTests, Remaining);
+    bool FoundThisSize = Outcome.FoundAny;
+    absorbRangeOutcome(Result, Fingerprints, std::move(Outcome),
+                       Options.MaxPatternsPerGoal);
     if (FoundThisSize) {
       Result.MinimalSize = Size;
       if (Options.FindAllMinimal)

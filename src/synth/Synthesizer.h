@@ -26,6 +26,7 @@
 
 #include "synth/Cegis.h"
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -66,6 +67,39 @@ struct GoalSynthesisResult {
   uint64_t MultisetsConsidered = 0;
   uint64_t MultisetsSkipped = 0; ///< By the skip criteria.
   uint64_t MultisetsRun = 0;     ///< Actually handed to CEGIS.
+  uint64_t Counterexamples = 0;
+  uint64_t SynthesisQueries = 0;
+  uint64_t VerificationQueries = 0;
+};
+
+/// The per-goal enumeration plan of Algorithm 2: the fixed memory-op
+/// prefix O and the enumerated alphabet I' (paper Section 5.4). The
+/// plan is what makes one goal's search divisible: for a fixed pattern
+/// size, the multicombination ranks over Alphabet form a contiguous
+/// range that workers can process in independent sub-ranges.
+struct SynthesisPlan {
+  std::vector<Opcode> Prefix;   ///< Required memory operations.
+  std::vector<Opcode> Alphabet; ///< Enumerated operations.
+  unsigned MinSize = 0;         ///< Prefix.size().
+  unsigned MaxSize = 0;         ///< Iterative-deepening cap.
+};
+
+/// Result of running one contiguous rank sub-range of one size's
+/// enumeration (see Synthesizer::synthesizeRange). Patterns are kept
+/// in enumeration order and deduplicated only within the range; the
+/// caller merges ranges in rank order so the final pattern set matches
+/// a sequential run exactly.
+struct RangeOutcome {
+  std::vector<Graph> Patterns;
+  bool FoundAny = false;
+  bool Complete = true;
+  uint64_t MultisetsConsidered = 0;
+  uint64_t MultisetsSkipped = 0;
+  uint64_t MultisetsRun = 0;
+  uint64_t Counterexamples = 0;
+  uint64_t SynthesisQueries = 0;
+  uint64_t VerificationQueries = 0;
+  double Seconds = 0;
 };
 
 /// Drives iterative CEGIS for individual goals.
@@ -77,6 +111,26 @@ public:
 
   /// Runs Algorithm 2 for \p Goal.
   GoalSynthesisResult synthesize(const InstrSpec &Goal);
+
+  /// Computes the enumeration plan for \p Goal (memory pre-analysis;
+  /// issues solver queries for memory-accessing goals).
+  SynthesisPlan plan(const InstrSpec &Goal);
+
+  /// Number of multisets enumerated at pattern size \p Size under
+  /// \p Plan (1 for the prefix-only size).
+  static uint64_t numMultisets(const SynthesisPlan &Plan, unsigned Size);
+
+  /// Runs the multisets with lexicographic rank in [BeginRank, EndRank)
+  /// of pattern size \p Size. \p SharedTests seeds the CEGIS test set
+  /// and receives newly found counterexamples (callers running ranges
+  /// concurrently pass per-range copies and merge). A positive
+  /// \p BudgetSeconds caps this range's wall clock; expiry marks the
+  /// outcome incomplete.
+  RangeOutcome synthesizeRange(const InstrSpec &Goal,
+                               const SynthesisPlan &Plan, unsigned Size,
+                               uint64_t BeginRank, uint64_t EndRank,
+                               std::vector<TestCase> &SharedTests,
+                               double BudgetSeconds = 0);
 
   /// Runs one classical (non-iterative) CEGIS with an oversupplied
   /// template multiset containing \p Copies copies of every alphabet
@@ -99,6 +153,14 @@ private:
   SmtContext &Smt;
   SynthesisOptions Options;
 };
+
+/// Merges one range outcome into \p Result, deduplicating patterns by
+/// fingerprint across ranges and enforcing the MaxPatternsPerGoal cap.
+/// Ranges of one size must be absorbed in ascending rank order for the
+/// final pattern set to equal a sequential run's.
+void absorbRangeOutcome(GoalSynthesisResult &Result,
+                        std::set<std::string> &Fingerprints,
+                        RangeOutcome &&Outcome, unsigned MaxPatternsPerGoal);
 
 } // namespace selgen
 

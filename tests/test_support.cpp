@@ -46,6 +46,43 @@ TEST(Multicombination, CountMatchesEnumeration) {
   }
 }
 
+TEST(Multicombination, UnrankingResumesEnumeration) {
+  // The rank constructor must land exactly where a fresh enumeration
+  // arrives after StartRank steps — this is what lets the parallel
+  // builder split a size's enumeration into independent sub-ranges.
+  for (unsigned NumItems : {1u, 3u, 5u, 8u}) {
+    for (unsigned Size : {1u, 2u, 3u, 4u}) {
+      MulticombinationEnumerator Walker(NumItems, Size);
+      uint64_t Rank = 0;
+      do {
+        MulticombinationEnumerator Jumped(NumItems, Size, Rank);
+        EXPECT_EQ(Jumped.current(), Walker.current())
+            << NumItems << " items, size " << Size << ", rank " << Rank;
+        ++Rank;
+      } while (Walker.next());
+      EXPECT_EQ(Rank, multisetCount(NumItems, Size));
+    }
+  }
+}
+
+TEST(Multicombination, UnrankedHalvesCoverWhole) {
+  // Splitting [0, N) into [0, N/2) + [N/2, N) via unranking walks every
+  // multiset exactly once.
+  const unsigned NumItems = 6, Size = 3;
+  const uint64_t Total = multisetCount(NumItems, Size);
+  std::set<std::vector<unsigned>> Seen;
+  for (uint64_t Begin : {uint64_t(0), Total / 2}) {
+    uint64_t End = Begin == 0 ? Total / 2 : Total;
+    MulticombinationEnumerator Enumerator(NumItems, Size, Begin);
+    for (uint64_t Rank = Begin; Rank < End; ++Rank) {
+      EXPECT_TRUE(Seen.insert(Enumerator.current()).second);
+      if (Rank + 1 < End)
+        EXPECT_TRUE(Enumerator.next());
+    }
+  }
+  EXPECT_EQ(Seen.size(), Total);
+}
+
 TEST(Multicombination, PaperNumbers) {
   // Section 5.4: "if |I| = 21, l = 6, and |O| = 2, we require 10 626
   // instead of 230 230 iterations."
@@ -101,6 +138,30 @@ TEST(Statistics, AccumulatesAndClears) {
   EXPECT_EQ(Stats.value("unit.untouched"), 0);
   Stats.clear();
   EXPECT_EQ(Stats.value("unit.counter"), 0);
+}
+
+TEST(Statistics, JsonCarriesCountersAndGoalTelemetry) {
+  Statistics &Stats = Statistics::get();
+  Stats.clear();
+  Stats.add("unit.json \"quoted\"", 7);
+  GoalTelemetry Telemetry;
+  Telemetry.Goal = "neg_r";
+  Telemetry.Group = "Basic";
+  Telemetry.CacheHit = true;
+  Telemetry.Patterns = 2;
+  Telemetry.SolverSeconds = 0.25;
+  Stats.recordGoal(Telemetry);
+
+  std::string Json = Stats.toJson();
+  EXPECT_NE(Json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(Json.find("unit.json \\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(Json.find("\"goals\""), std::string::npos);
+  EXPECT_NE(Json.find("\"neg_r\""), std::string::npos);
+  EXPECT_NE(Json.find("\"cache_hit\": true"), std::string::npos);
+  ASSERT_EQ(Stats.goals().size(), 1u);
+  EXPECT_EQ(Stats.goals()[0].Goal, "neg_r");
+  Stats.clear();
+  EXPECT_TRUE(Stats.goals().empty());
 }
 
 TEST(Strings, SplitJoinTrim) {

@@ -17,18 +17,21 @@
 
 #include "pattern/ParallelBuilder.h"
 #include "support/CommandLine.h"
+#include "support/Statistics.h"
 #include "support/StringUtils.h"
 #include "support/Timer.h"
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 
 using namespace selgen;
 
 int main(int argc, char **argv) {
   const std::vector<std::string> Flags = {
-      "groups", "goals", "width",  "budget",     "total",
-      "threads", "output", "merge-into", "max-size", "help"};
+      "groups",     "goals",    "width",    "budget",     "total",
+      "threads",    "output",   "merge-into", "max-size", "cache-dir",
+      "no-cache",   "stats-json", "help"};
   CommandLine Cli(argc, argv, Flags);
   if (!Cli.errors().empty() || Cli.hasFlag("help")) {
     for (const std::string &Error : Cli.errors())
@@ -45,7 +48,13 @@ int main(int argc, char **argv) {
                  "  --threads  worker threads (default hardware)\n"
                  "  --max-size override the iterative-deepening cap\n"
                  "  --output   rule library file (default rules.dat)\n"
-                 "  --merge-into  merge results into an existing library\n");
+                 "  --merge-into  merge results into an existing library\n"
+                 "  --cache-dir   persistent synthesis cache directory\n"
+                 "                (default $SELGEN_CACHE_DIR or "
+                 "~/.cache/selgen)\n"
+                 "  --no-cache    disable the persistent synthesis cache\n"
+                 "  --stats-json  write counters and per-goal telemetry "
+                 "to a JSON file\n");
     return Cli.hasFlag("help") ? 0 : 1;
   }
 
@@ -81,7 +90,21 @@ int main(int argc, char **argv) {
       const_cast<GoalInstruction &>(Goal).MaxPatternSize =
           static_cast<unsigned>(MaxSize);
 
-  unsigned Threads = static_cast<unsigned>(Cli.intOption("threads", 0));
+  ParallelBuildOptions Build;
+  Build.NumThreads = static_cast<unsigned>(Cli.intOption("threads", 0));
+
+  std::unique_ptr<SynthesisCache> Cache;
+  if (!Cli.hasFlag("no-cache")) {
+    std::string CacheDir =
+        Cli.stringOption("cache-dir", SynthesisCache::defaultDirectory());
+    Cache = std::make_unique<SynthesisCache>(CacheDir);
+    if (Cache->usable())
+      Build.Cache = Cache.get();
+    else
+      std::fprintf(stderr, "warning: cache directory %s unusable, "
+                           "continuing without cache\n",
+                   CacheDir.c_str());
+  }
 
   std::printf("synthesizing %zu goals at %u bit (%.0fs budget, %s)\n",
               Selected.goals().size(), Width, Options.TimeBudgetSeconds,
@@ -89,8 +112,8 @@ int main(int argc, char **argv) {
                                            : "paper partial semantics");
   Timer Clock;
   LibraryBuildReport Report;
-  PatternDatabase Database = synthesizeRuleLibraryParallel(
-      Selected, Options, Threads, &Report);
+  PatternDatabase Database =
+      synthesizeRuleLibraryParallel(Selected, Options, Build, &Report);
 
   for (const GroupReport &Group : Report.Groups)
     std::printf("  %-10s %3u goals  %4zu patterns  max size %u  %s"
@@ -99,6 +122,19 @@ int main(int argc, char **argv) {
                 Group.MaxPatternSize,
                 formatDuration(Group.Seconds).c_str(),
                 Group.IncompleteGoals);
+  if (Build.Cache)
+    std::printf("  cache: %u hits, %u misses (%s)\n", Report.CacheHits,
+                Report.CacheMisses, Build.Cache->directory().c_str());
+
+  std::string StatsPath = Cli.stringOption("stats-json", "");
+  if (!StatsPath.empty()) {
+    Statistics::get().add("driver.wall_ms",
+                          static_cast<int64_t>(Clock.elapsedSeconds() * 1e3));
+    if (Statistics::get().writeJsonFile(StatsPath))
+      std::printf("wrote stats to %s\n", StatsPath.c_str());
+    else
+      std::fprintf(stderr, "warning: could not write %s\n", StatsPath.c_str());
+  }
 
   std::string MergeTarget = Cli.stringOption("merge-into", "");
   if (!MergeTarget.empty()) {
