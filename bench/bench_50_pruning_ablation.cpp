@@ -28,6 +28,7 @@ struct Configuration {
   bool SkipCriteria;
   bool MemoryRefinement;
   bool TotalPatterns;
+  bool Prescreen = true;
 };
 
 } // namespace
@@ -45,6 +46,7 @@ int main() {
       {"no memory refinement", true, false, false},
       {"no refinements", false, false, false},
       {"total-pattern policy", true, true, true},
+      {"no concrete prescreen", true, true, false, /*Prescreen=*/false},
   };
 
   const char *GoalNames[] = {"inc_r", "mov_load_b", "add_rm_b",
@@ -55,9 +57,10 @@ int main() {
       Width, {"Basic", "LoadStore", "Unary", "Binary"});
 
   TablePrinter Table({"Configuration", "Multisets run", "Skipped",
-                      "Patterns", "Time"});
+                      "Verify queries", "Prescreen kills", "Patterns",
+                      "Time"});
   for (const Configuration &Config : Configurations) {
-    uint64_t Run = 0, Skipped = 0;
+    uint64_t Run = 0, Skipped = 0, Queries = 0, Kills = 0;
     size_t Patterns = 0;
     double Seconds = 0;
     for (const char *Name : GoalNames) {
@@ -70,16 +73,20 @@ int main() {
       Options.UseSkipCriteria = Config.SkipCriteria;
       Options.UseMemoryRefinement = Config.MemoryRefinement;
       Options.RequireTotalPatterns = Config.TotalPatterns;
+      Options.UsePrescreen = Config.Prescreen;
       Options.QueryTimeoutMs = 30000;
       Options.TimeBudgetSeconds = 30;
       Synthesizer Synth(Smt, Options);
       GoalSynthesisResult Result = Synth.synthesize(*Goal->Spec);
       Run += Result.MultisetsRun;
       Skipped += Result.MultisetsSkipped;
+      Queries += Result.VerificationQueries;
+      Kills += Result.PrescreenKills;
       Patterns += Result.Patterns.size();
       Seconds += Result.Seconds;
     }
     Table.addRow({Config.Name, formatGrouped(Run), formatGrouped(Skipped),
+                  formatGrouped(Queries), formatGrouped(Kills),
                   formatGrouped(Patterns), formatDuration(Seconds)});
     std::printf("[bench] %-28s done (%s)\n", Config.Name,
                 formatDuration(Seconds).c_str());

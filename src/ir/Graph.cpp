@@ -258,3 +258,43 @@ Graph Graph::clone() const {
   Copy.setResults(std::move(NewResults));
   return Copy;
 }
+
+Graph Graph::canonicalized() const {
+  Graph Copy(Width, argSorts());
+  std::map<const Node *, Node *> Mapping;
+  for (unsigned I = 0; I < Args.size(); ++I)
+    Mapping[Args[I]] = Copy.Args[I];
+  // Same traversal as fingerprint(): operands before users, results
+  // left to right. Graphs are acyclic, so no visit-in-progress mark.
+  auto visit = [&](auto &&Self, const Node *N) -> void {
+    if (Mapping.count(N))
+      return;
+    for (const NodeRef &Operand : N->operands())
+      Self(Self, Operand.Def);
+    std::vector<NodeRef> Operands;
+    Operands.reserve(N->numOperands());
+    for (const NodeRef &Operand : N->operands())
+      Operands.emplace_back(Mapping.at(Operand.Def), Operand.Index);
+    Node *NewNode = Copy.addNode(N->opcode(), std::move(Operands), [&] {
+      std::vector<Sort> Sorts;
+      for (unsigned I = 0; I < N->numResults(); ++I)
+        Sorts.push_back(N->resultSort(I));
+      return Sorts;
+    }());
+    if (N->opcode() == Opcode::Const)
+      NewNode->setConstValue(N->constValue());
+    if (N->opcode() == Opcode::Cmp)
+      NewNode->setRelation(N->relation());
+    Mapping[N] = NewNode;
+  };
+  for (const NodeRef &Ref : Results)
+    if (Ref.isValid())
+      visit(visit, Ref.Def);
+  std::vector<NodeRef> NewResults;
+  for (const NodeRef &Ref : Results)
+    NewResults.push_back(Ref.isValid()
+                             ? NodeRef(Mapping.at(Ref.Def), Ref.Index)
+                             : NodeRef());
+  Copy.setResults(std::move(NewResults));
+  return Copy;
+}

@@ -104,6 +104,12 @@ public:
   /// Deep copy.
   Graph clone() const;
 
+  /// Deep copy with live nodes renumbered in the fingerprint's
+  /// depth-first post-order from the results, so structurally
+  /// identical graphs also serialize identically regardless of the
+  /// order their nodes were created in. Dead nodes are dropped.
+  Graph canonicalized() const;
+
 private:
   unsigned Width;
   std::vector<std::unique_ptr<Node>> NodeList;

@@ -10,6 +10,7 @@
 #include "support/Statistics.h"
 #include "support/Timer.h"
 #include "synth/SpecFingerprint.h"
+#include "synth/TestCorpus.h"
 
 #include <algorithm>
 #include <atomic>
@@ -23,11 +24,6 @@
 using namespace selgen;
 
 namespace {
-
-/// Cap on the shared counterexample pool per goal; beyond this, new
-/// counterexamples still constrain the chunk that found them but are
-/// not propagated (they only accelerate CEGIS, never change results).
-constexpr size_t MaxSharedTests = 512;
 
 /// One schedulable unit.
 struct Task {
@@ -85,10 +81,14 @@ struct GoalState {
   SynthesisPlan Plan;
   std::string CacheKey;
   bool CacheHit = false;
+  /// The goal's shared counterexample corpus (from the scheduler's
+  /// CorpusStore, keyed by goal fingerprint): internally locked, so
+  /// all chunks of the goal — stolen or not — screen against and feed
+  /// one test pool with no extra synchronization here.
+  std::shared_ptr<TestCorpus> Corpus;
 
   // Guarded by M while chunks of one size run concurrently.
   std::mutex M;
-  std::vector<TestCase> SharedTests;
   std::set<std::string> Fingerprints;
   GoalSynthesisResult Result;
   unsigned PendingChunks = 0;
@@ -161,6 +161,7 @@ private:
   std::vector<GoalState> States;
   std::vector<WorkDeque> Deques;
   std::atomic<size_t> RemainingGoals{0};
+  CorpusStore Corpora;
   Timer SchedulerClock;
 
   std::mutex IdleMutex;
@@ -221,6 +222,9 @@ private:
 
     Synthesizer Synth(Smt, S.Options);
     S.Plan = Synth.plan(*S.Goal->Spec);
+    S.Corpus = Corpora.getOrCreate(
+        instrSpecFingerprint(Smt, *S.Goal->Spec, S.Options.Width),
+        S.Options.CorpusCapacity);
     scheduleSize(WorkerId, T.GoalIndex, S.Plan.MinSize);
   }
 
@@ -269,14 +273,6 @@ private:
     if (Stolen)
       Statistics::get().add("scheduler.steals");
 
-    std::vector<TestCase> Tests;
-    size_t Snapshot;
-    {
-      std::lock_guard<std::mutex> Guard(S.M);
-      Tests = S.SharedTests;
-      Snapshot = Tests.size();
-    }
-
     double Budget = 0;
     if (S.Options.TimeBudgetSeconds > 0)
       Budget = std::max(0.001, S.Options.TimeBudgetSeconds -
@@ -291,15 +287,13 @@ private:
     // against a chunk's solver work.
     SmtContext ChunkSmt;
     Synthesizer Synth(ChunkSmt, S.Options);
-    RangeOutcome Outcome = Synth.synthesizeRange(
-        *S.Goal->Spec, S.Plan, T.Size, T.BeginRank, T.EndRank, Tests, Budget);
+    RangeOutcome Outcome =
+        Synth.synthesizeRange(*S.Goal->Spec, S.Plan, T.Size, T.BeginRank,
+                              T.EndRank, *S.Corpus, Budget);
 
     bool Finalize = false;
     {
       std::lock_guard<std::mutex> Guard(S.M);
-      for (size_t I = Snapshot;
-           I < Tests.size() && S.SharedTests.size() < MaxSharedTests; ++I)
-        S.SharedTests.push_back(Tests[I]);
       S.SolverSeconds += Outcome.Seconds;
       ++S.Chunks;
       if (Stolen)
@@ -376,6 +370,11 @@ private:
     Telemetry.Patterns = S.Result.Patterns.size();
     Telemetry.Chunks = S.Chunks;
     Telemetry.StolenChunks = S.StolenChunks;
+    Telemetry.PrescreenKills = S.Result.PrescreenKills;
+    if (S.Corpus) {
+      Telemetry.CorpusSize = S.Corpus->size();
+      Telemetry.CorpusEvictions = S.Corpus->evictions();
+    }
     Statistics::get().recordGoal(std::move(Telemetry));
 
     RemainingGoals.fetch_sub(1);

@@ -63,6 +63,8 @@ std::string SynthesisCache::serializeResult(const GoalSynthesisResult &Result) {
       << Result.MultisetsSkipped << " " << Result.MultisetsRun << "\n";
   Out << "queries " << Result.SynthesisQueries << " "
       << Result.VerificationQueries << " " << Result.Counterexamples << "\n";
+  Out << "prescreen " << Result.PrescreenKills << " "
+      << Result.PrescreenInconclusive << "\n";
   Out << "patterns " << Result.Patterns.size() << "\n";
   for (const Graph &Pattern : Result.Patterns) {
     Out << "pattern\n";
@@ -109,6 +111,10 @@ SynthesisCache::deserializeResult(const std::string &Text) {
       std::istringstream Fields(Trimmed.substr(8));
       if (!(Fields >> Result.SynthesisQueries >> Result.VerificationQueries >>
             Result.Counterexamples))
+        return std::nullopt;
+    } else if (startsWith(Trimmed, "prescreen ")) {
+      std::istringstream Fields(Trimmed.substr(10));
+      if (!(Fields >> Result.PrescreenKills >> Result.PrescreenInconclusive))
         return std::nullopt;
     } else if (startsWith(Trimmed, "patterns ")) {
       DeclaredPatterns =

@@ -54,6 +54,12 @@ InstrSpec::validPointers(SmtContext &, unsigned,
   return {};
 }
 
+std::optional<std::vector<BitValue>>
+InstrSpec::computeResultsConcrete(unsigned,
+                                  const std::vector<BitValue> &) const {
+  return std::nullopt;
+}
+
 bool InstrSpec::accessesMemory() const {
   for (const Sort &S : ArgSorts)
     if (S.isMemory())
@@ -67,10 +73,11 @@ bool InstrSpec::accessesMemory() const {
 LambdaSpec::LambdaSpec(std::string Name, std::vector<Sort> ArgSorts,
                        std::vector<Sort> ResultSorts,
                        std::vector<ArgRole> ArgRoles, ResultsFn Results,
-                       PointersFn Pointers)
+                       PointersFn Pointers, ConcreteFn Concrete)
     : InstrSpec(std::move(Name), std::move(ArgSorts), /*InternalSorts=*/{},
                 std::move(ResultSorts), std::move(ArgRoles)),
-      Results(std::move(Results)), Pointers(std::move(Pointers)) {}
+      Results(std::move(Results)), Pointers(std::move(Pointers)),
+      Concrete(std::move(Concrete)) {}
 
 std::vector<z3::expr>
 LambdaSpec::computeResults(SemanticsContext &Context,
@@ -87,4 +94,12 @@ LambdaSpec::validPointers(SmtContext &Smt, unsigned Width,
   if (!Pointers)
     return {};
   return Pointers(Smt, Width, Args);
+}
+
+std::optional<std::vector<BitValue>>
+LambdaSpec::computeResultsConcrete(unsigned Width,
+                                   const std::vector<BitValue> &Args) const {
+  if (!Concrete)
+    return std::nullopt;
+  return Concrete(Width, Args);
 }

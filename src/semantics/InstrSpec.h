@@ -29,6 +29,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -107,6 +108,18 @@ public:
   validPointers(SmtContext &Smt, unsigned Width,
                 const std::vector<z3::expr> &Args) const;
 
+  /// Executable twin of computeResults for specs that have one: the
+  /// result values on a concrete argument tuple, with no solver
+  /// involved. Bool results are encoded as width-1 BitValues, memory
+  /// results as M-value bit-vectors. Returns nullopt when the spec has
+  /// no concrete implementation (the caller then falls back to
+  /// literal-substitution + z3 simplify); only specs whose
+  /// precondition is trivially true may provide one. Cross-validated
+  /// against the SMT semantics in tests/test_concrete_goal_eval.cpp.
+  virtual std::optional<std::vector<BitValue>>
+  computeResultsConcrete(unsigned Width,
+                         const std::vector<BitValue> &Args) const;
+
   /// True if the interface involves the memory sort.
   bool accessesMemory() const;
 
@@ -126,10 +139,13 @@ public:
       SemanticsContext &, const std::vector<z3::expr> &)>;
   using PointersFn = std::function<std::vector<z3::expr>(
       SmtContext &, unsigned, const std::vector<z3::expr> &)>;
+  using ConcreteFn = std::function<std::vector<BitValue>(
+      unsigned, const std::vector<BitValue> &)>;
 
   LambdaSpec(std::string Name, std::vector<Sort> ArgSorts,
              std::vector<Sort> ResultSorts, std::vector<ArgRole> ArgRoles,
-             ResultsFn Results, PointersFn Pointers = nullptr);
+             ResultsFn Results, PointersFn Pointers = nullptr,
+             ConcreteFn Concrete = nullptr);
 
   std::vector<z3::expr>
   computeResults(SemanticsContext &Context, const std::vector<z3::expr> &Args,
@@ -139,9 +155,14 @@ public:
   validPointers(SmtContext &Smt, unsigned Width,
                 const std::vector<z3::expr> &Args) const override;
 
+  std::optional<std::vector<BitValue>>
+  computeResultsConcrete(unsigned Width,
+                         const std::vector<BitValue> &Args) const override;
+
 private:
   ResultsFn Results;
   PointersFn Pointers;
+  ConcreteFn Concrete;
 };
 
 } // namespace selgen

@@ -9,6 +9,7 @@
 
 #include "support/Error.h"
 #include "support/Statistics.h"
+#include "support/Timer.h"
 
 using namespace selgen;
 
@@ -76,12 +77,22 @@ static SmtResult recordResult(z3::check_result Result) {
   SELGEN_UNREACHABLE("bad check result");
 }
 
-SmtResult SmtSolver::check() { return recordResult(Solver.check()); }
+SmtResult SmtSolver::check() {
+  Timer Clock;
+  z3::check_result Result = Solver.check();
+  Statistics::get().add("smt.check_us",
+                        static_cast<int64_t>(Clock.elapsedSeconds() * 1e6));
+  return recordResult(Result);
+}
 
 SmtResult
 SmtSolver::checkAssuming(const std::vector<z3::expr> &Assumptions) {
   z3::expr_vector Vector(Context.ctx());
   for (const z3::expr &Assumption : Assumptions)
     Vector.push_back(Assumption);
-  return recordResult(Solver.check(Vector));
+  Timer Clock;
+  z3::check_result Result = Solver.check(Vector);
+  Statistics::get().add("smt.check_us",
+                        static_cast<int64_t>(Clock.elapsedSeconds() * 1e6));
+  return recordResult(Result);
 }

@@ -119,6 +119,9 @@ std::string Statistics::toJson() const {
     Out += ", \"patterns\": " + std::to_string(G.Patterns);
     Out += ", \"chunks\": " + std::to_string(G.Chunks);
     Out += ", \"stolen_chunks\": " + std::to_string(G.StolenChunks);
+    Out += ", \"prescreen_kills\": " + std::to_string(G.PrescreenKills);
+    Out += ", \"corpus_size\": " + std::to_string(G.CorpusSize);
+    Out += ", \"corpus_evictions\": " + std::to_string(G.CorpusEvictions);
     Out += "}";
     First = false;
   }

@@ -49,6 +49,13 @@ struct GoalTelemetry {
   unsigned Chunks = 0;
   /// Chunks executed by a worker other than the goal's owner.
   unsigned StolenChunks = 0;
+  /// Candidates killed by the concrete pre-screen (verification
+  /// queries avoided).
+  uint64_t PrescreenKills = 0;
+  /// Final size of the goal's counterexample corpus.
+  uint64_t CorpusSize = 0;
+  /// Corpus entries LRU-evicted over the goal's lifetime.
+  uint64_t CorpusEvictions = 0;
 };
 
 /// Registry of named 64-bit counters. Thread-safe: the parallel

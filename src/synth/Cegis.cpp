@@ -8,74 +8,15 @@
 #include "synth/Cegis.h"
 
 #include "support/Rng.h"
-#include "support/Timer.h"
 #include "support/Statistics.h"
+#include "support/Timer.h"
 
+#include <algorithm>
 #include <set>
 
 using namespace selgen;
 
 namespace {
-
-/// Builds the argument expressions and memory model for one concrete
-/// test case.
-struct ConcreteInstance {
-  std::vector<z3::expr> Args;
-  std::unique_ptr<MemoryModel> Memory;
-};
-
-ConcreteInstance makeConcreteInstance(SmtContext &Smt, unsigned Width,
-                                      const InstrSpec &Goal,
-                                      const TestCase &Test) {
-  ConcreteInstance Instance;
-  // Memory arguments need the M-value width, which needs the valid
-  // pointers, which need the (value) arguments — so build value
-  // literals first and patch memory literals in after the model
-  // exists. Valid pointers never depend on memory arguments.
-  std::vector<unsigned> MemoryArgIndices;
-  for (unsigned I = 0; I < Goal.argSorts().size(); ++I) {
-    const Sort &S = Goal.argSorts()[I];
-    if (S.isMemory()) {
-      MemoryArgIndices.push_back(I);
-      Instance.Args.push_back(Smt.ctx().bv_val(0, 1)); // Placeholder.
-    } else {
-      assert(S.isValue() && "goal arguments are values or memory");
-      Instance.Args.push_back(Smt.literal(Test[I]));
-    }
-  }
-  Instance.Memory = std::make_unique<MemoryModel>(
-      Smt, Goal.validPointers(Smt, Width, Instance.Args));
-  for (unsigned I : MemoryArgIndices) {
-    assert(Test[I].width() == Instance.Memory->mvalueWidth() &&
-           "memory test value width mismatch");
-    Instance.Args[I] = Smt.literal(Test[I]);
-  }
-  return Instance;
-}
-
-/// Builds fresh symbolic arguments and the memory model over them.
-ConcreteInstance makeSymbolicInstance(SmtContext &Smt, unsigned Width,
-                                      const InstrSpec &Goal,
-                                      const std::string &Tag) {
-  ConcreteInstance Instance;
-  std::vector<unsigned> MemoryArgIndices;
-  for (unsigned I = 0; I < Goal.argSorts().size(); ++I) {
-    const Sort &S = Goal.argSorts()[I];
-    if (S.isMemory()) {
-      MemoryArgIndices.push_back(I);
-      Instance.Args.push_back(Smt.ctx().bv_val(0, 1)); // Placeholder.
-    } else {
-      Instance.Args.push_back(
-          Smt.bvConst(Tag + "_a" + std::to_string(I), S.Width));
-    }
-  }
-  Instance.Memory = std::make_unique<MemoryModel>(
-      Smt, Goal.validPointers(Smt, Width, Instance.Args));
-  for (unsigned I : MemoryArgIndices)
-    Instance.Args[I] = Smt.bvConst(Tag + "_a" + std::to_string(I),
-                                   Instance.Memory->mvalueWidth());
-  return Instance;
-}
 
 /// Equality of a pattern result with the goal result of the same sort.
 z3::expr resultsEqual(SmtContext &Smt, const std::vector<z3::expr> &Lhs,
@@ -85,6 +26,21 @@ z3::expr resultsEqual(SmtContext &Smt, const std::vector<z3::expr> &Lhs,
   for (unsigned I = 0; I < Lhs.size(); ++I)
     Equalities.push_back(Lhs[I] == Rhs[I]);
   return Smt.mkAnd(Equalities);
+}
+
+/// Puts the found patterns into canonical (fingerprint) order, so the
+/// outcome is independent of the order candidates happened to be
+/// enumerated in — which in turn depends on which corpus tests were
+/// asserted, something pre-screening changes.
+void canonicalizePatterns(std::vector<Graph> &Patterns) {
+  // Canonical node order within each graph, then canonical order
+  // across graphs.
+  for (Graph &Pattern : Patterns)
+    Pattern = Pattern.canonicalized();
+  std::sort(Patterns.begin(), Patterns.end(),
+            [](const Graph &A, const Graph &B) {
+              return A.fingerprint() < B.fingerprint();
+            });
 }
 
 } // namespace
@@ -119,21 +75,20 @@ std::vector<TestCase> selgen::makeInitialTests(const InstrSpec &Goal,
   return Tests;
 }
 
-bool selgen::verifyPatternAgainstGoal(SmtContext &Smt, unsigned Width,
-                                      const InstrSpec &Goal,
-                                      const Graph &Pattern,
-                                      TestCase *Counterexample,
-                                      unsigned QueryTimeoutMs,
-                                      bool RequireTotal) {
-  ConcreteInstance Instance =
-      makeSymbolicInstance(Smt, Width, Goal, "verify");
-
+PatternVerifier::PatternVerifier(SmtContext &Smt, unsigned Width,
+                                 const InstrSpec &Goal,
+                                 unsigned QueryTimeoutMs, bool RequireTotal)
+    : Smt(Smt), Width(Width), Goal(Goal), RequireTotal(RequireTotal),
+      Instance(makeSymbolicGoalInstance(Smt, Width, Goal, "verify")),
+      GoalPrecondition(Smt.boolVal(true)), Solver(Smt) {
   SemanticsContext GoalContext{Smt, Width, Instance.Memory.get(), {}};
-  std::vector<z3::expr> GoalResults =
-      Goal.computeResults(GoalContext, Instance.Args, {});
-  z3::expr GoalPrecondition =
-      Goal.precondition(GoalContext, Instance.Args, {});
+  GoalResults = Goal.computeResults(GoalContext, Instance.Args, {});
+  GoalPrecondition = Goal.precondition(GoalContext, Instance.Args, {});
+  if (QueryTimeoutMs)
+    Solver.setTimeoutMilliseconds(QueryTimeoutMs);
+}
 
+bool PatternVerifier::verify(const Graph &Pattern, TestCase *Counterexample) {
   SemanticsContext PatternContext{Smt, Width, Instance.Memory.get(), {}};
   GraphSemantics PatternSemantics =
       buildGraphSemantics(PatternContext, Pattern, Instance.Args);
@@ -146,9 +101,7 @@ bool selgen::verifyPatternAgainstGoal(SmtContext &Smt, unsigned Width,
     ResultMismatches.push_back(PatternSemantics.Results[R] !=
                                GoalResults[R]);
 
-  SmtSolver Solver(Smt);
-  if (QueryTimeoutMs)
-    Solver.setTimeoutMilliseconds(QueryTimeoutMs);
+  Solver.push();
   if (RequireTotal) {
     // Total mode: wherever the goal is defined, the pattern must be
     // defined, in range, and equal.
@@ -165,25 +118,49 @@ bool selgen::verifyPatternAgainstGoal(SmtContext &Smt, unsigned Width,
   }
 
   SmtResult Result = Solver.check();
-  if (Result == SmtResult::Unsat)
-    return true;
+  bool Verified = Result == SmtResult::Unsat;
   if (Result == SmtResult::Sat && Counterexample) {
     z3::model Model = Solver.model();
     Counterexample->clear();
     for (const z3::expr &Arg : Instance.Args)
       Counterexample->push_back(Smt.evalBits(Model, Arg));
   }
-  return false;
+  Solver.pop();
+  return Verified;
+}
+
+bool selgen::verifyPatternAgainstGoal(SmtContext &Smt, unsigned Width,
+                                      const InstrSpec &Goal,
+                                      const Graph &Pattern,
+                                      TestCase *Counterexample,
+                                      unsigned QueryTimeoutMs,
+                                      bool RequireTotal) {
+  PatternVerifier Verifier(Smt, Width, Goal, QueryTimeoutMs, RequireTotal);
+  return Verifier.verify(Pattern, Counterexample);
 }
 
 CegisOutcome selgen::runCegisAllPatterns(SmtContext &Smt, unsigned Width,
                                          const InstrSpec &Goal,
                                          const std::vector<Opcode> &Templates,
-                                         std::vector<TestCase> &SharedTests,
-                                         const CegisOptions &Options) {
+                                         TestCorpus &Corpus,
+                                         const CegisOptions &Options,
+                                         ConcreteGoalEval *Eval,
+                                         PatternVerifier *Verifier) {
   CegisOutcome Outcome;
   ProgramEncoding Encoding(Smt, Width, Goal, Templates,
                            Options.RequireAllUsed);
+
+  std::optional<ConcreteGoalEval> LocalEval;
+  if (!Eval && Options.UsePrescreen) {
+    LocalEval.emplace(Smt, Width, Goal);
+    Eval = &*LocalEval;
+  }
+  std::optional<PatternVerifier> LocalVerifier;
+  if (!Verifier) {
+    LocalVerifier.emplace(Smt, Width, Goal, Options.QueryTimeoutMs,
+                          Options.RequireTotalPatterns);
+    Verifier = &*LocalVerifier;
+  }
 
   SmtSolver Synthesis(Smt);
   if (Options.QueryTimeoutMs)
@@ -197,8 +174,7 @@ CegisOutcome selgen::runCegisAllPatterns(SmtContext &Smt, unsigned Width,
   // floods the enumeration with junk rules no defined program can
   // trigger.
   {
-    ConcreteInstance Witness =
-        makeSymbolicInstance(Smt, Width, Goal, "wit");
+    GoalInstance Witness = makeSymbolicGoalInstance(Smt, Width, Goal, "wit");
     EncodedInstance Encoded =
         Encoding.instantiate(Witness.Args, *Witness.Memory, "wit");
     Synthesis.add(Encoded.Definitions);
@@ -206,16 +182,20 @@ CegisOutcome selgen::runCegisAllPatterns(SmtContext &Smt, unsigned Width,
     Synthesis.add(Encoded.RangeCondition);
   }
 
-  if (SharedTests.empty())
-    SharedTests = makeInitialTests(Goal, Width, Smt, Options.RngSeed,
-                                   /*Count=*/3);
+  if (Corpus.empty())
+    for (TestCase &Test :
+         makeInitialTests(Goal, Width, Smt, Options.RngSeed, /*Count=*/3)) {
+      std::optional<ConcreteGoalOutcome> GoalOutcome;
+      if (Eval)
+        GoalOutcome = Eval->evaluateGoal(Test);
+      Corpus.insert(std::move(Test), std::move(GoalOutcome));
+    }
 
   // Assert the synthesis condition for one test case:
   //   definitions ∧ (P+ -> (P(g) ∧ vr = vr' ∧ V+ ⊆ V)).
   unsigned AssertedTests = 0;
   auto assertTestCase = [&](const TestCase &Test) {
-    ConcreteInstance Instance =
-        makeConcreteInstance(Smt, Width, Goal, Test);
+    GoalInstance Instance = makeConcreteGoalInstance(Smt, Width, Goal, Test);
     std::string Tag = "t" + std::to_string(AssertedTests++);
     EncodedInstance Encoded =
         Encoding.instantiate(Instance.Args, *Instance.Memory, Tag);
@@ -241,8 +221,14 @@ CegisOutcome selgen::runCegisAllPatterns(SmtContext &Smt, unsigned Width,
                                     Encoded.RangeCondition));
   };
 
-  for (const TestCase &Test : SharedTests)
-    assertTestCase(Test);
+  // Tests are asserted lazily: a corpus test enters the synthesis
+  // formula only once it has killed a candidate of this multiset, so
+  // the formula stays small however large the shared corpus grows.
+  std::set<std::string> AssertedKeys;
+  auto assertTestOnce = [&](const TestCase &Test) {
+    if (AssertedKeys.insert(testCaseKey(Test)).second)
+      assertTestCase(Test);
+  };
 
   std::set<std::string> SeenFingerprints;
 
@@ -252,6 +238,7 @@ CegisOutcome selgen::runCegisAllPatterns(SmtContext &Smt, unsigned Width,
     if (Options.TimeBudgetSeconds > 0 &&
         Clock.elapsedSeconds() > Options.TimeBudgetSeconds) {
       Outcome.SolverTrouble = true;
+      canonicalizePatterns(Outcome.Patterns);
       return Outcome;
     }
     ++Outcome.SynthesisQueries;
@@ -259,10 +246,12 @@ CegisOutcome selgen::runCegisAllPatterns(SmtContext &Smt, unsigned Width,
     SmtResult Result = Synthesis.check();
     if (Result == SmtResult::Unsat) {
       Outcome.Exhausted = true;
+      canonicalizePatterns(Outcome.Patterns);
       return Outcome;
     }
     if (Result == SmtResult::Unknown) {
       Outcome.SolverTrouble = true;
+      canonicalizePatterns(Outcome.Patterns);
       return Outcome;
     }
 
@@ -280,29 +269,94 @@ CegisOutcome selgen::runCegisAllPatterns(SmtContext &Smt, unsigned Width,
       Synthesis.add(!Smt.mkAnd(Same));
     }
 
+    // Concrete pre-screen: run the candidate on the whole corpus; one
+    // failing test kills it without a verification query, and only
+    // that killing test is then asserted symbolically.
+    if (Eval && Options.UsePrescreen) {
+      Timer ScreenClock;
+      std::vector<TestCorpus::EntryPtr> Tests = Corpus.snapshot();
+      TestCorpus::EntryPtr Killer;
+      bool SawInconclusive = false;
+      for (const TestCorpus::EntryPtr &Test : Tests) {
+        if (!Test->GoalOutcome) {
+          SawInconclusive = true;
+          continue;
+        }
+        ScreenVerdict Verdict =
+            Eval->screen(Candidate, Test->Test, *Test->GoalOutcome,
+                         Options.RequireTotalPatterns);
+        if (Verdict == ScreenVerdict::Kill) {
+          Killer = Test;
+          break;
+        }
+        if (Verdict == ScreenVerdict::Inconclusive)
+          SawInconclusive = true;
+      }
+      Statistics::get().add(
+          "prescreen.eval_us",
+          static_cast<int64_t>(ScreenClock.elapsedSeconds() * 1e6));
+      Statistics::get().add("prescreen.candidates");
+      if (Killer) {
+        ++Outcome.PrescreenKills;
+        Statistics::get().add("prescreen.kills");
+        Statistics::get().add("corpus.hits");
+        Corpus.recordKill(Killer);
+        assertTestOnce(Killer->Test);
+        continue;
+      }
+      if (SawInconclusive) {
+        ++Outcome.PrescreenInconclusive;
+        Statistics::get().add("prescreen.inconclusive");
+      }
+    }
+
     ++Outcome.VerificationQueries;
     Statistics::get().add("cegis.verification_queries");
     TestCase Counterexample;
-    if (verifyPatternAgainstGoal(Smt, Width, Goal, Candidate,
-                                 &Counterexample, Options.QueryTimeoutMs,
-                                 Options.RequireTotalPatterns)) {
+    if (Verifier->verify(Candidate, &Counterexample)) {
       if (SeenFingerprints.insert(Candidate.fingerprint()).second)
         Outcome.Patterns.push_back(std::move(Candidate));
-      if (Outcome.Patterns.size() >= Options.MaxPatterns)
+      if (Outcome.Patterns.size() >= Options.MaxPatterns) {
+        canonicalizePatterns(Outcome.Patterns);
         return Outcome;
+      }
       continue;
     }
 
     if (Counterexample.empty()) {
       // Timeout or unknown in verification.
       Outcome.SolverTrouble = true;
+      canonicalizePatterns(Outcome.Patterns);
       return Outcome;
     }
 
     ++Outcome.Counterexamples;
     Statistics::get().add("cegis.counterexamples");
-    SharedTests.push_back(Counterexample);
-    assertTestCase(Counterexample);
+    std::optional<ConcreteGoalOutcome> GoalOutcome;
+    if (Eval)
+      GoalOutcome = Eval->evaluateGoal(Counterexample);
+    Corpus.insert(Counterexample, std::move(GoalOutcome));
+    assertTestOnce(Counterexample);
   }
+  canonicalizePatterns(Outcome.Patterns);
+  return Outcome;
+}
+
+CegisOutcome selgen::runCegisAllPatterns(SmtContext &Smt, unsigned Width,
+                                         const InstrSpec &Goal,
+                                         const std::vector<Opcode> &Templates,
+                                         std::vector<TestCase> &SharedTests,
+                                         const CegisOptions &Options) {
+  TestCorpus Corpus;
+  if (!SharedTests.empty()) {
+    std::optional<ConcreteGoalEval> Eval;
+    if (Options.UsePrescreen)
+      Eval.emplace(Smt, Width, Goal);
+    for (const TestCase &Test : SharedTests)
+      Corpus.insert(Test, Eval ? Eval->evaluateGoal(Test) : std::nullopt);
+  }
+  CegisOutcome Outcome =
+      runCegisAllPatterns(Smt, Width, Goal, Templates, Corpus, Options);
+  SharedTests = Corpus.allTests();
   return Outcome;
 }

@@ -11,12 +11,24 @@
 /// with exclusion clauses until every pattern expressible with the
 /// given template multiset has been found (CEGISAllPatterns).
 ///
+/// Two layers keep the solver out of the hot path. Candidates are
+/// first screened concretely against the accumulated counterexample
+/// corpus (ConcreteGoalEval / TestCorpus): a failing test kills a
+/// candidate with zero verification queries. And test cases are
+/// asserted into the synthesis formula lazily — only once they have
+/// actually killed a candidate — so the formula stays small as the
+/// corpus grows. Pattern results are returned in canonical
+/// (fingerprint) order, making the output independent of which tests
+/// happen to be asserted.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SELGEN_SYNTH_CEGIS_H
 #define SELGEN_SYNTH_CEGIS_H
 
+#include "synth/ConcreteGoalEval.h"
 #include "synth/Encoding.h"
+#include "synth/TestCorpus.h"
 
 #include <vector>
 
@@ -40,6 +52,11 @@ struct CegisOptions {
   /// baseline disables it (the original encoding allows dead
   /// components).
   bool RequireAllUsed = true;
+  /// Screen candidates concretely against the counterexample corpus
+  /// before the symbolic verification query. Never changes the
+  /// resulting pattern set (a concrete Kill is a verification
+  /// counterexample); --no-prescreen disables it for ablation.
+  bool UsePrescreen = true;
 };
 
 /// What one CEGISAllPatterns run produced.
@@ -54,13 +71,56 @@ struct CegisOutcome {
   unsigned SynthesisQueries = 0;
   unsigned VerificationQueries = 0;
   unsigned Counterexamples = 0;
+  /// Candidates killed by the concrete corpus pre-screen; each one is
+  /// an SMT verification query avoided.
+  unsigned PrescreenKills = 0;
+  /// Candidates whose screening was inconclusive on some test and went
+  /// to the symbolic verifier anyway.
+  unsigned PrescreenInconclusive = 0;
+};
+
+/// The verification query of Section 5.2 with the per-candidate work
+/// factored out: the symbolic goal instance, goal semantics, and
+/// solver are built once per (goal, width), and each candidate is
+/// checked in its own push/pop scope.
+class PatternVerifier {
+public:
+  PatternVerifier(SmtContext &Smt, unsigned Width, const InstrSpec &Goal,
+                  unsigned QueryTimeoutMs = 0, bool RequireTotal = false);
+
+  /// Returns true if \p Pattern is equivalent to the goal for all
+  /// inputs; if \p Counterexample is non-null and the check fails with
+  /// a model, the failing test case is stored there.
+  bool verify(const Graph &Pattern, TestCase *Counterexample = nullptr);
+
+private:
+  SmtContext &Smt;
+  unsigned Width;
+  const InstrSpec &Goal;
+  bool RequireTotal;
+  GoalInstance Instance;
+  std::vector<z3::expr> GoalResults;
+  z3::expr GoalPrecondition;
+  SmtSolver Solver;
 };
 
 /// Runs CEGISAllPatterns for \p Goal over the template multiset
-/// \p Templates. \p SharedTests carries test cases across multisets of
-/// the same goal (any counterexample for one candidate is a valid test
-/// case for all of them); newly discovered counterexamples are
-/// appended.
+/// \p Templates. \p Corpus carries test cases across multisets of the
+/// same goal and, in the parallel builder, across chunks (any
+/// counterexample for one candidate is a valid test case for all of
+/// them); newly discovered counterexamples are inserted. \p Eval and
+/// \p Verifier may be shared across multisets of the same (goal,
+/// width); passing null constructs them locally.
+CegisOutcome runCegisAllPatterns(SmtContext &Smt, unsigned Width,
+                                 const InstrSpec &Goal,
+                                 const std::vector<Opcode> &Templates,
+                                 TestCorpus &Corpus,
+                                 const CegisOptions &Options,
+                                 ConcreteGoalEval *Eval = nullptr,
+                                 PatternVerifier *Verifier = nullptr);
+
+/// Compatibility overload over a plain test vector: seeds a local
+/// corpus from \p SharedTests and copies the grown corpus back.
 CegisOutcome runCegisAllPatterns(SmtContext &Smt, unsigned Width,
                                  const InstrSpec &Goal,
                                  const std::vector<Opcode> &Templates,
@@ -72,10 +132,8 @@ std::vector<TestCase> makeInitialTests(const InstrSpec &Goal, unsigned Width,
                                        SmtContext &Smt, uint64_t Seed,
                                        unsigned Count);
 
-/// Verifies that \p Pattern is equivalent to \p Goal for all inputs
-/// (the verification query of Section 5.2, run standalone). Returns
-/// true if equivalent; if \p Counterexample is non-null and the check
-/// fails with a model, the failing test case is stored there.
+/// One-shot convenience wrapper around PatternVerifier for standalone
+/// verification of a single pattern.
 bool verifyPatternAgainstGoal(SmtContext &Smt, unsigned Width,
                               const InstrSpec &Goal, const Graph &Pattern,
                               TestCase *Counterexample = nullptr,

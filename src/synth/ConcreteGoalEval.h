@@ -1,0 +1,122 @@
+//===- ConcreteGoalEval.h - Solver-free candidate screening ------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete evaluation of a goal instruction and of candidate pattern
+/// graphs on a single test case, with no solver query. The CEGIS loop
+/// uses this to pre-screen reconstructed candidates against the
+/// accumulated counterexample corpus: a single concretely failing test
+/// kills a candidate before it ever reaches the symbolic verifier.
+///
+/// Two evaluation paths exist, in order of preference:
+///   1. The goal's own BitValue semantics (InstrSpec::
+///      computeResultsConcrete) plus the IR interpreter
+///      (ir/Interpreter) for the candidate — used for memory-free
+///      goals, which is the vast majority.
+///   2. Literal substitution into the exact symbolic semantics
+///      followed by z3::expr::simplify — ground QF_BV terms reduce to
+///      numerals without a solver. This covers memory goals, whose
+///      M-value representation the interpreter does not share.
+///
+/// Screening verdicts mirror the verification query's formulas
+/// exactly, so a Kill is sound: the symbolic verifier would have
+/// produced a counterexample too (cross-validated in
+/// tests/test_concrete_goal_eval.cpp). Anything that does not reduce
+/// to a ground truth value is Inconclusive and falls through to the
+/// symbolic verifier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_SYNTH_CONCRETEGOALEVAL_H
+#define SELGEN_SYNTH_CONCRETEGOALEVAL_H
+
+#include "synth/Encoding.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace selgen {
+
+/// The argument expressions and memory model for one goal
+/// instantiation (concrete or symbolic).
+struct GoalInstance {
+  std::vector<z3::expr> Args;
+  std::unique_ptr<MemoryModel> Memory;
+};
+
+/// Builds literal argument expressions and the memory model for one
+/// concrete test case.
+GoalInstance makeConcreteGoalInstance(SmtContext &Smt, unsigned Width,
+                                      const InstrSpec &Goal,
+                                      const TestCase &Test);
+
+/// Builds fresh symbolic arguments (named Tag + "_a<i>") and the
+/// memory model over them.
+GoalInstance makeSymbolicGoalInstance(SmtContext &Smt, unsigned Width,
+                                      const InstrSpec &Goal,
+                                      const std::string &Tag);
+
+/// The goal's behaviour on one concrete test case. Bool results are
+/// encoded as width-1 BitValues, memory results as M-value
+/// bit-vectors; Results is empty when the goal is undefined on the
+/// test (precondition false).
+struct ConcreteGoalOutcome {
+  bool Defined = true;
+  std::vector<BitValue> Results;
+};
+
+/// What concrete screening concluded about one (candidate, test) pair.
+enum class ScreenVerdict {
+  Pass,         ///< The test cannot distinguish candidate and goal.
+  Kill,         ///< The candidate concretely disagrees with the goal.
+  Inconclusive, ///< Could not decide concretely; verify symbolically.
+};
+
+/// Evaluates one goal concretely and screens candidate graphs against
+/// cached goal outcomes. One evaluator serves all candidates of a
+/// (goal, width); it holds no solver and is cheap to construct.
+class ConcreteGoalEval {
+public:
+  ConcreteGoalEval(SmtContext &Smt, unsigned Width, const InstrSpec &Goal);
+
+  /// Evaluates the goal on \p Test without a solver, preferring the
+  /// goal's BitValue semantics and falling back to literal
+  /// substitution + simplify. Returns nullopt if some term did not
+  /// reduce to a ground value.
+  std::optional<ConcreteGoalOutcome> evaluateGoal(const TestCase &Test);
+
+  /// Screens \p Pattern against \p Test given the goal's cached
+  /// outcome. Kill mirrors the verification query: in partial mode the
+  /// pattern is defined but the goal is not, a result differs, or a
+  /// memory access leaves the valid range; in total (RequireTotal)
+  /// mode the goal is defined but the pattern is not, or they
+  /// disagree.
+  ScreenVerdict screen(const Graph &Pattern, const TestCase &Test,
+                       const ConcreteGoalOutcome &GoalOutcome,
+                       bool RequireTotal);
+
+private:
+  SmtContext &Smt;
+  unsigned Width;
+  const InstrSpec &Goal;
+  /// Memory-involving goals cannot use the IR interpreter (its
+  /// MemoryState byte map is not the M-value representation).
+  bool UseInterpreter;
+
+  ScreenVerdict screenInterpreted(const Graph &Pattern, const TestCase &Test,
+                                  const ConcreteGoalOutcome &GoalOutcome,
+                                  bool RequireTotal) const;
+  ScreenVerdict screenSimplified(const Graph &Pattern, const TestCase &Test,
+                                 const ConcreteGoalOutcome &GoalOutcome,
+                                 bool RequireTotal);
+};
+
+} // namespace selgen
+
+#endif // SELGEN_SYNTH_CONCRETEGOALEVAL_H

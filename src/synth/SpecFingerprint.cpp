@@ -11,7 +11,10 @@
 
 using namespace selgen;
 
-const char *const selgen::EncoderVersionTag = "cegis-enc-v1";
+// v2: CEGIS returns patterns in canonical (fingerprint) order and
+// asserts corpus tests lazily; cached v1 results can carry a
+// different pattern order.
+const char *const selgen::EncoderVersionTag = "cegis-enc-v2";
 
 std::string selgen::instrSpecFingerprint(SmtContext &Smt,
                                          const InstrSpec &Spec,

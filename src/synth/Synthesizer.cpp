@@ -160,6 +160,8 @@ void absorbOutcome(GoalSynthesisResult &Result,
   Result.SynthesisQueries += Outcome.SynthesisQueries;
   Result.VerificationQueries += Outcome.VerificationQueries;
   Result.Counterexamples += Outcome.Counterexamples;
+  Result.PrescreenKills += Outcome.PrescreenKills;
+  Result.PrescreenInconclusive += Outcome.PrescreenInconclusive;
   for (Graph &Pattern : Outcome.Patterns) {
     if (Result.Patterns.size() >= MaxPatterns)
       break;
@@ -210,7 +212,7 @@ RangeOutcome Synthesizer::synthesizeRange(const InstrSpec &Goal,
                                           const SynthesisPlan &Plan,
                                           unsigned Size, uint64_t BeginRank,
                                           uint64_t EndRank,
-                                          std::vector<TestCase> &SharedTests,
+                                          TestCorpus &Corpus,
                                           double BudgetSeconds) {
   Timer Clock;
   RangeOutcome Result;
@@ -220,6 +222,16 @@ RangeOutcome Synthesizer::synthesizeRange(const InstrSpec &Goal,
   CegisOpts.QueryTimeoutMs = Options.QueryTimeoutMs;
   CegisOpts.MaxPatterns = Options.MaxPatternsPerMultiset;
   CegisOpts.RequireTotalPatterns = Options.RequireTotalPatterns;
+  CegisOpts.UsePrescreen = Options.UsePrescreen;
+
+  // The evaluator and the verification solver (with the goal's
+  // symbolic semantics already asserted) are shared by every multiset
+  // of this range.
+  std::optional<ConcreteGoalEval> Eval;
+  if (Options.UsePrescreen)
+    Eval.emplace(Smt, Options.Width, Goal);
+  PatternVerifier Verifier(Smt, Options.Width, Goal, Options.QueryTimeoutMs,
+                           Options.RequireTotalPatterns);
 
   auto overBudget = [&] {
     return BudgetSeconds > 0 && Clock.elapsedSeconds() > BudgetSeconds;
@@ -241,10 +253,13 @@ RangeOutcome Synthesizer::synthesizeRange(const InstrSpec &Goal,
       CegisOpts.TimeBudgetSeconds =
           std::max(1.0, BudgetSeconds - Clock.elapsedSeconds());
     CegisOutcome Outcome = runCegisAllPatterns(
-        Smt, Options.Width, Goal, Multiset, SharedTests, CegisOpts);
+        Smt, Options.Width, Goal, Multiset, Corpus, CegisOpts,
+        Eval ? &*Eval : nullptr, &Verifier);
     Result.SynthesisQueries += Outcome.SynthesisQueries;
     Result.VerificationQueries += Outcome.VerificationQueries;
     Result.Counterexamples += Outcome.Counterexamples;
+    Result.PrescreenKills += Outcome.PrescreenKills;
+    Result.PrescreenInconclusive += Outcome.PrescreenInconclusive;
     if (!Outcome.Patterns.empty())
       Result.FoundAny = true;
     if (!Outcome.Exhausted)
@@ -293,6 +308,8 @@ void selgen::absorbRangeOutcome(GoalSynthesisResult &Result,
   Result.Counterexamples += Outcome.Counterexamples;
   Result.SynthesisQueries += Outcome.SynthesisQueries;
   Result.VerificationQueries += Outcome.VerificationQueries;
+  Result.PrescreenKills += Outcome.PrescreenKills;
+  Result.PrescreenInconclusive += Outcome.PrescreenInconclusive;
   if (!Outcome.Complete)
     Result.Complete = false;
   for (Graph &Pattern : Outcome.Patterns) {
@@ -309,7 +326,7 @@ GoalSynthesisResult Synthesizer::synthesize(const InstrSpec &Goal) {
   Result.GoalName = Goal.name();
 
   SynthesisPlan Plan = this->plan(Goal);
-  std::vector<TestCase> SharedTests;
+  TestCorpus Corpus(Options.CorpusCapacity);
   std::set<std::string> Fingerprints;
 
   auto overBudget = [&] {
@@ -324,7 +341,7 @@ GoalSynthesisResult Synthesizer::synthesize(const InstrSpec &Goal) {
           std::max(0.001, Options.TimeBudgetSeconds - Clock.elapsedSeconds());
     RangeOutcome Outcome =
         synthesizeRange(Goal, Plan, Size, 0, numMultisets(Plan, Size),
-                        SharedTests, Remaining);
+                        Corpus, Remaining);
     bool FoundThisSize = Outcome.FoundAny;
     absorbRangeOutcome(Result, Fingerprints, std::move(Outcome),
                        Options.MaxPatternsPerGoal);
@@ -364,6 +381,7 @@ GoalSynthesisResult Synthesizer::synthesizeClassic(const InstrSpec &Goal,
   CegisOpts.MaxPatterns = 1; // The baseline searches for any program.
   CegisOpts.RequireAllUsed = false;
   CegisOpts.TimeBudgetSeconds = Options.TimeBudgetSeconds;
+  CegisOpts.UsePrescreen = Options.UsePrescreen;
 
   Result.MultisetsConsidered = Result.MultisetsRun = 1;
   CegisOutcome Outcome = runCegisAllPatterns(

@@ -53,6 +53,11 @@ struct SynthesisOptions {
   unsigned QueryTimeoutMs = 60000;
   /// Wall-clock budget for one goal; 0 = unlimited.
   double TimeBudgetSeconds = 0;
+  /// Screen candidates against the concrete counterexample corpus
+  /// before symbolic verification (see CegisOptions::UsePrescreen).
+  bool UsePrescreen = true;
+  /// Counterexample-corpus size bound per goal (LRU-evicted beyond).
+  unsigned CorpusCapacity = TestCorpus::DefaultCapacity;
 
   SynthesisOptions();
 };
@@ -70,6 +75,8 @@ struct GoalSynthesisResult {
   uint64_t Counterexamples = 0;
   uint64_t SynthesisQueries = 0;
   uint64_t VerificationQueries = 0;
+  uint64_t PrescreenKills = 0;
+  uint64_t PrescreenInconclusive = 0;
 };
 
 /// The per-goal enumeration plan of Algorithm 2: the fixed memory-op
@@ -99,6 +106,8 @@ struct RangeOutcome {
   uint64_t Counterexamples = 0;
   uint64_t SynthesisQueries = 0;
   uint64_t VerificationQueries = 0;
+  uint64_t PrescreenKills = 0;
+  uint64_t PrescreenInconclusive = 0;
   double Seconds = 0;
 };
 
@@ -121,15 +130,16 @@ public:
   static uint64_t numMultisets(const SynthesisPlan &Plan, unsigned Size);
 
   /// Runs the multisets with lexicographic rank in [BeginRank, EndRank)
-  /// of pattern size \p Size. \p SharedTests seeds the CEGIS test set
-  /// and receives newly found counterexamples (callers running ranges
-  /// concurrently pass per-range copies and merge). A positive
-  /// \p BudgetSeconds caps this range's wall clock; expiry marks the
-  /// outcome incomplete.
+  /// of pattern size \p Size. \p Corpus seeds the CEGIS test set and
+  /// receives newly found counterexamples; it is internally locked, so
+  /// callers running ranges concurrently share one corpus per goal
+  /// (the parallel builder's CorpusStore). A positive \p BudgetSeconds
+  /// caps this range's wall clock; expiry marks the outcome
+  /// incomplete.
   RangeOutcome synthesizeRange(const InstrSpec &Goal,
                                const SynthesisPlan &Plan, unsigned Size,
                                uint64_t BeginRank, uint64_t EndRank,
-                               std::vector<TestCase> &SharedTests,
+                               TestCorpus &Corpus,
                                double BudgetSeconds = 0);
 
   /// Runs one classical (non-iterative) CEGIS with an oversupplied

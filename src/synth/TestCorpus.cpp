@@ -1,0 +1,102 @@
+//===- TestCorpus.cpp - Shared counterexample corpus -------------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/TestCorpus.h"
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+
+using namespace selgen;
+
+std::string selgen::testCaseKey(const TestCase &Test) {
+  std::string Key;
+  for (const BitValue &Value : Test) {
+    Key += std::to_string(Value.width());
+    Key += ':';
+    Key += Value.toUnsignedString();
+    Key += ';';
+  }
+  return Key;
+}
+
+TestCorpus::TestCorpus(size_t Capacity)
+    : Capacity(std::max<size_t>(Capacity, 1)) {}
+
+size_t TestCorpus::size() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return Slots.size();
+}
+
+uint64_t TestCorpus::evictions() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return Evictions;
+}
+
+bool TestCorpus::insert(TestCase Test,
+                        std::optional<ConcreteGoalOutcome> GoalOutcome) {
+  std::string Key = testCaseKey(Test);
+  std::lock_guard<std::mutex> Guard(Lock);
+  if (!Keys.insert(Key).second) {
+    Statistics::get().add("corpus.duplicates_rejected");
+    return false;
+  }
+  if (Slots.size() >= Capacity) {
+    auto Victim = std::min_element(
+        Slots.begin(), Slots.end(),
+        [](const Slot &A, const Slot &B) { return A.LastUse < B.LastUse; });
+    Keys.erase(testCaseKey(Victim->E->Test));
+    Slots.erase(Victim);
+    ++Evictions;
+    Statistics::get().add("corpus.evictions");
+  }
+  Slot New;
+  New.E = std::make_shared<const Entry>(
+      Entry{std::move(Test), std::move(GoalOutcome)});
+  New.LastUse = ++Tick;
+  Slots.push_back(std::move(New));
+  Statistics::get().add("corpus.insertions");
+  return true;
+}
+
+std::vector<TestCorpus::EntryPtr> TestCorpus::snapshot() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  std::vector<EntryPtr> Entries;
+  Entries.reserve(Slots.size());
+  for (const Slot &S : Slots)
+    Entries.push_back(S.E);
+  return Entries;
+}
+
+void TestCorpus::recordKill(const EntryPtr &Killer) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  for (Slot &S : Slots)
+    if (S.E == Killer) {
+      S.LastUse = ++Tick;
+      return;
+    }
+  // The killer may already have been evicted by a concurrent insert;
+  // nothing to refresh then.
+}
+
+std::vector<TestCase> TestCorpus::allTests() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  std::vector<TestCase> Tests;
+  Tests.reserve(Slots.size());
+  for (const Slot &S : Slots)
+    Tests.push_back(S.E->Test);
+  return Tests;
+}
+
+std::shared_ptr<TestCorpus> CorpusStore::getOrCreate(
+    const std::string &Fingerprint, size_t Capacity) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  std::shared_ptr<TestCorpus> &Corpus = Corpora[Fingerprint];
+  if (!Corpus)
+    Corpus = std::make_shared<TestCorpus>(Capacity);
+  return Corpus;
+}

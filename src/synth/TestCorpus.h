@@ -1,0 +1,108 @@
+//===- TestCorpus.h - Shared counterexample corpus ---------------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-goal counterexample corpus behind CEGIS pre-screening: every
+/// test case ever discovered for a goal — the deterministic seeds plus
+/// each verification counterexample — collected across template
+/// multisets and, in the parallel builder, across work-stealing chunks
+/// of the same goal. Entries are immutable and carry the goal's cached
+/// concrete outcome, so screening a candidate costs one interpreter
+/// run per test and zero solver work.
+///
+/// The corpus is internally locked; readers take value snapshots of
+/// shared_ptr entries, so chunks on different SmtContexts can screen
+/// concurrently while others insert (BitValue data is context-free).
+/// Duplicates are rejected by value, and a full corpus evicts the test
+/// that least recently killed a candidate — both logged through
+/// Statistics (corpus.duplicates_rejected, corpus.evictions), never
+/// silently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_SYNTH_TESTCORPUS_H
+#define SELGEN_SYNTH_TESTCORPUS_H
+
+#include "synth/ConcreteGoalEval.h"
+
+#include <map>
+#include <mutex>
+#include <set>
+
+namespace selgen {
+
+/// A stable value key for a test case (widths + values), used for
+/// dedupe and for tracking which tests a solver has asserted.
+std::string testCaseKey(const TestCase &Test);
+
+/// One goal's counterexample corpus. Thread-safe.
+class TestCorpus {
+public:
+  static constexpr size_t DefaultCapacity = 512;
+
+  struct Entry {
+    TestCase Test;
+    /// The goal's concrete behaviour on Test; nullopt when concrete
+    /// evaluation was inconclusive (or pre-screening is disabled), in
+    /// which case screening skips this entry.
+    std::optional<ConcreteGoalOutcome> GoalOutcome;
+  };
+  using EntryPtr = std::shared_ptr<const Entry>;
+
+  explicit TestCorpus(size_t Capacity = DefaultCapacity);
+
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+  uint64_t evictions() const;
+
+  /// Inserts a test with its cached goal outcome. Returns false for a
+  /// duplicate (by value). A full corpus first evicts the entry that
+  /// least recently killed a candidate.
+  bool insert(TestCase Test, std::optional<ConcreteGoalOutcome> GoalOutcome);
+
+  /// A point-in-time view for screening, in insertion order. Entries
+  /// are immutable; concurrent inserts/evictions do not disturb them.
+  std::vector<EntryPtr> snapshot() const;
+
+  /// Records that \p Killer just killed a candidate, refreshing its
+  /// eviction priority.
+  void recordKill(const EntryPtr &Killer);
+
+  /// All tests in insertion order (the vector-of-TestCase view used by
+  /// the compatibility overload of runCegisAllPatterns).
+  std::vector<TestCase> allTests() const;
+
+private:
+  struct Slot {
+    EntryPtr E;
+    uint64_t LastUse = 0;
+  };
+
+  mutable std::mutex Lock;
+  size_t Capacity;
+  uint64_t Tick = 0;
+  uint64_t Evictions = 0;
+  std::vector<Slot> Slots;
+  std::set<std::string> Keys;
+};
+
+/// Mutex-guarded map from goal fingerprint to that goal's shared
+/// corpus; the parallel builder hands all chunks of one goal the same
+/// TestCorpus through this store.
+class CorpusStore {
+public:
+  std::shared_ptr<TestCorpus> getOrCreate(const std::string &Fingerprint,
+                                          size_t Capacity);
+
+private:
+  std::mutex Lock;
+  std::map<std::string, std::shared_ptr<TestCorpus>> Corpora;
+};
+
+} // namespace selgen
+
+#endif // SELGEN_SYNTH_TESTCORPUS_H

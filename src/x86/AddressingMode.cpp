@@ -58,6 +58,20 @@ z3::expr AddressingMode::addressExpr(SmtContext &Smt, unsigned Width,
   return Address.simplify();
 }
 
+BitValue AddressingMode::addressBits(unsigned Width,
+                                     const std::vector<BitValue> &Args,
+                                     unsigned Offset) const {
+  BitValue Address(Width, 0);
+  unsigned Index = Offset;
+  if (HasBase)
+    Address = Address.add(Args[Index++]);
+  if (HasIndex)
+    Address = Address.add(Args[Index++].mul(BitValue(Width, Scale)));
+  if (HasDisp)
+    Address = Address.add(Args[Index++]);
+  return Address;
+}
+
 MemRef AddressingMode::memRef(const std::vector<MOperand> &Bound,
                               unsigned Offset) const {
   MemRef Ref;

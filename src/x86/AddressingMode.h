@@ -62,6 +62,11 @@ struct AddressingMode {
                        const std::vector<z3::expr> &Args,
                        unsigned Offset) const;
 
+  /// Concrete twin of addressExpr over BitValue arguments, used by the
+  /// CEGIS concrete pre-screen. Must mirror addressExpr exactly.
+  BitValue addressBits(unsigned Width, const std::vector<BitValue> &Args,
+                       unsigned Offset) const;
+
   /// Builds the machine memory operand from matched operand bindings;
   /// \p Offset as above. Reg-role bindings must be registers, the
   /// displacement binding an immediate.

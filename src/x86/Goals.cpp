@@ -7,6 +7,7 @@
 
 #include "x86/Goals.h"
 
+#include "ir/Interpreter.h"
 #include "semantics/IrSemantics.h"
 #include "support/Error.h"
 
@@ -25,6 +26,18 @@ static z3::expr maskCount(const z3::expr &Count) {
   return Count & Count.ctx().bv_val(Width - 1, Width);
 }
 
+/// Concrete twin of maskCount; returns the masked count as a host
+/// integer (always < width, so it fits).
+static unsigned maskCountBits(const BitValue &Count) {
+  unsigned Width = Count.width();
+  return static_cast<unsigned>(
+      Count.bitAnd(BitValue(Width, Width - 1)).zextValue());
+}
+
+/// Booleans cross the concrete-evaluation boundary as width-1 values
+/// (see InstrSpec::computeResultsConcrete).
+static BitValue boolBits(bool Value) { return BitValue(1, Value ? 1 : 0); }
+
 struct GoalBuilder {
   GoalLibrary &Library;
   unsigned Width;
@@ -38,13 +51,15 @@ struct GoalBuilder {
            std::vector<ArgRole> Roles, std::vector<Sort> ResultSorts,
            LambdaSpec::ResultsFn Results, EmitFn Emit,
            unsigned MaxPatternSize,
-           LambdaSpec::PointersFn Pointers = nullptr) {
+           LambdaSpec::PointersFn Pointers = nullptr,
+           LambdaSpec::ConcreteFn Concrete = nullptr) {
     GoalInstruction Goal;
     Goal.Name = Name;
     Goal.Group = std::move(Group);
     Goal.Spec = std::make_unique<LambdaSpec>(
         std::move(Name), std::move(ArgSorts), std::move(ResultSorts),
-        std::move(Roles), std::move(Results), std::move(Pointers));
+        std::move(Roles), std::move(Results), std::move(Pointers),
+        std::move(Concrete));
     Goal.Emit = std::move(Emit);
     Goal.MaxPatternSize = MaxPatternSize;
     Library.add(std::move(Goal));
@@ -123,6 +138,28 @@ static z3::expr binaryExpr(MOpcode Op, const z3::expr &Lhs,
     }
   }
 
+/// Concrete twin of binaryExpr. Must agree bit-for-bit with the
+/// symbolic version; the cross-validation test enforces this.
+static BitValue binaryBits(MOpcode Op, const BitValue &Lhs,
+                           const BitValue &Rhs) {
+  switch (Op) {
+  case MOpcode::Add:
+    return Lhs.add(Rhs);
+  case MOpcode::Sub:
+    return Lhs.sub(Rhs);
+  case MOpcode::Imul:
+    return Lhs.mul(Rhs);
+  case MOpcode::And:
+    return Lhs.bitAnd(Rhs);
+  case MOpcode::Or:
+    return Lhs.bitOr(Rhs);
+  case MOpcode::Xor:
+    return Lhs.bitXor(Rhs);
+  default:
+    SELGEN_UNREACHABLE("not a plain binary machine opcode");
+  }
+}
+
 /// Semantic function of a unary machine operation; the width comes
 /// from the operand.
 static z3::expr unaryExpr(MOpcode Op, const z3::expr &Src) {
@@ -142,6 +179,22 @@ static z3::expr unaryExpr(MOpcode Op, const z3::expr &Src) {
   }
 }
 
+/// Concrete twin of unaryExpr.
+static BitValue unaryBits(MOpcode Op, const BitValue &Src) {
+  switch (Op) {
+  case MOpcode::Neg:
+    return Src.neg();
+  case MOpcode::Not:
+    return Src.bitNot();
+  case MOpcode::Inc:
+    return Src.add(BitValue(Src.width(), 1));
+  case MOpcode::Dec:
+    return Src.sub(BitValue(Src.width(), 1));
+  default:
+    SELGEN_UNREACHABLE("not a unary machine opcode");
+  }
+}
+
 void GoalBuilder::addBinaryRR(const std::string &Name, MOpcode Op,
                               const std::string &Group) {
   add(Name, Group, {V(), V()}, {ArgRole::Reg, ArgRole::Reg}, {V()},
@@ -156,7 +209,10 @@ void GoalBuilder::addBinaryRR(const std::string &Name, MOpcode Op,
         Out.Results = {MOperand::reg(Dst)};
         return Out;
       },
-      /*MaxPatternSize=*/2);
+      /*MaxPatternSize=*/2, /*Pointers=*/nullptr,
+      [Op](unsigned, const std::vector<BitValue> &Args) {
+        return std::vector<BitValue>{binaryBits(Op, Args[0], Args[1])};
+      });
 }
 
 void GoalBuilder::addBinaryRI(const std::string &Name, MOpcode Op,
@@ -173,7 +229,10 @@ void GoalBuilder::addBinaryRI(const std::string &Name, MOpcode Op,
         Out.Results = {MOperand::reg(Dst)};
         return Out;
       },
-      /*MaxPatternSize=*/2);
+      /*MaxPatternSize=*/2, /*Pointers=*/nullptr,
+      [Op](unsigned, const std::vector<BitValue> &Args) {
+        return std::vector<BitValue>{binaryBits(Op, Args[0], Args[1])};
+      });
 }
 
 void GoalBuilder::addBinaryRM(const std::string &Name, MOpcode Op,
@@ -268,7 +327,14 @@ void GoalBuilder::addShift(const std::string &Name, MOpcode Op,
         Out.Results = {MOperand::reg(Dst)};
         return Out;
       },
-      /*MaxPatternSize=*/2);
+      /*MaxPatternSize=*/2, /*Pointers=*/nullptr,
+      [Op](unsigned, const std::vector<BitValue> &Args) {
+        unsigned Amount = maskCountBits(Args[1]);
+        BitValue Value = Op == MOpcode::Shl   ? Args[0].shl(Amount)
+                         : Op == MOpcode::Shr ? Args[0].lshr(Amount)
+                                              : Args[0].ashr(Amount);
+        return std::vector<BitValue>{Value};
+      });
 }
 
 void GoalBuilder::addUnaryR(const std::string &Name, MOpcode Op,
@@ -285,7 +351,10 @@ void GoalBuilder::addUnaryR(const std::string &Name, MOpcode Op,
         Out.Results = {MOperand::reg(Dst)};
         return Out;
       },
-      MaxSize);
+      MaxSize, /*Pointers=*/nullptr,
+      [Op](unsigned, const std::vector<BitValue> &Args) {
+        return std::vector<BitValue>{unaryBits(Op, Args[0])};
+      });
 }
 
 void GoalBuilder::addUnaryM(const std::string &Name, MOpcode Op,
@@ -338,7 +407,11 @@ void GoalBuilder::addLea(const AddressingMode &AM, const std::string &Group) {
         Out.Results = {MOperand::reg(Dst)};
         return Out;
       },
-      /*MaxPatternSize=*/AM.numArgs() + (AM.Scale != 1 ? 2 : 0) + 1);
+      /*MaxPatternSize=*/AM.numArgs() + (AM.Scale != 1 ? 2 : 0) + 1,
+      /*Pointers=*/nullptr,
+      [AM](unsigned W, const std::vector<BitValue> &Args) {
+        return std::vector<BitValue>{AM.addressBits(W, Args, /*Offset=*/0)};
+      });
 }
 
 void GoalBuilder::addCmpJcc(CondCode CC, const std::string &Group) {
@@ -358,7 +431,11 @@ void GoalBuilder::addCmpJcc(CondCode CC, const std::string &Group) {
         Out.JumpCC = CC;
         return Out;
       },
-      /*MaxPatternSize=*/2);
+      /*MaxPatternSize=*/2, /*Pointers=*/nullptr,
+      [Rel](unsigned, const std::vector<BitValue> &Args) {
+        bool Taken = evaluateRelation(Rel, Args[0], Args[1]);
+        return std::vector<BitValue>{boolBits(Taken), boolBits(!Taken)};
+      });
 }
 
 void GoalBuilder::addCmpImmJcc(CondCode CC, const std::string &Group) {
@@ -378,7 +455,11 @@ void GoalBuilder::addCmpImmJcc(CondCode CC, const std::string &Group) {
         Out.JumpCC = CC;
         return Out;
       },
-      /*MaxPatternSize=*/2);
+      /*MaxPatternSize=*/2, /*Pointers=*/nullptr,
+      [Rel](unsigned, const std::vector<BitValue> &Args) {
+        bool Taken = evaluateRelation(Rel, Args[0], Args[1]);
+        return std::vector<BitValue>{boolBits(Taken), boolBits(!Taken)};
+      });
 }
 
 void GoalBuilder::addCmpMemJcc(CondCode CC, const AddressingMode &AM,
@@ -457,7 +538,35 @@ void GoalBuilder::addTestJcc(CondCode CC, const std::string &Group) {
         Out.JumpCC = CC;
         return Out;
       },
-      /*MaxPatternSize=*/4);
+      /*MaxPatternSize=*/4, /*Pointers=*/nullptr,
+      [CC](unsigned W, const std::vector<BitValue> &Args) {
+        BitValue Value = Args[0].bitAnd(Args[1]);
+        BitValue Zero(W, 0);
+        bool Taken = false;
+        switch (CC) {
+        case CondCode::E:
+          Taken = Value == Zero;
+          break;
+        case CondCode::NE:
+          Taken = Value != Zero;
+          break;
+        case CondCode::S:
+          Taken = Value.slt(Zero);
+          break;
+        case CondCode::NS:
+          Taken = Value.sge(Zero);
+          break;
+        case CondCode::LE:
+          Taken = Value.sle(Zero);
+          break;
+        case CondCode::G:
+          Taken = Value.sgt(Zero);
+          break;
+        default:
+          SELGEN_UNREACHABLE("unsupported test condition");
+        }
+        return std::vector<BitValue>{boolBits(Taken), boolBits(!Taken)};
+      });
 }
 
 void GoalBuilder::addSetcc(CondCode CC, const std::string &Group) {
@@ -481,7 +590,11 @@ void GoalBuilder::addSetcc(CondCode CC, const std::string &Group) {
         Out.Results = {MOperand::reg(Dst)};
         return Out;
       },
-      /*MaxPatternSize=*/4);
+      /*MaxPatternSize=*/4, /*Pointers=*/nullptr,
+      [Rel](unsigned W, const std::vector<BitValue> &Args) {
+        return std::vector<BitValue>{
+            BitValue(W, evaluateRelation(Rel, Args[0], Args[1]) ? 1 : 0)};
+      });
 }
 
 void GoalBuilder::addCmov(CondCode CC, const std::string &Group) {
@@ -502,7 +615,11 @@ void GoalBuilder::addCmov(CondCode CC, const std::string &Group) {
         Out.Results = {MOperand::reg(Dst)};
         return Out;
       },
-      /*MaxPatternSize=*/2);
+      /*MaxPatternSize=*/2, /*Pointers=*/nullptr,
+      [Rel](unsigned, const std::vector<BitValue> &Args) {
+        return std::vector<BitValue>{
+            evaluateRelation(Rel, Args[0], Args[1]) ? Args[2] : Args[3]};
+      });
 }
 
 void GoalBuilder::addStoreImm(const AddressingMode &AM,
@@ -558,7 +675,10 @@ void GoalBuilder::addBasic() {
         Out.Results = {MOperand::reg(Dst)};
         return Out;
       },
-      /*MaxPatternSize=*/0);
+      /*MaxPatternSize=*/0, /*Pointers=*/nullptr,
+      [](unsigned, const std::vector<BitValue> &Args) {
+        return std::vector<BitValue>{Args[0]};
+      });
 
   addUnaryR("neg_r", MOpcode::Neg, Group, /*MaxSize=*/1);
   addUnaryR("not_r", MOpcode::Not, Group, /*MaxSize=*/1);
@@ -713,7 +833,10 @@ void GoalBuilder::addBinary() {
         Out.Results = {MOperand::reg(First), MOperand::reg(Second)};
         return Out;
       },
-      /*MaxPatternSize=*/0);
+      /*MaxPatternSize=*/0, /*Pointers=*/nullptr,
+      [](unsigned, const std::vector<BitValue> &Args) {
+        return std::vector<BitValue>{Args[1], Args[0]};
+      });
 
   // The full lea family.
   for (const AddressingMode &AM : AddressingMode::fullSet())
@@ -755,7 +878,14 @@ void GoalBuilder::addBinary() {
             Out.Results = {MOperand::reg(Dst)};
             return Out;
           },
-          /*MaxPatternSize=*/5);
+          /*MaxPatternSize=*/5, /*Pointers=*/nullptr,
+          [Count, Left](unsigned W, const std::vector<BitValue> &Args) {
+            unsigned Other = W - Count;
+            BitValue Result = Args[0]
+                                  .shl(Left ? Count : Other)
+                                  .bitOr(Args[0].lshr(Left ? Other : Count));
+            return std::vector<BitValue>{Result};
+          });
     }
   }
 }
@@ -817,7 +947,28 @@ void GoalBuilder::addBmi() {
           Out.Results = {MOperand::reg(Dst)};
           return Out;
         },
-        /*MaxPatternSize=*/4);
+        /*MaxPatternSize=*/4, /*Pointers=*/nullptr,
+        [Op](unsigned W, const std::vector<BitValue> &Args) {
+          BitValue One(W, 1);
+          BitValue Value = Args[0];
+          switch (Op) {
+          case MOpcode::Andn:
+            Value = Args[0].bitNot().bitAnd(Args[1]);
+            break;
+          case MOpcode::Blsr:
+            Value = Args[0].bitAnd(Args[0].sub(One));
+            break;
+          case MOpcode::Blsi:
+            Value = Args[0].bitAnd(Args[0].neg());
+            break;
+          case MOpcode::Blsmsk:
+            Value = Args[0].bitXor(Args[0].sub(One));
+            break;
+          default:
+            SELGEN_UNREACHABLE("not a BMI opcode");
+          }
+          return std::vector<BitValue>{Value};
+        });
   }
 }
 

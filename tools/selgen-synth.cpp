@@ -31,7 +31,7 @@ int main(int argc, char **argv) {
   const std::vector<std::string> Flags = {
       "groups",     "goals",    "width",    "budget",     "total",
       "threads",    "output",   "merge-into", "max-size", "cache-dir",
-      "no-cache",   "stats-json", "help"};
+      "no-cache",   "stats-json", "no-prescreen", "corpus-size", "help"};
   CommandLine Cli(argc, argv, Flags);
   if (!Cli.errors().empty() || Cli.hasFlag("help")) {
     for (const std::string &Error : Cli.errors())
@@ -54,7 +54,12 @@ int main(int argc, char **argv) {
                  "~/.cache/selgen)\n"
                  "  --no-cache    disable the persistent synthesis cache\n"
                  "  --stats-json  write counters and per-goal telemetry "
-                 "to a JSON file\n");
+                 "to a JSON file\n"
+                 "  --no-prescreen  disable the concrete counterexample "
+                 "pre-screen (every candidate goes straight to the "
+                 "verifier)\n"
+                 "  --corpus-size   per-goal counterexample corpus capacity "
+                 "(default 512; LRU-evicted beyond that)\n");
     return Cli.hasFlag("help") ? 0 : 1;
   }
 
@@ -85,6 +90,9 @@ int main(int argc, char **argv) {
   Options.RequireTotalPatterns = Cli.hasFlag("total");
   Options.TimeBudgetSeconds = Cli.doubleOption("budget", 10.0);
   Options.QueryTimeoutMs = 30000;
+  Options.UsePrescreen = !Cli.hasFlag("no-prescreen");
+  if (int64_t CorpusSize = Cli.intOption("corpus-size", 0); CorpusSize > 0)
+    Options.CorpusCapacity = static_cast<unsigned>(CorpusSize);
   if (int64_t MaxSize = Cli.intOption("max-size", 0); MaxSize > 0)
     for (const GoalInstruction &Goal : Selected.goals())
       const_cast<GoalInstruction &>(Goal).MaxPatternSize =
