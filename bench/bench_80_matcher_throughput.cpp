@@ -1,0 +1,211 @@
+//===- bench_80_matcher_throughput.cpp - Matcher-automaton throughput ----------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+// Measures the matcher-automaton compiler (src/matchergen) against the
+// paper prototype's linear rule scan. Section 7.3 attributes the
+// 1217x-1804x selection-phase slowdown of the full library entirely to
+// the prototype trying ~60 000 rules one by one; the discrimination
+// tree removes that deficiency without changing the produced machine
+// code. This benchmark quantifies the claim:
+//
+//   1. per-workload selection time, handwritten vs linear vs automaton,
+//      on the synthesized full library (machine code cross-checked for
+//      byte-identity between the two rule-driven selectors), and
+//   2. scaling with library size (distinct-constant rule variants as
+//      in bench_10), reporting wall time, full-match attempts
+//      (selector.rules_tried), and matcher work per selector — the
+//      automaton's candidate sets stay near-constant while the linear
+//      scan grows with the library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "eval/Workloads.h"
+#include "isel/AutomatonSelector.h"
+#include "isel/GeneratedSelector.h"
+#include "isel/HandwrittenSelector.h"
+#include "support/Rng.h"
+#include "support/Statistics.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace selgen;
+using namespace selgen::bench;
+
+namespace {
+
+/// Machine code of \p MF without the header line (the function name
+/// embeds the selector name, which legitimately differs).
+std::string asmBody(const MachineFunction &MF) {
+  std::string Text = printMachineFunction(MF);
+  size_t Eol = Text.find('\n');
+  return Eol == std::string::npos ? std::string() : Text.substr(Eol + 1);
+}
+
+struct Measurement {
+  double Seconds = 0;
+  uint64_t RulesTried = 0;
+  uint64_t NodesVisited = 0;
+};
+
+/// Runs \p Selector over \p Functions \p Reps times, averaging wall
+/// time and the per-sweep matcher counters.
+Measurement measure(InstructionSelector &Selector,
+                    const std::vector<Function> &Functions, int Reps) {
+  Statistics::get().clear();
+  Measurement M;
+  for (int Rep = 0; Rep < Reps; ++Rep)
+    for (const Function &F : Functions)
+      M.Seconds += Selector.select(F).SelectionSeconds;
+  M.Seconds /= Reps;
+  M.RulesTried =
+      Statistics::get().value("selector.rules_tried") / Reps;
+  M.NodesVisited =
+      Statistics::get().value("matcher.nodes_visited") / Reps;
+  return M;
+}
+
+} // namespace
+
+int main() {
+  printBenchHeader(
+      "Matcher-automaton throughput (discrimination tree vs linear scan)",
+      "Buchwald et al., CGO'18, Section 7.3 (the prototype's rule scan "
+      "is \"only a deficiency of the prototype instruction selector\")");
+
+  SmtContext Smt;
+  BenchGoals FullGoals = makeBenchGoals("full");
+  PatternDatabase FullDb =
+      loadOrSynthesizeLibrary(Smt, "full", FullGoals.Goals);
+  FullDb.filterNonNormalized();
+  FullDb.sortSpecificFirst();
+
+  std::vector<Function> Workloads;
+  for (const WorkloadProfile &Profile : cint2000Profiles())
+    Workloads.push_back(buildWorkload(Profile, Width));
+
+  // --- Per-workload comparison on the synthesized library -------------
+  HandwrittenSelector Handwritten;
+  GeneratedSelector Linear(FullDb, FullGoals.Goals);
+  AutomatonSelector Automaton(FullDb, FullGoals.Goals);
+  std::printf("library: %zu rules; automaton: %zu states, %llu transitions\n",
+              Linear.numRules(), Automaton.automaton().numStates(),
+              static_cast<unsigned long long>(
+                  Automaton.automaton().numTransitions()));
+
+  bool Identical = true;
+  TablePrinter Table({"Benchmark", "Handwritten", "Linear", "Automaton",
+                      "Lin/Auto", "Code"});
+  for (const Function &F : Workloads) {
+    const int Reps = 10;
+    double HandSec = 0, LinSec = 0, AutoSec = 0;
+    std::string LinAsm, AutoAsm;
+    for (int Rep = 0; Rep < Reps; ++Rep) {
+      HandSec += Handwritten.select(F).SelectionSeconds;
+      SelectionResult Lin = Linear.select(F);
+      SelectionResult Auto = Automaton.select(F);
+      LinSec += Lin.SelectionSeconds;
+      AutoSec += Auto.SelectionSeconds;
+      LinAsm = asmBody(*Lin.MF);
+      AutoAsm = asmBody(*Auto.MF);
+    }
+    bool Same = LinAsm == AutoAsm;
+    Identical = Identical && Same;
+    Table.addRow({F.name(), formatDouble(HandSec / Reps * 1e6, 1) + " us",
+                  formatDouble(LinSec / Reps * 1e6, 1) + " us",
+                  formatDouble(AutoSec / Reps * 1e6, 1) + " us",
+                  formatDouble(LinSec / AutoSec, 2) + "x",
+                  Same ? "identical" : "DIFFERS"});
+  }
+  std::printf("\n%s", Table.render().c_str());
+  std::printf("\n(Code compares the machine code emitted by the linear and "
+              "automaton selectors\nbyte for byte — every row must read "
+              "identical)\n");
+  if (!Identical) {
+    std::printf("FAILURE: automaton selector diverged from linear scan\n");
+    return 1;
+  }
+
+  // --- Scaling with library size ---------------------------------------
+  // As in bench_10: inflate the library with distinct-constant and
+  // operand-swapped variants of its rules (structurally valid rules
+  // that essentially never match) to reach the paper's library scale.
+  // The linear scan attempts every same-root rule per operation; the
+  // automaton's candidate sets are bounded by the few rules sharing
+  // the subject's exact shape, so its rules_tried stays near the base
+  // library's as the library grows.
+  printBenchHeader(
+      "Selection time and match attempts vs rule-library size",
+      "Buchwald et al., CGO'18, Section 7.3 (the 60 000-rule library "
+      "behind the 1217x slowdown)");
+
+  auto inflate = [&](size_t TargetSize) {
+    PatternDatabase Inflated;
+    for (const Rule &R : FullDb.rules())
+      Inflated.add(R.GoalName, R.Pattern.clone());
+    Rng Random(0xBEEF);
+    size_t Stuck = 0;
+    while (Inflated.size() < TargetSize && Stuck < 10 * TargetSize) {
+      for (const Rule &R : FullDb.rules()) {
+        if (Inflated.size() >= TargetSize)
+          break;
+        Graph Clone = R.Pattern.clone();
+        bool Mutated = false;
+        for (Node *N : Clone.liveNodes()) {
+          if (N->opcode() == Opcode::Const) {
+            N->setConstValue(
+                Random.nextBitValue(N->constValue().width()));
+            Mutated = true;
+          } else if (N->numOperands() == 2 && Random.nextBelow(2) == 1) {
+            NodeRef A = N->operand(0), B = N->operand(1);
+            if (A.Def->resultSort(A.Index) == B.Def->resultSort(B.Index)) {
+              N->setOperand(0, B);
+              N->setOperand(1, A);
+              Mutated = true;
+            }
+          }
+        }
+        if (!Mutated)
+          continue;
+        if (!Inflated.add(R.GoalName, std::move(Clone)))
+          ++Stuck;
+      }
+    }
+    return Inflated;
+  };
+
+  TablePrinter ScaleTable({"Rules", "States", "Linear", "Automaton",
+                           "Speedup", "Tried (lin)", "Tried (auto)"});
+  double MaxSpeedup = 0;
+  for (size_t Target : {FullDb.size(), size_t(1000), size_t(4000),
+                        size_t(16000)}) {
+    PatternDatabase Inflated = inflate(Target);
+    GeneratedSelector ScaledLinear(Inflated, FullGoals.Goals);
+    AutomatonSelector ScaledAutomaton(Inflated, FullGoals.Goals);
+    int Reps = Target > 4000 ? 3 : 10;
+    Measurement Lin = measure(ScaledLinear, Workloads, Reps);
+    Measurement Auto = measure(ScaledAutomaton, Workloads, Reps);
+    double Speedup = Lin.Seconds / Auto.Seconds;
+    MaxSpeedup = std::max(MaxSpeedup, Speedup);
+    ScaleTable.addRow(
+        {formatGrouped(Inflated.size()),
+         formatGrouped(ScaledAutomaton.automaton().numStates()),
+         formatDouble(Lin.Seconds * 1e3, 2) + " ms",
+         formatDouble(Auto.Seconds * 1e3, 2) + " ms",
+         formatDouble(Speedup, 1) + "x", formatGrouped(Lin.RulesTried),
+         formatGrouped(Auto.RulesTried)});
+  }
+  std::printf("\n%s", ScaleTable.render().c_str());
+  std::printf("\n(times are per full sweep over the %zu workloads; Tried "
+              "counts full structural\nmatch attempts per sweep — the "
+              "automaton's stays flat while the linear scan's\ngrows with "
+              "the library)\n",
+              Workloads.size());
+  std::printf("max automaton speedup over linear scan: %.1fx\n", MaxSpeedup);
+  return 0;
+}

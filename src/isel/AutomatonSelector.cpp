@@ -1,0 +1,127 @@
+//===- AutomatonSelector.cpp - Discrimination-tree selector -------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "isel/AutomatonSelector.h"
+
+#include "isel/SelectionEngine.h"
+#include "support/Error.h"
+#include "support/Statistics.h"
+
+#include <utility>
+
+using namespace selgen;
+
+MatcherAutomaton selgen::buildMatcherAutomaton(const PreparedLibrary &Library) {
+  std::vector<AutomatonPattern> Patterns;
+  for (const PreparedRule &R : Library.rules()) {
+    if (R.IsJumpRule &&
+        (R.Root->opcode() != Opcode::Cond || !R.TakenIsCondZero))
+      continue; // Never tried by the selection engine either.
+    AutomatonPattern P;
+    P.Pattern = &R.TheRule->Pattern;
+    P.Root = R.Root;
+    P.IsJump = R.IsJumpRule;
+    P.RuleIndex = R.Index;
+    Patterns.push_back(P);
+  }
+  return MatcherAutomaton::compile(Patterns, Library.fingerprint(),
+                                   static_cast<uint32_t>(
+                                       Library.rules().size()));
+}
+
+std::string
+selgen::automatonStalenessError(const MatcherAutomaton &Automaton,
+                                const PreparedLibrary &Library) {
+  if (Automaton.libraryFingerprint() != Library.fingerprint())
+    return "automaton was compiled for library fingerprint " +
+           Automaton.libraryFingerprint() + ", current library is " +
+           Library.fingerprint() + " (stale automaton; re-run "
+           "selgen-matchergen)";
+  if (Automaton.numRules() != Library.rules().size())
+    return "automaton indexes " + std::to_string(Automaton.numRules()) +
+           " rules, library has " +
+           std::to_string(Library.rules().size()) +
+           " (stale automaton; re-run selgen-matchergen)";
+  return "";
+}
+
+namespace {
+
+/// Candidate discovery through one discrimination-tree traversal per
+/// subject position.
+class AutomatonCandidateSource : public RuleCandidateSource {
+public:
+  AutomatonCandidateSource(const PreparedLibrary &Library,
+                           const MatcherAutomaton &Automaton)
+      : Library(Library), Automaton(Automaton) {}
+
+  void forEachBodyCandidate(
+      const Node *S,
+      const std::function<bool(const PreparedRule &)> &TryRule) override {
+    Indices.clear();
+    Automaton.matchBody(S, Indices, &StatesVisited);
+    for (uint32_t Index : Indices)
+      if (TryRule(Library.rules()[Index]))
+        return;
+  }
+
+  void forEachJumpCandidate(
+      NodeRef Condition,
+      const std::function<bool(const PreparedRule &)> &TryRule) override {
+    Indices.clear();
+    Automaton.matchJump(Condition, Indices, &StatesVisited);
+    for (uint32_t Index : Indices) {
+      const PreparedRule &R = Library.rules()[Index];
+      // Defensive re-filter; buildMatcherAutomaton never inserts these.
+      if (!R.IsJumpRule || !R.TakenIsCondZero)
+        continue;
+      if (TryRule(R))
+        return;
+    }
+  }
+
+  uint64_t takeNodesVisited() override {
+    return std::exchange(StatesVisited, 0);
+  }
+
+private:
+  const PreparedLibrary &Library;
+  const MatcherAutomaton &Automaton;
+  std::vector<uint32_t> Indices;
+  uint64_t StatesVisited = 0;
+};
+
+} // namespace
+
+AutomatonSelector::AutomatonSelector(const PatternDatabase &Database,
+                                     const GoalLibrary &Goals)
+    : Library(Database, Goals), Automaton(buildMatcherAutomaton(Library)) {
+  noteAutomatonStatistics();
+}
+
+AutomatonSelector::AutomatonSelector(const PatternDatabase &Database,
+                                     const GoalLibrary &Goals,
+                                     MatcherAutomaton Automaton)
+    : Library(Database, Goals), Automaton(std::move(Automaton)) {
+  std::string Stale = automatonStalenessError(this->Automaton, Library);
+  if (!Stale.empty())
+    reportFatalError(Stale);
+  noteAutomatonStatistics();
+}
+
+void AutomatonSelector::noteAutomatonStatistics() const {
+  Statistics &Stats = Statistics::get();
+  Stats.add("automaton.states",
+            static_cast<int64_t>(Automaton.numStates()));
+  Stats.add("automaton.transitions",
+            static_cast<int64_t>(Automaton.numTransitions()));
+}
+
+SelectionResult AutomatonSelector::select(const Function &F) {
+  AutomatonCandidateSource Source(Library, Automaton);
+  return runRuleSelection(F, Library, Source, name());
+}

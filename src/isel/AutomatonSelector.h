@@ -1,0 +1,80 @@
+//===- AutomatonSelector.h - Discrimination-tree selector --------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The discrimination-tree instruction selector: a drop-in replacement
+/// for the linear GeneratedSelector that discovers candidate rules
+/// through a matcher automaton (src/matchergen) compiled offline from
+/// the rule library. One traversal of the subject DAG tests all
+/// candidate rules at once; the shared selection engine then re-runs
+/// the full matcher on the (few) surviving candidates in library
+/// priority order, so the machine code produced is byte-identical to
+/// the linear selector's — only the time to find it changes.
+///
+/// The automaton can be compiled in memory (buildMatcherAutomaton) or
+/// loaded from a file emitted by the selgen-matchergen tool; loading
+/// validates the library fingerprint so a stale automaton is rejected
+/// rather than silently applied to the wrong library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_ISEL_AUTOMATONSELECTOR_H
+#define SELGEN_ISEL_AUTOMATONSELECTOR_H
+
+#include "isel/PreparedLibrary.h"
+#include "isel/Selector.h"
+#include "matchergen/MatcherAutomaton.h"
+
+namespace selgen {
+
+/// Compiles the discrimination tree for \p Library. Rules that can
+/// never fire (jump rules not wired taken-first) are left out; the
+/// candidate sets the tree produces are exactly the rules the linear
+/// selector would attempt a full match for.
+MatcherAutomaton buildMatcherAutomaton(const PreparedLibrary &Library);
+
+/// Returns an explanation if \p Automaton was not compiled from
+/// \p Library (fingerprint or rule-count mismatch), or the empty
+/// string if it is current.
+std::string automatonStalenessError(const MatcherAutomaton &Automaton,
+                                    const PreparedLibrary &Library);
+
+/// Instruction selector driven by a synthesized pattern database, with
+/// automaton-based candidate discovery.
+class AutomatonSelector : public InstructionSelector {
+public:
+  /// Compiles the automaton in memory from \p Database (same
+  /// parameters as GeneratedSelector; the two are interchangeable).
+  AutomatonSelector(const PatternDatabase &Database,
+                    const GoalLibrary &Goals);
+
+  /// Uses a pre-compiled automaton (e.g. loaded from a
+  /// selgen-matchergen file). Aborts if the automaton does not match
+  /// the library — callers wanting a graceful error should check
+  /// automatonStalenessError() first.
+  AutomatonSelector(const PatternDatabase &Database, const GoalLibrary &Goals,
+                    MatcherAutomaton Automaton);
+
+  std::string name() const override { return "automaton"; }
+  SelectionResult select(const Function &F) override;
+
+  /// Number of usable (goal-resolved) rules.
+  size_t numRules() const { return Library.rules().size(); }
+
+  const PreparedLibrary &library() const { return Library; }
+  const MatcherAutomaton &automaton() const { return Automaton; }
+
+private:
+  void noteAutomatonStatistics() const;
+
+  PreparedLibrary Library;
+  MatcherAutomaton Automaton;
+};
+
+} // namespace selgen
+
+#endif // SELGEN_ISEL_AUTOMATONSELECTOR_H

@@ -13,7 +13,9 @@
 /// machine code. Rules are tried one by one — the paper reports (and
 /// we reproduce) that this makes the full-library selector orders of
 /// magnitude slower than the handwritten one; it is a property of the
-/// prototype matcher, not of the synthesized library.
+/// prototype matcher, not of the synthesized library. The
+/// discrimination-tree AutomatonSelector removes that linear scan
+/// while producing identical machine code.
 ///
 /// Uncovered operations fall back to a naive per-operation lowering
 /// and are counted against coverage (Section 7.3's metric).
@@ -23,14 +25,14 @@
 #ifndef SELGEN_ISEL_GENERATEDSELECTOR_H
 #define SELGEN_ISEL_GENERATEDSELECTOR_H
 
-#include "isel/Matcher.h"
+#include "isel/PreparedLibrary.h"
 #include "isel/Selector.h"
-#include "pattern/PatternDatabase.h"
-#include "x86/Goals.h"
 
 namespace selgen {
 
 /// Instruction selector driven by a synthesized pattern database.
+/// Candidate rules for each subject node are found by a linear scan
+/// over the whole library.
 class GeneratedSelector : public InstructionSelector {
 public:
   /// \p Database provides the rules; \p Goals the emission recipes (a
@@ -44,22 +46,13 @@ public:
   SelectionResult select(const Function &F) override;
 
   /// Number of usable (goal-resolved) rules.
-  size_t numRules() const { return Rules.size(); }
+  size_t numRules() const { return Library.rules().size(); }
 
-  /// A rule prepared for matching.
-  struct PreparedRule {
-    const Rule *TheRule;
-    const GoalInstruction *Goal;
-    const Node *Root;  ///< Pattern root operation (null for identity).
-    bool IsJumpRule;   ///< Goal is a compare-and-jump pair.
-  };
+  /// The prepared (priority-ordered) rule library.
+  const PreparedLibrary &library() const { return Library; }
 
 private:
-
-  const GoalLibrary &Goals;
-  std::vector<Rule> OwnedRules; ///< Sorted copy of the database rules.
-  std::vector<PreparedRule> Rules;
-  const GoalInstruction *ImmediateMoveGoal = nullptr;
+  PreparedLibrary Library;
 };
 
 } // namespace selgen

@@ -16,8 +16,9 @@ namespace {
 /// Recursive structural matcher.
 class MatcherState {
 public:
-  MatcherState(const Graph &Pattern, const std::vector<ArgRole> &Roles)
-      : Pattern(Pattern), Roles(Roles) {
+  MatcherState(const Graph &Pattern, const std::vector<ArgRole> &Roles,
+               uint64_t *NodesVisited)
+      : Pattern(Pattern), Roles(Roles), NodesVisited(NodesVisited) {
     Result.ArgBindings.assign(Pattern.numArgs(), NodeRef());
   }
 
@@ -38,7 +39,13 @@ public:
 private:
   const Graph &Pattern;
   const std::vector<ArgRole> &Roles;
+  uint64_t *NodesVisited;
   MatchResult Result;
+
+  void visit() {
+    if (NodesVisited)
+      ++*NodesVisited;
+  }
 
   std::optional<MatchResult> finish() {
     for (const auto &[PatternNode, SubjectNode] : Result.NodeMap)
@@ -74,6 +81,7 @@ private:
   }
 
   bool matchValue(NodeRef PatternValue, NodeRef SubjectValue) {
+    visit();
     const Node *PatternNode = PatternValue.Def;
     if (PatternNode->opcode() == Opcode::Arg)
       return bindArg(PatternNode, SubjectValue);
@@ -83,6 +91,7 @@ private:
   }
 
   bool matchNode(const Node *PatternNode, const Node *SubjectNode) {
+    visit();
     auto [It, Inserted] = Result.NodeMap.try_emplace(PatternNode,
                                                      SubjectNode);
     if (!Inserted)
@@ -117,15 +126,19 @@ private:
 
 std::optional<MatchResult>
 selgen::matchPattern(const Graph &Pattern, const std::vector<ArgRole> &Roles,
-                     const Node *PatternRoot, const Node *SubjectRoot) {
-  return MatcherState(Pattern, Roles).run(PatternRoot, SubjectRoot);
+                     const Node *PatternRoot, const Node *SubjectRoot,
+                     uint64_t *NodesVisited) {
+  return MatcherState(Pattern, Roles, NodesVisited)
+      .run(PatternRoot, SubjectRoot);
 }
 
 std::optional<MatchResult>
 selgen::matchPatternValue(const Graph &Pattern,
                           const std::vector<ArgRole> &Roles,
-                          NodeRef PatternValue, NodeRef SubjectValue) {
-  return MatcherState(Pattern, Roles).runValue(PatternValue, SubjectValue);
+                          NodeRef PatternValue, NodeRef SubjectValue,
+                          uint64_t *NodesVisited) {
+  return MatcherState(Pattern, Roles, NodesVisited)
+      .runValue(PatternValue, SubjectValue);
 }
 
 const Node *selgen::patternRoot(const Graph &Pattern) {

@@ -19,6 +19,7 @@
 #include "ir/Graph.h"
 #include "semantics/InstrSpec.h"
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <set>
@@ -41,11 +42,15 @@ struct MatchResult {
 /// Tries to match \p Pattern so that its node corresponding to
 /// \p PatternRoot aligns with the subject node \p SubjectRoot.
 /// \p Roles are the goal's argument roles (parallel to the pattern's
-/// arguments). Returns std::nullopt on mismatch.
+/// arguments). Returns std::nullopt on mismatch. \p NodesVisited, if
+/// non-null, is incremented by the number of pattern positions the
+/// match walk examined (the matcher-work metric of the selection
+/// telemetry).
 std::optional<MatchResult> matchPattern(const Graph &Pattern,
                                         const std::vector<ArgRole> &Roles,
                                         const Node *PatternRoot,
-                                        const Node *SubjectRoot);
+                                        const Node *SubjectRoot,
+                                        uint64_t *NodesVisited = nullptr);
 
 /// Like matchPattern, but aligns a pattern *value* with a subject
 /// value. Used for terminator matching, where the pattern's Cond
@@ -53,7 +58,8 @@ std::optional<MatchResult> matchPattern(const Graph &Pattern,
 std::optional<MatchResult> matchPatternValue(const Graph &Pattern,
                                              const std::vector<ArgRole> &Roles,
                                              NodeRef PatternValue,
-                                             NodeRef SubjectValue);
+                                             NodeRef SubjectValue,
+                                             uint64_t *NodesVisited = nullptr);
 
 /// The root of a pattern: the defining node of its first result whose
 /// definition is an operation (not an argument). Returns null for

@@ -1,0 +1,73 @@
+//===- SelectionEngine.h - Shared rule-driven selection ----------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The greedy DAG selection engine shared by the linear-scan
+/// GeneratedSelector and the discrimination-tree AutomatonSelector.
+/// Both selectors pick the same rules and emit the same machine code;
+/// they differ only in how candidate rules for a subject node are
+/// discovered, which is abstracted as a RuleCandidateSource. The
+/// engine performs all semantic checks (full structural match,
+/// shift preconditions, produced-value/overlap analysis) and the
+/// emission, so a candidate source only has to enumerate a superset of
+/// the matching rules in library priority order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_ISEL_SELECTIONENGINE_H
+#define SELGEN_ISEL_SELECTIONENGINE_H
+
+#include "isel/PreparedLibrary.h"
+#include "isel/Selector.h"
+
+#include <functional>
+
+namespace selgen {
+
+/// Enumerates candidate rules for one subject position. An
+/// implementation must call \p TryRule on candidates in ascending
+/// PreparedRule::Index order (most-specific-first library priority)
+/// and stop as soon as TryRule returns true. It may over-approximate
+/// (offer rules the full match then rejects) but must never skip a
+/// rule that would match — that is what keeps every source
+/// byte-identical in output.
+class RuleCandidateSource {
+public:
+  virtual ~RuleCandidateSource() = default;
+
+  /// Candidates whose pattern root could align with subject node \p S.
+  virtual void
+  forEachBodyCandidate(const Node *S,
+                       const std::function<bool(const PreparedRule &)>
+                           &TryRule) = 0;
+
+  /// Candidates for a compare-and-jump rule whose condition pattern
+  /// could align with the branch condition value \p Condition.
+  virtual void
+  forEachJumpCandidate(NodeRef Condition,
+                       const std::function<bool(const PreparedRule &)>
+                           &TryRule) = 0;
+
+  /// Candidate-discovery work performed since the last call (automaton
+  /// state visits); drained into the selection telemetry so the
+  /// matcher.nodes_visited counter reflects total matching work.
+  virtual uint64_t takeNodesVisited() { return 0; }
+};
+
+/// Runs rule-driven selection of \p F using candidates from
+/// \p Source, records matcher observability counters
+/// (selector.rules_tried, matcher.nodes_visited, selector.select_us
+/// plus a per-function SelectionTelemetry record under
+/// \p SelectorName), and returns the selection result.
+SelectionResult runRuleSelection(const Function &F,
+                                 const PreparedLibrary &Library,
+                                 RuleCandidateSource &Source,
+                                 const std::string &SelectorName);
+
+} // namespace selgen
+
+#endif // SELGEN_ISEL_SELECTIONENGINE_H

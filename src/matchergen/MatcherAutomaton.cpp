@@ -1,0 +1,507 @@
+//===- MatcherAutomaton.cpp - Discrimination-tree rule matcher ----------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "matchergen/MatcherAutomaton.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+using namespace selgen;
+
+MatcherAutomaton::MatcherAutomaton() {
+  BodyRoot = newState();
+  JumpRoot = newState();
+}
+
+uint32_t MatcherAutomaton::newState() {
+  States.emplace_back();
+  return static_cast<uint32_t>(States.size() - 1);
+}
+
+namespace {
+
+/// Structural equality of two symbols (the edge minus its target).
+bool symbolsEqual(const MatcherAutomaton::Edge &A,
+                  const MatcherAutomaton::Edge &B) {
+  if (A.EdgeKind != B.EdgeKind)
+    return false;
+  if (A.EdgeKind == MatcherAutomaton::Edge::Kind::Wildcard)
+    return A.WildSort == B.WildSort;
+  if (A.ResultIndex != B.ResultIndex || A.Op != B.Op ||
+      A.HasConst != B.HasConst || A.HasRelation != B.HasRelation)
+    return false;
+  if (A.HasConst && (A.ConstValue.width() != B.ConstValue.width() ||
+                     A.ConstValue != B.ConstValue))
+    return false;
+  if (A.HasRelation && A.Rel != B.Rel)
+    return false;
+  return true;
+}
+
+/// Fills the structural tests of a node symbol from a pattern node.
+void fillNodeSymbol(MatcherAutomaton::Edge &E, const Node *N) {
+  E.EdgeKind = MatcherAutomaton::Edge::Kind::Node;
+  E.Op = N->opcode();
+  if (N->opcode() == Opcode::Const) {
+    E.HasConst = true;
+    E.ConstValue = N->constValue();
+  } else if (N->opcode() == Opcode::Cmp) {
+    E.HasRelation = true;
+    E.Rel = N->relation();
+  }
+}
+
+/// Pre-order flattening of a pattern value: wildcard for arguments
+/// (no descent), node symbol plus operand values otherwise.
+void flattenValue(NodeRef V, std::vector<MatcherAutomaton::Edge> &Out) {
+  const Node *N = V.Def;
+  MatcherAutomaton::Edge E;
+  if (N->opcode() == Opcode::Arg) {
+    E.EdgeKind = MatcherAutomaton::Edge::Kind::Wildcard;
+    E.WildSort = N->resultSort(0);
+    Out.push_back(E);
+    return;
+  }
+  E.ResultIndex = V.Index;
+  fillNodeSymbol(E, N);
+  Out.push_back(E);
+  for (const NodeRef &Operand : N->operands())
+    flattenValue(Operand, Out);
+}
+
+/// Does a node symbol's structural test accept subject node \p N?
+/// Mirrors Matcher's matchNode: opcode, constant value (width
+/// included), comparison relation.
+bool nodeSymbolAccepts(const MatcherAutomaton::Edge &E, const Node *N) {
+  if (E.Op != N->opcode())
+    return false;
+  if (E.HasConst && (E.ConstValue.width() != N->constValue().width() ||
+                     E.ConstValue != N->constValue()))
+    return false;
+  if (E.HasRelation && E.Rel != N->relation())
+    return false;
+  return true;
+}
+
+} // namespace
+
+uint32_t MatcherAutomaton::extend(uint32_t From, const Edge &Symbol) {
+  for (const Edge &E : States[From].Edges)
+    if (symbolsEqual(E, Symbol))
+      return E.To;
+  Edge New = Symbol;
+  New.To = newState();
+  States[From].Edges.push_back(New);
+  return New.To;
+}
+
+void MatcherAutomaton::insertPattern(const AutomatonPattern &P) {
+  std::vector<Edge> Symbols;
+  uint32_t Root;
+  if (P.IsJump) {
+    // Jump rules match their Cond operand against the branch
+    // condition value; the Cond node itself is not part of the string.
+    flattenValue(P.Root->operand(0), Symbols);
+    Root = JumpRoot;
+  } else {
+    // The body root aligns with a subject *node*; its result index is
+    // not tested (Matcher's matchPattern starts at matchNode).
+    Edge E;
+    E.ResultIndex = AnyResultIndex;
+    fillNodeSymbol(E, P.Root);
+    Symbols.push_back(E);
+    for (const NodeRef &Operand : P.Root->operands())
+      flattenValue(Operand, Symbols);
+    Root = BodyRoot;
+  }
+  uint32_t StateId = Root;
+  for (const Edge &Symbol : Symbols)
+    StateId = extend(StateId, Symbol);
+  States[StateId].AcceptRules.push_back(P.RuleIndex);
+}
+
+void MatcherAutomaton::rebuildRootIndex() {
+  BodyRootEdgesByOpcode.clear();
+  const State &Root = States[BodyRoot];
+  for (uint32_t I = 0; I < Root.Edges.size(); ++I)
+    BodyRootEdgesByOpcode[Root.Edges[I].Op].push_back(I);
+}
+
+MatcherAutomaton
+MatcherAutomaton::compile(const std::vector<AutomatonPattern> &Patterns,
+                          const std::string &LibraryFingerprint,
+                          uint32_t NumRules) {
+  MatcherAutomaton A;
+  A.LibraryFingerprint = LibraryFingerprint;
+  A.NumRules = NumRules;
+  // Insert in ascending priority order so every accept list and the
+  // whole trie layout are deterministic in the library order.
+  std::vector<const AutomatonPattern *> Sorted;
+  for (const AutomatonPattern &P : Patterns)
+    Sorted.push_back(&P);
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const AutomatonPattern *L, const AutomatonPattern *R) {
+              return L->RuleIndex < R->RuleIndex;
+            });
+  for (const AutomatonPattern *P : Sorted)
+    A.insertPattern(*P);
+  A.rebuildRootIndex();
+  return A;
+}
+
+uint64_t MatcherAutomaton::numTransitions() const {
+  uint64_t N = 0;
+  for (const State &S : States)
+    N += S.Edges.size();
+  return N;
+}
+
+void MatcherAutomaton::collect(uint32_t StateId, std::vector<NodeRef> &Stack,
+                               std::vector<uint32_t> &RulesOut,
+                               uint64_t *StatesVisited) const {
+  const State &S = States[StateId];
+  if (StatesVisited)
+    ++*StatesVisited;
+  if (Stack.empty()) {
+    // Strings are self-delimiting: accepting states are leaves, and a
+    // non-leaf state always has pending subject positions.
+    RulesOut.insert(RulesOut.end(), S.AcceptRules.begin(),
+                    S.AcceptRules.end());
+    return;
+  }
+  NodeRef V = Stack.back();
+  for (const Edge &E : S.Edges) {
+    if (E.EdgeKind == Edge::Kind::Wildcard) {
+      if (E.WildSort != V.sort())
+        continue;
+      Stack.pop_back();
+      collect(E.To, Stack, RulesOut, StatesVisited);
+      Stack.push_back(V);
+      continue;
+    }
+    if (E.ResultIndex != AnyResultIndex && E.ResultIndex != V.Index)
+      continue;
+    if (!nodeSymbolAccepts(E, V.Def))
+      continue;
+    Stack.pop_back();
+    size_t Restore = Stack.size();
+    const std::vector<NodeRef> &Operands = V.Def->operands();
+    for (auto It = Operands.rbegin(); It != Operands.rend(); ++It)
+      Stack.push_back(*It);
+    collect(E.To, Stack, RulesOut, StatesVisited);
+    Stack.resize(Restore);
+    Stack.push_back(V);
+  }
+}
+
+void MatcherAutomaton::matchBody(const Node *Subject,
+                                 std::vector<uint32_t> &RulesOut,
+                                 uint64_t *StatesVisited) const {
+  if (StatesVisited)
+    ++*StatesVisited; // The root state itself.
+  auto It = BodyRootEdgesByOpcode.find(Subject->opcode());
+  if (It == BodyRootEdgesByOpcode.end())
+    return;
+  size_t Before = RulesOut.size();
+  const State &Root = States[BodyRoot];
+  std::vector<NodeRef> Stack;
+  for (uint32_t EdgeIndex : It->second) {
+    const Edge &E = Root.Edges[EdgeIndex];
+    if (!nodeSymbolAccepts(E, Subject))
+      continue;
+    Stack.clear();
+    const std::vector<NodeRef> &Operands = Subject->operands();
+    for (auto OpIt = Operands.rbegin(); OpIt != Operands.rend(); ++OpIt)
+      Stack.push_back(*OpIt);
+    collect(E.To, Stack, RulesOut, StatesVisited);
+  }
+  // Different subtrees accept in trie order; restore priority order.
+  std::sort(RulesOut.begin() + Before, RulesOut.end());
+}
+
+void MatcherAutomaton::matchJump(NodeRef Subject,
+                                 std::vector<uint32_t> &RulesOut,
+                                 uint64_t *StatesVisited) const {
+  size_t Before = RulesOut.size();
+  std::vector<NodeRef> Stack{Subject};
+  collect(JumpRoot, Stack, RulesOut, StatesVisited);
+  std::sort(RulesOut.begin() + Before, RulesOut.end());
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string sortToText(const Sort &S) { return S.str(); }
+
+std::optional<Sort> sortFromText(const std::string &Text) {
+  if (Text == "mem")
+    return Sort::memory();
+  if (Text == "bool")
+    return Sort::boolean();
+  if (startsWith(Text, "bv")) {
+    const std::string Digits = Text.substr(2);
+    if (Digits.empty() ||
+        Digits.find_first_not_of("0123456789") != std::string::npos)
+      return std::nullopt;
+    unsigned Width = std::stoul(Digits);
+    if (Width == 0)
+      return std::nullopt;
+    return Sort::value(Width);
+  }
+  return std::nullopt;
+}
+
+std::optional<Relation> tryRelationFromName(const std::string &Name) {
+  for (Relation Rel : allRelations())
+    if (Name == relationName(Rel))
+      return Rel;
+  return std::nullopt;
+}
+
+bool isHexString(const std::string &Text) {
+  return !Text.empty() &&
+         Text.find_first_not_of("0123456789abcdefABCDEF") ==
+             std::string::npos;
+}
+
+} // namespace
+
+std::string MatcherAutomaton::serialize() const {
+  std::ostringstream OS;
+  OS << formatTag() << "\n";
+  OS << "library " << LibraryFingerprint << "\n";
+  OS << "rules " << NumRules << "\n";
+  OS << "states " << States.size() << "\n";
+  OS << "body " << BodyRoot << "\n";
+  OS << "jump " << JumpRoot << "\n";
+  for (size_t I = 0; I < States.size(); ++I) {
+    OS << "state " << I;
+    if (!States[I].AcceptRules.empty()) {
+      OS << " accept";
+      for (uint32_t Rule : States[I].AcceptRules)
+        OS << " " << Rule;
+    }
+    OS << "\n";
+    for (const Edge &E : States[I].Edges) {
+      OS << "edge " << I << " " << E.To;
+      if (E.EdgeKind == Edge::Kind::Wildcard) {
+        OS << " wild " << sortToText(E.WildSort);
+      } else {
+        OS << " node ";
+        if (E.ResultIndex == AnyResultIndex)
+          OS << "any";
+        else
+          OS << E.ResultIndex;
+        OS << " " << opcodeName(E.Op);
+        if (E.HasConst)
+          OS << " const " << E.ConstValue.width() << " "
+             << E.ConstValue.toHexString().substr(2);
+        if (E.HasRelation)
+          OS << " rel " << relationName(E.Rel);
+      }
+      OS << "\n";
+    }
+  }
+  OS << "end\n";
+  return OS.str();
+}
+
+std::optional<MatcherAutomaton>
+MatcherAutomaton::deserialize(const std::string &Text, std::string *Error) {
+  auto fail = [&](const std::string &Message) {
+    if (Error)
+      *Error = Message;
+    return std::nullopt;
+  };
+
+  std::vector<std::string> Lines;
+  for (const std::string &Raw : splitString(Text, '\n')) {
+    std::string Line = trimString(Raw);
+    if (!Line.empty())
+      Lines.push_back(Line);
+  }
+  if (Lines.empty() || Lines[0] != formatTag())
+    return fail("not a '" + std::string(formatTag()) +
+                "' file (version mismatch or corrupt)");
+
+  size_t At = 1;
+  auto headerField = [&](const std::string &Key,
+                         std::string &Value) -> bool {
+    if (At >= Lines.size())
+      return false;
+    std::vector<std::string> Parts = splitString(Lines[At], ' ');
+    if (Parts.size() != 2 || Parts[0] != Key)
+      return false;
+    Value = Parts[1];
+    ++At;
+    return true;
+  };
+
+  MatcherAutomaton A;
+  A.States.clear();
+  std::string Fingerprint, RulesText, StatesText, BodyText, JumpText;
+  if (!headerField("library", Fingerprint) ||
+      !headerField("rules", RulesText) ||
+      !headerField("states", StatesText) || !headerField("body", BodyText) ||
+      !headerField("jump", JumpText))
+    return fail("malformed automaton header");
+  A.LibraryFingerprint = Fingerprint;
+  try {
+    A.NumRules = std::stoul(RulesText);
+    A.States.resize(std::stoul(StatesText));
+    A.BodyRoot = std::stoul(BodyText);
+    A.JumpRoot = std::stoul(JumpText);
+  } catch (...) {
+    return fail("malformed automaton header numbers");
+  }
+  if (A.States.empty() || A.BodyRoot >= A.States.size() ||
+      A.JumpRoot >= A.States.size())
+    return fail("automaton root states out of range");
+
+  bool SawEnd = false;
+  for (; At < Lines.size(); ++At) {
+    std::vector<std::string> Parts = splitString(Lines[At], ' ');
+    if (Parts.empty())
+      continue;
+    if (Parts[0] == "end") {
+      SawEnd = true;
+      break;
+    }
+    if (Parts[0] == "state") {
+      if (Parts.size() < 2)
+        return fail("malformed state line: " + Lines[At]);
+      uint32_t Id;
+      try {
+        Id = std::stoul(Parts[1]);
+      } catch (...) {
+        return fail("malformed state id: " + Lines[At]);
+      }
+      if (Id >= A.States.size())
+        return fail("state id out of range: " + Lines[At]);
+      if (Parts.size() > 2) {
+        if (Parts[2] != "accept")
+          return fail("malformed state line: " + Lines[At]);
+        for (size_t I = 3; I < Parts.size(); ++I) {
+          uint32_t Rule;
+          try {
+            Rule = std::stoul(Parts[I]);
+          } catch (...) {
+            return fail("malformed accept rule: " + Lines[At]);
+          }
+          if (Rule >= A.NumRules)
+            return fail("accept rule out of range: " + Lines[At]);
+          A.States[Id].AcceptRules.push_back(Rule);
+        }
+      }
+      continue;
+    }
+    if (Parts[0] == "edge") {
+      if (Parts.size() < 4)
+        return fail("malformed edge line: " + Lines[At]);
+      uint32_t From, To;
+      try {
+        From = std::stoul(Parts[1]);
+        To = std::stoul(Parts[2]);
+      } catch (...) {
+        return fail("malformed edge endpoints: " + Lines[At]);
+      }
+      if (From >= A.States.size() || To >= A.States.size())
+        return fail("edge endpoint out of range: " + Lines[At]);
+      Edge E;
+      E.To = To;
+      if (Parts[3] == "wild") {
+        if (Parts.size() != 5)
+          return fail("malformed wildcard edge: " + Lines[At]);
+        std::optional<Sort> S = sortFromText(Parts[4]);
+        if (!S)
+          return fail("unknown sort in edge: " + Lines[At]);
+        E.EdgeKind = Edge::Kind::Wildcard;
+        E.WildSort = *S;
+      } else if (Parts[3] == "node") {
+        if (Parts.size() < 6)
+          return fail("malformed node edge: " + Lines[At]);
+        E.EdgeKind = Edge::Kind::Node;
+        if (Parts[4] == "any") {
+          E.ResultIndex = AnyResultIndex;
+        } else {
+          try {
+            E.ResultIndex = std::stoul(Parts[4]);
+          } catch (...) {
+            return fail("malformed result index: " + Lines[At]);
+          }
+        }
+        std::optional<Opcode> Op = tryOpcodeFromName(Parts[5]);
+        if (!Op)
+          return fail("unknown opcode in edge: " + Lines[At]);
+        E.Op = *Op;
+        size_t I = 6;
+        while (I < Parts.size()) {
+          if (Parts[I] == "const" && I + 2 < Parts.size()) {
+            unsigned Width;
+            try {
+              Width = std::stoul(Parts[I + 1]);
+            } catch (...) {
+              return fail("malformed constant width: " + Lines[At]);
+            }
+            if (Width == 0 || !isHexString(Parts[I + 2]))
+              return fail("malformed constant: " + Lines[At]);
+            E.HasConst = true;
+            E.ConstValue = BitValue::fromString(Width, Parts[I + 2], 16);
+            I += 3;
+          } else if (Parts[I] == "rel" && I + 1 < Parts.size()) {
+            std::optional<Relation> Rel = tryRelationFromName(Parts[I + 1]);
+            if (!Rel)
+              return fail("unknown relation in edge: " + Lines[At]);
+            E.HasRelation = true;
+            E.Rel = *Rel;
+            I += 2;
+          } else {
+            return fail("malformed edge attribute: " + Lines[At]);
+          }
+        }
+        if (E.Op == Opcode::Const && !E.HasConst)
+          return fail("Const edge without a value: " + Lines[At]);
+      } else {
+        return fail("unknown edge kind: " + Lines[At]);
+      }
+      A.States[From].Edges.push_back(E);
+      continue;
+    }
+    return fail("unknown directive: " + Lines[At]);
+  }
+  if (!SawEnd)
+    return fail("truncated automaton file (missing 'end')");
+  A.rebuildRootIndex();
+  return A;
+}
+
+bool MatcherAutomaton::writeFile(const std::string &Path) const {
+  std::ofstream OS(Path);
+  if (!OS)
+    return false;
+  OS << serialize();
+  return static_cast<bool>(OS);
+}
+
+std::optional<MatcherAutomaton>
+MatcherAutomaton::loadFile(const std::string &Path, std::string *Error) {
+  std::ifstream IS(Path);
+  if (!IS) {
+    if (Error)
+      *Error = "cannot open " + Path;
+    return std::nullopt;
+  }
+  std::ostringstream Buffer;
+  Buffer << IS.rdbuf();
+  return deserialize(Buffer.str(), Error);
+}

@@ -1,0 +1,177 @@
+//===- MatcherAutomaton.h - Discrimination-tree rule matcher -----*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The matcher-automaton compiler: an offline pass that compiles a
+/// priority-ordered rule library into a discrimination tree so that a
+/// single traversal of the subject DAG finds every candidate rule,
+/// instead of attempting each rule one by one as the paper's prototype
+/// selector does.
+///
+/// Each pattern is flattened into a string of symbols by a pre-order
+/// walk from its root: an operation node becomes a node symbol (result
+/// index, opcode, and internal attribute — the constant's value or the
+/// comparison relation), a pattern argument becomes a wildcard symbol
+/// carrying only its sort (the subject subtree under a wildcard is
+/// skipped, not walked). The strings of all rules are inserted into a
+/// trie, so rules with a common pattern prefix share the states that
+/// test it. Because every symbol consumes exactly one pending subject
+/// position and announces how many new ones it opens, the strings are
+/// self-delimiting: a string can end only where the pending count
+/// reaches zero, no string is a proper prefix of another, and an
+/// accepting state is therefore always a leaf reached with an empty
+/// subject stack.
+///
+/// The tree tests exactly the per-position structural conditions of the
+/// full matcher (isel/Matcher) and nothing else. Non-linear conditions
+/// — repeated arguments binding the same value, DAG re-convergence of
+/// shared pattern nodes, Imm-role arguments requiring constants, shift
+/// preconditions — are deliberately left out, so the accepting rules
+/// are a *superset* of the truly matching rules. The selection engine
+/// re-runs the full matcher on each candidate in priority order, which
+/// is what keeps the automaton selector byte-identical to the linear
+/// one while doing sublinear candidate discovery.
+///
+/// The automaton serializes to a versioned text format
+/// ("selgen-matcher-automaton-v1") carrying the rule library's
+/// fingerprint; loading rejects files whose version or fingerprint does
+/// not match, so a stale automaton can never silently desynchronize
+/// from the library it indexes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_MATCHERGEN_MATCHERAUTOMATON_H
+#define SELGEN_MATCHERGEN_MATCHERAUTOMATON_H
+
+#include "ir/Graph.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace selgen {
+
+/// One rule pattern as the automaton compiler consumes it. The
+/// caller (isel's rule preparation) resolves roots and priority
+/// indices; matchergen itself depends only on the IR.
+struct AutomatonPattern {
+  const Graph *Pattern = nullptr;
+  /// The pattern's root operation node (never null).
+  const Node *Root = nullptr;
+  /// Compare-and-jump rule: the flattening starts from the Cond
+  /// node's operand value and the string goes into the jump tree.
+  bool IsJump = false;
+  /// Library priority index (most-specific-first order).
+  uint32_t RuleIndex = 0;
+};
+
+/// A discrimination tree over a rule library's patterns.
+class MatcherAutomaton {
+public:
+  /// Result-index wildcard used by the first symbol of a body pattern:
+  /// the root aligns with a subject *node*, not a specific result.
+  static constexpr uint32_t AnyResultIndex = 0xffffffffu;
+
+  /// A transition. Wildcard edges consume one subject value without
+  /// descending; node edges test one subject position structurally and
+  /// open its operand positions.
+  struct Edge {
+    enum class Kind { Wildcard, Node };
+    Kind EdgeKind = Kind::Wildcard;
+    uint32_t To = 0;
+    // Wildcard symbols: the pattern argument's sort.
+    Sort WildSort = Sort::boolean();
+    // Node symbols: the structural tests of Matcher's matchValue.
+    uint32_t ResultIndex = AnyResultIndex;
+    Opcode Op = Opcode::Arg;
+    bool HasConst = false;
+    BitValue ConstValue;
+    bool HasRelation = false;
+    Relation Rel = Relation::Eq;
+  };
+
+  struct State {
+    std::vector<Edge> Edges;
+    /// Rule indices accepted here, ascending (priority order).
+    std::vector<uint32_t> AcceptRules;
+  };
+
+  /// Compiles \p Patterns (priority-indexed rules of one library) into
+  /// a discrimination tree. \p LibraryFingerprint and \p NumRules
+  /// identify the library for serialization-time staleness checks.
+  static MatcherAutomaton compile(const std::vector<AutomatonPattern> &Patterns,
+                                  const std::string &LibraryFingerprint,
+                                  uint32_t NumRules);
+
+  // -- Matching ----------------------------------------------------------
+  /// Appends to \p RulesOut the indices of every rule whose pattern
+  /// could structurally match at subject node \p Subject, sorted
+  /// ascending (library priority order). \p StatesVisited, if non-null,
+  /// is incremented per automaton state visited.
+  void matchBody(const Node *Subject, std::vector<uint32_t> &RulesOut,
+                 uint64_t *StatesVisited = nullptr) const;
+
+  /// Like matchBody for compare-and-jump rules, matching the jump tree
+  /// against the branch condition value \p Subject.
+  void matchJump(NodeRef Subject, std::vector<uint32_t> &RulesOut,
+                 uint64_t *StatesVisited = nullptr) const;
+
+  // -- Introspection -----------------------------------------------------
+  size_t numStates() const { return States.size(); }
+  uint64_t numTransitions() const;
+  uint32_t numRules() const { return NumRules; }
+  const std::string &libraryFingerprint() const { return LibraryFingerprint; }
+
+  const std::vector<State> &states() const { return States; }
+
+  // -- Serialization -----------------------------------------------------
+  /// The on-disk format tag; bumped whenever the format changes.
+  static const char *formatTag() { return "selgen-matcher-automaton-v1"; }
+
+  /// Renders the automaton in the versioned text format.
+  std::string serialize() const;
+
+  /// Parses a serialized automaton. Returns std::nullopt (and sets
+  /// \p Error) if the text is malformed or carries a different format
+  /// version. Library staleness is the *caller's* check: compare
+  /// libraryFingerprint()/numRules() against the prepared library.
+  static std::optional<MatcherAutomaton>
+  deserialize(const std::string &Text, std::string *Error = nullptr);
+
+  /// File convenience wrappers around serialize()/deserialize().
+  bool writeFile(const std::string &Path) const;
+  static std::optional<MatcherAutomaton>
+  loadFile(const std::string &Path, std::string *Error = nullptr);
+
+private:
+  MatcherAutomaton();
+
+  uint32_t newState();
+  /// Follows (or creates) the edge for \p Symbol out of \p From.
+  uint32_t extend(uint32_t From, const Edge &Symbol);
+  void insertPattern(const AutomatonPattern &P);
+  void rebuildRootIndex();
+
+  void collect(uint32_t StateId, std::vector<NodeRef> &Stack,
+               std::vector<uint32_t> &RulesOut,
+               uint64_t *StatesVisited) const;
+
+  std::vector<State> States;
+  uint32_t BodyRoot = 0;
+  uint32_t JumpRoot = 0;
+  /// Body-root edge indices by root opcode — the "indexed by root
+  /// opcode" entry point that makes candidate discovery start at the
+  /// right subtree in O(log #opcodes).
+  std::map<Opcode, std::vector<uint32_t>> BodyRootEdgesByOpcode;
+  std::string LibraryFingerprint;
+  uint32_t NumRules = 0;
+};
+
+} // namespace selgen
+
+#endif // SELGEN_MATCHERGEN_MATCHERAUTOMATON_H

@@ -58,6 +58,24 @@ struct GoalTelemetry {
   uint64_t CorpusEvictions = 0;
 };
 
+/// Structured telemetry for one instruction-selection run (one
+/// function through one selector). The matcher-throughput experiment
+/// and CI read these so the automaton speedup is measured, never
+/// anecdotal.
+struct SelectionTelemetry {
+  std::string Function;
+  std::string Selector;
+  /// Wall time of the selection phase in microseconds.
+  double SelectUs = 0;
+  /// Full structural match attempts (matchPattern calls).
+  uint64_t RulesTried = 0;
+  /// Matcher work: pattern/subject node visits plus automaton state
+  /// visits during candidate discovery.
+  uint64_t MatcherNodesVisited = 0;
+  unsigned CoveredOperations = 0;
+  unsigned FallbackOperations = 0;
+};
+
 /// Registry of named 64-bit counters. Thread-safe: the parallel
 /// synthesis driver (pattern/ParallelBuilder) bumps counters from
 /// several workers.
@@ -78,14 +96,21 @@ public:
   /// Snapshot of the recorded goal telemetry.
   std::vector<GoalTelemetry> goals() const;
 
+  /// Records one selection run's telemetry record.
+  void recordSelection(SelectionTelemetry Telemetry);
+
+  /// Snapshot of the recorded selection telemetry.
+  std::vector<SelectionTelemetry> selections() const;
+
   /// Resets all counters and goal records. Tests use this for isolation.
   void clear();
 
   /// Prints all counters, sorted by name.
   void print(std::ostream &OS) const;
 
-  /// Renders counters plus per-goal telemetry as a JSON object
-  /// ({"counters": {...}, "goals": [...]}).
+  /// Renders counters plus per-goal and per-selection telemetry as a
+  /// JSON object ({"counters": {...}, "goals": [...],
+  /// "selections": [...]}).
   std::string toJson() const;
 
   /// Writes toJson() to \p Path; returns false on I/O failure.
@@ -95,6 +120,7 @@ private:
   mutable std::mutex Lock;
   std::map<std::string, int64_t> Counters;
   std::vector<GoalTelemetry> Goals;
+  std::vector<SelectionTelemetry> Selections;
 };
 
 } // namespace selgen

@@ -1,0 +1,350 @@
+//===- test_automaton_selector.cpp - Automaton selector equivalence ------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+// The automaton selector's contract is byte-identical machine code:
+// for every function, it must pick the same rules and emit the same
+// instructions as the linear GeneratedSelector, because both run the
+// same selection engine and the automaton only accelerates candidate
+// discovery. These tests enforce that equivalence across the
+// hand-curated rule libraries, the per-pattern test functions of the
+// testgen subsystem, the synthetic evaluation workloads at several
+// widths, and the matcher edge cases (identity patterns, Imm-role
+// binding, DAG re-convergence, compare-and-jump rules).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Workloads.h"
+#include "ir/Normalizer.h"
+#include "isel/AutomatonSelector.h"
+#include "isel/GeneratedSelector.h"
+#include "refsel/ReferenceSelectors.h"
+#include "support/Rng.h"
+#include "support/Statistics.h"
+#include "testgen/TestCaseGenerator.h"
+#include "x86/Emulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace selgen;
+
+namespace {
+
+constexpr unsigned W = 8;
+
+/// printMachineFunction output minus the first line: the header line
+/// carries the machine function's name, which includes the selector
+/// name ("f.synthesized" vs "f.automaton") by design. Everything
+/// below it — every block, instruction, and operand — must be
+/// byte-identical.
+std::string asmBody(const MachineFunction &MF) {
+  std::string Text = printMachineFunction(MF);
+  size_t Newline = Text.find('\n');
+  return Newline == std::string::npos ? std::string() :
+                                        Text.substr(Newline + 1);
+}
+
+/// Selects \p F with both selectors and asserts byte-identical output
+/// and identical coverage accounting.
+void expectByteIdentical(const Function &F, GeneratedSelector &Linear,
+                         AutomatonSelector &Automaton,
+                         const std::string &Context) {
+  SelectionResult LinearResult = Linear.select(F);
+  SelectionResult AutomatonResult = Automaton.select(F);
+  ASSERT_TRUE(LinearResult.MF && AutomatonResult.MF) << Context;
+  EXPECT_EQ(asmBody(*LinearResult.MF), asmBody(*AutomatonResult.MF))
+      << Context;
+  EXPECT_EQ(LinearResult.TotalOperations, AutomatonResult.TotalOperations)
+      << Context;
+  EXPECT_EQ(LinearResult.CoveredOperations,
+            AutomatonResult.CoveredOperations)
+      << Context;
+  EXPECT_EQ(LinearResult.FallbackOperations,
+            AutomatonResult.FallbackOperations)
+      << Context;
+}
+
+/// One-block function over [mem, a, b].
+Function singleBlock(const std::function<NodeRef(Graph &)> &Build) {
+  Function F("f", W);
+  BasicBlock *Entry = F.createBlock(
+      "entry", {Sort::memory(), Sort::value(W), Sort::value(W)});
+  Graph &G = Entry->body();
+  NodeRef Result = Build(G);
+  Entry->setReturn({G.arg(0), Result});
+  return F;
+}
+
+struct AutomatonSelectorTest : public ::testing::Test {
+  GoalLibrary Goals = GoalLibrary::build(W, GoalLibrary::allGroups());
+  PatternDatabase GnuRules = buildGnuLikeRules(W);
+  PatternDatabase ClangRules = buildClangLikeRules(W);
+  GeneratedSelector Linear{GnuRules, Goals};
+  AutomatonSelector Automaton{GnuRules, Goals};
+};
+
+} // namespace
+
+TEST_F(AutomatonSelectorTest, ByteIdenticalOnPatternTestFunctions) {
+  // Every rule of both libraries as a runnable test function (the
+  // testgen workload). Covers identity patterns, immediate forms,
+  // memory rules, and the compare-and-jump rules, which testgen turns
+  // into two-way branches.
+  for (const PatternDatabase *Db : {&GnuRules, &ClangRules}) {
+    GeneratedSelector Lin(*Db, Goals);
+    AutomatonSelector Auto(*Db, Goals);
+    unsigned Index = 0;
+    for (const Rule &R : Db->rules()) {
+      Function F = buildPatternTestFunction(
+          R, W, "pattest_" + std::to_string(Index));
+      expectByteIdentical(F, Lin, Auto,
+                          "rule " + std::to_string(Index) + " for " +
+                              R.GoalName);
+      ++Index;
+    }
+    EXPECT_GT(Index, 20u);
+  }
+}
+
+TEST_F(AutomatonSelectorTest, ByteIdenticalOnEvalWorkloadsAllWidths) {
+  // The synthetic CINT2000-profile workloads, both libraries, all the
+  // widths the seed tests exercise.
+  for (unsigned Width : {8u, 16u, 32u}) {
+    GoalLibrary WidthGoals =
+        GoalLibrary::build(Width, GoalLibrary::allGroups());
+    for (bool UseClang : {false, true}) {
+      PatternDatabase Db = UseClang ? buildClangLikeRules(Width)
+                                    : buildGnuLikeRules(Width);
+      GeneratedSelector Lin(Db, WidthGoals);
+      AutomatonSelector Auto(Db, WidthGoals);
+      for (const WorkloadProfile &Profile : cint2000Profiles()) {
+        Function F = buildWorkload(Profile, Width);
+        expectByteIdentical(F, Lin, Auto,
+                            Profile.Name + " w" + std::to_string(Width) +
+                                (UseClang ? " clang" : " gnu"));
+      }
+    }
+  }
+}
+
+TEST_F(AutomatonSelectorTest, ByteIdenticalOnRandomPrograms) {
+  Rng Random(271828);
+  for (int Trial = 0; Trial < 40; ++Trial) {
+    Function F = singleBlock([&](Graph &G) {
+      std::vector<NodeRef> Pool = {G.arg(1), G.arg(2)};
+      auto pick = [&] { return Pool[Random.nextBelow(Pool.size())]; };
+      for (int I = 0; I < 10; ++I) {
+        switch (Random.nextBelow(8)) {
+        case 0:
+          Pool.push_back(G.createBinary(Opcode::Add, pick(), pick()));
+          break;
+        case 1:
+          Pool.push_back(G.createBinary(Opcode::Sub, pick(), pick()));
+          break;
+        case 2:
+          Pool.push_back(G.createBinary(Opcode::And, pick(), pick()));
+          break;
+        case 3:
+          Pool.push_back(G.createBinary(Opcode::Or, pick(), pick()));
+          break;
+        case 4:
+          Pool.push_back(G.createUnary(Opcode::Not, pick()));
+          break;
+        case 5:
+          Pool.push_back(G.createUnary(Opcode::Minus, pick()));
+          break;
+        case 6:
+          Pool.push_back(G.createConst(Random.nextInterestingBitValue(W)));
+          break;
+        case 7: {
+          NodeRef Cmp = G.createCmp(
+              allRelations()[Random.nextBelow(allRelations().size())],
+              pick(), pick());
+          Pool.push_back(G.createMux(Cmp, pick(), pick()));
+          break;
+        }
+        }
+      }
+      return Pool.back();
+    });
+    normalizeFunction(F);
+    expectByteIdentical(F, Linear, Automaton,
+                        "random trial " + std::to_string(Trial));
+  }
+}
+
+TEST_F(AutomatonSelectorTest, IdentityPatternMaterializesImmediates) {
+  // A returned constant exercises the identity (argument-only) mov_ri
+  // rule: it has no root operation, lives outside the discrimination
+  // tree, and must still fire in both selectors.
+  Function F = singleBlock(
+      [](Graph &G) { return G.createConst(BitValue(W, 42)); });
+  expectByteIdentical(F, Linear, Automaton, "returned constant");
+
+  SelectionResult R = Automaton.select(F);
+  EXPECT_EQ(R.FallbackOperations, 0u) << "mov_ri identity rule missing";
+}
+
+TEST_F(AutomatonSelectorTest, ImmRoleBindsOnlyConstants) {
+  // add_ri's pattern argument has the Imm role: Add(a, 7) may use it,
+  // Add(a, b) must not. The automaton's wildcard edges do not test
+  // roles — the full matcher at the leaf does — so both subjects must
+  // still produce identical code in both selectors.
+  Function WithConst = singleBlock([](Graph &G) {
+    return G.createBinary(Opcode::Add, G.arg(1),
+                          G.createConst(BitValue(W, 7)));
+  });
+  Function WithValue = singleBlock([](Graph &G) {
+    return G.createBinary(Opcode::Add, G.arg(1), G.arg(2));
+  });
+  expectByteIdentical(WithConst, Linear, Automaton, "add imm");
+  expectByteIdentical(WithValue, Linear, Automaton, "add reg");
+}
+
+TEST_F(AutomatonSelectorTest, CompareAndJumpRules) {
+  for (Relation Rel : allRelations()) {
+    Function F("jump", W);
+    BasicBlock *Entry = F.createBlock(
+        "entry", {Sort::memory(), Sort::value(W), Sort::value(W)});
+    BasicBlock *Then = F.createBlock("then", {Sort::memory()});
+    BasicBlock *Else = F.createBlock("else", {Sort::memory()});
+    {
+      Graph &G = Entry->body();
+      NodeRef Cond = G.createCmp(Rel, G.arg(1), G.arg(2));
+      Entry->setBranch(Cond, Then, {G.arg(0)}, Else, {G.arg(0)});
+    }
+    {
+      Graph &G = Then->body();
+      Then->setReturn({G.arg(0), G.createConst(BitValue(W, 1))});
+    }
+    {
+      Graph &G = Else->body();
+      Else->setReturn({G.arg(0), G.createConst(BitValue(W, 0))});
+    }
+    expectByteIdentical(F, Linear, Automaton,
+                        std::string("jump ") + relationName(Rel));
+    SelectionResult R = Automaton.select(F);
+    EXPECT_EQ(R.MF->entry()->terminator().TermKind, MTerminator::Kind::Jcc)
+        << relationName(Rel);
+  }
+}
+
+TEST_F(AutomatonSelectorTest, ShiftPreconditionStillBlocksRules) {
+  // shl by an out-of-range constant: the full matcher's precondition
+  // check must reject the rule in both selectors identically.
+  Function F = singleBlock([](Graph &G) {
+    return G.createBinary(Opcode::Shl, G.arg(1),
+                          G.createConst(BitValue(W, 12)));
+  });
+  expectByteIdentical(F, Linear, Automaton, "out-of-range shl");
+}
+
+TEST_F(AutomatonSelectorTest, DagReconvergentSubjectsMatch) {
+  // Subject re-convergence: both operands of the And are the same
+  // Sub node (the blsr idiom built as a DAG).
+  Function F = singleBlock([](Graph &G) {
+    NodeRef Dec = G.createBinary(Opcode::Sub, G.arg(1),
+                                 G.createConst(BitValue(W, 1)));
+    return G.createBinary(Opcode::And, G.arg(1), Dec);
+  });
+  normalizeFunction(F);
+  expectByteIdentical(F, Linear, Automaton, "blsr DAG");
+}
+
+TEST_F(AutomatonSelectorTest, SerializedAutomatonProducesIdenticalOutput) {
+  const std::string Path = "test-automaton-roundtrip.mat";
+  ASSERT_TRUE(Automaton.automaton().writeFile(Path));
+  std::string Error;
+  std::optional<MatcherAutomaton> Loaded =
+      MatcherAutomaton::loadFile(Path, &Error);
+  ASSERT_TRUE(Loaded) << Error;
+  AutomatonSelector FromFile(GnuRules, Goals, std::move(*Loaded));
+
+  Rng Random(11);
+  for (int Trial = 0; Trial < 10; ++Trial) {
+    Function F = singleBlock([&](Graph &G) {
+      NodeRef X = G.createBinary(Opcode::Add, G.arg(1), G.arg(2));
+      NodeRef Y = G.createBinary(
+          Opcode::And, X, G.createConst(Random.nextInterestingBitValue(W)));
+      return G.createBinary(Opcode::Xor, Y, G.arg(1));
+    });
+    normalizeFunction(F);
+    SelectionResult A = Automaton.select(F);
+    SelectionResult B = FromFile.select(F);
+    EXPECT_EQ(asmBody(*A.MF), asmBody(*B.MF));
+  }
+}
+
+TEST_F(AutomatonSelectorTest, SelectionRunsAgreeWithInterpreter) {
+  // Not only identical to the linear selector, but actually correct:
+  // differential against the IR interpreter.
+  Function F = singleBlock([](Graph &G) {
+    NodeRef Blsr = G.createBinary(
+        Opcode::And, G.arg(1),
+        G.createBinary(Opcode::Sub, G.arg(1),
+                       G.createConst(BitValue(W, 1))));
+    return G.createBinary(Opcode::Add, Blsr, G.arg(2));
+  });
+  normalizeFunction(F);
+  SelectionResult R = Automaton.select(F);
+
+  Rng Random(7);
+  for (int Run = 0; Run < 40; ++Run) {
+    std::vector<BitValue> Args = {Random.nextInterestingBitValue(W),
+                                  Random.nextInterestingBitValue(W)};
+    MemoryState Memory;
+    FunctionResult Reference = runFunction(F, Args, Memory);
+    if (Reference.Undefined)
+      continue;
+    std::map<MReg, BitValue> Regs;
+    const auto &ArgRegs = R.MF->entry()->ArgRegs;
+    for (size_t I = 0; I < ArgRegs.size(); ++I)
+      Regs[ArgRegs[I]] = Args[I];
+    MachineRunResult Machine = runMachineFunction(*R.MF, Regs, Memory);
+    ASSERT_EQ(Machine.ReturnValues.size(), Reference.ReturnValues.size());
+    for (size_t I = 0; I < Reference.ReturnValues.size(); ++I)
+      EXPECT_EQ(Machine.ReturnValues[I], Reference.ReturnValues[I])
+          << "run " << Run;
+  }
+}
+
+TEST_F(AutomatonSelectorTest, TelemetryCountersRecorded) {
+  Statistics::get().clear();
+  Function F = singleBlock([](Graph &G) {
+    return G.createBinary(Opcode::Add, G.arg(1), G.arg(2));
+  });
+  AutomatonSelector Fresh(GnuRules, Goals);
+  GeneratedSelector LinearFresh(GnuRules, Goals);
+  (void)Fresh.select(F);
+  (void)LinearFresh.select(F);
+
+  Statistics &Stats = Statistics::get();
+  EXPECT_GT(Stats.value("automaton.states"), 0);
+  EXPECT_GT(Stats.value("automaton.transitions"), 0);
+  EXPECT_GT(Stats.value("selector.rules_tried"), 0);
+  EXPECT_GT(Stats.value("matcher.nodes_visited"), 0);
+
+  bool SawAutomaton = false, SawLinear = false;
+  for (const SelectionTelemetry &T : Stats.selections()) {
+    SawAutomaton |= T.Selector == "automaton";
+    SawLinear |= T.Selector == "synthesized";
+    EXPECT_EQ(T.Function, "f");
+    EXPECT_GT(T.RulesTried, 0u);
+    EXPECT_GT(T.MatcherNodesVisited, 0u);
+  }
+  EXPECT_TRUE(SawAutomaton);
+  EXPECT_TRUE(SawLinear);
+
+  // Candidate discovery is the whole point: the automaton must try
+  // strictly fewer rules than the linear scan on the same function.
+  std::vector<SelectionTelemetry> Records = Stats.selections();
+  uint64_t AutoTried = 0, LinearTried = 0;
+  for (const SelectionTelemetry &T : Records) {
+    if (T.Selector == "automaton")
+      AutoTried = T.RulesTried;
+    if (T.Selector == "synthesized")
+      LinearTried = T.RulesTried;
+  }
+  EXPECT_LT(AutoTried, LinearTried);
+}

@@ -1,0 +1,282 @@
+//===- test_matchergen.cpp - Matcher-automaton compiler tests ------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Normalizer.h"
+#include "isel/AutomatonSelector.h"
+#include "isel/Matcher.h"
+#include "matchergen/MatcherAutomaton.h"
+#include "refsel/ReferenceSelectors.h"
+
+#include <gtest/gtest.h>
+
+using namespace selgen;
+
+namespace {
+
+constexpr unsigned W = 8;
+
+/// A prepared library over the hand-curated reference rules.
+struct MatchergenTest : public ::testing::Test {
+  GoalLibrary Goals = GoalLibrary::build(W, GoalLibrary::allGroups());
+  PatternDatabase GnuRules = buildGnuLikeRules(W);
+  PreparedLibrary Library{GnuRules, Goals};
+  MatcherAutomaton Automaton = buildMatcherAutomaton(Library);
+
+  /// The rules the linear selector would try for body subject \p S
+  /// (root-opcode prefilter only).
+  std::vector<uint32_t> linearBodyCandidates(const Node *S) const {
+    std::vector<uint32_t> Out;
+    for (const PreparedRule &R : Library.rules())
+      if (!R.IsJumpRule && R.Root->opcode() == S->opcode())
+        Out.push_back(R.Index);
+    return Out;
+  }
+
+  /// The rules that fully match at \p S per the reference matcher.
+  std::vector<uint32_t> fullMatches(const Node *S) const {
+    std::vector<uint32_t> Out;
+    for (const PreparedRule &R : Library.rules()) {
+      if (R.IsJumpRule)
+        continue;
+      if (matchPattern(R.TheRule->Pattern, R.Goal->Spec->argRoles(), R.Root,
+                       S))
+        Out.push_back(R.Index);
+    }
+    return Out;
+  }
+};
+
+bool isSubset(const std::vector<uint32_t> &Inner,
+              const std::vector<uint32_t> &Outer) {
+  for (uint32_t X : Inner)
+    if (std::find(Outer.begin(), Outer.end(), X) == Outer.end())
+      return false;
+  return true;
+}
+
+} // namespace
+
+TEST_F(MatchergenTest, SharesCommonPrefixes) {
+  // The trie must be smaller than one path per rule: the reference
+  // library has many rules with the same root opcode (add_rr, add_ri,
+  // lea forms, ...), whose prefixes collapse into shared states.
+  uint64_t TotalSymbols = 0;
+  for (const PreparedRule &R : Library.rules())
+    TotalSymbols +=
+        R.TheRule->Pattern.numOperations() + R.TheRule->Pattern.numArgs();
+  EXPECT_GT(Automaton.numStates(), 2u);
+  EXPECT_LT(Automaton.numTransitions(), TotalSymbols);
+  // A tree: every state except the two roots has exactly one parent.
+  EXPECT_EQ(Automaton.numTransitions(), Automaton.numStates() - 2);
+}
+
+TEST_F(MatchergenTest, CandidatesAreSupersetOfMatchesAndSubsetOfLinear) {
+  // Subjects with various shapes, including ones no rule matches.
+  Graph G(W, {Sort::memory(), Sort::value(W), Sort::value(W)});
+  std::vector<const Node *> Subjects;
+  NodeRef Sum = G.createBinary(Opcode::Add, G.arg(1), G.arg(2));
+  Subjects.push_back(Sum.Def);
+  NodeRef Imm = G.createBinary(Opcode::Add, G.arg(1),
+                               G.createConst(BitValue(W, 7)));
+  Subjects.push_back(Imm.Def);
+  NodeRef Blsr = G.createBinary(
+      Opcode::And, G.arg(1),
+      G.createBinary(Opcode::Sub, G.arg(1), G.createConst(BitValue(W, 1))));
+  Subjects.push_back(Blsr.Def);
+  Node *Load = G.createLoad(G.arg(0), G.arg(1));
+  Subjects.push_back(Load);
+  NodeRef Mux = G.createMux(G.createCmp(Relation::Ult, G.arg(1), G.arg(2)),
+                            G.arg(1), G.arg(2));
+  Subjects.push_back(Mux.Def);
+
+  for (const Node *S : Subjects) {
+    std::vector<uint32_t> Candidates;
+    Automaton.matchBody(S, Candidates, nullptr);
+    EXPECT_TRUE(std::is_sorted(Candidates.begin(), Candidates.end()));
+    EXPECT_TRUE(isSubset(Candidates, linearBodyCandidates(S)))
+        << "automaton offered a rule the linear prefilter would not";
+    EXPECT_TRUE(isSubset(fullMatches(S), Candidates))
+        << "automaton missed a rule that fully matches";
+  }
+}
+
+TEST_F(MatchergenTest, ConstantValuesDiscriminate) {
+  // Two subjects that differ only in a constant must reach different
+  // accept states: blsr's decrement subtree must not fire for x - 2.
+  // Subjects are normalized like every selector input (x - c becomes
+  // x + (-c)).
+  auto makeSubject = [](uint64_t Decrement) {
+    Graph G(W, {Sort::value(W)});
+    NodeRef R = G.createBinary(
+        Opcode::And, G.arg(0),
+        G.createBinary(Opcode::Sub, G.arg(0),
+                       G.createConst(BitValue(W, Decrement))));
+    G.setResults({R});
+    return normalizeGraph(G);
+  };
+  Graph Good = makeSubject(1);
+  Graph Bad = makeSubject(2);
+
+  std::vector<uint32_t> GoodRules, BadRules;
+  Automaton.matchBody(Good.results()[0].Def, GoodRules, nullptr);
+  Automaton.matchBody(Bad.results()[0].Def, BadRules, nullptr);
+  // The blsr rule (And(a, Sub(a, 1))) is a candidate only for Good.
+  bool FoundBlsr = false;
+  for (uint32_t Index : GoodRules) {
+    const PreparedRule &R = Library.rules()[Index];
+    if (R.Goal->Name == "blsr") {
+      FoundBlsr = true;
+      EXPECT_EQ(std::find_if(BadRules.begin(), BadRules.end(),
+                             [&](uint32_t B) { return B == Index; }),
+                BadRules.end());
+    }
+  }
+  EXPECT_TRUE(FoundBlsr) << "reference library lost its blsr rule?";
+}
+
+TEST_F(MatchergenTest, StateVisitCounterAdvances) {
+  Graph G(W, {Sort::value(W), Sort::value(W)});
+  NodeRef Sum = G.createBinary(Opcode::Add, G.arg(0), G.arg(1));
+  uint64_t Visited = 0;
+  std::vector<uint32_t> Rules;
+  Automaton.matchBody(Sum.Def, Rules, &Visited);
+  EXPECT_GT(Visited, 0u);
+  EXPECT_FALSE(Rules.empty());
+}
+
+TEST_F(MatchergenTest, SerializationRoundTrips) {
+  std::string Text = Automaton.serialize();
+  std::string Error;
+  std::optional<MatcherAutomaton> Loaded =
+      MatcherAutomaton::deserialize(Text, &Error);
+  ASSERT_TRUE(Loaded) << Error;
+  EXPECT_EQ(Loaded->numStates(), Automaton.numStates());
+  EXPECT_EQ(Loaded->numTransitions(), Automaton.numTransitions());
+  EXPECT_EQ(Loaded->numRules(), Automaton.numRules());
+  EXPECT_EQ(Loaded->libraryFingerprint(), Automaton.libraryFingerprint());
+  // Byte-exact round trip: the format is deterministic.
+  EXPECT_EQ(Loaded->serialize(), Text);
+  EXPECT_TRUE(automatonStalenessError(*Loaded, Library).empty());
+
+  // The reloaded automaton produces identical candidates.
+  Graph G(W, {Sort::value(W), Sort::value(W)});
+  NodeRef Sum = G.createBinary(Opcode::Add, G.arg(0), G.arg(1));
+  std::vector<uint32_t> A, B;
+  Automaton.matchBody(Sum.Def, A, nullptr);
+  Loaded->matchBody(Sum.Def, B, nullptr);
+  EXPECT_EQ(A, B);
+}
+
+TEST_F(MatchergenTest, RejectsWrongVersionTag) {
+  std::string Text = Automaton.serialize();
+  std::string Stale = Text;
+  Stale.replace(Stale.find("-v1"), 3, "-v0");
+  std::string Error;
+  EXPECT_FALSE(MatcherAutomaton::deserialize(Stale, &Error));
+  EXPECT_NE(Error.find("version"), std::string::npos);
+
+  EXPECT_FALSE(MatcherAutomaton::deserialize("", &Error));
+  EXPECT_FALSE(MatcherAutomaton::deserialize("garbage\nfile\n", &Error));
+}
+
+TEST_F(MatchergenTest, RejectsTruncatedAndCorruptFiles) {
+  std::string Text = Automaton.serialize();
+  // Truncation: cut before the end marker.
+  std::string Truncated = Text.substr(0, Text.size() / 2);
+  std::string Error;
+  EXPECT_FALSE(MatcherAutomaton::deserialize(Truncated, &Error));
+
+  // An edge pointing past the state table.
+  std::string BadEdge = Text;
+  size_t EdgeAt = BadEdge.find("\nedge ");
+  ASSERT_NE(EdgeAt, std::string::npos);
+  BadEdge.replace(EdgeAt, 7, "\nedge 999999 ");
+  EXPECT_FALSE(MatcherAutomaton::deserialize(BadEdge, &Error));
+
+  // An unknown opcode mnemonic.
+  std::string BadOp = Text;
+  size_t NodeAt = BadOp.find(" node ");
+  ASSERT_NE(NodeAt, std::string::npos);
+  size_t OpStart = BadOp.find(' ', NodeAt + 6) + 1;
+  size_t OpEnd = BadOp.find_first_of(" \n", OpStart);
+  BadOp.replace(OpStart, OpEnd - OpStart, "Frobnicate");
+  EXPECT_FALSE(MatcherAutomaton::deserialize(BadOp, &Error));
+}
+
+TEST_F(MatchergenTest, StaleLibraryIsRejected) {
+  // An automaton compiled from the clang-like library must be flagged
+  // as stale against the gnu-like one, and vice versa.
+  PatternDatabase ClangRules = buildClangLikeRules(W);
+  PreparedLibrary ClangLibrary(ClangRules, Goals);
+  MatcherAutomaton ClangAutomaton = buildMatcherAutomaton(ClangLibrary);
+
+  EXPECT_TRUE(automatonStalenessError(Automaton, Library).empty());
+  EXPECT_TRUE(automatonStalenessError(ClangAutomaton, ClangLibrary).empty());
+  EXPECT_FALSE(automatonStalenessError(ClangAutomaton, Library).empty());
+  EXPECT_FALSE(automatonStalenessError(Automaton, ClangLibrary).empty());
+}
+
+TEST_F(MatchergenTest, FingerprintTracksRuleChanges) {
+  // Adding one rule changes the prepared-library fingerprint, so any
+  // previously serialized automaton becomes stale.
+  PatternDatabase Grown = buildGnuLikeRules(W);
+  {
+    Graph Pattern(W, {Sort::value(W), Sort::value(W)});
+    NodeRef Weird = Pattern.createBinary(
+        Opcode::Xor, Pattern.createBinary(Opcode::And, Pattern.arg(0),
+                                          Pattern.arg(1)),
+        Pattern.arg(1));
+    Pattern.setResults({Weird});
+    Grown.add("xor_rr", std::move(Pattern));
+  }
+  PreparedLibrary GrownLibrary(Grown, Goals);
+  EXPECT_NE(GrownLibrary.fingerprint(), Library.fingerprint());
+  EXPECT_FALSE(automatonStalenessError(Automaton, GrownLibrary).empty());
+}
+
+TEST_F(MatchergenTest, DagReconvergenceIsLeafChecked) {
+  // A pattern whose operation node is *shared* (a DAG): r = Add(t, t)
+  // with t = Not(a0). The flattening re-walks the shared node, so the
+  // automaton accepts any subject of shape Add(Not(x), Not(y)) — the
+  // full matcher then rejects y != x at the leaf. The automaton must
+  // offer the rule for both shapes (superset), and matchPattern must
+  // accept only the truly re-convergent subject.
+  PatternDatabase Db;
+  {
+    Graph Pattern(W, {Sort::value(W)});
+    NodeRef T = Pattern.createUnary(Opcode::Not, Pattern.arg(0));
+    NodeRef R = Pattern.createBinary(Opcode::Add, T, T);
+    Pattern.setResults({R});
+    Db.add("add_rr", std::move(Pattern));
+  }
+  PreparedLibrary DagLibrary(Db, Goals);
+  ASSERT_EQ(DagLibrary.rules().size(), 1u);
+  MatcherAutomaton DagAutomaton = buildMatcherAutomaton(DagLibrary);
+
+  Graph G(W, {Sort::value(W), Sort::value(W)});
+  // Reconvergent subject: one shared Not node.
+  NodeRef SharedNot = G.createUnary(Opcode::Not, G.arg(0));
+  NodeRef Reconverges = G.createBinary(Opcode::Add, SharedNot, SharedNot);
+  // Tree-shaped subject: two distinct Not nodes over distinct values.
+  NodeRef Split = G.createBinary(Opcode::Add,
+                                 G.createUnary(Opcode::Not, G.arg(0)),
+                                 G.createUnary(Opcode::Not, G.arg(1)));
+
+  const PreparedRule &Rule = DagLibrary.rules()[0];
+  for (NodeRef Subject : {Reconverges, Split}) {
+    std::vector<uint32_t> Candidates;
+    DagAutomaton.matchBody(Subject.Def, Candidates, nullptr);
+    EXPECT_EQ(Candidates, std::vector<uint32_t>{0})
+        << "automaton must offer the DAG rule structurally";
+  }
+  EXPECT_TRUE(matchPattern(Rule.TheRule->Pattern, Rule.Goal->Spec->argRoles(),
+                           Rule.Root, Reconverges.Def));
+  EXPECT_FALSE(matchPattern(Rule.TheRule->Pattern,
+                            Rule.Goal->Spec->argRoles(), Rule.Root,
+                            Split.Def))
+      << "full matcher must reject broken re-convergence at the leaf";
+}

@@ -11,18 +11,31 @@
 //
 //   selgen-compile --library rules.dat --benchmark 186.crafty --print-asm
 //   selgen-compile --library rules.dat            # all benchmarks
+//   selgen-compile --library rules.dat --selector linear
+//   selgen-compile --library rules.dat --automaton rules.mat --stats-json s.json
+//
+// --selector picks how rules are matched: "auto" (default) compiles
+// the library into a discrimination-tree automaton, "linear" tries the
+// rules one by one as the paper's prototype does (same machine code,
+// slower matching), "handwritten" bypasses the rule library entirely.
+// --automaton loads a pre-compiled automaton file emitted by
+// selgen-matchergen instead of compiling in memory; a stale file (one
+// whose library fingerprint does not match) is rejected.
 //
 //===----------------------------------------------------------------------===//
 
 #include "eval/Workloads.h"
+#include "isel/AutomatonSelector.h"
 #include "isel/GeneratedSelector.h"
 #include "isel/HandwrittenSelector.h"
 #include "support/CommandLine.h"
 #include "support/Rng.h"
+#include "support/Statistics.h"
 #include "support/StringUtils.h"
 #include "x86/Emulator.h"
 
 #include <cstdio>
+#include <memory>
 
 using namespace selgen;
 
@@ -64,8 +77,9 @@ RunOutcome runSelected(const Function &F, const MachineFunction &MF,
 } // namespace
 
 int main(int argc, char **argv) {
-  const std::vector<std::string> Flags = {"library", "benchmark", "width",
-                                          "runs", "print-asm", "help"};
+  const std::vector<std::string> Flags = {
+      "library", "benchmark", "width",     "runs", "print-asm",
+      "selector", "automaton", "stats-json", "help"};
   CommandLine Cli(argc, argv, Flags);
   if (!Cli.errors().empty() || Cli.hasFlag("help")) {
     for (const std::string &Error : Cli.errors())
@@ -78,24 +92,79 @@ int main(int argc, char **argv) {
   unsigned Width = static_cast<unsigned>(Cli.intOption("width", 8));
   unsigned Runs = static_cast<unsigned>(Cli.intOption("runs", 3));
   std::string LibraryPath = Cli.stringOption("library", "rules.dat");
+  std::string SelectorName = Cli.stringOption("selector", "auto");
+  std::string AutomatonPath = Cli.stringOption("automaton", "");
+  if (SelectorName != "auto" && SelectorName != "linear" &&
+      SelectorName != "handwritten") {
+    std::fprintf(stderr,
+                 "error: unknown --selector '%s' (auto|linear|handwritten)\n",
+                 SelectorName.c_str());
+    return 1;
+  }
+  if (!AutomatonPath.empty() && SelectorName != "auto") {
+    std::fprintf(stderr,
+                 "error: --automaton requires --selector auto\n");
+    return 1;
+  }
 
   PatternDatabase Database = PatternDatabase::loadFromFile(LibraryPath);
   Database.filterNonNormalized();
   Database.sortSpecificFirst();
   GoalLibrary Goals = GoalLibrary::build(Width, GoalLibrary::allGroups());
-  GeneratedSelector Generated(Database, Goals);
+
   HandwrittenSelector Handwritten;
+  std::unique_ptr<InstructionSelector> RuleDriven;
+  size_t UsableRules = 0;
+  if (SelectorName == "auto") {
+    std::unique_ptr<AutomatonSelector> Auto;
+    if (!AutomatonPath.empty()) {
+      std::string LoadError;
+      std::optional<MatcherAutomaton> Loaded =
+          MatcherAutomaton::loadFile(AutomatonPath, &LoadError);
+      if (!Loaded) {
+        std::fprintf(stderr, "error: %s\n", LoadError.c_str());
+        return 1;
+      }
+      PreparedLibrary Prepared(Database, Goals);
+      std::string Stale = automatonStalenessError(*Loaded, Prepared);
+      if (!Stale.empty()) {
+        std::fprintf(stderr, "error: %s\n", Stale.c_str());
+        return 1;
+      }
+      Auto = std::make_unique<AutomatonSelector>(Database, Goals,
+                                                 std::move(*Loaded));
+    } else {
+      Auto = std::make_unique<AutomatonSelector>(Database, Goals);
+    }
+    UsableRules = Auto->numRules();
+    std::string Origin =
+        AutomatonPath.empty() ? "" : " (loaded from " + AutomatonPath + ")";
+    std::printf("automaton: %zu states, %llu transitions%s\n",
+                Auto->automaton().numStates(),
+                static_cast<unsigned long long>(
+                    Auto->automaton().numTransitions()),
+                Origin.c_str());
+    RuleDriven = std::move(Auto);
+  } else if (SelectorName == "linear") {
+    auto Linear = std::make_unique<GeneratedSelector>(Database, Goals);
+    UsableRules = Linear->numRules();
+    RuleDriven = std::move(Linear);
+  }
   std::printf("library %s: %zu rules (%zu usable)\n", LibraryPath.c_str(),
-              Database.size(), Generated.numRules());
+              Database.size(), UsableRules);
+
+  InstructionSelector &Primary =
+      RuleDriven ? *RuleDriven : static_cast<InstructionSelector &>(
+                                     Handwritten);
 
   std::string Wanted = Cli.stringOption("benchmark", "");
-  TablePrinter Table({"Benchmark", "Coverage", "Generated", "Handwritten",
+  TablePrinter Table({"Benchmark", "Coverage", Primary.name(), "Handwritten",
                       "Ratio", "Check"});
   for (const WorkloadProfile &Profile : cint2000Profiles()) {
     if (!Wanted.empty() && Profile.Name != Wanted)
       continue;
     Function F = buildWorkload(Profile, Width);
-    SelectionResult Gen = Generated.select(F);
+    SelectionResult Gen = Primary.select(F);
     SelectionResult Hand = Handwritten.select(F);
 
     if (Cli.hasFlag("print-asm"))
@@ -113,5 +182,12 @@ int main(int argc, char **argv) {
          GenRun.Mismatch || HandRun.Mismatch ? "MISMATCH" : "ok"});
   }
   std::printf("\n%s", Table.render().c_str());
+
+  std::string StatsPath = Cli.stringOption("stats-json", "");
+  if (!StatsPath.empty() &&
+      !Statistics::get().writeJsonFile(StatsPath)) {
+    std::fprintf(stderr, "error: cannot write %s\n", StatsPath.c_str());
+    return 1;
+  }
   return 0;
 }
