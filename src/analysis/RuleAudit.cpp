@@ -1,0 +1,517 @@
+//===- RuleAudit.cpp - Rule-library and IR-file linting ---------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RuleAudit.h"
+
+#include "analysis/Dataflow.h"
+#include "ir/Normalizer.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "isel/Matcher.h"
+#include "matchergen/MatcherAutomaton.h"
+#include "semantics/IrSemantics.h"
+#include "smt/SmtContext.h"
+
+#include <map>
+#include <sstream>
+#include <utility>
+
+using namespace selgen;
+
+namespace {
+
+/// Symbolic evaluation of a pattern graph without a memory model: every
+/// Arg and every loaded value becomes a fresh, unconstrained constant.
+/// Because the lint queries are universally quantified over all inputs
+/// ("is P+ satisfiable at all", "does P_B entail P_A"), leaving memory
+/// uninterpreted only widens the input space and keeps the answers
+/// sound for the error severities we assign (an Unsat stays Unsat under
+/// any refinement of the inputs).
+class SymbolicPattern {
+public:
+  SymbolicPattern(SmtContext &Smt, const Graph &G, const std::string &Prefix)
+      : Smt(Smt), G(G), Prefix(Prefix) {}
+
+  /// The term of a value-sorted (node, result index) position.
+  z3::expr value(const Node *Def, unsigned Index) {
+    ValueKey Key{Def, Index};
+    auto It = Values.find(Key);
+    if (It != Values.end())
+      return It->second;
+    z3::expr E = computeValue(Def, Index);
+    Values.emplace(Key, E);
+    return E;
+  }
+
+  z3::expr value(NodeRef Ref) { return value(Ref.Def, Ref.Index); }
+
+  /// The formula of a bool-sorted position.
+  z3::expr boolean(const Node *Def, unsigned Index) {
+    switch (Def->opcode()) {
+    case Opcode::Cmp:
+      return relationExpr(Def->relation(), value(Def->operand(0)),
+                          value(Def->operand(1)));
+    case Opcode::Cond: {
+      z3::expr Selector = boolean(Def->operand(0).Def, Def->operand(0).Index);
+      return Index == 0 ? Selector : !Selector;
+    }
+    case Opcode::Arg:
+      return Smt.boolConst(Prefix + "_b" + std::to_string(Def->id()));
+    default:
+      // No other opcode produces a bool; keep the query sound anyway.
+      return Smt.boolConst(Prefix + "_b" + std::to_string(Def->id()) + "_" +
+                           std::to_string(Index));
+    }
+  }
+
+  /// P+ of the pattern: the conjunction of 0 <= amount < width over
+  /// every live shift operation (IrSemantics models exactly this
+  /// precondition; everything else is total).
+  std::vector<z3::expr> shiftPreconditions() {
+    std::vector<z3::expr> Conjuncts;
+    unsigned W = G.width();
+    for (Node *N : G.liveNodes()) {
+      Opcode Op = N->opcode();
+      if (Op != Opcode::Shl && Op != Opcode::Shr && Op != Opcode::Shrs)
+        continue;
+      Conjuncts.push_back(
+          z3::ult(value(N->operand(1)), Smt.literal(BitValue(W, W))));
+    }
+    return Conjuncts;
+  }
+
+private:
+  using ValueKey = std::pair<const Node *, unsigned>;
+
+  z3::expr computeValue(const Node *Def, unsigned Index) {
+    unsigned W = G.width();
+    switch (Def->opcode()) {
+    case Opcode::Const:
+      return Smt.literal(Def->constValue());
+    case Opcode::Arg:
+      return Smt.bvConst(Prefix + "_a" + std::to_string(Def->argIndex()), W);
+    case Opcode::Load:
+      // Result 1 is the loaded value: unconstrained without a memory
+      // model.
+      return Smt.bvConst(Prefix + "_ld" + std::to_string(Def->id()), W);
+    case Opcode::Add:
+      return value(Def->operand(0)) + value(Def->operand(1));
+    case Opcode::Sub:
+      return value(Def->operand(0)) - value(Def->operand(1));
+    case Opcode::Mul:
+      return value(Def->operand(0)) * value(Def->operand(1));
+    case Opcode::And:
+      return value(Def->operand(0)) & value(Def->operand(1));
+    case Opcode::Or:
+      return value(Def->operand(0)) | value(Def->operand(1));
+    case Opcode::Xor:
+      return value(Def->operand(0)) ^ value(Def->operand(1));
+    case Opcode::Not:
+      return ~value(Def->operand(0));
+    case Opcode::Minus:
+      return -value(Def->operand(0));
+    case Opcode::Shl:
+      return z3::shl(value(Def->operand(0)), value(Def->operand(1)));
+    case Opcode::Shr:
+      return z3::lshr(value(Def->operand(0)), value(Def->operand(1)));
+    case Opcode::Shrs:
+      return z3::ashr(value(Def->operand(0)), value(Def->operand(1)));
+    case Opcode::Mux:
+      return z3::ite(boolean(Def->operand(0).Def, Def->operand(0).Index),
+                     value(Def->operand(1)), value(Def->operand(2)));
+    default:
+      // Memory tokens and other non-value positions are never asked
+      // for; produce a fresh constant rather than crash.
+      return Smt.bvConst(Prefix + "_x" + std::to_string(Def->id()) + "_" +
+                             std::to_string(Index),
+                         W);
+    }
+  }
+
+  SmtContext &Smt;
+  const Graph &G;
+  std::string Prefix;
+  std::map<ValueKey, z3::expr> Values;
+};
+
+/// The image of pattern-A value \p ARef inside pattern B's value space,
+/// given a structural match of A against B. Every A operation node maps
+/// through the NodeMap; A arguments map through their bindings.
+std::pair<const Node *, unsigned> mappedRef(const MatchResult &Match,
+                                            NodeRef ARef) {
+  if (ARef.Def->opcode() == Opcode::Arg) {
+    NodeRef Bound = Match.ArgBindings[ARef.Def->argIndex()];
+    return {Bound.Def, Bound.Index};
+  }
+  return {Match.NodeMap.at(ARef.Def), ARef.Index};
+}
+
+LintFinding libraryFinding(std::string Code, std::string Severity,
+                           std::string Message, const std::string &Library,
+                           const PreparedRule &R) {
+  LintFinding F;
+  F.Code = std::move(Code);
+  F.Severity = std::move(Severity);
+  F.Message = std::move(Message);
+  F.Library = Library;
+  F.Goal = R.Goal->Name;
+  F.RuleIndex = static_cast<int>(R.Index);
+  return F;
+}
+
+LintFinding fileFinding(std::string Code, std::string Severity,
+                        std::string Message, const std::string &File) {
+  LintFinding F;
+  F.Code = std::move(Code);
+  F.Severity = std::move(Severity);
+  F.Message = std::move(Message);
+  F.File = File;
+  return F;
+}
+
+/// Flags rules whose shift precondition P+ is unsatisfiable: the rule
+/// can never fire on a defined execution, so it is dead weight (and,
+/// since CEGIS asserts P+ during synthesis, evidence of a corrupted or
+/// hand-edited library). The dataflow analysis pre-filters cheaply; one
+/// SMT query per flagged rule confirms before we report an error.
+void checkPreconditions(const PreparedLibrary &Library, unsigned Width,
+                        const std::string &LibraryName,
+                        const LintOptions &Options,
+                        std::vector<LintFinding> &Findings) {
+  for (const PreparedRule &R : Library.rules()) {
+    const Graph &Pattern = R.TheRule->Pattern;
+    GraphFacts Facts(Pattern);
+    const Node *Violating = nullptr;
+    for (const auto &NPtr : Pattern.nodes()) {
+      Opcode Op = NPtr->opcode();
+      if (Op != Opcode::Shl && Op != Opcode::Shr && Op != Opcode::Shrs)
+        continue;
+      if (Facts.provesShiftOutOfRange(NPtr.get())) {
+        Violating = NPtr.get();
+        break;
+      }
+    }
+    if (!Violating)
+      continue;
+
+    SmtContext Smt;
+    SmtSolver Solver(Smt);
+    Solver.setTimeoutMilliseconds(Options.SmtTimeoutMs);
+    SymbolicPattern Sym(Smt, Pattern, "p");
+    Solver.add(Smt.mkAnd(Sym.shiftPreconditions()));
+    SmtResult Result = Solver.check();
+
+    std::ostringstream Msg;
+    Msg << opcodeName(Violating->opcode()) << " amount is provably >= "
+        << Width << " (analysis range [0x"
+        << Facts.fact(Violating->operand(1)).umin().toHexString() << ", 0x"
+        << Facts.fact(Violating->operand(1)).umax().toHexString() << "])";
+    if (Result == SmtResult::Unsat) {
+      Msg << "; SMT confirms the precondition is unsatisfiable, the rule "
+             "can never fire";
+      Findings.push_back(libraryFinding("unsat-precondition", "error",
+                                        Msg.str(), LibraryName, R));
+    } else {
+      // The analysis is sound, so this branch means the solver timed
+      // out (or the fact machinery regressed) — surface it, softly.
+      Msg << "; SMT did not confirm (solver "
+          << (Result == SmtResult::Sat ? "sat" : "unknown") << ")";
+      Findings.push_back(libraryFinding("unsat-precondition", "note",
+                                        Msg.str(), LibraryName, R));
+    }
+  }
+}
+
+/// Flags rules whose pattern is not in normal form: the compiler
+/// normalizes every block body before selection, so such a pattern can
+/// never appear as a subject (Section 5.6 filters them at preparation
+/// time; a shipped library that still carries them wastes matching
+/// work and rule-count budget).
+void checkNormalization(const PreparedLibrary &Library,
+                        const std::string &LibraryName,
+                        std::vector<LintFinding> &Findings) {
+  for (const PreparedRule &R : Library.rules())
+    if (!isNormalized(R.TheRule->Pattern))
+      Findings.push_back(libraryFinding(
+          "non-normalized-rule", "warning",
+          "pattern is not in normal form; normalized subjects can never "
+          "match it",
+          LibraryName, R));
+}
+
+/// Flags jump rules the selection engine can never try: the automaton
+/// compiler (and the engine's candidate enumeration) only admits
+/// compare-and-jump rules rooted at a Cond whose first boolean result
+/// is the taken output.
+void checkJumpApplicability(const PreparedLibrary &Library,
+                            const std::string &LibraryName,
+                            std::vector<LintFinding> &Findings) {
+  for (const PreparedRule &R : Library.rules()) {
+    if (!R.IsJumpRule)
+      continue;
+    if (R.Root->opcode() != Opcode::Cond) {
+      Findings.push_back(libraryFinding(
+          "inapplicable-jump-rule", "warning",
+          "compare-and-jump rule is not rooted at a Cond operation; the "
+          "selection engine never tries it",
+          LibraryName, R));
+    } else if (!R.TakenIsCondZero) {
+      Findings.push_back(libraryFinding(
+          "inapplicable-jump-rule", "warning",
+          "compare-and-jump rule wires the taken edge to the Cond "
+          "fall-through result; the selection engine never tries it",
+          LibraryName, R));
+    }
+  }
+}
+
+/// Flags rules shadowed by an earlier, more general rule: whenever the
+/// later rule's pattern matches a subject, the earlier rule already
+/// matches at the same root with at least the same results, and its
+/// precondition is entailed — so the later rule can never fire. The
+/// discrimination tree proposes candidates (treating the later pattern
+/// as a subject), a structural match plus a result-coverage check
+/// confirms the shape, and an SMT query sat(P_B and not P_A) == Unsat
+/// discharges the preconditions.
+void checkShadowing(const PreparedLibrary &Library,
+                    const std::string &LibraryName,
+                    const LintOptions &Options,
+                    std::vector<LintFinding> &Findings) {
+  const std::vector<PreparedRule> &Rules = Library.rules();
+
+  std::vector<AutomatonPattern> Patterns;
+  for (const PreparedRule &R : Rules) {
+    // Mirror the automaton selector: jump rules the engine never tries
+    // are excluded (they get their own finding).
+    if (R.IsJumpRule &&
+        (R.Root->opcode() != Opcode::Cond || !R.TakenIsCondZero))
+      continue;
+    Patterns.push_back({&R.TheRule->Pattern, R.Root, R.IsJumpRule, R.Index});
+  }
+  MatcherAutomaton Automaton = MatcherAutomaton::compile(
+      Patterns, Library.fingerprint(), static_cast<uint32_t>(Rules.size()));
+
+  for (const PreparedRule &B : Rules) {
+    bool BApplicableJump = B.Root->opcode() == Opcode::Cond &&
+                           B.TakenIsCondZero;
+    if (B.IsJumpRule && !BApplicableJump)
+      continue;
+
+    // Candidate earlier rules whose pattern structurally subsumes B's:
+    // run B's own pattern through the discrimination tree as if it
+    // were a subject block.
+    std::vector<uint32_t> Candidates;
+    if (B.IsJumpRule)
+      Automaton.matchJump(B.Root->operand(0), Candidates);
+    else
+      Automaton.matchBody(B.Root, Candidates);
+
+    for (uint32_t AIndex : Candidates) {
+      if (AIndex >= B.Index)
+        break; // Ascending order: only earlier rules shadow.
+      const PreparedRule &A = Rules[AIndex];
+      if (A.IsJumpRule != B.IsJumpRule)
+        continue;
+
+      const std::vector<ArgRole> &Roles = A.Goal->Spec->argRoles();
+      std::optional<MatchResult> Match;
+      if (B.IsJumpRule)
+        Match = matchPatternValue(A.TheRule->Pattern, Roles,
+                                  A.Root->operand(0), B.Root->operand(0));
+      else
+        Match = matchPattern(A.TheRule->Pattern, Roles, A.Root, B.Root);
+      if (!Match)
+        continue;
+
+      // Terminator matching aligns the condition values, so the Cond
+      // nodes themselves are outside the NodeMap; they correspond by
+      // construction (both applicable jump roots with matched
+      // selectors).
+      if (B.IsJumpRule)
+        Match->NodeMap.emplace(A.Root, B.Root);
+
+      // A must produce every result B promises (multi-result rules
+      // carry memory tokens and jump outcomes in their results).
+      std::map<std::pair<const Node *, unsigned>, bool> AProvides;
+      for (NodeRef Res : A.TheRule->Pattern.results())
+        AProvides[mappedRef(*Match, Res)] = true;
+      bool CoversResults = true;
+      for (NodeRef Res : B.TheRule->Pattern.results())
+        if (!AProvides.count({Res.Def, Res.Index})) {
+          CoversResults = false;
+          break;
+        }
+      if (!CoversResults)
+        continue;
+
+      // Precondition entailment: on any defined execution of B's
+      // pattern, A's (mapped) precondition must hold too.
+      SmtContext Smt;
+      SymbolicPattern BSym(Smt, B.TheRule->Pattern, "s");
+      std::vector<z3::expr> PA;
+      unsigned W = B.TheRule->Pattern.width();
+      for (Node *N : A.TheRule->Pattern.liveNodes()) {
+        Opcode Op = N->opcode();
+        if (Op != Opcode::Shl && Op != Opcode::Shr && Op != Opcode::Shrs)
+          continue;
+        auto [Def, Index] = mappedRef(*Match, N->operand(1));
+        PA.push_back(z3::ult(BSym.value(Def, Index),
+                             Smt.literal(BitValue(W, W))));
+      }
+      bool Entailed = true;
+      if (!PA.empty()) {
+        SmtSolver Solver(Smt);
+        Solver.setTimeoutMilliseconds(Options.SmtTimeoutMs);
+        Solver.add(Smt.mkAnd(BSym.shiftPreconditions()));
+        Solver.add(!Smt.mkAnd(PA));
+        Entailed = Solver.check() == SmtResult::Unsat;
+      }
+      if (!Entailed)
+        continue;
+
+      std::ostringstream Msg;
+      Msg << "rule is shadowed by the more general rule #" << A.Index
+          << " (goal " << A.Goal->Name
+          << "): every subject this rule matches is already claimed by "
+             "the earlier rule";
+      Findings.push_back(libraryFinding("shadowed-rule", "warning",
+                                        Msg.str(), LibraryName, B));
+      break; // One shadow finding per rule is enough.
+    }
+  }
+}
+
+void appendJsonString(std::ostringstream &Out, const std::string &S) {
+  Out << '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out << "\\\"";
+      break;
+    case '\\':
+      Out << "\\\\";
+      break;
+    case '\n':
+      Out << "\\n";
+      break;
+    case '\t':
+      Out << "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out << ' ';
+      else
+        Out << C;
+    }
+  }
+  Out << '"';
+}
+
+} // namespace
+
+std::vector<LintFinding>
+selgen::auditPreparedLibrary(const PreparedLibrary &Library, unsigned Width,
+                             const std::string &LibraryName,
+                             const LintOptions &Options) {
+  std::vector<LintFinding> Findings;
+  checkNormalization(Library, LibraryName, Findings);
+  checkJumpApplicability(Library, LibraryName, Findings);
+  if (Options.CheckPreconditions)
+    checkPreconditions(Library, Width, LibraryName, Options, Findings);
+  if (Options.CheckShadowing)
+    checkShadowing(Library, LibraryName, Options, Findings);
+  return Findings;
+}
+
+std::vector<LintFinding> selgen::auditIrText(const std::string &Text,
+                                             const std::string &FileName) {
+  std::vector<LintFinding> Findings;
+  std::string Error;
+  std::optional<Graph> G = parseGraph(Text, &Error);
+  if (!G) {
+    Findings.push_back(fileFinding("malformed-ir", "error", Error, FileName));
+    return Findings;
+  }
+
+  for (const std::string &Problem : verifyGraph(*G))
+    Findings.push_back(fileFinding("verifier-error", "error", Problem,
+                                   FileName));
+
+  GraphFacts Facts(*G);
+  unsigned W = G->width();
+  for (const auto &NPtr : G->nodes()) {
+    const Node *N = NPtr.get();
+    Opcode Op = N->opcode();
+    if (Op != Opcode::Shl && Op != Opcode::Shr && Op != Opcode::Shrs)
+      continue;
+    std::ostringstream Msg;
+    if (Facts.provesShiftOutOfRange(N)) {
+      Msg << opcodeName(Op) << " node #" << N->id()
+          << " always shifts by >= " << W << ": undefined behavior";
+      Findings.push_back(fileFinding("ub-shift", "error", Msg.str(),
+                                     FileName));
+    } else if (!Facts.provesShiftInRange(N)) {
+      Msg << opcodeName(Op) << " node #" << N->id()
+          << " has an unproven shift amount (range [0x"
+          << Facts.fact(N->operand(1)).umin().toHexString() << ", 0x"
+          << Facts.fact(N->operand(1)).umax().toHexString() << "])";
+      Findings.push_back(fileFinding("unproven-shift", "note", Msg.str(),
+                                     FileName));
+    }
+  }
+  return Findings;
+}
+
+std::string selgen::findingsToJson(const std::vector<LintFinding> &Findings) {
+  unsigned Errors = 0, Warnings = 0, Notes = 0;
+  for (const LintFinding &F : Findings) {
+    if (F.Severity == "error")
+      ++Errors;
+    else if (F.Severity == "warning")
+      ++Warnings;
+    else
+      ++Notes;
+  }
+
+  std::ostringstream Out;
+  Out << "{\n  \"errors\": " << Errors << ",\n  \"warnings\": " << Warnings
+      << ",\n  \"notes\": " << Notes << ",\n  \"findings\": [";
+  bool First = true;
+  for (const LintFinding &F : Findings) {
+    Out << (First ? "\n" : ",\n") << "    {\"code\": ";
+    appendJsonString(Out, F.Code);
+    Out << ", \"severity\": ";
+    appendJsonString(Out, F.Severity);
+    if (!F.Library.empty()) {
+      Out << ", \"library\": ";
+      appendJsonString(Out, F.Library);
+    }
+    if (!F.Goal.empty()) {
+      Out << ", \"goal\": ";
+      appendJsonString(Out, F.Goal);
+    }
+    if (F.RuleIndex >= 0)
+      Out << ", \"ruleIndex\": " << F.RuleIndex;
+    if (!F.File.empty()) {
+      Out << ", \"file\": ";
+      appendJsonString(Out, F.File);
+    }
+    Out << ", \"message\": ";
+    appendJsonString(Out, F.Message);
+    Out << "}";
+    First = false;
+  }
+  Out << (First ? "]" : "\n  ]") << "\n}\n";
+  return Out.str();
+}
+
+bool selgen::lintHasErrors(const std::vector<LintFinding> &Findings) {
+  for (const LintFinding &F : Findings)
+    if (F.Severity == "error")
+      return true;
+  return false;
+}

@@ -1,0 +1,74 @@
+//===- RuleAudit.h - Rule-library and IR-file linting ------------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The audit engine behind tools/selgen-lint. Three kinds of subjects:
+///
+/// * Prepared rule libraries: rules whose shift precondition is
+///   unsatisfiable (the dataflow analysis proves the amount out of
+///   range, one SMT query per flagged rule confirms P+ is unsat),
+///   rules shadowed by an earlier more-general rule (discrimination
+///   tree walk proposes candidates, a structural pattern-as-subject
+///   match plus an SMT subsumption query on the preconditions
+///   confirms), jump rules the selection engine can never try, and
+///   rules the normalizer would reject today.
+///
+/// * Textual IR files: parse errors, ir::Verifier findings, and shift
+///   operations whose UB-freedom the analysis cannot discharge.
+///
+/// Findings carry a stable machine-readable code and a severity
+/// ("error" | "warning" | "note"); CI fails the build on any error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_ANALYSIS_RULEAUDIT_H
+#define SELGEN_ANALYSIS_RULEAUDIT_H
+
+#include "isel/PreparedLibrary.h"
+
+#include <string>
+#include <vector>
+
+namespace selgen {
+
+/// One lint finding.
+struct LintFinding {
+  std::string Code;     ///< Stable finding code, e.g. "unsat-precondition".
+  std::string Severity; ///< "error", "warning", or "note".
+  std::string Message;  ///< Human-readable explanation.
+  std::string Library;  ///< Library path (library findings only).
+  std::string Goal;     ///< Goal name (library findings only).
+  int RuleIndex = -1;   ///< Prepared priority index (library findings).
+  std::string File;     ///< IR file path (file findings only).
+};
+
+struct LintOptions {
+  unsigned SmtTimeoutMs = 10000; ///< Per-query solver budget.
+  bool CheckPreconditions = true;
+  bool CheckShadowing = true;
+};
+
+/// Audits a prepared rule library. \p LibraryName labels the findings
+/// (typically the .dat path).
+std::vector<LintFinding> auditPreparedLibrary(const PreparedLibrary &Library,
+                                              unsigned Width,
+                                              const std::string &LibraryName,
+                                              const LintOptions &Options = {});
+
+/// Audits one textual IR file.
+std::vector<LintFinding> auditIrText(const std::string &Text,
+                                     const std::string &FileName);
+
+/// Renders findings as the JSON document CI consumes.
+std::string findingsToJson(const std::vector<LintFinding> &Findings);
+
+/// True if any finding carries severity "error".
+bool lintHasErrors(const std::vector<LintFinding> &Findings);
+
+} // namespace selgen
+
+#endif // SELGEN_ANALYSIS_RULEAUDIT_H

@@ -7,6 +7,7 @@
 
 #include "ir/Normalizer.h"
 
+#include "analysis/Dataflow.h"
 #include "ir/Interpreter.h"
 #include "support/Error.h"
 
@@ -42,6 +43,11 @@ public:
 private:
   const Graph &Old;
   Graph New;
+  /// Known-bits/range facts over the output graph, driving the
+  /// fact-guarded rewrites. Operands are always rewritten before their
+  /// users, so querying while New grows is safe (facts memoize per
+  /// node, and nodes never change once created).
+  GraphFacts NewFacts{New};
   std::map<std::pair<const Node *, unsigned>, NodeRef> Mapping;
   std::map<std::string, Node *> ValueNumbers;
   std::map<std::pair<const Node *, unsigned>, std::string> KeyCache;
@@ -163,6 +169,11 @@ private:
     case Opcode::Mux:
       if (operandKey(Operands[1]) == operandKey(Operands[2])) {
         Mapping[{N, 0}] = Operands[1];
+        return;
+      }
+      // A selector the range analysis decides folds the Mux to one arm.
+      if (std::optional<bool> Sel = NewFacts.boolFact(Operands[0])) {
+        Mapping[{N, 0}] = Operands[*Sel ? 1 : 2];
         return;
       }
       Mapping[{N, 0}] = numbered(Opcode::Mux, Operands, "", [&] {
@@ -300,6 +311,38 @@ private:
       break;
     default:
       break;
+    }
+
+    // Fact-guarded rewrites: the known-bits analysis over the output
+    // graph discharges identities the syntactic rules above cannot see
+    // (e.g. And(Shr(x, 6), 3) -> Shr(x, 6) at width 8, the redundant
+    // shift-amount mask). Facts are sound over defined executions, so
+    // each rewrite preserves semantics wherever the original graph was
+    // defined; test_analysis cross-checks every one against Z3.
+    if (Op == Opcode::And || Op == Opcode::Or || Op == Opcode::Shrs) {
+      const ValueFact &LF = NewFacts.fact(Lhs);
+      const ValueFact &RF = NewFacts.fact(Rhs);
+      if (Op == Opcode::And) {
+        // x & y == x when every bit x can set is known set in y.
+        if (LF.knownZero().bitOr(RF.knownOne()).isAllOnes())
+          return Lhs;
+        if (RF.knownZero().bitOr(LF.knownOne()).isAllOnes())
+          return Rhs;
+        // Disjoint possible-ones annihilate.
+        if (LF.knownZero().bitOr(RF.knownZero()).isAllOnes())
+          return makeConst(Zero);
+      }
+      if (Op == Opcode::Or) {
+        // x | y == y when every bit x can set is known set in y.
+        if (LF.knownZero().bitOr(RF.knownOne()).isAllOnes())
+          return Rhs;
+        if (RF.knownZero().bitOr(LF.knownOne()).isAllOnes())
+          return Lhs;
+      }
+      // An arithmetic shift of a value whose sign bit is known clear
+      // is a logical shift.
+      if (Op == Opcode::Shrs && LF.knownZero().isNegative())
+        return simplifyBinary(Opcode::Shr, Lhs, Rhs);
     }
 
     // Order commutative operands deterministically when neither side

@@ -48,13 +48,38 @@ private:
     return "";
   }
 
+  /// Parses a decimal number without throwing (std::stoul raises on
+  /// garbage and on overflow; parser input is untrusted). The length
+  /// cap keeps the accumulator well inside unsigned range.
+  static std::optional<unsigned> parseUnsigned(const std::string &Text) {
+    if (Text.empty() || Text.size() > 9)
+      return std::nullopt;
+    unsigned Value = 0;
+    for (char C : Text) {
+      if (C < '0' || C > '9')
+        return std::nullopt;
+      Value = Value * 10 + unsigned(C - '0');
+    }
+    return Value;
+  }
+
+  /// Widths a graph or constant may declare. The cap bounds the
+  /// allocation a malformed header like "bv999999999" could trigger.
+  static bool isReasonableWidth(unsigned Width) {
+    return Width >= 1 && Width <= 1024;
+  }
+
   static std::optional<Sort> parseSort(const std::string &Text) {
     if (Text == "mem")
       return Sort::memory();
     if (Text == "bool")
       return Sort::boolean();
-    if (startsWith(Text, "bv"))
-      return Sort::value(std::stoul(Text.substr(2)));
+    if (startsWith(Text, "bv")) {
+      std::optional<unsigned> Width = parseUnsigned(Text.substr(2));
+      if (!Width || !isReasonableWidth(*Width))
+        return std::nullopt;
+      return Sort::value(*Width);
+    }
     return std::nullopt;
   }
 
@@ -85,7 +110,10 @@ private:
     size_t Dot = Name.find('.');
     if (Dot != std::string::npos) {
       Base = Name.substr(0, Dot);
-      Index = std::stoul(Name.substr(Dot + 1));
+      std::optional<unsigned> Parsed = parseUnsigned(Name.substr(Dot + 1));
+      if (!Parsed)
+        return std::nullopt;
+      Index = *Parsed;
     }
     auto It = Defs.find(Base);
     if (It == Defs.end())
@@ -107,7 +135,12 @@ private:
       fail("malformed graph header");
       return std::nullopt;
     }
-    unsigned Width = std::stoul(Header.substr(7, ArgsPos - 7));
+    std::optional<unsigned> Width =
+        parseUnsigned(Header.substr(7, ArgsPos - 7));
+    if (!Width || !isReasonableWidth(*Width)) {
+      fail("malformed graph width");
+      return std::nullopt;
+    }
     std::string Name;
     std::vector<std::string> SortNames;
     std::string ArgsPart =
@@ -126,7 +159,7 @@ private:
       ArgSorts.push_back(*S);
     }
 
-    Graph G(Width, ArgSorts);
+    Graph G(*Width, ArgSorts);
     for (unsigned I = 0; I < G.numArgs(); ++I)
       Defs["a" + std::to_string(I)] = G.arg(I);
 
@@ -198,9 +231,36 @@ private:
       std::vector<std::string> Parts = splitString(Attribute, ':');
       if (Parts.size() != 2 || !startsWith(Parts[0], "0x"))
         return fail("malformed Const attribute: " + Attribute);
-      unsigned ConstWidth = std::stoul(Parts[1]);
-      BitValue Value =
-          BitValue::fromString(ConstWidth, Parts[0].substr(2), 16);
+      std::optional<unsigned> ConstWidth = parseUnsigned(Parts[1]);
+      if (!ConstWidth || !isReasonableWidth(*ConstWidth))
+        return fail("malformed Const width: " + Attribute);
+      std::string Hex = Parts[0].substr(2);
+      if (Hex.empty())
+        return fail("malformed Const attribute: " + Attribute);
+      auto HexValue = [](char C) -> int {
+        if (C >= '0' && C <= '9')
+          return C - '0';
+        if (C >= 'a' && C <= 'f')
+          return C - 'a' + 10;
+        if (C >= 'A' && C <= 'F')
+          return C - 'A' + 10;
+        return -1;
+      };
+      for (char C : Hex)
+        if (HexValue(C) < 0)
+          return fail("malformed Const attribute: " + Attribute);
+      // Reject (rather than silently truncate) a value wider than the
+      // declared sort; leading zero digits are fine.
+      size_t FirstSignificant = Hex.find_first_not_of('0');
+      if (FirstSignificant != std::string::npos) {
+        unsigned Lead = unsigned(HexValue(Hex[FirstSignificant]));
+        unsigned LeadBits = Lead >= 8 ? 4 : Lead >= 4 ? 3 : Lead >= 2 ? 2 : 1;
+        size_t Bits = 4 * (Hex.size() - FirstSignificant - 1) + LeadBits;
+        if (Bits > *ConstWidth)
+          return fail("Const value 0x" + Hex + " does not fit in " +
+                      std::to_string(*ConstWidth) + " bits");
+      }
+      BitValue Value = BitValue::fromString(*ConstWidth, Hex, 16);
       Defs[DefName] = G.createConst(Value);
       return true;
     }

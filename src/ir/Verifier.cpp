@@ -79,6 +79,35 @@ std::vector<std::string> selgen::verifyGraph(const Graph &G) {
                          " has " + std::to_string(Uses) +
                          " uses; the memory chain must be linear");
 
+  // A produced memory token must go somewhere: a store whose token is
+  // neither consumed nor a result would silently drop its side effect.
+  // Only checked when the graph declares results — a block body inside
+  // a Function keeps its results empty (the terminator consumes the
+  // chain), so the check would misfire there.
+  if (!G.results().empty()) {
+    std::set<std::pair<const Node *, unsigned>> MemoryEscapes;
+    for (const auto &NPtr : G.nodes())
+      for (const NodeRef &Operand : NPtr->operands())
+        if (Operand.isValid() && Operand.Index < Operand.Def->numResults() &&
+            Operand.sort().isMemory())
+          MemoryEscapes.insert({Operand.Def, Operand.Index});
+    for (const NodeRef &Ref : G.results())
+      if (Ref.isValid() && Ref.Index < Ref.Def->numResults() &&
+          Ref.sort().isMemory())
+        MemoryEscapes.insert({Ref.Def, Ref.Index});
+    for (const auto &NPtr : G.nodes()) {
+      const Node *N = NPtr.get();
+      if (N->opcode() == Opcode::Arg)
+        continue;
+      for (unsigned I = 0; I < N->numResults(); ++I)
+        if (N->resultSort(I).isMemory() && !MemoryEscapes.count({N, I}))
+          problem(std::string(opcodeName(N->opcode())) + " #" +
+                  std::to_string(N->id()) +
+                  ": memory token is neither used nor a result; the "
+                  "memory chain dangles");
+    }
+  }
+
   for (unsigned I = 0; I < G.results().size(); ++I) {
     NodeRef Ref = G.results()[I];
     if (!Ref.isValid())

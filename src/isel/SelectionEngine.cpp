@@ -7,6 +7,7 @@
 
 #include "isel/SelectionEngine.h"
 
+#include "analysis/Dataflow.h"
 #include "ir/Printer.h"
 #include "isel/Lowering.h"
 #include "isel/Matcher.h"
@@ -16,6 +17,7 @@
 #include "x86/MachinePasses.h"
 
 #include <map>
+#include <optional>
 #include <set>
 
 using namespace selgen;
@@ -24,10 +26,13 @@ namespace {
 
 using ValueKey = std::pair<const Node *, unsigned>;
 
+bool StaticPrecondElision = true;
+
 /// Matching-work counters for one select() run.
 struct SelectionCounters {
   uint64_t RulesTried = 0;
   uint64_t NodesVisited = 0;
+  uint64_t PrecondProved = 0;
 };
 
 /// Selection and emission for one basic block.
@@ -58,6 +63,44 @@ public:
 
   unsigned SynthCount = 0, FallbackCount = 0;
   const GoalInstruction *ImmediateMoveGoal = nullptr;
+
+  /// Lazily built known-bits/range facts over the block body, used to
+  /// discharge shift preconditions statically.
+  std::optional<GraphFacts> Facts;
+
+  /// True if the pattern contains at least one shift and the dataflow
+  /// analysis proves every subject value the shifts' amounts matched
+  /// to be in [0, width). Constants get singleton facts, so a proof
+  /// subsumes the runtime matched-constant re-check: skipping it
+  /// cannot change the match decision.
+  bool preconditionsProvedStatically(const Graph &Pattern,
+                                     const MatchResult &Match) {
+    bool SawShift = false;
+    for (const auto &NPtr : Pattern.nodes()) {
+      Opcode Op = NPtr->opcode();
+      if (Op != Opcode::Shl && Op != Opcode::Shr && Op != Opcode::Shrs)
+        continue;
+      auto It = Match.NodeMap.find(NPtr.get());
+      if (It == Match.NodeMap.end())
+        continue; // Dead pattern node; never executed.
+      SawShift = true;
+      if (!Facts->provesShiftInRange(It->second))
+        return false;
+    }
+    return SawShift;
+  }
+
+  /// The precondition gate shared by body and branch selection: prove
+  /// statically when possible, fall back to the matched-constant check.
+  bool preconditionsHold(const Graph &Pattern, const MatchResult &Match,
+                         unsigned Width, SelectionCounters &Counters) {
+    if (StaticPrecondElision &&
+        preconditionsProvedStatically(Pattern, Match)) {
+      ++Counters.PrecondProved;
+      return true;
+    }
+    return matchedConstantsSatisfyPreconditions(Pattern, Match, Width);
+  }
 
   void computeLiveness() {
     std::vector<NodeRef> Roots = BB->terminatorOperands();
@@ -134,8 +177,7 @@ public:
                          R.Root, S, &Counters.NodesVisited);
         if (!Match)
           return false;
-        if (!matchedConstantsSatisfyPreconditions(R.TheRule->Pattern,
-                                                  *Match, Width))
+        if (!preconditionsHold(R.TheRule->Pattern, *Match, Width, Counters))
           return false;
         std::set<ValueKey> Produced =
             producedValues(R.TheRule->Pattern, *Match, nullptr);
@@ -175,8 +217,7 @@ public:
                             &Counters.NodesVisited);
       if (!Match)
         return false;
-      if (!matchedConstantsSatisfyPreconditions(R.TheRule->Pattern, *Match,
-                                                Width))
+      if (!preconditionsHold(R.TheRule->Pattern, *Match, Width, Counters))
         return false;
       std::set<ValueKey> Produced =
           producedValues(R.TheRule->Pattern, *Match, R.Root);
@@ -364,6 +405,7 @@ public:
   void run(RuleCandidateSource &Source, const GoalInstruction *MovRi,
            unsigned Width, SelectionCounters &Counters) {
     ImmediateMoveGoal = MovRi;
+    Facts.emplace(BB->body());
     computeLiveness();
     selectBranch(Source, Width, Counters);
     selectBody(Source, Width, Counters);
@@ -417,6 +459,8 @@ SelectionResult selgen::runRuleSelection(const Function &F,
             static_cast<int64_t>(Counters.RulesTried));
   Stats.add("matcher.nodes_visited",
             static_cast<int64_t>(Counters.NodesVisited));
+  Stats.add("matcher.precond_proved",
+            static_cast<int64_t>(Counters.PrecondProved));
   Stats.add("selector.select_us",
             static_cast<int64_t>(Result.SelectionSeconds * 1e6));
   SelectionTelemetry Telemetry;
@@ -430,3 +474,9 @@ SelectionResult selgen::runRuleSelection(const Function &F,
   Stats.recordSelection(std::move(Telemetry));
   return Result;
 }
+
+void selgen::setStaticPrecondElision(bool Enabled) {
+  StaticPrecondElision = Enabled;
+}
+
+bool selgen::staticPrecondElisionEnabled() { return StaticPrecondElision; }

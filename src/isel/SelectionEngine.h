@@ -60,13 +60,24 @@ public:
 
 /// Runs rule-driven selection of \p F using candidates from
 /// \p Source, records matcher observability counters
-/// (selector.rules_tried, matcher.nodes_visited, selector.select_us
-/// plus a per-function SelectionTelemetry record under
-/// \p SelectorName), and returns the selection result.
+/// (selector.rules_tried, matcher.nodes_visited,
+/// matcher.precond_proved, selector.select_us plus a per-function
+/// SelectionTelemetry record under \p SelectorName), and returns the
+/// selection result.
 SelectionResult runRuleSelection(const Function &F,
                                  const PreparedLibrary &Library,
                                  RuleCandidateSource &Source,
                                  const std::string &SelectorName);
+
+/// Toggles the dataflow-based elision of runtime shift-precondition
+/// checks: when the known-bits/range analysis proves every shift
+/// amount a match binds to be in range, the engine skips the
+/// per-match constant re-check. A proof implies the re-check would
+/// have passed, so selection decisions — and machine code — are
+/// byte-identical either way; the differential tests flip this to
+/// verify exactly that. Enabled by default.
+void setStaticPrecondElision(bool Enabled);
+bool staticPrecondElisionEnabled();
 
 } // namespace selgen
 

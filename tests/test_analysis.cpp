@@ -1,0 +1,622 @@
+//===- test_analysis.cpp - Known-bits/range dataflow soundness tests ----------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+// Soundness anchor for src/analysis: every transfer function is checked
+// against the concrete interpreter exhaustively at w8 (all 256 x 256
+// operand combinations for binaries, all 256 for unaries, plus random
+// abstract facts whose whole concretizations are enumerated), and
+// against Z3 validity queries at w16/w32. A failure here means the
+// selection engine's precondition elision or the normalizer's
+// fact-guarded rewrites could miscompile.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dataflow.h"
+#include "ir/Graph.h"
+#include "ir/Interpreter.h"
+#include "ir/Normalizer.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "semantics/IrSemantics.h"
+#include "smt/SmtContext.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+using namespace selgen;
+
+namespace {
+
+const Opcode BinaryOps[] = {Opcode::Add, Opcode::Sub, Opcode::Mul,
+                            Opcode::And, Opcode::Or,  Opcode::Xor,
+                            Opcode::Shl, Opcode::Shr, Opcode::Shrs};
+const Opcode UnaryOps[] = {Opcode::Not, Opcode::Minus};
+const Relation AllRelations[] = {Relation::Eq,  Relation::Ne,  Relation::Ult,
+                                 Relation::Ule, Relation::Ugt, Relation::Uge,
+                                 Relation::Slt, Relation::Sle, Relation::Sgt,
+                                 Relation::Sge};
+
+Graph makeBinaryGraph(Opcode Op, unsigned Width) {
+  Graph G(Width, {Sort::value(Width), Sort::value(Width)});
+  G.setResults({G.createBinary(Op, G.arg(0), G.arg(1))});
+  return G;
+}
+
+Graph makeUnaryGraph(Opcode Op, unsigned Width) {
+  Graph G(Width, {Sort::value(Width)});
+  G.setResults({G.createUnary(Op, G.arg(0))});
+  return G;
+}
+
+/// Concrete reference semantics: the interpreter. nullopt = UB.
+std::optional<BitValue> concreteBinary(const Graph &G, const BitValue &A,
+                                       const BitValue &B) {
+  EvalResult R =
+      evaluateGraph(G, {EvalValue::fromBits(A), EvalValue::fromBits(B)});
+  if (R.Undefined)
+    return std::nullopt;
+  return R.Results[0].Bits;
+}
+
+std::optional<BitValue> concreteUnary(const Graph &G, const BitValue &A) {
+  EvalResult R = evaluateGraph(G, {EvalValue::fromBits(A)});
+  if (R.Undefined)
+    return std::nullopt;
+  return R.Results[0].Bits;
+}
+
+/// Enumerates the whole concretization of a w8 fact (at most 256 values).
+std::vector<BitValue> members(const ValueFact &F) {
+  std::vector<BitValue> Out;
+  for (unsigned V = 0; V < 256; ++V) {
+    BitValue Bits(8, V);
+    if (F.contains(Bits))
+      Out.push_back(Bits);
+  }
+  return Out;
+}
+
+/// A random w8 fact drawn from all four constructor families plus meets.
+ValueFact randomFact(std::mt19937 &Rng) {
+  std::uniform_int_distribution<unsigned> Byte(0, 255);
+  switch (Rng() % 5) {
+  case 0:
+    return ValueFact::constant(BitValue(8, Byte(Rng)));
+  case 1: {
+    unsigned Zeros = Byte(Rng);
+    unsigned Ones = Byte(Rng) & ~Zeros;
+    return ValueFact::fromKnownBits(BitValue(8, Zeros), BitValue(8, Ones));
+  }
+  case 2: {
+    unsigned Lo = Byte(Rng), Hi = Byte(Rng);
+    if (Lo > Hi)
+      std::swap(Lo, Hi);
+    return ValueFact::fromUnsignedRange(BitValue(8, Lo), BitValue(8, Hi));
+  }
+  case 3: {
+    int Lo = static_cast<int>(Byte(Rng)) - 128;
+    int Hi = static_cast<int>(Byte(Rng)) - 128;
+    if (Lo > Hi)
+      std::swap(Lo, Hi);
+    return ValueFact::fromSignedRange(
+        BitValue(8, static_cast<uint8_t>(Lo)),
+        BitValue(8, static_cast<uint8_t>(Hi)));
+  }
+  default: {
+    unsigned Zeros = Byte(Rng);
+    unsigned Lo = Byte(Rng), Hi = Byte(Rng);
+    if (Lo > Hi)
+      std::swap(Lo, Hi);
+    return ValueFact::fromKnownBits(BitValue(8, Zeros), BitValue(8, 0))
+        .meet(ValueFact::fromUnsignedRange(BitValue(8, Lo), BitValue(8, Hi)));
+  }
+  }
+}
+
+Graph parseOrDie(const std::string &Text) {
+  std::string Error;
+  std::optional<Graph> G = parseGraph(Text, &Error);
+  EXPECT_TRUE(G.has_value()) << Error << "\n" << Text;
+  return std::move(*G);
+}
+
+const Node *findOp(const Graph &G, Opcode Op) {
+  for (const Node *N : G.liveNodes())
+    if (N->opcode() == Op)
+      return N;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Exhaustive w8: transfer functions vs the concrete interpreter.
+//===----------------------------------------------------------------------===//
+
+TEST(ValueFact, ConstantFoldExhaustiveW8) {
+  // Singleton facts must fold binaries to the exact interpreter result
+  // on every defined input; UB inputs (shift amount >= 8) must not
+  // produce a constant claim that contradicts anything (top is fine).
+  for (Opcode Op : BinaryOps) {
+    Graph G = makeBinaryGraph(Op, 8);
+    for (unsigned A = 0; A < 256; ++A) {
+      ValueFact FA = ValueFact::constant(BitValue(8, A));
+      for (unsigned B = 0; B < 256; ++B) {
+        ValueFact FB = ValueFact::constant(BitValue(8, B));
+        std::optional<BitValue> R =
+            concreteBinary(G, BitValue(8, A), BitValue(8, B));
+        if (!R)
+          continue; // UB execution: any fact is vacuously sound.
+        ValueFact FR = ValueFact::transferBinary(Op, FA, FB);
+        if (!FR.contains(*R) || !FR.isConstant())
+          FAIL() << opcodeName(Op) << "(" << A << ", " << B
+                 << "): expected exact constant " << R->toHexString();
+      }
+    }
+  }
+  for (Opcode Op : UnaryOps) {
+    Graph G = makeUnaryGraph(Op, 8);
+    for (unsigned A = 0; A < 256; ++A) {
+      std::optional<BitValue> R = concreteUnary(G, BitValue(8, A));
+      ASSERT_TRUE(R.has_value());
+      ValueFact FR =
+          ValueFact::transferUnary(Op, ValueFact::constant(BitValue(8, A)));
+      if (!FR.contains(*R) || !FR.isConstant())
+        FAIL() << opcodeName(Op) << "(" << A << "): expected exact constant "
+               << R->toHexString();
+    }
+  }
+}
+
+TEST(ValueFact, AbstractBinarySoundnessW8) {
+  // For random abstract operand facts, every concrete result of every
+  // defined member execution must be contained in the transfer result.
+  std::mt19937 Rng(0xC60'18);
+  for (Opcode Op : BinaryOps) {
+    Graph G = makeBinaryGraph(Op, 8);
+    for (unsigned Trial = 0; Trial < 24; ++Trial) {
+      ValueFact FA = randomFact(Rng);
+      ValueFact FB = randomFact(Rng);
+      ValueFact FR = ValueFact::transferBinary(Op, FA, FB);
+      std::vector<BitValue> MA = members(FA), MB = members(FB);
+      ASSERT_FALSE(MA.empty());
+      ASSERT_FALSE(MB.empty());
+      // Cap the product to keep the test fast; the sample stays
+      // deterministic through the fixed seed.
+      bool Subsample = MA.size() * MB.size() > 4096;
+      unsigned Steps = Subsample ? 4096 : MA.size() * MB.size();
+      for (unsigned I = 0; I < Steps; ++I) {
+        const BitValue &A =
+            Subsample ? MA[Rng() % MA.size()] : MA[I / MB.size()];
+        const BitValue &B =
+            Subsample ? MB[Rng() % MB.size()] : MB[I % MB.size()];
+        std::optional<BitValue> R = concreteBinary(G, A, B);
+        if (!R)
+          continue;
+        if (!FR.contains(*R))
+          FAIL() << opcodeName(Op) << ": " << R->toHexString()
+                 << " escapes the transfer result for operands "
+                 << A.toHexString() << ", " << B.toHexString();
+      }
+    }
+  }
+}
+
+TEST(ValueFact, AbstractUnarySoundnessW8) {
+  std::mt19937 Rng(7);
+  for (Opcode Op : UnaryOps) {
+    Graph G = makeUnaryGraph(Op, 8);
+    for (unsigned Trial = 0; Trial < 64; ++Trial) {
+      ValueFact FA = randomFact(Rng);
+      ValueFact FR = ValueFact::transferUnary(Op, FA);
+      for (const BitValue &A : members(FA)) {
+        std::optional<BitValue> R = concreteUnary(G, A);
+        ASSERT_TRUE(R.has_value());
+        if (!FR.contains(*R))
+          FAIL() << opcodeName(Op) << "(" << A.toHexString() << ") = "
+                 << R->toHexString() << " escapes the transfer result";
+      }
+    }
+  }
+}
+
+TEST(ValueFact, RelationSoundnessW8) {
+  // Whenever evalRelation decides a comparison, every pair of concrete
+  // members must agree with the decision.
+  std::mt19937 Rng(11);
+  for (unsigned Trial = 0; Trial < 128; ++Trial) {
+    ValueFact FA = randomFact(Rng);
+    ValueFact FB = randomFact(Rng);
+    std::vector<BitValue> MA = members(FA), MB = members(FB);
+    for (Relation Rel : AllRelations) {
+      std::optional<bool> Decided = ValueFact::evalRelation(Rel, FA, FB);
+      if (!Decided)
+        continue;
+      for (const BitValue &A : MA)
+        for (const BitValue &B : MB)
+          if (evaluateRelation(Rel, A, B) != *Decided)
+            FAIL() << "relation decided " << *Decided << " but "
+                   << A.toHexString() << " vs " << B.toHexString() << " disagrees";
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Lattice structure.
+//===----------------------------------------------------------------------===//
+
+TEST(ValueFact, ConstructorsTighten) {
+  // fromKnownBits tightens the ranges from the masks...
+  ValueFact F = ValueFact::fromKnownBits(BitValue(8, 0xF0), BitValue(8, 0x01));
+  EXPECT_EQ(F.umax(), BitValue(8, 0x0F));
+  EXPECT_EQ(F.umin(), BitValue(8, 0x01));
+  EXPECT_TRUE(F.contains(BitValue(8, 0x0B)));
+  EXPECT_FALSE(F.contains(BitValue(8, 0x10)));
+  EXPECT_FALSE(F.contains(BitValue(8, 0x02))); // Bit 0 known one.
+
+  // ...and fromUnsignedRange derives known zeros for the high bits.
+  ValueFact R = ValueFact::fromUnsignedRange(BitValue(8, 0), BitValue(8, 3));
+  EXPECT_TRUE(R.knownZero().bit(7));
+  EXPECT_TRUE(R.knownZero().bit(2));
+  EXPECT_FALSE(R.knownZero().bit(1));
+
+  ValueFact C = ValueFact::constant(BitValue(8, 0x2A));
+  EXPECT_TRUE(C.isConstant());
+  ASSERT_TRUE(C.asConstant().has_value());
+  EXPECT_EQ(*C.asConstant(), BitValue(8, 0x2A));
+  EXPECT_FALSE(C.isTop());
+  EXPECT_TRUE(ValueFact::top(8).isTop());
+}
+
+TEST(ValueFact, JoinAndMeet) {
+  ValueFact A = ValueFact::fromUnsignedRange(BitValue(8, 0), BitValue(8, 3));
+  ValueFact B = ValueFact::constant(BitValue(8, 5));
+
+  ValueFact J = A.join(B);
+  EXPECT_TRUE(J.contains(BitValue(8, 0)));
+  EXPECT_TRUE(J.contains(BitValue(8, 3)));
+  EXPECT_TRUE(J.contains(BitValue(8, 5)));
+  EXPECT_EQ(J.umax(), BitValue(8, 5));
+  EXPECT_FALSE(J.isConstant());
+
+  ValueFact M = A.meet(ValueFact::fromUnsignedRange(BitValue(8, 2),
+                                                    BitValue(8, 200)));
+  EXPECT_EQ(M.umin(), BitValue(8, 2));
+  EXPECT_EQ(M.umax(), BitValue(8, 3));
+
+  // Contradictory meets degrade to top (sound: they only arise on
+  // undefined executions).
+  ValueFact Contradiction =
+      ValueFact::constant(BitValue(8, 1)).meet(ValueFact::constant(BitValue(8, 2)));
+  EXPECT_TRUE(Contradiction.isTop());
+
+  EXPECT_TRUE(A == A.join(A));
+  EXPECT_TRUE(A == A.meet(A));
+}
+
+TEST(ValueFact, ShiftUbYieldsTop) {
+  // An amount fact that only contains out-of-range values means every
+  // execution is undefined: the transfer must return top, never crash.
+  ValueFact Nine = ValueFact::constant(BitValue(8, 9));
+  for (Opcode Op : {Opcode::Shl, Opcode::Shr, Opcode::Shrs})
+    EXPECT_TRUE(
+        ValueFact::transferBinary(Op, ValueFact::top(8), Nine).isTop());
+}
+
+//===----------------------------------------------------------------------===//
+// Z3 validity at w16/w32: the membership constraints of the operand
+// facts (plus shift definedness) must entail membership in the
+// transfer result.
+//===----------------------------------------------------------------------===//
+
+z3::expr membershipExpr(SmtContext &Smt, const ValueFact &F,
+                        const z3::expr &X) {
+  std::vector<z3::expr> Cs;
+  Cs.push_back((X & Smt.literal(F.knownZero().bitOr(F.knownOne()))) ==
+               Smt.literal(F.knownOne()));
+  Cs.push_back(z3::ule(Smt.literal(F.umin()), X));
+  Cs.push_back(z3::ule(X, Smt.literal(F.umax())));
+  Cs.push_back(z3::sle(Smt.literal(F.smin()), X));
+  Cs.push_back(z3::sle(X, Smt.literal(F.smax())));
+  return Smt.mkAnd(Cs);
+}
+
+z3::expr binaryExpr(Opcode Op, const z3::expr &A, const z3::expr &B) {
+  switch (Op) {
+  case Opcode::Add:
+    return A + B;
+  case Opcode::Sub:
+    return A - B;
+  case Opcode::Mul:
+    return A * B;
+  case Opcode::And:
+    return A & B;
+  case Opcode::Or:
+    return A | B;
+  case Opcode::Xor:
+    return A ^ B;
+  case Opcode::Shl:
+    return z3::shl(A, B);
+  case Opcode::Shr:
+    return z3::lshr(A, B);
+  case Opcode::Shrs:
+    return z3::ashr(A, B);
+  default:
+    abort();
+  }
+}
+
+std::vector<ValueFact> factRecipes(unsigned W) {
+  std::vector<ValueFact> Facts;
+  Facts.push_back(ValueFact::constant(BitValue(W, 42)));
+  Facts.push_back(ValueFact::fromUnsignedRange(BitValue(W, 5),
+                                               BitValue(W, 1000)));
+  Facts.push_back(ValueFact::fromKnownBits(BitValue(W, 0x0F),
+                                           BitValue(W, 0x30)));
+  Facts.push_back(ValueFact::fromSignedRange(
+      BitValue(W, 0).sub(BitValue(W, 20)), BitValue(W, 50)));
+  Facts.push_back(
+      ValueFact::fromUnsignedRange(BitValue(W, 0), BitValue(W, 255))
+          .meet(ValueFact::fromKnownBits(BitValue(W, 1), BitValue(W, 0))));
+  Facts.push_back(ValueFact::top(W));
+  Facts.push_back(ValueFact::constant(BitValue(W, 3))); // In-range amount.
+  return Facts;
+}
+
+TEST(ValueFact, Z3ValidityW16W32) {
+  const std::pair<unsigned, unsigned> Pairs[] = {{0, 1}, {1, 1}, {2, 3},
+                                                 {4, 1}, {3, 2}, {5, 6},
+                                                 {1, 6}, {6, 6}};
+  for (unsigned W : {16u, 32u}) {
+    std::vector<ValueFact> Facts = factRecipes(W);
+    for (Opcode Op : BinaryOps) {
+      for (auto [IA, IB] : Pairs) {
+        const ValueFact &FA = Facts[IA];
+        const ValueFact &FB = Facts[IB];
+        ValueFact FR = ValueFact::transferBinary(Op, FA, FB);
+
+        SmtContext Smt;
+        SmtSolver Solver(Smt);
+        Solver.setTimeoutMilliseconds(60000);
+        z3::expr A = Smt.bvConst("a", W);
+        z3::expr B = Smt.bvConst("b", W);
+        Solver.add(membershipExpr(Smt, FA, A));
+        Solver.add(membershipExpr(Smt, FB, B));
+        if (Op == Opcode::Shl || Op == Opcode::Shr || Op == Opcode::Shrs)
+          Solver.add(z3::ult(B, Smt.literal(BitValue(W, W))));
+        Solver.add(!membershipExpr(Smt, FR, binaryExpr(Op, A, B)));
+        EXPECT_EQ(Solver.check(), SmtResult::Unsat)
+            << opcodeName(Op) << " at w" << W << " with facts #" << IA
+            << "/#" << IB << ": a concrete result escapes the transfer";
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// GraphFacts: per-graph fact queries and UB-freedom analysis.
+//===----------------------------------------------------------------------===//
+
+TEST(GraphFacts, ProvesMaskedShiftInRange) {
+  Graph G = parseOrDie("graph w8 args(bv8, bv8) {\n"
+                       "  n0 = Const[0x07:8]()\n"
+                       "  n1 = And(a1, n0)\n"
+                       "  n2 = Shl(a0, n1)\n"
+                       "  results(n2)\n"
+                       "}\n");
+  GraphFacts Facts(G);
+  const Node *Shift = findOp(G, Opcode::Shl);
+  ASSERT_NE(Shift, nullptr);
+  EXPECT_TRUE(Facts.provesShiftInRange(Shift));
+  EXPECT_FALSE(Facts.provesShiftOutOfRange(Shift));
+  EXPECT_TRUE(Facts.unprovenShifts().empty());
+}
+
+TEST(GraphFacts, ConstantAmountOutOfRange) {
+  Graph G = parseOrDie("graph w8 args(bv8) {\n"
+                       "  n0 = Const[0x09:8]()\n"
+                       "  n1 = Shl(a0, n0)\n"
+                       "  results(n1)\n"
+                       "}\n");
+  GraphFacts Facts(G);
+  const Node *Shift = findOp(G, Opcode::Shl);
+  ASSERT_NE(Shift, nullptr);
+  EXPECT_FALSE(Facts.provesShiftInRange(Shift));
+  EXPECT_TRUE(Facts.provesShiftOutOfRange(Shift));
+}
+
+TEST(GraphFacts, UnprovenShiftListedInCreationOrder) {
+  Graph G = parseOrDie("graph w8 args(bv8, bv8) {\n"
+                       "  n0 = Shl(a0, a1)\n"
+                       "  n1 = Const[0x07:8]()\n"
+                       "  n2 = And(a1, n1)\n"
+                       "  n3 = Shr(n0, n2)\n"
+                       "  results(n3)\n"
+                       "}\n");
+  GraphFacts Facts(G);
+  std::vector<const Node *> Unproven = Facts.unprovenShifts();
+  ASSERT_EQ(Unproven.size(), 1u);
+  EXPECT_EQ(Unproven[0]->opcode(), Opcode::Shl);
+}
+
+TEST(GraphFacts, MuxJoinsArmFacts) {
+  Graph G = parseOrDie("graph w8 args(bv8, bv8) {\n"
+                       "  n0 = Const[0x03:8]()\n"
+                       "  n1 = And(a0, n0)\n"
+                       "  n2 = Const[0x05:8]()\n"
+                       "  n3 = Cmp[ult](a0, a1)\n"
+                       "  n4 = Mux(n3, n1, n2)\n"
+                       "  results(n4)\n"
+                       "}\n");
+  GraphFacts Facts(G);
+  const ValueFact &F = Facts.fact(G.results()[0]);
+  EXPECT_TRUE(F.contains(BitValue(8, 0)));
+  EXPECT_TRUE(F.contains(BitValue(8, 3)));
+  EXPECT_TRUE(F.contains(BitValue(8, 5)));
+  EXPECT_EQ(F.umax(), BitValue(8, 5));
+  EXPECT_FALSE(F.isConstant());
+}
+
+TEST(GraphFacts, BoolFactDecidesCmp) {
+  Graph G = parseOrDie("graph w8 args(bv8, bv8) {\n"
+                       "  n0 = Const[0x03:8]()\n"
+                       "  n1 = And(a0, n0)\n"
+                       "  n2 = Const[0x08:8]()\n"
+                       "  n3 = Cmp[ult](n1, n2)\n"
+                       "  n4 = Cmp[ult](a0, a1)\n"
+                       "  n5 = Mux(n3, a0, a1)\n"
+                       "  n6 = Mux(n4, a0, a1)\n"
+                       "  results(n5, n6)\n"
+                       "}\n");
+  GraphFacts Facts(G);
+  const Node *Masked = findOp(G, Opcode::And);
+  ASSERT_NE(Masked, nullptr);
+  // And(a0, 3) < 8 is decidable; a0 < a1 is not.
+  std::optional<bool> Decided;
+  std::optional<bool> Undecided;
+  for (const Node *N : G.liveNodes())
+    if (N->opcode() == Opcode::Cmp) {
+      if (N->operand(0).Def == Masked)
+        Decided = Facts.boolFact(NodeRef(const_cast<Node *>(N), 0));
+      else
+        Undecided = Facts.boolFact(NodeRef(const_cast<Node *>(N), 0));
+    }
+  ASSERT_TRUE(Decided.has_value());
+  EXPECT_TRUE(*Decided);
+  EXPECT_FALSE(Undecided.has_value());
+}
+
+TEST(GraphFacts, LoadValueIsTop) {
+  Graph G = parseOrDie("graph w8 args(mem, bv8) {\n"
+                       "  n0 = Load(a0, a1)\n"
+                       "  results(n0.0, n0.1)\n"
+                       "}\n");
+  GraphFacts Facts(G);
+  EXPECT_TRUE(Facts.fact(G.results()[1]).isTop());
+}
+
+//===----------------------------------------------------------------------===//
+// Normalizer fact-guarded rewrites, each cross-checked against Z3.
+//===----------------------------------------------------------------------===//
+
+/// Proves original == normalized on every execution satisfying the
+/// original graph's preconditions (the only executions the rewrites
+/// claim anything about).
+void expectEquivalent(const Graph &Original, const Graph &Normalized) {
+  SmtContext Smt;
+  SemanticsContext Context{Smt, Original.width(), nullptr, {}};
+  std::vector<z3::expr> Args;
+  for (unsigned I = 0; I < Original.numArgs(); ++I)
+    Args.push_back(Smt.bvConst("arg" + std::to_string(I), Original.width()));
+  GraphSemantics SO = buildGraphSemantics(Context, Original, Args);
+  GraphSemantics SN = buildGraphSemantics(Context, Normalized, Args);
+  ASSERT_EQ(SO.Results.size(), SN.Results.size());
+
+  SmtSolver Solver(Smt);
+  Solver.setTimeoutMilliseconds(60000);
+  Solver.add(SO.Precondition);
+  std::vector<z3::expr> Diffs;
+  for (size_t I = 0; I < SO.Results.size(); ++I)
+    Diffs.push_back(SO.Results[I] != SN.Results[I]);
+  Solver.add(Smt.mkOr(Diffs));
+  EXPECT_EQ(Solver.check(), SmtResult::Unsat)
+      << "normalizer changed semantics:\n  " << printGraphExpression(Original)
+      << "\n  " << printGraphExpression(Normalized);
+}
+
+TEST(NormalizerFacts, AndMaskElision) {
+  // (a >> 6) & 3 == a >> 6: the mask keeps every possibly-set bit.
+  Graph G = parseOrDie("graph w8 args(bv8) {\n"
+                       "  n0 = Const[0x06:8]()\n"
+                       "  n1 = Shr(a0, n0)\n"
+                       "  n2 = Const[0x03:8]()\n"
+                       "  n3 = And(n1, n2)\n"
+                       "  results(n3)\n"
+                       "}\n");
+  Graph N = normalizeGraph(G);
+  ASSERT_TRUE(N.results()[0].Def != nullptr);
+  EXPECT_EQ(N.results()[0].Def->opcode(), Opcode::Shr);
+  expectEquivalent(G, N);
+}
+
+TEST(NormalizerFacts, AndAnnihilation) {
+  // Disjoint known-zero masks: (a & 0xF0) & (b & 0x0F) == 0.
+  Graph G = parseOrDie("graph w8 args(bv8, bv8) {\n"
+                       "  n0 = Const[0xf0:8]()\n"
+                       "  n1 = And(a0, n0)\n"
+                       "  n2 = Const[0x0f:8]()\n"
+                       "  n3 = And(a1, n2)\n"
+                       "  n4 = And(n1, n3)\n"
+                       "  results(n4)\n"
+                       "}\n");
+  Graph N = normalizeGraph(G);
+  ASSERT_EQ(N.results()[0].Def->opcode(), Opcode::Const);
+  EXPECT_EQ(N.results()[0].Def->constValue(), BitValue(8, 0));
+  expectEquivalent(G, N);
+}
+
+TEST(NormalizerFacts, OrAbsorption) {
+  // (a & 3) | 0x0f == 0x0f: every possibly-set lhs bit is known one on
+  // the rhs.
+  Graph G = parseOrDie("graph w8 args(bv8) {\n"
+                       "  n0 = Const[0x03:8]()\n"
+                       "  n1 = And(a0, n0)\n"
+                       "  n2 = Const[0x0f:8]()\n"
+                       "  n3 = Or(n1, n2)\n"
+                       "  results(n3)\n"
+                       "}\n");
+  Graph N = normalizeGraph(G);
+  ASSERT_EQ(N.results()[0].Def->opcode(), Opcode::Const);
+  EXPECT_EQ(N.results()[0].Def->constValue(), BitValue(8, 0x0F));
+  expectEquivalent(G, N);
+}
+
+TEST(NormalizerFacts, ShrsWithClearSignBecomesShr) {
+  // The sign bit of (a >> 1) is known clear, so the arithmetic shift
+  // is a logical one.
+  Graph G = parseOrDie("graph w8 args(bv8, bv8) {\n"
+                       "  n0 = Const[0x01:8]()\n"
+                       "  n1 = Shr(a0, n0)\n"
+                       "  n2 = Shrs(n1, a1)\n"
+                       "  results(n2)\n"
+                       "}\n");
+  Graph N = normalizeGraph(G);
+  ASSERT_EQ(N.results()[0].Def->opcode(), Opcode::Shr);
+  EXPECT_EQ(N.results()[0].Def->operand(0).Def->opcode(), Opcode::Shr);
+  expectEquivalent(G, N);
+}
+
+TEST(NormalizerFacts, MuxFoldsOnDecidedSelector) {
+  Graph G = parseOrDie("graph w8 args(bv8, bv8, bv8) {\n"
+                       "  n0 = Const[0x03:8]()\n"
+                       "  n1 = And(a0, n0)\n"
+                       "  n2 = Const[0x08:8]()\n"
+                       "  n3 = Cmp[ult](n1, n2)\n"
+                       "  n4 = Mux(n3, a1, a2)\n"
+                       "  results(n4)\n"
+                       "}\n");
+  Graph N = normalizeGraph(G);
+  ASSERT_EQ(N.results()[0].Def->opcode(), Opcode::Arg);
+  EXPECT_EQ(N.results()[0].Def->argIndex(), 1u);
+  expectEquivalent(G, N);
+}
+
+TEST(NormalizerFacts, TopFactsLeaveMaskedShiftAlone) {
+  // And(a1, 7) must NOT be elided (a1 is unconstrained): the masked
+  // shift idiom has to survive normalization so selection-time proving
+  // sees it.
+  Graph G = parseOrDie("graph w8 args(bv8, bv8) {\n"
+                       "  n0 = Const[0x07:8]()\n"
+                       "  n1 = And(a1, n0)\n"
+                       "  n2 = Shl(a0, n1)\n"
+                       "  results(n2)\n"
+                       "}\n");
+  Graph N = normalizeGraph(G);
+  EXPECT_EQ(N.results()[0].Def->opcode(), Opcode::Shl);
+  EXPECT_EQ(N.results()[0].Def->operand(1).Def->opcode(), Opcode::And);
+  EXPECT_EQ(N.numOperations(), G.numOperations());
+  expectEquivalent(G, N);
+}
+
+} // namespace

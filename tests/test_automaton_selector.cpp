@@ -19,6 +19,7 @@
 #include "ir/Normalizer.h"
 #include "isel/AutomatonSelector.h"
 #include "isel/GeneratedSelector.h"
+#include "isel/SelectionEngine.h"
 #include "refsel/ReferenceSelectors.h"
 #include "support/Rng.h"
 #include "support/Statistics.h"
@@ -307,6 +308,61 @@ TEST_F(AutomatonSelectorTest, SelectionRunsAgreeWithInterpreter) {
       EXPECT_EQ(Machine.ReturnValues[I], Reference.ReturnValues[I])
           << "run " << Run;
   }
+}
+
+TEST_F(AutomatonSelectorTest, StaticElisionPreservesByteIdentity) {
+  // The known-bits analysis elides runtime shift-precondition re-checks
+  // only where a static proof shows the check could never reject; the
+  // emitted machine code must therefore be byte-identical with the
+  // elision disabled.
+  ASSERT_TRUE(staticPrecondElisionEnabled());
+  struct ElisionOff {
+    ElisionOff() { setStaticPrecondElision(false); }
+    ~ElisionOff() { setStaticPrecondElision(true); }
+  };
+  for (unsigned Width : {8u, 16u, 32u}) {
+    GoalLibrary WidthGoals =
+        GoalLibrary::build(Width, GoalLibrary::allGroups());
+    PatternDatabase Db = buildGnuLikeRules(Width);
+    GeneratedSelector Lin(Db, WidthGoals);
+    AutomatonSelector Auto(Db, WidthGoals);
+    for (const WorkloadProfile &Profile : cint2000Profiles()) {
+      Function F = buildWorkload(Profile, Width);
+      SelectionResult LinOn = Lin.select(F);
+      SelectionResult AutoOn = Auto.select(F);
+      std::string LinOnBody, AutoOnBody;
+      ASSERT_TRUE(LinOn.MF && AutoOn.MF);
+      LinOnBody = asmBody(*LinOn.MF);
+      AutoOnBody = asmBody(*AutoOn.MF);
+      {
+        ElisionOff Off;
+        SelectionResult LinOff = Lin.select(F);
+        SelectionResult AutoOff = Auto.select(F);
+        ASSERT_TRUE(LinOff.MF && AutoOff.MF);
+        EXPECT_EQ(LinOnBody, asmBody(*LinOff.MF))
+            << Profile.Name << " w" << Width << " linear";
+        EXPECT_EQ(AutoOnBody, asmBody(*AutoOff.MF))
+            << Profile.Name << " w" << Width << " automaton";
+      }
+    }
+  }
+}
+
+TEST_F(AutomatonSelectorTest, ElisionProvesPreconditionsOnWorkloads) {
+  // The workloads use the masked-amount shift idiom (And(x, W-1)) and
+  // constant amounts, both of which the analysis discharges: the
+  // counter must move, and must stay flat with the elision off.
+  Statistics::get().clear();
+  for (const WorkloadProfile &Profile : cint2000Profiles())
+    (void)Automaton.select(buildWorkload(Profile, W));
+  EXPECT_GT(Statistics::get().value("matcher.precond_proved"), 0);
+
+  Statistics::get().clear();
+  setStaticPrecondElision(false);
+  for (const WorkloadProfile &Profile : cint2000Profiles())
+    (void)Automaton.select(buildWorkload(Profile, W));
+  setStaticPrecondElision(true);
+  EXPECT_EQ(Statistics::get().value("matcher.precond_proved"), 0);
 }
 
 TEST_F(AutomatonSelectorTest, TelemetryCountersRecorded) {

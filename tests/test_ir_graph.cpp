@@ -154,6 +154,79 @@ TEST(Parser, RejectsMalformedInput) {
                    .has_value());
 }
 
+TEST(Parser, RejectsOverwideConstants) {
+  // A constant wider than its declared sort must be rejected outright,
+  // not silently truncated.
+  std::string Error;
+  EXPECT_FALSE(parseGraph("graph w8 args(bv8) {\n"
+                          "  n0 = Const[0x1ff:8]()\n"
+                          "  results(n0)\n"
+                          "}\n",
+                          &Error)
+                   .has_value());
+  EXPECT_NE(Error.find("does not fit"), std::string::npos);
+
+  // The widest fitting value is still accepted.
+  std::optional<Graph> G = parseGraph("graph w8 args(bv8) {\n"
+                                      "  n0 = Const[0xff:8]()\n"
+                                      "  results(n0)\n"
+                                      "}\n",
+                                      &Error);
+  ASSERT_TRUE(G.has_value()) << Error;
+  const Node *C = G->results()[0].Def;
+  EXPECT_EQ(C->constValue(), BitValue(8, 0xFF));
+}
+
+TEST(Parser, RejectsMalformedWidths) {
+  std::string Error;
+  // Absurd graph widths (overflowing, zero, non-numeric) are malformed.
+  EXPECT_FALSE(parseGraph("graph w12345678901 args(bv8) {\n  results(a0)\n}\n",
+                          &Error)
+                   .has_value());
+  EXPECT_FALSE(
+      parseGraph("graph wxyz args(bv8) {\n  results(a0)\n}\n", &Error)
+          .has_value());
+  // Const widths outside [1, 1024] or with garbage digits fail too.
+  EXPECT_FALSE(parseGraph("graph w8 args(bv8) {\n"
+                          "  n0 = Const[0x01:0]()\n  results(n0)\n}\n",
+                          &Error)
+                   .has_value());
+  EXPECT_FALSE(parseGraph("graph w8 args(bv8) {\n"
+                          "  n0 = Const[0xzz:8]()\n  results(n0)\n}\n",
+                          &Error)
+                   .has_value());
+}
+
+TEST(Parser, RejectsBadArityAndResultIndices) {
+  std::string Error;
+  EXPECT_FALSE(parseGraph("graph w8 args(bv8) {\n"
+                          "  n0 = Add(a0)\n  results(n0)\n}\n",
+                          &Error)
+                   .has_value());
+  EXPECT_NE(Error.find("operand count mismatch"), std::string::npos);
+
+  EXPECT_FALSE(parseGraph("graph w8 args(mem, bv8) {\n"
+                          "  n0 = Load(a0, a1)\n"
+                          "  results(n0.0, n0.7)\n}\n",
+                          &Error)
+                   .has_value());
+}
+
+TEST(Parser, MalformedInputsDoNotRoundTrip) {
+  // Inputs the parser rejects stay rejected after being embedded in
+  // otherwise valid graphs (no partial-parse salvage).
+  std::string Error;
+  EXPECT_FALSE(parseGraph("graph w8 args(bv8) {\n"
+                          "  n0 = Not(a0)\n"
+                          "  n1 = Const[0x100:8]()\n"
+                          "  n2 = Add(n0, n1)\n"
+                          "  results(n2)\n"
+                          "}\n",
+                          &Error)
+                   .has_value());
+  EXPECT_NE(Error.find("does not fit"), std::string::npos);
+}
+
 TEST(Verifier, DetectsSortErrors) {
   Graph G(8, {Sort::memory(), Sort::value(8)});
   Node *Load = G.createLoad(G.arg(0), G.arg(1));
@@ -175,6 +248,59 @@ TEST(Verifier, DetectsNonlinearMemoryChain) {
   std::vector<std::string> Problems = verifyGraph(G);
   ASSERT_FALSE(Problems.empty());
   EXPECT_NE(Problems[0].find("chain"), std::string::npos);
+}
+
+TEST(Verifier, DetectsCreationOrderCycle) {
+  Graph G(8, {Sort::value(8)});
+  NodeRef A = G.createUnary(Opcode::Not, G.arg(0));
+  NodeRef B = G.createUnary(Opcode::Minus, A);
+  // Rewire the earlier node to use the later one: a cycle through the
+  // data dependencies.
+  A.Def->setOperand(0, B);
+  G.setResults({B});
+  std::vector<std::string> Problems = verifyGraph(G);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("breaks creation-order acyclicity"),
+            std::string::npos);
+}
+
+TEST(Verifier, DetectsSortMismatchDiagnostic) {
+  Graph G(8, {Sort::memory(), Sort::value(8)});
+  NodeRef Add = G.createBinary(Opcode::Add, G.arg(1), G.arg(1));
+  // Wire the memory argument into a value operand slot.
+  Add.Def->setOperand(1, G.arg(0));
+  G.setResults({Add});
+  std::vector<std::string> Problems = verifyGraph(G);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("has sort"), std::string::npos);
+  EXPECT_NE(Problems[0].find("expected"), std::string::npos);
+}
+
+TEST(Verifier, DetectsResultIndexOutOfRange) {
+  Graph G(8, {Sort::value(8)});
+  NodeRef NotA = G.createUnary(Opcode::Not, G.arg(0));
+  NodeRef Minus = G.createUnary(Opcode::Minus, NotA);
+  Minus.Def->setOperand(0, NodeRef(NotA.Def, 3));
+  G.setResults({Minus});
+  std::vector<std::string> Problems = verifyGraph(G);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("uses result index out of range"),
+            std::string::npos);
+}
+
+TEST(Verifier, DetectsDanglingMemoryChain) {
+  Graph G(8, {Sort::memory(), Sort::value(8), Sort::value(8)});
+  NodeRef Store = G.createStore(G.arg(0), G.arg(1), G.arg(2));
+  // The store's memory token neither feeds an operation nor escapes
+  // through the results: its side effect is silently dropped.
+  G.setResults({G.arg(2)});
+  std::vector<std::string> Problems = verifyGraph(G);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("memory chain dangles"), std::string::npos);
+
+  // Letting the token escape fixes it.
+  G.setResults({Store, G.arg(2)});
+  EXPECT_TRUE(verifyGraph(G).empty());
 }
 
 TEST(Verifier, AcceptsProperChain) {
