@@ -1,0 +1,187 @@
+//===- bench_95_robustness.cpp - Fault-tolerance overhead measurements ---------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+// The robustness layer (run journal, supervised solver budgets,
+// end-of-run escalation) must be cheap enough to leave on for every
+// long synthesis run. This benchmark measures:
+//
+//   1. Journal write cost: a warm (all-cache-hit) Basic synthesis with
+//      and without --run-dir journaling. The journal fsyncs one record
+//      per goal outcome; the target is < 2% added wall time.
+//   2. Resume overhead: serving every goal from a prior run's journal
+//      (--resume) versus from the synthesis cache — both skip Z3
+//      entirely, so the delta is pure journal-replay cost.
+//   3. Retry escalation: a deliberately starved run (tiny Z3 rlimit)
+//      with a flat retry policy versus the escalating 1x/4x/16x
+//      ladder, comparing how many goals end incomplete.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "pattern/ParallelBuilder.h"
+#include "pattern/RunJournal.h"
+#include "pattern/SynthesisCache.h"
+#include "support/Statistics.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+using namespace selgen;
+using namespace selgen::bench;
+
+namespace {
+
+std::string scratchDir(const std::string &Name) {
+  std::string Dir =
+      (std::filesystem::temp_directory_path() / ("selgen_bench_" + Name))
+          .string();
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  return Dir;
+}
+
+SynthesisOptions baseOptions() {
+  SynthesisOptions Options;
+  Options.Width = Width;
+  Options.FindAllMinimal = true;
+  Options.TimeBudgetSeconds = 30;
+  Options.QueryTimeoutMs = 20000;
+  Options.MaxPatternsPerMultiset = 8;
+  Options.MaxPatternsPerGoal = 128;
+  return Options;
+}
+
+struct TimedRun {
+  double Seconds = 0;
+  size_t Rules = 0;
+  unsigned Incomplete = 0;
+};
+
+TimedRun timedRun(const GoalLibrary &Goals, const SynthesisOptions &Options,
+                  ParallelBuildOptions Build) {
+  LibraryBuildReport Report;
+  Timer Clock;
+  PatternDatabase Database =
+      synthesizeRuleLibraryParallel(Goals, Options, Build, &Report);
+  TimedRun Result;
+  Result.Seconds = Clock.elapsedSeconds();
+  Result.Rules = Database.size();
+  for (const GroupReport &Group : Report.Groups)
+    Result.Incomplete += Group.IncompleteGoals;
+  return Result;
+}
+
+} // namespace
+
+int main() {
+  printBenchHeader(
+      "Robustness layer: journal, resume, and retry-escalation cost",
+      "supervised budgets and crash-safe checkpoint/resume on top of "
+      "Buchwald et al., CGO'18, Section 5.5 parallel synthesis");
+
+  BenchGoals Bench = makeBenchGoals("basic");
+  SynthesisOptions Options = baseOptions();
+
+  // Shared cache: the first run pays for Z3, everything after is warm.
+  std::string CacheDir = scratchDir("robustness_cache");
+  SynthesisCache Cache(CacheDir);
+
+  ParallelBuildOptions Cold;
+  Cold.TotalModeGoals = Bench.TotalModeGoals;
+  Cold.Cache = &Cache;
+  std::printf("cold synthesis (fills cache)...\n");
+  TimedRun ColdRun = timedRun(Bench.Goals, Options, Cold);
+  std::printf("  %zu rules in %s\n\n", ColdRun.Rules,
+              formatDuration(ColdRun.Seconds).c_str());
+
+  // --- 1. Journal write cost on a warm run -----------------------------
+  const int Reps = 5;
+  double WarmPlain = 0, WarmJournaled = 0;
+  for (int Rep = 0; Rep < Reps; ++Rep) {
+    WarmPlain += timedRun(Bench.Goals, Options, Cold).Seconds;
+
+    std::string RunDir = scratchDir("robustness_run");
+    std::unique_ptr<RunJournal> Journal = RunJournal::open(RunDir, "bench");
+    ParallelBuildOptions Journaled = Cold;
+    Journaled.Journal = Journal.get();
+    WarmJournaled += timedRun(Bench.Goals, Options, Journaled).Seconds;
+  }
+  WarmPlain /= Reps;
+  WarmJournaled /= Reps;
+  double OverheadPct = WarmPlain > 0
+                           ? (WarmJournaled - WarmPlain) / WarmPlain * 100
+                           : 0;
+  TablePrinter JournalTable({"Warm run", "Wall", "vs plain"});
+  JournalTable.addRow({"no journal", formatDuration(WarmPlain), "-"});
+  JournalTable.addRow({"journaled (fsync/goal)", formatDuration(WarmJournaled),
+                    (OverheadPct >= 0 ? "+" : "") + formatDouble(OverheadPct, 1) + "%"});
+  std::printf("%s", JournalTable.render().c_str());
+  std::printf("  target: journaling a warm run costs < 2%% wall\n\n");
+
+  // --- 2. Resume overhead ----------------------------------------------
+  std::string RunDir = scratchDir("robustness_resume");
+  {
+    std::unique_ptr<RunJournal> Journal = RunJournal::open(RunDir, "bench");
+    ParallelBuildOptions Journaled = Cold;
+    Journaled.Journal = Journal.get();
+    timedRun(Bench.Goals, Options, Journaled);
+  }
+  Timer ReplayClock;
+  RunJournal::LoadResult Replay = RunJournal::load(RunDir);
+  double ReplaySeconds = ReplayClock.elapsedSeconds();
+  ParallelBuildOptions Resumed = Cold;
+  Resumed.Cache = nullptr; // Journal only: no cache to fall back on.
+  Resumed.Resume = &Replay.Finished;
+  TimedRun ResumeRun = timedRun(Bench.Goals, Options, Resumed);
+  TablePrinter ResumeTable({"Serve all goals from", "Wall", "Rules"});
+  ResumeTable.addRow({"synthesis cache (warm)", formatDuration(WarmPlain),
+                   std::to_string(ColdRun.Rules)});
+  ResumeTable.addRow({"journal (--resume)",
+                   formatDuration(ReplaySeconds + ResumeRun.Seconds),
+                   std::to_string(ResumeRun.Rules)});
+  std::printf("%s", ResumeTable.render().c_str());
+  std::printf("  journal replay alone: %s for %zu finished goals\n\n",
+              formatDuration(ReplaySeconds).c_str(),
+              Replay.Finished.size());
+
+  // --- 3. Retry escalation under starvation ----------------------------
+  // A tiny deterministic rlimit starves most queries on the first try;
+  // the escalating ladder buys the hard ones a bigger budget instead
+  // of giving up.
+  SynthesisOptions Starved = Options;
+  Starved.QueryRlimit = 2000;
+  ParallelBuildOptions NoCache;
+  NoCache.TotalModeGoals = Bench.TotalModeGoals;
+
+  int64_t RetriesBefore = Statistics::get().value("smt.retries");
+  Starved.QueryRetryScale = {1};
+  TimedRun Flat = timedRun(Bench.Goals, Starved, NoCache);
+  int64_t FlatRetries =
+      Statistics::get().value("smt.retries") - RetriesBefore;
+
+  RetriesBefore = Statistics::get().value("smt.retries");
+  Starved.QueryRetryScale = {1, 4, 16};
+  TimedRun Ladder = timedRun(Bench.Goals, Starved, NoCache);
+  int64_t LadderRetries =
+      Statistics::get().value("smt.retries") - RetriesBefore;
+
+  TablePrinter RetryTable(
+      {"Retry policy", "Incomplete", "Retries", "Rules", "Wall"});
+  RetryTable.addRow({"flat (1x)", std::to_string(Flat.Incomplete),
+                  std::to_string(FlatRetries), std::to_string(Flat.Rules),
+                  formatDuration(Flat.Seconds)});
+  RetryTable.addRow({"ladder (1x/4x/16x)", std::to_string(Ladder.Incomplete),
+                  std::to_string(LadderRetries),
+                  std::to_string(Ladder.Rules),
+                  formatDuration(Ladder.Seconds)});
+  std::printf("%s", RetryTable.render().c_str());
+
+  std::filesystem::remove_all(CacheDir);
+  std::filesystem::remove_all(RunDir);
+  return 0;
+}

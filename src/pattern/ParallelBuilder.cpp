@@ -7,6 +7,7 @@
 
 #include "pattern/ParallelBuilder.h"
 
+#include "pattern/RunJournal.h"
 #include "support/Statistics.h"
 #include "support/Timer.h"
 #include "synth/SpecFingerprint.h"
@@ -81,6 +82,7 @@ struct GoalState {
   SynthesisPlan Plan;
   std::string CacheKey;
   bool CacheHit = false;
+  bool ResumedFromJournal = false;
   /// The goal's shared counterexample corpus (from the scheduler's
   /// CorpusStore, keyed by goal fingerprint): internally locked, so
   /// all chunks of the goal — stolen or not — screen against and feed
@@ -129,27 +131,27 @@ public:
   }
 
   void run() {
-    // Seed the deques with goal start-ups, longest iterative-deepening
-    // caps first: those are the likeliest long poles, and starting
-    // them early gives the splitter the most room.
     std::vector<size_t> Order(States.size());
     std::iota(Order.begin(), Order.end(), 0);
-    std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
-      return States[A].Goal->MaxPatternSize > States[B].Goal->MaxPatternSize;
-    });
-    for (size_t I = 0; I < Order.size(); ++I) {
-      Task T;
-      T.TaskKind = Task::StartGoal;
-      T.GoalIndex = Order[I];
-      T.OwnerWorker = static_cast<unsigned>(I % NumThreads);
-      Deques[T.OwnerWorker].push(T);
-    }
+    runRound(Order);
 
-    std::vector<std::thread> Threads;
-    for (unsigned W = 0; W < NumThreads; ++W)
-      Threads.emplace_back([this, W] { workerMain(W); });
-    for (std::thread &T : Threads)
-      T.join();
+    // End-of-run escalation pass: before the library is finalized,
+    // every incomplete goal gets one retry with all budgets scaled up.
+    // A transiently slow query (or an injected fault) then costs one
+    // extra attempt, not a hole in the library.
+    if (Build.EscalationFactor > 1) {
+      std::vector<size_t> Incomplete;
+      for (size_t I = 0; I < States.size(); ++I)
+        if (!States[I].Result.Complete)
+          Incomplete.push_back(I);
+      if (!Incomplete.empty()) {
+        Statistics::get().add("synth.escalations",
+                              static_cast<int64_t>(Incomplete.size()));
+        for (size_t I : Incomplete)
+          resetForEscalation(States[I]);
+        runRound(Incomplete);
+      }
+    }
   }
 
   std::vector<GoalState> &states() { return States; }
@@ -168,6 +170,51 @@ private:
   std::condition_variable IdleCv;
 
   void notifyWorkers() { IdleCv.notify_all(); }
+
+  /// Seeds the deques with StartGoal tasks for \p Indices (longest
+  /// iterative-deepening caps first: those are the likeliest long
+  /// poles, and starting them early gives the splitter the most room),
+  /// then runs workers until all of them finish.
+  void runRound(std::vector<size_t> Indices) {
+    std::stable_sort(Indices.begin(), Indices.end(), [&](size_t A, size_t B) {
+      return States[A].Goal->MaxPatternSize > States[B].Goal->MaxPatternSize;
+    });
+    RemainingGoals = Indices.size();
+    for (size_t I = 0; I < Indices.size(); ++I) {
+      Task T;
+      T.TaskKind = Task::StartGoal;
+      T.GoalIndex = Indices[I];
+      T.OwnerWorker = static_cast<unsigned>(I % NumThreads);
+      Deques[T.OwnerWorker].push(T);
+    }
+
+    std::vector<std::thread> Threads;
+    for (unsigned W = 0; W < NumThreads; ++W)
+      Threads.emplace_back([this, W] { workerMain(W); });
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  /// Resets a goal's synthesis state for the escalation retry; its
+  /// counterexample corpus is kept (tests stay valid), everything else
+  /// restarts from scratch under the scaled budgets.
+  void resetForEscalation(GoalState &S) {
+    unsigned Factor = Build.EscalationFactor;
+    S.Options.TimeBudgetSeconds *= Factor;
+    S.Options.QueryTimeoutMs *= Factor;
+    S.Options.QueryRlimit *= Factor;
+    GoalSynthesisResult Fresh;
+    Fresh.GoalName = S.Goal->Name;
+    S.Result = std::move(Fresh);
+    S.Fingerprints.clear();
+    S.SizeBuffer.clear();
+    S.PendingChunks = 0;
+    S.CacheHit = false;
+    S.ResumedFromJournal = false;
+    S.SolverSeconds = 0;
+    S.Chunks = 0;
+    S.StolenChunks = 0;
+  }
 
   bool popOwnOrSteal(unsigned WorkerId, Task &T) {
     if (Deques[WorkerId].popBack(T))
@@ -207,8 +254,27 @@ private:
     S.Wall.reset();
     S.Result.GoalName = S.Goal->Name;
 
-    if (Build.Cache) {
+    if (Build.Cache || Build.Journal || Build.Resume)
       S.CacheKey = synthesisCacheKey(Smt, *S.Goal->Spec, S.Options);
+
+    // Resume probe first: a goal whose finish record survived the
+    // previous run is served from the journal with zero re-synthesis
+    // (and independently of any cache).
+    if (Build.Resume) {
+      auto It = Build.Resume->find(S.CacheKey);
+      if (It != Build.Resume->end()) {
+        Statistics::get().add("journal.hits");
+        S.ResumedFromJournal = true;
+        S.Result = std::move(It->second);
+        finishGoal(S);
+        return;
+      }
+    }
+
+    if (Build.Journal)
+      Build.Journal->recordStart(S.CacheKey, S.Goal->Name);
+
+    if (Build.Cache) {
       if (std::optional<GoalSynthesisResult> Cached =
               Build.Cache->lookup(S.CacheKey)) {
         Statistics::get().add("cache.hits");
@@ -339,6 +405,8 @@ private:
                       S.Wall.elapsedSeconds() > S.Options.TimeBudgetSeconds;
     if (OverBudget) {
       S.Result.Complete = false;
+      S.Result.Cause =
+          mergeIncompleteCause(S.Result.Cause, IncompleteCause::Budget);
       finishGoal(S);
       return;
     }
@@ -350,17 +418,30 @@ private:
   }
 
   void finishGoal(GoalState &S) {
-    if (!S.CacheHit) {
+    if (!S.CacheHit && !S.ResumedFromJournal) {
       S.Result.Seconds = S.SolverSeconds;
       if (Build.Cache && S.Result.Complete)
         Build.Cache->store(S.CacheKey, S.Result);
+    }
+
+    // Journal the outcome (for cache hits too: resume must work with
+    // the cache gone). Resume hits are already in the journal.
+    if (Build.Journal && !S.ResumedFromJournal) {
+      if (S.Result.Complete)
+        Build.Journal->recordFinish(S.CacheKey, S.Result);
+      else
+        Build.Journal->recordIncomplete(S.CacheKey, S.Goal->Name,
+                                        incompleteCauseName(S.Result.Cause));
     }
 
     GoalTelemetry Telemetry;
     Telemetry.Goal = S.Goal->Name;
     Telemetry.Group = S.Goal->Group;
     Telemetry.CacheHit = S.CacheHit;
+    Telemetry.ResumedFromJournal = S.ResumedFromJournal;
     Telemetry.Complete = S.Result.Complete;
+    if (!S.Result.Complete)
+      Telemetry.IncompleteCause = incompleteCauseName(S.Result.Cause);
     Telemetry.QueueWaitSeconds = S.QueueWaitSeconds;
     Telemetry.SolverSeconds = S.SolverSeconds;
     Telemetry.WallSeconds = S.Wall.elapsedSeconds();

@@ -37,7 +37,11 @@
 #include "pattern/LibraryBuilder.h"
 #include "pattern/SynthesisCache.h"
 
+#include <map>
+
 namespace selgen {
+
+class RunJournal;
 
 /// Configuration of one parallel library build.
 struct ParallelBuildOptions {
@@ -48,6 +52,20 @@ struct ParallelBuildOptions {
   std::vector<std::string> TotalModeGoals;
   /// Persistent result cache; null disables caching.
   SynthesisCache *Cache = nullptr;
+  /// Crash-safe run journal (see pattern/RunJournal.h); null disables
+  /// journaling. Every goal's pickup and outcome is recorded with an
+  /// fsync'd append, making the run resumable after SIGKILL.
+  RunJournal *Journal = nullptr;
+  /// Finished results replayed from a prior run's journal, keyed by
+  /// cache key. Goals found here are served directly ("journal.hits")
+  /// with zero re-synthesis; null disables resume. Served entries are
+  /// consumed (moved out of the map).
+  std::map<std::string, GoalSynthesisResult> *Resume = nullptr;
+  /// Budget multiplier for the end-of-run escalation pass: goals that
+  /// ended incomplete are retried once with wall-clock, query-timeout,
+  /// and rlimit budgets scaled by this factor before the library is
+  /// finalized. 0 (or 1) disables the pass.
+  unsigned EscalationFactor = 0;
   /// Minimum enumeration ranks per chunk when splitting a size's
   /// multiset range; sizes below this run as a single chunk.
   uint64_t MinChunkRanks = 32;

@@ -1,0 +1,238 @@
+//===- RunJournal.cpp - Crash-safe synthesis run journal ----------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pattern/RunJournal.h"
+
+#include "pattern/SynthesisCache.h"
+#include "support/AtomicFile.h"
+#include "support/FaultInjection.h"
+#include "support/Json.h"
+#include "support/Statistics.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+using namespace selgen;
+
+std::string RunJournal::journalPath(const std::string &RunDirectory) {
+  return RunDirectory + "/journal.jsonl";
+}
+
+RunJournal::~RunJournal() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+std::unique_ptr<RunJournal>
+RunJournal::open(const std::string &RunDirectory,
+                 const std::string &ConfigFingerprint) {
+  std::error_code EC;
+  std::filesystem::create_directories(RunDirectory, EC);
+  if (EC && !std::filesystem::is_directory(RunDirectory, EC))
+    return nullptr;
+
+  int Fd = ::open(journalPath(RunDirectory).c_str(),
+                  O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (Fd < 0)
+    return nullptr;
+
+  std::unique_ptr<RunJournal> Journal(new RunJournal);
+  Journal->Fd = Fd;
+
+  // A fresh journal starts with the run header; a resumed journal
+  // already has one (load() verified it before we got here).
+  off_t Size = ::lseek(Fd, 0, SEEK_END);
+  if (Size == 0)
+    Journal->appendRecord("{\"type\":\"run\",\"version\":1,\"config\":\"" +
+                          jsonEscape(ConfigFingerprint) + "\"}\n");
+  return Journal;
+}
+
+void RunJournal::appendRecord(std::string Line) {
+  // Fault hook: a torn append, as a crash mid-write would leave. The
+  // record loses its tail (including the newline), which load() must
+  // detect and quarantine.
+  if (FaultInjector::get().shouldFire("journal_truncate"))
+    Line.resize(Line.size() / 2);
+
+  std::lock_guard<std::mutex> Guard(Lock);
+  if (Fd < 0)
+    return;
+  // One write(2) per record to an O_APPEND fd: the record is either
+  // fully in the file or not at all (modulo a crash tearing the single
+  // write, which the checksum framing catches on load).
+  const char *Data = Line.data();
+  size_t Remaining = Line.size();
+  while (Remaining > 0) {
+    ssize_t Written = ::write(Fd, Data, Remaining);
+    if (Written < 0) {
+      if (errno == EINTR)
+        continue;
+      return; // Journal failure degrades resume, never the run itself.
+    }
+    Data += Written;
+    Remaining -= static_cast<size_t>(Written);
+  }
+  ::fsync(Fd);
+  Statistics::get().add("journal.records");
+}
+
+void RunJournal::recordStart(const std::string &Key,
+                             const std::string &GoalName) {
+  appendRecord("{\"type\":\"start\",\"key\":\"" + jsonEscape(Key) +
+               "\",\"goal\":\"" + jsonEscape(GoalName) + "\"}\n");
+}
+
+void RunJournal::recordFinish(const std::string &Key,
+                              const GoalSynthesisResult &Result) {
+  std::string Payload = SynthesisCache::serializeResult(Result);
+  appendRecord("{\"type\":\"finish\",\"key\":\"" + jsonEscape(Key) +
+               "\",\"goal\":\"" + jsonEscape(Result.GoalName) +
+               "\",\"len\":" + std::to_string(Payload.size()) +
+               ",\"crc\":\"" + crc32Hex(Payload) + "\",\"result\":\"" +
+               jsonEscape(Payload) + "\"}\n");
+  // The deterministic crash point: the finish record above is durable,
+  // so a resumed run must serve this goal from the journal and produce
+  // a byte-identical library.
+  if (FaultInjector::get().shouldFire("kill_after_finish"))
+    ::kill(::getpid(), SIGKILL);
+}
+
+void RunJournal::recordIncomplete(const std::string &Key,
+                                  const std::string &GoalName,
+                                  const std::string &Cause) {
+  appendRecord("{\"type\":\"incomplete\",\"key\":\"" + jsonEscape(Key) +
+               "\",\"goal\":\"" + jsonEscape(GoalName) + "\",\"cause\":\"" +
+               jsonEscape(Cause) + "\"}\n");
+}
+
+namespace {
+
+/// Interprets one parsed journal record; returns false on structural
+/// problems (missing fields, checksum mismatch) that mark the record
+/// corrupt.
+bool applyRecord(const std::map<std::string, std::string> &Fields,
+                 RunJournal::LoadResult &Out) {
+  auto field = [&](const char *Name) -> const std::string * {
+    auto It = Fields.find(Name);
+    return It == Fields.end() ? nullptr : &It->second;
+  };
+  const std::string *Type = field("type");
+  if (!Type)
+    return false;
+
+  if (*Type == "run") {
+    const std::string *Config = field("config");
+    if (!Config)
+      return false;
+    Out.ConfigFingerprint = *Config;
+    return true;
+  }
+  if (*Type == "start") {
+    const std::string *Key = field("key");
+    if (!Key)
+      return false;
+    Out.InFlight.insert(*Key);
+    return true;
+  }
+  if (*Type == "incomplete") {
+    const std::string *Key = field("key");
+    const std::string *Cause = field("cause");
+    if (!Key || !Cause)
+      return false;
+    Out.IncompleteCauses[*Key] = *Cause;
+    Out.InFlight.erase(*Key);
+    return true;
+  }
+  if (*Type == "finish") {
+    const std::string *Key = field("key");
+    const std::string *Len = field("len");
+    const std::string *Crc = field("crc");
+    const std::string *Payload = field("result");
+    if (!Key || !Len || !Crc || !Payload)
+      return false;
+    // The payload carries its own frame: length and CRC-32 over the
+    // unescaped bytes. Any mismatch marks the record corrupt.
+    if (Payload->size() != std::strtoull(Len->c_str(), nullptr, 10) ||
+        crc32Hex(*Payload) != *Crc)
+      return false;
+    std::optional<GoalSynthesisResult> Result =
+        SynthesisCache::deserializeResult(*Payload);
+    if (!Result)
+      return false;
+    Out.Finished[*Key] = std::move(*Result);
+    Out.InFlight.erase(*Key);
+    Out.IncompleteCauses.erase(*Key);
+    return true;
+  }
+  return false; // Unknown record type: likely corruption.
+}
+
+} // namespace
+
+RunJournal::LoadResult RunJournal::load(const std::string &RunDirectory) {
+  LoadResult Out;
+  std::string Path = journalPath(RunDirectory);
+  std::optional<std::string> Contents = readFileToString(Path);
+  if (!Contents)
+    return Out;
+  Out.Existed = true;
+
+  // Replay the valid prefix: every record must be a newline-terminated
+  // line that parses as a flat JSON object and applies cleanly. The
+  // first violation marks the start of the corrupt tail.
+  size_t ValidEnd = 0;
+  size_t Cursor = 0;
+  bool Corrupt = false;
+  while (Cursor < Contents->size()) {
+    size_t LineEnd = Contents->find('\n', Cursor);
+    if (LineEnd == std::string::npos) {
+      Corrupt = true; // Torn tail: unterminated final record.
+      break;
+    }
+    std::string Line = Contents->substr(Cursor, LineEnd - Cursor);
+    if (!Line.empty()) {
+      std::optional<std::map<std::string, std::string>> Fields =
+          parseFlatJsonObject(Line);
+      if (!Fields || !applyRecord(*Fields, Out)) {
+        Corrupt = true;
+        break;
+      }
+    }
+    Cursor = LineEnd + 1;
+    ValidEnd = Cursor;
+  }
+
+  if (Corrupt) {
+    std::string Tail = Contents->substr(ValidEnd);
+    for (char C : Tail)
+      if (C == '\n')
+        ++Out.CorruptRecords;
+    if (!Tail.empty() && Tail.back() != '\n')
+      ++Out.CorruptRecords;
+    Statistics::get().add("journal.corrupt_records",
+                          static_cast<int64_t>(Out.CorruptRecords));
+
+    // Quarantine the tail for inspection, then truncate the journal
+    // back to its valid prefix so the resumed run appends cleanly.
+    std::ofstream Bad(Path + ".bad", std::ios::app | std::ios::binary);
+    if (Bad)
+      Bad << Tail;
+    if (::truncate(Path.c_str(), static_cast<off_t>(ValidEnd)) != 0) {
+      // Fall back to a full rewrite of the valid prefix.
+      writeFileAtomic(Path, Contents->substr(0, ValidEnd));
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,117 @@
+//===- RunJournal.h - Crash-safe synthesis run journal -----------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An append-only, fsync'd journal of one synthesis run, enabling
+/// `selgen-synth --resume <dir>`: a run killed at any point (including
+/// SIGKILL mid-write) can be restarted and will re-synthesize only the
+/// goals whose finish record had not yet landed on disk.
+///
+/// Format: one JSON object per line (JSONL) in `journal.jsonl`:
+///
+///   {"type":"run","version":1,"config":"<hex>"}     run header
+///   {"type":"start","key":"<k>","goal":"<name>"}    goal picked up
+///   {"type":"finish","key":"<k>","goal":"<name>",
+///    "len":N,"crc":"<8hex>","result":"<escaped>"}   goal done (payload
+///                                                   = cache shard text)
+///   {"type":"incomplete","key":"<k>","goal":"<name>",
+///    "cause":"timeout"}                             goal gave up
+///
+/// The `config` fingerprint covers everything the results depend on
+/// (goal set, width, synthesis options, encoder version); resuming
+/// under a different configuration is refused rather than silently
+/// mixing incompatible results.
+///
+/// Crash safety: each record is a single write(2) to an O_APPEND fd
+/// followed by fsync, so a record is either fully present or fully
+/// absent — and a torn tail (the one partially-written record a crash
+/// can leave) is detected on load by JSON well-formedness plus a
+/// length+CRC-32 frame on finish payloads. The corrupt tail is
+/// quarantined to `journal.jsonl.bad`, the journal truncated back to
+/// its valid prefix, and the affected goals simply re-run; corruption
+/// is counted ("journal.corrupt_records") but never fatal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_PATTERN_RUNJOURNAL_H
+#define SELGEN_PATTERN_RUNJOURNAL_H
+
+#include "synth/Synthesizer.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+namespace selgen {
+
+/// Append side of the journal. Thread-safe: workers record
+/// finish/incomplete events concurrently.
+class RunJournal {
+public:
+  ~RunJournal();
+  RunJournal(const RunJournal &) = delete;
+  RunJournal &operator=(const RunJournal &) = delete;
+
+  /// Opens `<RunDirectory>/journal.jsonl` for appending, creating the
+  /// directory and the run header (with \p ConfigFingerprint) if the
+  /// journal does not exist yet. Returns null on I/O failure.
+  static std::unique_ptr<RunJournal> open(const std::string &RunDirectory,
+                                          const std::string &ConfigFingerprint);
+
+  /// What replaying a journal yields.
+  struct LoadResult {
+    /// True if the journal file existed (even if empty or corrupt).
+    bool Existed = false;
+    /// Config fingerprint from the run header; empty if none survived.
+    std::string ConfigFingerprint;
+    /// Fully finished goals by cache key, ready to serve on resume.
+    std::map<std::string, GoalSynthesisResult> Finished;
+    /// Goals with a start but no finish record (in flight at the
+    /// crash); resume re-queues them.
+    std::set<std::string> InFlight;
+    /// Last recorded incomplete-cause per goal key.
+    std::map<std::string, std::string> IncompleteCauses;
+    /// Corrupt records dropped (torn tail, bad checksum).
+    uint64_t CorruptRecords = 0;
+  };
+
+  /// Replays `<RunDirectory>/journal.jsonl`. A corrupt tail is
+  /// quarantined to `journal.jsonl.bad` and the journal truncated back
+  /// to its valid prefix, so the next append continues cleanly.
+  static LoadResult load(const std::string &RunDirectory);
+
+  /// Journal path for \p RunDirectory.
+  static std::string journalPath(const std::string &RunDirectory);
+
+  /// Records that a worker picked up the goal \p Key.
+  void recordStart(const std::string &Key, const std::string &GoalName);
+
+  /// Records a finished goal with its full serialized result. After
+  /// the record is durable, the "kill_after_finish" fault site can
+  /// SIGKILL the process — the deterministic crash point the resume
+  /// tests use.
+  void recordFinish(const std::string &Key, const GoalSynthesisResult &Result);
+
+  /// Records a goal that gave up (\p Cause as in incompleteCauseName).
+  void recordIncomplete(const std::string &Key, const std::string &GoalName,
+                        const std::string &Cause);
+
+private:
+  RunJournal() = default;
+
+  /// Appends one line with a single write(2) + fsync under the lock.
+  void appendRecord(std::string Line);
+
+  std::mutex Lock;
+  int Fd = -1;
+};
+
+} // namespace selgen
+
+#endif // SELGEN_PATTERN_RUNJOURNAL_H

@@ -9,21 +9,21 @@
 
 #include "ir/Parser.h"
 #include "ir/Printer.h"
+#include "support/AtomicFile.h"
+#include "support/FaultInjection.h"
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
 
-#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <system_error>
-#include <unistd.h>
 
 using namespace selgen;
 
 namespace {
-constexpr const char *MagicLine = "selgen-cache v1";
+constexpr const char *MagicLine = "selgen-cache v2";
 constexpr const char *EndLine = "end";
 } // namespace
 
@@ -42,7 +42,7 @@ std::string SynthesisCache::defaultDirectory() {
 
 SynthesisCache::SynthesisCache(std::string RootDirectory)
     : Directory(std::move(RootDirectory)) {
-  Directory += "/v1";
+  Directory += "/v2";
   std::error_code EC;
   std::filesystem::create_directories(Directory, EC);
   Usable = !EC && std::filesystem::is_directory(Directory, EC);
@@ -54,7 +54,6 @@ std::string SynthesisCache::shardPath(const std::string &Key) const {
 
 std::string SynthesisCache::serializeResult(const GoalSynthesisResult &Result) {
   std::ostringstream Out;
-  Out << MagicLine << "\n";
   Out << "goal " << Result.GoalName << "\n";
   Out.precision(6);
   Out << "seconds " << std::fixed << Result.Seconds << "\n";
@@ -72,17 +71,43 @@ std::string SynthesisCache::serializeResult(const GoalSynthesisResult &Result) {
     Out << "endpattern\n";
   }
   Out << EndLine << "\n";
-  return Out.str();
+
+  // The v2 frame: magic, then a checksum line covering the exact body
+  // bytes. A torn write (short body) fails the length check; a flipped
+  // bit fails the CRC; either way the reader sees "corrupt", never a
+  // silently wrong result.
+  std::string Body = Out.str();
+  return std::string(MagicLine) + "\ncrc " + crc32Hex(Body) + " " +
+         std::to_string(Body.size()) + "\n" + Body;
 }
 
 std::optional<GoalSynthesisResult>
 SynthesisCache::deserializeResult(const std::string &Text) {
-  GoalSynthesisResult Result;
-  std::istringstream Stream(Text);
-  std::string Line;
-
-  if (!std::getline(Stream, Line) || trimString(Line) != MagicLine)
+  // Frame validation: magic line, checksum line, then the body whose
+  // length and CRC-32 must match the checksum line exactly (trailing
+  // garbage after the body is corruption too).
+  size_t MagicEnd = Text.find('\n');
+  if (MagicEnd == std::string::npos ||
+      trimString(Text.substr(0, MagicEnd)) != MagicLine)
     return std::nullopt;
+  size_t CrcEnd = Text.find('\n', MagicEnd + 1);
+  if (CrcEnd == std::string::npos)
+    return std::nullopt;
+  std::string CrcLine = trimString(Text.substr(MagicEnd + 1, CrcEnd - MagicEnd - 1));
+  if (!startsWith(CrcLine, "crc "))
+    return std::nullopt;
+  std::istringstream CrcFields(CrcLine.substr(4));
+  std::string CrcHex;
+  uint64_t BodyLength = 0;
+  if (!(CrcFields >> CrcHex >> BodyLength))
+    return std::nullopt;
+  std::string Body = Text.substr(CrcEnd + 1);
+  if (Body.size() != BodyLength || crc32Hex(Body) != CrcHex)
+    return std::nullopt;
+
+  GoalSynthesisResult Result;
+  std::istringstream Stream(Body);
+  std::string Line;
 
   size_t DeclaredPatterns = 0;
   bool SawPatternsField = false;
@@ -155,15 +180,19 @@ std::optional<GoalSynthesisResult>
 SynthesisCache::lookup(const std::string &Key) const {
   if (!Usable)
     return std::nullopt;
-  std::ifstream In(shardPath(Key));
-  if (!In)
+  std::optional<std::string> Contents = readFileToString(shardPath(Key));
+  if (!Contents)
     return std::nullopt;
-  std::stringstream Buffer;
-  Buffer << In.rdbuf();
-  std::optional<GoalSynthesisResult> Result =
-      deserializeResult(Buffer.str());
-  if (!Result)
+  // Fault hook: simulate a corrupted read (bad sector, torn page).
+  if (FaultInjector::get().shouldFire("shard_read") && !Contents->empty())
+    Contents->resize(Contents->size() / 2);
+  std::optional<GoalSynthesisResult> Result = deserializeResult(*Contents);
+  if (!Result) {
+    // Quarantine the shard so later runs are not charged the repeated
+    // read-and-reject, and the evidence survives for inspection.
     Statistics::get().add("cache.corrupt_shards");
+    quarantineFile(shardPath(Key));
+  }
   return Result;
 }
 
@@ -172,28 +201,14 @@ bool SynthesisCache::store(const std::string &Key,
   if (!Usable || !Result.Complete)
     return false;
 
-  // Unique temp file in the same directory, published atomically.
-  static std::atomic<uint64_t> Counter{0};
-  std::string TempPath = Directory + "/." + Key + ".tmp." +
-                         std::to_string(::getpid()) + "." +
-                         std::to_string(Counter.fetch_add(1));
-  {
-    std::ofstream Out(TempPath);
-    if (!Out)
-      return false;
-    Out << serializeResult(Result);
-    if (!Out) {
-      std::error_code EC;
-      std::filesystem::remove(TempPath, EC);
-      return false;
-    }
-  }
-  std::error_code EC;
-  std::filesystem::rename(TempPath, shardPath(Key), EC);
-  if (EC) {
-    std::filesystem::remove(TempPath, EC);
+  std::string Contents = serializeResult(Result);
+  // Fault hook: publish a torn shard, as a crashed or buggy writer
+  // without the atomic-rename discipline would. Readers must detect
+  // and quarantine it, never crash or trust it.
+  if (FaultInjector::get().shouldFire("shard_truncate"))
+    Contents.resize(Contents.size() / 2);
+  if (!writeFileAtomic(shardPath(Key), Contents))
     return false;
-  }
   appendIndexLine(Key, Result);
   return true;
 }

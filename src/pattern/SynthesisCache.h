@@ -13,19 +13,24 @@
 /// synthesis options, encoder version), solved goals can be reused
 /// across runs, machines, and CI jobs.
 ///
-/// Layout: a versioned directory (`<dir>/v1/`) of per-goal shard files
+/// Layout: a versioned directory (`<dir>/v2/`) of per-goal shard files
 /// named by cache key (`<key>.shard`), plus an append-only advisory
-/// index (`index.log`). Each shard is a self-delimiting text record:
-/// header fields, the serialized pattern graphs, and an explicit `end`
-/// trailer. Lookups never trust a shard blindly — a missing trailer,
-/// a pattern-count mismatch, or a parse error all degrade to a cache
-/// miss, so truncated or corrupt shards cannot poison a build.
+/// index (`index.log`). Each shard is a checksummed text record: a
+/// magic line, a `crc <hex> <length>` frame line, then the body
+/// (header fields, serialized pattern graphs, explicit `end` trailer).
+/// Lookups never trust a shard blindly — a length or CRC-32 mismatch,
+/// a missing trailer, a pattern-count mismatch, or a parse error all
+/// degrade to a cache miss, the offending shard is quarantined to
+/// `<shard>.bad` (counted under "cache.corrupt_shards"), and the goal
+/// is simply re-synthesized. Truncated or corrupt shards can therefore
+/// never poison or abort a build.
 ///
-/// Concurrency: writers create a unique temp file in the same
-/// directory and publish it with an atomic rename, so concurrent
-/// builders (or concurrent CI jobs sharing a cache volume) can race
-/// freely; both write identical content for the same key. The index is
-/// advisory only and not required for correctness.
+/// Concurrency and crash safety: writers publish through
+/// writeFileAtomic (unique temp file, full write, fsync, atomic
+/// rename), so concurrent builders (or concurrent CI jobs sharing a
+/// cache volume) can race freely and a SIGKILL mid-store never leaves
+/// a half-written shard under the final name. The index is advisory
+/// only and not required for correctness.
 ///
 /// Only *complete* results (no budget/timeout casualties) are stored:
 /// an incomplete pattern set depends on the time budget and would leak
@@ -62,12 +67,13 @@ public:
   bool usable() const { return Usable; }
 
   /// Returns the cached result for \p Key, or std::nullopt on miss
-  /// (absent, unreadable, or corrupt shard).
+  /// (absent, unreadable, or corrupt shard). Corrupt shards are
+  /// quarantined to `<shard>.bad` and counted, never fatal.
   std::optional<GoalSynthesisResult> lookup(const std::string &Key) const;
 
-  /// Stores \p Result under \p Key via temp file + atomic rename.
-  /// Incomplete results are rejected. Returns true if the shard was
-  /// published.
+  /// Stores \p Result under \p Key via fsync'd temp file + atomic
+  /// rename. Incomplete results are rejected. Returns true if the
+  /// shard was published.
   bool store(const std::string &Key, const GoalSynthesisResult &Result) const;
 
   /// Path of the shard file for \p Key (exists only after a store).
@@ -79,7 +85,7 @@ public:
   deserializeResult(const std::string &Text);
 
 private:
-  std::string Directory; ///< The versioned subdirectory (<root>/v1).
+  std::string Directory; ///< The versioned subdirectory (<root>/v2).
   bool Usable = false;   ///< False if the directory cannot be created.
 
   void appendIndexLine(const std::string &Key,

@@ -8,8 +8,17 @@
 #include "smt/SmtContext.h"
 
 #include "support/Error.h"
+#include "support/FaultInjection.h"
 #include "support/Statistics.h"
 #include "support/Timer.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <limits>
+#include <mutex>
+#include <new>
+#include <optional>
+#include <thread>
 
 using namespace selgen;
 
@@ -52,16 +61,195 @@ z3::expr SmtContext::mkOr(const std::vector<z3::expr> &Disjuncts) {
   return Result.simplify();
 }
 
+const char *selgen::smtFailureName(SmtFailure Failure) {
+  switch (Failure) {
+  case SmtFailure::None:
+    return "none";
+  case SmtFailure::Timeout:
+    return "timeout";
+  case SmtFailure::Rlimit:
+    return "rlimit";
+  case SmtFailure::Exception:
+    return "exception";
+  case SmtFailure::Deadline:
+    return "deadline";
+  }
+  SELGEN_UNREACHABLE("bad failure kind");
+}
+
 SmtSolver::SmtSolver(SmtContext &Context, const char *Logic)
     : Context(Context), Solver(Context.ctx(), Logic) {}
 
 void SmtSolver::setTimeoutMilliseconds(unsigned Milliseconds) {
+  TimeoutMs = Milliseconds;
   z3::params Params(Context.ctx());
   Params.set("timeout", Milliseconds);
   Solver.set(Params);
 }
 
-static SmtResult recordResult(z3::check_result Result) {
+void SmtSolver::setRlimit(uint64_t Budget) { Rlimit = Budget; }
+
+void SmtSolver::setRetryScale(std::vector<unsigned> Scale) {
+  if (Scale.empty())
+    Scale = {1};
+  RetryScale = std::move(Scale);
+}
+
+void SmtSolver::setDeadline(std::chrono::steady_clock::time_point NewDeadline) {
+  HasDeadline = true;
+  Deadline = NewDeadline;
+}
+
+void SmtSolver::clearDeadline() { HasDeadline = false; }
+
+void SmtSolver::applyPolicy(const SolverPolicy &Policy) {
+  setTimeoutMilliseconds(Policy.TimeoutMs);
+  setRlimit(Policy.RlimitPerQuery);
+  setRetryScale(Policy.RetryScale);
+  if (Policy.DeadlineSeconds > 0)
+    setDeadline(std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(Policy.DeadlineSeconds)));
+  else
+    clearDeadline();
+}
+
+namespace {
+
+/// Interrupts a Z3 context when the deadline passes, unless disarmed
+/// first. One watchdog exists only for the duration of one check on a
+/// solver with an armed deadline; checks without a deadline pay
+/// nothing.
+class DeadlineWatchdog {
+public:
+  DeadlineWatchdog(z3::context &Ctx,
+                   std::chrono::steady_clock::time_point Deadline)
+      : Thread([this, &Ctx, Deadline] {
+          std::unique_lock<std::mutex> Lock(M);
+          if (Cv.wait_until(Lock, Deadline, [this] { return Done; }))
+            return; // Check finished in time.
+          Ctx.interrupt();
+        }) {}
+
+  ~DeadlineWatchdog() {
+    {
+      std::lock_guard<std::mutex> Guard(M);
+      Done = true;
+    }
+    Cv.notify_all();
+    Thread.join();
+  }
+
+private:
+  mutable std::mutex M;
+  std::condition_variable Cv;
+  bool Done = false;
+  std::thread Thread;
+};
+
+} // namespace
+
+z3::check_result
+SmtSolver::attemptCheck(const std::vector<z3::expr> *Assumptions,
+                        unsigned Scale, SmtFailure &AttemptFailure) {
+  AttemptFailure = SmtFailure::None;
+
+  // A passed deadline short-circuits without touching the solver.
+  if (HasDeadline && std::chrono::steady_clock::now() >= Deadline) {
+    AttemptFailure = SmtFailure::Deadline;
+    return z3::unknown;
+  }
+
+  // Apply the scaled budgets for this attempt. Both z3 params are
+  // 32-bit; clamp the escalation instead of wrapping.
+  if (TimeoutMs || Rlimit) {
+    constexpr uint64_t Max32 = std::numeric_limits<unsigned>::max();
+    z3::params Params(Context.ctx());
+    uint64_t EffectiveTimeout = uint64_t(TimeoutMs) * Scale;
+    if (HasDeadline) {
+      auto Remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           Deadline - std::chrono::steady_clock::now())
+                           .count();
+      uint64_t RemainingMs = Remaining > 0 ? uint64_t(Remaining) : 1;
+      EffectiveTimeout = EffectiveTimeout
+                             ? std::min(EffectiveTimeout, RemainingMs)
+                             : RemainingMs;
+    }
+    if (EffectiveTimeout)
+      Params.set("timeout", unsigned(std::min(EffectiveTimeout, Max32)));
+    if (Rlimit)
+      Params.set("rlimit", unsigned(std::min(Rlimit * Scale, Max32)));
+    Solver.set(Params);
+  }
+
+  std::optional<DeadlineWatchdog> Watchdog;
+  if (HasDeadline)
+    Watchdog.emplace(Context.ctx(), Deadline);
+
+  z3::check_result Result = z3::unknown;
+  try {
+    if (FaultInjector::get().shouldFire("solver_throw"))
+      throw z3::exception("injected solver fault");
+    if (FaultInjector::get().shouldFire("solver_unknown")) {
+      AttemptFailure = SmtFailure::Rlimit;
+      return z3::unknown;
+    }
+    if (Assumptions) {
+      z3::expr_vector Vector(Context.ctx());
+      for (const z3::expr &Assumption : *Assumptions)
+        Vector.push_back(Assumption);
+      Result = Solver.check(Vector);
+    } else {
+      Result = Solver.check();
+    }
+  } catch (const z3::exception &) {
+    Statistics::get().add("smt.exceptions");
+    AttemptFailure = SmtFailure::Exception;
+    return z3::unknown;
+  } catch (const std::bad_alloc &) {
+    Statistics::get().add("smt.exceptions");
+    AttemptFailure = SmtFailure::Exception;
+    return z3::unknown;
+  }
+
+  if (Result == z3::unknown) {
+    // Destroying the watchdog disarms it; fired() is then settled.
+    bool DeadlineFired = false;
+    if (Watchdog) {
+      Watchdog.reset();
+      DeadlineFired = std::chrono::steady_clock::now() >= Deadline;
+    }
+    std::string Reason = Solver.reason_unknown();
+    if (Reason.find("resource") != std::string::npos ||
+        Reason.find("rlimit") != std::string::npos)
+      AttemptFailure = SmtFailure::Rlimit;
+    else if (DeadlineFired)
+      AttemptFailure = SmtFailure::Deadline;
+    else
+      AttemptFailure = SmtFailure::Timeout;
+  }
+  return Result;
+}
+
+SmtResult SmtSolver::supervisedCheck(const std::vector<z3::expr> *Assumptions) {
+  Timer Clock;
+  LastFailure = SmtFailure::None;
+
+  z3::check_result Result = z3::unknown;
+  SmtFailure AttemptFailure = SmtFailure::None;
+  for (size_t Attempt = 0; Attempt < RetryScale.size(); ++Attempt) {
+    if (Attempt > 0)
+      Statistics::get().add("smt.retries");
+    Result = attemptCheck(Assumptions, RetryScale[Attempt], AttemptFailure);
+    if (Result != z3::unknown)
+      break;
+    // Past the deadline there is no budget left to escalate into.
+    if (AttemptFailure == SmtFailure::Deadline)
+      break;
+  }
+
+  Statistics::get().add("smt.check_us",
+                        static_cast<int64_t>(Clock.elapsedSeconds() * 1e6));
   Statistics::get().add("smt.checks");
   switch (Result) {
   case z3::sat:
@@ -72,27 +260,20 @@ static SmtResult recordResult(z3::check_result Result) {
     return SmtResult::Unsat;
   case z3::unknown:
     Statistics::get().add("smt.unknown");
+    LastFailure = AttemptFailure == SmtFailure::None ? SmtFailure::Timeout
+                                                     : AttemptFailure;
+    if (LastFailure == SmtFailure::Rlimit)
+      Statistics::get().add("smt.rlimit_exhausted");
+    else if (LastFailure == SmtFailure::Deadline)
+      Statistics::get().add("smt.deadline_expired");
     return SmtResult::Unknown;
   }
   SELGEN_UNREACHABLE("bad check result");
 }
 
-SmtResult SmtSolver::check() {
-  Timer Clock;
-  z3::check_result Result = Solver.check();
-  Statistics::get().add("smt.check_us",
-                        static_cast<int64_t>(Clock.elapsedSeconds() * 1e6));
-  return recordResult(Result);
-}
+SmtResult SmtSolver::check() { return supervisedCheck(nullptr); }
 
 SmtResult
 SmtSolver::checkAssuming(const std::vector<z3::expr> &Assumptions) {
-  z3::expr_vector Vector(Context.ctx());
-  for (const z3::expr &Assumption : Assumptions)
-    Vector.push_back(Assumption);
-  Timer Clock;
-  z3::check_result Result = Solver.check(Vector);
-  Statistics::get().add("smt.check_us",
-                        static_cast<int64_t>(Clock.elapsedSeconds() * 1e6));
-  return recordResult(Result);
+  return supervisedCheck(&Assumptions);
 }

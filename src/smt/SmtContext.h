@@ -22,6 +22,7 @@
 
 #include <z3++.h>
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -72,9 +73,50 @@ private:
 /// Outcome of a solver query.
 enum class SmtResult { Sat, Unsat, Unknown };
 
-/// A solver bound to a context, with query statistics and timeout
-/// support. Statistics land in the global Statistics registry under
-/// "smt.checks", "smt.sat", "smt.unsat", "smt.unknown".
+/// Why the last check() failed to produce a definite answer.
+enum class SmtFailure {
+  None,      ///< The last check was conclusive (or none was run).
+  Timeout,   ///< Wall-clock timeout expired on every attempt.
+  Rlimit,    ///< The deterministic Z3 resource budget was exhausted.
+  Exception, ///< z3::exception / allocation failure was contained.
+  Deadline,  ///< The per-goal deadline passed; query was interrupted.
+};
+
+/// Stable lowercase name of \p Failure ("timeout", "rlimit", ...).
+const char *smtFailureName(SmtFailure Failure);
+
+/// Supervision policy for solver queries: per-attempt budgets, an
+/// escalating retry ladder, and a hard deadline. Wall-clock timeouts
+/// keep runs from hanging but are machine-dependent; the Z3 rlimit is
+/// a deterministic proof-effort budget, so rlimit-bounded outcomes
+/// replay identically across machines and reruns (the property the
+/// fault-injection byte-identity tests lean on).
+struct SolverPolicy {
+  /// Base wall-clock timeout per attempt in ms; 0 disables.
+  unsigned TimeoutMs = 0;
+  /// Base Z3 rlimit per attempt; 0 disables.
+  uint64_t RlimitPerQuery = 0;
+  /// Budget multipliers, one attempt each: {1, 4, 16} retries an
+  /// inconclusive query twice with 4x and then 16x budgets.
+  std::vector<unsigned> RetryScale = {1};
+  /// Hard deadline this many seconds from the moment the policy is
+  /// applied; 0 disables. An in-flight query is cancelled at the
+  /// deadline via Z3_interrupt, so one stuck query cannot pin a worker
+  /// past its goal budget.
+  double DeadlineSeconds = 0;
+};
+
+/// A solver bound to a context, with query statistics, budget
+/// supervision, and containment of solver-side failures. Statistics
+/// land in the global Statistics registry under "smt.checks",
+/// "smt.sat", "smt.unsat", "smt.unknown", plus "smt.retries",
+/// "smt.rlimit_exhausted", "smt.exceptions", and
+/// "smt.deadline_expired" from the supervision layer.
+///
+/// check() never throws: z3::exception and allocation failures are
+/// contained and surface as SmtResult::Unknown with
+/// lastFailure() == SmtFailure::Exception, so one bad query marks a
+/// goal incomplete instead of taking down the worker.
 class SmtSolver {
 public:
   /// \p Logic defaults to QF_BV (the paper's setting, Section 2.3:
@@ -90,15 +132,45 @@ public:
   /// Sets the per-check timeout. Zero disables the timeout.
   void setTimeoutMilliseconds(unsigned Milliseconds);
 
+  /// Sets the deterministic per-attempt Z3 resource budget; zero
+  /// disables it.
+  void setRlimit(uint64_t Budget);
+
+  /// Sets the escalation ladder: one check attempt per entry, with
+  /// timeout and rlimit scaled by it. An empty vector means {1}.
+  void setRetryScale(std::vector<unsigned> Scale);
+
+  /// Arms the hard deadline: once it passes, in-flight checks are
+  /// interrupted and further checks return Unknown immediately.
+  void setDeadline(std::chrono::steady_clock::time_point Deadline);
+  void clearDeadline();
+
+  /// Applies all of the above in one call.
+  void applyPolicy(const SolverPolicy &Policy);
+
   SmtResult check();
   /// Like check(), with extra assumptions for this query only.
   SmtResult checkAssuming(const std::vector<z3::expr> &Assumptions);
 
+  /// Why the last check() returned Unknown (None after a conclusive
+  /// check).
+  SmtFailure lastFailure() const { return LastFailure; }
+
   z3::model model() { return Solver.get_model(); }
 
 private:
+  SmtResult supervisedCheck(const std::vector<z3::expr> *Assumptions);
+  z3::check_result attemptCheck(const std::vector<z3::expr> *Assumptions,
+                                unsigned Scale, SmtFailure &AttemptFailure);
+
   SmtContext &Context;
   z3::solver Solver;
+  unsigned TimeoutMs = 0;
+  uint64_t Rlimit = 0;
+  std::vector<unsigned> RetryScale = {1};
+  bool HasDeadline = false;
+  std::chrono::steady_clock::time_point Deadline{};
+  SmtFailure LastFailure = SmtFailure::None;
 };
 
 } // namespace selgen

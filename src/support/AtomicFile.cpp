@@ -1,0 +1,130 @@
+//===- AtomicFile.cpp - Crash-safe file publication ---------------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/AtomicFile.h"
+
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+using namespace selgen;
+
+namespace {
+
+std::array<uint32_t, 256> makeCrcTable() {
+  std::array<uint32_t, 256> Table{};
+  for (uint32_t N = 0; N < 256; ++N) {
+    uint32_t C = N;
+    for (int K = 0; K < 8; ++K)
+      C = (C & 1) ? 0xedb88320u ^ (C >> 1) : C >> 1;
+    Table[N] = C;
+  }
+  return Table;
+}
+
+} // namespace
+
+uint32_t selgen::crc32(const void *Data, size_t Size) {
+  static const std::array<uint32_t, 256> Table = makeCrcTable();
+  uint32_t C = 0xffffffffu;
+  const unsigned char *Bytes = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I < Size; ++I)
+    C = Table[(C ^ Bytes[I]) & 0xffu] ^ (C >> 8);
+  return C ^ 0xffffffffu;
+}
+
+uint32_t selgen::crc32(const std::string &Text) {
+  return crc32(Text.data(), Text.size());
+}
+
+std::string selgen::crc32Hex(const std::string &Text) {
+  char Buffer[12];
+  std::snprintf(Buffer, sizeof(Buffer), "%08x", crc32(Text));
+  return Buffer;
+}
+
+bool selgen::writeFileAtomic(const std::string &Path,
+                             const std::string &Contents, bool Sync) {
+  // Unique temp name in the target directory (rename must not cross a
+  // filesystem boundary).
+  static std::atomic<uint64_t> Counter{0};
+  std::string TempPath = Path + ".tmp." + std::to_string(::getpid()) + "." +
+                         std::to_string(Counter.fetch_add(1));
+
+  int Fd = ::open(TempPath.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (Fd < 0)
+    return false;
+  auto fail = [&] {
+    ::close(Fd);
+    std::error_code EC;
+    std::filesystem::remove(TempPath, EC);
+    return false;
+  };
+
+  size_t Written = 0;
+  while (Written < Contents.size()) {
+    ssize_t N = ::write(Fd, Contents.data() + Written,
+                        Contents.size() - Written);
+    if (N < 0)
+      return fail();
+    Written += static_cast<size_t>(N);
+  }
+  // The fsync-before-rename is what makes a power cut or SIGKILL
+  // unable to publish a name pointing at unwritten blocks.
+  if (Sync && ::fsync(Fd) != 0)
+    return fail();
+  if (::close(Fd) != 0) {
+    std::error_code EC;
+    std::filesystem::remove(TempPath, EC);
+    return false;
+  }
+
+  std::error_code EC;
+  std::filesystem::rename(TempPath, Path, EC);
+  if (EC) {
+    std::filesystem::remove(TempPath, EC);
+    return false;
+  }
+
+  if (Sync) {
+    // Persist the directory entry too; advisory (failure does not
+    // un-publish the rename).
+    std::string Dir = std::filesystem::path(Path).parent_path().string();
+    if (Dir.empty())
+      Dir = ".";
+    int DirFd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (DirFd >= 0) {
+      ::fsync(DirFd);
+      ::close(DirFd);
+    }
+  }
+  return true;
+}
+
+std::optional<std::string> selgen::readFileToString(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  if (In.bad())
+    return std::nullopt;
+  return Buffer.str();
+}
+
+bool selgen::quarantineFile(const std::string &Path) {
+  std::error_code EC;
+  std::filesystem::rename(Path, Path + ".bad", EC);
+  return !EC;
+}

@@ -1,0 +1,133 @@
+//===- FaultInjection.cpp - Deterministic fault injection ---------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include "support/Hashing.h"
+#include "support/Statistics.h"
+#include "support/StringUtils.h"
+
+#include <cstdlib>
+
+using namespace selgen;
+
+FaultInjector &FaultInjector::get() {
+  static FaultInjector Instance;
+  static bool EnvLoaded = [] {
+    if (const char *Env = std::getenv("SELGEN_FAULTS"))
+      if (*Env)
+        Instance.configure(Env);
+    return true;
+  }();
+  (void)EnvLoaded;
+  return Instance;
+}
+
+bool FaultInjector::configure(const std::string &Spec) {
+  std::lock_guard<std::mutex> Guard(M);
+  Sites.clear();
+  Seed = 0x5e1f;
+
+  bool Ok = true;
+  for (const std::string &Part : splitString(Spec, ',')) {
+    std::string Entry = trimString(Part);
+    if (Entry.empty())
+      continue;
+    if (startsWith(Entry, "seed=")) {
+      Seed = static_cast<uint64_t>(std::strtoull(Entry.c_str() + 5, nullptr, 10));
+      continue;
+    }
+    size_t At = Entry.find('@');
+    if (At == std::string::npos || At == 0) {
+      Ok = false;
+      break;
+    }
+    std::string Name = Entry.substr(0, At);
+    std::string Trigger = Entry.substr(At + 1);
+    Site S;
+    if (startsWith(Trigger, "p=")) {
+      S.Probability = std::atof(Trigger.c_str() + 2);
+      if (S.Probability <= 0 || S.Probability > 1)
+        Ok = false;
+    } else if (startsWith(Trigger, "n=")) {
+      S.Nth = static_cast<uint64_t>(std::strtoull(Trigger.c_str() + 2, nullptr, 10));
+      if (S.Nth == 0)
+        Ok = false;
+    } else {
+      Ok = false;
+    }
+    if (!Ok)
+      break;
+    Sites[Name] = S;
+  }
+
+  if (!Ok)
+    Sites.clear();
+  // Arming is never silent: the counter lands in every stats dump.
+  if (!Sites.empty())
+    Statistics::get().add("faults.armed");
+  return Ok;
+}
+
+void FaultInjector::disarm() {
+  std::lock_guard<std::mutex> Guard(M);
+  Sites.clear();
+}
+
+bool FaultInjector::armed() const {
+  std::lock_guard<std::mutex> Guard(M);
+  return !Sites.empty();
+}
+
+bool FaultInjector::shouldFire(const char *SiteName) {
+  std::lock_guard<std::mutex> Guard(M);
+  auto It = Sites.find(SiteName);
+  if (It == Sites.end())
+    return false;
+  Site &S = It->second;
+  ++S.Calls;
+
+  bool Fire = false;
+  if (S.Nth > 0) {
+    Fire = S.Calls == S.Nth;
+  } else if (S.Probability > 0) {
+    // Stable per-(seed, site, call) decision, independent of thread
+    // interleaving for a fixed call index.
+    StableHasher Hasher;
+    Hasher.u64(Seed).str(SiteName).u64(S.Calls);
+    double Unit = double(Hasher.digest() >> 11) / double(1ull << 53);
+    Fire = Unit < S.Probability;
+  }
+
+  Statistics::get().add("faults." + std::string(SiteName) + ".calls");
+  if (Fire) {
+    ++S.Fired;
+    Statistics::get().add("faults." + std::string(SiteName) + ".fired");
+  }
+  return Fire;
+}
+
+uint64_t FaultInjector::firedCount(const std::string &SiteName) const {
+  std::lock_guard<std::mutex> Guard(M);
+  auto It = Sites.find(SiteName);
+  return It == Sites.end() ? 0 : It->second.Fired;
+}
+
+std::string FaultInjector::describe() const {
+  std::lock_guard<std::mutex> Guard(M);
+  std::string Result;
+  for (const auto &[Name, S] : Sites) {
+    if (!Result.empty())
+      Result += ", ";
+    Result += Name;
+    if (S.Nth > 0)
+      Result += "@n=" + std::to_string(S.Nth);
+    else
+      Result += "@p=" + formatDouble(S.Probability, 3);
+  }
+  return Result;
+}

@@ -1,0 +1,91 @@
+//===- FaultInjection.h - Deterministic fault injection ----------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic, seed-driven fault injector so every recovery path
+/// in the robustness layer is *provably* exercised by tests and CI
+/// instead of waiting for a real OOM kill. Configured from the
+/// SELGEN_FAULTS environment variable (or directly by tests):
+///
+///   SELGEN_FAULTS="solver_throw@p=0.05,shard_truncate@n=3,seed=42"
+///
+/// Each comma-separated entry arms one *site* — a named hook point in
+/// production code — with a trigger: `p=<prob>` fires with that
+/// probability per call (decided by a stable hash of seed, site, and
+/// call index, so a given seed replays identically), and `n=<k>` fires
+/// on exactly the k-th call of the site. Armed sites the project hooks:
+///
+///   solver_throw      SmtSolver::check throws z3::exception
+///   solver_unknown    SmtSolver::check reports unknown (budget blown)
+///   shard_truncate    SynthesisCache::store publishes a torn shard
+///   shard_read        SynthesisCache::lookup sees a corrupt read
+///   journal_truncate  RunJournal append writes a torn record
+///   kill_after_finish RunJournal delivers SIGKILL after a finish
+///                     record lands (crash-exactly-here for the
+///                     checkpoint/resume tests)
+///
+/// Injection can never leak silently into a real run: arming any site
+/// sets the "faults.armed" statistic, and every probe and fire is
+/// counted ("faults.<site>.calls" / "faults.<site>.fired"), all of
+/// which land in --stats-json.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_SUPPORT_FAULTINJECTION_H
+#define SELGEN_SUPPORT_FAULTINJECTION_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace selgen {
+
+/// Process-wide injector; all methods are thread-safe.
+class FaultInjector {
+public:
+  /// The singleton, configured from $SELGEN_FAULTS on first use.
+  static FaultInjector &get();
+
+  /// (Re)arms from \p Spec; an empty spec disarms everything. Returns
+  /// false (and disarms) if the spec does not parse.
+  bool configure(const std::string &Spec);
+
+  /// Disarms all sites and resets call counts.
+  void disarm();
+
+  /// True if any site is armed.
+  bool armed() const;
+
+  /// Called at a hook point: counts the probe and decides whether the
+  /// fault fires here. Unarmed sites always return false.
+  bool shouldFire(const char *Site);
+
+  /// Times \p Site has fired since configuration (for tests).
+  uint64_t firedCount(const std::string &Site) const;
+
+  /// Human-readable summary of the armed sites (for run banners).
+  std::string describe() const;
+
+private:
+  FaultInjector() = default;
+
+  struct Site {
+    double Probability = 0; ///< p-triggered when > 0.
+    uint64_t Nth = 0;       ///< n-triggered when > 0 (exactly once).
+    uint64_t Calls = 0;
+    uint64_t Fired = 0;
+  };
+
+  mutable std::mutex M;
+  std::map<std::string, Site> Sites;
+  uint64_t Seed = 0;
+};
+
+} // namespace selgen
+
+#endif // SELGEN_SUPPORT_FAULTINJECTION_H

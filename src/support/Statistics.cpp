@@ -7,8 +7,9 @@
 
 #include "support/Statistics.h"
 
-#include <cstdio>
-#include <fstream>
+#include "support/AtomicFile.h"
+#include "support/Json.h"
+
 #include <sstream>
 
 using namespace selgen;
@@ -64,37 +65,6 @@ void Statistics::print(std::ostream &OS) const {
 
 namespace {
 
-/// Escapes a string for a JSON string literal. Counter and goal names
-/// are plain identifiers, but be safe anyway.
-std::string jsonEscape(const std::string &Value) {
-  std::string Result;
-  for (char C : Value) {
-    switch (C) {
-    case '"':
-      Result += "\\\"";
-      break;
-    case '\\':
-      Result += "\\\\";
-      break;
-    case '\n':
-      Result += "\\n";
-      break;
-    case '\t':
-      Result += "\\t";
-      break;
-    default:
-      if (static_cast<unsigned char>(C) < 0x20) {
-        char Buffer[8];
-        std::snprintf(Buffer, sizeof(Buffer), "\\u%04x", C);
-        Result += Buffer;
-      } else {
-        Result += C;
-      }
-    }
-  }
-  return Result;
-}
-
 std::string jsonDouble(double Value) {
   std::ostringstream Stream;
   Stream.precision(6);
@@ -120,7 +90,10 @@ std::string Statistics::toJson() const {
     Out += "    {\"goal\": \"" + jsonEscape(G.Goal) + "\"";
     Out += ", \"group\": \"" + jsonEscape(G.Group) + "\"";
     Out += std::string(", \"cache_hit\": ") + (G.CacheHit ? "true" : "false");
+    Out += std::string(", \"resumed\": ") +
+           (G.ResumedFromJournal ? "true" : "false");
     Out += std::string(", \"complete\": ") + (G.Complete ? "true" : "false");
+    Out += ", \"incomplete_cause\": \"" + jsonEscape(G.IncompleteCause) + "\"";
     Out += ", \"queue_wait_seconds\": " + jsonDouble(G.QueueWaitSeconds);
     Out += ", \"solver_seconds\": " + jsonDouble(G.SolverSeconds);
     Out += ", \"wall_seconds\": " + jsonDouble(G.WallSeconds);
@@ -155,9 +128,6 @@ std::string Statistics::toJson() const {
 }
 
 bool Statistics::writeJsonFile(const std::string &Path) const {
-  std::ofstream Out(Path);
-  if (!Out)
-    return false;
-  Out << toJson();
-  return static_cast<bool>(Out);
+  // Atomic publish: a crash mid-dump never leaves CI a torn JSON file.
+  return writeFileAtomic(Path, toJson());
 }

@@ -34,7 +34,12 @@ struct GoalTelemetry {
   std::string Goal;
   std::string Group;
   bool CacheHit = false;
+  /// Served from a prior run's journal by --resume (no re-synthesis).
+  bool ResumedFromJournal = false;
   bool Complete = true;
+  /// Why the goal is incomplete ("timeout", "rlimit", "exception",
+  /// "deadline", "budget"); empty when Complete.
+  std::string IncompleteCause;
   /// Seconds between scheduling and the first worker picking the goal up.
   double QueueWaitSeconds = 0;
   /// Accumulated chunk execution time (solver-dominated).

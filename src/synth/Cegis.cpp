@@ -163,8 +163,24 @@ CegisOutcome selgen::runCegisAllPatterns(SmtContext &Smt, unsigned Width,
   }
 
   SmtSolver Synthesis(Smt);
-  if (Options.QueryTimeoutMs)
-    Synthesis.setTimeoutMilliseconds(Options.QueryTimeoutMs);
+  SolverPolicy QueryPolicy;
+  QueryPolicy.TimeoutMs = Options.QueryTimeoutMs;
+  QueryPolicy.RlimitPerQuery = Options.QueryRlimit;
+  QueryPolicy.RetryScale = Options.QueryRetryScale;
+  Synthesis.applyPolicy(QueryPolicy);
+  if (Options.Deadline) {
+    Synthesis.setDeadline(*Options.Deadline);
+    // A locally constructed verifier inherits the run's policy; a
+    // shared one keeps whatever policy its owner armed it with.
+    if (LocalVerifier)
+      LocalVerifier->setDeadline(*Options.Deadline);
+  }
+  if (LocalVerifier &&
+      (Options.QueryRlimit || Options.QueryRetryScale.size() > 1)) {
+    LocalVerifier->applyPolicy(QueryPolicy);
+    if (Options.Deadline)
+      LocalVerifier->setDeadline(*Options.Deadline);
+  }
   Synthesis.add(Encoding.wellFormed());
 
   // Non-vacuity witness: the candidate's precondition and memory range
@@ -251,11 +267,23 @@ CegisOutcome selgen::runCegisAllPatterns(SmtContext &Smt, unsigned Width,
     }
     if (Result == SmtResult::Unknown) {
       Outcome.SolverTrouble = true;
+      Outcome.Failure = Synthesis.lastFailure();
       canonicalizePatterns(Outcome.Patterns);
       return Outcome;
     }
 
-    Graph Candidate = Encoding.reconstruct(Synthesis.model());
+    std::optional<Graph> Reconstructed =
+        Encoding.reconstruct(Synthesis.model());
+    if (!Reconstructed) {
+      // Sat verdict with an inconsistent model (Z3 resource-out mid
+      // model-conversion): reject the answer like an unknown instead
+      // of synthesizing a bogus pattern or dying.
+      Outcome.SolverTrouble = true;
+      Outcome.Failure = SmtFailure::Rlimit;
+      canonicalizePatterns(Outcome.Patterns);
+      return Outcome;
+    }
+    Graph Candidate = std::move(*Reconstructed);
 
     // Exclude this exact assignment from future synthesis queries
     // regardless of the verification outcome: a wrong candidate is
@@ -326,6 +354,7 @@ CegisOutcome selgen::runCegisAllPatterns(SmtContext &Smt, unsigned Width,
     if (Counterexample.empty()) {
       // Timeout or unknown in verification.
       Outcome.SolverTrouble = true;
+      Outcome.Failure = Verifier->lastFailure();
       canonicalizePatterns(Outcome.Patterns);
       return Outcome;
     }

@@ -30,6 +30,8 @@
 #include "synth/Encoding.h"
 #include "synth/TestCorpus.h"
 
+#include <chrono>
+#include <optional>
 #include <vector>
 
 namespace selgen {
@@ -47,6 +49,14 @@ struct CegisOptions {
   /// undefined behaviour.
   bool RequireTotalPatterns = false;
   unsigned QueryTimeoutMs = 0;   ///< Per solver check; 0 = none.
+  /// Deterministic Z3 resource budget per solver check; 0 = none.
+  uint64_t QueryRlimit = 0;
+  /// Budget escalation ladder for inconclusive checks (see
+  /// SolverPolicy::RetryScale); {1} = single attempt.
+  std::vector<unsigned> QueryRetryScale = {1};
+  /// Hard deadline for every solver query of this run: in-flight
+  /// checks are interrupted once it passes. Unset = none.
+  std::optional<std::chrono::steady_clock::time_point> Deadline;
   uint64_t RngSeed = 0x5e1f5e1f; ///< Seed for the initial test cases.
   /// Enforce the all-operations-used refinement; the classical-CEGIS
   /// baseline disables it (the original encoding allows dead
@@ -65,9 +75,13 @@ struct CegisOutcome {
   /// True if the final synthesis query was unsatisfiable, i.e. the
   /// pattern list is provably complete for this multiset.
   bool Exhausted = false;
-  /// True if a solver call returned unknown (timeout); results are
-  /// then incomplete.
+  /// True if a solver call returned unknown (timeout) or the run's
+  /// time budget expired; results are then incomplete.
   bool SolverTrouble = false;
+  /// Why the troubling solver call was inconclusive. None with
+  /// SolverTrouble set means the run-level budget (time or iteration
+  /// cap) expired rather than an individual query failing.
+  SmtFailure Failure = SmtFailure::None;
   unsigned SynthesisQueries = 0;
   unsigned VerificationQueries = 0;
   unsigned Counterexamples = 0;
@@ -92,6 +106,20 @@ public:
   /// inputs; if \p Counterexample is non-null and the check fails with
   /// a model, the failing test case is stored there.
   bool verify(const Graph &Pattern, TestCase *Counterexample = nullptr);
+
+  /// Applies a full supervision policy (budgets, retry ladder,
+  /// deadline) to the underlying solver.
+  void applyPolicy(const SolverPolicy &Policy) { Solver.applyPolicy(Policy); }
+
+  /// Arms/clears the hard deadline on the underlying solver.
+  void setDeadline(std::chrono::steady_clock::time_point Deadline) {
+    Solver.setDeadline(Deadline);
+  }
+  void clearDeadline() { Solver.clearDeadline(); }
+
+  /// Why the last verify() was inconclusive (None after a conclusive
+  /// check).
+  SmtFailure lastFailure() const { return Solver.lastFailure(); }
 
 private:
   SmtContext &Smt;

@@ -7,7 +7,7 @@
 
 #include "synth/Encoding.h"
 
-#include "support/Error.h"
+#include "support/Statistics.h"
 
 #include <algorithm>
 #include <map>
@@ -255,7 +255,7 @@ EncodedInstance ProgramEncoding::instantiate(const std::vector<z3::expr> &Args,
   return Instance;
 }
 
-Graph ProgramEncoding::reconstruct(const z3::model &Model) const {
+std::optional<Graph> ProgramEncoding::reconstruct(const z3::model &Model) const {
   Graph G(Width, Goal.argSorts());
 
   // Read all block starts and order the operations by location.
@@ -273,11 +273,17 @@ Graph ProgramEncoding::reconstruct(const z3::model &Model) const {
   for (unsigned I = 0; I < NumArgs; ++I)
     CellValues[I] = G.arg(I);
 
-  auto lookupCell = [&CellValues](unsigned Location) {
+  // A well-formed model defines every referenced cell (ψcons plus the
+  // acyclicity ordering guarantee it); a dangling reference means the
+  // model is inconsistent — Z3 cut short by a resource limit during
+  // model conversion can leave default-completed location variables —
+  // and the candidate must be rejected, not trusted.
+  auto lookupCell = [&CellValues](unsigned Location) -> std::optional<NodeRef> {
     auto It = CellValues.find(Location);
-    if (It == CellValues.end())
-      reportFatalError("model reconstruction: dangling location " +
-                       std::to_string(Location));
+    if (It == CellValues.end()) {
+      Statistics::get().add("cegis.bad_models");
+      return std::nullopt;
+    }
     return It->second;
   };
 
@@ -288,7 +294,10 @@ Graph ProgramEncoding::reconstruct(const z3::model &Model) const {
     for (unsigned K = 0; K < Spec.argSorts().size(); ++K) {
       unsigned SourceLocation = static_cast<unsigned>(
           Smt.evalBits(Model, Entry.ArgLocations[K]).zextValue());
-      Operands.push_back(lookupCell(SourceLocation));
+      std::optional<NodeRef> Cell = lookupCell(SourceLocation);
+      if (!Cell)
+        return std::nullopt;
+      Operands.push_back(*Cell);
     }
     Node *N = G.createNode(Spec.opcode(), Operands);
     if (Spec.opcode() == Opcode::Const)
@@ -304,7 +313,10 @@ Graph ProgramEncoding::reconstruct(const z3::model &Model) const {
   for (const z3::expr &Loc : ResultLocations) {
     unsigned Location =
         static_cast<unsigned>(Smt.evalBits(Model, Loc).zextValue());
-    Results.push_back(lookupCell(Location));
+    std::optional<NodeRef> Cell = lookupCell(Location);
+    if (!Cell)
+      return std::nullopt;
+    Results.push_back(*Cell);
   }
   G.setResults(std::move(Results));
   G.removeDeadNodes();

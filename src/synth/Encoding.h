@@ -33,6 +33,7 @@
 #include "smt/SmtContext.h"
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 namespace selgen {
@@ -91,8 +92,12 @@ public:
   }
 
   /// Reconstructs the concrete pattern graph from a model of the
-  /// synthesis query (Section 5.2, last step).
-  Graph reconstruct(const z3::model &Model) const;
+  /// synthesis query (Section 5.2, last step). Returns std::nullopt on
+  /// an internally inconsistent model — Z3 interrupted by a resource
+  /// limit mid model-conversion can report sat with incomplete
+  /// location assignments; the caller treats that like any other
+  /// solver failure instead of trusting the model.
+  std::optional<Graph> reconstruct(const z3::model &Model) const;
 
   unsigned numTemplates() const { return Ops.size(); }
 

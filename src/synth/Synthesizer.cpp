@@ -17,6 +17,40 @@
 
 using namespace selgen;
 
+const char *selgen::incompleteCauseName(IncompleteCause Cause) {
+  switch (Cause) {
+  case IncompleteCause::None:
+    return "none";
+  case IncompleteCause::Budget:
+    return "budget";
+  case IncompleteCause::Timeout:
+    return "timeout";
+  case IncompleteCause::Deadline:
+    return "deadline";
+  case IncompleteCause::Rlimit:
+    return "rlimit";
+  case IncompleteCause::Exception:
+    return "exception";
+  }
+  return "none";
+}
+
+IncompleteCause selgen::incompleteCauseFromFailure(SmtFailure Failure) {
+  switch (Failure) {
+  case SmtFailure::None:
+    return IncompleteCause::None;
+  case SmtFailure::Timeout:
+    return IncompleteCause::Timeout;
+  case SmtFailure::Rlimit:
+    return IncompleteCause::Rlimit;
+  case SmtFailure::Exception:
+    return IncompleteCause::Exception;
+  case SmtFailure::Deadline:
+    return IncompleteCause::Deadline;
+  }
+  return IncompleteCause::None;
+}
+
 SynthesisOptions::SynthesisOptions() : Alphabet(allTemplateOpcodes()) {}
 
 Synthesizer::Synthesizer(SmtContext &Smt, SynthesisOptions Options)
@@ -66,8 +100,11 @@ std::vector<Opcode> Synthesizer::requiredMemoryOps(const InstrSpec &Goal) {
   // store, or both operations." (Section 5.4)
   auto differsUnder = [&](const BitValue &Mask) {
     SmtSolver Solver(Smt);
-    if (Options.QueryTimeoutMs)
-      Solver.setTimeoutMilliseconds(Options.QueryTimeoutMs);
+    SolverPolicy Policy;
+    Policy.TimeoutMs = Options.QueryTimeoutMs;
+    Policy.RlimitPerQuery = Options.QueryRlimit;
+    Policy.RetryScale = Options.QueryRetryScale;
+    Solver.applyPolicy(Policy);
     Solver.add((Difference & Smt.literal(Mask)) !=
                Smt.ctx().bv_val(0, Memory.mvalueWidth()));
     return Solver.check() == SmtResult::Sat;
@@ -168,8 +205,13 @@ void absorbOutcome(GoalSynthesisResult &Result,
     if (Fingerprints.insert(Pattern.fingerprint()).second)
       Result.Patterns.push_back(std::move(Pattern));
   }
-  if (!Outcome.Exhausted)
+  if (!Outcome.Exhausted) {
     Result.Complete = false;
+    IncompleteCause Cause = incompleteCauseFromFailure(Outcome.Failure);
+    if (Cause == IncompleteCause::None)
+      Cause = IncompleteCause::Budget;
+    Result.Cause = mergeIncompleteCause(Result.Cause, Cause);
+  }
 }
 
 } // namespace
@@ -220,9 +262,19 @@ RangeOutcome Synthesizer::synthesizeRange(const InstrSpec &Goal,
 
   CegisOptions CegisOpts;
   CegisOpts.QueryTimeoutMs = Options.QueryTimeoutMs;
+  CegisOpts.QueryRlimit = Options.QueryRlimit;
+  CegisOpts.QueryRetryScale = Options.QueryRetryScale;
   CegisOpts.MaxPatterns = Options.MaxPatternsPerMultiset;
   CegisOpts.RequireTotalPatterns = Options.RequireTotalPatterns;
   CegisOpts.UsePrescreen = Options.UsePrescreen;
+  // A positive range budget arms a hard deadline on every solver in
+  // the range: an in-flight query is interrupted when it passes, so
+  // one stuck query cannot pin this worker far beyond the budget.
+  if (BudgetSeconds > 0)
+    CegisOpts.Deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(BudgetSeconds));
 
   // The evaluator and the verification solver (with the goal's
   // symbolic semantics already asserted) are shared by every multiset
@@ -232,6 +284,13 @@ RangeOutcome Synthesizer::synthesizeRange(const InstrSpec &Goal,
     Eval.emplace(Smt, Options.Width, Goal);
   PatternVerifier Verifier(Smt, Options.Width, Goal, Options.QueryTimeoutMs,
                            Options.RequireTotalPatterns);
+  SolverPolicy VerifierPolicy;
+  VerifierPolicy.TimeoutMs = Options.QueryTimeoutMs;
+  VerifierPolicy.RlimitPerQuery = Options.QueryRlimit;
+  VerifierPolicy.RetryScale = Options.QueryRetryScale;
+  Verifier.applyPolicy(VerifierPolicy);
+  if (CegisOpts.Deadline)
+    Verifier.setDeadline(*CegisOpts.Deadline);
 
   auto overBudget = [&] {
     return BudgetSeconds > 0 && Clock.elapsedSeconds() > BudgetSeconds;
@@ -262,8 +321,15 @@ RangeOutcome Synthesizer::synthesizeRange(const InstrSpec &Goal,
     Result.PrescreenInconclusive += Outcome.PrescreenInconclusive;
     if (!Outcome.Patterns.empty())
       Result.FoundAny = true;
-    if (!Outcome.Exhausted)
+    if (!Outcome.Exhausted) {
       Result.Complete = false;
+      // A query-level failure names its cause; otherwise the run-level
+      // budget (time or iteration cap) is what stopped the multiset.
+      IncompleteCause Cause = incompleteCauseFromFailure(Outcome.Failure);
+      if (Cause == IncompleteCause::None)
+        Cause = IncompleteCause::Budget;
+      Result.Cause = mergeIncompleteCause(Result.Cause, Cause);
+    }
     for (Graph &Pattern : Outcome.Patterns) {
       if (Result.Patterns.size() >= Options.MaxPatternsPerGoal)
         break;
@@ -283,6 +349,8 @@ RangeOutcome Synthesizer::synthesizeRange(const InstrSpec &Goal,
          ++Rank) {
       if (overBudget()) {
         Result.Complete = false;
+        Result.Cause = mergeIncompleteCause(Result.Cause,
+                                            IncompleteCause::Budget);
         break;
       }
       std::vector<Opcode> Multiset = Plan.Prefix;
@@ -310,8 +378,13 @@ void selgen::absorbRangeOutcome(GoalSynthesisResult &Result,
   Result.VerificationQueries += Outcome.VerificationQueries;
   Result.PrescreenKills += Outcome.PrescreenKills;
   Result.PrescreenInconclusive += Outcome.PrescreenInconclusive;
-  if (!Outcome.Complete)
+  if (!Outcome.Complete) {
     Result.Complete = false;
+    Result.Cause = mergeIncompleteCause(
+        Result.Cause, Outcome.Cause == IncompleteCause::None
+                          ? IncompleteCause::Budget
+                          : Outcome.Cause);
+  }
   for (Graph &Pattern : Outcome.Patterns) {
     if (Result.Patterns.size() >= MaxPatternsPerGoal)
       break;
@@ -352,6 +425,8 @@ GoalSynthesisResult Synthesizer::synthesize(const InstrSpec &Goal) {
     }
     if (overBudget()) {
       Result.Complete = false;
+      Result.Cause =
+          mergeIncompleteCause(Result.Cause, IncompleteCause::Budget);
       break;
     }
   }
@@ -378,6 +453,8 @@ GoalSynthesisResult Synthesizer::synthesizeClassic(const InstrSpec &Goal,
   std::set<std::string> Fingerprints;
   CegisOptions CegisOpts;
   CegisOpts.QueryTimeoutMs = Options.QueryTimeoutMs;
+  CegisOpts.QueryRlimit = Options.QueryRlimit;
+  CegisOpts.QueryRetryScale = Options.QueryRetryScale;
   CegisOpts.MaxPatterns = 1; // The baseline searches for any program.
   CegisOpts.RequireAllUsed = false;
   CegisOpts.TimeBudgetSeconds = Options.TimeBudgetSeconds;

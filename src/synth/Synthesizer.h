@@ -32,6 +32,30 @@
 
 namespace selgen {
 
+/// Why a goal (or a range of its enumeration) ended incomplete,
+/// ordered by severity: when several causes occur over one goal, the
+/// most severe one is reported (mergeIncompleteCause).
+enum class IncompleteCause {
+  None,      ///< Complete.
+  Budget,    ///< The goal/range wall-clock or iteration budget ran out.
+  Timeout,   ///< A solver query hit its wall-clock timeout.
+  Deadline,  ///< A query was cut at the hard deadline (interrupted).
+  Rlimit,    ///< A query exhausted its deterministic Z3 rlimit.
+  Exception, ///< A contained z3::exception / allocation failure.
+};
+
+/// Stable lowercase name ("budget", "timeout", ...).
+const char *incompleteCauseName(IncompleteCause Cause);
+
+/// Maps a solver-level failure into the goal-level taxonomy.
+IncompleteCause incompleteCauseFromFailure(SmtFailure Failure);
+
+/// The more severe of the two causes.
+inline IncompleteCause mergeIncompleteCause(IncompleteCause A,
+                                            IncompleteCause B) {
+  return A < B ? B : A;
+}
+
 /// Configuration of an iterative CEGIS run.
 struct SynthesisOptions {
   unsigned Width = 8;
@@ -51,6 +75,13 @@ struct SynthesisOptions {
   unsigned MaxPatternsPerGoal = 512;
   unsigned MaxPatternsPerMultiset = 32;
   unsigned QueryTimeoutMs = 60000;
+  /// Deterministic Z3 resource budget per solver query; 0 = none.
+  /// Unlike the wall-clock timeout, rlimit-bounded outcomes replay
+  /// identically across machines (see SolverPolicy).
+  uint64_t QueryRlimit = 0;
+  /// Escalation ladder for inconclusive queries: one attempt per
+  /// entry, budgets scaled by it (e.g. {1, 4, 16}).
+  std::vector<unsigned> QueryRetryScale = {1};
   /// Wall-clock budget for one goal; 0 = unlimited.
   double TimeBudgetSeconds = 0;
   /// Screen candidates against the concrete counterexample corpus
@@ -68,6 +99,8 @@ struct GoalSynthesisResult {
   std::vector<Graph> Patterns; ///< Deduplicated by fingerprint.
   unsigned MinimalSize = 0;    ///< l of the patterns found.
   bool Complete = true;  ///< False on budget/timeout/solver trouble.
+  /// Most severe reason for incompleteness (None when Complete).
+  IncompleteCause Cause = IncompleteCause::None;
   double Seconds = 0;
   uint64_t MultisetsConsidered = 0;
   uint64_t MultisetsSkipped = 0; ///< By the skip criteria.
@@ -100,6 +133,8 @@ struct RangeOutcome {
   std::vector<Graph> Patterns;
   bool FoundAny = false;
   bool Complete = true;
+  /// Most severe reason for incompleteness (None when Complete).
+  IncompleteCause Cause = IncompleteCause::None;
   uint64_t MultisetsConsidered = 0;
   uint64_t MultisetsSkipped = 0;
   uint64_t MultisetsRun = 0;

@@ -7,9 +7,12 @@
 
 #include "smt/SmtContext.h"
 #include "support/CommandLine.h"
+#include "support/FaultInjection.h"
 #include "support/Statistics.h"
 
 #include <gtest/gtest.h>
+
+#include <chrono>
 
 using namespace selgen;
 
@@ -135,4 +138,136 @@ TEST(CommandLine, Usage) {
   std::string Text = CommandLine::usage("prog", {"width", "runs"});
   EXPECT_NE(Text.find("--width"), std::string::npos);
   EXPECT_NE(Text.find("--runs"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Solver supervision: budgets, retries, containment, deadlines.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A factoring query Z3 cannot discharge quickly: x * y == c for a
+/// 128-bit semiprime ((2^64 - 59) * (2^61 - 1)), x and y nontrivial.
+void addHardQuery(SmtContext &Smt, SmtSolver &Solver) {
+  z3::expr X = Smt.bvConst("hard_x", 128);
+  z3::expr Y = Smt.bvConst("hard_y", 128);
+  z3::expr One = Smt.ctx().bv_val(1, 128);
+  z3::expr Product =
+      Smt.ctx().bv_val("42535295865117307778430344311653531707", 128);
+  Solver.add(X * Y == Product);
+  Solver.add(z3::ugt(X, One));
+  Solver.add(z3::ugt(Y, One));
+}
+
+} // namespace
+
+TEST(SmtSupervision, RlimitExhaustionIsClassified) {
+  SmtContext Smt;
+  SmtSolver Solver(Smt);
+  addHardQuery(Smt, Solver);
+  Solver.setRlimit(1000); // Far too small for a factoring query.
+
+  int64_t Before = Statistics::get().value("smt.rlimit_exhausted");
+  EXPECT_EQ(Solver.check(), SmtResult::Unknown);
+  EXPECT_EQ(Solver.lastFailure(), SmtFailure::Rlimit);
+  EXPECT_EQ(Statistics::get().value("smt.rlimit_exhausted"), Before + 1);
+}
+
+TEST(SmtSupervision, RetryLadderRecoversFromTransientUnknown) {
+  // The first attempt is forced inconclusive by fault injection; the
+  // escalation ladder's second attempt answers the (easy) query.
+  ASSERT_TRUE(FaultInjector::get().configure("solver_unknown@n=1"));
+  SmtContext Smt;
+  SmtSolver Solver(Smt);
+  z3::expr X = Smt.bvConst("x", 8);
+  Solver.add(X == Smt.ctx().bv_val(7, 8));
+  Solver.setRetryScale({1, 4});
+
+  int64_t Before = Statistics::get().value("smt.retries");
+  EXPECT_EQ(Solver.check(), SmtResult::Sat);
+  EXPECT_EQ(Solver.lastFailure(), SmtFailure::None);
+  EXPECT_EQ(Statistics::get().value("smt.retries"), Before + 1);
+  FaultInjector::get().disarm();
+}
+
+TEST(SmtSupervision, ExceptionsAreContained) {
+  ASSERT_TRUE(FaultInjector::get().configure("solver_throw@n=1"));
+  SmtContext Smt;
+  SmtSolver Solver(Smt);
+  z3::expr X = Smt.bvConst("x", 8);
+  Solver.add(X == Smt.ctx().bv_val(7, 8));
+
+  int64_t Before = Statistics::get().value("smt.exceptions");
+  // One attempt only: the injected throw surfaces as Unknown, the
+  // worker survives.
+  EXPECT_EQ(Solver.check(), SmtResult::Unknown);
+  EXPECT_EQ(Solver.lastFailure(), SmtFailure::Exception);
+  EXPECT_EQ(Statistics::get().value("smt.exceptions"), Before + 1);
+
+  // The solver remains usable afterwards.
+  EXPECT_EQ(Solver.check(), SmtResult::Sat);
+  EXPECT_EQ(Solver.lastFailure(), SmtFailure::None);
+  FaultInjector::get().disarm();
+}
+
+TEST(SmtSupervision, RetryLadderRidesOverInjectedThrow) {
+  ASSERT_TRUE(FaultInjector::get().configure("solver_throw@n=1"));
+  SmtContext Smt;
+  SmtSolver Solver(Smt);
+  z3::expr X = Smt.bvConst("x", 8);
+  Solver.add(X == Smt.ctx().bv_val(7, 8));
+  Solver.setRetryScale({1, 1});
+
+  EXPECT_EQ(Solver.check(), SmtResult::Sat);
+  EXPECT_EQ(Solver.lastFailure(), SmtFailure::None);
+  FaultInjector::get().disarm();
+}
+
+TEST(SmtSupervision, PassedDeadlineShortCircuits) {
+  SmtContext Smt;
+  SmtSolver Solver(Smt);
+  z3::expr X = Smt.bvConst("x", 8);
+  Solver.add(X == Smt.ctx().bv_val(7, 8));
+  Solver.setDeadline(std::chrono::steady_clock::now() -
+                     std::chrono::seconds(1));
+
+  EXPECT_EQ(Solver.check(), SmtResult::Unknown);
+  EXPECT_EQ(Solver.lastFailure(), SmtFailure::Deadline);
+
+  Solver.clearDeadline();
+  EXPECT_EQ(Solver.check(), SmtResult::Sat);
+}
+
+TEST(SmtSupervision, DeadlineInterruptsInFlightQuery) {
+  SmtContext Smt;
+  SmtSolver Solver(Smt);
+  addHardQuery(Smt, Solver);
+  Solver.setDeadline(std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(200));
+
+  auto Start = std::chrono::steady_clock::now();
+  EXPECT_EQ(Solver.check(), SmtResult::Unknown);
+  EXPECT_EQ(Solver.lastFailure(), SmtFailure::Deadline);
+  // The watchdog cancels via Z3_interrupt; allow generous slack for
+  // slow CI machines, but the point is it does not run unbounded.
+  EXPECT_LT(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          Start)
+                .count(),
+            30.0);
+}
+
+TEST(SmtSupervision, PolicyAppliesAllKnobs) {
+  SmtContext Smt;
+  SmtSolver Solver(Smt);
+  addHardQuery(Smt, Solver);
+  SolverPolicy Policy;
+  Policy.RlimitPerQuery = 500;
+  Policy.RetryScale = {1, 2};
+  Solver.applyPolicy(Policy);
+
+  int64_t Retries = Statistics::get().value("smt.retries");
+  EXPECT_EQ(Solver.check(), SmtResult::Unknown);
+  EXPECT_EQ(Solver.lastFailure(), SmtFailure::Rlimit);
+  // Both rungs of the ladder were tried.
+  EXPECT_EQ(Statistics::get().value("smt.retries"), Retries + 1);
 }

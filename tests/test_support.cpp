@@ -5,6 +5,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/AtomicFile.h"
+#include "support/FaultInjection.h"
+#include "support/Json.h"
 #include "support/Multicombination.h"
 #include "support/Rng.h"
 #include "support/Statistics.h"
@@ -13,7 +16,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <set>
 
 using namespace selgen;
@@ -213,4 +218,172 @@ TEST(Timer, MeasuresElapsed) {
     Sink = Sink + std::sqrt(static_cast<double>(I));
   EXPECT_GE(Clock.elapsedSeconds(), 0.0);
   EXPECT_GE(Clock.elapsedMilliseconds(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// AtomicFile: CRC-32, atomic publication, quarantine.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string tempDirFor(const std::string &Name) {
+  std::string Dir = ::testing::TempDir() + "selgen_" + Name;
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  return Dir;
+}
+
+} // namespace
+
+TEST(AtomicFile, Crc32KnownValues) {
+  // Standard IEEE 802.3 check values.
+  EXPECT_EQ(crc32(std::string("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(std::string("")), 0u);
+  EXPECT_EQ(crc32Hex("123456789"), "cbf43926");
+  EXPECT_EQ(crc32Hex(""), "00000000");
+}
+
+TEST(AtomicFile, WriteAndReadRoundTrip) {
+  std::string Dir = tempDirFor("atomicfile");
+  std::string Path = Dir + "/artifact.txt";
+  std::string Payload = "line one\nbinary \x01\x02 bytes\n";
+
+  ASSERT_TRUE(writeFileAtomic(Path, Payload));
+  std::optional<std::string> Read = readFileToString(Path);
+  ASSERT_TRUE(Read.has_value());
+  EXPECT_EQ(*Read, Payload);
+
+  // Overwrite is atomic too and leaves no temp files behind.
+  ASSERT_TRUE(writeFileAtomic(Path, "second version"));
+  EXPECT_EQ(readFileToString(Path).value_or(""), "second version");
+  size_t Entries = 0;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir)) {
+    (void)Entry;
+    ++Entries;
+  }
+  EXPECT_EQ(Entries, 1u);
+}
+
+TEST(AtomicFile, WriteToBadDirectoryFailsCleanly) {
+  EXPECT_FALSE(writeFileAtomic("/nonexistent-dir-xyz/file.txt", "data"));
+  EXPECT_FALSE(readFileToString("/nonexistent-dir-xyz/file.txt").has_value());
+}
+
+TEST(AtomicFile, QuarantineMovesAside) {
+  std::string Dir = tempDirFor("quarantine");
+  std::string Path = Dir + "/shard";
+  ASSERT_TRUE(writeFileAtomic(Path, "corrupt"));
+  ASSERT_TRUE(quarantineFile(Path));
+  EXPECT_FALSE(std::filesystem::exists(Path));
+  EXPECT_EQ(readFileToString(Path + ".bad").value_or(""), "corrupt");
+
+  // Re-quarantining a new corrupt artifact replaces the old evidence.
+  ASSERT_TRUE(writeFileAtomic(Path, "corrupt again"));
+  ASSERT_TRUE(quarantineFile(Path));
+  EXPECT_EQ(readFileToString(Path + ".bad").value_or(""), "corrupt again");
+  EXPECT_FALSE(quarantineFile(Path)); // Nothing left to quarantine.
+}
+
+//===----------------------------------------------------------------------===//
+// Json: escaping and the flat-object parser.
+//===----------------------------------------------------------------------===//
+
+TEST(Json, EscapeRoundTrip) {
+  std::string Nasty = "quote \" backslash \\ newline \n tab \t ctrl \x01";
+  std::string Escaped = jsonEscape(Nasty);
+  EXPECT_EQ(Escaped.find('\n'), std::string::npos);
+  std::optional<std::string> Back = jsonUnescape(Escaped);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(*Back, Nasty);
+
+  EXPECT_FALSE(jsonUnescape("trailing backslash \\").has_value());
+  EXPECT_FALSE(jsonUnescape("bad escape \\q").has_value());
+}
+
+TEST(Json, ParseFlatObject) {
+  std::optional<std::map<std::string, std::string>> Object =
+      parseFlatJsonObject(
+          "{\"type\": \"finish\", \"len\": 42, \"ok\": true, "
+          "\"name\": \"a\\nb\"}");
+  ASSERT_TRUE(Object.has_value());
+  EXPECT_EQ(Object->at("type"), "finish");
+  EXPECT_EQ(Object->at("len"), "42");
+  EXPECT_EQ(Object->at("ok"), "true");
+  EXPECT_EQ(Object->at("name"), "a\nb");
+}
+
+TEST(Json, ParseRejectsMalformed) {
+  // Nested, truncated, or trailing-garbage inputs must all be
+  // rejected — the journal relies on this as corruption detection.
+  EXPECT_FALSE(parseFlatJsonObject("{\"a\": {\"b\": 1}}").has_value());
+  EXPECT_FALSE(parseFlatJsonObject("{\"a\": [1]}").has_value());
+  EXPECT_FALSE(parseFlatJsonObject("{\"a\": \"unterminated").has_value());
+  EXPECT_FALSE(parseFlatJsonObject("{\"a\": 1").has_value());
+  EXPECT_FALSE(parseFlatJsonObject("{\"a\": 1} trailing").has_value());
+  EXPECT_FALSE(parseFlatJsonObject("").has_value());
+  EXPECT_TRUE(parseFlatJsonObject("{}").has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// FaultInjection: deterministic triggers.
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjection, NthCallFiresExactlyOnce) {
+  FaultInjector &Faults = FaultInjector::get();
+  ASSERT_TRUE(Faults.configure("unit_test_site@n=3"));
+  EXPECT_TRUE(Faults.armed());
+
+  std::vector<bool> Fired;
+  for (int I = 0; I < 6; ++I)
+    Fired.push_back(Faults.shouldFire("unit_test_site"));
+  EXPECT_EQ(Fired, (std::vector<bool>{false, false, true, false, false,
+                                      false}));
+  EXPECT_EQ(Faults.firedCount("unit_test_site"), 1u);
+  // A different site is never armed by this spec.
+  EXPECT_FALSE(Faults.shouldFire("other_site"));
+  Faults.disarm();
+  EXPECT_FALSE(Faults.armed());
+}
+
+TEST(FaultInjection, ProbabilityIsDeterministicPerSeed) {
+  FaultInjector &Faults = FaultInjector::get();
+  auto sample = [&](const std::string &Spec) {
+    EXPECT_TRUE(Faults.configure(Spec));
+    std::vector<bool> Fired;
+    for (int I = 0; I < 64; ++I)
+      Fired.push_back(Faults.shouldFire("unit_test_site"));
+    return Fired;
+  };
+
+  std::vector<bool> A = sample("unit_test_site@p=0.5,seed=7");
+  std::vector<bool> B = sample("unit_test_site@p=0.5,seed=7");
+  std::vector<bool> C = sample("unit_test_site@p=0.5,seed=8");
+  EXPECT_EQ(A, B); // Same seed replays identically.
+  EXPECT_NE(A, C); // Another seed picks different calls.
+  size_t FiredCount = std::count(A.begin(), A.end(), true);
+  EXPECT_GT(FiredCount, 8u); // p=0.5 over 64 calls.
+  EXPECT_LT(FiredCount, 56u);
+  Faults.disarm();
+}
+
+TEST(FaultInjection, BadSpecDisarms) {
+  FaultInjector &Faults = FaultInjector::get();
+  ASSERT_TRUE(Faults.configure("unit_test_site@n=1"));
+  EXPECT_FALSE(Faults.configure("unit_test_site@bogus=1"));
+  EXPECT_FALSE(Faults.armed());
+  EXPECT_FALSE(Faults.configure("no-at-sign"));
+  EXPECT_FALSE(Faults.configure("site@p=notanumber"));
+  EXPECT_FALSE(Faults.armed());
+  // An empty spec is a valid "disarm everything".
+  EXPECT_TRUE(Faults.configure(""));
+  EXPECT_FALSE(Faults.armed());
+}
+
+TEST(FaultInjection, DescribeNamesArmedSites) {
+  FaultInjector &Faults = FaultInjector::get();
+  ASSERT_TRUE(Faults.configure("solver_throw@p=0.05,shard_truncate@n=3"));
+  std::string Banner = Faults.describe();
+  EXPECT_NE(Banner.find("solver_throw"), std::string::npos);
+  EXPECT_NE(Banner.find("shard_truncate"), std::string::npos);
+  Faults.disarm();
 }

@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "pattern/ParallelBuilder.h"
+#include "support/Statistics.h"
 #include "synth/SpecFingerprint.h"
 
 #include <gtest/gtest.h>
@@ -154,13 +155,14 @@ TEST(SynthesisCache, CorruptShardsDegradeToMiss) {
         << "truncation at " << Cut << " must be a miss";
   }
 
+  // The v2 checksum frame covers the exact body: appended trailing
+  // content is a length mismatch, and any in-place tamper is a CRC
+  // mismatch. Both are corruption, both degrade to a miss.
   {
     std::ofstream Out(Cache.shardPath("tampered"));
     Out << Serialized << "trailing-unknown-field 1\n";
   }
-  // Content after the end trailer is ignored; tampering *before* it is
-  // not. Replace the patterns count to force an inconsistency.
-  EXPECT_TRUE(Cache.lookup("tampered").has_value());
+  EXPECT_FALSE(Cache.lookup("tampered").has_value());
   std::string Tampered = Serialized;
   size_t Pos = Tampered.find("patterns ");
   ASSERT_NE(Pos, std::string::npos);
@@ -170,6 +172,12 @@ TEST(SynthesisCache, CorruptShardsDegradeToMiss) {
     Out << Tampered;
   }
   EXPECT_FALSE(Cache.lookup("countmismatch").has_value());
+
+  // Corrupt shards are quarantined to <shard>.bad and counted, so the
+  // next lookup is a clean miss instead of a repeated read-and-reject.
+  EXPECT_FALSE(std::ifstream(Cache.shardPath("countmismatch")).good());
+  EXPECT_TRUE(std::ifstream(Cache.shardPath("countmismatch") + ".bad").good());
+  EXPECT_GE(Statistics::get().value("cache.corrupt_shards"), 6);
 
   // A full, untouched shard still loads.
   {

@@ -30,6 +30,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/RuleAudit.h"
+#include "support/AtomicFile.h"
 #include "support/CommandLine.h"
 #include "support/StringUtils.h"
 
@@ -154,12 +155,11 @@ int main(int argc, char **argv) {
   std::string Json = findingsToJson(Findings);
   std::string OutputPath = Cli.stringOption("output", "");
   if (!OutputPath.empty()) {
-    std::ofstream Out(OutputPath);
-    if (!Out) {
+    // Atomic publish: CI archives this file; never let it be torn.
+    if (!writeFileAtomic(OutputPath, Json)) {
       std::fprintf(stderr, "error: cannot write %s\n", OutputPath.c_str());
       return 2;
     }
-    Out << Json;
   } else {
     std::fputs(Json.c_str(), stdout);
   }

@@ -13,25 +13,112 @@
 //   selgen-synth --goals andn,blsr --total --width 16 --output bmi.dat
 //   selgen-synth --groups Flags --merge-into rules.dat
 //
+// Long runs are fault tolerant: with --run-dir every goal outcome is
+// journaled crash-safely, and --resume restarts a killed run without
+// re-synthesizing the goals whose finish records survived:
+//
+//   selgen-synth --groups Basic --run-dir run/   # killed mid-way
+//   selgen-synth --groups Basic --resume run/    # picks up the rest
+//
 //===----------------------------------------------------------------------===//
 
 #include "pattern/ParallelBuilder.h"
+#include "pattern/RunJournal.h"
+#include "support/AtomicFile.h"
 #include "support/CommandLine.h"
+#include "support/FaultInjection.h"
+#include "support/Hashing.h"
+#include "support/Json.h"
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
 #include "support/Timer.h"
+#include "synth/SpecFingerprint.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <memory>
 
 using namespace selgen;
 
+namespace {
+
+/// Fingerprint of everything a run's journal records depend on: the
+/// goal set, the data width, the result-relevant synthesis options,
+/// and the encoder version. --resume refuses a journal written under a
+/// different configuration instead of silently mixing results.
+std::string runConfigFingerprint(const GoalLibrary &Library,
+                                 const SynthesisOptions &Options) {
+  std::vector<std::string> Names;
+  for (const GoalInstruction &Goal : Library.goals())
+    Names.push_back(Goal.Name + "#" + std::to_string(Goal.MaxPatternSize));
+  std::sort(Names.begin(), Names.end());
+  StableHasher Hasher;
+  Hasher.str("selgen-run-config");
+  Hasher.u64(Options.Width);
+  for (const std::string &Name : Names)
+    Hasher.str(Name);
+  Hasher.str(synthesisOptionsFingerprint(Options));
+  Hasher.str(EncoderVersionTag);
+  return Hasher.hex();
+}
+
+/// Ensures the robustness counters exist (at zero) in every stats
+/// dump, so CI can guard on them without probing for presence first.
+void touchRobustnessCounters() {
+  for (const char *Name :
+       {"smt.retries", "smt.exceptions", "smt.rlimit_exhausted",
+        "smt.deadline_expired", "cegis.bad_models", "cache.corrupt_shards",
+        "journal.hits", "journal.records", "journal.corrupt_records",
+        "synth.escalations"})
+    Statistics::get().add(Name, 0);
+}
+
+/// The structured failure report for --failures-json: one entry per
+/// goal that ended incomplete (last telemetry record per goal wins, so
+/// an escalation retry that succeeded clears the earlier failure).
+std::string buildFailureReport() {
+  std::map<std::string, const GoalTelemetry *> Last;
+  std::vector<GoalTelemetry> Goals = Statistics::get().goals();
+  for (const GoalTelemetry &G : Goals)
+    Last[G.Goal] = &G;
+
+  std::string Out = "{\n  \"incomplete_goals\": [";
+  bool First = true;
+  for (const auto &[Name, G] : Last) {
+    (void)Name;
+    if (G->Complete)
+      continue;
+    Out += First ? "\n" : ",\n";
+    Out += "    {\"goal\": \"" + jsonEscape(G->Goal) + "\", \"group\": \"" +
+           jsonEscape(G->Group) + "\", \"cause\": \"" +
+           jsonEscape(G->IncompleteCause) + "\"}";
+    First = false;
+  }
+  Out += "\n  ],\n";
+  Out += "  \"smt_retries\": " +
+         std::to_string(Statistics::get().value("smt.retries")) + ",\n";
+  Out += "  \"smt_exceptions\": " +
+         std::to_string(Statistics::get().value("smt.exceptions")) + ",\n";
+  Out += "  \"smt_rlimit_exhausted\": " +
+         std::to_string(Statistics::get().value("smt.rlimit_exhausted")) +
+         ",\n";
+  Out += "  \"escalations\": " +
+         std::to_string(Statistics::get().value("synth.escalations")) + "\n";
+  Out += "}\n";
+  return Out;
+}
+
+} // namespace
+
 int main(int argc, char **argv) {
   const std::vector<std::string> Flags = {
-      "groups",     "goals",    "width",    "budget",     "total",
-      "threads",    "output",   "merge-into", "max-size", "cache-dir",
-      "no-cache",   "stats-json", "no-prescreen", "corpus-size", "help"};
+      "groups",       "goals",       "width",       "budget",
+      "total",        "threads",     "output",      "merge-into",
+      "max-size",     "cache-dir",   "no-cache",    "stats-json",
+      "no-prescreen", "corpus-size", "run-dir",     "resume",
+      "failures-json", "rlimit",     "retry-scale", "escalation",
+      "help"};
   CommandLine Cli(argc, argv, Flags);
   if (!Cli.errors().empty() || Cli.hasFlag("help")) {
     for (const std::string &Error : Cli.errors())
@@ -59,7 +146,18 @@ int main(int argc, char **argv) {
                  "pre-screen (every candidate goes straight to the "
                  "verifier)\n"
                  "  --corpus-size   per-goal counterexample corpus capacity "
-                 "(default 512; LRU-evicted beyond that)\n");
+                 "(default 512; LRU-evicted beyond that)\n"
+                 "  --run-dir  directory for the crash-safe run journal\n"
+                 "  --resume   resume a journaled run from this directory, "
+                 "skipping goals whose finish records survived\n"
+                 "  --failures-json  write a structured report of "
+                 "incomplete goals and their causes\n"
+                 "  --rlimit   deterministic Z3 resource budget per query "
+                 "(0 = off)\n"
+                 "  --retry-scale  escalating per-query budget multipliers "
+                 "(default 1,4,16)\n"
+                 "  --escalation   end-of-run budget multiplier for one "
+                 "retry of incomplete goals (default 4; 0 = off)\n");
     return Cli.hasFlag("help") ? 0 : 1;
   }
 
@@ -90,7 +188,21 @@ int main(int argc, char **argv) {
   Options.RequireTotalPatterns = Cli.hasFlag("total");
   Options.TimeBudgetSeconds = Cli.doubleOption("budget", 10.0);
   Options.QueryTimeoutMs = 30000;
+  Options.QueryRlimit =
+      static_cast<uint64_t>(std::max<int64_t>(0, Cli.intOption("rlimit", 0)));
   Options.UsePrescreen = !Cli.hasFlag("no-prescreen");
+  {
+    std::vector<unsigned> Scale;
+    for (const std::string &Part :
+         splitString(Cli.stringOption("retry-scale", "1,4,16"), ','))
+      if (int64_t Value = std::atoll(trimString(Part).c_str()); Value > 0)
+        Scale.push_back(static_cast<unsigned>(Value));
+    if (Scale.empty()) {
+      std::fprintf(stderr, "error: bad --retry-scale\n");
+      return 1;
+    }
+    Options.QueryRetryScale = std::move(Scale);
+  }
   if (int64_t CorpusSize = Cli.intOption("corpus-size", 0); CorpusSize > 0)
     Options.CorpusCapacity = static_cast<unsigned>(CorpusSize);
   if (int64_t MaxSize = Cli.intOption("max-size", 0); MaxSize > 0)
@@ -100,6 +212,8 @@ int main(int argc, char **argv) {
 
   ParallelBuildOptions Build;
   Build.NumThreads = static_cast<unsigned>(Cli.intOption("threads", 0));
+  Build.EscalationFactor =
+      static_cast<unsigned>(std::max<int64_t>(0, Cli.intOption("escalation", 4)));
 
   std::unique_ptr<SynthesisCache> Cache;
   if (!Cli.hasFlag("no-cache")) {
@@ -113,6 +227,56 @@ int main(int argc, char **argv) {
                            "continuing without cache\n",
                    CacheDir.c_str());
   }
+
+  // Crash-safe journaling and resume. --resume implies journaling into
+  // the same directory, so a resumed run that is itself killed can be
+  // resumed again.
+  touchRobustnessCounters();
+  std::string RunDir = Cli.stringOption("resume", "");
+  bool Resuming = !RunDir.empty();
+  if (RunDir.empty())
+    RunDir = Cli.stringOption("run-dir", "");
+  std::unique_ptr<RunJournal> Journal;
+  std::map<std::string, GoalSynthesisResult> Resumed;
+  std::string ConfigFingerprint = runConfigFingerprint(Selected, Options);
+  if (!RunDir.empty()) {
+    RunJournal::LoadResult Replay = RunJournal::load(RunDir);
+    if (Replay.Existed) {
+      if (Replay.ConfigFingerprint != ConfigFingerprint) {
+        std::fprintf(stderr,
+                     "error: journal in %s was written under a different "
+                     "configuration (goals/width/options); refusing to mix "
+                     "results. Use a fresh --run-dir.\n",
+                     RunDir.c_str());
+        return 1;
+      }
+      if (Resuming) {
+        Resumed = std::move(Replay.Finished);
+        std::printf("resuming from %s: %zu finished goals journaled, "
+                    "%zu in flight re-queued%s\n",
+                    RunDir.c_str(), Resumed.size(), Replay.InFlight.size(),
+                    Replay.CorruptRecords
+                        ? " (corrupt journal tail quarantined)"
+                        : "");
+      }
+    } else if (Resuming) {
+      std::printf("note: no journal found in %s, running cold\n",
+                  RunDir.c_str());
+    }
+    Journal = RunJournal::open(RunDir, ConfigFingerprint);
+    if (!Journal) {
+      std::fprintf(stderr, "error: cannot open journal in %s\n",
+                   RunDir.c_str());
+      return 1;
+    }
+    Build.Journal = Journal.get();
+    if (!Resumed.empty())
+      Build.Resume = &Resumed;
+  }
+
+  if (FaultInjector::get().armed())
+    std::printf("fault injection armed: %s\n",
+                FaultInjector::get().describe().c_str());
 
   std::printf("synthesizing %zu goals at %u bit (%.0fs budget, %s)\n",
               Selected.goals().size(), Width, Options.TimeBudgetSeconds,
@@ -133,6 +297,9 @@ int main(int argc, char **argv) {
   if (Build.Cache)
     std::printf("  cache: %u hits, %u misses (%s)\n", Report.CacheHits,
                 Report.CacheMisses, Build.Cache->directory().c_str());
+  if (int64_t Hits = Statistics::get().value("journal.hits"))
+    std::printf("  journal: %lld goals served from the previous run\n",
+                static_cast<long long>(Hits));
 
   std::string StatsPath = Cli.stringOption("stats-json", "");
   if (!StatsPath.empty()) {
@@ -142,6 +309,15 @@ int main(int argc, char **argv) {
       std::printf("wrote stats to %s\n", StatsPath.c_str());
     else
       std::fprintf(stderr, "warning: could not write %s\n", StatsPath.c_str());
+  }
+
+  std::string FailuresPath = Cli.stringOption("failures-json", "");
+  if (!FailuresPath.empty()) {
+    if (writeFileAtomic(FailuresPath, buildFailureReport()))
+      std::printf("wrote failure report to %s\n", FailuresPath.c_str());
+    else
+      std::fprintf(stderr, "warning: could not write %s\n",
+                   FailuresPath.c_str());
   }
 
   std::string MergeTarget = Cli.stringOption("merge-into", "");
