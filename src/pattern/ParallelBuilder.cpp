@@ -8,10 +8,12 @@
 #include "pattern/ParallelBuilder.h"
 
 #include "pattern/RunJournal.h"
+#include "smt/SolverPool.h"
 #include "support/Statistics.h"
 #include "support/Timer.h"
 #include "synth/SpecFingerprint.h"
 #include "synth/TestCorpus.h"
+#include "synth/WorkerProtocol.h"
 
 #include <algorithm>
 #include <atomic>
@@ -98,6 +100,23 @@ struct GoalState {
   /// merged in ascending rank order so the pattern set matches a
   /// sequential run.
   std::map<uint64_t, RangeOutcome> SizeBuffer;
+
+  /// Wall time the solver pool burned on condemned worker attempts
+  /// (crashes, deadline kills) for this goal's chunks. Refunded from
+  /// the budget accounting below: a hung worker stalls the pool for
+  /// its query budget + grace before being SIGKILLed, and charging
+  /// that against the goal's budget would push runs that recover
+  /// from faults over budgets the fault-free run stays inside —
+  /// breaking byte-identity with the in-process path.
+  std::atomic<int64_t> PoolStallMs{0};
+
+  /// Wall seconds elapsed on the goal minus refunded pool stalls —
+  /// the value budget enforcement compares against.
+  double budgetElapsedSeconds() {
+    return Wall.elapsedSeconds() -
+           static_cast<double>(PoolStallMs.load(std::memory_order_relaxed)) /
+               1000.0;
+  }
 
   // Telemetry.
   Timer Wall; ///< Reset when the goal is picked up.
@@ -252,6 +271,7 @@ private:
     GoalState &S = States[T.GoalIndex];
     S.QueueWaitSeconds = SchedulerClock.elapsedSeconds();
     S.Wall.reset();
+    S.PoolStallMs.store(0, std::memory_order_relaxed);
     S.Result.GoalName = S.Goal->Name;
 
     if (Build.Cache || Build.Journal || Build.Resume)
@@ -342,20 +362,45 @@ private:
     double Budget = 0;
     if (S.Options.TimeBudgetSeconds > 0)
       Budget = std::max(0.001, S.Options.TimeBudgetSeconds -
-                                   S.Wall.elapsedSeconds());
+                                   S.budgetElapsedSeconds());
 
-    // A fresh Z3 context per chunk: solver model-enumeration order
-    // depends on context history, and capped multiset enumerations
-    // (MaxPatternsPerMultiset) keep whichever representatives come
-    // first — a fresh context makes each chunk's outcome independent
-    // of what this worker happened to solve before (e.g. of which
-    // other goals were cache hits). Context setup is microseconds
-    // against a chunk's solver work.
-    SmtContext ChunkSmt;
-    Synthesizer Synth(ChunkSmt, S.Options);
-    RangeOutcome Outcome =
-        Synth.synthesizeRange(*S.Goal->Spec, S.Plan, T.Size, T.BeginRank,
-                              T.EndRank, *S.Corpus, Budget);
+    RangeOutcome Outcome;
+    if (Build.Pool && Build.Pool->usable()) {
+      // Ship the chunk to a supervised worker process. The worker
+      // replays it on a fresh context, exactly like the in-process
+      // path below, so the outcome is bit-exact; what changes is that
+      // a Z3 crash or hang costs one respawned child, not this
+      // scheduler.
+      RangeRequest Request;
+      Request.GoalName = S.Goal->Name;
+      Request.Options = S.Options;
+      Request.Plan = S.Plan;
+      Request.Size = T.Size;
+      Request.BeginRank = T.BeginRank;
+      Request.EndRank = T.EndRank;
+      Request.BudgetSeconds = Budget;
+      double Stalled = 0;
+      Outcome = remoteSynthesizeRange(*Build.Pool, std::move(Request),
+                                      *S.Corpus, &Stalled);
+      if (Stalled > 0) {
+        int64_t Ms = static_cast<int64_t>(Stalled * 1000.0);
+        S.PoolStallMs.fetch_add(Ms, std::memory_order_relaxed);
+        Statistics::get().add("pool.stalled_ms", Ms);
+      }
+    } else {
+      // A fresh Z3 context per chunk: solver model-enumeration order
+      // depends on context history, and capped multiset enumerations
+      // (MaxPatternsPerMultiset) keep whichever representatives come
+      // first — a fresh context makes each chunk's outcome independent
+      // of what this worker happened to solve before (e.g. of which
+      // other goals were cache hits). Context setup is microseconds
+      // against a chunk's solver work.
+      SmtContext ChunkSmt;
+      Synthesizer Synth(ChunkSmt, S.Options);
+      Outcome = Synth.synthesizeRange(*S.Goal->Spec, S.Plan, T.Size,
+                                      T.BeginRank, T.EndRank, *S.Corpus,
+                                      Budget);
+    }
 
     bool Finalize = false;
     {
@@ -402,7 +447,7 @@ private:
       }
     }
     bool OverBudget = S.Options.TimeBudgetSeconds > 0 &&
-                      S.Wall.elapsedSeconds() > S.Options.TimeBudgetSeconds;
+                      S.budgetElapsedSeconds() > S.Options.TimeBudgetSeconds;
     if (OverBudget) {
       S.Result.Complete = false;
       S.Result.Cause =

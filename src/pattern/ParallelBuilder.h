@@ -42,6 +42,7 @@
 namespace selgen {
 
 class RunJournal;
+class SolverPool;
 
 /// Configuration of one parallel library build.
 struct ParallelBuildOptions {
@@ -72,6 +73,14 @@ struct ParallelBuildOptions {
   /// Upper bound on chunks per (goal, size), as a multiple of the
   /// worker count.
   unsigned ChunksPerThread = 4;
+  /// Out-of-process solver pool (see smt/SolverPool.h); null keeps the
+  /// in-process path. When set and usable, enumeration chunks are
+  /// shipped to supervised `selgen-solverd` workers instead of running
+  /// on this process's Z3 — a solver crash then costs one respawned
+  /// child and one retried chunk, never the scheduler. Chunks replay
+  /// on a fresh context either way, so the resulting library is
+  /// byte-identical to an in-process run.
+  SolverPool *Pool = nullptr;
 };
 
 /// Like synthesizeRuleLibrary, but distributes goals — and sub-ranges

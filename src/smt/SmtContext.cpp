@@ -120,14 +120,28 @@ namespace {
 /// first. One watchdog exists only for the duration of one check on a
 /// solver with an armed deadline; checks without a deadline pay
 /// nothing.
+///
+/// The interrupt is scoped to the generation of the check it was armed
+/// for: a watchdog that loses the race against a fast-returning check
+/// (woke at the deadline, but the check retired its generation before
+/// the destructor disarmed the thread) must not call Z3_interrupt,
+/// because by then the interrupt would land on whatever the recycled
+/// solver runs *next*. Suppressed late interrupts are counted under
+/// "smt.stale_interrupts_suppressed".
 class DeadlineWatchdog {
 public:
   DeadlineWatchdog(z3::context &Ctx,
-                   std::chrono::steady_clock::time_point Deadline)
-      : Thread([this, &Ctx, Deadline] {
+                   std::chrono::steady_clock::time_point Deadline,
+                   std::atomic<uint64_t> &Live, uint64_t Generation)
+      : Thread([this, &Ctx, Deadline, &Live, Generation] {
           std::unique_lock<std::mutex> Lock(M);
           if (Cv.wait_until(Lock, Deadline, [this] { return Done; }))
             return; // Check finished in time.
+          if (Live.load(std::memory_order_acquire) != Generation) {
+            // The check already returned; its generation was retired.
+            Statistics::get().add("smt.stale_interrupts_suppressed");
+            return;
+          }
           Ctx.interrupt();
         }) {}
 
@@ -182,15 +196,23 @@ SmtSolver::attemptCheck(const std::vector<z3::expr> *Assumptions,
     Solver.set(Params);
   }
 
+  // Arm the watchdog for this attempt's generation. The generation is
+  // retired (stored as 0) the moment the check returns on every path
+  // below, so a watchdog waking after that point suppresses its
+  // interrupt instead of cancelling the next query.
+  uint64_t Generation = ++GenerationCounter;
   std::optional<DeadlineWatchdog> Watchdog;
-  if (HasDeadline)
-    Watchdog.emplace(Context.ctx(), Deadline);
+  if (HasDeadline) {
+    LiveGeneration.store(Generation, std::memory_order_release);
+    Watchdog.emplace(Context.ctx(), Deadline, LiveGeneration, Generation);
+  }
 
   z3::check_result Result = z3::unknown;
   try {
     if (FaultInjector::get().shouldFire("solver_throw"))
       throw z3::exception("injected solver fault");
     if (FaultInjector::get().shouldFire("solver_unknown")) {
+      LiveGeneration.store(0, std::memory_order_release);
       AttemptFailure = SmtFailure::Rlimit;
       return z3::unknown;
     }
@@ -202,15 +224,25 @@ SmtSolver::attemptCheck(const std::vector<z3::expr> *Assumptions,
     } else {
       Result = Solver.check();
     }
+    LiveGeneration.store(0, std::memory_order_release);
   } catch (const z3::exception &) {
+    LiveGeneration.store(0, std::memory_order_release);
     Statistics::get().add("smt.exceptions");
     AttemptFailure = SmtFailure::Exception;
     return z3::unknown;
   } catch (const std::bad_alloc &) {
+    LiveGeneration.store(0, std::memory_order_release);
     Statistics::get().add("smt.exceptions");
     AttemptFailure = SmtFailure::Exception;
     return z3::unknown;
   }
+
+  // Deterministic seam for the watchdog-race regression test: park the
+  // check thread past the deadline with the watchdog still armed, so
+  // the watchdog is guaranteed to wake while this (already retired)
+  // generation is the most recent one.
+  if (Watchdog && FaultInjector::get().shouldFire("watchdog_late"))
+    std::this_thread::sleep_until(Deadline + std::chrono::milliseconds(100));
 
   if (Result == z3::unknown) {
     // Destroying the watchdog disarms it; fired() is then settled.

@@ -1,0 +1,424 @@
+//===- SolverPool.cpp - Out-of-process solver worker pool ---------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/SolverPool.h"
+
+#include "support/AtomicFile.h"
+#include "support/Statistics.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace selgen;
+
+//===----------------------------------------------------------------------===//
+// Wire framing.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void putU32(std::string &Out, uint32_t Value) {
+  for (unsigned I = 0; I < 4; ++I)
+    Out.push_back(static_cast<char>((Value >> (8 * I)) & 0xFF));
+}
+
+uint32_t getU32(const unsigned char *Bytes) {
+  uint32_t Value = 0;
+  for (unsigned I = 0; I < 4; ++I)
+    Value |= uint32_t(Bytes[I]) << (8 * I);
+  return Value;
+}
+
+constexpr size_t HeaderBytes = 4 + 1 + 4 + 4;
+
+/// Milliseconds until \p Deadline, clamped to >= 0; -1 if unset.
+int64_t remainingMs(int64_t DeadlineMs,
+                    std::chrono::steady_clock::time_point Start) {
+  if (DeadlineMs < 0)
+    return -1;
+  auto Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - Start)
+                     .count();
+  return Elapsed >= DeadlineMs ? 0 : DeadlineMs - Elapsed;
+}
+
+} // namespace
+
+std::string wire::encodeFrame(uint8_t Type, const std::string &Payload) {
+  std::string Out;
+  Out.reserve(HeaderBytes + Payload.size());
+  putU32(Out, FrameMagic);
+  Out.push_back(static_cast<char>(Type));
+  putU32(Out, static_cast<uint32_t>(Payload.size()));
+  putU32(Out, crc32(Payload));
+  Out += Payload;
+  return Out;
+}
+
+bool wire::writeAll(int Fd, const std::string &Bytes) {
+  size_t Done = 0;
+  while (Done < Bytes.size()) {
+    ssize_t Wrote = ::write(Fd, Bytes.data() + Done, Bytes.size() - Done);
+    if (Wrote < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Done += static_cast<size_t>(Wrote);
+  }
+  return true;
+}
+
+bool wire::writeFrame(int Fd, uint8_t Type, const std::string &Payload) {
+  return writeAll(Fd, encodeFrame(Type, Payload));
+}
+
+wire::ReadStatus wire::readFrame(int Fd, Frame &Out, int64_t DeadlineMs) {
+  auto Start = std::chrono::steady_clock::now();
+
+  // Reads exactly Want bytes, honoring the deadline. Returns Ok / Eof /
+  // Timeout; Eof mid-buffer is reported as Eof with *Got < Want.
+  auto readExactly = [&](char *Buffer, size_t Want, size_t *Got) {
+    *Got = 0;
+    while (*Got < Want) {
+      int64_t Budget = remainingMs(DeadlineMs, Start);
+      if (Budget == 0)
+        return ReadStatus::Timeout;
+      struct pollfd Pfd = {Fd, POLLIN, 0};
+      int Ready = ::poll(&Pfd, 1,
+                         Budget < 0 ? -1
+                                    : static_cast<int>(std::min<int64_t>(
+                                          Budget, 1 << 30)));
+      if (Ready < 0) {
+        if (errno == EINTR)
+          continue;
+        return ReadStatus::Eof;
+      }
+      if (Ready == 0)
+        return ReadStatus::Timeout;
+      ssize_t Read = ::read(Fd, Buffer + *Got, Want - *Got);
+      if (Read < 0) {
+        if (errno == EINTR)
+          continue;
+        return ReadStatus::Eof;
+      }
+      if (Read == 0)
+        return ReadStatus::Eof;
+      *Got += static_cast<size_t>(Read);
+    }
+    return ReadStatus::Ok;
+  };
+
+  char Header[HeaderBytes];
+  size_t Got = 0;
+  ReadStatus Status = readExactly(Header, sizeof(Header), &Got);
+  if (Status == ReadStatus::Timeout)
+    return ReadStatus::Timeout;
+  if (Status == ReadStatus::Eof)
+    // A clean EOF on a frame boundary is the peer closing the stream;
+    // EOF inside a header is a torn frame.
+    return Got == 0 ? ReadStatus::Eof : ReadStatus::Corrupt;
+
+  const unsigned char *Bytes = reinterpret_cast<unsigned char *>(Header);
+  if (getU32(Bytes) != FrameMagic)
+    return ReadStatus::Corrupt;
+  Out.Type = Bytes[4];
+  uint32_t Length = getU32(Bytes + 5);
+  uint32_t Crc = getU32(Bytes + 9);
+  if (Length > MaxFrameBytes)
+    return ReadStatus::Corrupt;
+
+  Out.Payload.resize(Length);
+  if (Length) {
+    Status = readExactly(Out.Payload.data(), Length, &Got);
+    if (Status == ReadStatus::Timeout)
+      return ReadStatus::Timeout;
+    if (Status == ReadStatus::Eof)
+      return ReadStatus::Corrupt; // Torn payload.
+  }
+  if (crc32(Out.Payload) != Crc)
+    return ReadStatus::Corrupt;
+  return ReadStatus::Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// SolverPool.
+//===----------------------------------------------------------------------===//
+
+SolverPool::SolverPool(SolverPoolOptions Opts) : Options(std::move(Opts)) {
+  if (Options.NumWorkers == 0)
+    Options.NumWorkers = 1;
+  if (Options.WorkerPath.empty())
+    Options.WorkerPath = defaultWorkerPath();
+}
+
+SolverPool::~SolverPool() { shutdown(); }
+
+std::string SolverPool::defaultWorkerPath() {
+  if (const char *Env = std::getenv("SELGEN_SOLVERD"))
+    if (*Env)
+      return Env;
+  char Buffer[4096];
+  ssize_t Length = ::readlink("/proc/self/exe", Buffer, sizeof(Buffer) - 1);
+  if (Length > 0) {
+    Buffer[Length] = '\0';
+    std::string Path(Buffer);
+    size_t Slash = Path.rfind('/');
+    if (Slash != std::string::npos)
+      return Path.substr(0, Slash + 1) + "selgen-solverd";
+  }
+  return "selgen-solverd";
+}
+
+bool SolverPool::start() {
+  std::lock_guard<std::mutex> Guard(Lock);
+  Workers.resize(Options.NumWorkers);
+  for (Worker &Slot : Workers)
+    if (!spawnWorker(Slot)) {
+      for (Worker &Started : Workers)
+        stopWorker(Started, /*Kill=*/true);
+      Workers.clear();
+      return false;
+    }
+  Usable = true;
+  return true;
+}
+
+void SolverPool::shutdown() {
+  std::lock_guard<std::mutex> Guard(Lock);
+  for (Worker &Slot : Workers)
+    stopWorker(Slot, /*Kill=*/false);
+  Workers.clear();
+  Usable = false;
+}
+
+bool SolverPool::spawnWorker(Worker &Slot) {
+  int Request[2], Response[2], Exec[2];
+  if (::pipe(Request) != 0)
+    return false;
+  if (::pipe(Response) != 0) {
+    ::close(Request[0]);
+    ::close(Request[1]);
+    return false;
+  }
+  // Exec-status pipe: CLOEXEC in the child, so a successful exec closes
+  // it (parent reads EOF) while an exec failure writes the errno byte.
+  // This is race-free where a WNOHANG waitpid probe is not — the child
+  // may not have reached _exit yet when the parent probes.
+  if (::pipe(Exec) != 0) {
+    for (int Fd : {Request[0], Request[1], Response[0], Response[1]})
+      ::close(Fd);
+    return false;
+  }
+
+  pid_t Child = ::fork();
+  if (Child < 0) {
+    for (int Fd : {Request[0], Request[1], Response[0], Response[1], Exec[0],
+                   Exec[1]})
+      ::close(Fd);
+    return false;
+  }
+
+  if (Child == 0) {
+    ::dup2(Request[0], STDIN_FILENO);
+    ::dup2(Response[1], STDOUT_FILENO);
+    ::close(Exec[0]);
+    ::fcntl(Exec[1], F_SETFD, FD_CLOEXEC);
+    for (int Fd : {Request[0], Request[1], Response[0], Response[1]})
+      ::close(Fd);
+    for (const auto &[Name, Value] : Options.WorkerEnv)
+      ::setenv(Name.c_str(), Value.c_str(), 1);
+    ::execl(Options.WorkerPath.c_str(), Options.WorkerPath.c_str(),
+            static_cast<char *>(nullptr));
+    unsigned char Errno = static_cast<unsigned char>(errno);
+    (void)!::write(Exec[1], &Errno, 1);
+    ::_exit(127);
+  }
+
+  ::close(Request[0]);
+  ::close(Response[1]);
+  ::close(Exec[1]);
+  // Worker pipes must not leak into later children (they would hold a
+  // crashed worker's stream open and mask its EOF).
+  ::fcntl(Request[1], F_SETFD, FD_CLOEXEC);
+  ::fcntl(Response[0], F_SETFD, FD_CLOEXEC);
+
+  // EOF here means the exec-status pipe was closed by a successful
+  // exec; a byte means exec failed and carries the child's errno.
+  unsigned char Errno = 0;
+  ssize_t ExecStatus;
+  do
+    ExecStatus = ::read(Exec[0], &Errno, 1);
+  while (ExecStatus < 0 && errno == EINTR);
+  ::close(Exec[0]);
+  if (ExecStatus != 0) {
+    ::close(Request[1]);
+    ::close(Response[0]);
+    int Status = 0;
+    ::waitpid(Child, &Status, 0);
+    Slot = Worker();
+    return false;
+  }
+
+  Slot.Pid = Child;
+  Slot.RequestFd = Request[1];
+  Slot.ResponseFd = Response[0];
+  Slot.Queries = 0;
+  Statistics::get().add("pool.spawns");
+  return true;
+}
+
+void SolverPool::stopWorker(Worker &Slot, bool Kill) {
+  if (Slot.Pid < 0)
+    return;
+  if (Kill)
+    ::kill(Slot.Pid, SIGKILL);
+  // Closing stdin is the graceful shutdown signal; the worker's read
+  // loop sees EOF and exits.
+  if (Slot.RequestFd >= 0)
+    ::close(Slot.RequestFd);
+  if (Slot.ResponseFd >= 0)
+    ::close(Slot.ResponseFd);
+  int Status = 0;
+  ::waitpid(Slot.Pid, &Status, 0);
+  Slot.Pid = -1;
+  Slot.RequestFd = -1;
+  Slot.ResponseFd = -1;
+  Slot.Queries = 0;
+}
+
+uint64_t SolverPool::workerRssBytes(pid_t Pid) {
+  std::optional<std::string> Statm =
+      readFileToString("/proc/" + std::to_string(Pid) + "/statm");
+  if (!Statm)
+    return 0;
+  // statm: size resident shared ... (in pages).
+  unsigned long long Size = 0, Resident = 0;
+  if (std::sscanf(Statm->c_str(), "%llu %llu", &Size, &Resident) != 2)
+    return 0;
+  return uint64_t(Resident) * static_cast<uint64_t>(::sysconf(_SC_PAGESIZE));
+}
+
+size_t SolverPool::checkoutWorker() {
+  std::unique_lock<std::mutex> Guard(Lock);
+  while (true) {
+    for (size_t I = 0; I < Workers.size(); ++I)
+      if (!Workers[I].Busy) {
+        Workers[I].Busy = true;
+        return I;
+      }
+    Available.wait(Guard);
+  }
+}
+
+void SolverPool::releaseWorker(size_t Index) {
+  {
+    std::lock_guard<std::mutex> Guard(Lock);
+    Workers[Index].Busy = false;
+  }
+  Available.notify_one();
+}
+
+PoolReply SolverPool::run(const std::string &RequestPayload,
+                          double BudgetSeconds) {
+  PoolReply Reply;
+  if (!Usable) {
+    Reply.Failure = SmtFailure::Exception;
+    return Reply;
+  }
+
+  int64_t DeadlineMs = -1;
+  if (BudgetSeconds > 0)
+    DeadlineMs = static_cast<int64_t>(
+        (BudgetSeconds + Options.GraceSeconds) * 1000.0);
+
+  size_t Index = checkoutWorker();
+  Worker &Slot = Workers[Index];
+  Statistics::get().add("pool.queries");
+
+  unsigned CrashRetries = 0, DeadlineRetries = 0;
+  while (true) {
+    // (Re)spawn the slot if its worker is gone (crashed on a previous
+    // query, or was recycled on release).
+    if (Slot.Pid < 0 && !spawnWorker(Slot)) {
+      Reply.Failure = SmtFailure::Exception;
+      break;
+    }
+
+    auto AttemptStart = std::chrono::steady_clock::now();
+    bool Sent = wire::writeFrame(Slot.RequestFd, wire::Request,
+                                 RequestPayload);
+    wire::Frame Response;
+    wire::ReadStatus Status =
+        Sent ? wire::readFrame(Slot.ResponseFd, Response, DeadlineMs)
+             : wire::ReadStatus::Eof;
+
+    if (Status == wire::ReadStatus::Ok &&
+        Response.Type == wire::Response) {
+      Reply.Ok = true;
+      Reply.Payload = std::move(Response.Payload);
+      ++Slot.Queries;
+      break;
+    }
+    if (Status == wire::ReadStatus::Ok && Response.Type == wire::Error) {
+      // The worker is healthy; the request itself was rejected. Not
+      // retryable — a respawn would reject it again.
+      Reply.Failure = SmtFailure::Exception;
+      Reply.Payload = std::move(Response.Payload);
+      ++Slot.Queries;
+      break;
+    }
+
+    // Everything else means the worker is unusable: EOF / torn or
+    // garbage frame / unexpected type (crash), or deadline (hang).
+    // The time sunk into the condemned attempt is reported back so
+    // budget-enforcing callers can refund it (see PoolReply).
+    Reply.StalledSeconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      AttemptStart)
+            .count();
+    bool Hung = Status == wire::ReadStatus::Timeout;
+    Statistics::get().add("pool.crashes");
+    if (Hung)
+      Statistics::get().add("pool.deadline_kills");
+    stopWorker(Slot, /*Kill=*/true);
+
+    unsigned &Retries = Hung ? DeadlineRetries : CrashRetries;
+    unsigned Budget =
+        Hung ? Options.MaxDeadlineRetries : Options.MaxCrashRetries;
+    if (Retries >= Budget) {
+      Reply.Failure = Hung ? SmtFailure::Deadline : SmtFailure::Exception;
+      break;
+    }
+    ++Retries;
+    Statistics::get().add("pool.respawn_retries");
+  }
+
+  // Per-worker recycling: after K queries or M bytes RSS the worker is
+  // retired on release and the next query gets a fresh process.
+  if (Slot.Pid >= 0) {
+    bool Recycle = Options.RecycleAfterQueries &&
+                   Slot.Queries >= Options.RecycleAfterQueries;
+    if (!Recycle && Options.RecycleRssBytes &&
+        workerRssBytes(Slot.Pid) >= Options.RecycleRssBytes)
+      Recycle = true;
+    if (Recycle) {
+      Statistics::get().add("pool.recycles");
+      stopWorker(Slot, /*Kill=*/false);
+    }
+  }
+
+  releaseWorker(Index);
+  return Reply;
+}

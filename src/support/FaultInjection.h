@@ -27,6 +27,23 @@
 ///   kill_after_finish RunJournal delivers SIGKILL after a finish
 ///                     record lands (crash-exactly-here for the
 ///                     checkpoint/resume tests)
+///   watchdog_late     SmtSolver::check parks past the deadline after
+///                     the query returned, forcing the deadline
+///                     watchdog to wake on a retired generation (the
+///                     stale-interrupt suppression regression test)
+///   worker_kill       selgen-solverd SIGKILLs itself after reading a
+///                     request (the pool sees EOF mid-query)
+///   worker_hang       selgen-solverd sleeps past any deadline (the
+///                     pool's poll expires and SIGKILLs it)
+///   worker_garbage_reply  selgen-solverd corrupts its reply frame
+///                     (the pool's CRC check must reject it)
+///
+/// The worker_* sites fire inside the *worker* process; arm them via
+/// SolverPoolOptions::WorkerEnv (or the worker's environment), and
+/// note that n=<k> counts per worker process — a respawned worker
+/// starts fresh, so worker_kill@n=1 kills every respawn on its first
+/// query and exhausts the retry budget, while n=2 lets each respawn
+/// answer one query before dying (the recoverable case CI sweeps).
 ///
 /// Injection can never leak silently into a real run: arming any site
 /// sets the "faults.armed" statistic, and every probe and fire is

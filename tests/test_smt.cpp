@@ -256,6 +256,39 @@ TEST(SmtSupervision, DeadlineInterruptsInFlightQuery) {
             30.0);
 }
 
+TEST(SmtSupervision, StaleWatchdogInterruptIsSuppressed) {
+  // Regression (PR 6): a deadline watchdog that wakes after its
+  // fast-returning query already completed must not call Z3_interrupt
+  // — the interrupt would land on the *next* query using the recycled
+  // solver and spuriously cancel it. The watchdog_late fault parks the
+  // check thread past the deadline after the check returned, so the
+  // watchdog deterministically wakes while the generation it was armed
+  // for is retired; the generation guard must swallow the interrupt
+  // and count it.
+  ASSERT_TRUE(FaultInjector::get().configure("watchdog_late@n=1"));
+  SmtContext Smt;
+  SmtSolver Solver(Smt);
+  z3::expr X = Smt.bvConst("x", 8);
+  Solver.add(X == Smt.ctx().bv_val(7, 8));
+  // Generous deadline: the trivial query returns well before it even
+  // on a loaded CI machine; the injected sleep then carries the check
+  // thread across it with the watchdog still armed.
+  Solver.setDeadline(std::chrono::steady_clock::now() +
+                     std::chrono::seconds(2));
+
+  int64_t Before = Statistics::get().value("smt.stale_interrupts_suppressed");
+  EXPECT_EQ(Solver.check(), SmtResult::Sat);
+  EXPECT_EQ(Solver.lastFailure(), SmtFailure::None);
+  EXPECT_EQ(Statistics::get().value("smt.stale_interrupts_suppressed"),
+            Before + 1);
+
+  // The recycled solver is untouched by the suppressed interrupt.
+  Solver.clearDeadline();
+  EXPECT_EQ(Solver.check(), SmtResult::Sat);
+  EXPECT_EQ(Solver.lastFailure(), SmtFailure::None);
+  FaultInjector::get().disarm();
+}
+
 TEST(SmtSupervision, PolicyAppliesAllKnobs) {
   SmtContext Smt;
   SmtSolver Solver(Smt);

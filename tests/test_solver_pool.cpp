@@ -1,0 +1,472 @@
+//===- test_solver_pool.cpp - Out-of-process solver pool tests ----------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+// Three layers under test: the wire framing (torn/garbage frames must
+// classify as corruption, never parse), the worker protocol encoding
+// (lossless round-trips), and the live pool against the real
+// selgen-solverd binary (crash respawn, recycling, deadline kills,
+// and byte-identity of a pooled synthesis against the in-process
+// path).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pattern/ParallelBuilder.h"
+#include "smt/SolverPool.h"
+#include "support/Statistics.h"
+#include "synth/WorkerProtocol.h"
+#include "x86/Goals.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+using namespace selgen;
+
+//===----------------------------------------------------------------------===//
+// Wire framing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct Pipe {
+  int Read = -1;
+  int Write = -1;
+  Pipe() {
+    int Fds[2] = {-1, -1};
+    EXPECT_EQ(pipe(Fds), 0);
+    Read = Fds[0];
+    Write = Fds[1];
+  }
+  ~Pipe() {
+    closeRead();
+    closeWrite();
+  }
+  void closeRead() {
+    if (Read >= 0)
+      close(Read);
+    Read = -1;
+  }
+  void closeWrite() {
+    if (Write >= 0)
+      close(Write);
+    Write = -1;
+  }
+};
+
+} // namespace
+
+TEST(WireProtocol, FrameRoundTrip) {
+  Pipe P;
+  std::string Payload = "hello frames\n\x01\x02\x00 binary too";
+  Payload.push_back('\0');
+  ASSERT_TRUE(wire::writeFrame(P.Write, wire::Request, Payload));
+  ASSERT_TRUE(wire::writeFrame(P.Write, wire::Shutdown, ""));
+
+  wire::Frame Frame;
+  ASSERT_EQ(wire::readFrame(P.Read, Frame), wire::ReadStatus::Ok);
+  EXPECT_EQ(Frame.Type, wire::Request);
+  EXPECT_EQ(Frame.Payload, Payload);
+  ASSERT_EQ(wire::readFrame(P.Read, Frame), wire::ReadStatus::Ok);
+  EXPECT_EQ(Frame.Type, wire::Shutdown);
+  EXPECT_TRUE(Frame.Payload.empty());
+}
+
+TEST(WireProtocol, CleanEofBeforeAnyByte) {
+  Pipe P;
+  P.closeWrite();
+  wire::Frame Frame;
+  EXPECT_EQ(wire::readFrame(P.Read, Frame), wire::ReadStatus::Eof);
+}
+
+TEST(WireProtocol, TornFrameIsCorruptNotEof) {
+  Pipe P;
+  std::string Encoded = wire::encodeFrame(wire::Response, "torn payload");
+  std::string Half = Encoded.substr(0, Encoded.size() / 2);
+  ASSERT_TRUE(wire::writeAll(P.Write, Half));
+  P.closeWrite();
+  wire::Frame Frame;
+  EXPECT_EQ(wire::readFrame(P.Read, Frame), wire::ReadStatus::Corrupt);
+}
+
+TEST(WireProtocol, BadMagicIsCorrupt) {
+  Pipe P;
+  ASSERT_TRUE(wire::writeAll(P.Write, std::string(32, 'X')));
+  P.closeWrite();
+  wire::Frame Frame;
+  EXPECT_EQ(wire::readFrame(P.Read, Frame), wire::ReadStatus::Corrupt);
+}
+
+TEST(WireProtocol, FlippedPayloadByteFailsCrc) {
+  Pipe P;
+  std::string Encoded = wire::encodeFrame(wire::Response, "checksummed");
+  Encoded[Encoded.size() - 3] ^= 0x40; // Inside the payload bytes.
+  ASSERT_TRUE(wire::writeAll(P.Write, Encoded));
+  P.closeWrite();
+  wire::Frame Frame;
+  EXPECT_EQ(wire::readFrame(P.Read, Frame), wire::ReadStatus::Corrupt);
+}
+
+TEST(WireProtocol, OversizedLengthIsCorruptWithoutAllocation) {
+  Pipe P;
+  std::string Encoded = wire::encodeFrame(wire::Request, "tiny");
+  // Patch the length field (offset 5, u32 LE) to an absurd value; the
+  // reader must reject it from the header alone.
+  Encoded[5] = Encoded[6] = Encoded[7] = static_cast<char>(0xFF);
+  Encoded[8] = 0x7F;
+  ASSERT_TRUE(wire::writeAll(P.Write, Encoded));
+  wire::Frame Frame;
+  EXPECT_EQ(wire::readFrame(P.Read, Frame), wire::ReadStatus::Corrupt);
+}
+
+TEST(WireProtocol, ReadDeadlineExpiresAsTimeout) {
+  Pipe P;
+  // Write half a frame and keep the pipe open: the reader must give up
+  // at its deadline instead of blocking forever.
+  std::string Encoded = wire::encodeFrame(wire::Request, "never finished");
+  ASSERT_TRUE(wire::writeAll(P.Write, Encoded.substr(0, 7)));
+  wire::Frame Frame;
+  EXPECT_EQ(wire::readFrame(P.Read, Frame, /*DeadlineMs=*/200),
+            wire::ReadStatus::Timeout);
+}
+
+//===----------------------------------------------------------------------===//
+// Worker protocol payloads
+//===----------------------------------------------------------------------===//
+
+TEST(WorkerProtocol, RangeRequestRoundTrip) {
+  RangeRequest Request;
+  Request.GoalName = "add_rr";
+  Request.Options.Width = 16;
+  Request.Options.Alphabet = {Opcode::Add, Opcode::Not, Opcode::Load};
+  Request.Options.MaxPatternSize = 5;
+  Request.Options.RequireTotalPatterns = true;
+  Request.Options.UsePrescreen = false;
+  Request.Options.QueryTimeoutMs = 1234;
+  Request.Options.QueryRlimit = 777777;
+  Request.Options.QueryRetryScale = {1, 4, 16};
+  Request.Options.TimeBudgetSeconds = 12.5;
+  Request.Options.MaxPatternsPerGoal = 99;
+  Request.Options.MaxPatternsPerMultiset = 7;
+  Request.Options.CorpusCapacity = 33;
+  Request.Plan.Prefix = {Opcode::Load};
+  Request.Plan.Alphabet = {Opcode::Add, Opcode::Not};
+  Request.Plan.MinSize = 1;
+  Request.Plan.MaxSize = 5;
+  Request.Size = 3;
+  Request.BeginRank = 10;
+  Request.EndRank = 42;
+  Request.BudgetSeconds = 3.25;
+
+  TestCorpus::Entry Defined;
+  Defined.Test = {BitValue(16, 0xBEEF), BitValue(16, 1)};
+  ConcreteGoalOutcome Outcome;
+  Outcome.Defined = true;
+  Outcome.Results = {BitValue(16, 0xBEF0), BitValue(1, 1)};
+  Defined.GoalOutcome = Outcome;
+  Request.CorpusSeed.push_back(Defined);
+
+  TestCorpus::Entry Undefined;
+  Undefined.Test = {BitValue(16, 0), BitValue(16, 0)};
+  ConcreteGoalOutcome Undef;
+  Undef.Defined = false;
+  Undefined.GoalOutcome = Undef;
+  Request.CorpusSeed.push_back(Undefined);
+
+  TestCorpus::Entry Unknown;
+  Unknown.Test = {BitValue(16, 7), BitValue(16, 9)};
+  Request.CorpusSeed.push_back(Unknown);
+
+  std::string Error;
+  std::optional<RangeRequest> Decoded =
+      decodeRangeRequest(encodeRangeRequest(Request), &Error);
+  ASSERT_TRUE(Decoded) << Error;
+  EXPECT_EQ(Decoded->GoalName, "add_rr");
+  EXPECT_EQ(Decoded->Options.Width, 16u);
+  EXPECT_EQ(Decoded->Options.Alphabet, Request.Options.Alphabet);
+  EXPECT_EQ(Decoded->Options.MaxPatternSize, 5u);
+  EXPECT_TRUE(Decoded->Options.RequireTotalPatterns);
+  EXPECT_FALSE(Decoded->Options.UsePrescreen);
+  EXPECT_EQ(Decoded->Options.QueryTimeoutMs, 1234u);
+  EXPECT_EQ(Decoded->Options.QueryRlimit, 777777u);
+  EXPECT_EQ(Decoded->Options.QueryRetryScale, Request.Options.QueryRetryScale);
+  EXPECT_EQ(Decoded->Options.TimeBudgetSeconds, 12.5);
+  EXPECT_EQ(Decoded->Options.MaxPatternsPerGoal, 99u);
+  EXPECT_EQ(Decoded->Options.MaxPatternsPerMultiset, 7u);
+  EXPECT_EQ(Decoded->Options.CorpusCapacity, 33u);
+  EXPECT_EQ(Decoded->Plan.Prefix, Request.Plan.Prefix);
+  EXPECT_EQ(Decoded->Plan.Alphabet, Request.Plan.Alphabet);
+  EXPECT_EQ(Decoded->Plan.MinSize, 1u);
+  EXPECT_EQ(Decoded->Plan.MaxSize, 5u);
+  EXPECT_EQ(Decoded->Size, 3u);
+  EXPECT_EQ(Decoded->BeginRank, 10u);
+  EXPECT_EQ(Decoded->EndRank, 42u);
+  EXPECT_EQ(Decoded->BudgetSeconds, 3.25);
+
+  ASSERT_EQ(Decoded->CorpusSeed.size(), 3u);
+  EXPECT_EQ(Decoded->CorpusSeed[0].Test, Defined.Test);
+  ASSERT_TRUE(Decoded->CorpusSeed[0].GoalOutcome);
+  EXPECT_TRUE(Decoded->CorpusSeed[0].GoalOutcome->Defined);
+  EXPECT_EQ(Decoded->CorpusSeed[0].GoalOutcome->Results, Outcome.Results);
+  ASSERT_TRUE(Decoded->CorpusSeed[1].GoalOutcome);
+  EXPECT_FALSE(Decoded->CorpusSeed[1].GoalOutcome->Defined);
+  EXPECT_FALSE(Decoded->CorpusSeed[2].GoalOutcome);
+}
+
+TEST(WorkerProtocol, MalformedPayloadsDecodeToNullopt) {
+  EXPECT_FALSE(decodeRangeRequest(""));
+  EXPECT_FALSE(decodeRangeRequest("selgen-worker v1\nkind range\n"));
+  EXPECT_FALSE(decodeRangeRequest("selgen-worker v1\nkind range\nbogus x\n"
+                                  "end\n"));
+  EXPECT_FALSE(decodeRangeReply("selgen-worker v1\nkind range\nend\n"));
+  EXPECT_FALSE(decodeSmtQueryReply("total garbage"));
+  EXPECT_EQ(peekRequestKind("nonsense"), WorkerRequestKind::Unknown);
+}
+
+TEST(WorkerProtocol, SmtQueryRoundTrip) {
+  SmtQueryRequest Request;
+  Request.Smt2 = "(declare-const q (_ BitVec 8))\n(assert (= q #x2a))";
+  Request.Policy.TimeoutMs = 5000;
+  Request.Policy.RlimitPerQuery = 100000;
+  Request.Policy.RetryScale = {1, 4};
+  Request.Eval = {{"q", 8}};
+
+  std::string Error;
+  std::optional<SmtQueryRequest> Decoded =
+      decodeSmtQueryRequest(encodeSmtQueryRequest(Request), &Error);
+  ASSERT_TRUE(Decoded) << Error;
+  EXPECT_EQ(Decoded->Smt2, Request.Smt2 + "\n");
+  EXPECT_EQ(Decoded->Policy.TimeoutMs, 5000u);
+  EXPECT_EQ(Decoded->Policy.RlimitPerQuery, 100000u);
+  EXPECT_EQ(Decoded->Policy.RetryScale, Request.Policy.RetryScale);
+  ASSERT_EQ(Decoded->Eval.size(), 1u);
+  EXPECT_EQ(Decoded->Eval[0].first, "q");
+  EXPECT_EQ(Decoded->Eval[0].second, 8u);
+
+  SmtQueryReply Reply;
+  Reply.Result = SmtResult::Sat;
+  Reply.Model = {BitValue(8, 0x2A)};
+  std::optional<SmtQueryReply> ReplyBack =
+      decodeSmtQueryReply(encodeSmtQueryReply(Reply));
+  ASSERT_TRUE(ReplyBack);
+  EXPECT_EQ(ReplyBack->Result, SmtResult::Sat);
+  EXPECT_EQ(ReplyBack->Failure, SmtFailure::None);
+  ASSERT_EQ(ReplyBack->Model.size(), 1u);
+  EXPECT_EQ(ReplyBack->Model[0], BitValue(8, 0x2A));
+}
+
+//===----------------------------------------------------------------------===//
+// Live pool against the real worker binary
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+SolverPoolOptions liveOptions(unsigned Workers) {
+  SolverPoolOptions Options;
+  Options.NumWorkers = Workers;
+  Options.WorkerPath = SELGEN_SOLVERD_TOOL;
+  // Tests control worker faults explicitly; an armed environment (CI
+  // fault sweeps) must not leak into unrelated assertions.
+  Options.WorkerEnv["SELGEN_FAULTS"] = "";
+  return Options;
+}
+
+/// "q == Value" at width 8, evaluating q back.
+std::string equalityQuery(unsigned Value) {
+  SmtQueryRequest Request;
+  char Hex[8];
+  std::snprintf(Hex, sizeof(Hex), "#x%02x", Value & 0xFF);
+  Request.Smt2 = "(declare-const q (_ BitVec 8))\n(assert (= q " +
+                 std::string(Hex) + "))";
+  Request.Eval = {{"q", 8}};
+  return encodeSmtQueryRequest(Request);
+}
+
+/// Runs one equality query and checks the worker solved it correctly.
+void expectSolves(SolverPool &Pool, unsigned Value, double Budget = 0) {
+  PoolReply Reply = Pool.run(equalityQuery(Value), Budget);
+  ASSERT_TRUE(Reply.Ok) << "failure: " << smtFailureName(Reply.Failure);
+  std::optional<SmtQueryReply> Decoded = decodeSmtQueryReply(Reply.Payload);
+  ASSERT_TRUE(Decoded);
+  ASSERT_EQ(Decoded->Result, SmtResult::Sat);
+  ASSERT_EQ(Decoded->Model.size(), 1u);
+  EXPECT_EQ(Decoded->Model[0], BitValue(8, Value & 0xFF));
+}
+
+} // namespace
+
+TEST(SolverPool, UnexecutableWorkerFailsStart) {
+  SolverPoolOptions Options = liveOptions(1);
+  Options.WorkerPath = "/nonexistent/selgen-solverd";
+  SolverPool Pool(Options);
+  EXPECT_FALSE(Pool.start());
+  EXPECT_FALSE(Pool.usable());
+}
+
+TEST(SolverPool, SmtQueryThroughWorker) {
+  SolverPool Pool(liveOptions(1));
+  ASSERT_TRUE(Pool.start());
+  expectSolves(Pool, 42);
+  expectSolves(Pool, 7);
+}
+
+TEST(SolverPool, UnsatQueryThroughWorker) {
+  SolverPool Pool(liveOptions(1));
+  ASSERT_TRUE(Pool.start());
+  SmtQueryRequest Request;
+  Request.Smt2 = "(declare-const u (_ BitVec 8))\n"
+                 "(assert (= u #x01))\n(assert (= u #x02))";
+  PoolReply Reply = Pool.run(encodeSmtQueryRequest(Request));
+  ASSERT_TRUE(Reply.Ok);
+  std::optional<SmtQueryReply> Decoded = decodeSmtQueryReply(Reply.Payload);
+  ASSERT_TRUE(Decoded);
+  EXPECT_EQ(Decoded->Result, SmtResult::Unsat);
+}
+
+TEST(SolverPool, WorkerKilledMidQueryIsRespawnedAndRetried) {
+  // worker_kill@n=2: every worker process SIGKILLs itself on its 2nd
+  // request, so query 2 crashes once, is retried on a fresh respawn
+  // (whose 1st request succeeds), and so on — every query must still
+  // come back correct, with the crashes visible in the counters.
+  int64_t Crashes = Statistics::get().value("pool.crashes");
+  int64_t Spawns = Statistics::get().value("pool.spawns");
+  SolverPoolOptions Options = liveOptions(1);
+  Options.WorkerEnv["SELGEN_FAULTS"] = "worker_kill@n=2";
+  SolverPool Pool(Options);
+  ASSERT_TRUE(Pool.start());
+  expectSolves(Pool, 1);
+  expectSolves(Pool, 2); // Crash + respawn + retry behind the scenes.
+  expectSolves(Pool, 3);
+  EXPECT_GE(Statistics::get().value("pool.crashes"), Crashes + 1);
+  EXPECT_GE(Statistics::get().value("pool.spawns"), Spawns + 2);
+}
+
+TEST(SolverPool, ExhaustedCrashRetriesSurfaceAsException) {
+  // n=1 kills every respawn on its *first* request: no retry budget
+  // can save the query, so it must surface as a typed Exception
+  // failure — never hang or kill the caller.
+  SolverPoolOptions Options = liveOptions(1);
+  Options.WorkerEnv["SELGEN_FAULTS"] = "worker_kill@n=1";
+  Options.MaxCrashRetries = 1;
+  SolverPool Pool(Options);
+  ASSERT_TRUE(Pool.start());
+  PoolReply Reply = Pool.run(equalityQuery(5));
+  EXPECT_FALSE(Reply.Ok);
+  EXPECT_EQ(Reply.Failure, SmtFailure::Exception);
+}
+
+TEST(SolverPool, RecyclesAfterConfiguredQueries) {
+  int64_t Recycles = Statistics::get().value("pool.recycles");
+  SolverPoolOptions Options = liveOptions(1);
+  Options.RecycleAfterQueries = 2;
+  SolverPool Pool(Options);
+  ASSERT_TRUE(Pool.start());
+  for (unsigned I = 0; I < 5; ++I)
+    expectSolves(Pool, I);
+  // Recycled after queries 2 and 4; the replacement workers answered
+  // seamlessly.
+  EXPECT_GE(Statistics::get().value("pool.recycles"), Recycles + 2);
+}
+
+TEST(SolverPool, DeadlineKillClassifiesAsDeadline) {
+  int64_t Kills = Statistics::get().value("pool.deadline_kills");
+  // worker_hang@n=2 (not n=1): the n-counter is per worker *process*,
+  // so with n=1 the respawned replacement would hang again on its very
+  // first query and the budget-less health check below would wait out
+  // the full hang. With n=2 each fresh worker answers one query before
+  // hanging, so the post-kill respawn serves the health check.
+  SolverPoolOptions Options = liveOptions(1);
+  Options.WorkerEnv["SELGEN_FAULTS"] = "worker_hang@n=2";
+  Options.GraceSeconds = 0.5;
+  Options.MaxDeadlineRetries = 0;
+  SolverPool Pool(Options);
+  ASSERT_TRUE(Pool.start());
+  expectSolves(Pool, 8); // Warm-up: the worker's first (non-hanging) query.
+  PoolReply Reply = Pool.run(equalityQuery(9), /*BudgetSeconds=*/0.5);
+  EXPECT_FALSE(Reply.Ok);
+  EXPECT_EQ(Reply.Failure, SmtFailure::Deadline);
+  EXPECT_GE(Statistics::get().value("pool.deadline_kills"), Kills + 1);
+  // The ~1s (budget + grace) sunk into the hung attempt is reported
+  // so budget-enforcing callers can refund it.
+  EXPECT_GT(Reply.StalledSeconds, 0.4);
+  // The pool replaced the hung worker; the next query is fine.
+  expectSolves(Pool, 10);
+}
+
+TEST(SolverPool, GarbageRepliesAreRejectedAndRetried) {
+  SolverPoolOptions Options = liveOptions(1);
+  Options.WorkerEnv["SELGEN_FAULTS"] = "worker_garbage_reply@n=2";
+  SolverPool Pool(Options);
+  ASSERT_TRUE(Pool.start());
+  expectSolves(Pool, 20);
+  expectSolves(Pool, 21); // Garbage frame, CRC reject, respawn, retry.
+  expectSolves(Pool, 22);
+}
+
+TEST(SolverPool, WorkerErrorFrameIsNonRetryableFailure) {
+  SolverPool Pool(liveOptions(1));
+  ASSERT_TRUE(Pool.start());
+  PoolReply Reply = Pool.run("this is not a request payload");
+  EXPECT_FALSE(Reply.Ok);
+  EXPECT_EQ(Reply.Failure, SmtFailure::Exception);
+  EXPECT_FALSE(Reply.Payload.empty()); // Carries the worker's message.
+  // A malformed request is the caller's bug, not the worker's: the
+  // worker survives and keeps serving.
+  expectSolves(Pool, 33);
+}
+
+//===----------------------------------------------------------------------===//
+// Byte-identity: pooled synthesis equals the in-process run
+//===----------------------------------------------------------------------===//
+
+TEST(SolverPool, PooledSynthesisIsByteIdenticalToInProcess) {
+  GoalLibrary Goals = GoalLibrary::subset(
+      GoalLibrary::build(8, {"Basic"}), {"neg_r", "not_r"});
+
+  SynthesisOptions Options;
+  Options.Width = 8;
+  Options.TimeBudgetSeconds = 60;
+
+  ParallelBuildOptions InProcess;
+  InProcess.NumThreads = 2;
+  std::string Baseline =
+      synthesizeRuleLibraryParallel(Goals, Options, InProcess).serialize();
+
+  SolverPool Pool(liveOptions(2));
+  ASSERT_TRUE(Pool.start());
+  ParallelBuildOptions Pooled;
+  Pooled.NumThreads = 2;
+  Pooled.Pool = &Pool;
+  std::string Remote =
+      synthesizeRuleLibraryParallel(Goals, Options, Pooled).serialize();
+
+  EXPECT_EQ(Baseline, Remote);
+}
+
+TEST(SolverPool, PooledSynthesisSurvivesWorkerKillSweep) {
+  GoalLibrary Goals = GoalLibrary::subset(
+      GoalLibrary::build(8, {"Basic"}), {"neg_r", "not_r"});
+
+  SynthesisOptions Options;
+  Options.Width = 8;
+  Options.TimeBudgetSeconds = 60;
+
+  ParallelBuildOptions InProcess;
+  InProcess.NumThreads = 2;
+  std::string Baseline =
+      synthesizeRuleLibraryParallel(Goals, Options, InProcess).serialize();
+
+  SolverPoolOptions PoolOptions = liveOptions(2);
+  PoolOptions.WorkerEnv["SELGEN_FAULTS"] = "worker_kill@n=2";
+  SolverPool Pool(PoolOptions);
+  ASSERT_TRUE(Pool.start());
+  ParallelBuildOptions Pooled;
+  Pooled.NumThreads = 2;
+  Pooled.Pool = &Pool;
+  std::string Faulted =
+      synthesizeRuleLibraryParallel(Goals, Options, Pooled).serialize();
+
+  // Crashes cost respawns and retries, never results.
+  EXPECT_EQ(Baseline, Faulted);
+}

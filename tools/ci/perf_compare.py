@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""CI perf-regression guard for the selgen tools.
+
+Two subcommands, used by the perf-guard job in .github/workflows/ci.yml:
+
+  measure --name NAME --out FILE [--stats STATS_JSON] -- CMD ARGS...
+      Runs CMD, records its wall time (and, if --stats points at a
+      --stats-json dump the command produced, its counters) as a small
+      JSON measurement record.
+
+  compare --base DIR --pr DIR [--max-wall-regression 0.20]
+          [--counters a,b,c]
+      Pairs up measurement records by name between the merge-base and
+      PR directories. Fails (exit 1) when any PR wall time regressed
+      by more than the threshold, or when any of the named counters
+      drifted between base and PR. Counter drift is an identity check:
+      the guarded counters (solver retries, cache hits, matcher work)
+      are deterministic for a fixed workload, so *any* change is a
+      behavior change someone should have to explain in the PR.
+
+The job runs with continue-on-error: the guard is advisory — it makes
+regressions loud without blocking an intentional trade-off.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import time
+
+
+def cmd_measure(args):
+    start = time.monotonic()
+    result = subprocess.run(args.command)
+    wall = time.monotonic() - start
+    if result.returncode != 0:
+        print(f"perf_compare: '{' '.join(args.command)}' exited "
+              f"{result.returncode}", file=sys.stderr)
+        return result.returncode
+
+    record = {"name": args.name, "wall_seconds": round(wall, 3),
+              "counters": {}}
+    if args.stats:
+        try:
+            with open(args.stats) as fh:
+                stats = json.load(fh)
+            record["counters"] = {
+                key: value for key, value in stats.items()
+                if isinstance(value, (int, float))
+            }
+        except (OSError, ValueError) as error:
+            print(f"perf_compare: cannot read stats {args.stats}: {error}",
+                  file=sys.stderr)
+
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"perf_compare: {args.name}: {record['wall_seconds']}s "
+          f"({len(record['counters'])} counters)")
+    return 0
+
+
+def load_records(directory):
+    records = {}
+    for path in sorted(pathlib.Path(directory).glob("*.json")):
+        with open(path) as fh:
+            record = json.load(fh)
+        records[record["name"]] = record
+    return records
+
+
+def cmd_compare(args):
+    base = load_records(args.base)
+    pr = load_records(args.pr)
+    counters = [c for c in args.counters.split(",") if c]
+    failures = []
+
+    for name in sorted(set(base) | set(pr)):
+        if name not in base or name not in pr:
+            print(f"  {name}: only present on "
+                  f"{'PR' if name in pr else 'base'} side; skipped")
+            continue
+        b, p = base[name], pr[name]
+
+        b_wall, p_wall = b["wall_seconds"], p["wall_seconds"]
+        ratio = p_wall / b_wall if b_wall > 0 else 1.0
+        verdict = "ok"
+        if ratio > 1.0 + args.max_wall_regression:
+            verdict = "REGRESSED"
+            failures.append(
+                f"{name}: wall {b_wall}s -> {p_wall}s "
+                f"(+{(ratio - 1) * 100:.0f}% > "
+                f"{args.max_wall_regression * 100:.0f}% budget)")
+        print(f"  {name}: wall {b_wall}s -> {p_wall}s "
+              f"({(ratio - 1) * 100:+.0f}%) [{verdict}]")
+
+        for counter in counters:
+            b_value = b.get("counters", {}).get(counter)
+            p_value = p.get("counters", {}).get(counter)
+            if b_value is None or p_value is None:
+                continue  # Counter not produced by this measurement.
+            if b_value != p_value:
+                failures.append(
+                    f"{name}: counter {counter} drifted "
+                    f"{b_value} -> {p_value}")
+                print(f"    {counter}: {b_value} -> {p_value} [DRIFT]")
+
+    if failures:
+        print("\nperf_compare: FAIL")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nperf_compare: OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="subcommand", required=True)
+
+    measure = sub.add_parser("measure")
+    measure.add_argument("--name", required=True)
+    measure.add_argument("--out", required=True)
+    measure.add_argument("--stats",
+                         help="--stats-json file the command wrote")
+    measure.add_argument("command", nargs="+",
+                         help="command to run (after --)")
+    measure.set_defaults(func=cmd_measure)
+
+    compare = sub.add_parser("compare")
+    compare.add_argument("--base", required=True)
+    compare.add_argument("--pr", required=True)
+    compare.add_argument("--max-wall-regression", type=float, default=0.20)
+    compare.add_argument("--counters", default="")
+    compare.set_defaults(func=cmd_compare)
+
+    args = parser.parse_args()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,7 @@
 
 #include "pattern/ParallelBuilder.h"
 #include "pattern/RunJournal.h"
+#include "smt/SolverPool.h"
 #include "support/AtomicFile.h"
 #include "support/CommandLine.h"
 #include "support/FaultInjection.h"
@@ -68,9 +69,12 @@ std::string runConfigFingerprint(const GoalLibrary &Library,
 void touchRobustnessCounters() {
   for (const char *Name :
        {"smt.retries", "smt.exceptions", "smt.rlimit_exhausted",
-        "smt.deadline_expired", "cegis.bad_models", "cache.corrupt_shards",
-        "journal.hits", "journal.records", "journal.corrupt_records",
-        "synth.escalations"})
+        "smt.deadline_expired", "smt.stale_interrupts_suppressed",
+        "cegis.bad_models", "cache.corrupt_shards", "journal.hits",
+        "journal.records", "journal.corrupt_records", "synth.escalations",
+        "pool.spawns", "pool.recycles", "pool.crashes",
+        "pool.respawn_retries", "pool.deadline_kills", "pool.queries",
+        "pool.stalled_ms"})
     Statistics::get().add(Name, 0);
 }
 
@@ -118,6 +122,7 @@ int main(int argc, char **argv) {
       "max-size",     "cache-dir",   "no-cache",    "stats-json",
       "no-prescreen", "corpus-size", "run-dir",     "resume",
       "failures-json", "rlimit",     "retry-scale", "escalation",
+      "solver-pool",  "pool-recycle", "pool-grace", "pool-worker",
       "help"};
   CommandLine Cli(argc, argv, Flags);
   if (!Cli.errors().empty() || Cli.hasFlag("help")) {
@@ -157,7 +162,16 @@ int main(int argc, char **argv) {
                  "  --retry-scale  escalating per-query budget multipliers "
                  "(default 1,4,16)\n"
                  "  --escalation   end-of-run budget multiplier for one "
-                 "retry of incomplete goals (default 4; 0 = off)\n");
+                 "retry of incomplete goals (default 4; 0 = off)\n"
+                 "  --solver-pool  run solver work in N out-of-process "
+                 "selgen-solverd workers (0 = in-process, the default); "
+                 "the produced library is byte-identical either way\n"
+                 "  --pool-recycle recycle a pool worker after this many "
+                 "queries (default 64; 0 = never)\n"
+                 "  --pool-grace   seconds past a chunk's budget before a "
+                 "hung worker is SIGKILLed (default 15)\n"
+                 "  --pool-worker  path of the worker binary (default "
+                 "$SELGEN_SOLVERD or selgen-solverd next to this tool)\n");
     return Cli.hasFlag("help") ? 0 : 1;
   }
 
@@ -214,6 +228,32 @@ int main(int argc, char **argv) {
   Build.NumThreads = static_cast<unsigned>(Cli.intOption("threads", 0));
   Build.EscalationFactor =
       static_cast<unsigned>(std::max<int64_t>(0, Cli.intOption("escalation", 4)));
+
+  // Out-of-process solver pool: crash isolation for the Z3 work. Off
+  // by default — the in-process path stays untouched (and the library
+  // is byte-identical either way).
+  std::unique_ptr<SolverPool> Pool;
+  if (int64_t PoolSize = Cli.intOption("solver-pool", 0); PoolSize > 0) {
+    SolverPoolOptions PoolOptions;
+    PoolOptions.NumWorkers = static_cast<unsigned>(PoolSize);
+    PoolOptions.WorkerPath =
+        Cli.stringOption("pool-worker", SolverPool::defaultWorkerPath());
+    PoolOptions.RecycleAfterQueries = static_cast<unsigned>(
+        std::max<int64_t>(0, Cli.intOption("pool-recycle", 64)));
+    if (double Grace = Cli.doubleOption("pool-grace", 15.0); Grace > 0)
+      PoolOptions.GraceSeconds = Grace;
+    Pool = std::make_unique<SolverPool>(PoolOptions);
+    if (!Pool->start()) {
+      std::fprintf(stderr,
+                   "error: cannot start solver pool worker %s "
+                   "(set --pool-worker or $SELGEN_SOLVERD)\n",
+                   PoolOptions.WorkerPath.c_str());
+      return 1;
+    }
+    Build.Pool = Pool.get();
+    std::printf("solver pool: %u workers (%s)\n", PoolOptions.NumWorkers,
+                PoolOptions.WorkerPath.c_str());
+  }
 
   std::unique_ptr<SynthesisCache> Cache;
   if (!Cli.hasFlag("no-cache")) {
