@@ -116,34 +116,47 @@ void SmtSolver::applyPolicy(const SolverPolicy &Policy) {
 
 namespace {
 
-/// Interrupts a Z3 context when the deadline passes, unless disarmed
-/// first. One watchdog exists only for the duration of one check on a
-/// solver with an armed deadline; checks without a deadline pay
-/// nothing.
+/// Interrupts a Z3 context when the deadline passes, unless the check
+/// it guards retires first. One watchdog exists only for the duration
+/// of one check on a solver with an armed deadline; checks without a
+/// deadline pay nothing.
 ///
-/// The interrupt is scoped to the generation of the check it was armed
-/// for: a watchdog that loses the race against a fast-returning check
-/// (woke at the deadline, but the check retired its generation before
-/// the destructor disarmed the thread) must not call Z3_interrupt,
-/// because by then the interrupt would land on whatever the recycled
-/// solver runs *next*. Suppressed late interrupts are counted under
-/// "smt.stale_interrupts_suppressed".
+/// The interrupt is scoped to its check by serializing with retire()
+/// on the watchdog mutex: the timeout path inspects Retired and calls
+/// Z3_interrupt while holding M, and the check path sets Retired under
+/// the same M the moment Z3 hands the result back. Either retire()
+/// wins — the watchdog sees the check returned and suppresses itself
+/// (counted under "smt.stale_interrupts_suppressed") — or the watchdog
+/// wins, in which case retire() blocks until the interrupt has landed,
+/// so a late interrupt is confined to the window before attemptCheck
+/// returns and can never fire into a later query's execution. (Should
+/// Z3 latch a cancel delivered in that residual window, the next check
+/// costs one spurious unknown, which the retry ladder absorbs.) A
+/// plain load-then-interrupt guard would leave a TOCTOU hole between
+/// the two steps; the shared mutex is what closes it.
 class DeadlineWatchdog {
 public:
   DeadlineWatchdog(z3::context &Ctx,
-                   std::chrono::steady_clock::time_point Deadline,
-                   std::atomic<uint64_t> &Live, uint64_t Generation)
-      : Thread([this, &Ctx, Deadline, &Live, Generation] {
+                   std::chrono::steady_clock::time_point Deadline)
+      : Thread([this, &Ctx, Deadline] {
           std::unique_lock<std::mutex> Lock(M);
           if (Cv.wait_until(Lock, Deadline, [this] { return Done; }))
-            return; // Check finished in time.
-          if (Live.load(std::memory_order_acquire) != Generation) {
-            // The check already returned; its generation was retired.
+            return; // Disarmed before the deadline.
+          if (Retired) {
+            // Fast-returning check, late-waking watchdog: interrupting
+            // now would land on whatever the recycled solver runs next.
             Statistics::get().add("smt.stale_interrupts_suppressed");
             return;
           }
           Ctx.interrupt();
         }) {}
+
+  /// Marks the guarded check as returned. On return, any interrupt
+  /// this watchdog will ever issue has already been issued.
+  void retire() {
+    std::lock_guard<std::mutex> Guard(M);
+    Retired = true;
+  }
 
   ~DeadlineWatchdog() {
     {
@@ -158,6 +171,7 @@ private:
   mutable std::mutex M;
   std::condition_variable Cv;
   bool Done = false;
+  bool Retired = false;
   std::thread Thread;
 };
 
@@ -196,23 +210,21 @@ SmtSolver::attemptCheck(const std::vector<z3::expr> *Assumptions,
     Solver.set(Params);
   }
 
-  // Arm the watchdog for this attempt's generation. The generation is
-  // retired (stored as 0) the moment the check returns on every path
-  // below, so a watchdog waking after that point suppresses its
-  // interrupt instead of cancelling the next query.
-  uint64_t Generation = ++GenerationCounter;
+  // Arm the watchdog for this attempt. The check is retired (under the
+  // watchdog's mutex) the moment it returns on every path below, so a
+  // watchdog waking after that point suppresses its interrupt instead
+  // of cancelling the next query.
   std::optional<DeadlineWatchdog> Watchdog;
-  if (HasDeadline) {
-    LiveGeneration.store(Generation, std::memory_order_release);
-    Watchdog.emplace(Context.ctx(), Deadline, LiveGeneration, Generation);
-  }
+  if (HasDeadline)
+    Watchdog.emplace(Context.ctx(), Deadline);
 
   z3::check_result Result = z3::unknown;
   try {
     if (FaultInjector::get().shouldFire("solver_throw"))
       throw z3::exception("injected solver fault");
     if (FaultInjector::get().shouldFire("solver_unknown")) {
-      LiveGeneration.store(0, std::memory_order_release);
+      if (Watchdog)
+        Watchdog->retire();
       AttemptFailure = SmtFailure::Rlimit;
       return z3::unknown;
     }
@@ -224,14 +236,17 @@ SmtSolver::attemptCheck(const std::vector<z3::expr> *Assumptions,
     } else {
       Result = Solver.check();
     }
-    LiveGeneration.store(0, std::memory_order_release);
+    if (Watchdog)
+      Watchdog->retire();
   } catch (const z3::exception &) {
-    LiveGeneration.store(0, std::memory_order_release);
+    if (Watchdog)
+      Watchdog->retire();
     Statistics::get().add("smt.exceptions");
     AttemptFailure = SmtFailure::Exception;
     return z3::unknown;
   } catch (const std::bad_alloc &) {
-    LiveGeneration.store(0, std::memory_order_release);
+    if (Watchdog)
+      Watchdog->retire();
     Statistics::get().add("smt.exceptions");
     AttemptFailure = SmtFailure::Exception;
     return z3::unknown;
@@ -245,7 +260,7 @@ SmtSolver::attemptCheck(const std::vector<z3::expr> *Assumptions,
     std::this_thread::sleep_until(Deadline + std::chrono::milliseconds(100));
 
   if (Result == z3::unknown) {
-    // Destroying the watchdog disarms it; fired() is then settled.
+    // Destroying the watchdog disarms it and joins the thread.
     bool DeadlineFired = false;
     if (Watchdog) {
       Watchdog.reset();

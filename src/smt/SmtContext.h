@@ -22,7 +22,6 @@
 
 #include <z3++.h>
 
-#include <atomic>
 #include <chrono>
 #include <string>
 #include <vector>
@@ -172,16 +171,6 @@ private:
   bool HasDeadline = false;
   std::chrono::steady_clock::time_point Deadline{};
   SmtFailure LastFailure = SmtFailure::None;
-
-  /// Generation of the check attempt currently inside Z3 (0 = none).
-  /// The deadline watchdog interrupts the context only while the
-  /// generation it was armed for is still live; without this scoping,
-  /// an interrupt racing a fast-returning query can land after the
-  /// query completed and cancel the *next* query on the recycled
-  /// solver (counted as "smt.stale_interrupts_suppressed" when the
-  /// guard catches one).
-  std::atomic<uint64_t> LiveGeneration{0};
-  uint64_t GenerationCounter = 0;
 };
 
 } // namespace selgen

@@ -66,22 +66,55 @@ std::string wire::encodeFrame(uint8_t Type, const std::string &Payload) {
   return Out;
 }
 
-bool wire::writeAll(int Fd, const std::string &Bytes) {
+wire::WriteStatus wire::writeAll(int Fd, const std::string &Bytes,
+                                 int64_t DeadlineMs) {
+  auto Start = std::chrono::steady_clock::now();
   size_t Done = 0;
   while (Done < Bytes.size()) {
     ssize_t Wrote = ::write(Fd, Bytes.data() + Done, Bytes.size() - Done);
-    if (Wrote < 0) {
-      if (errno == EINTR)
-        continue;
-      return false;
+    if (Wrote > 0) {
+      Done += static_cast<size_t>(Wrote);
+      continue;
     }
-    Done += static_cast<size_t>(Wrote);
+    if (Wrote < 0 && errno == EINTR)
+      continue;
+    if (Wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Pipe full (the peer stopped draining stdin — a wedged worker
+      // looks exactly like this once the request exceeds the pipe
+      // capacity). Park in poll so the deadline still applies; a
+      // blocking write here would hang with no kill ever firing.
+      int64_t Budget = remainingMs(DeadlineMs, Start);
+      if (Budget == 0)
+        return WriteStatus::Timeout;
+      struct pollfd Pfd = {Fd, POLLOUT, 0};
+      int Ready = ::poll(&Pfd, 1,
+                         Budget < 0 ? -1
+                                    : static_cast<int>(std::min<int64_t>(
+                                          Budget, 1 << 30)));
+      if (Ready < 0 && errno != EINTR)
+        return WriteStatus::Error;
+      if (Ready == 0)
+        return WriteStatus::Timeout;
+      continue; // Writable (or POLLERR: the next write reports it).
+    }
+    return WriteStatus::Error; // EPIPE et al. — the peer died.
   }
-  return true;
+  return WriteStatus::Ok;
+}
+
+bool wire::writeAll(int Fd, const std::string &Bytes) {
+  return writeAll(Fd, Bytes, /*DeadlineMs=*/-1) == WriteStatus::Ok;
+}
+
+wire::WriteStatus wire::writeFrame(int Fd, uint8_t Type,
+                                   const std::string &Payload,
+                                   int64_t DeadlineMs) {
+  return writeAll(Fd, encodeFrame(Type, Payload), DeadlineMs);
 }
 
 bool wire::writeFrame(int Fd, uint8_t Type, const std::string &Payload) {
-  return writeAll(Fd, encodeFrame(Type, Payload));
+  return writeFrame(Fd, Type, Payload, /*DeadlineMs=*/-1) ==
+         WriteStatus::Ok;
 }
 
 wire::ReadStatus wire::readFrame(int Fd, Frame &Out, int64_t DeadlineMs) {
@@ -182,6 +215,13 @@ std::string SolverPool::defaultWorkerPath() {
 }
 
 bool SolverPool::start() {
+  // wire::writeAll reports a dead peer as EPIPE; that contract only
+  // holds with SIGPIPE ignored. With the default disposition, writing
+  // a request to a worker that died since its last query (OOM-killed
+  // while idle, say) would deliver SIGPIPE and kill the whole
+  // scheduler — the exact blast radius this pool exists to contain.
+  ::signal(SIGPIPE, SIG_IGN);
+
   std::lock_guard<std::mutex> Guard(Lock);
   Workers.resize(Options.NumWorkers);
   for (Worker &Slot : Workers)
@@ -196,18 +236,33 @@ bool SolverPool::start() {
 }
 
 void SolverPool::shutdown() {
-  std::lock_guard<std::mutex> Guard(Lock);
+  std::unique_lock<std::mutex> Guard(Lock);
+  // Refuse new checkouts, then drain: closing a busy worker's fds
+  // would yank them out from under an in-flight readFrame and leave
+  // that run() holding a dangling slot reference.
+  Usable = false;
+  Available.wait(Guard, [this] {
+    for (const Worker &Slot : Workers)
+      if (Slot.Busy)
+        return false;
+    return true;
+  });
   for (Worker &Slot : Workers)
     stopWorker(Slot, /*Kill=*/false);
   Workers.clear();
-  Usable = false;
 }
 
 bool SolverPool::spawnWorker(Worker &Slot) {
+  // All pipes are born O_CLOEXEC: spawnWorker runs without Lock (slots
+  // respawn concurrently from run()), so a child forked by another
+  // thread mid-spawn must not inherit these fds. Marking them CLOEXEC
+  // after fork() would leave exactly that window — the leaked write
+  // end would hold a crashed worker's stream open and mask its EOF.
+  // The child's dup2 onto stdio clears CLOEXEC on the copies it keeps.
   int Request[2], Response[2], Exec[2];
-  if (::pipe(Request) != 0)
+  if (::pipe2(Request, O_CLOEXEC) != 0)
     return false;
-  if (::pipe(Response) != 0) {
+  if (::pipe2(Response, O_CLOEXEC) != 0) {
     ::close(Request[0]);
     ::close(Request[1]);
     return false;
@@ -216,7 +271,7 @@ bool SolverPool::spawnWorker(Worker &Slot) {
   // it (parent reads EOF) while an exec failure writes the errno byte.
   // This is race-free where a WNOHANG waitpid probe is not — the child
   // may not have reached _exit yet when the parent probes.
-  if (::pipe(Exec) != 0) {
+  if (::pipe2(Exec, O_CLOEXEC) != 0) {
     for (int Fd : {Request[0], Request[1], Response[0], Response[1]})
       ::close(Fd);
     return false;
@@ -234,7 +289,6 @@ bool SolverPool::spawnWorker(Worker &Slot) {
     ::dup2(Request[0], STDIN_FILENO);
     ::dup2(Response[1], STDOUT_FILENO);
     ::close(Exec[0]);
-    ::fcntl(Exec[1], F_SETFD, FD_CLOEXEC);
     for (int Fd : {Request[0], Request[1], Response[0], Response[1]})
       ::close(Fd);
     for (const auto &[Name, Value] : Options.WorkerEnv)
@@ -249,10 +303,9 @@ bool SolverPool::spawnWorker(Worker &Slot) {
   ::close(Request[0]);
   ::close(Response[1]);
   ::close(Exec[1]);
-  // Worker pipes must not leak into later children (they would hold a
-  // crashed worker's stream open and mask its EOF).
-  ::fcntl(Request[1], F_SETFD, FD_CLOEXEC);
-  ::fcntl(Response[0], F_SETFD, FD_CLOEXEC);
+  // Non-blocking request end so writeAll can honor the hang deadline
+  // when a wedged worker stops draining stdin and the pipe fills up.
+  ::fcntl(Request[1], F_SETFL, O_NONBLOCK);
 
   // EOF here means the exec-status pipe was closed by a successful
   // exec; a byte means exec failed and carries the child's errno.
@@ -310,9 +363,11 @@ uint64_t SolverPool::workerRssBytes(pid_t Pid) {
   return uint64_t(Resident) * static_cast<uint64_t>(::sysconf(_SC_PAGESIZE));
 }
 
-size_t SolverPool::checkoutWorker() {
+std::optional<size_t> SolverPool::checkoutWorker() {
   std::unique_lock<std::mutex> Guard(Lock);
   while (true) {
+    if (!Usable)
+      return std::nullopt; // shutdown() won the race.
     for (size_t I = 0; I < Workers.size(); ++I)
       if (!Workers[I].Busy) {
         Workers[I].Busy = true;
@@ -327,7 +382,9 @@ void SolverPool::releaseWorker(size_t Index) {
     std::lock_guard<std::mutex> Guard(Lock);
     Workers[Index].Busy = false;
   }
-  Available.notify_one();
+  // notify_all: both blocked checkouts and a draining shutdown() wait
+  // on this condition variable.
+  Available.notify_all();
 }
 
 PoolReply SolverPool::run(const std::string &RequestPayload,
@@ -343,8 +400,16 @@ PoolReply SolverPool::run(const std::string &RequestPayload,
     DeadlineMs = static_cast<int64_t>(
         (BudgetSeconds + Options.GraceSeconds) * 1000.0);
 
-  size_t Index = checkoutWorker();
-  Worker &Slot = Workers[Index];
+  std::optional<size_t> Index = checkoutWorker();
+  if (!Index) {
+    // The pool shut down while we were waiting for a worker.
+    Reply.Failure = SmtFailure::Exception;
+    return Reply;
+  }
+  // Safe to hold across the unlocked query: Workers is only resized by
+  // start() (before Usable) and shutdown() (after draining Busy slots,
+  // which includes this one).
+  Worker &Slot = Workers[*Index];
   Statistics::get().add("pool.queries");
 
   unsigned CrashRetries = 0, DeadlineRetries = 0;
@@ -356,13 +421,22 @@ PoolReply SolverPool::run(const std::string &RequestPayload,
       break;
     }
 
+    // One hang budget covers the whole attempt: a worker that wedges
+    // before draining stdin stalls the *write* (the request can exceed
+    // the pipe capacity — range requests carry a corpus snapshot), so
+    // the write gets the deadline too and a timeout there is the same
+    // hang as a timeout on the read.
     auto AttemptStart = std::chrono::steady_clock::now();
-    bool Sent = wire::writeFrame(Slot.RequestFd, wire::Request,
-                                 RequestPayload);
+    wire::WriteStatus Sent = wire::writeFrame(Slot.RequestFd, wire::Request,
+                                              RequestPayload, DeadlineMs);
     wire::Frame Response;
-    wire::ReadStatus Status =
-        Sent ? wire::readFrame(Slot.ResponseFd, Response, DeadlineMs)
-             : wire::ReadStatus::Eof;
+    wire::ReadStatus Status;
+    if (Sent == wire::WriteStatus::Ok)
+      Status = wire::readFrame(Slot.ResponseFd, Response,
+                               remainingMs(DeadlineMs, AttemptStart));
+    else
+      Status = Sent == wire::WriteStatus::Timeout ? wire::ReadStatus::Timeout
+                                                  : wire::ReadStatus::Eof;
 
     if (Status == wire::ReadStatus::Ok &&
         Response.Type == wire::Response) {
@@ -419,6 +493,6 @@ PoolReply SolverPool::run(const std::string &RequestPayload,
     }
   }
 
-  releaseWorker(Index);
+  releaseWorker(*Index);
   return Reply;
 }

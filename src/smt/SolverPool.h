@@ -53,6 +53,7 @@
 
 #include "smt/SmtContext.h"
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -87,11 +88,30 @@ struct Frame {
 /// Serializes one frame (header + payload) to raw bytes.
 std::string encodeFrame(uint8_t Type, const std::string &Payload);
 
+enum class WriteStatus {
+  Ok,      ///< All bytes were written.
+  Error,   ///< The peer is gone (EPIPE) or the fd is broken.
+  Timeout, ///< The deadline passed with the pipe still full.
+};
+
 /// Writes all of \p Bytes to \p Fd, riding over EINTR and short
-/// writes. Returns false on error (EPIPE: the peer died).
+/// writes. With \p DeadlineMs >= 0 the whole write must finish within
+/// that budget — the fd must then be O_NONBLOCK so a full pipe parks
+/// us in poll(2) instead of a blocking write(2); -1 blocks
+/// indefinitely. EPIPE is reported as Error only while SIGPIPE is
+/// ignored (SolverPool::start() and the worker main both install
+/// SIG_IGN); with the default disposition the signal kills the
+/// process before write() can return.
+WriteStatus writeAll(int Fd, const std::string &Bytes, int64_t DeadlineMs);
+
+/// Blocking convenience overload: Ok iff every byte was written.
 bool writeAll(int Fd, const std::string &Bytes);
 
-/// Writes one frame; false if the peer is gone.
+/// Writes one frame within \p DeadlineMs (see writeAll).
+WriteStatus writeFrame(int Fd, uint8_t Type, const std::string &Payload,
+                       int64_t DeadlineMs);
+
+/// Blocking convenience overload; false if the peer is gone.
 bool writeFrame(int Fd, uint8_t Type, const std::string &Payload);
 
 enum class ReadStatus {
@@ -165,7 +185,10 @@ public:
   static std::string defaultWorkerPath();
 
   /// Spawns the initial workers. False if the worker binary cannot be
-  /// executed (the pool is then unusable).
+  /// executed (the pool is then unusable). Also ignores SIGPIPE
+  /// process-wide: a request written to a worker that died while idle
+  /// must surface as a failed write (one respawn), not kill the
+  /// scheduler.
   bool start();
 
   /// True once start() succeeded.
@@ -181,20 +204,22 @@ public:
   PoolReply run(const std::string &RequestPayload, double BudgetSeconds = 0);
 
   /// Gracefully shuts down all workers (close stdin, reap). Called by
-  /// the destructor.
+  /// the destructor. Blocks new checkouts, then waits for in-flight
+  /// run() calls to drain before closing any worker's pipes — a
+  /// concurrent query never sees its fds yanked mid-read.
   void shutdown();
 
 private:
   struct Worker {
     pid_t Pid = -1;
-    int RequestFd = -1;  ///< Parent writes requests here.
+    int RequestFd = -1;  ///< Parent writes requests here (O_NONBLOCK).
     int ResponseFd = -1; ///< Parent reads responses here.
     unsigned Queries = 0;
     bool Busy = false;
   };
 
   SolverPoolOptions Options;
-  bool Usable = false;
+  std::atomic<bool> Usable{false};
 
   std::mutex Lock;
   std::condition_variable Available;
@@ -207,7 +232,8 @@ private:
   /// Resident set size of \p Pid in bytes (0 if unknown).
   static uint64_t workerRssBytes(pid_t Pid);
 
-  size_t checkoutWorker();
+  /// Blocks until a worker is free; nullopt once shutdown() began.
+  std::optional<size_t> checkoutWorker();
   void releaseWorker(size_t Index);
 };
 

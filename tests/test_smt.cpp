@@ -262,9 +262,10 @@ TEST(SmtSupervision, StaleWatchdogInterruptIsSuppressed) {
   // — the interrupt would land on the *next* query using the recycled
   // solver and spuriously cancel it. The watchdog_late fault parks the
   // check thread past the deadline after the check returned, so the
-  // watchdog deterministically wakes while the generation it was armed
-  // for is retired; the generation guard must swallow the interrupt
-  // and count it.
+  // watchdog deterministically wakes with its check already retired;
+  // the retire() guard (serialized on the watchdog mutex, so there is
+  // no load-vs-interrupt window) must swallow the interrupt and count
+  // it.
   ASSERT_TRUE(FaultInjector::get().configure("watchdog_late@n=1"));
   SmtContext Smt;
   SmtSolver Solver(Smt);

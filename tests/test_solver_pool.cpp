@@ -20,6 +20,10 @@
 
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <thread>
 #include <unistd.h>
 
 using namespace selgen;
@@ -129,6 +133,32 @@ TEST(WireProtocol, ReadDeadlineExpiresAsTimeout) {
   wire::Frame Frame;
   EXPECT_EQ(wire::readFrame(P.Read, Frame, /*DeadlineMs=*/200),
             wire::ReadStatus::Timeout);
+}
+
+TEST(WireProtocol, WriteDeadlineExpiresAsTimeout) {
+  Pipe P;
+  // A peer that never drains its end (a wedged worker) eventually
+  // fills the pipe; the writer must time out instead of blocking in
+  // write(2) forever with no deadline kill ever firing.
+  ASSERT_EQ(fcntl(P.Write, F_SETFL, O_NONBLOCK), 0);
+  std::string Chunk(64 << 10, 'x');
+  while (write(P.Write, Chunk.data(), Chunk.size()) > 0) {
+  }
+  EXPECT_EQ(wire::writeAll(P.Write, Chunk, /*DeadlineMs=*/200),
+            wire::WriteStatus::Timeout);
+}
+
+TEST(WireProtocol, WriteToDeadPeerFailsInsteadOfKilling) {
+  // With the default SIGPIPE disposition this test would not fail but
+  // kill the whole binary — the pool ignores the signal in start() so
+  // a worker that died while idle costs one respawned child, never the
+  // scheduler.
+  signal(SIGPIPE, SIG_IGN);
+  Pipe P;
+  P.closeRead();
+  EXPECT_EQ(wire::writeAll(P.Write, "doomed", /*DeadlineMs=*/-1),
+            wire::WriteStatus::Error);
+  EXPECT_FALSE(wire::writeFrame(P.Write, wire::Request, "doomed"));
 }
 
 //===----------------------------------------------------------------------===//
@@ -294,6 +324,36 @@ void expectSolves(SolverPool &Pool, unsigned Value, double Budget = 0) {
   EXPECT_EQ(Decoded->Model[0], BitValue(8, Value & 0xFF));
 }
 
+/// Pids of live (non-zombie) selgen-solverd children of this process,
+/// found by scanning /proc — the pool does not expose worker pids.
+std::vector<pid_t> liveSolverdChildren() {
+  std::vector<pid_t> Pids;
+  DIR *Proc = opendir("/proc");
+  if (!Proc)
+    return Pids;
+  while (struct dirent *Entry = readdir(Proc)) {
+    char *End = nullptr;
+    long Pid = std::strtol(Entry->d_name, &End, 10);
+    if (Pid <= 0 || (End && *End))
+      continue;
+    std::string StatPath = "/proc/" + std::string(Entry->d_name) + "/stat";
+    FILE *Stat = std::fopen(StatPath.c_str(), "r");
+    if (!Stat)
+      continue;
+    char Comm[64] = {0};
+    char State = '?';
+    int ParentPid = 0;
+    int Fields = std::fscanf(Stat, "%*d (%63[^)]) %c %d", Comm, &State,
+                             &ParentPid);
+    std::fclose(Stat);
+    if (Fields == 3 && ParentPid == getpid() && State != 'Z' &&
+        std::string(Comm) == "selgen-solverd")
+      Pids.push_back(static_cast<pid_t>(Pid));
+  }
+  closedir(Proc);
+  return Pids;
+}
+
 } // namespace
 
 TEST(SolverPool, UnexecutableWorkerFailsStart) {
@@ -402,6 +462,59 @@ TEST(SolverPool, GarbageRepliesAreRejectedAndRetried) {
   expectSolves(Pool, 20);
   expectSolves(Pool, 21); // Garbage frame, CRC reject, respawn, retry.
   expectSolves(Pool, 22);
+}
+
+TEST(SolverPool, WorkerDeadWhileIdleCostsOneRespawnNotTheProcess) {
+  // Regression: a worker that dies *between* queries (the OOM-killer
+  // scenario) leaves the next request's write facing a reader-less
+  // pipe. Without SIGPIPE ignored that write kills the scheduler;
+  // with it, EPIPE classifies as a crash and costs one respawn.
+  int64_t Crashes = Statistics::get().value("pool.crashes");
+  SolverPool Pool(liveOptions(1));
+  ASSERT_TRUE(Pool.start());
+  expectSolves(Pool, 1);
+
+  std::vector<pid_t> Workers = liveSolverdChildren();
+  ASSERT_EQ(Workers.size(), 1u);
+  ASSERT_EQ(kill(Workers[0], SIGKILL), 0);
+  // Once the child is gone from the live set (zombie or reaped) the
+  // kernel has closed its pipe ends; the next write hits EPIPE.
+  for (int I = 0; I < 5000 && !liveSolverdChildren().empty(); ++I)
+    usleep(1000);
+  ASSERT_TRUE(liveSolverdChildren().empty());
+
+  expectSolves(Pool, 2); // EPIPE -> crash -> respawn -> retry.
+  EXPECT_GE(Statistics::get().value("pool.crashes"), Crashes + 1);
+}
+
+TEST(SolverPool, ShutdownDrainsInFlightQueries) {
+  // shutdown() must wait for a checked-out worker instead of closing
+  // its fds under the concurrent readFrame (and clearing Workers under
+  // the run()'s slot reference).
+  SolverPoolOptions Options = liveOptions(1);
+  Options.WorkerEnv["SELGEN_FAULTS"] = "worker_hang@n=1";
+  Options.GraceSeconds = 0.5;
+  Options.MaxDeadlineRetries = 0;
+  SolverPool Pool(Options);
+  ASSERT_TRUE(Pool.start());
+
+  PoolReply InFlight;
+  std::thread Query([&] {
+    InFlight = Pool.run(equalityQuery(1), /*BudgetSeconds=*/0.3);
+  });
+  // Let the query check its worker out before shutting down.
+  usleep(100 * 1000);
+  Pool.shutdown();
+  Query.join();
+
+  // The in-flight query resolved normally (hung worker, deadline
+  // kill), untouched by the concurrent shutdown.
+  EXPECT_FALSE(InFlight.Ok);
+  EXPECT_EQ(InFlight.Failure, SmtFailure::Deadline);
+  // Post-shutdown queries fail typed instead of touching dead slots.
+  PoolReply After = Pool.run(equalityQuery(2));
+  EXPECT_FALSE(After.Ok);
+  EXPECT_EQ(After.Failure, SmtFailure::Exception);
 }
 
 TEST(SolverPool, WorkerErrorFrameIsNonRetryableFailure) {

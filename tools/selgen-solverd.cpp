@@ -127,6 +127,11 @@ int main(int Argc, char **Argv) {
     return std::string(Argv[1]) == "--help" ? 0 : 2;
   }
 
+  // A parent that died or recycled us mid-write must surface as a
+  // failed write (clean exit 2), not a SIGPIPE death that the next
+  // supervisor reads as a worker crash of unknown cause.
+  signal(SIGPIPE, SIG_IGN);
+
   // Claim the protocol stream, then point stdout at stderr so no
   // library print can ever interleave with frames.
   int ProtocolFd = dup(STDOUT_FILENO);
