@@ -101,7 +101,18 @@ BenchGoals selgen::bench::makeBenchGoals(const std::string &Kind) {
 }
 
 std::string selgen::bench::libraryCachePath(const std::string &Kind) {
-  return "rule-library-" + Kind + "-w" + std::to_string(Width) + ".dat";
+  std::string Name =
+      "rule-library-" + Kind + "-w" + std::to_string(Width) + ".dat";
+  // The shipped libraries live in artifacts/ (repo layout); prefer one
+  // there — from the repo root or from bench/ — before falling back to
+  // a cwd-local cache file that a synthesis run will create.
+  for (const std::string &Dir : {std::string("artifacts/"),
+                                 std::string("../artifacts/")}) {
+    std::ifstream Probe(Dir + Name);
+    if (Probe.good())
+      return Dir + Name;
+  }
+  return Name;
 }
 
 PatternDatabase selgen::bench::loadOrSynthesizeLibrary(

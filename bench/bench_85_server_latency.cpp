@@ -1,0 +1,310 @@
+//===- bench_85_server_latency.cpp - Compile-server latency ---------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+// Measures the compile-server mode that removes the remaining fixed
+// costs of rule-driven selection once the matcher automaton exists:
+//
+//   1. cold start: loading a ~12k-rule automaton from the versioned
+//      text format (parse + heap reconstruction) vs mapping the binary
+//      image (mmap + header/CRC validation + one bounds-check pass) —
+//      the binary path targets a >= 100x startup speedup, and
+//   2. resident service: >= 1M operation selections streamed through
+//      one mmap'ed automaton shared read-only by a multi-threaded
+//      SelectionService, reporting functions/sec, selections/sec, and
+//      the p50/p95/p99 per-function selection latency, plus the
+//      thread-scaling factor over a single-threaded service.
+//
+// The byte-identity of the served machine code against single-shot
+// `selgen-compile --selector auto` is asserted by tests/test_serve.cpp;
+// this harness only quantifies the latency claims.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "eval/Workloads.h"
+#include "isel/AutomatonSelector.h"
+#include "matchergen/BinaryAutomaton.h"
+#include "serve/SelectionService.h"
+#include "support/Rng.h"
+#include "support/Statistics.h"
+#include "support/StringUtils.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace selgen;
+using namespace selgen::bench;
+
+namespace {
+
+/// Inflates \p Base with distinct-constant and operand-swapped rule
+/// variants (as in bench_10/bench_80) to reach the paper's library
+/// scale without hours of synthesis.
+PatternDatabase inflate(const PatternDatabase &Base, size_t TargetSize) {
+  PatternDatabase Inflated;
+  for (const Rule &R : Base.rules())
+    Inflated.add(R.GoalName, R.Pattern.clone());
+  Rng Random(0xBEEF);
+  size_t Stuck = 0;
+  while (Inflated.size() < TargetSize && Stuck < 10 * TargetSize) {
+    for (const Rule &R : Base.rules()) {
+      if (Inflated.size() >= TargetSize)
+        break;
+      Graph Clone = R.Pattern.clone();
+      bool Mutated = false;
+      for (Node *N : Clone.liveNodes()) {
+        if (N->opcode() == Opcode::Const) {
+          N->setConstValue(Random.nextBitValue(N->constValue().width()));
+          Mutated = true;
+        } else if (N->numOperands() == 2 && Random.nextBelow(2) == 1) {
+          NodeRef A = N->operand(0), B = N->operand(1);
+          if (A.Def->resultSort(A.Index) == B.Def->resultSort(B.Index)) {
+            N->setOperand(0, B);
+            N->setOperand(1, A);
+            Mutated = true;
+          }
+        }
+      }
+      if (!Mutated)
+        continue;
+      if (!Inflated.add(R.GoalName, std::move(Clone)))
+        ++Stuck;
+    }
+  }
+  return Inflated;
+}
+
+uint64_t envOr(const char *Name, uint64_t Default) {
+  const char *Value = std::getenv(Name);
+  if (!Value || !*Value)
+    return Default;
+  return std::strtoull(Value, nullptr, 10);
+}
+
+double percentile(std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0;
+  size_t Index = static_cast<size_t>(P * (Sorted.size() - 1) + 0.5);
+  return Sorted[std::min(Index, Sorted.size() - 1)];
+}
+
+struct ServiceRun {
+  uint64_t Batches = 0;
+  uint64_t Functions = 0;
+  uint64_t Selections = 0; ///< Covered operation selections.
+  double WallSeconds = 0;
+  std::vector<double> LatenciesUs; ///< Per-function selection time.
+};
+
+/// Streams batches of every cint2000 workload through \p Service until
+/// \p TargetFunctions function selections have been served.
+ServiceRun drive(SelectionService &Service, uint64_t TargetFunctions,
+                 unsigned Repeat) {
+  BatchRequest Request;
+  Request.Id = 1;
+  Request.Width = Service.width();
+  for (unsigned Copy = 0; Copy < Repeat; ++Copy)
+    for (const WorkloadProfile &Profile : cint2000Profiles())
+      Request.Workloads.push_back(Profile.Name);
+
+  ServiceRun Run;
+  Timer Wall;
+  while (Run.Functions < TargetFunctions) {
+    std::string Error;
+    std::optional<BatchReply> Reply = Service.process(Request, &Error);
+    if (!Reply) {
+      std::fprintf(stderr, "FAILURE: batch rejected: %s\n", Error.c_str());
+      std::exit(1);
+    }
+    ++Request.Id;
+    ++Run.Batches;
+    for (const BatchReply::Result &R : Reply->Results) {
+      ++Run.Functions;
+      Run.Selections += R.CoveredOperations;
+      Run.LatenciesUs.push_back(R.SelectUs);
+    }
+  }
+  Run.WallSeconds = Wall.elapsedSeconds();
+  return Run;
+}
+
+} // namespace
+
+int main() {
+  printBenchHeader(
+      "Compile-server mode: mmap cold start and resident selection latency",
+      "Buchwald et al., CGO'18, Section 7.3 (selection-phase cost of the "
+      "~60 000-rule library)");
+
+  // --- Library and automaton artifacts ---------------------------------
+  SmtContext Smt;
+  BenchGoals FullGoals = makeBenchGoals("full");
+  PatternDatabase FullDb =
+      loadOrSynthesizeLibrary(Smt, "full", FullGoals.Goals);
+  FullDb.filterNonNormalized();
+  FullDb.sortSpecificFirst();
+
+  const size_t TargetRules = envOr("SELGEN_BENCH_SERVER_RULES", 12000);
+  PatternDatabase Inflated = inflate(FullDb, TargetRules);
+  PreparedLibrary Library(Inflated, FullGoals.Goals);
+
+  Timer CompileTimer;
+  MatcherAutomaton Automaton = buildMatcherAutomaton(Library);
+  double CompileSec = CompileTimer.elapsedSeconds();
+
+  const std::string TextPath = "matcher-automaton-bench85.mat";
+  const std::string BinPath = "matcher-automaton-bench85.matb";
+  if (!Automaton.writeFile(TextPath) || !Automaton.writeBinaryFile(BinPath)) {
+    std::fprintf(stderr, "FAILURE: cannot write automaton files\n");
+    return 1;
+  }
+
+  std::printf("library: %s rules; automaton: %s states, %s transitions "
+              "(compiled in %s)\n",
+              formatGrouped(Inflated.size()).c_str(),
+              formatGrouped(Automaton.numStates()).c_str(),
+              formatGrouped(Automaton.numTransitions()).c_str(),
+              formatDuration(CompileSec).c_str());
+
+  // --- Cold start: text parse vs mmap ----------------------------------
+  // Text loading re-parses and rebuilds the heap automaton; the binary
+  // path is mmap + validation with zero deserialization, so its cost is
+  // one read-only pass over the tables. Both are measured end to end
+  // (open to usable automaton).
+  const int TextReps = 5;
+  Timer TextTimer;
+  for (int Rep = 0; Rep < TextReps; ++Rep) {
+    std::optional<MatcherAutomaton> Loaded =
+        MatcherAutomaton::loadFile(TextPath);
+    if (!Loaded || Loaded->numStates() != Automaton.numStates()) {
+      std::fprintf(stderr, "FAILURE: text reload mismatch\n");
+      return 1;
+    }
+  }
+  double TextSec = TextTimer.elapsedSeconds() / TextReps;
+
+  const int MapReps = 200;
+  size_t MappedBytes = 0;
+  Timer MapTimer;
+  for (int Rep = 0; Rep < MapReps; ++Rep) {
+    std::string Error;
+    std::unique_ptr<MappedAutomaton> Mapped =
+        MatcherAutomaton::mapBinary(BinPath, &Error);
+    if (!Mapped || Mapped->view().numStates() != Automaton.numStates()) {
+      std::fprintf(stderr, "FAILURE: mmap reload failed: %s\n", Error.c_str());
+      return 1;
+    }
+    MappedBytes = Mapped->sizeBytes();
+  }
+  double MapSec = MapTimer.elapsedSeconds() / MapReps;
+
+  double Speedup = TextSec / MapSec;
+  TablePrinter ColdTable({"Startup path", "Time", "Image"});
+  ColdTable.addRow({"text parse (" + TextPath + ")",
+                    formatDouble(TextSec * 1e3, 2) + " ms",
+                    formatGrouped(Automaton.serialize().size()) + " B"});
+  ColdTable.addRow({"mmap + validate (" + BinPath + ")",
+                    formatDouble(MapSec * 1e6, 1) + " us",
+                    formatGrouped(MappedBytes) + " B"});
+  std::printf("\n%s", ColdTable.render().c_str());
+  std::printf("\ncold-start speedup (mmap over text parse): %.0fx "
+              "(target >= 100x)\n",
+              Speedup);
+  if (Speedup < 100) {
+    std::fprintf(stderr, "FAILURE: mmap cold start below 100x target\n");
+    return 1;
+  }
+
+  // --- Resident service: latency distribution and throughput -----------
+  printBenchHeader(
+      "Resident selection service (mapped image, arena-per-request)",
+      "p50/p95/p99 per-function selection latency over >= 1M function "
+      "selections");
+
+  std::string Error;
+  std::unique_ptr<MappedAutomaton> Mapped =
+      MatcherAutomaton::mapBinary(BinPath, &Error);
+  if (!Mapped) {
+    std::fprintf(stderr, "FAILURE: %s\n", Error.c_str());
+    return 1;
+  }
+  std::string Stale = automatonStalenessError(Mapped->view(), Library);
+  if (!Stale.empty()) {
+    std::fprintf(stderr, "FAILURE: %s\n", Stale.c_str());
+    return 1;
+  }
+
+  unsigned HwThreads = std::thread::hardware_concurrency();
+  unsigned Threads = static_cast<unsigned>(envOr(
+      "SELGEN_BENCH_SERVER_THREADS",
+      std::clamp(HwThreads ? HwThreads : 4u, 2u, 8u)));
+  uint64_t TargetFunctions =
+      envOr("SELGEN_BENCH_SERVER_FUNCTIONS", 1000000);
+  const unsigned Repeat = 8; ///< Workload copies per batch.
+
+  // Thread-scaling reference: the same service shape with one worker.
+  SelectionService Single(Library, Mapped->view(), Width, 1);
+  ServiceRun SingleRun =
+      drive(Single, std::max<uint64_t>(TargetFunctions / 20, 1), Repeat);
+
+  SelectionService Service(Library, Mapped->view(), Width, Threads);
+  ServiceRun Run = drive(Service, TargetFunctions, Repeat);
+
+  std::sort(Run.LatenciesUs.begin(), Run.LatenciesUs.end());
+  double SingleFnPerSec = SingleRun.Functions / SingleRun.WallSeconds;
+  double FnPerSec = Run.Functions / Run.WallSeconds;
+
+  TablePrinter LatTable({"Metric", "Value"});
+  LatTable.addRow({"worker threads", std::to_string(Threads)});
+  LatTable.addRow({"batches served", formatGrouped(Run.Batches)});
+  LatTable.addRow({"functions compiled", formatGrouped(Run.Functions)});
+  LatTable.addRow(
+      {"operation selections", formatGrouped(Run.Selections)});
+  LatTable.addRow({"wall time", formatDuration(Run.WallSeconds)});
+  LatTable.addRow({"functions / s", formatGrouped(
+                                        static_cast<uint64_t>(FnPerSec))});
+  LatTable.addRow(
+      {"selections / s",
+       formatGrouped(static_cast<uint64_t>(Run.Selections /
+                                           Run.WallSeconds))});
+  LatTable.addRow({"p50 select latency",
+                   formatDouble(percentile(Run.LatenciesUs, 0.50), 1) +
+                       " us"});
+  LatTable.addRow({"p95 select latency",
+                   formatDouble(percentile(Run.LatenciesUs, 0.95), 1) +
+                       " us"});
+  LatTable.addRow({"p99 select latency",
+                   formatDouble(percentile(Run.LatenciesUs, 0.99), 1) +
+                       " us"});
+  LatTable.addRow({"1-thread functions / s",
+                   formatGrouped(static_cast<uint64_t>(SingleFnPerSec))});
+  LatTable.addRow({"thread scaling",
+                   formatDouble(FnPerSec / SingleFnPerSec, 2) + "x"});
+  std::printf("\n%s", LatTable.render().c_str());
+  std::printf("\n(per-function latency is the selection engine's own "
+              "stopwatch, so queueing\nin the batch dispatcher is "
+              "excluded; an operation selection covers one subject\n"
+              "operation with a rule or fallback emission)\n");
+
+  const ServiceTelemetry &T = Service.telemetry();
+  std::printf("service telemetry: %llu batches, %llu functions, "
+              "%llu rules tried, %llu automaton states visited\n",
+              static_cast<unsigned long long>(T.Batches),
+              static_cast<unsigned long long>(T.Functions),
+              static_cast<unsigned long long>(T.RulesTried),
+              static_cast<unsigned long long>(T.NodesVisited));
+
+  if (Run.Functions < TargetFunctions) {
+    std::fprintf(stderr, "FAILURE: served fewer functions than target\n");
+    return 1;
+  }
+  return 0;
+}

@@ -49,53 +49,78 @@ selgen::automatonStalenessError(const MatcherAutomaton &Automaton,
   return "";
 }
 
-namespace {
+std::string
+selgen::automatonStalenessError(const BinaryAutomatonView &View,
+                                const PreparedLibrary &Library) {
+  if (View.libraryFingerprint() != Library.fingerprint())
+    return "automaton image was compiled for library fingerprint " +
+           View.libraryFingerprint() + ", current library is " +
+           Library.fingerprint() + " (stale automaton; re-run "
+           "selgen-matchergen)";
+  if (View.numRules() != Library.rules().size())
+    return "automaton image indexes " + std::to_string(View.numRules()) +
+           " rules, library has " +
+           std::to_string(Library.rules().size()) +
+           " (stale automaton; re-run selgen-matchergen)";
+  return "";
+}
 
-/// Candidate discovery through one discrimination-tree traversal per
-/// subject position.
-class AutomatonCandidateSource : public RuleCandidateSource {
-public:
-  AutomatonCandidateSource(const PreparedLibrary &Library,
-                           const MatcherAutomaton &Automaton)
-      : Library(Library), Automaton(Automaton) {}
+void AutomatonCandidateSource::forEachBodyCandidate(
+    const Node *S,
+    const std::function<bool(const PreparedRule &)> &TryRule) {
+  Indices.clear();
+  Automaton.matchBody(S, Indices, &StatesVisited);
+  for (uint32_t Index : Indices)
+    if (TryRule(Library.rules()[Index]))
+      return;
+}
 
-  void forEachBodyCandidate(
-      const Node *S,
-      const std::function<bool(const PreparedRule &)> &TryRule) override {
-    Indices.clear();
-    Automaton.matchBody(S, Indices, &StatesVisited);
-    for (uint32_t Index : Indices)
-      if (TryRule(Library.rules()[Index]))
-        return;
+void AutomatonCandidateSource::forEachJumpCandidate(
+    NodeRef Condition,
+    const std::function<bool(const PreparedRule &)> &TryRule) {
+  Indices.clear();
+  Automaton.matchJump(Condition, Indices, &StatesVisited);
+  for (uint32_t Index : Indices) {
+    const PreparedRule &R = Library.rules()[Index];
+    // Defensive re-filter; buildMatcherAutomaton never inserts these.
+    if (!R.IsJumpRule || !R.TakenIsCondZero)
+      continue;
+    if (TryRule(R))
+      return;
   }
+}
 
-  void forEachJumpCandidate(
-      NodeRef Condition,
-      const std::function<bool(const PreparedRule &)> &TryRule) override {
-    Indices.clear();
-    Automaton.matchJump(Condition, Indices, &StatesVisited);
-    for (uint32_t Index : Indices) {
-      const PreparedRule &R = Library.rules()[Index];
-      // Defensive re-filter; buildMatcherAutomaton never inserts these.
-      if (!R.IsJumpRule || !R.TakenIsCondZero)
-        continue;
-      if (TryRule(R))
-        return;
-    }
+uint64_t AutomatonCandidateSource::takeNodesVisited() {
+  return std::exchange(StatesVisited, 0);
+}
+
+void MappedCandidateSource::forEachBodyCandidate(
+    const Node *S,
+    const std::function<bool(const PreparedRule &)> &TryRule) {
+  Indices.clear();
+  View.matchBody(S, Indices, &StatesVisited);
+  for (uint32_t Index : Indices)
+    if (TryRule(Library.rules()[Index]))
+      return;
+}
+
+void MappedCandidateSource::forEachJumpCandidate(
+    NodeRef Condition,
+    const std::function<bool(const PreparedRule &)> &TryRule) {
+  Indices.clear();
+  View.matchJump(Condition, Indices, &StatesVisited);
+  for (uint32_t Index : Indices) {
+    const PreparedRule &R = Library.rules()[Index];
+    if (!R.IsJumpRule || !R.TakenIsCondZero)
+      continue;
+    if (TryRule(R))
+      return;
   }
+}
 
-  uint64_t takeNodesVisited() override {
-    return std::exchange(StatesVisited, 0);
-  }
-
-private:
-  const PreparedLibrary &Library;
-  const MatcherAutomaton &Automaton;
-  std::vector<uint32_t> Indices;
-  uint64_t StatesVisited = 0;
-};
-
-} // namespace
+uint64_t MappedCandidateSource::takeNodesVisited() {
+  return std::exchange(StatesVisited, 0);
+}
 
 AutomatonSelector::AutomatonSelector(const PatternDatabase &Database,
                                      const GoalLibrary &Goals)
@@ -113,6 +138,15 @@ AutomatonSelector::AutomatonSelector(const PatternDatabase &Database,
   noteAutomatonStatistics();
 }
 
+AutomatonSelector::AutomatonSelector(PreparedLibrary &&PrebuiltLibrary,
+                                     MatcherAutomaton Automaton)
+    : Library(std::move(PrebuiltLibrary)), Automaton(std::move(Automaton)) {
+  std::string Stale = automatonStalenessError(this->Automaton, Library);
+  if (!Stale.empty())
+    reportFatalError(Stale);
+  noteAutomatonStatistics();
+}
+
 void AutomatonSelector::noteAutomatonStatistics() const {
   Statistics &Stats = Statistics::get();
   Stats.add("automaton.states",
@@ -123,5 +157,31 @@ void AutomatonSelector::noteAutomatonStatistics() const {
 
 SelectionResult AutomatonSelector::select(const Function &F) {
   AutomatonCandidateSource Source(Library, Automaton);
+  return runRuleSelection(F, Library, Source, name());
+}
+
+MappedAutomatonSelector::MappedAutomatonSelector(
+    const PatternDatabase &Database, const GoalLibrary &Goals,
+    const BinaryAutomatonView &View)
+    : Library(Database, Goals), View(View) {
+  std::string Stale = automatonStalenessError(View, Library);
+  if (!Stale.empty())
+    reportFatalError(Stale);
+  Statistics &Stats = Statistics::get();
+  Stats.add("automaton.states", static_cast<int64_t>(View.numStates()));
+  Stats.add("automaton.transitions",
+            static_cast<int64_t>(View.numTransitions()));
+}
+
+MappedAutomatonSelector::MappedAutomatonSelector(
+    PreparedLibrary &&PrebuiltLibrary, const BinaryAutomatonView &View)
+    : Library(std::move(PrebuiltLibrary)), View(View) {
+  std::string Stale = automatonStalenessError(View, Library);
+  if (!Stale.empty())
+    reportFatalError(Stale);
+}
+
+SelectionResult MappedAutomatonSelector::select(const Function &F) {
+  MappedCandidateSource Source(Library, View);
   return runRuleSelection(F, Library, Source, name());
 }

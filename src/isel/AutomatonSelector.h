@@ -26,7 +26,9 @@
 #define SELGEN_ISEL_AUTOMATONSELECTOR_H
 
 #include "isel/PreparedLibrary.h"
+#include "isel/SelectionEngine.h"
 #include "isel/Selector.h"
+#include "matchergen/BinaryAutomaton.h"
 #include "matchergen/MatcherAutomaton.h"
 
 namespace selgen {
@@ -42,6 +44,60 @@ MatcherAutomaton buildMatcherAutomaton(const PreparedLibrary &Library);
 /// string if it is current.
 std::string automatonStalenessError(const MatcherAutomaton &Automaton,
                                     const PreparedLibrary &Library);
+
+/// Staleness check for a mapped binary image — the same fingerprint /
+/// rule-count rule as the text path.
+std::string automatonStalenessError(const BinaryAutomatonView &View,
+                                    const PreparedLibrary &Library);
+
+/// Candidate discovery through one discrimination-tree traversal per
+/// subject position (heap automaton). One instance per selection
+/// thread; not thread-safe itself, but many instances can share the
+/// library and automaton.
+class AutomatonCandidateSource : public RuleCandidateSource {
+public:
+  AutomatonCandidateSource(const PreparedLibrary &Library,
+                           const MatcherAutomaton &Automaton)
+      : Library(Library), Automaton(Automaton) {}
+
+  void forEachBodyCandidate(
+      const Node *S,
+      const std::function<bool(const PreparedRule &)> &TryRule) override;
+  void forEachJumpCandidate(
+      NodeRef Condition,
+      const std::function<bool(const PreparedRule &)> &TryRule) override;
+  uint64_t takeNodesVisited() override;
+
+private:
+  const PreparedLibrary &Library;
+  const MatcherAutomaton &Automaton;
+  std::vector<uint32_t> Indices;
+  uint64_t StatesVisited = 0;
+};
+
+/// Candidate discovery directly off a mapped binary automaton image —
+/// zero deserialization, same candidate sets as the heap automaton.
+/// One instance per selection thread over one shared read-only image.
+class MappedCandidateSource : public RuleCandidateSource {
+public:
+  MappedCandidateSource(const PreparedLibrary &Library,
+                        const BinaryAutomatonView &View)
+      : Library(Library), View(View) {}
+
+  void forEachBodyCandidate(
+      const Node *S,
+      const std::function<bool(const PreparedRule &)> &TryRule) override;
+  void forEachJumpCandidate(
+      NodeRef Condition,
+      const std::function<bool(const PreparedRule &)> &TryRule) override;
+  uint64_t takeNodesVisited() override;
+
+private:
+  const PreparedLibrary &Library;
+  const BinaryAutomatonView &View;
+  std::vector<uint32_t> Indices;
+  uint64_t StatesVisited = 0;
+};
 
 /// Instruction selector driven by a synthesized pattern database, with
 /// automaton-based candidate discovery.
@@ -59,6 +115,11 @@ public:
   AutomatonSelector(const PatternDatabase &Database, const GoalLibrary &Goals,
                     MatcherAutomaton Automaton);
 
+  /// Adopts an already-prepared library instead of re-preparing —
+  /// callers that prepared for a staleness check pass it here and the
+  /// redundant prepare (clone + sort of every rule) is skipped.
+  AutomatonSelector(PreparedLibrary &&Library, MatcherAutomaton Automaton);
+
   std::string name() const override { return "automaton"; }
   SelectionResult select(const Function &F) override;
 
@@ -73,6 +134,35 @@ private:
 
   PreparedLibrary Library;
   MatcherAutomaton Automaton;
+};
+
+/// Instruction selector running directly off a mapped binary automaton
+/// image with zero deserialization. The image must outlive the
+/// selector. Reports the same selector name as AutomatonSelector —
+/// the two produce byte-identical machine code, and the differential
+/// tests rely on their output files comparing equal.
+class MappedAutomatonSelector : public InstructionSelector {
+public:
+  /// Prepares the library internally. Aborts if \p View is stale —
+  /// check automatonStalenessError() first for a graceful error.
+  MappedAutomatonSelector(const PatternDatabase &Database,
+                          const GoalLibrary &Goals,
+                          const BinaryAutomatonView &View);
+
+  /// Adopts an already-prepared library (no redundant re-prepare).
+  MappedAutomatonSelector(PreparedLibrary &&Library,
+                          const BinaryAutomatonView &View);
+
+  std::string name() const override { return "automaton"; }
+  SelectionResult select(const Function &F) override;
+
+  size_t numRules() const { return Library.rules().size(); }
+  const PreparedLibrary &library() const { return Library; }
+  const BinaryAutomatonView &view() const { return View; }
+
+private:
+  PreparedLibrary Library;
+  const BinaryAutomatonView &View;
 };
 
 } // namespace selgen

@@ -58,6 +58,13 @@ public:
   PreparedLibrary(const PreparedLibrary &) = delete;
   PreparedLibrary &operator=(const PreparedLibrary &) = delete;
 
+  /// Moving is safe: every PreparedRule pointer targets the heap
+  /// buffer of OwnedRules (which a vector move preserves) or the
+  /// external GoalLibrary. Lets a caller prepare once and hand the
+  /// result to a selector without a redundant re-prepare.
+  PreparedLibrary(PreparedLibrary &&) = default;
+  PreparedLibrary &operator=(PreparedLibrary &&) = default;
+
   /// Usable (goal-resolved, rooted) rules in priority order.
   const std::vector<PreparedRule> &rules() const { return Rules; }
 

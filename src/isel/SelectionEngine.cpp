@@ -435,7 +435,8 @@ public:
 SelectionResult selgen::runRuleSelection(const Function &F,
                                          const PreparedLibrary &Library,
                                          RuleCandidateSource &Source,
-                                         const std::string &SelectorName) {
+                                         const std::string &SelectorName,
+                                         SelectionObserver *Observer) {
   Timer Clock;
   SelectionResult Result;
   FunctionLowering Lowering(F, SelectorName);
@@ -453,6 +454,14 @@ SelectionResult selgen::runRuleSelection(const Function &F,
   Result.MF = Lowering.takeMachineFunction();
   removeDeadInstructions(*Result.MF);
   Result.SelectionSeconds = Clock.elapsedSeconds();
+
+  if (Observer) {
+    Observer->RulesTried += Counters.RulesTried;
+    Observer->NodesVisited += Counters.NodesVisited;
+    Observer->PrecondProved += Counters.PrecondProved;
+    Observer->SelectUs += Result.SelectionSeconds * 1e6;
+    return Result;
+  }
 
   Statistics &Stats = Statistics::get();
   Stats.add("selector.rules_tried",

@@ -58,16 +58,32 @@ public:
   virtual uint64_t takeNodesVisited() { return 0; }
 };
 
+/// Per-run matching counters, for callers that route observability
+/// somewhere other than the global Statistics registry. The resident
+/// compile server and the latency bench pass one per request: the
+/// global registry is mutex-guarded and accumulates a telemetry
+/// record per selection, both of which are wrong for millions of
+/// selections across worker threads.
+struct SelectionObserver {
+  uint64_t RulesTried = 0;
+  uint64_t NodesVisited = 0;
+  uint64_t PrecondProved = 0;
+  double SelectUs = 0;
+};
+
 /// Runs rule-driven selection of \p F using candidates from
 /// \p Source, records matcher observability counters
 /// (selector.rules_tried, matcher.nodes_visited,
 /// matcher.precond_proved, selector.select_us plus a per-function
 /// SelectionTelemetry record under \p SelectorName), and returns the
-/// selection result.
+/// selection result. With \p Observer non-null the counters go into
+/// it INSTEAD of the global registry — selection decisions and
+/// machine code are identical either way.
 SelectionResult runRuleSelection(const Function &F,
                                  const PreparedLibrary &Library,
                                  RuleCandidateSource &Source,
-                                 const std::string &SelectorName);
+                                 const std::string &SelectorName,
+                                 SelectionObserver *Observer = nullptr);
 
 /// Toggles the dataflow-based elision of runtime shift-precondition
 /// checks: when the known-bits/range analysis proves every shift

@@ -50,11 +50,14 @@
 #include "ir/Graph.h"
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 namespace selgen {
+
+class MappedAutomaton;
 
 /// One rule pattern as the automaton compiler consumes it. The
 /// caller (isel's rule preparation) resolves roots and priority
@@ -147,6 +150,33 @@ public:
   bool writeFile(const std::string &Path) const;
   static std::optional<MatcherAutomaton>
   loadFile(const std::string &Path, std::string *Error = nullptr);
+
+  // -- Binary serialization (matchergen/BinaryAutomaton.h) ---------------
+  /// The mmap-able binary format's name. The on-disk discriminator is
+  /// the header magic/version; this tag is for diagnostics.
+  static const char *binaryFormatTag() {
+    return "selgen-matcher-automaton-bin-v1";
+  }
+
+  /// Renders the automaton as one contiguous, pointer-free binary
+  /// arena (layout in BinaryAutomaton.h).
+  std::string serializeBinary() const;
+
+  /// Writes serializeBinary() output atomically.
+  bool writeBinaryFile(const std::string &Path) const;
+
+  /// mmaps and validates a binary automaton image. Null — with
+  /// \p Error set — on I/O, corruption, or version failure. Library
+  /// staleness is the caller's check, as with deserialize().
+  static std::unique_ptr<MappedAutomaton>
+  mapBinary(const std::string &Path, std::string *Error = nullptr);
+
+  /// Rebuilds an automaton from explicit, already-validated tables
+  /// (the binary loader's conversion path).
+  static MatcherAutomaton fromParts(std::vector<State> States,
+                                    uint32_t BodyRoot, uint32_t JumpRoot,
+                                    std::string LibraryFingerprint,
+                                    uint32_t NumRules);
 
 private:
   MatcherAutomaton();

@@ -1,0 +1,57 @@
+//===- SelectionServer.cpp - Compile-server frame loop ------------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/SelectionServer.h"
+
+#include "support/Wire.h"
+
+using namespace selgen;
+
+int SelectionServer::run() {
+  // Short read deadlines keep the loop responsive to requestStop()
+  // without busy-waiting: an idle connection costs one poll wakeup
+  // every PollMs.
+  constexpr int64_t PollMs = 200;
+  while (true) {
+    if (StopFlag.load(std::memory_order_relaxed))
+      return 0;
+    wire::Frame Frame;
+    wire::ReadStatus Status = wire::readFrame(InFd, Frame, PollMs);
+    if (Status == wire::ReadStatus::Timeout)
+      continue; // Idle tick; re-check the stop flag.
+    if (Status == wire::ReadStatus::Eof)
+      return 0;
+    if (Status != wire::ReadStatus::Ok)
+      return 2; // Garbage on the stream: nothing sane to resync to.
+    if (Frame.Type == wire::Shutdown)
+      return 0;
+    if (Frame.Type != wire::Request) {
+      if (!wire::writeFrame(OutFd, wire::Error, "unexpected frame type"))
+        return 2;
+      continue;
+    }
+
+    std::string Error;
+    std::optional<BatchRequest> Request =
+        decodeBatchRequest(Frame.Payload, &Error);
+    if (!Request) {
+      if (!wire::writeFrame(OutFd, wire::Error,
+                            "malformed batch request: " + Error))
+        return 2;
+      continue;
+    }
+    std::optional<BatchReply> Reply = Service.process(*Request, &Error);
+    if (!Reply) {
+      if (!wire::writeFrame(OutFd, wire::Error, Error))
+        return 2;
+      continue;
+    }
+    if (!wire::writeFrame(OutFd, wire::Response, encodeBatchReply(*Reply)))
+      return 2; // The client is gone mid-reply.
+    ++Batches;
+  }
+}

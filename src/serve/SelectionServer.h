@@ -1,0 +1,62 @@
+//===- SelectionServer.h - Compile-server frame loop -------------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire-facing loop of selgen-served: reads framed BatchRequests
+/// from one fd, feeds them to the resident SelectionService, and
+/// writes framed BatchReplies back. One loop serves one client stream
+/// (stdin/stdout or one accepted socket connection).
+///
+/// Termination contract: EOF and an explicit Shutdown frame end the
+/// loop cleanly (exit code 0); garbage on the stream — bad magic, bad
+/// CRC, oversized length — condemns the connection (exit code 2, no
+/// resynchronization, same policy as the solver pool). A malformed but
+/// correctly framed payload gets an Error frame and the loop
+/// continues. requestStop() (async-signal-safe; SIGTERM handlers call
+/// it) makes the loop exit cleanly at the next poll tick, after the
+/// in-flight batch finishes — a batch is never abandoned half-written.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_SERVE_SELECTIONSERVER_H
+#define SELGEN_SERVE_SELECTIONSERVER_H
+
+#include "serve/SelectionService.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace selgen {
+
+class SelectionServer {
+public:
+  /// Serves \p Service over \p InFd / \p OutFd (may be the same fd for
+  /// a socket). The fds are borrowed, not closed.
+  SelectionServer(SelectionService &Service, int InFd, int OutFd)
+      : Service(Service), InFd(InFd), OutFd(OutFd) {}
+
+  /// Runs until EOF / Shutdown / stop (returns 0) or stream corruption
+  /// or a dead peer (returns 2).
+  int run();
+
+  /// Makes run() return 0 at its next idle poll tick. Safe to call
+  /// from a signal handler or another thread.
+  void requestStop() { StopFlag.store(true, std::memory_order_relaxed); }
+
+  uint64_t batchesServed() const { return Batches; }
+
+private:
+  SelectionService &Service;
+  int InFd;
+  int OutFd;
+  std::atomic<bool> StopFlag{false};
+  uint64_t Batches = 0;
+};
+
+} // namespace selgen
+
+#endif // SELGEN_SERVE_SELECTIONSERVER_H

@@ -1,0 +1,150 @@
+//===- SelectionService.cpp - Resident multi-threaded selection ---------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/SelectionService.h"
+
+#include "eval/Workloads.h"
+#include "x86/MachineIR.h"
+
+#include <chrono>
+
+using namespace selgen;
+
+SelectionService::SelectionService(const PreparedLibrary &Library,
+                                   const BinaryAutomatonView &View,
+                                   unsigned Width, unsigned Threads)
+    : Library(Library), View(&View), Width(Width) {
+  start(Threads);
+}
+
+SelectionService::SelectionService(const PreparedLibrary &Library,
+                                   const MatcherAutomaton &Automaton,
+                                   unsigned Width, unsigned Threads)
+    : Library(Library), Automaton(&Automaton), Width(Width) {
+  start(Threads);
+}
+
+SelectionService::~SelectionService() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void SelectionService::start(unsigned Threads) {
+  if (Threads == 0)
+    Threads = 1;
+  Workers.reserve(Threads);
+  for (unsigned I = 0; I < Threads; ++I)
+    Workers.emplace_back([this] { workerMain(); });
+}
+
+void SelectionService::workerMain() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  while (true) {
+    WorkCv.wait(Lock, [this] {
+      return Stopping || (Batch && NextItem < Batch->Workloads.size());
+    });
+    if (Stopping)
+      return;
+    size_t Index = NextItem++;
+    Lock.unlock();
+    processItem(Index);
+    Lock.lock();
+    if (++ItemsDone == Batch->Workloads.size())
+      DoneCv.notify_all();
+  }
+}
+
+void SelectionService::processItem(size_t Index) {
+  // Everything below is per-request state owned by this worker; the
+  // library and automaton are only ever read.
+  Function F = buildWorkload(*Profiles[Index], Width);
+  SelectionObserver Observer;
+  SelectionResult Selected;
+  if (View) {
+    MappedCandidateSource Source(Library, *View);
+    Selected = runRuleSelection(F, Library, Source, "automaton", &Observer);
+  } else {
+    AutomatonCandidateSource Source(Library, *Automaton);
+    Selected = runRuleSelection(F, Library, Source, "automaton", &Observer);
+  }
+
+  BatchReply::Result &R = (*Out)[Index];
+  R.Workload = Profiles[Index]->Name;
+  R.TotalOperations = Selected.TotalOperations;
+  R.CoveredOperations = Selected.CoveredOperations;
+  R.FallbackOperations = Selected.FallbackOperations;
+  R.RulesTried = Observer.RulesTried;
+  R.NodesVisited = Observer.NodesVisited;
+  R.SelectUs = Observer.SelectUs;
+  R.Asm = printMachineFunction(*Selected.MF);
+}
+
+std::optional<BatchReply>
+SelectionService::process(const BatchRequest &Request, std::string *Error) {
+  if (Request.Width != Width) {
+    if (Error)
+      *Error = "width mismatch: request " + std::to_string(Request.Width) +
+               ", server library is width " + std::to_string(Width);
+    return std::nullopt;
+  }
+  // Resolve every name up front: a request naming an unknown workload
+  // fails whole before any selection runs.
+  std::vector<const WorkloadProfile *> Resolved;
+  Resolved.reserve(Request.Workloads.size());
+  for (const std::string &Name : Request.Workloads) {
+    const WorkloadProfile *Found = nullptr;
+    for (const WorkloadProfile &P : cint2000Profiles())
+      if (P.Name == Name)
+        Found = &P;
+    if (!Found) {
+      if (Error)
+        *Error = "unknown workload: " + Name;
+      return std::nullopt;
+    }
+    Resolved.push_back(Found);
+  }
+
+  BatchReply Reply;
+  Reply.Id = Request.Id;
+  Reply.Results.resize(Request.Workloads.size());
+  auto Start = std::chrono::steady_clock::now();
+  if (!Request.Workloads.empty()) {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Batch = &Request;
+      Profiles = std::move(Resolved);
+      Out = &Reply.Results;
+      NextItem = 0;
+      ItemsDone = 0;
+    }
+    WorkCv.notify_all();
+    std::unique_lock<std::mutex> Lock(Mutex);
+    DoneCv.wait(Lock, [this, &Request] {
+      return ItemsDone == Request.Workloads.size();
+    });
+    Batch = nullptr;
+    Out = nullptr;
+    Profiles.clear();
+  }
+  Reply.WallUs = std::chrono::duration<double, std::micro>(
+                     std::chrono::steady_clock::now() - Start)
+                     .count();
+
+  Telemetry.Batches += 1;
+  Telemetry.Functions += Reply.Results.size();
+  for (const BatchReply::Result &R : Reply.Results) {
+    Telemetry.RulesTried += R.RulesTried;
+    Telemetry.NodesVisited += R.NodesVisited;
+    Telemetry.SelectUs += R.SelectUs;
+  }
+  return Reply;
+}

@@ -1,0 +1,116 @@
+//===- SelectionService.h - Resident multi-threaded selection ----*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The resident core of the selgen-served compile server: N persistent
+/// worker threads sharing one read-only prepared library and one
+/// read-only matcher automaton (a mapped binary image or a heap
+/// automaton), compiling batches of workload functions concurrently.
+///
+/// Ownership and threading model: the library and automaton are
+/// immutable after construction and shared by reference; everything
+/// mutable — the subject Function, the candidate source's scratch
+/// vectors, the SelectionObserver counters, the produced
+/// MachineFunction — lives per request on the worker that handles it
+/// (arena-per-request). The only shared mutable state is the batch
+/// work queue under one mutex; selection itself takes no lock and
+/// touches no global, so throughput scales with threads.
+///
+/// Results are byte-identical to a single-shot
+/// `selgen-compile --selector auto` run: the workers run the same
+/// selection engine over the same candidate sets in the same priority
+/// order, and workload functions are regenerated deterministically
+/// from their profile names.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_SERVE_SELECTIONSERVICE_H
+#define SELGEN_SERVE_SELECTIONSERVICE_H
+
+#include "isel/AutomatonSelector.h"
+#include "serve/ServeProtocol.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace selgen {
+
+struct WorkloadProfile;
+
+/// Lifetime counters of one service (all batches since start).
+struct ServiceTelemetry {
+  uint64_t Batches = 0;
+  uint64_t Functions = 0;
+  uint64_t RulesTried = 0;
+  uint64_t NodesVisited = 0;
+  double SelectUs = 0;
+};
+
+class SelectionService {
+public:
+  /// Runs off \p View, a validated mapped binary image (zero
+  /// deserialization). \p Library and the view's backing memory must
+  /// outlive the service.
+  SelectionService(const PreparedLibrary &Library,
+                   const BinaryAutomatonView &View, unsigned Width,
+                   unsigned Threads);
+
+  /// Runs off a heap automaton instead (the text-format path).
+  SelectionService(const PreparedLibrary &Library,
+                   const MatcherAutomaton &Automaton, unsigned Width,
+                   unsigned Threads);
+
+  ~SelectionService();
+  SelectionService(const SelectionService &) = delete;
+  SelectionService &operator=(const SelectionService &) = delete;
+
+  /// Compiles one batch, fanning its items out over the worker
+  /// threads; blocks until every item is done. Returns std::nullopt
+  /// and sets \p Error for requests the service cannot serve (width
+  /// mismatch, unknown workload name) — a malformed request fails
+  /// whole, never partially. Thread-safe for the *caller's* side too:
+  /// batches are serialized, items within a batch run concurrently.
+  std::optional<BatchReply> process(const BatchRequest &Request,
+                                    std::string *Error = nullptr);
+
+  unsigned width() const { return Width; }
+  unsigned threads() const { return static_cast<unsigned>(Workers.size()); }
+  const ServiceTelemetry &telemetry() const { return Telemetry; }
+
+private:
+  void start(unsigned Threads);
+  void workerMain();
+  /// Compiles item \p Index of the current batch (worker context; no
+  /// lock held, no shared mutable state touched).
+  void processItem(size_t Index);
+
+  const PreparedLibrary &Library;
+  const BinaryAutomatonView *View = nullptr;    ///< One of View /
+  const MatcherAutomaton *Automaton = nullptr;  ///< Automaton is set.
+  unsigned Width;
+
+  std::vector<std::thread> Workers;
+
+  // Batch dispatch state, guarded by Mutex.
+  std::mutex Mutex;
+  std::condition_variable WorkCv; ///< Workers wait for items / stop.
+  std::condition_variable DoneCv; ///< process() waits for completion.
+  const BatchRequest *Batch = nullptr;
+  std::vector<const WorkloadProfile *> Profiles; ///< Per item.
+  std::vector<BatchReply::Result> *Out = nullptr;
+  size_t NextItem = 0;
+  size_t ItemsDone = 0;
+  bool Stopping = false;
+
+  ServiceTelemetry Telemetry; ///< Updated by process() only.
+};
+
+} // namespace selgen
+
+#endif // SELGEN_SERVE_SELECTIONSERVICE_H

@@ -1,0 +1,232 @@
+//===- ServeProtocol.cpp - Compile-server payload encoding --------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/ServeProtocol.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace selgen;
+
+namespace {
+
+constexpr const char *RequestTag = "selgen-serve-batch-v1";
+constexpr const char *ReplyTag = "selgen-serve-reply-v1";
+
+void fail(std::string *Error, const std::string &Message) {
+  if (Error)
+    *Error = Message;
+}
+
+/// Sequential reader over a payload: newline-terminated lines
+/// interleaved with byte-counted raw blocks.
+struct Cursor {
+  const std::string &S;
+  size_t Pos = 0;
+
+  bool nextLine(std::string &Out) {
+    if (Pos >= S.size())
+      return false;
+    size_t End = S.find('\n', Pos);
+    if (End == std::string::npos)
+      return false; // Every line must be terminated.
+    Out.assign(S, Pos, End - Pos);
+    Pos = End + 1;
+    return true;
+  }
+
+  /// Takes \p N raw bytes plus their terminating newline.
+  bool takeRaw(size_t N, std::string &Out) {
+    if (N > S.size() - Pos || S.size() - Pos - N < 1)
+      return false;
+    Out.assign(S, Pos, N);
+    Pos += N;
+    if (S[Pos] != '\n')
+      return false;
+    ++Pos;
+    return true;
+  }
+};
+
+bool parseU64(const std::string &Text, uint64_t &Out) {
+  if (Text.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long Value = std::strtoull(Text.c_str(), &End, 10);
+  if (errno != 0 || End != Text.c_str() + Text.size())
+    return false;
+  Out = Value;
+  return true;
+}
+
+bool parseDouble(const std::string &Text, double &Out) {
+  if (Text.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  double Value = std::strtod(Text.c_str(), &End);
+  if (errno != 0 || End != Text.c_str() + Text.size())
+    return false;
+  Out = Value;
+  return true;
+}
+
+/// Splits on single spaces (the encoders emit exactly one separator).
+std::vector<std::string> fields(const std::string &Line) {
+  std::vector<std::string> Out;
+  size_t Pos = 0;
+  while (Pos <= Line.size()) {
+    size_t End = Line.find(' ', Pos);
+    if (End == std::string::npos)
+      End = Line.size();
+    Out.push_back(Line.substr(Pos, End - Pos));
+    Pos = End + 1;
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string selgen::encodeBatchRequest(const BatchRequest &Request) {
+  std::string Out = std::string(RequestTag) + "\n";
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "id %" PRIu64 "\n", Request.Id);
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf), "width %u\n", Request.Width);
+  Out += Buf;
+  for (const std::string &Name : Request.Workloads)
+    Out += "workload " + Name + "\n";
+  Out += "end\n";
+  return Out;
+}
+
+std::optional<BatchRequest>
+selgen::decodeBatchRequest(const std::string &Payload, std::string *Error) {
+  Cursor C{Payload};
+  std::string Line;
+  if (!C.nextLine(Line) || Line != RequestTag) {
+    fail(Error, "not a serve batch request");
+    return std::nullopt;
+  }
+  BatchRequest Request;
+  uint64_t Value = 0;
+  if (!C.nextLine(Line) || Line.rfind("id ", 0) != 0 ||
+      !parseU64(Line.substr(3), Value)) {
+    fail(Error, "bad id line");
+    return std::nullopt;
+  }
+  Request.Id = Value;
+  if (!C.nextLine(Line) || Line.rfind("width ", 0) != 0 ||
+      !parseU64(Line.substr(6), Value) || Value == 0 || Value > 64) {
+    fail(Error, "bad width line");
+    return std::nullopt;
+  }
+  Request.Width = static_cast<unsigned>(Value);
+  while (C.nextLine(Line)) {
+    if (Line == "end") {
+      if (C.Pos != Payload.size()) {
+        fail(Error, "trailing bytes after end");
+        return std::nullopt;
+      }
+      return Request;
+    }
+    if (Line.rfind("workload ", 0) != 0 || Line.size() == 9) {
+      fail(Error, "bad workload line: " + Line);
+      return std::nullopt;
+    }
+    Request.Workloads.push_back(Line.substr(9));
+  }
+  fail(Error, "missing end trailer");
+  return std::nullopt;
+}
+
+std::string selgen::encodeBatchReply(const BatchReply &Reply) {
+  std::string Out = std::string(ReplyTag) + "\n";
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf), "id %" PRIu64 "\n", Reply.Id);
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf), "wall %.3f\n", Reply.WallUs);
+  Out += Buf;
+  for (const BatchReply::Result &R : Reply.Results) {
+    std::snprintf(Buf, sizeof(Buf),
+                  " %u %u %u %" PRIu64 " %" PRIu64 " %.3f %zu\n",
+                  R.TotalOperations, R.CoveredOperations,
+                  R.FallbackOperations, R.RulesTried, R.NodesVisited,
+                  R.SelectUs, R.Asm.size());
+    Out += "result " + R.Workload + Buf;
+    Out += R.Asm;
+    Out += "\n";
+  }
+  Out += "end\n";
+  return Out;
+}
+
+std::optional<BatchReply> selgen::decodeBatchReply(const std::string &Payload,
+                                                   std::string *Error) {
+  Cursor C{Payload};
+  std::string Line;
+  if (!C.nextLine(Line) || Line != ReplyTag) {
+    fail(Error, "not a serve batch reply");
+    return std::nullopt;
+  }
+  BatchReply Reply;
+  uint64_t Value = 0;
+  if (!C.nextLine(Line) || Line.rfind("id ", 0) != 0 ||
+      !parseU64(Line.substr(3), Value)) {
+    fail(Error, "bad id line");
+    return std::nullopt;
+  }
+  Reply.Id = Value;
+  if (!C.nextLine(Line) || Line.rfind("wall ", 0) != 0 ||
+      !parseDouble(Line.substr(5), Reply.WallUs)) {
+    fail(Error, "bad wall line");
+    return std::nullopt;
+  }
+  while (C.nextLine(Line)) {
+    if (Line == "end") {
+      if (C.Pos != Payload.size()) {
+        fail(Error, "trailing bytes after end");
+        return std::nullopt;
+      }
+      return Reply;
+    }
+    if (Line.rfind("result ", 0) != 0) {
+      fail(Error, "bad result line: " + Line);
+      return std::nullopt;
+    }
+    std::vector<std::string> F = fields(Line.substr(7));
+    if (F.size() != 8) {
+      fail(Error, "bad result field count");
+      return std::nullopt;
+    }
+    BatchReply::Result R;
+    R.Workload = F[0];
+    uint64_t Total = 0, Covered = 0, Fallback = 0, AsmBytes = 0;
+    if (R.Workload.empty() || !parseU64(F[1], Total) ||
+        !parseU64(F[2], Covered) || !parseU64(F[3], Fallback) ||
+        !parseU64(F[4], R.RulesTried) || !parseU64(F[5], R.NodesVisited) ||
+        !parseDouble(F[6], R.SelectUs) || !parseU64(F[7], AsmBytes) ||
+        Total > UINT32_MAX || Covered > UINT32_MAX || Fallback > UINT32_MAX) {
+      fail(Error, "bad result fields");
+      return std::nullopt;
+    }
+    R.TotalOperations = static_cast<unsigned>(Total);
+    R.CoveredOperations = static_cast<unsigned>(Covered);
+    R.FallbackOperations = static_cast<unsigned>(Fallback);
+    if (!C.takeRaw(AsmBytes, R.Asm)) {
+      fail(Error, "truncated asm block");
+      return std::nullopt;
+    }
+    Reply.Results.push_back(std::move(R));
+  }
+  fail(Error, "missing end trailer");
+  return std::nullopt;
+}

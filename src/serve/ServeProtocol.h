@@ -1,0 +1,73 @@
+//===- ServeProtocol.h - Compile-server payload encoding ---------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Payload encoding for the selgen-served compile server: what travels
+/// inside the wire frames (support/Wire.h) between a client and the
+/// resident selection service. A request is one *batch* of IR
+/// functions, named by their workload profile (eval/Workloads.h) so
+/// both sides generate bit-identical subjects deterministically; a
+/// reply carries, per function, the selected machine code plus the
+/// matcher telemetry of that one selection (rules tried, automaton
+/// states visited, selection microseconds).
+///
+/// Machine code is embedded as a byte-counted raw block, so the codec
+/// never has to escape or even look at the assembly text. Decoders are
+/// total functions — malformed input yields nullopt with an
+/// explanation, never an abort — because the server must survive any
+/// bytes a client or fuzzer throws at it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_SERVE_SERVEPROTOCOL_H
+#define SELGEN_SERVE_SERVEPROTOCOL_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace selgen {
+
+/// One batch of functions to compile, referenced by workload profile
+/// name ("164.gzip", ...). Names may repeat — a latency benchmark
+/// sends the same function many times.
+struct BatchRequest {
+  uint64_t Id = 0;     ///< Echoed in the reply for client-side pairing.
+  unsigned Width = 0;  ///< Must match the server's library width.
+  std::vector<std::string> Workloads;
+};
+
+/// The server's answer to one BatchRequest, results in request order.
+struct BatchReply {
+  struct Result {
+    std::string Workload;
+    unsigned TotalOperations = 0;
+    unsigned CoveredOperations = 0;
+    unsigned FallbackOperations = 0;
+    uint64_t RulesTried = 0;     ///< Full matches attempted.
+    uint64_t NodesVisited = 0;   ///< Automaton states walked.
+    double SelectUs = 0;         ///< Selection phase wall time.
+    std::string Asm;             ///< printMachineFunction output.
+  };
+
+  uint64_t Id = 0;
+  double WallUs = 0; ///< Whole-batch wall time inside the service.
+  std::vector<Result> Results;
+};
+
+std::string encodeBatchRequest(const BatchRequest &Request);
+std::optional<BatchRequest>
+decodeBatchRequest(const std::string &Payload, std::string *Error = nullptr);
+
+std::string encodeBatchReply(const BatchReply &Reply);
+std::optional<BatchReply> decodeBatchReply(const std::string &Payload,
+                                           std::string *Error = nullptr);
+
+} // namespace selgen
+
+#endif // SELGEN_SERVE_SERVEPROTOCOL_H

@@ -22,25 +22,9 @@
 
 using namespace selgen;
 
-//===----------------------------------------------------------------------===//
-// Wire framing.
-//===----------------------------------------------------------------------===//
+// Wire framing lives in support/Wire.cpp; this file is the pool only.
 
 namespace {
-
-void putU32(std::string &Out, uint32_t Value) {
-  for (unsigned I = 0; I < 4; ++I)
-    Out.push_back(static_cast<char>((Value >> (8 * I)) & 0xFF));
-}
-
-uint32_t getU32(const unsigned char *Bytes) {
-  uint32_t Value = 0;
-  for (unsigned I = 0; I < 4; ++I)
-    Value |= uint32_t(Bytes[I]) << (8 * I);
-  return Value;
-}
-
-constexpr size_t HeaderBytes = 4 + 1 + 4 + 4;
 
 /// Milliseconds until \p Deadline, clamped to >= 0; -1 if unset.
 int64_t remainingMs(int64_t DeadlineMs,
@@ -54,140 +38,6 @@ int64_t remainingMs(int64_t DeadlineMs,
 }
 
 } // namespace
-
-std::string wire::encodeFrame(uint8_t Type, const std::string &Payload) {
-  std::string Out;
-  Out.reserve(HeaderBytes + Payload.size());
-  putU32(Out, FrameMagic);
-  Out.push_back(static_cast<char>(Type));
-  putU32(Out, static_cast<uint32_t>(Payload.size()));
-  putU32(Out, crc32(Payload));
-  Out += Payload;
-  return Out;
-}
-
-wire::WriteStatus wire::writeAll(int Fd, const std::string &Bytes,
-                                 int64_t DeadlineMs) {
-  auto Start = std::chrono::steady_clock::now();
-  size_t Done = 0;
-  while (Done < Bytes.size()) {
-    ssize_t Wrote = ::write(Fd, Bytes.data() + Done, Bytes.size() - Done);
-    if (Wrote > 0) {
-      Done += static_cast<size_t>(Wrote);
-      continue;
-    }
-    if (Wrote < 0 && errno == EINTR)
-      continue;
-    if (Wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      // Pipe full (the peer stopped draining stdin — a wedged worker
-      // looks exactly like this once the request exceeds the pipe
-      // capacity). Park in poll so the deadline still applies; a
-      // blocking write here would hang with no kill ever firing.
-      int64_t Budget = remainingMs(DeadlineMs, Start);
-      if (Budget == 0)
-        return WriteStatus::Timeout;
-      struct pollfd Pfd = {Fd, POLLOUT, 0};
-      int Ready = ::poll(&Pfd, 1,
-                         Budget < 0 ? -1
-                                    : static_cast<int>(std::min<int64_t>(
-                                          Budget, 1 << 30)));
-      if (Ready < 0 && errno != EINTR)
-        return WriteStatus::Error;
-      if (Ready == 0)
-        return WriteStatus::Timeout;
-      continue; // Writable (or POLLERR: the next write reports it).
-    }
-    return WriteStatus::Error; // EPIPE et al. — the peer died.
-  }
-  return WriteStatus::Ok;
-}
-
-bool wire::writeAll(int Fd, const std::string &Bytes) {
-  return writeAll(Fd, Bytes, /*DeadlineMs=*/-1) == WriteStatus::Ok;
-}
-
-wire::WriteStatus wire::writeFrame(int Fd, uint8_t Type,
-                                   const std::string &Payload,
-                                   int64_t DeadlineMs) {
-  return writeAll(Fd, encodeFrame(Type, Payload), DeadlineMs);
-}
-
-bool wire::writeFrame(int Fd, uint8_t Type, const std::string &Payload) {
-  return writeFrame(Fd, Type, Payload, /*DeadlineMs=*/-1) ==
-         WriteStatus::Ok;
-}
-
-wire::ReadStatus wire::readFrame(int Fd, Frame &Out, int64_t DeadlineMs) {
-  auto Start = std::chrono::steady_clock::now();
-
-  // Reads exactly Want bytes, honoring the deadline. Returns Ok / Eof /
-  // Timeout; Eof mid-buffer is reported as Eof with *Got < Want.
-  auto readExactly = [&](char *Buffer, size_t Want, size_t *Got) {
-    *Got = 0;
-    while (*Got < Want) {
-      int64_t Budget = remainingMs(DeadlineMs, Start);
-      if (Budget == 0)
-        return ReadStatus::Timeout;
-      struct pollfd Pfd = {Fd, POLLIN, 0};
-      int Ready = ::poll(&Pfd, 1,
-                         Budget < 0 ? -1
-                                    : static_cast<int>(std::min<int64_t>(
-                                          Budget, 1 << 30)));
-      if (Ready < 0) {
-        if (errno == EINTR)
-          continue;
-        return ReadStatus::Eof;
-      }
-      if (Ready == 0)
-        return ReadStatus::Timeout;
-      ssize_t Read = ::read(Fd, Buffer + *Got, Want - *Got);
-      if (Read < 0) {
-        if (errno == EINTR)
-          continue;
-        return ReadStatus::Eof;
-      }
-      if (Read == 0)
-        return ReadStatus::Eof;
-      *Got += static_cast<size_t>(Read);
-    }
-    return ReadStatus::Ok;
-  };
-
-  char Header[HeaderBytes];
-  size_t Got = 0;
-  ReadStatus Status = readExactly(Header, sizeof(Header), &Got);
-  if (Status == ReadStatus::Timeout)
-    return ReadStatus::Timeout;
-  if (Status == ReadStatus::Eof)
-    // A clean EOF on a frame boundary is the peer closing the stream;
-    // EOF inside a header is a torn frame.
-    return Got == 0 ? ReadStatus::Eof : ReadStatus::Corrupt;
-
-  const unsigned char *Bytes = reinterpret_cast<unsigned char *>(Header);
-  if (getU32(Bytes) != FrameMagic)
-    return ReadStatus::Corrupt;
-  Out.Type = Bytes[4];
-  uint32_t Length = getU32(Bytes + 5);
-  uint32_t Crc = getU32(Bytes + 9);
-  if (Length > MaxFrameBytes)
-    return ReadStatus::Corrupt;
-
-  Out.Payload.resize(Length);
-  if (Length) {
-    Status = readExactly(Out.Payload.data(), Length, &Got);
-    if (Status == ReadStatus::Timeout)
-      return ReadStatus::Timeout;
-    if (Status == ReadStatus::Eof)
-      return ReadStatus::Corrupt; // Torn payload.
-  }
-  if (crc32(Out.Payload) != Crc)
-    return ReadStatus::Corrupt;
-  return ReadStatus::Ok;
-}
-
-//===----------------------------------------------------------------------===//
-// SolverPool.
-//===----------------------------------------------------------------------===//
 
 SolverPool::SolverPool(SolverPoolOptions Opts) : Options(std::move(Opts)) {
   if (Options.NumWorkers == 0)

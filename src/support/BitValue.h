@@ -143,6 +143,17 @@ public:
   /// Hash suitable for unordered containers.
   size_t hash() const;
 
+  /// Number of 64-bit backing words: (width + 63) / 64.
+  unsigned wordCount() const { return numWords(); }
+
+  /// The \p Index'th backing word, least-significant first. Unused
+  /// high bits of the top word are zero (class invariant) — two
+  /// equal-width values are equal iff all their words are.
+  uint64_t word(unsigned Index) const {
+    assert(Index < numWords() && "word index out of range");
+    return Words[Index];
+  }
+
 private:
   unsigned Width;
   std::vector<uint64_t> Words;

@@ -1,0 +1,106 @@
+//===- Wire.h - CRC-framed message transport ---------------------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The frame-level protocol shared by every out-of-process selgen
+/// component: the solver pool and its selgen-solverd workers (PR 6),
+/// and the selgen-served compile server. Every message is one frame
+///
+///   magic   u32 LE  0x53474C46 ("FLGS" on disk, "selgen frame")
+///   type    u8      1=request 2=response 3=error 4=shutdown
+///   length  u32 LE  payload byte count (hard-capped; a garbage length
+///                   can therefore never drive a giant allocation)
+///   crc     u32 LE  CRC-32 of the payload bytes
+///   payload length bytes
+///
+/// A frame is either fully valid or the connection is dead: any magic /
+/// length / CRC mismatch condemns the peer (garbage on a pipe means the
+/// writer is gone or insane). There is no resynchronization by design —
+/// reconnecting or respawning is cheap and always returns the stream to
+/// a known state.
+///
+/// Deadline semantics: every blocking primitive takes an optional
+/// whole-operation budget in milliseconds, enforced with poll(2) and
+/// robust against EINTR. Writers with a deadline require the fd to be
+/// O_NONBLOCK so a full pipe parks in poll instead of a blocking
+/// write(2). EPIPE surfaces as WriteStatus::Error only while SIGPIPE is
+/// ignored — every process speaking this protocol installs SIG_IGN
+/// before its first frame.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_SUPPORT_WIRE_H
+#define SELGEN_SUPPORT_WIRE_H
+
+#include <cstdint>
+#include <string>
+
+namespace selgen {
+namespace wire {
+
+constexpr uint32_t FrameMagic = 0x53474C46u;
+/// Upper bound on a frame payload; a corrupted length field beyond it
+/// is classified as garbage instead of attempted.
+constexpr uint32_t MaxFrameBytes = 64u << 20;
+
+enum FrameType : uint8_t {
+  Request = 1,
+  Response = 2,
+  Error = 3,   ///< Well-formed reply carrying an error message.
+  Shutdown = 4 ///< Graceful end-of-stream in either direction.
+};
+
+struct Frame {
+  uint8_t Type = 0;
+  std::string Payload;
+};
+
+/// Serializes one frame (header + payload) to raw bytes.
+std::string encodeFrame(uint8_t Type, const std::string &Payload);
+
+enum class WriteStatus {
+  Ok,      ///< All bytes were written.
+  Error,   ///< The peer is gone (EPIPE) or the fd is broken.
+  Timeout, ///< The deadline passed with the pipe still full.
+};
+
+/// Writes all of \p Bytes to \p Fd, riding over EINTR and short
+/// writes. With \p DeadlineMs >= 0 the whole write must finish within
+/// that budget — the fd must then be O_NONBLOCK so a full pipe parks
+/// us in poll(2) instead of a blocking write(2); -1 blocks
+/// indefinitely. EPIPE is reported as Error only while SIGPIPE is
+/// ignored (SolverPool::start() and the worker main both install
+/// SIG_IGN); with the default disposition the signal kills the
+/// process before write() can return.
+WriteStatus writeAll(int Fd, const std::string &Bytes, int64_t DeadlineMs);
+
+/// Blocking convenience overload: Ok iff every byte was written.
+bool writeAll(int Fd, const std::string &Bytes);
+
+/// Writes one frame within \p DeadlineMs (see writeAll).
+WriteStatus writeFrame(int Fd, uint8_t Type, const std::string &Payload,
+                       int64_t DeadlineMs);
+
+/// Blocking convenience overload; false if the peer is gone.
+bool writeFrame(int Fd, uint8_t Type, const std::string &Payload);
+
+enum class ReadStatus {
+  Ok,      ///< A valid frame was read.
+  Eof,     ///< Clean end of stream before any byte of a frame.
+  Corrupt, ///< Bad magic, oversized length, CRC mismatch, or torn frame.
+  Timeout, ///< The deadline passed mid-read.
+};
+
+/// Reads one frame from \p Fd. With \p DeadlineMs >= 0 the whole read
+/// must finish within that budget (enforced with poll(2)); -1 blocks
+/// indefinitely. A frame cut short by EOF is Corrupt, not Eof.
+ReadStatus readFrame(int Fd, Frame &Out, int64_t DeadlineMs = -1);
+
+} // namespace wire
+} // namespace selgen
+
+#endif // SELGEN_SUPPORT_WIRE_H

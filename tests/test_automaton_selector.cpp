@@ -404,3 +404,98 @@ TEST_F(AutomatonSelectorTest, TelemetryCountersRecorded) {
   }
   EXPECT_LT(AutoTried, LinearTried);
 }
+
+TEST_F(AutomatonSelectorTest, MappedImageByteIdenticalOnPatternTestFunctions) {
+  // The selector running directly off the mmap'ed binary image: on
+  // every rule's test function of both libraries, its full output —
+  // including the machine-function header, since both selectors report
+  // the name "automaton" — must equal the heap automaton's byte for
+  // byte.
+  unsigned LibraryIndex = 0;
+  for (const PatternDatabase *Db : {&GnuRules, &ClangRules}) {
+    std::string Path = ::testing::TempDir() + "mapped_identity_" +
+                       std::to_string(LibraryIndex++) + ".matb";
+    {
+      PreparedLibrary Lib(*Db, Goals);
+      ASSERT_TRUE(buildMatcherAutomaton(Lib).writeBinaryFile(Path));
+    }
+    std::string Error;
+    std::unique_ptr<MappedAutomaton> Mapped =
+        MatcherAutomaton::mapBinary(Path, &Error);
+    ASSERT_TRUE(Mapped) << Error;
+
+    AutomatonSelector Heap(*Db, Goals);
+    MappedAutomatonSelector FromImage(*Db, Goals, Mapped->view());
+    EXPECT_EQ(FromImage.numRules(), Heap.numRules());
+    unsigned Index = 0;
+    for (const Rule &R : Db->rules()) {
+      Function F = buildPatternTestFunction(
+          R, W, "pattest_" + std::to_string(Index));
+      SelectionResult FromHeap = Heap.select(F);
+      SelectionResult FromView = FromImage.select(F);
+      ASSERT_TRUE(FromHeap.MF && FromView.MF);
+      EXPECT_EQ(printMachineFunction(*FromHeap.MF),
+                printMachineFunction(*FromView.MF))
+          << "rule " << Index << " for " << R.GoalName;
+      EXPECT_EQ(FromHeap.CoveredOperations, FromView.CoveredOperations);
+      EXPECT_EQ(FromHeap.FallbackOperations, FromView.FallbackOperations);
+      ++Index;
+    }
+    EXPECT_GT(Index, 20u);
+  }
+}
+
+TEST_F(AutomatonSelectorTest, MappedImageByteIdenticalOnWorkloads) {
+  std::string Path = ::testing::TempDir() + "mapped_workloads.matb";
+  ASSERT_TRUE(Automaton.automaton().writeBinaryFile(Path));
+  std::string Error;
+  std::unique_ptr<MappedAutomaton> Mapped =
+      MatcherAutomaton::mapBinary(Path, &Error);
+  ASSERT_TRUE(Mapped) << Error;
+  MappedAutomatonSelector FromImage(GnuRules, Goals, Mapped->view());
+  for (const WorkloadProfile &Profile : cint2000Profiles()) {
+    Function F = buildWorkload(Profile, W);
+    SelectionResult FromHeap = Automaton.select(F);
+    SelectionResult FromView = FromImage.select(F);
+    ASSERT_TRUE(FromHeap.MF && FromView.MF);
+    EXPECT_EQ(printMachineFunction(*FromHeap.MF),
+              printMachineFunction(*FromView.MF))
+        << Profile.Name;
+  }
+}
+
+TEST_F(AutomatonSelectorTest, ObserverBypassesGlobalStatistics) {
+  // Per-request observers exist so a resident multi-threaded server
+  // never touches the mutex-guarded global registry: the counters land
+  // in the observer, nothing lands in the global statistics, and the
+  // machine code is unchanged.
+  Function F = singleBlock([](Graph &G) {
+    return G.createBinary(Opcode::Add, G.arg(1), G.arg(2));
+  });
+  PreparedLibrary Lib(GnuRules, Goals);
+  MatcherAutomaton Compiled = buildMatcherAutomaton(Lib);
+
+  SelectionResult Plain;
+  {
+    AutomatonCandidateSource Source(Lib, Compiled);
+    Plain = runRuleSelection(F, Lib, Source, "automaton");
+  }
+
+  Statistics::get().clear();
+  SelectionObserver Observer;
+  AutomatonCandidateSource Source(Lib, Compiled);
+  SelectionResult Observed =
+      runRuleSelection(F, Lib, Source, "automaton", &Observer);
+
+  EXPECT_GT(Observer.RulesTried, 0u);
+  EXPECT_GT(Observer.NodesVisited, 0u);
+  EXPECT_GT(Observer.SelectUs, 0.0);
+  Statistics &Stats = Statistics::get();
+  EXPECT_EQ(Stats.value("selector.rules_tried"), 0);
+  EXPECT_EQ(Stats.value("matcher.nodes_visited"), 0);
+  EXPECT_TRUE(Stats.selections().empty())
+      << "observer runs must not accumulate per-selection telemetry";
+  ASSERT_TRUE(Plain.MF && Observed.MF);
+  EXPECT_EQ(printMachineFunction(*Plain.MF),
+            printMachineFunction(*Observed.MF));
+}

@@ -8,10 +8,15 @@
 #include "ir/Normalizer.h"
 #include "isel/AutomatonSelector.h"
 #include "isel/Matcher.h"
+#include "matchergen/BinaryAutomaton.h"
 #include "matchergen/MatcherAutomaton.h"
 #include "refsel/ReferenceSelectors.h"
+#include "support/AtomicFile.h"
 
 #include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstring>
 
 using namespace selgen;
 
@@ -279,4 +284,284 @@ TEST_F(MatchergenTest, DagReconvergenceIsLeafChecked) {
                             Rule.Goal->Spec->argRoles(), Rule.Root,
                             Split.Def))
       << "full matcher must reject broken re-convergence at the leaf";
+}
+
+//===----------------------------------------------------------------------===//
+// Binary format ("selgen-matcher-automaton-bin-v1")
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Copies an image into 8-byte-aligned storage: fromMemory requires an
+/// aligned base (which any mmap or heap allocation provides), and a
+/// std::string's buffer does not guarantee it.
+struct AlignedImage {
+  explicit AlignedImage(const std::string &Bytes)
+      : Words(Bytes.size() / 8 + 1), Size(Bytes.size()) {
+    std::memcpy(Words.data(), Bytes.data(), Bytes.size());
+  }
+  const void *data() const { return Words.data(); }
+
+  std::vector<uint64_t> Words;
+  size_t Size;
+};
+
+/// Attempts a load and returns the typed rejection (None on success).
+BinaryAutomatonError loadCode(const std::string &Bytes) {
+  AlignedImage Image(Bytes);
+  BinaryAutomatonError Code = BinaryAutomatonError::None;
+  std::string Error;
+  std::optional<BinaryAutomatonView> View =
+      BinaryAutomatonView::fromMemory(Image.data(), Image.Size, &Error,
+                                      &Code);
+  EXPECT_EQ(View.has_value(), Code == BinaryAutomatonError::None) << Error;
+  if (!View) {
+    EXPECT_FALSE(Error.empty());
+  }
+  return Code;
+}
+
+/// Recomputes both CRCs after a deliberate field edit, so targeted
+/// corruptions reach the bounds/structure checks instead of being
+/// masked by the integrity checks.
+void fixCrcs(std::string &Image) {
+  binfmt::Header H;
+  std::memcpy(&H, Image.data(), sizeof(H));
+  H.PayloadCrc =
+      crc32(Image.data() + sizeof(H), Image.size() - sizeof(H));
+  H.HeaderCrc = crc32(&H, offsetof(binfmt::Header, HeaderCrc));
+  std::memcpy(&Image[0], &H, sizeof(H));
+}
+
+binfmt::Header headerOf(const std::string &Image) {
+  binfmt::Header H;
+  std::memcpy(&H, Image.data(), sizeof(H));
+  return H;
+}
+
+void putField(std::string &Image, size_t Offset, uint32_t Value) {
+  std::memcpy(&Image[Offset], &Value, sizeof(Value));
+}
+
+} // namespace
+
+TEST_F(MatchergenTest, BinaryRoundTripMatchesText) {
+  std::string Image = Automaton.serializeBinary();
+  AlignedImage Aligned(Image);
+  std::string Error;
+  std::optional<BinaryAutomatonView> View =
+      BinaryAutomatonView::fromMemory(Aligned.data(), Aligned.Size, &Error);
+  ASSERT_TRUE(View) << Error;
+  EXPECT_EQ(View->numStates(), Automaton.numStates());
+  EXPECT_EQ(View->numTransitions(), Automaton.numTransitions());
+  EXPECT_EQ(View->numRules(), Automaton.numRules());
+  EXPECT_EQ(View->libraryFingerprint(), Automaton.libraryFingerprint());
+  EXPECT_TRUE(automatonStalenessError(*View, Library).empty());
+
+  // binary -> heap -> text equals heap -> text: the two encodings
+  // describe the identical automaton.
+  EXPECT_EQ(View->toAutomaton().serialize(), Automaton.serialize());
+  // And the binary encoding itself is deterministic.
+  EXPECT_EQ(Automaton.serializeBinary(), Image);
+
+  // Candidate sets off the mapped image match the heap automaton's.
+  Graph G(W, {Sort::memory(), Sort::value(W), Sort::value(W)});
+  std::vector<const Node *> Subjects;
+  Subjects.push_back(
+      G.createBinary(Opcode::Add, G.arg(1), G.arg(2)).Def);
+  Subjects.push_back(
+      G.createBinary(Opcode::Add, G.arg(1), G.createConst(BitValue(W, 7)))
+          .Def);
+  Subjects.push_back(G.createLoad(G.arg(0), G.arg(1)));
+  Subjects.push_back(
+      G.createMux(G.createCmp(Relation::Ult, G.arg(1), G.arg(2)), G.arg(1),
+                  G.arg(2))
+          .Def);
+  for (const Node *S : Subjects) {
+    std::vector<uint32_t> FromHeap, FromView;
+    uint64_t HeapVisited = 0, ViewVisited = 0;
+    Automaton.matchBody(S, FromHeap, &HeapVisited);
+    View->matchBody(S, FromView, &ViewVisited);
+    EXPECT_EQ(FromHeap, FromView);
+    EXPECT_EQ(HeapVisited, ViewVisited);
+  }
+}
+
+TEST_F(MatchergenTest, BinaryFileRoundTripAndSniffing) {
+  std::string BinPath = ::testing::TempDir() + "matchergen_rt.matb";
+  std::string TextPath = ::testing::TempDir() + "matchergen_rt.mat";
+  ASSERT_TRUE(Automaton.writeBinaryFile(BinPath));
+  ASSERT_TRUE(Automaton.writeFile(TextPath));
+  EXPECT_TRUE(isBinaryAutomatonFile(BinPath));
+  EXPECT_FALSE(isBinaryAutomatonFile(TextPath));
+  EXPECT_FALSE(isBinaryAutomatonFile(TextPath + ".does-not-exist"));
+
+  std::string Error;
+  std::unique_ptr<MappedAutomaton> Mapped =
+      MatcherAutomaton::mapBinary(BinPath, &Error);
+  ASSERT_TRUE(Mapped) << Error;
+  EXPECT_EQ(Mapped->sizeBytes(), Automaton.serializeBinary().size());
+  EXPECT_EQ(Mapped->view().toAutomaton().serialize(), Automaton.serialize());
+
+  EXPECT_FALSE(MatcherAutomaton::mapBinary(TextPath, &Error));
+  EXPECT_FALSE(
+      MatcherAutomaton::mapBinary(BinPath + ".does-not-exist", &Error));
+}
+
+TEST_F(MatchergenTest, BinaryRejectsTruncation) {
+  std::string Image = Automaton.serializeBinary();
+  // Every truncation point must be rejected, typed, and crash-free:
+  // short of a header it is TooSmall, otherwise the total size or the
+  // payload CRC can no longer hold.
+  for (size_t Len = 0; Len < Image.size();
+       Len += (Len < sizeof(binfmt::Header) ? 13 : 101)) {
+    BinaryAutomatonError Code = loadCode(Image.substr(0, Len));
+    EXPECT_NE(Code, BinaryAutomatonError::None) << "length " << Len;
+    if (Len < sizeof(binfmt::Header)) {
+      EXPECT_EQ(Code, BinaryAutomatonError::TooSmall) << "length " << Len;
+    }
+  }
+  EXPECT_EQ(loadCode(Image.substr(0, Image.size() - 1)),
+            BinaryAutomatonError::SizeMismatch);
+}
+
+TEST_F(MatchergenTest, BinaryRejectsEveryBitFlip) {
+  std::string Image = Automaton.serializeBinary();
+  // Deterministic single-bit mutation sweep. Every byte of the image
+  // is covered by one of the two CRCs (and most by a stronger check
+  // first), so no flip may survive — and none may crash or index out
+  // of the arena.
+  size_t Stride = std::max<size_t>(1, Image.size() / 256);
+  for (size_t Pos = 0; Pos < Image.size(); Pos += Stride) {
+    for (unsigned Bit : {0u, 4u, 7u}) {
+      std::string Mutated = Image;
+      Mutated[Pos] = static_cast<char>(Mutated[Pos] ^ (1u << Bit));
+      EXPECT_NE(loadCode(Mutated), BinaryAutomatonError::None)
+          << "surviving flip at byte " << Pos << " bit " << Bit;
+    }
+  }
+}
+
+TEST_F(MatchergenTest, BinaryRejectsForeignEndianAndVersion) {
+  std::string Image = Automaton.serializeBinary();
+
+  // Byte-swapped magic: the image of an opposite-endian writer.
+  std::string Swapped = Image;
+  std::swap(Swapped[0], Swapped[3]);
+  std::swap(Swapped[1], Swapped[2]);
+  EXPECT_EQ(loadCode(Swapped), BinaryAutomatonError::ForeignEndian);
+
+  // Correct magic but byte-swapped endianness tag.
+  std::string BadTag = Image;
+  std::swap(BadTag[8], BadTag[11]);
+  std::swap(BadTag[9], BadTag[10]);
+  EXPECT_EQ(loadCode(BadTag), BinaryAutomatonError::ForeignEndian);
+
+  std::string NotMagic = Image;
+  NotMagic[0] = 'X';
+  EXPECT_EQ(loadCode(NotMagic), BinaryAutomatonError::BadMagic);
+
+  std::string Future = Image;
+  putField(Future, offsetof(binfmt::Header, Version), binfmt::Version + 1);
+  fixCrcs(Future);
+  EXPECT_EQ(loadCode(Future), BinaryAutomatonError::BadVersion);
+
+  // A flipped header byte without a CRC fix-up is HeaderCorrupt.
+  std::string Corrupt = Image;
+  Corrupt[offsetof(binfmt::Header, NumStates)] ^= 1;
+  EXPECT_EQ(loadCode(Corrupt), BinaryAutomatonError::HeaderCorrupt);
+
+  // A flipped payload byte with a fixed header is PayloadCorrupt.
+  std::string Rot = Image;
+  Rot[Rot.size() - 1] = static_cast<char>(Rot[Rot.size() - 1] ^ 0x10);
+  binfmt::Header H = headerOf(Rot);
+  putField(Rot, offsetof(binfmt::Header, HeaderCrc), H.HeaderCrc);
+  EXPECT_EQ(loadCode(Rot), BinaryAutomatonError::PayloadCorrupt);
+
+  EXPECT_EQ(loadCode(std::string(200, '\0')),
+            BinaryAutomatonError::BadMagic);
+}
+
+TEST_F(MatchergenTest, BinaryRejectsOversizedOffsetsTyped) {
+  std::string Image = Automaton.serializeBinary();
+  binfmt::Header H = headerOf(Image);
+
+  // Section offset far past the arena: BadSection even though the
+  // CRCs check out, and no dereference ever happens.
+  std::string HugeOff = Image;
+  putField(HugeOff, offsetof(binfmt::Header, EdgesOff), 0xFFFFFFF0u);
+  fixCrcs(HugeOff);
+  EXPECT_EQ(loadCode(HugeOff), BinaryAutomatonError::BadSection);
+
+  // Count overflowing the arena (offset * stride wraps in 32 bits; the
+  // 64-bit bounds check must still catch it).
+  std::string HugeCount = Image;
+  putField(HugeCount, offsetof(binfmt::Header, NumStates), 0x40000000u);
+  fixCrcs(HugeCount);
+  EXPECT_EQ(loadCode(HugeCount), BinaryAutomatonError::BadSection);
+
+  // Misaligned section offset.
+  std::string Odd = Image;
+  putField(Odd, offsetof(binfmt::Header, AcceptsOff), H.AcceptsOff | 2);
+  fixCrcs(Odd);
+  EXPECT_EQ(loadCode(Odd), BinaryAutomatonError::BadSection);
+
+  // Lying total size.
+  std::string Lies = Image;
+  putField(Lies, offsetof(binfmt::Header, TotalBytes), H.TotalBytes + 64);
+  fixCrcs(Lies);
+  EXPECT_EQ(loadCode(Lies), BinaryAutomatonError::SizeMismatch);
+
+  // Misaligned buffer base (checked before any content is read).
+  AlignedImage Aligned(Image);
+  BinaryAutomatonError Code = BinaryAutomatonError::None;
+  EXPECT_FALSE(BinaryAutomatonView::fromMemory(
+      reinterpret_cast<const char *>(Aligned.data()) + 4, Aligned.Size,
+      nullptr, &Code));
+  EXPECT_EQ(Code, BinaryAutomatonError::Misaligned);
+}
+
+TEST_F(MatchergenTest, BinaryRejectsBadStructureTyped) {
+  std::string Image = Automaton.serializeBinary();
+  binfmt::Header H = headerOf(Image);
+  ASSERT_GT(H.NumEdges, 0u);
+
+  // Root state id out of range.
+  std::string BadRoot = Image;
+  putField(BadRoot, offsetof(binfmt::Header, BodyRoot), H.NumStates);
+  fixCrcs(BadRoot);
+  EXPECT_EQ(loadCode(BadRoot), BinaryAutomatonError::BadStructure);
+
+  // First edge's target state out of range.
+  std::string BadEdge = Image;
+  putField(BadEdge, H.EdgesOff + offsetof(binfmt::Edge, To), H.NumStates);
+  fixCrcs(BadEdge);
+  EXPECT_EQ(loadCode(BadEdge), BinaryAutomatonError::BadStructure);
+
+  // First edge's kind is neither wildcard nor node.
+  std::string BadKind = Image;
+  BadKind[H.EdgesOff + offsetof(binfmt::Edge, Kind)] = 7;
+  fixCrcs(BadKind);
+  EXPECT_EQ(loadCode(BadKind), BinaryAutomatonError::BadStructure);
+
+  // First accept entry names a rule past the library.
+  ASSERT_GT(H.NumAccepts, 0u);
+  std::string BadAccept = Image;
+  putField(BadAccept, H.AcceptsOff, H.NumRules);
+  fixCrcs(BadAccept);
+  EXPECT_EQ(loadCode(BadAccept), BinaryAutomatonError::BadStructure);
+
+  // First state's edge span runs past the edge table.
+  std::string BadSpan = Image;
+  putField(BadSpan, H.StatesOff + offsetof(binfmt::State, EdgeCount),
+           H.NumEdges + 1);
+  fixCrcs(BadSpan);
+  EXPECT_EQ(loadCode(BadSpan), BinaryAutomatonError::BadStructure);
+
+  // Root index ordinal past the body root's edge list.
+  ASSERT_GT(H.RootPoolCount, 0u);
+  std::string BadPool = Image;
+  putField(BadPool, H.RootPoolOff, H.NumEdges);
+  fixCrcs(BadPool);
+  EXPECT_EQ(loadCode(BadPool), BinaryAutomatonError::BadStructure);
 }

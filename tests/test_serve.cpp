@@ -1,0 +1,412 @@
+//===- test_serve.cpp - Compile-server tests -----------------------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+// The compile server's contract is the same as the automaton
+// selector's, one level up: machine code streamed back by a resident
+// multi-threaded selgen-served must be byte-identical to what a
+// single-shot `selgen-compile --selector auto` run produces. These
+// tests cover the batch payload codec (total decoders), the
+// multi-threaded SelectionService against sequential selection, the
+// frame loop over a socketpair, and the real spawned server binary
+// including its SIGTERM shutdown path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Workloads.h"
+#include "refsel/ReferenceSelectors.h"
+#include "serve/SelectionServer.h"
+#include "support/Wire.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstring>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace selgen;
+
+namespace {
+
+constexpr unsigned W = 8;
+
+std::vector<std::string> allWorkloadNames() {
+  std::vector<std::string> Names;
+  for (const WorkloadProfile &Profile : cint2000Profiles())
+    Names.push_back(Profile.Name);
+  return Names;
+}
+
+/// The server-side fixture: one prepared library, one binary image in
+/// aligned storage, one validated view over it.
+struct ServeTest : public ::testing::Test {
+  GoalLibrary Goals = GoalLibrary::build(W, GoalLibrary::allGroups());
+  PatternDatabase Rules = buildGnuLikeRules(W);
+  PreparedLibrary Library{Rules, Goals};
+  std::vector<uint64_t> ImageWords;
+  size_t ImageSize = 0;
+  BinaryAutomatonView View;
+
+  void SetUp() override {
+    std::string Image = buildMatcherAutomaton(Library).serializeBinary();
+    ImageWords.resize(Image.size() / 8 + 1);
+    std::memcpy(ImageWords.data(), Image.data(), Image.size());
+    ImageSize = Image.size();
+    std::string Error;
+    std::optional<BinaryAutomatonView> Validated =
+        BinaryAutomatonView::fromMemory(ImageWords.data(), ImageSize,
+                                        &Error);
+    ASSERT_TRUE(Validated) << Error;
+    View = *Validated;
+  }
+
+  /// What single-shot sequential selection produces for \p Name.
+  std::string sequentialAsm(const std::string &Name) {
+    for (const WorkloadProfile &Profile : cint2000Profiles())
+      if (Profile.Name == Name) {
+        AutomatonSelector Selector(Rules, Goals);
+        return printMachineFunction(
+            *Selector.select(buildWorkload(Profile, W)).MF);
+      }
+    ADD_FAILURE() << "unknown workload " << Name;
+    return "";
+  }
+};
+
+} // namespace
+
+TEST(ServeProtocol, BatchRequestRoundTrips) {
+  BatchRequest Request;
+  Request.Id = 0xDEADBEEFCAFEull;
+  Request.Width = 8;
+  Request.Workloads = {"164.gzip", "300.twolf", "164.gzip"};
+  std::string Error;
+  std::optional<BatchRequest> Decoded =
+      decodeBatchRequest(encodeBatchRequest(Request), &Error);
+  ASSERT_TRUE(Decoded) << Error;
+  EXPECT_EQ(Decoded->Id, Request.Id);
+  EXPECT_EQ(Decoded->Width, Request.Width);
+  EXPECT_EQ(Decoded->Workloads, Request.Workloads);
+
+  BatchRequest Empty;
+  Empty.Width = 16;
+  ASSERT_TRUE(decodeBatchRequest(encodeBatchRequest(Empty), &Error));
+}
+
+TEST(ServeProtocol, BatchReplyRoundTrips) {
+  BatchReply Reply;
+  Reply.Id = 42;
+  Reply.WallUs = 1234.5;
+  BatchReply::Result R;
+  R.Workload = "164.gzip";
+  R.TotalOperations = 100;
+  R.CoveredOperations = 90;
+  R.FallbackOperations = 10;
+  R.RulesTried = 1234;
+  R.NodesVisited = 5678;
+  R.SelectUs = 17.25;
+  // Asm is a raw byte-counted block: newlines, spaces, and even the
+  // codec's own keywords inside it must survive untouched.
+  R.Asm = "f.automaton:\n  end\nresult fake 1 2 3\n";
+  Reply.Results.push_back(R);
+  Reply.Results.push_back(R);
+  Reply.Results[1].Workload = "300.twolf";
+  Reply.Results[1].Asm = ""; // Empty block is legal too.
+
+  std::string Error;
+  std::optional<BatchReply> Decoded =
+      decodeBatchReply(encodeBatchReply(Reply), &Error);
+  ASSERT_TRUE(Decoded) << Error;
+  EXPECT_EQ(Decoded->Id, Reply.Id);
+  EXPECT_DOUBLE_EQ(Decoded->WallUs, Reply.WallUs);
+  ASSERT_EQ(Decoded->Results.size(), 2u);
+  EXPECT_EQ(Decoded->Results[0].Asm, R.Asm);
+  EXPECT_EQ(Decoded->Results[0].RulesTried, R.RulesTried);
+  EXPECT_EQ(Decoded->Results[0].NodesVisited, R.NodesVisited);
+  EXPECT_DOUBLE_EQ(Decoded->Results[0].SelectUs, R.SelectUs);
+  EXPECT_EQ(Decoded->Results[1].Workload, "300.twolf");
+  EXPECT_EQ(Decoded->Results[1].Asm, "");
+}
+
+TEST(ServeProtocol, DecodersAreTotal) {
+  std::string Error;
+  EXPECT_FALSE(decodeBatchRequest("", &Error));
+  EXPECT_FALSE(decodeBatchRequest("garbage\n", &Error));
+  EXPECT_FALSE(decodeBatchRequest("selgen-serve-batch-v1\n", &Error));
+  EXPECT_FALSE(decodeBatchRequest(
+      "selgen-serve-batch-v1\nid 1\nwidth 8\n", &Error))
+      << "missing end trailer must be rejected";
+  EXPECT_FALSE(decodeBatchRequest(
+      "selgen-serve-batch-v1\nid 1\nwidth 0\nend\n", &Error));
+  EXPECT_FALSE(decodeBatchRequest(
+      "selgen-serve-batch-v1\nid x\nwidth 8\nend\n", &Error));
+  EXPECT_FALSE(decodeBatchRequest(
+      "selgen-serve-batch-v1\nid 1\nwidth 8\nend\nextra\n", &Error));
+
+  BatchReply Reply;
+  BatchReply::Result R;
+  R.Workload = "164.gzip";
+  R.Asm = "some asm\n";
+  Reply.Results.push_back(R);
+  std::string Good = encodeBatchReply(Reply);
+  EXPECT_TRUE(decodeBatchReply(Good, &Error)) << Error;
+  // A lying asm byte count cannot read out of the payload.
+  std::string Lying = Good;
+  size_t Pos = Lying.find(" 9\n"); // R.Asm.size() == 9.
+  ASSERT_NE(Pos, std::string::npos);
+  Lying.replace(Pos, 3, " 9999999\n");
+  EXPECT_FALSE(decodeBatchReply(Lying, &Error));
+  EXPECT_FALSE(decodeBatchReply(Good.substr(0, Good.size() / 2), &Error));
+  EXPECT_FALSE(decodeBatchReply("", &Error));
+}
+
+TEST_F(ServeTest, ConcurrentBatchesMatchSequentialSelection) {
+  // The acceptance bar: a multi-threaded service compiling a shuffled,
+  // duplicated batch returns, per entry, bytes identical to one-shot
+  // sequential selection.
+  SelectionService Service(Library, View, W, 4);
+  BatchRequest Request;
+  Request.Id = 7;
+  Request.Width = W;
+  for (int Round = 0; Round < 3; ++Round)
+    for (const std::string &Name : allWorkloadNames())
+      Request.Workloads.push_back(Name);
+
+  std::string Error;
+  std::optional<BatchReply> Reply = Service.process(Request, &Error);
+  ASSERT_TRUE(Reply) << Error;
+  EXPECT_EQ(Reply->Id, Request.Id);
+  ASSERT_EQ(Reply->Results.size(), Request.Workloads.size());
+  for (size_t I = 0; I < Reply->Results.size(); ++I) {
+    const BatchReply::Result &R = Reply->Results[I];
+    EXPECT_EQ(R.Workload, Request.Workloads[I]);
+    EXPECT_EQ(R.Asm, sequentialAsm(R.Workload)) << R.Workload;
+    EXPECT_GT(R.TotalOperations, 0u);
+    EXPECT_GT(R.RulesTried, 0u);
+    EXPECT_GT(R.NodesVisited, 0u);
+  }
+  EXPECT_EQ(Service.telemetry().Batches, 1u);
+  EXPECT_EQ(Service.telemetry().Functions, Request.Workloads.size());
+
+  // Identical results again from a heap-automaton service: the mapped
+  // image is an encoding detail, not a behavior change.
+  MatcherAutomaton Heap = buildMatcherAutomaton(Library);
+  SelectionService HeapService(Library, Heap, W, 2);
+  std::optional<BatchReply> HeapReply = HeapService.process(Request, &Error);
+  ASSERT_TRUE(HeapReply) << Error;
+  for (size_t I = 0; I < Reply->Results.size(); ++I)
+    EXPECT_EQ(HeapReply->Results[I].Asm, Reply->Results[I].Asm);
+}
+
+TEST_F(ServeTest, RejectsWidthMismatchAndUnknownWorkloads) {
+  SelectionService Service(Library, View, W, 2);
+  BatchRequest Request;
+  Request.Width = W + 8;
+  Request.Workloads = {"164.gzip"};
+  std::string Error;
+  EXPECT_FALSE(Service.process(Request, &Error));
+  EXPECT_NE(Error.find("width"), std::string::npos);
+
+  Request.Width = W;
+  Request.Workloads = {"164.gzip", "999.bogus"};
+  EXPECT_FALSE(Service.process(Request, &Error));
+  EXPECT_NE(Error.find("999.bogus"), std::string::npos);
+  EXPECT_EQ(Service.telemetry().Batches, 0u)
+      << "failed batches must not count as served";
+}
+
+TEST_F(ServeTest, ServerLoopOverSocketpair) {
+  int Fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  signal(SIGPIPE, SIG_IGN);
+
+  SelectionService Service(Library, View, W, 2);
+  SelectionServer Server(Service, Fds[0], Fds[0]);
+  std::thread ServerThread([&] { EXPECT_EQ(Server.run(), 0); });
+
+  // A malformed payload draws an Error frame, and the loop survives.
+  ASSERT_TRUE(wire::writeFrame(Fds[1], wire::Request, "garbage"));
+  wire::Frame Frame;
+  ASSERT_EQ(wire::readFrame(Fds[1], Frame), wire::ReadStatus::Ok);
+  EXPECT_EQ(Frame.Type, wire::Error);
+
+  // An unknown workload draws an Error frame too.
+  BatchRequest Bogus;
+  Bogus.Width = W;
+  Bogus.Workloads = {"999.bogus"};
+  ASSERT_TRUE(
+      wire::writeFrame(Fds[1], wire::Request, encodeBatchRequest(Bogus)));
+  ASSERT_EQ(wire::readFrame(Fds[1], Frame), wire::ReadStatus::Ok);
+  EXPECT_EQ(Frame.Type, wire::Error);
+
+  // A real batch round-trips with byte-identical machine code.
+  BatchRequest Request;
+  Request.Id = 99;
+  Request.Width = W;
+  Request.Workloads = {"164.gzip", "181.mcf"};
+  ASSERT_TRUE(
+      wire::writeFrame(Fds[1], wire::Request, encodeBatchRequest(Request)));
+  ASSERT_EQ(wire::readFrame(Fds[1], Frame), wire::ReadStatus::Ok);
+  ASSERT_EQ(Frame.Type, wire::Response);
+  std::string Error;
+  std::optional<BatchReply> Reply = decodeBatchReply(Frame.Payload, &Error);
+  ASSERT_TRUE(Reply) << Error;
+  EXPECT_EQ(Reply->Id, 99u);
+  ASSERT_EQ(Reply->Results.size(), 2u);
+  EXPECT_EQ(Reply->Results[0].Asm, sequentialAsm("164.gzip"));
+  EXPECT_EQ(Reply->Results[1].Asm, sequentialAsm("181.mcf"));
+
+  // Shutdown ends the loop with exit code 0.
+  ASSERT_TRUE(wire::writeFrame(Fds[1], wire::Shutdown, ""));
+  ServerThread.join();
+  EXPECT_EQ(Server.batchesServed(), 1u);
+  close(Fds[0]);
+  close(Fds[1]);
+}
+
+TEST_F(ServeTest, ServerLoopCondemnsGarbageStream) {
+  int Fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  SelectionService Service(Library, View, W, 1);
+  SelectionServer Server(Service, Fds[0], Fds[0]);
+  std::thread ServerThread([&] { EXPECT_EQ(Server.run(), 2); });
+  std::string Garbage = "this is not a frame at all............";
+  ASSERT_TRUE(wire::writeAll(Fds[1], Garbage));
+  ServerThread.join();
+  close(Fds[0]);
+  close(Fds[1]);
+}
+
+TEST_F(ServeTest, RequestStopEndsIdleLoop) {
+  int Fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  SelectionService Service(Library, View, W, 1);
+  SelectionServer Server(Service, Fds[0], Fds[0]);
+  std::thread ServerThread([&] { EXPECT_EQ(Server.run(), 0); });
+  Server.requestStop();
+  ServerThread.join(); // Must return within one poll tick, no traffic.
+  close(Fds[0]);
+  close(Fds[1]);
+}
+
+namespace {
+
+/// Spawns the real selgen-served with stdin/stdout pipes. The test is
+/// the parent side of the exact deployment topology.
+struct SpawnedServer {
+  pid_t Pid = -1;
+  int ToChild = -1;   ///< Write requests here.
+  int FromChild = -1; ///< Read replies here.
+
+  void start(const std::vector<std::string> &Args) {
+    int In[2], Out[2];
+    ASSERT_EQ(pipe(In), 0);
+    ASSERT_EQ(pipe(Out), 0);
+    Pid = fork();
+    ASSERT_GE(Pid, 0);
+    if (Pid == 0) {
+      dup2(In[0], STDIN_FILENO);
+      dup2(Out[1], STDOUT_FILENO);
+      close(In[0]);
+      close(In[1]);
+      close(Out[0]);
+      close(Out[1]);
+      std::vector<char *> Argv;
+      for (const std::string &A : Args)
+        Argv.push_back(const_cast<char *>(A.c_str()));
+      Argv.push_back(nullptr);
+      execv(Argv[0], Argv.data());
+      _exit(127);
+    }
+    close(In[0]);
+    close(Out[1]);
+    ToChild = In[1];
+    FromChild = Out[0];
+  }
+
+  int wait() {
+    int Status = 0;
+    EXPECT_EQ(waitpid(Pid, &Status, 0), Pid);
+    return Status;
+  }
+
+  ~SpawnedServer() {
+    if (ToChild >= 0)
+      close(ToChild);
+    if (FromChild >= 0)
+      close(FromChild);
+  }
+};
+
+} // namespace
+
+TEST_F(ServeTest, SpawnedServerMatchesSequentialAndExitsCleanly) {
+  // End to end against the real binary: write the library and a binary
+  // automaton, start selgen-served on pipes, compile a batch, then
+  // shut it down with a Shutdown frame.
+  std::string LibraryPath = ::testing::TempDir() + "serve_rules.dat";
+  std::string ImagePath = ::testing::TempDir() + "serve_rules.matb";
+  Rules.saveToFile(LibraryPath);
+  ASSERT_TRUE(
+      buildMatcherAutomaton(Library).writeBinaryFile(ImagePath));
+
+  SpawnedServer Server;
+  Server.start({SELGEN_SERVED_TOOL, "--library", LibraryPath, "--automaton",
+                ImagePath, "--threads", "4"});
+  ASSERT_GE(Server.Pid, 0);
+
+  BatchRequest Request;
+  Request.Id = 1;
+  Request.Width = W;
+  Request.Workloads = allWorkloadNames();
+  ASSERT_TRUE(wire::writeFrame(Server.ToChild, wire::Request,
+                               encodeBatchRequest(Request)));
+  wire::Frame Frame;
+  ASSERT_EQ(wire::readFrame(Server.FromChild, Frame, 120000),
+            wire::ReadStatus::Ok);
+  ASSERT_EQ(Frame.Type, wire::Response);
+  std::string Error;
+  std::optional<BatchReply> Reply = decodeBatchReply(Frame.Payload, &Error);
+  ASSERT_TRUE(Reply) << Error;
+  ASSERT_EQ(Reply->Results.size(), Request.Workloads.size());
+  for (const BatchReply::Result &R : Reply->Results)
+    EXPECT_EQ(R.Asm, sequentialAsm(R.Workload)) << R.Workload;
+
+  ASSERT_TRUE(wire::writeFrame(Server.ToChild, wire::Shutdown, ""));
+  int Status = Server.wait();
+  EXPECT_TRUE(WIFEXITED(Status));
+  EXPECT_EQ(WEXITSTATUS(Status), 0);
+}
+
+TEST_F(ServeTest, SpawnedServerShutsDownCleanlyOnSigterm) {
+  std::string LibraryPath = ::testing::TempDir() + "serve_rules_term.dat";
+  Rules.saveToFile(LibraryPath);
+
+  // No automaton file: the server compiles one in memory at startup.
+  SpawnedServer Server;
+  Server.start({SELGEN_SERVED_TOOL, "--library", LibraryPath, "--threads",
+                "2"});
+  ASSERT_GE(Server.Pid, 0);
+
+  // One request proves it is up and serving before the signal.
+  BatchRequest Request;
+  Request.Id = 2;
+  Request.Width = W;
+  Request.Workloads = {"164.gzip"};
+  ASSERT_TRUE(wire::writeFrame(Server.ToChild, wire::Request,
+                               encodeBatchRequest(Request)));
+  wire::Frame Frame;
+  ASSERT_EQ(wire::readFrame(Server.FromChild, Frame, 120000),
+            wire::ReadStatus::Ok);
+  ASSERT_EQ(Frame.Type, wire::Response);
+
+  ASSERT_EQ(kill(Server.Pid, SIGTERM), 0);
+  int Status = Server.wait();
+  EXPECT_TRUE(WIFEXITED(Status)) << "SIGTERM must exit, not die on signal";
+  EXPECT_EQ(WEXITSTATUS(Status), 0);
+}

@@ -243,6 +243,39 @@ TEST(AtomicFile, Crc32KnownValues) {
   EXPECT_EQ(crc32Hex(""), "00000000");
 }
 
+TEST(AtomicFile, Crc32MatchesBitwiseReferenceAtEveryLength) {
+  // crc32() dispatches between a PCLMUL fold, slice-by-8, and a
+  // byte-at-a-time loop depending on buffer length and host CPU; all
+  // tiers must agree with the plain bitwise definition at every
+  // length and alignment, especially around the 16/64-byte fold
+  // boundaries the fast path peels at.
+  auto Reference = [](const unsigned char *Bytes, size_t Size) {
+    uint32_t C = 0xffffffffu;
+    for (size_t I = 0; I < Size; ++I) {
+      C ^= Bytes[I];
+      for (int K = 0; K < 8; ++K)
+        C = (C & 1) ? 0xedb88320u ^ (C >> 1) : C >> 1;
+    }
+    return C ^ 0xffffffffu;
+  };
+  std::vector<unsigned char> Buffer(4096 + 7);
+  uint32_t Seed = 0x9E3779B9u;
+  for (unsigned char &B : Buffer) {
+    Seed = Seed * 1664525u + 1013904223u;
+    B = static_cast<unsigned char>(Seed >> 24);
+  }
+  for (size_t Size : {size_t(0), size_t(1), size_t(7), size_t(8), size_t(15),
+                      size_t(16), size_t(17), size_t(63), size_t(64),
+                      size_t(65), size_t(79), size_t(80), size_t(127),
+                      size_t(128), size_t(129), size_t(1000), size_t(4096)}) {
+    for (size_t Offset : {size_t(0), size_t(1), size_t(3), size_t(7)}) {
+      ASSERT_EQ(crc32(Buffer.data() + Offset, Size),
+                Reference(Buffer.data() + Offset, Size))
+          << "size " << Size << " offset " << Offset;
+    }
+  }
+}
+
 TEST(AtomicFile, WriteAndReadRoundTrip) {
   std::string Dir = tempDirFor("atomicfile");
   std::string Path = Dir + "/artifact.txt";

@@ -3,10 +3,15 @@
 
 Two subcommands, used by the perf-guard job in .github/workflows/ci.yml:
 
-  measure --name NAME --out FILE [--stats STATS_JSON] -- CMD ARGS...
+  measure --name NAME --out FILE [--stats STATS_JSON]
+          [--metric NAME=REGEX]... -- CMD ARGS...
       Runs CMD, records its wall time (and, if --stats points at a
       --stats-json dump the command produced, its counters) as a small
-      JSON measurement record.
+      JSON measurement record. Each --metric extracts one number from
+      the command's stdout via REGEX (first capture group, applied to
+      the whole output) — used for benchmark harnesses like
+      bench_85_server_latency that report latency percentiles in their
+      table output rather than a stats JSON.
 
   compare --base DIR --pr DIR [--max-wall-regression 0.20]
           [--counters a,b,c]
@@ -25,22 +30,40 @@ regressions loud without blocking an intentional trade-off.
 import argparse
 import json
 import pathlib
+import re
 import subprocess
 import sys
 import time
 
 
 def cmd_measure(args):
+    capture = bool(args.metric)
     start = time.monotonic()
-    result = subprocess.run(args.command)
+    result = subprocess.run(args.command,
+                            stdout=subprocess.PIPE if capture else None,
+                            text=capture)
     wall = time.monotonic() - start
+    if capture and result.stdout:
+        sys.stdout.write(result.stdout)
     if result.returncode != 0:
         print(f"perf_compare: '{' '.join(args.command)}' exited "
               f"{result.returncode}", file=sys.stderr)
         return result.returncode
 
     record = {"name": args.name, "wall_seconds": round(wall, 3),
-              "counters": {}}
+              "counters": {}, "metrics": {}}
+    for spec in args.metric or []:
+        name, _, regex = spec.partition("=")
+        if not regex:
+            print(f"perf_compare: bad --metric '{spec}' (want NAME=REGEX)",
+                  file=sys.stderr)
+            return 1
+        match = re.search(regex, result.stdout or "")
+        if match:
+            record["metrics"][name] = float(match.group(1))
+        else:
+            print(f"perf_compare: metric {name}: no match for /{regex}/",
+                  file=sys.stderr)
     if args.stats:
         try:
             with open(args.stats) as fh:
@@ -106,6 +129,16 @@ def cmd_compare(args):
                     f"{b_value} -> {p_value}")
                 print(f"    {counter}: {b_value} -> {p_value} [DRIFT]")
 
+        # Metrics (latency percentiles etc.) are informational: timing
+        # noise makes exact gates flappy, so only the wall-time budget
+        # fails the compare — but the side-by-side numbers are printed
+        # for the reviewer.
+        for metric in sorted(set(b.get("metrics", {}))
+                             & set(p.get("metrics", {}))):
+            b_value, p_value = b["metrics"][metric], p["metrics"][metric]
+            delta = ((p_value / b_value - 1) * 100) if b_value else 0.0
+            print(f"    {metric}: {b_value} -> {p_value} ({delta:+.0f}%)")
+
     if failures:
         print("\nperf_compare: FAIL")
         for failure in failures:
@@ -124,6 +157,8 @@ def main():
     measure.add_argument("--out", required=True)
     measure.add_argument("--stats",
                          help="--stats-json file the command wrote")
+    measure.add_argument("--metric", action="append",
+                         help="NAME=REGEX extracting a number from stdout")
     measure.add_argument("command", nargs="+",
                          help="command to run (after --)")
     measure.set_defaults(func=cmd_measure)

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Minimal selgen-served client for CI smoke tests.
+
+Speaks the selgen frame protocol (support/Wire.h) over a unix socket
+or over the stdin/stdout of a spawned server, sends one batch of
+workload names, and writes each returned machine-code listing to
+OUTDIR/<workload>.s -- the same layout `selgen-compile --dump-asm`
+produces, so the smoke job can `diff -r` the two directly.
+
+  serve_client.py --socket /tmp/selgen.sock --width 8 --out DIR 164.gzip ...
+  serve_client.py --spawn "./selgen-served --library rules.dat" ...
+
+Exit codes: 0 all results written, 1 protocol/usage error, 2 server
+returned an Error frame.
+"""
+
+import argparse
+import os
+import shlex
+import socket
+import struct
+import subprocess
+import sys
+import zlib
+
+FRAME_MAGIC = 0x53474C46
+TYPE_REQUEST = 1
+TYPE_RESPONSE = 2
+TYPE_ERROR = 3
+TYPE_SHUTDOWN = 4
+MAX_FRAME = 64 << 20
+
+
+def encode_frame(ftype, payload):
+    return (
+        struct.pack("<IBI", FRAME_MAGIC, ftype, len(payload))
+        + struct.pack("<I", zlib.crc32(payload) & 0xFFFFFFFF)
+        + payload
+    )
+
+
+def read_exactly(readfn, n):
+    buf = b""
+    while len(buf) < n:
+        chunk = readfn(n - len(buf))
+        if not chunk:
+            raise EOFError("stream closed mid-frame")
+        buf += chunk
+    return buf
+
+
+def read_frame(readfn):
+    header = read_exactly(readfn, 13)
+    magic, ftype, length = struct.unpack("<IBI", header[:9])
+    (crc,) = struct.unpack("<I", header[9:13])
+    if magic != FRAME_MAGIC or length > MAX_FRAME:
+        raise IOError("corrupt frame header")
+    payload = read_exactly(readfn, length)
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise IOError("frame CRC mismatch")
+    return ftype, payload
+
+
+def encode_batch(batch_id, width, workloads):
+    lines = ["selgen-serve-batch-v1", "id %d" % batch_id, "width %d" % width]
+    lines += ["workload %s" % w for w in workloads]
+    lines.append("end")
+    return ("\n".join(lines) + "\n").encode()
+
+
+def decode_reply(payload):
+    """Returns {workload: asm_bytes} preserving duplicates by suffixing."""
+    results = []
+    pos = 0
+
+    def next_line():
+        nonlocal pos
+        end = payload.index(b"\n", pos)
+        line = payload[pos:end]
+        pos = end + 1
+        return line
+
+    if next_line() != b"selgen-serve-reply-v1":
+        raise IOError("bad reply tag")
+    next_line()  # id
+    next_line()  # wall
+    while True:
+        line = next_line()
+        if line == b"end":
+            return results
+        parts = line.split(b" ")
+        if parts[0] != b"result" or len(parts) != 9:
+            raise IOError("bad result line: %r" % line)
+        name = parts[1].decode()
+        asm_bytes = int(parts[8])
+        asm = payload[pos : pos + asm_bytes]
+        pos += asm_bytes
+        if payload[pos : pos + 1] != b"\n":
+            raise IOError("missing asm terminator")
+        pos += 1
+        results.append((name, asm))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--socket", help="unix socket path of a running server")
+    parser.add_argument("--spawn", help="server command to spawn on stdin/stdout")
+    parser.add_argument("--width", type=int, default=8)
+    parser.add_argument("--out", required=True, help="directory for .s files")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="send each workload this many times")
+    parser.add_argument("workloads", nargs="+")
+    args = parser.parse_args()
+    if bool(args.socket) == bool(args.spawn):
+        parser.error("exactly one of --socket / --spawn is required")
+
+    batch = encode_batch(1, args.width, args.workloads * args.repeat)
+    request = encode_frame(TYPE_REQUEST, batch)
+
+    proc = None
+    if args.socket:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.connect(args.socket)
+        sock.sendall(request)
+        sock.sendall(encode_frame(TYPE_SHUTDOWN, b""))
+        readfn = sock.recv
+    else:
+        proc = subprocess.Popen(shlex.split(args.spawn),
+                                stdin=subprocess.PIPE, stdout=subprocess.PIPE)
+        proc.stdin.write(request)
+        proc.stdin.write(encode_frame(TYPE_SHUTDOWN, b""))
+        proc.stdin.flush()
+        readfn = proc.stdout.read
+
+    ftype, payload = read_frame(readfn)
+    if ftype == TYPE_ERROR:
+        sys.stderr.write("server error: %s\n" % payload.decode(errors="replace"))
+        return 2
+    if ftype != TYPE_RESPONSE:
+        sys.stderr.write("unexpected frame type %d\n" % ftype)
+        return 1
+
+    results = decode_reply(payload)
+    os.makedirs(args.out, exist_ok=True)
+    for name, asm in results:
+        with open(os.path.join(args.out, name + ".s"), "wb") as fh:
+            fh.write(asm)
+    print("wrote %d results to %s" % (len(results), args.out))
+
+    if proc:
+        proc.stdin.close()
+        if proc.wait(timeout=30) != 0:
+            sys.stderr.write("server exited with %d\n" % proc.returncode)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,8 +19,14 @@
 // rules one by one as the paper's prototype does (same machine code,
 // slower matching), "handwritten" bypasses the rule library entirely.
 // --automaton loads a pre-compiled automaton file emitted by
-// selgen-matchergen instead of compiling in memory; a stale file (one
-// whose library fingerprint does not match) is rejected.
+// selgen-matchergen instead of compiling in memory; both the text
+// (.mat) and binary (.matb, mmap'ed with zero deserialization)
+// formats are accepted by sniffing, and a stale file (one whose
+// library fingerprint does not match) is rejected. Loading a
+// serialized automaton reuses the staleness check's prepared library
+// (selector.prepare_skipped). --dump-asm DIR writes the primary
+// selector's machine code to DIR/<benchmark>.s, one file per
+// benchmark — the byte-identity anchor for the compile-server tests.
 //
 //===----------------------------------------------------------------------===//
 
@@ -35,7 +41,10 @@
 #include "x86/Emulator.h"
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
+
+#include <sys/stat.h>
 
 using namespace selgen;
 
@@ -78,8 +87,8 @@ RunOutcome runSelected(const Function &F, const MachineFunction &MF,
 
 int main(int argc, char **argv) {
   const std::vector<std::string> Flags = {
-      "library", "benchmark", "width",     "runs", "print-asm",
-      "selector", "automaton", "stats-json", "help"};
+      "library",  "benchmark", "width",      "runs",     "print-asm",
+      "selector", "automaton", "stats-json", "dump-asm", "help"};
   CommandLine Cli(argc, argv, Flags);
   if (!Cli.errors().empty() || Cli.hasFlag("help")) {
     for (const std::string &Error : Cli.errors())
@@ -114,10 +123,37 @@ int main(int argc, char **argv) {
 
   HandwrittenSelector Handwritten;
   std::unique_ptr<InstructionSelector> RuleDriven;
+  // Keeps a mapped binary image alive for the selector borrowing it.
+  std::unique_ptr<MappedAutomaton> Mapped;
   size_t UsableRules = 0;
   if (SelectorName == "auto") {
-    std::unique_ptr<AutomatonSelector> Auto;
-    if (!AutomatonPath.empty()) {
+    if (!AutomatonPath.empty() && isBinaryAutomatonFile(AutomatonPath)) {
+      // Binary image: mmap, validate, and match off the mapped bytes.
+      std::string LoadError;
+      Mapped = MatcherAutomaton::mapBinary(AutomatonPath, &LoadError);
+      if (!Mapped) {
+        std::fprintf(stderr, "error: %s\n", LoadError.c_str());
+        return 1;
+      }
+      PreparedLibrary Prepared(Database, Goals);
+      std::string Stale =
+          automatonStalenessError(Mapped->view(), Prepared);
+      if (!Stale.empty()) {
+        std::fprintf(stderr, "error: %s\n", Stale.c_str());
+        return 1;
+      }
+      Statistics::get().add("selector.prepare_skipped", 1);
+      auto Auto = std::make_unique<MappedAutomatonSelector>(
+          std::move(Prepared), Mapped->view());
+      UsableRules = Auto->numRules();
+      std::printf("automaton: %zu states, %llu transitions (mapped from "
+                  "%s)\n",
+                  Auto->view().numStates(),
+                  static_cast<unsigned long long>(
+                      Auto->view().numTransitions()),
+                  AutomatonPath.c_str());
+      RuleDriven = std::move(Auto);
+    } else if (!AutomatonPath.empty()) {
       std::string LoadError;
       std::optional<MatcherAutomaton> Loaded =
           MatcherAutomaton::loadFile(AutomatonPath, &LoadError);
@@ -131,20 +167,28 @@ int main(int argc, char **argv) {
         std::fprintf(stderr, "error: %s\n", Stale.c_str());
         return 1;
       }
-      Auto = std::make_unique<AutomatonSelector>(Database, Goals,
-                                                 std::move(*Loaded));
+      // The staleness check above already prepared the library; hand
+      // it to the selector instead of re-preparing (re-sorting) it.
+      Statistics::get().add("selector.prepare_skipped", 1);
+      auto Auto = std::make_unique<AutomatonSelector>(std::move(Prepared),
+                                                      std::move(*Loaded));
+      UsableRules = Auto->numRules();
+      std::printf("automaton: %zu states, %llu transitions (loaded from "
+                  "%s)\n",
+                  Auto->automaton().numStates(),
+                  static_cast<unsigned long long>(
+                      Auto->automaton().numTransitions()),
+                  AutomatonPath.c_str());
+      RuleDriven = std::move(Auto);
     } else {
-      Auto = std::make_unique<AutomatonSelector>(Database, Goals);
+      auto Auto = std::make_unique<AutomatonSelector>(Database, Goals);
+      UsableRules = Auto->numRules();
+      std::printf("automaton: %zu states, %llu transitions\n",
+                  Auto->automaton().numStates(),
+                  static_cast<unsigned long long>(
+                      Auto->automaton().numTransitions()));
+      RuleDriven = std::move(Auto);
     }
-    UsableRules = Auto->numRules();
-    std::string Origin =
-        AutomatonPath.empty() ? "" : " (loaded from " + AutomatonPath + ")";
-    std::printf("automaton: %zu states, %llu transitions%s\n",
-                Auto->automaton().numStates(),
-                static_cast<unsigned long long>(
-                    Auto->automaton().numTransitions()),
-                Origin.c_str());
-    RuleDriven = std::move(Auto);
   } else if (SelectorName == "linear") {
     auto Linear = std::make_unique<GeneratedSelector>(Database, Goals);
     UsableRules = Linear->numRules();
@@ -158,6 +202,9 @@ int main(int argc, char **argv) {
                                      Handwritten);
 
   std::string Wanted = Cli.stringOption("benchmark", "");
+  std::string DumpDir = Cli.stringOption("dump-asm", "");
+  if (!DumpDir.empty())
+    ::mkdir(DumpDir.c_str(), 0777); // EEXIST is fine.
   TablePrinter Table({"Benchmark", "Coverage", Primary.name(), "Handwritten",
                       "Ratio", "Check"});
   for (const WorkloadProfile &Profile : cint2000Profiles()) {
@@ -169,6 +216,15 @@ int main(int argc, char **argv) {
 
     if (Cli.hasFlag("print-asm"))
       std::printf("\n%s\n", printMachineFunction(*Gen.MF).c_str());
+    if (!DumpDir.empty()) {
+      std::string AsmPath = DumpDir + "/" + Profile.Name + ".s";
+      std::ofstream AsmOut(AsmPath);
+      AsmOut << printMachineFunction(*Gen.MF);
+      if (!AsmOut) {
+        std::fprintf(stderr, "error: cannot write %s\n", AsmPath.c_str());
+        return 1;
+      }
+    }
 
     RunOutcome GenRun = runSelected(F, *Gen.MF, Width, Runs);
     RunOutcome HandRun = runSelected(F, *Hand.MF, Width, Runs);

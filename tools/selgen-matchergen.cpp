@@ -11,7 +11,16 @@
 // loudly instead of selecting with stale rules.
 //
 //   selgen-matchergen --library rules.dat --output rules.mat
-//   selgen-compile --library rules.dat --automaton rules.mat
+//   selgen-matchergen --library rules.dat --output rules.matb --format binary
+//   selgen-matchergen convert rules.mat rules.matb     # either direction
+//   selgen-compile --library rules.dat --automaton rules.matb
+//
+// --format picks the output encoding: "text" (default, the versioned
+// line format) or "binary" (the mmap-able arena selgen-served and
+// selgen-compile load with O(1) startup). The `convert` subcommand
+// re-encodes an existing automaton file in the other format, sniffing
+// the input's encoding from its bytes; both directions round-trip to
+// the identical automaton, which convert verifies before exiting.
 //
 //===----------------------------------------------------------------------===//
 
@@ -23,14 +32,81 @@
 
 using namespace selgen;
 
+namespace {
+
+/// Loads an automaton from either encoding, sniffing the format.
+std::optional<MatcherAutomaton> loadAnyFormat(const std::string &Path,
+                                              std::string *Error) {
+  if (!isBinaryAutomatonFile(Path)) {
+    return MatcherAutomaton::loadFile(Path, Error);
+  }
+  std::unique_ptr<MappedAutomaton> Mapped =
+      MatcherAutomaton::mapBinary(Path, Error);
+  if (!Mapped)
+    return std::nullopt;
+  return Mapped->view().toAutomaton();
+}
+
+/// `selgen-matchergen convert IN OUT`: re-encode IN in the opposite
+/// format of what it currently is, then verify the round trip.
+int runConvert(const std::vector<std::string> &Positional) {
+  if (Positional.size() != 3) {
+    std::fprintf(stderr,
+                 "usage: selgen-matchergen convert <input> <output>\n");
+    return 1;
+  }
+  const std::string &InPath = Positional[1];
+  const std::string &OutPath = Positional[2];
+  bool InputIsBinary = isBinaryAutomatonFile(InPath);
+
+  std::string Error;
+  std::optional<MatcherAutomaton> Automaton = loadAnyFormat(InPath, &Error);
+  if (!Automaton) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  bool Wrote = InputIsBinary ? Automaton->writeFile(OutPath)
+                             : Automaton->writeBinaryFile(OutPath);
+  if (!Wrote) {
+    std::fprintf(stderr, "error: cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+
+  // The written file must load back to the identical automaton; the
+  // text rendering is the canonical comparison form for both.
+  std::optional<MatcherAutomaton> Reloaded = loadAnyFormat(OutPath, &Error);
+  if (!Reloaded) {
+    std::fprintf(stderr, "error: round-trip failed: %s\n", Error.c_str());
+    return 1;
+  }
+  if (Reloaded->serialize() != Automaton->serialize()) {
+    std::fprintf(stderr, "error: round-trip mismatch after convert\n");
+    return 1;
+  }
+  std::printf("converted %s (%s) -> %s (%s): %zu states, %llu "
+              "transitions\n",
+              InPath.c_str(), InputIsBinary ? "binary" : "text",
+              OutPath.c_str(), InputIsBinary ? "text" : "binary",
+              Automaton->numStates(),
+              static_cast<unsigned long long>(Automaton->numTransitions()));
+  return 0;
+}
+
+} // namespace
+
 int main(int argc, char **argv) {
   const std::vector<std::string> Flags = {"library", "output", "width",
-                                          "stats-json", "help"};
+                                          "format", "stats-json", "help"};
   CommandLine Cli(argc, argv, Flags);
-  if (!Cli.errors().empty() || Cli.hasFlag("help")) {
+  if (!Cli.positional().empty() && Cli.positional()[0] == "convert")
+    return runConvert(Cli.positional());
+  if (!Cli.errors().empty() || Cli.hasFlag("help") ||
+      !Cli.positional().empty()) {
     for (const std::string &Error : Cli.errors())
       std::fprintf(stderr, "%s\n", Error.c_str());
-    std::fprintf(stderr, "%s\n",
+    std::fprintf(stderr, "%s\n       selgen-matchergen convert "
+                 "<input> <output>\n",
                  CommandLine::usage("selgen-matchergen", Flags).c_str());
     return Cli.hasFlag("help") ? 0 : 1;
   }
@@ -38,6 +114,12 @@ int main(int argc, char **argv) {
   unsigned Width = static_cast<unsigned>(Cli.intOption("width", 8));
   std::string LibraryPath = Cli.stringOption("library", "rules.dat");
   std::string OutputPath = Cli.stringOption("output", "rules.mat");
+  std::string Format = Cli.stringOption("format", "text");
+  if (Format != "text" && Format != "binary") {
+    std::fprintf(stderr, "error: unknown --format '%s' (text|binary)\n",
+                 Format.c_str());
+    return 1;
+  }
 
   PatternDatabase Database = PatternDatabase::loadFromFile(LibraryPath);
   Database.filterNonNormalized();
@@ -46,7 +128,9 @@ int main(int argc, char **argv) {
   PreparedLibrary Library(Database, Goals);
 
   MatcherAutomaton Automaton = buildMatcherAutomaton(Library);
-  if (!Automaton.writeFile(OutputPath)) {
+  bool Wrote = Format == "binary" ? Automaton.writeBinaryFile(OutputPath)
+                                  : Automaton.writeFile(OutputPath);
+  if (!Wrote) {
     std::fprintf(stderr, "error: cannot write %s\n", OutputPath.c_str());
     return 1;
   }
@@ -55,7 +139,7 @@ int main(int argc, char **argv) {
   // to the identical automaton must never reach a selector.
   std::string LoadError;
   std::optional<MatcherAutomaton> Reloaded =
-      MatcherAutomaton::loadFile(OutputPath, &LoadError);
+      loadAnyFormat(OutputPath, &LoadError);
   if (!Reloaded) {
     std::fprintf(stderr, "error: round-trip failed: %s\n",
                  LoadError.c_str());
@@ -74,8 +158,8 @@ int main(int argc, char **argv) {
   std::printf("library %s: %zu rules (%zu usable, fingerprint %s)\n",
               LibraryPath.c_str(), Database.size(), Library.rules().size(),
               Library.fingerprint().c_str());
-  std::printf("automaton %s: %zu states, %llu transitions\n",
-              OutputPath.c_str(), Automaton.numStates(),
+  std::printf("automaton %s (%s): %zu states, %llu transitions\n",
+              OutputPath.c_str(), Format.c_str(), Automaton.numStates(),
               static_cast<unsigned long long>(Automaton.numTransitions()));
 
   std::string StatsPath = Cli.stringOption("stats-json", "");

@@ -1,0 +1,232 @@
+//===- selgen-served.cpp - Resident compile server -----------------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The resident compile server: loads one rule library and one matcher
+/// automaton at startup (preferably an mmap'ed binary image —
+/// validation instead of parsing, O(1) startup), then serves batched
+/// selection requests over the selgen frame protocol until EOF,
+/// Shutdown, or SIGTERM. Selection fans out over a pool of worker
+/// threads sharing the read-only automaton; results are byte-identical
+/// to single-shot `selgen-compile --selector auto` runs.
+///
+///   selgen-matchergen --library rules.dat --output rules.matb --format binary
+///   selgen-served --library rules.dat --automaton rules.matb --threads 4
+///   selgen-served --library rules.dat --automaton rules.matb --socket S
+///
+/// Without --socket the protocol runs on stdin/stdout (the solver-pool
+/// worker convention: the protocol fd is claimed and stdout redirected
+/// to stderr before anything else runs, so stray prints cannot corrupt
+/// frames). With --socket PATH the server binds a unix stream socket
+/// and serves connections one at a time; clients reconnect cheaply and
+/// the automaton stays resident across connections. SIGTERM/SIGINT
+/// finish the in-flight batch, then exit 0.
+///
+//===----------------------------------------------------------------------===//
+
+#include "isel/AutomatonSelector.h"
+#include "serve/SelectionServer.h"
+#include "support/CommandLine.h"
+#include "support/Statistics.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace selgen;
+
+namespace {
+
+std::atomic<bool> GStop{false};
+SelectionServer *volatile GActiveServer = nullptr;
+
+void onTerminate(int) {
+  GStop.store(true, std::memory_order_relaxed);
+  if (SelectionServer *Server = GActiveServer)
+    Server->requestStop(); // Atomic store; async-signal-safe.
+}
+
+int listenUnixSocket(const std::string &Path) {
+  sockaddr_un Addr;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    std::fprintf(stderr, "error: socket path too long: %s\n", Path.c_str());
+    return -1;
+  }
+  int Fd = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (Fd < 0) {
+    std::perror("socket");
+    return -1;
+  }
+  ::unlink(Path.c_str()); // A stale socket from a previous run.
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size());
+  if (bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+      listen(Fd, 8) < 0) {
+    std::perror("bind/listen");
+    close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+/// Accepts and serves connections sequentially until stop. Returns 0
+/// on a clean stop; per-connection corruption only condemns that
+/// connection, not the server.
+int serveSocket(SelectionService &Service, const std::string &Path) {
+  int ListenFd = listenUnixSocket(Path);
+  if (ListenFd < 0)
+    return 1;
+  std::fprintf(stderr, "selgen-served: listening on %s\n", Path.c_str());
+  while (!GStop.load(std::memory_order_relaxed)) {
+    pollfd P = {ListenFd, POLLIN, 0};
+    int Ready = poll(&P, 1, 200);
+    if (Ready < 0 && errno != EINTR)
+      break;
+    if (Ready <= 0)
+      continue;
+    int ClientFd = accept(ListenFd, nullptr, nullptr);
+    if (ClientFd < 0)
+      continue;
+    SelectionServer Server(Service, ClientFd, ClientFd);
+    GActiveServer = &Server;
+    if (GStop.load(std::memory_order_relaxed))
+      Server.requestStop(); // SIGTERM raced the accept.
+    int Code = Server.run();
+    GActiveServer = nullptr;
+    close(ClientFd);
+    if (Code != 0)
+      std::fprintf(stderr, "selgen-served: dropped corrupt connection\n");
+  }
+  close(ListenFd);
+  ::unlink(Path.c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const std::vector<std::string> Flags = {"library", "width",  "automaton",
+                                          "threads", "socket", "stats-json",
+                                          "help"};
+  CommandLine Cli(argc, argv, Flags);
+  if (!Cli.errors().empty() || Cli.hasFlag("help") ||
+      !Cli.positional().empty()) {
+    for (const std::string &Error : Cli.errors())
+      std::fprintf(stderr, "%s\n", Error.c_str());
+    std::fprintf(stderr, "%s\n",
+                 CommandLine::usage("selgen-served", Flags).c_str());
+    return Cli.hasFlag("help") ? 0 : 1;
+  }
+
+  unsigned Width = static_cast<unsigned>(Cli.intOption("width", 8));
+  unsigned Threads = static_cast<unsigned>(Cli.intOption("threads", 4));
+  std::string LibraryPath = Cli.stringOption("library", "rules.dat");
+  std::string AutomatonPath = Cli.stringOption("automaton", "");
+  std::string SocketPath = Cli.stringOption("socket", "");
+
+  // A client that vanished mid-reply must surface as a failed write,
+  // not a SIGPIPE death.
+  signal(SIGPIPE, SIG_IGN);
+  signal(SIGTERM, onTerminate);
+  signal(SIGINT, onTerminate);
+
+  PatternDatabase Database = PatternDatabase::loadFromFile(LibraryPath);
+  Database.filterNonNormalized();
+  Database.sortSpecificFirst();
+  GoalLibrary Goals = GoalLibrary::build(Width, GoalLibrary::allGroups());
+  PreparedLibrary Library(Database, Goals);
+
+  // The automaton: mapped binary image (preferred), parsed text file,
+  // or compiled in memory when no file is given.
+  std::unique_ptr<MappedAutomaton> Mapped;
+  std::optional<MatcherAutomaton> Heap;
+  if (!AutomatonPath.empty() && isBinaryAutomatonFile(AutomatonPath)) {
+    std::string Error;
+    Mapped = MatcherAutomaton::mapBinary(AutomatonPath, &Error);
+    if (!Mapped) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    std::string Stale = automatonStalenessError(Mapped->view(), Library);
+    if (!Stale.empty()) {
+      std::fprintf(stderr, "error: %s\n", Stale.c_str());
+      return 1;
+    }
+  } else if (!AutomatonPath.empty()) {
+    std::string Error;
+    Heap = MatcherAutomaton::loadFile(AutomatonPath, &Error);
+    if (!Heap) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    std::string Stale = automatonStalenessError(*Heap, Library);
+    if (!Stale.empty()) {
+      std::fprintf(stderr, "error: %s\n", Stale.c_str());
+      return 1;
+    }
+  } else {
+    Heap = buildMatcherAutomaton(Library);
+  }
+
+  std::unique_ptr<SelectionService> Service;
+  if (Mapped)
+    Service = std::make_unique<SelectionService>(Library, Mapped->view(),
+                                                 Width, Threads);
+  else
+    Service = std::make_unique<SelectionService>(Library, *Heap, Width,
+                                                 Threads);
+  std::fprintf(stderr,
+               "selgen-served: %zu rules, %zu states (%s), %u threads\n",
+               Library.rules().size(),
+               Mapped ? Mapped->view().numStates() : Heap->numStates(),
+               Mapped ? "mapped" : AutomatonPath.empty() ? "in-memory"
+                                                         : "text",
+               Threads);
+
+  int Code;
+  if (!SocketPath.empty()) {
+    Code = serveSocket(*Service, SocketPath);
+  } else {
+    // stdin/stdout mode: claim the protocol stream, then point stdout
+    // at stderr so no library print can interleave with frames.
+    int ProtocolFd = dup(STDOUT_FILENO);
+    if (ProtocolFd < 0)
+      return 2;
+    dup2(STDERR_FILENO, STDOUT_FILENO);
+    SelectionServer Server(*Service, STDIN_FILENO, ProtocolFd);
+    GActiveServer = &Server;
+    if (GStop.load(std::memory_order_relaxed))
+      Server.requestStop();
+    Code = Server.run();
+    GActiveServer = nullptr;
+  }
+
+  const ServiceTelemetry &T = Service->telemetry();
+  std::fprintf(stderr,
+               "selgen-served: served %llu batches, %llu functions\n",
+               static_cast<unsigned long long>(T.Batches),
+               static_cast<unsigned long long>(T.Functions));
+  Statistics &Stats = Statistics::get();
+  Stats.add("served.batches", static_cast<int64_t>(T.Batches));
+  Stats.add("served.functions", static_cast<int64_t>(T.Functions));
+  Stats.add("served.rules_tried", static_cast<int64_t>(T.RulesTried));
+  Stats.add("served.nodes_visited", static_cast<int64_t>(T.NodesVisited));
+  std::string StatsPath = Cli.stringOption("stats-json", "");
+  if (!StatsPath.empty() && !Stats.writeJsonFile(StatsPath)) {
+    std::fprintf(stderr, "error: cannot write %s\n", StatsPath.c_str());
+    return 1;
+  }
+  return Code;
+}
