@@ -277,6 +277,17 @@ void checkJumpApplicability(const PreparedLibrary &Library,
 /// as a subject), a structural match plus a result-coverage check
 /// confirms the shape, and an SMT query sat(P_B and not P_A) == Unsat
 /// discharges the preconditions.
+///
+/// The same scan also powers the cost-dominated finding. Shadowing
+/// alone stopped being a death sentence when the tiling selector
+/// landed: a shadowed-but-cheaper rule can still fire under a cost
+/// model (--selector tiling picks add_ri over the more general add_rr
+/// on add(x, const) under the latency model). A rule is only truly
+/// unreachable when an earlier subsumer is also no more expensive
+/// under every cost-consulting shipped model (latency and size; the
+/// unit model ignores rule costs and ties break toward the earlier
+/// index) — then neither first-match nor any cost-minimal cover can
+/// ever prefer it.
 void checkShadowing(const PreparedLibrary &Library,
                     const std::string &LibraryName,
                     const LintOptions &Options,
@@ -310,6 +321,8 @@ void checkShadowing(const PreparedLibrary &Library,
     else
       Automaton.matchBody(B.Root, Candidates);
 
+    bool ReportedShadow = false;
+    bool ReportedDomination = false;
     for (uint32_t AIndex : Candidates) {
       if (AIndex >= B.Index)
         break; // Ascending order: only earlier rules shadow.
@@ -373,14 +386,41 @@ void checkShadowing(const PreparedLibrary &Library,
       if (!Entailed)
         continue;
 
-      std::ostringstream Msg;
-      Msg << "rule is shadowed by the more general rule #" << A.Index
-          << " (goal " << A.Goal->Name
-          << "): every subject this rule matches is already claimed by "
-             "the earlier rule";
-      Findings.push_back(libraryFinding("shadowed-rule", "warning",
-                                        Msg.str(), LibraryName, B));
-      break; // One shadow finding per rule is enough.
+      if (!ReportedShadow) {
+        ReportedShadow = true;
+        std::ostringstream Msg;
+        Msg << "rule is shadowed by the more general rule #" << A.Index
+            << " (goal " << A.Goal->Name
+            << "): every subject this rule matches is already claimed by "
+               "the earlier rule";
+        Findings.push_back(libraryFinding("shadowed-rule", "warning",
+                                          Msg.str(), LibraryName, B));
+      }
+
+      // Cost domination: B can never beat this subsumer under any
+      // shipped cost-consulting model either. Strictly worse somewhere
+      // (equal-cost duplicates are plain shadows; ties already break
+      // toward A's earlier index).
+      bool NoCheaperModel = B.Cost.Latency >= A.Cost.Latency &&
+                            B.Cost.Size >= A.Cost.Size;
+      bool StrictlyWorse = B.Cost.Latency > A.Cost.Latency ||
+                           B.Cost.Size > A.Cost.Size;
+      if (!ReportedDomination && NoCheaperModel && StrictlyWorse) {
+        ReportedDomination = true;
+        std::ostringstream Msg;
+        Msg << "rule is cost-dominated by rule #" << A.Index << " (goal "
+            << A.Goal->Name << "): it matches no subject rule #" << A.Index
+            << " misses and costs no less under every shipped cost model "
+               "(latency "
+            << B.Cost.Latency << " vs " << A.Cost.Latency << ", size "
+            << B.Cost.Size << " vs " << A.Cost.Size
+            << "); neither first-match nor cost-minimal tiling can select "
+               "it";
+        Findings.push_back(libraryFinding("cost-dominated", "warning",
+                                          Msg.str(), LibraryName, B));
+      }
+      if (ReportedShadow && ReportedDomination)
+        break; // One finding of each kind per rule is enough.
     }
   }
 }

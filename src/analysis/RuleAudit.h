@@ -14,8 +14,10 @@
 ///   rules shadowed by an earlier more-general rule (discrimination
 ///   tree walk proposes candidates, a structural pattern-as-subject
 ///   match plus an SMT subsumption query on the preconditions
-///   confirms), jump rules the selection engine can never try, and
-///   rules the normalizer would reject today.
+///   confirms), rules additionally cost-dominated by such a subsumer
+///   (no cheaper under any shipped cost model, so even cost-minimal
+///   tiling never selects them), jump rules the selection engine can
+///   never try, and rules the normalizer would reject today.
 ///
 /// * Textual IR files: parse errors, ir::Verifier findings, and shift
 ///   operations whose UB-freedom the analysis cannot discharge.

@@ -1,0 +1,156 @@
+//===- CostModel.cpp - Per-rule cost vectors for selection --------------------===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cost/CostModel.h"
+
+#include "semantics/InstrSpec.h"
+#include "x86/Emulator.h"
+#include "x86/Goals.h"
+
+#include <cassert>
+
+using namespace selgen;
+
+const char *selgen::costKindName(CostKind Kind) {
+  switch (Kind) {
+  case CostKind::Unit:
+    return "unit";
+  case CostKind::Latency:
+    return "latency";
+  case CostKind::Size:
+    return "size";
+  }
+  return "unit";
+}
+
+std::optional<CostKind> selgen::parseCostKind(const std::string &Name) {
+  if (Name == "unit")
+    return CostKind::Unit;
+  if (Name == "latency")
+    return CostKind::Latency;
+  if (Name == "size")
+    return CostKind::Size;
+  return std::nullopt;
+}
+
+/// Bytes an immediate operand adds to the encoding: x86 encodes imm8
+/// for small widths and up to imm32 otherwise.
+static uint32_t immSize(const MOperand &Op) {
+  if (!Op.isImm())
+    return 0;
+  unsigned Bytes = (Op.Imm.width() + 7) / 8;
+  return Bytes < 1 ? 1 : (Bytes > 4 ? 4 : Bytes);
+}
+
+/// Bytes a memory operand adds: ModRM extension (SIB when indexed) and
+/// a displacement byte when present.
+static uint32_t memSize(const MOperand &Op) {
+  if (!Op.isMem())
+    return 0;
+  uint32_t Bytes = 1;
+  if (Op.M.Index)
+    Bytes += 1;
+  if (Op.M.Disp != 0)
+    Bytes += 1;
+  return Bytes;
+}
+
+uint32_t selgen::encodedInstrSize(const MachineInstr &Instr) {
+  // Base opcode + ModRM. Two-byte-opcode (0F-escape) forms get 3,
+  // VEX-encoded BMI forms get 5. Absolute accuracy is not the point —
+  // the estimate just has to be deterministic and order the shipped
+  // recipes sensibly.
+  uint32_t Bytes = 2;
+  switch (Instr.Op) {
+  case MOpcode::Imul:
+  case MOpcode::Cmov:
+  case MOpcode::Setcc:
+    Bytes = 3;
+    break;
+  case MOpcode::Andn:
+  case MOpcode::Blsr:
+  case MOpcode::Blsi:
+  case MOpcode::Blsmsk:
+    Bytes = 5;
+    break;
+  default:
+    break;
+  }
+  for (const MOperand *Op : {&Instr.Dst, &Instr.Src1, &Instr.Src2})
+    Bytes += immSize(*Op) + memSize(*Op);
+  return Bytes;
+}
+
+RuleCost selgen::deriveRuleCost(const GoalInstruction &Goal, unsigned Width) {
+  // Probe the recipe with role-correct dummy operands. Recipes only
+  // look at roles (they bind registers, embed immediates, and build
+  // addressing modes), so a dummy run emits exactly the instruction
+  // sequence selection would.
+  MachineFunction MF("cost-probe", Width);
+  std::vector<MOperand> Args;
+  const InstrSpec &Spec = *Goal.Spec;
+  for (unsigned I = 0; I < Spec.argSorts().size(); ++I) {
+    switch (Spec.argRole(I)) {
+    case ArgRole::Reg:
+    case ArgRole::Addr:
+      Args.push_back(MOperand::reg(MF.newReg()));
+      break;
+    case ArgRole::Imm:
+      Args.push_back(MOperand::imm(BitValue(Spec.argSorts()[I].Width, 1)));
+      break;
+    case ArgRole::Mem:
+      Args.push_back(MOperand::none());
+      break;
+    }
+  }
+
+  EmittedGoal Emitted = Goal.Emit(MF, Args);
+  RuleCost Cost;
+  Cost.Instructions = static_cast<uint32_t>(Emitted.Instrs.size());
+  for (const MachineInstr &Instr : Emitted.Instrs) {
+    Cost.Latency += static_cast<uint32_t>(instructionCost(Instr));
+    Cost.Size += encodedInstrSize(Instr);
+  }
+  return Cost;
+}
+
+RuleCost selgen::deriveRuleCost(const GoalInstruction &Goal) {
+  unsigned Width = 8;
+  const InstrSpec &Spec = *Goal.Spec;
+  bool Found = false;
+  for (const Sort &S : Spec.argSorts())
+    if (S.isValue()) {
+      Width = S.Width;
+      Found = true;
+      break;
+    }
+  if (!Found)
+    for (const Sort &S : Spec.resultSorts())
+      if (S.isValue()) {
+        Width = S.Width;
+        break;
+      }
+  return deriveRuleCost(Goal, Width);
+}
+
+uint64_t selgen::machineStaticCost(const MachineFunction &MF, CostKind Kind) {
+  uint64_t Total = 0;
+  for (const auto &Block : MF.blocks())
+    for (const MachineInstr &Instr : Block->instructions())
+      switch (Kind) {
+      case CostKind::Unit:
+        Total += 1;
+        break;
+      case CostKind::Latency:
+        Total += instructionCost(Instr);
+        break;
+      case CostKind::Size:
+        Total += encodedInstrSize(Instr);
+        break;
+      }
+  return Total;
+}

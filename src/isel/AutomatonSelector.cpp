@@ -28,9 +28,45 @@ MatcherAutomaton selgen::buildMatcherAutomaton(const PreparedLibrary &Library) {
     P.RuleIndex = R.Index;
     Patterns.push_back(P);
   }
+  // Stamp the library's cost table (every rule, including the
+  // never-firing ones the tree omits: the table is indexed by rule
+  // priority index).
+  std::vector<RuleCost> Costs;
+  Costs.reserve(Library.rules().size());
+  for (const PreparedRule &R : Library.rules())
+    Costs.push_back(R.Cost);
   return MatcherAutomaton::compile(Patterns, Library.fingerprint(),
                                    static_cast<uint32_t>(
-                                       Library.rules().size()));
+                                       Library.rules().size()),
+                                   std::move(Costs), cost::ModelVersion);
+}
+
+/// Shared staleness rule for the cost table: an automaton whose cost
+/// stamp or per-rule costs disagree with the prepared library would
+/// silently mis-price tiling, so it is refused like a fingerprint
+/// mismatch. \p CostAt fetches the image's cost for a rule index.
+template <typename CostAtFn>
+static std::string
+costStalenessError(uint32_t ImageCostVersion, const CostAtFn &CostAt,
+                   const PreparedLibrary &Library) {
+  if (ImageCostVersion != cost::ModelVersion) {
+    if (ImageCostVersion == 0)
+      return "automaton carries no rule cost table (pre-cost image, cost "
+             "version 0; current " +
+             std::to_string(cost::ModelVersion) +
+             "); re-run selgen-matchergen or upgrade it with "
+             "'selgen-matchergen convert'";
+    return "automaton cost table was derived under cost model version " +
+           std::to_string(ImageCostVersion) + ", current is " +
+           std::to_string(cost::ModelVersion) +
+           " (stale automaton; re-run selgen-matchergen)";
+  }
+  for (const PreparedRule &R : Library.rules())
+    if (CostAt(R.Index) != R.Cost)
+      return "automaton cost table disagrees with the library at rule " +
+             std::to_string(R.Index) +
+             " (stale automaton; re-run selgen-matchergen)";
+  return "";
 }
 
 std::string
@@ -46,7 +82,9 @@ selgen::automatonStalenessError(const MatcherAutomaton &Automaton,
            " rules, library has " +
            std::to_string(Library.rules().size()) +
            " (stale automaton; re-run selgen-matchergen)";
-  return "";
+  return costStalenessError(
+      Automaton.costVersion(),
+      [&Automaton](uint32_t I) { return Automaton.ruleCosts()[I]; }, Library);
 }
 
 std::string
@@ -62,7 +100,9 @@ selgen::automatonStalenessError(const BinaryAutomatonView &View,
            " rules, library has " +
            std::to_string(Library.rules().size()) +
            " (stale automaton; re-run selgen-matchergen)";
-  return "";
+  return costStalenessError(
+      View.costVersion(), [&View](uint32_t I) { return View.ruleCost(I); },
+      Library);
 }
 
 void AutomatonCandidateSource::forEachBodyCandidate(

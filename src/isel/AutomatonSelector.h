@@ -40,13 +40,15 @@ namespace selgen {
 MatcherAutomaton buildMatcherAutomaton(const PreparedLibrary &Library);
 
 /// Returns an explanation if \p Automaton was not compiled from
-/// \p Library (fingerprint or rule-count mismatch), or the empty
+/// \p Library (fingerprint, rule-count, or cost-table/cost-version
+/// mismatch — a pre-cost image against a cost-stamped library is
+/// refused, not silently selected with zero costs), or the empty
 /// string if it is current.
 std::string automatonStalenessError(const MatcherAutomaton &Automaton,
                                     const PreparedLibrary &Library);
 
 /// Staleness check for a mapped binary image — the same fingerprint /
-/// rule-count rule as the text path.
+/// rule-count / cost rules as the text path.
 std::string automatonStalenessError(const BinaryAutomatonView &View,
                                     const PreparedLibrary &Library);
 

@@ -10,6 +10,8 @@
 #include "isel/Matcher.h"
 #include "support/Hashing.h"
 
+#include <map>
+
 using namespace selgen;
 
 PreparedLibrary::PreparedLibrary(const PatternDatabase &Database,
@@ -25,6 +27,16 @@ PreparedLibrary::PreparedLibrary(const PatternDatabase &Database,
 
   StableHasher Hasher;
   Hasher.str("selgen-prepared-library-v1");
+
+  // One cost probe per goal: all rules of a goal share its emission
+  // recipe, and probing runs Emit, which is not free at 12k rules.
+  std::map<const GoalInstruction *, RuleCost> CostCache;
+  auto goalCost = [&CostCache](const GoalInstruction &Goal) {
+    auto It = CostCache.find(&Goal);
+    if (It == CostCache.end())
+      It = CostCache.emplace(&Goal, deriveRuleCost(Goal)).first;
+    return It->second;
+  };
 
   for (const Rule &R : OwnedRules) {
     const GoalInstruction *Goal = Goals.find(R.GoalName);
@@ -61,6 +73,7 @@ PreparedLibrary::PreparedLibrary(const PatternDatabase &Database,
       }
     }
     Prepared.Index = static_cast<uint32_t>(Rules.size());
+    Prepared.Cost = goalCost(*Goal);
     Hasher.str(R.GoalName);
     Hasher.str(R.Pattern.fingerprint());
     Rules.push_back(Prepared);

@@ -20,6 +20,7 @@
 #ifndef SELGEN_ISEL_PREPAREDLIBRARY_H
 #define SELGEN_ISEL_PREPAREDLIBRARY_H
 
+#include "cost/CostModel.h"
 #include "pattern/PatternDatabase.h"
 #include "x86/Goals.h"
 
@@ -43,6 +44,9 @@ struct PreparedRule {
   /// Position in the most-specific-first priority order. Leaves of the
   /// matching automaton refer to rules by this index.
   uint32_t Index = 0;
+  /// Cost vector of the goal's emission recipe (cost/CostModel.h),
+  /// derived at prepare time. Identical for all rules of one goal.
+  RuleCost Cost;
 };
 
 /// A priority-ordered, goal-resolved rule library ready for matching.

@@ -130,6 +130,11 @@ std::string MatcherAutomaton::serializeBinary() const {
     BStates.push_back(BS);
   }
 
+  std::vector<binfmt::RuleCostRec> BCosts;
+  BCosts.reserve(RuleCosts.size());
+  for (const RuleCost &C : RuleCosts)
+    BCosts.push_back({C.Instructions, C.Latency, C.Size});
+
   std::vector<binfmt::RootEntry> RootIdx;
   std::vector<uint32_t> RootPool;
   for (const auto &[Op, Indices] : BodyRootEdgesByOpcode) {
@@ -167,6 +172,9 @@ std::string MatcherAutomaton::serializeBinary() const {
   H.RootPoolOff =
       appendSection(Out, RootPool.data(), RootPool.size() * sizeof(uint32_t));
   H.RootPoolCount = static_cast<uint32_t>(RootPool.size());
+  H.RuleCostsOff = appendSection(Out, BCosts.data(),
+                                 BCosts.size() * sizeof(binfmt::RuleCostRec));
+  H.CostVersion = CostVersion;
   H.FingerprintOff = static_cast<uint32_t>(Out.size());
   H.FingerprintLen = static_cast<uint32_t>(LibraryFingerprint.size());
   Out += LibraryFingerprint;
@@ -186,13 +194,17 @@ MatcherAutomaton MatcherAutomaton::fromParts(std::vector<State> NewStates,
                                              uint32_t NewBodyRoot,
                                              uint32_t NewJumpRoot,
                                              std::string Fingerprint,
-                                             uint32_t NewNumRules) {
+                                             uint32_t NewNumRules,
+                                             std::vector<RuleCost> NewCosts,
+                                             uint32_t NewCostVersion) {
   MatcherAutomaton A;
   A.States = std::move(NewStates);
   A.BodyRoot = NewBodyRoot;
   A.JumpRoot = NewJumpRoot;
   A.LibraryFingerprint = std::move(Fingerprint);
   A.NumRules = NewNumRules;
+  A.RuleCosts = std::move(NewCosts);
+  A.CostVersion = NewCostVersion;
   A.rebuildRootIndex();
   return A;
 }
@@ -278,6 +290,11 @@ BinaryAutomatonView::fromMemory(const void *Data, size_t Size,
   if (!sectionOk(Hdr->RootPoolOff, Hdr->RootPoolCount, sizeof(uint32_t),
                  true))
     return fail(BinaryAutomatonError::BadSection, "root pool out of range");
+  const uint64_t NumCosts = Hdr->CostVersion != 0 ? Hdr->NumRules : 0;
+  if (!sectionOk(Hdr->RuleCostsOff, NumCosts, sizeof(binfmt::RuleCostRec),
+                 true))
+    return fail(BinaryAutomatonError::BadSection,
+                "rule cost table out of range");
   if (!sectionOk(Hdr->FingerprintOff, Hdr->FingerprintLen, 1, false))
     return fail(BinaryAutomatonError::BadSection, "fingerprint out of range");
 
@@ -291,6 +308,8 @@ BinaryAutomatonView::fromMemory(const void *Data, size_t Size,
   V.RootEntries =
       reinterpret_cast<const binfmt::RootEntry *>(Bytes + Hdr->RootIndexOff);
   V.RootPool = reinterpret_cast<const uint32_t *>(Bytes + Hdr->RootPoolOff);
+  V.RuleCostsTab =
+      reinterpret_cast<const binfmt::RuleCostRec *>(Bytes + Hdr->RuleCostsOff);
   V.FingerprintData = Bytes + Hdr->FingerprintOff;
 
   // Structural pass: after this, matching dereferences indices without
@@ -543,9 +562,16 @@ MatcherAutomaton BinaryAutomatonView::toAutomaton() const {
       OS.Edges.push_back(std::move(OE));
     }
   }
+  std::vector<RuleCost> OutCosts;
+  if (Hdr->CostVersion != 0) {
+    OutCosts.reserve(Hdr->NumRules);
+    for (uint32_t I = 0; I < Hdr->NumRules; ++I)
+      OutCosts.push_back(ruleCost(I));
+  }
   return MatcherAutomaton::fromParts(std::move(OutStates), Hdr->BodyRoot,
                                      Hdr->JumpRoot, libraryFingerprint(),
-                                     Hdr->NumRules);
+                                     Hdr->NumRules, std::move(OutCosts),
+                                     Hdr->CostVersion);
 }
 
 //===----------------------------------------------------------------------===//

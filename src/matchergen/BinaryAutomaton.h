@@ -6,7 +6,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The "selgen-matcher-automaton-bin-v1" format: one contiguous,
+/// The "selgen-matcher-automaton-bin-v2" format: one contiguous,
 /// pointer-free arena holding the discrimination tree as flat tables
 /// addressed by uint32 indices, so loading is mmap + header/CRC
 /// validation + one bounds-check pass. The image is immutable and
@@ -17,16 +17,18 @@
 /// Layout (all integers host-endian; a foreign-endian image is
 /// rejected via the endianness tag, never byte-swapped):
 ///
-///   Header        96 bytes, fixed (binfmt::Header below): magic,
+///   Header        100 bytes, fixed (binfmt::Header below): magic,
 ///                 version, endian tag, table counts, root state ids,
-///                 per-section offsets, total size, payload CRC-32,
-///                 header CRC-32.
+///                 per-section offsets, cost-model version, total
+///                 size, payload CRC-32, header CRC-32.
 ///   States        binfmt::State[NumStates]      (8-byte aligned)
 ///   Edges         binfmt::Edge[NumEdges]        (8-byte aligned)
 ///   Accepts       uint32[NumAccepts]            (8-byte aligned)
 ///   ConstWords    uint64[NumConstWords]         (8-byte aligned)
 ///   RootIndex     binfmt::RootEntry[RootIndexCount] (8-byte aligned)
 ///   RootPool      uint32[RootPoolCount]         (8-byte aligned)
+///   RuleCosts     binfmt::RuleCostRec[NumRules when CostVersion != 0,
+///                 else 0]                       (8-byte aligned)
 ///   Fingerprint   FingerprintLen raw bytes (unaligned tail)
 ///
 /// States own [EdgeBegin, EdgeBegin+EdgeCount) of the edge table and
@@ -92,7 +94,10 @@ bool isBinaryAutomatonFile(const std::string &Path);
 namespace binfmt {
 
 constexpr uint32_t Magic = 0x424D4753u; // "SGMB" when written little-endian.
-constexpr uint32_t Version = 1;
+/// v2 widened the header by the rule-cost section. v1 images are
+/// refused with BadVersion (the binary format has no upgrade path;
+/// regenerate, or convert via the text format).
+constexpr uint32_t Version = 2;
 constexpr uint32_t EndianTag = 0x01020304u;
 
 struct Header {
@@ -116,12 +121,15 @@ struct Header {
   uint32_t RootPoolCount = 0;
   uint32_t FingerprintOff = 0;
   uint32_t FingerprintLen = 0;
+  uint32_t RuleCostsOff = 0;
+  /// cost::ModelVersion the stamped table was derived under; 0 means
+  /// the image carries no cost table.
+  uint32_t CostVersion = 0;
   uint32_t TotalBytes = 0;
   uint32_t PayloadCrc = 0; ///< CRC-32 of [sizeof(Header), TotalBytes).
-  uint32_t Reserved = 0;
   uint32_t HeaderCrc = 0;  ///< CRC-32 of the header bytes before this field.
 };
-static_assert(sizeof(Header) == 96, "fixed 96-byte header");
+static_assert(sizeof(Header) == 100, "fixed 100-byte header");
 
 struct State {
   uint32_t EdgeBegin = 0;
@@ -159,6 +167,15 @@ struct RootEntry {
 };
 static_assert(sizeof(RootEntry) == 12, "flat root-index record");
 
+/// One per-rule cost vector (mirrors selgen::RuleCost), indexed by
+/// rule priority index.
+struct RuleCostRec {
+  uint32_t Instructions = 0;
+  uint32_t Latency = 0;
+  uint32_t Size = 0;
+};
+static_assert(sizeof(RuleCostRec) == 12, "flat rule-cost record");
+
 } // namespace binfmt
 
 /// A zero-copy matcher over a validated binary image. Borrows the
@@ -193,6 +210,14 @@ public:
   std::string libraryFingerprint() const {
     return std::string(FingerprintData, Hdr->FingerprintLen);
   }
+  /// Cost-derivation version of the stamped table; 0 = no cost table.
+  uint32_t costVersion() const { return Hdr->CostVersion; }
+  /// Cost vector of rule \p Index. Only valid when costVersion() != 0
+  /// and Index < numRules().
+  RuleCost ruleCost(uint32_t Index) const {
+    const binfmt::RuleCostRec &R = RuleCostsTab[Index];
+    return RuleCost{R.Instructions, R.Latency, R.Size};
+  }
   const binfmt::Header &header() const { return *Hdr; }
 
   /// Reconstructs a heap MatcherAutomaton (the binary -> text
@@ -213,6 +238,7 @@ private:
   const uint64_t *ConstWords = nullptr;
   const binfmt::RootEntry *RootEntries = nullptr;
   const uint32_t *RootPool = nullptr;
+  const binfmt::RuleCostRec *RuleCostsTab = nullptr;
   const char *FingerprintData = nullptr;
 };
 

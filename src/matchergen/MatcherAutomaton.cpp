@@ -10,6 +10,7 @@
 #include "support/StringUtils.h"
 
 #include <algorithm>
+#include <cassert>
 #include <fstream>
 #include <sstream>
 
@@ -137,10 +138,13 @@ void MatcherAutomaton::rebuildRootIndex() {
 MatcherAutomaton
 MatcherAutomaton::compile(const std::vector<AutomatonPattern> &Patterns,
                           const std::string &LibraryFingerprint,
-                          uint32_t NumRules) {
+                          uint32_t NumRules, std::vector<RuleCost> RuleCosts,
+                          uint32_t CostVersion) {
   MatcherAutomaton A;
   A.LibraryFingerprint = LibraryFingerprint;
   A.NumRules = NumRules;
+  A.RuleCosts = std::move(RuleCosts);
+  A.CostVersion = CostVersion;
   // Insert in ascending priority order so every accept list and the
   // whole trie layout are deterministic in the library order.
   std::vector<const AutomatonPattern *> Sorted;
@@ -154,6 +158,15 @@ MatcherAutomaton::compile(const std::vector<AutomatonPattern> &Patterns,
     A.insertPattern(*P);
   A.rebuildRootIndex();
   return A;
+}
+
+void MatcherAutomaton::setRuleCosts(std::vector<RuleCost> NewCosts,
+                                    uint32_t NewCostVersion) {
+  assert((NewCostVersion == 0 ? NewCosts.empty()
+                              : NewCosts.size() == NumRules) &&
+         "cost table must cover every rule (or be absent)");
+  RuleCosts = std::move(NewCosts);
+  CostVersion = NewCostVersion;
 }
 
 uint64_t MatcherAutomaton::numTransitions() const {
@@ -284,6 +297,10 @@ std::string MatcherAutomaton::serialize() const {
   OS << "states " << States.size() << "\n";
   OS << "body " << BodyRoot << "\n";
   OS << "jump " << JumpRoot << "\n";
+  OS << "costver " << CostVersion << "\n";
+  for (size_t I = 0; I < RuleCosts.size(); ++I)
+    OS << "cost " << I << " " << RuleCosts[I].Instructions << " "
+       << RuleCosts[I].Latency << " " << RuleCosts[I].Size << "\n";
   for (size_t I = 0; I < States.size(); ++I) {
     OS << "state " << I;
     if (!States[I].AcceptRules.empty()) {
@@ -330,9 +347,15 @@ MatcherAutomaton::deserialize(const std::string &Text, std::string *Error) {
     if (!Line.empty())
       Lines.push_back(Line);
   }
-  if (Lines.empty() || Lines[0] != formatTag())
+  if (Lines.empty() ||
+      (Lines[0] != formatTag() && Lines[0] != legacyFormatTag()))
     return fail("not a '" + std::string(formatTag()) +
                 "' file (version mismatch or corrupt)");
+  // The pre-cost v1 format differs only in lacking the costver header
+  // and cost lines; parse it with costVersion() 0 so `convert` can
+  // upgrade old images (the selectors refuse them against cost-stamped
+  // libraries).
+  const bool Legacy = Lines[0] == legacyFormatTag();
 
   size_t At = 1;
   auto headerField = [&](const std::string &Key,
@@ -350,10 +373,12 @@ MatcherAutomaton::deserialize(const std::string &Text, std::string *Error) {
   MatcherAutomaton A;
   A.States.clear();
   std::string Fingerprint, RulesText, StatesText, BodyText, JumpText;
+  std::string CostVersionText = "0";
   if (!headerField("library", Fingerprint) ||
       !headerField("rules", RulesText) ||
       !headerField("states", StatesText) || !headerField("body", BodyText) ||
-      !headerField("jump", JumpText))
+      !headerField("jump", JumpText) ||
+      (!Legacy && !headerField("costver", CostVersionText)))
     return fail("malformed automaton header");
   A.LibraryFingerprint = Fingerprint;
   try {
@@ -361,12 +386,19 @@ MatcherAutomaton::deserialize(const std::string &Text, std::string *Error) {
     A.States.resize(std::stoul(StatesText));
     A.BodyRoot = std::stoul(BodyText);
     A.JumpRoot = std::stoul(JumpText);
+    A.CostVersion = std::stoul(CostVersionText);
   } catch (...) {
     return fail("malformed automaton header numbers");
   }
   if (A.States.empty() || A.BodyRoot >= A.States.size() ||
       A.JumpRoot >= A.States.size())
     return fail("automaton root states out of range");
+  size_t CostsSeen = 0;
+  std::vector<bool> CostSeen;
+  if (A.CostVersion != 0) {
+    A.RuleCosts.resize(A.NumRules);
+    CostSeen.resize(A.NumRules, false);
+  }
 
   bool SawEnd = false;
   for (; At < Lines.size(); ++At) {
@@ -376,6 +408,30 @@ MatcherAutomaton::deserialize(const std::string &Text, std::string *Error) {
     if (Parts[0] == "end") {
       SawEnd = true;
       break;
+    }
+    if (Parts[0] == "cost") {
+      if (A.CostVersion == 0)
+        return fail("cost line in a cost-free automaton: " + Lines[At]);
+      if (Parts.size() != 5)
+        return fail("malformed cost line: " + Lines[At]);
+      uint32_t Id;
+      RuleCost Cost;
+      try {
+        Id = std::stoul(Parts[1]);
+        Cost.Instructions = std::stoul(Parts[2]);
+        Cost.Latency = std::stoul(Parts[3]);
+        Cost.Size = std::stoul(Parts[4]);
+      } catch (...) {
+        return fail("malformed cost numbers: " + Lines[At]);
+      }
+      if (Id >= A.NumRules)
+        return fail("cost rule index out of range: " + Lines[At]);
+      if (CostSeen[Id])
+        return fail("duplicate cost line: " + Lines[At]);
+      CostSeen[Id] = true;
+      A.RuleCosts[Id] = Cost;
+      ++CostsSeen;
+      continue;
     }
     if (Parts[0] == "state") {
       if (Parts.size() < 2)
@@ -481,6 +537,8 @@ MatcherAutomaton::deserialize(const std::string &Text, std::string *Error) {
   }
   if (!SawEnd)
     return fail("truncated automaton file (missing 'end')");
+  if (A.CostVersion != 0 && CostsSeen != A.NumRules)
+    return fail("rule cost table incomplete");
   A.rebuildRootIndex();
   return A;
 }

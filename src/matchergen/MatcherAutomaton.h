@@ -37,16 +37,18 @@
 /// one while doing sublinear candidate discovery.
 ///
 /// The automaton serializes to a versioned text format
-/// ("selgen-matcher-automaton-v1") carrying the rule library's
-/// fingerprint; loading rejects files whose version or fingerprint does
-/// not match, so a stale automaton can never silently desynchronize
-/// from the library it indexes.
+/// ("selgen-matcher-automaton-v2", which added the per-rule cost
+/// table; the pre-cost v1 still parses for upgrade) carrying the rule
+/// library's fingerprint; loading rejects files whose version or
+/// fingerprint does not match, so a stale automaton can never silently
+/// desynchronize from the library it indexes.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SELGEN_MATCHERGEN_MATCHERAUTOMATON_H
 #define SELGEN_MATCHERGEN_MATCHERAUTOMATON_H
 
+#include "cost/CostModel.h"
 #include "ir/Graph.h"
 
 #include <map>
@@ -107,9 +109,15 @@ public:
   /// Compiles \p Patterns (priority-indexed rules of one library) into
   /// a discrimination tree. \p LibraryFingerprint and \p NumRules
   /// identify the library for serialization-time staleness checks.
+  /// \p RuleCosts (indexed by rule priority index, one entry per
+  /// library rule) and \p CostVersion stamp the library's cost table
+  /// into the automaton; pass the defaults only for cost-free test
+  /// automata (CostVersion 0 marks the table as absent).
   static MatcherAutomaton compile(const std::vector<AutomatonPattern> &Patterns,
                                   const std::string &LibraryFingerprint,
-                                  uint32_t NumRules);
+                                  uint32_t NumRules,
+                                  std::vector<RuleCost> RuleCosts = {},
+                                  uint32_t CostVersion = 0);
 
   // -- Matching ----------------------------------------------------------
   /// Appends to \p RulesOut the indices of every rule whose pattern
@@ -130,11 +138,33 @@ public:
   uint32_t numRules() const { return NumRules; }
   const std::string &libraryFingerprint() const { return LibraryFingerprint; }
 
+  /// Cost-derivation scheme the stamped table was computed under; 0
+  /// means "no cost table" (a pre-cost image or a test automaton).
+  uint32_t costVersion() const { return CostVersion; }
+  /// Per-rule cost table (indexed by rule priority index). Empty when
+  /// costVersion() is 0.
+  const std::vector<RuleCost> &ruleCosts() const { return RuleCosts; }
+
+  /// Replaces the stamped cost table — the pre-cost-v1 upgrade path of
+  /// `selgen-matchergen convert`, which re-derives the costs from the
+  /// rule library the automaton was compiled for. \p NewCosts must
+  /// have numRules() entries (or be empty with \p NewCostVersion 0).
+  void setRuleCosts(std::vector<RuleCost> NewCosts, uint32_t NewCostVersion);
+
   const std::vector<State> &states() const { return States; }
 
   // -- Serialization -----------------------------------------------------
   /// The on-disk format tag; bumped whenever the format changes.
-  static const char *formatTag() { return "selgen-matcher-automaton-v1"; }
+  /// v2 added the per-rule cost table (`costver` + `cost` lines).
+  static const char *formatTag() { return "selgen-matcher-automaton-v2"; }
+
+  /// The pre-cost v1 tag. v1 files still parse (costVersion() 0, no
+  /// cost table) so `selgen-matchergen convert` can upgrade them; the
+  /// selectors' staleness check refuses them against cost-stamped
+  /// libraries.
+  static const char *legacyFormatTag() {
+    return "selgen-matcher-automaton-v1";
+  }
 
   /// Renders the automaton in the versioned text format.
   std::string serialize() const;
@@ -153,9 +183,10 @@ public:
 
   // -- Binary serialization (matchergen/BinaryAutomaton.h) ---------------
   /// The mmap-able binary format's name. The on-disk discriminator is
-  /// the header magic/version; this tag is for diagnostics.
+  /// the header magic/version; this tag is for diagnostics. bin-v2
+  /// added the rule-cost section.
   static const char *binaryFormatTag() {
-    return "selgen-matcher-automaton-bin-v1";
+    return "selgen-matcher-automaton-bin-v2";
   }
 
   /// Renders the automaton as one contiguous, pointer-free binary
@@ -176,7 +207,9 @@ public:
   static MatcherAutomaton fromParts(std::vector<State> States,
                                     uint32_t BodyRoot, uint32_t JumpRoot,
                                     std::string LibraryFingerprint,
-                                    uint32_t NumRules);
+                                    uint32_t NumRules,
+                                    std::vector<RuleCost> RuleCosts = {},
+                                    uint32_t CostVersion = 0);
 
 private:
   MatcherAutomaton();
@@ -200,6 +233,8 @@ private:
   std::map<Opcode, std::vector<uint32_t>> BodyRootEdgesByOpcode;
   std::string LibraryFingerprint;
   uint32_t NumRules = 0;
+  std::vector<RuleCost> RuleCosts;
+  uint32_t CostVersion = 0;
 };
 
 } // namespace selgen

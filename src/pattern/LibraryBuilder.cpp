@@ -7,6 +7,9 @@
 
 #include "pattern/LibraryBuilder.h"
 
+#include "cost/CostModel.h"
+#include "support/Statistics.h"
+
 #include <map>
 
 using namespace selgen;
@@ -23,6 +26,19 @@ PatternDatabase selgen::synthesizeRuleLibrary(SmtContext &Smt,
     GoalOptions.MaxPatternSize = Goal.MaxPatternSize;
     Synthesizer Synth(Smt, GoalOptions);
     GoalSynthesisResult Result = Synth.synthesize(*Goal.Spec);
+
+    // Stamp the recipe's cost vector into the result so it rides the
+    // synthesis cache and the synthesis reports alongside the patterns.
+    RuleCost Cost = deriveRuleCost(Goal);
+    Result.HasCost = true;
+    Result.CostInstructions = Cost.Instructions;
+    Result.CostLatency = Cost.Latency;
+    Result.CostSize = Cost.Size;
+    Statistics &Stats = Statistics::get();
+    Stats.add("synth.cost_derivations", 1);
+    Stats.add("synth.cost_instructions", Cost.Instructions);
+    Stats.add("synth.cost_latency", Cost.Latency);
+    Stats.add("synth.cost_size", Cost.Size);
 
     GroupReport &Group = Groups[Goal.Group];
     Group.Group = Goal.Group;

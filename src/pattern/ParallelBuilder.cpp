@@ -7,6 +7,7 @@
 
 #include "pattern/ParallelBuilder.h"
 
+#include "cost/CostModel.h"
 #include "pattern/RunJournal.h"
 #include "smt/SolverPool.h"
 #include "support/Statistics.h"
@@ -463,6 +464,21 @@ private:
   }
 
   void finishGoal(GoalState &S) {
+    // Stamp the recipe's cost vector before the result is cached or
+    // journaled. Results served from pre-cost cache shards arrive
+    // without one; derivation is deterministic, so re-deriving here
+    // keeps them interchangeable with fresh results.
+    if (!S.Result.HasCost) {
+      RuleCost Cost = deriveRuleCost(*S.Goal);
+      S.Result.HasCost = true;
+      S.Result.CostInstructions = Cost.Instructions;
+      S.Result.CostLatency = Cost.Latency;
+      S.Result.CostSize = Cost.Size;
+      Statistics::get().add("synth.cost_derivations", 1);
+    } else {
+      Statistics::get().add("synth.cost_cached", 1);
+    }
+
     if (!S.CacheHit && !S.ResumedFromJournal) {
       S.Result.Seconds = S.SolverSeconds;
       if (Build.Cache && S.Result.Complete)

@@ -64,6 +64,12 @@ std::string SynthesisCache::serializeResult(const GoalSynthesisResult &Result) {
       << Result.VerificationQueries << " " << Result.Counterexamples << "\n";
   Out << "prescreen " << Result.PrescreenKills << " "
       << Result.PrescreenInconclusive << "\n";
+  // The cost vector of the goal's emission recipe. Written whenever
+  // derived; readers tolerate its absence (pre-cost shards), in which
+  // case the builder re-derives.
+  if (Result.HasCost)
+    Out << "cost " << Result.CostInstructions << " " << Result.CostLatency
+        << " " << Result.CostSize << "\n";
   Out << "patterns " << Result.Patterns.size() << "\n";
   for (const Graph &Pattern : Result.Patterns) {
     Out << "pattern\n";
@@ -141,6 +147,12 @@ SynthesisCache::deserializeResult(const std::string &Text) {
       std::istringstream Fields(Trimmed.substr(10));
       if (!(Fields >> Result.PrescreenKills >> Result.PrescreenInconclusive))
         return std::nullopt;
+    } else if (startsWith(Trimmed, "cost ")) {
+      std::istringstream Fields(Trimmed.substr(5));
+      if (!(Fields >> Result.CostInstructions >> Result.CostLatency >>
+            Result.CostSize))
+        return std::nullopt;
+      Result.HasCost = true;
     } else if (startsWith(Trimmed, "patterns ")) {
       DeclaredPatterns =
           static_cast<size_t>(std::atoll(Trimmed.substr(9).c_str()));

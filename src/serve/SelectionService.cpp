@@ -8,6 +8,7 @@
 #include "serve/SelectionService.h"
 
 #include "eval/Workloads.h"
+#include "isel/TilingSelector.h"
 #include "x86/MachineIR.h"
 
 #include <chrono>
@@ -16,15 +17,19 @@ using namespace selgen;
 
 SelectionService::SelectionService(const PreparedLibrary &Library,
                                    const BinaryAutomatonView &View,
-                                   unsigned Width, unsigned Threads)
-    : Library(Library), View(&View), Width(Width) {
+                                   unsigned Width, unsigned Threads,
+                                   bool Tiling, CostKind Cost)
+    : Library(Library), View(&View), Width(Width), Tiling(Tiling),
+      Cost(Cost) {
   start(Threads);
 }
 
 SelectionService::SelectionService(const PreparedLibrary &Library,
                                    const MatcherAutomaton &Automaton,
-                                   unsigned Width, unsigned Threads)
-    : Library(Library), Automaton(&Automaton), Width(Width) {
+                                   unsigned Width, unsigned Threads,
+                                   bool Tiling, CostKind Cost)
+    : Library(Library), Automaton(&Automaton), Width(Width), Tiling(Tiling),
+      Cost(Cost) {
   start(Threads);
 }
 
@@ -71,10 +76,16 @@ void SelectionService::processItem(size_t Index) {
   SelectionResult Selected;
   if (View) {
     MappedCandidateSource Source(Library, *View);
-    Selected = runRuleSelection(F, Library, Source, "automaton", &Observer);
+    Selected = Tiling
+                   ? runTilingSelection(F, Library, Source, Cost, &Observer)
+                   : runRuleSelection(F, Library, Source, "automaton",
+                                      &Observer);
   } else {
     AutomatonCandidateSource Source(Library, *Automaton);
-    Selected = runRuleSelection(F, Library, Source, "automaton", &Observer);
+    Selected = Tiling
+                   ? runTilingSelection(F, Library, Source, Cost, &Observer)
+                   : runRuleSelection(F, Library, Source, "automaton",
+                                      &Observer);
   }
 
   BatchReply::Result &R = (*Out)[Index];

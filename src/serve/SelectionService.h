@@ -56,15 +56,19 @@ class SelectionService {
 public:
   /// Runs off \p View, a validated mapped binary image (zero
   /// deserialization). \p Library and the view's backing memory must
-  /// outlive the service.
+  /// outlive the service. With \p Tiling set, every request runs the
+  /// cost-minimal tiling pre-pass under \p Cost instead of first-match
+  /// (selector name "tiling"; unit-cost tiling stays byte-identical).
   SelectionService(const PreparedLibrary &Library,
                    const BinaryAutomatonView &View, unsigned Width,
-                   unsigned Threads);
+                   unsigned Threads, bool Tiling = false,
+                   CostKind Cost = CostKind::Unit);
 
   /// Runs off a heap automaton instead (the text-format path).
   SelectionService(const PreparedLibrary &Library,
                    const MatcherAutomaton &Automaton, unsigned Width,
-                   unsigned Threads);
+                   unsigned Threads, bool Tiling = false,
+                   CostKind Cost = CostKind::Unit);
 
   ~SelectionService();
   SelectionService(const SelectionService &) = delete;
@@ -94,6 +98,8 @@ private:
   const BinaryAutomatonView *View = nullptr;    ///< One of View /
   const MatcherAutomaton *Automaton = nullptr;  ///< Automaton is set.
   unsigned Width;
+  bool Tiling = false; ///< Cost-minimal tiling instead of first-match.
+  CostKind Cost = CostKind::Unit;
 
   std::vector<std::thread> Workers;
 

@@ -110,6 +110,14 @@ struct GoalSynthesisResult {
   uint64_t VerificationQueries = 0;
   uint64_t PrescreenKills = 0;
   uint64_t PrescreenInconclusive = 0;
+  /// Cost vector of the goal's emission recipe (cost/CostModel.h),
+  /// derived once per goal when the library is built and cached with
+  /// the result. HasCost distinguishes a derived zero vector from a
+  /// result predating cost derivation (an old cache shard).
+  bool HasCost = false;
+  uint32_t CostInstructions = 0;
+  uint32_t CostLatency = 0;
+  uint32_t CostSize = 0;
 };
 
 /// The per-goal enumeration plan of Algorithm 2: the fixed memory-op

@@ -179,7 +179,7 @@ TEST_F(MatchergenTest, SerializationRoundTrips) {
 TEST_F(MatchergenTest, RejectsWrongVersionTag) {
   std::string Text = Automaton.serialize();
   std::string Stale = Text;
-  Stale.replace(Stale.find("-v1"), 3, "-v0");
+  Stale.replace(Stale.find("-v2"), 3, "-v0");
   std::string Error;
   EXPECT_FALSE(MatcherAutomaton::deserialize(Stale, &Error));
   EXPECT_NE(Error.find("version"), std::string::npos);

@@ -15,9 +15,12 @@
 //   selgen-compile --library rules.dat --automaton rules.mat --stats-json s.json
 //
 // --selector picks how rules are matched: "auto" (default) compiles
-// the library into a discrimination-tree automaton, "linear" tries the
-// rules one by one as the paper's prototype does (same machine code,
-// slower matching), "handwritten" bypasses the rule library entirely.
+// the library into a discrimination-tree automaton, "tiling" adds the
+// cost-minimal DAG-tiling pre-pass on top of the automaton (see
+// --cost-model; "unit" reproduces auto's output byte-identically),
+// "linear" tries the rules one by one as the paper's prototype does
+// (same machine code, slower matching), "handwritten" bypasses the
+// rule library entirely.
 // --automaton loads a pre-compiled automaton file emitted by
 // selgen-matchergen instead of compiling in memory; both the text
 // (.mat) and binary (.matb, mmap'ed with zero deserialization)
@@ -34,6 +37,7 @@
 #include "isel/AutomatonSelector.h"
 #include "isel/GeneratedSelector.h"
 #include "isel/HandwrittenSelector.h"
+#include "isel/TilingSelector.h"
 #include "support/CommandLine.h"
 #include "support/Rng.h"
 #include "support/Statistics.h"
@@ -87,8 +91,9 @@ RunOutcome runSelected(const Function &F, const MachineFunction &MF,
 
 int main(int argc, char **argv) {
   const std::vector<std::string> Flags = {
-      "library",  "benchmark", "width",      "runs",     "print-asm",
-      "selector", "automaton", "stats-json", "dump-asm", "help"};
+      "library",    "benchmark", "width",      "runs",     "print-asm",
+      "selector",   "automaton", "stats-json", "dump-asm", "cost-model",
+      "help"};
   CommandLine Cli(argc, argv, Flags);
   if (!Cli.errors().empty() || Cli.hasFlag("help")) {
     for (const std::string &Error : Cli.errors())
@@ -103,16 +108,30 @@ int main(int argc, char **argv) {
   std::string LibraryPath = Cli.stringOption("library", "rules.dat");
   std::string SelectorName = Cli.stringOption("selector", "auto");
   std::string AutomatonPath = Cli.stringOption("automaton", "");
-  if (SelectorName != "auto" && SelectorName != "linear" &&
-      SelectorName != "handwritten") {
-    std::fprintf(stderr,
-                 "error: unknown --selector '%s' (auto|linear|handwritten)\n",
-                 SelectorName.c_str());
+  if (SelectorName != "auto" && SelectorName != "tiling" &&
+      SelectorName != "linear" && SelectorName != "handwritten") {
+    std::fprintf(
+        stderr,
+        "error: unknown --selector '%s' (auto|tiling|linear|handwritten)\n",
+        SelectorName.c_str());
     return 1;
   }
-  if (!AutomatonPath.empty() && SelectorName != "auto") {
+  if (!AutomatonPath.empty() && SelectorName != "auto" &&
+      SelectorName != "tiling") {
     std::fprintf(stderr,
-                 "error: --automaton requires --selector auto\n");
+                 "error: --automaton requires --selector auto or tiling\n");
+    return 1;
+  }
+  std::string CostModelName = Cli.stringOption("cost-model", "unit");
+  std::optional<CostKind> CostModel = parseCostKind(CostModelName);
+  if (!CostModel) {
+    std::fprintf(stderr,
+                 "error: unknown --cost-model '%s' (unit|latency|size)\n",
+                 CostModelName.c_str());
+    return 1;
+  }
+  if (Cli.stringOption("cost-model", "").size() && SelectorName != "tiling") {
+    std::fprintf(stderr, "error: --cost-model requires --selector tiling\n");
     return 1;
   }
 
@@ -126,7 +145,8 @@ int main(int argc, char **argv) {
   // Keeps a mapped binary image alive for the selector borrowing it.
   std::unique_ptr<MappedAutomaton> Mapped;
   size_t UsableRules = 0;
-  if (SelectorName == "auto") {
+  const bool Tiling = SelectorName == "tiling";
+  if (SelectorName == "auto" || Tiling) {
     if (!AutomatonPath.empty() && isBinaryAutomatonFile(AutomatonPath)) {
       // Binary image: mmap, validate, and match off the mapped bytes.
       std::string LoadError;
@@ -143,16 +163,19 @@ int main(int argc, char **argv) {
         return 1;
       }
       Statistics::get().add("selector.prepare_skipped", 1);
-      auto Auto = std::make_unique<MappedAutomatonSelector>(
-          std::move(Prepared), Mapped->view());
-      UsableRules = Auto->numRules();
+      UsableRules = Prepared.rules().size();
       std::printf("automaton: %zu states, %llu transitions (mapped from "
                   "%s)\n",
-                  Auto->view().numStates(),
+                  Mapped->view().numStates(),
                   static_cast<unsigned long long>(
-                      Auto->view().numTransitions()),
+                      Mapped->view().numTransitions()),
                   AutomatonPath.c_str());
-      RuleDriven = std::move(Auto);
+      if (Tiling)
+        RuleDriven = std::make_unique<TilingSelector>(
+            std::move(Prepared), Mapped->view(), *CostModel);
+      else
+        RuleDriven = std::make_unique<MappedAutomatonSelector>(
+            std::move(Prepared), Mapped->view());
     } else if (!AutomatonPath.empty()) {
       std::string LoadError;
       std::optional<MatcherAutomaton> Loaded =
@@ -170,16 +193,25 @@ int main(int argc, char **argv) {
       // The staleness check above already prepared the library; hand
       // it to the selector instead of re-preparing (re-sorting) it.
       Statistics::get().add("selector.prepare_skipped", 1);
-      auto Auto = std::make_unique<AutomatonSelector>(std::move(Prepared),
-                                                      std::move(*Loaded));
-      UsableRules = Auto->numRules();
+      UsableRules = Prepared.rules().size();
       std::printf("automaton: %zu states, %llu transitions (loaded from "
                   "%s)\n",
-                  Auto->automaton().numStates(),
-                  static_cast<unsigned long long>(
-                      Auto->automaton().numTransitions()),
+                  Loaded->numStates(),
+                  static_cast<unsigned long long>(Loaded->numTransitions()),
                   AutomatonPath.c_str());
-      RuleDriven = std::move(Auto);
+      if (Tiling)
+        RuleDriven = std::make_unique<TilingSelector>(
+            std::move(Prepared), std::move(*Loaded), *CostModel);
+      else
+        RuleDriven = std::make_unique<AutomatonSelector>(std::move(Prepared),
+                                                         std::move(*Loaded));
+    } else if (Tiling) {
+      auto Tiled =
+          std::make_unique<TilingSelector>(Database, Goals, *CostModel);
+      UsableRules = Tiled->library().rules().size();
+      std::printf("tiling: cost model %s over %zu rules\n",
+                  costKindName(*CostModel), UsableRules);
+      RuleDriven = std::move(Tiled);
     } else {
       auto Auto = std::make_unique<AutomatonSelector>(Database, Goals);
       UsableRules = Auto->numRules();

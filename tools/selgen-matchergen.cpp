@@ -21,6 +21,9 @@
 // re-encodes an existing automaton file in the other format, sniffing
 // the input's encoding from its bytes; both directions round-trip to
 // the identical automaton, which convert verifies before exiting.
+// Converting a pre-cost text-v1 file upgrades it: pass --library (and
+// --width) so the per-rule cost table can be re-derived from the rule
+// library the automaton was compiled for.
 //
 //===----------------------------------------------------------------------===//
 
@@ -48,11 +51,15 @@ std::optional<MatcherAutomaton> loadAnyFormat(const std::string &Path,
 }
 
 /// `selgen-matchergen convert IN OUT`: re-encode IN in the opposite
-/// format of what it currently is, then verify the round trip.
-int runConvert(const std::vector<std::string> &Positional) {
+/// format of what it currently is, then verify the round trip. A
+/// pre-cost (text v1) input is upgraded by re-deriving the per-rule
+/// cost table from the rule library, which --library must name.
+int runConvert(const CommandLine &Cli) {
+  const std::vector<std::string> &Positional = Cli.positional();
   if (Positional.size() != 3) {
     std::fprintf(stderr,
-                 "usage: selgen-matchergen convert <input> <output>\n");
+                 "usage: selgen-matchergen convert <input> <output> "
+                 "[--library rules.dat --width N]\n");
     return 1;
   }
   const std::string &InPath = Positional[1];
@@ -64,6 +71,43 @@ int runConvert(const std::vector<std::string> &Positional) {
   if (!Automaton) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
     return 1;
+  }
+
+  if (Automaton->costVersion() != cost::ModelVersion) {
+    // Pre-cost (or differently-versioned) input: the written file
+    // would be refused by every selector, so re-derive the cost table
+    // here. Deriving needs the emission recipes, hence the library.
+    std::string LibraryPath = Cli.stringOption("library", "");
+    if (LibraryPath.empty()) {
+      std::fprintf(stderr,
+                   "error: %s carries cost table version %u (current %u); "
+                   "pass --library (and --width) so convert can re-derive "
+                   "the rule costs\n",
+                   InPath.c_str(), Automaton->costVersion(),
+                   cost::ModelVersion);
+      return 1;
+    }
+    unsigned Width = static_cast<unsigned>(Cli.intOption("width", 8));
+    PatternDatabase Database = PatternDatabase::loadFromFile(LibraryPath);
+    Database.filterNonNormalized();
+    Database.sortSpecificFirst();
+    GoalLibrary Goals = GoalLibrary::build(Width, GoalLibrary::allGroups());
+    PreparedLibrary Library(Database, Goals);
+    if (Automaton->libraryFingerprint() != Library.fingerprint() ||
+        Automaton->numRules() != Library.rules().size()) {
+      std::fprintf(stderr,
+                   "error: %s was not compiled from %s (fingerprint or "
+                   "rule-count mismatch); cannot derive its costs\n",
+                   InPath.c_str(), LibraryPath.c_str());
+      return 1;
+    }
+    std::vector<RuleCost> Costs;
+    Costs.reserve(Library.rules().size());
+    for (const PreparedRule &R : Library.rules())
+      Costs.push_back(R.Cost);
+    Automaton->setRuleCosts(std::move(Costs), cost::ModelVersion);
+    std::printf("upgraded %s: cost table re-derived from %s (version %u)\n",
+                InPath.c_str(), LibraryPath.c_str(), cost::ModelVersion);
   }
 
   bool Wrote = InputIsBinary ? Automaton->writeFile(OutPath)
@@ -100,7 +144,7 @@ int main(int argc, char **argv) {
                                           "format", "stats-json", "help"};
   CommandLine Cli(argc, argv, Flags);
   if (!Cli.positional().empty() && Cli.positional()[0] == "convert")
-    return runConvert(Cli.positional());
+    return runConvert(Cli);
   if (!Cli.errors().empty() || Cli.hasFlag("help") ||
       !Cli.positional().empty()) {
     for (const std::string &Error : Cli.errors())

@@ -117,9 +117,9 @@ int serveSocket(SelectionService &Service, const std::string &Path) {
 } // namespace
 
 int main(int argc, char **argv) {
-  const std::vector<std::string> Flags = {"library", "width",  "automaton",
-                                          "threads", "socket", "stats-json",
-                                          "help"};
+  const std::vector<std::string> Flags = {
+      "library", "width",      "automaton", "threads",    "socket",
+      "selector", "cost-model", "stats-json", "help"};
   CommandLine Cli(argc, argv, Flags);
   if (!Cli.errors().empty() || Cli.hasFlag("help") ||
       !Cli.positional().empty()) {
@@ -135,6 +135,25 @@ int main(int argc, char **argv) {
   std::string LibraryPath = Cli.stringOption("library", "rules.dat");
   std::string AutomatonPath = Cli.stringOption("automaton", "");
   std::string SocketPath = Cli.stringOption("socket", "");
+  std::string SelectorName = Cli.stringOption("selector", "auto");
+  if (SelectorName != "auto" && SelectorName != "tiling") {
+    std::fprintf(stderr, "error: unknown --selector '%s' (auto|tiling)\n",
+                 SelectorName.c_str());
+    return 1;
+  }
+  const bool Tiling = SelectorName == "tiling";
+  std::optional<CostKind> CostModel =
+      parseCostKind(Cli.stringOption("cost-model", "unit"));
+  if (!CostModel) {
+    std::fprintf(stderr,
+                 "error: unknown --cost-model '%s' (unit|latency|size)\n",
+                 Cli.stringOption("cost-model", "").c_str());
+    return 1;
+  }
+  if (!Tiling && !Cli.stringOption("cost-model", "").empty()) {
+    std::fprintf(stderr, "error: --cost-model requires --selector tiling\n");
+    return 1;
+  }
 
   // A client that vanished mid-reply must surface as a failed write,
   // not a SIGPIPE death.
@@ -182,18 +201,20 @@ int main(int argc, char **argv) {
 
   std::unique_ptr<SelectionService> Service;
   if (Mapped)
-    Service = std::make_unique<SelectionService>(Library, Mapped->view(),
-                                                 Width, Threads);
+    Service = std::make_unique<SelectionService>(
+        Library, Mapped->view(), Width, Threads, Tiling, *CostModel);
   else
     Service = std::make_unique<SelectionService>(Library, *Heap, Width,
-                                                 Threads);
+                                                 Threads, Tiling, *CostModel);
   std::fprintf(stderr,
-               "selgen-served: %zu rules, %zu states (%s), %u threads\n",
+               "selgen-served: %zu rules, %zu states (%s), %u threads, "
+               "selector %s%s%s\n",
                Library.rules().size(),
                Mapped ? Mapped->view().numStates() : Heap->numStates(),
                Mapped ? "mapped" : AutomatonPath.empty() ? "in-memory"
                                                          : "text",
-               Threads);
+               Threads, SelectorName.c_str(), Tiling ? "/" : "",
+               Tiling ? costKindName(*CostModel) : "");
 
   int Code;
   if (!SocketPath.empty()) {
