@@ -23,6 +23,7 @@
 
 #include "BenchCommon.h"
 
+#include "analysis/LibraryMinimizer.h"
 #include "eval/Workloads.h"
 #include "isel/AutomatonSelector.h"
 #include "isel/GeneratedSelector.h"
@@ -197,37 +198,87 @@ int main() {
     return Inflated;
   };
 
-  TablePrinter ScaleTable({"Rules", "States", "Linear", "Automaton",
-                           "Speedup", "Tried (lin)", "Tried (auto)"});
+  // Each library size gets a before/after pair of rows: the inflated
+  // library as built, and the same library after selgen-minimize's
+  // first-match pass (analysis/LibraryMinimizer) deleted its provably
+  // dead rules. Deletions are certificate-backed, so the automaton
+  // selector must emit byte-identical machine code on both arms — the
+  // benchmark enforces that differential alongside the timings.
+  TablePrinter ScaleTable({"Library", "Rules", "States", "Linear",
+                           "Automaton", "Speedup", "Tried (lin)",
+                           "Tried (auto)"});
   double MaxSpeedup = 0;
-  for (size_t Target : {FullDb.size(), size_t(1000), size_t(4000),
-                        size_t(16000)}) {
-    PatternDatabase Inflated = inflate(Target);
-    GeneratedSelector ScaledLinear(Inflated, FullGoals.Goals);
-    // The automaton selector stays for the state count; under
-    // SELGEN_COST_MODEL the timed arm is the tiling selector.
-    AutomatonSelector ScaledAutomaton(Inflated, FullGoals.Goals);
+  bool MinimizedIdentical = true;
+  bool StatesNeverGrew = true;
+  bool StatesShrankSomewhere = false;
+
+  struct ArmResult {
+    size_t States = 0;
+    std::vector<std::string> Asm;
+  };
+  auto runArm = [&](const std::string &Label, const PatternDatabase &Db,
+                    int Reps) {
+    ArmResult Arm;
+    GeneratedSelector ScaledLinear(Db, FullGoals.Goals);
+    // The automaton selector stays for the state count and the
+    // byte-identity differential; under SELGEN_COST_MODEL the timed
+    // arm is the tiling selector.
+    AutomatonSelector ScaledAutomaton(Db, FullGoals.Goals);
     std::unique_ptr<InstructionSelector> ScaledRuleDriven =
-        makeRuleDrivenSelector(Inflated, FullGoals.Goals);
-    int Reps = Target > 4000 ? 3 : 10;
+        makeRuleDrivenSelector(Db, FullGoals.Goals);
     Measurement Lin = measure(ScaledLinear, Workloads, Reps);
     Measurement Auto = measure(*ScaledRuleDriven, Workloads, Reps);
     double Speedup = Lin.Seconds / Auto.Seconds;
     MaxSpeedup = std::max(MaxSpeedup, Speedup);
-    ScaleTable.addRow(
-        {formatGrouped(Inflated.size()),
-         formatGrouped(ScaledAutomaton.automaton().numStates()),
-         formatDouble(Lin.Seconds * 1e3, 2) + " ms",
-         formatDouble(Auto.Seconds * 1e3, 2) + " ms",
-         formatDouble(Speedup, 1) + "x", formatGrouped(Lin.RulesTried),
-         formatGrouped(Auto.RulesTried)});
+    Arm.States = ScaledAutomaton.automaton().numStates();
+    for (const Function &F : Workloads)
+      Arm.Asm.push_back(asmBody(*ScaledAutomaton.select(F).MF));
+    ScaleTable.addRow({Label, formatGrouped(Db.size()),
+                       formatGrouped(Arm.States),
+                       formatDouble(Lin.Seconds * 1e3, 2) + " ms",
+                       formatDouble(Auto.Seconds * 1e3, 2) + " ms",
+                       formatDouble(Speedup, 1) + "x",
+                       formatGrouped(Lin.RulesTried),
+                       formatGrouped(Auto.RulesTried)});
+    return Arm;
+  };
+
+  for (size_t Target : {FullDb.size(), size_t(1000), size_t(4000),
+                        size_t(16000)}) {
+    PatternDatabase Inflated = inflate(Target);
+    MinimizeResult Min = minimizeLibrary(Inflated, FullGoals.Goals);
+    int Reps = Target > 4000 ? 3 : 10;
+    ArmResult Before = runArm("before", Inflated, Reps);
+    ArmResult After = runArm("minimized", Min.Minimized, Reps);
+    std::printf("  %s rules: minimize deleted %zu "
+                "(%llu SMT queries, %llu inconclusive)\n",
+                formatGrouped(Inflated.size()).c_str(),
+                Min.Certificates.size(),
+                static_cast<unsigned long long>(Min.SmtQueries),
+                static_cast<unsigned long long>(Min.SmtInconclusive));
+    MinimizedIdentical = MinimizedIdentical && Before.Asm == After.Asm;
+    StatesNeverGrew = StatesNeverGrew && After.States <= Before.States;
+    StatesShrankSomewhere =
+        StatesShrankSomewhere || After.States < Before.States;
   }
   std::printf("\n%s", ScaleTable.render().c_str());
   std::printf("\n(times are per full sweep over the %zu workloads; Tried "
               "counts full structural\nmatch attempts per sweep — the "
               "automaton's stays flat while the linear scan's\ngrows with "
-              "the library)\n",
+              "the library; each minimized row must match its before row "
+              "byte for byte)\n",
               Workloads.size());
   std::printf("max automaton speedup over linear scan: %.1fx\n", MaxSpeedup);
+  if (!MinimizedIdentical) {
+    std::printf("FAILURE: minimized library diverged from its source\n");
+    return 1;
+  }
+  if (!StatesNeverGrew) {
+    std::printf("FAILURE: minimization grew the automaton\n");
+    return 1;
+  }
+  std::printf("minimized automatons: states %s\n",
+              StatesShrankSomewhere ? "strictly fewer on the inflated arms"
+                                    : "unchanged");
   return 0;
 }

@@ -8,147 +8,23 @@
 #include "analysis/RuleAudit.h"
 
 #include "analysis/Dataflow.h"
+#include "analysis/Subsumption.h"
 #include "ir/Normalizer.h"
 #include "ir/Parser.h"
 #include "ir/Verifier.h"
-#include "isel/Matcher.h"
-#include "matchergen/MatcherAutomaton.h"
 #include "semantics/IrSemantics.h"
 #include "smt/SmtContext.h"
+#include "support/AtomicFile.h"
 
+#include <algorithm>
 #include <map>
+#include <set>
 #include <sstream>
 #include <utility>
 
 using namespace selgen;
 
 namespace {
-
-/// Symbolic evaluation of a pattern graph without a memory model: every
-/// Arg and every loaded value becomes a fresh, unconstrained constant.
-/// Because the lint queries are universally quantified over all inputs
-/// ("is P+ satisfiable at all", "does P_B entail P_A"), leaving memory
-/// uninterpreted only widens the input space and keeps the answers
-/// sound for the error severities we assign (an Unsat stays Unsat under
-/// any refinement of the inputs).
-class SymbolicPattern {
-public:
-  SymbolicPattern(SmtContext &Smt, const Graph &G, const std::string &Prefix)
-      : Smt(Smt), G(G), Prefix(Prefix) {}
-
-  /// The term of a value-sorted (node, result index) position.
-  z3::expr value(const Node *Def, unsigned Index) {
-    ValueKey Key{Def, Index};
-    auto It = Values.find(Key);
-    if (It != Values.end())
-      return It->second;
-    z3::expr E = computeValue(Def, Index);
-    Values.emplace(Key, E);
-    return E;
-  }
-
-  z3::expr value(NodeRef Ref) { return value(Ref.Def, Ref.Index); }
-
-  /// The formula of a bool-sorted position.
-  z3::expr boolean(const Node *Def, unsigned Index) {
-    switch (Def->opcode()) {
-    case Opcode::Cmp:
-      return relationExpr(Def->relation(), value(Def->operand(0)),
-                          value(Def->operand(1)));
-    case Opcode::Cond: {
-      z3::expr Selector = boolean(Def->operand(0).Def, Def->operand(0).Index);
-      return Index == 0 ? Selector : !Selector;
-    }
-    case Opcode::Arg:
-      return Smt.boolConst(Prefix + "_b" + std::to_string(Def->id()));
-    default:
-      // No other opcode produces a bool; keep the query sound anyway.
-      return Smt.boolConst(Prefix + "_b" + std::to_string(Def->id()) + "_" +
-                           std::to_string(Index));
-    }
-  }
-
-  /// P+ of the pattern: the conjunction of 0 <= amount < width over
-  /// every live shift operation (IrSemantics models exactly this
-  /// precondition; everything else is total).
-  std::vector<z3::expr> shiftPreconditions() {
-    std::vector<z3::expr> Conjuncts;
-    unsigned W = G.width();
-    for (Node *N : G.liveNodes()) {
-      Opcode Op = N->opcode();
-      if (Op != Opcode::Shl && Op != Opcode::Shr && Op != Opcode::Shrs)
-        continue;
-      Conjuncts.push_back(
-          z3::ult(value(N->operand(1)), Smt.literal(BitValue(W, W))));
-    }
-    return Conjuncts;
-  }
-
-private:
-  using ValueKey = std::pair<const Node *, unsigned>;
-
-  z3::expr computeValue(const Node *Def, unsigned Index) {
-    unsigned W = G.width();
-    switch (Def->opcode()) {
-    case Opcode::Const:
-      return Smt.literal(Def->constValue());
-    case Opcode::Arg:
-      return Smt.bvConst(Prefix + "_a" + std::to_string(Def->argIndex()), W);
-    case Opcode::Load:
-      // Result 1 is the loaded value: unconstrained without a memory
-      // model.
-      return Smt.bvConst(Prefix + "_ld" + std::to_string(Def->id()), W);
-    case Opcode::Add:
-      return value(Def->operand(0)) + value(Def->operand(1));
-    case Opcode::Sub:
-      return value(Def->operand(0)) - value(Def->operand(1));
-    case Opcode::Mul:
-      return value(Def->operand(0)) * value(Def->operand(1));
-    case Opcode::And:
-      return value(Def->operand(0)) & value(Def->operand(1));
-    case Opcode::Or:
-      return value(Def->operand(0)) | value(Def->operand(1));
-    case Opcode::Xor:
-      return value(Def->operand(0)) ^ value(Def->operand(1));
-    case Opcode::Not:
-      return ~value(Def->operand(0));
-    case Opcode::Minus:
-      return -value(Def->operand(0));
-    case Opcode::Shl:
-      return z3::shl(value(Def->operand(0)), value(Def->operand(1)));
-    case Opcode::Shr:
-      return z3::lshr(value(Def->operand(0)), value(Def->operand(1)));
-    case Opcode::Shrs:
-      return z3::ashr(value(Def->operand(0)), value(Def->operand(1)));
-    case Opcode::Mux:
-      return z3::ite(boolean(Def->operand(0).Def, Def->operand(0).Index),
-                     value(Def->operand(1)), value(Def->operand(2)));
-    default:
-      // Memory tokens and other non-value positions are never asked
-      // for; produce a fresh constant rather than crash.
-      return Smt.bvConst(Prefix + "_x" + std::to_string(Def->id()) + "_" +
-                             std::to_string(Index),
-                         W);
-    }
-  }
-
-  SmtContext &Smt;
-  const Graph &G;
-  std::string Prefix;
-  std::map<ValueKey, z3::expr> Values;
-};
-
-/// The image of pattern-A value \p ARef inside pattern B's value space,
-/// given a structural match of A against B. Every A operation node maps
-/// through the NodeMap; A arguments map through their bindings.
-std::pair<const Node *, unsigned> mappedRef(const MatchResult &Match,
-                                            NodeRef ARef) {
-  if (ARef.Def->opcode() == Opcode::Arg) {
-    NodeRef Bound = Match.ArgBindings[ARef.Def->argIndex()];
-    return {Bound.Def, Bound.Index};
-  }
-  return {Match.NodeMap.at(ARef.Def), ARef.Index};
-}
 
 LintFinding libraryFinding(std::string Code, std::string Severity,
                            std::string Message, const std::string &Library,
@@ -160,6 +36,12 @@ LintFinding libraryFinding(std::string Code, std::string Severity,
   F.Library = Library;
   F.Goal = R.Goal->Name;
   F.RuleIndex = static_cast<int>(R.Index);
+  // Stable across reorderings and unrelated edits: a library finding
+  // is identified by what it says (code) about which rule (goal +
+  // canonical pattern content), never by the rule's current priority
+  // index. The baseline machinery keys on this.
+  F.Fingerprint = crc32Hex(F.Code + "|" + F.Goal + "|" +
+                           R.TheRule->Pattern.fingerprint());
   return F;
 }
 
@@ -170,6 +52,7 @@ LintFinding fileFinding(std::string Code, std::string Severity,
   F.Severity = std::move(Severity);
   F.Message = std::move(Message);
   F.File = File;
+  F.Fingerprint = crc32Hex(F.Code + "|" + F.File + "|" + F.Message);
   return F;
 }
 
@@ -294,99 +177,22 @@ void checkShadowing(const PreparedLibrary &Library,
                     std::vector<LintFinding> &Findings) {
   const std::vector<PreparedRule> &Rules = Library.rules();
 
-  std::vector<AutomatonPattern> Patterns;
-  for (const PreparedRule &R : Rules) {
-    // Mirror the automaton selector: jump rules the engine never tries
-    // are excluded (they get their own finding).
-    if (R.IsJumpRule &&
-        (R.Root->opcode() != Opcode::Cond || !R.TakenIsCondZero))
-      continue;
-    Patterns.push_back({&R.TheRule->Pattern, R.Root, R.IsJumpRule, R.Index});
-  }
-  MatcherAutomaton Automaton = MatcherAutomaton::compile(
-      Patterns, Library.fingerprint(), static_cast<uint32_t>(Rules.size()));
+  SubsumptionOptions SubOptions;
+  SubOptions.SmtTimeoutMs = Options.SmtTimeoutMs;
+  SubsumptionRelation Relation = computeSubsumption(Library, SubOptions);
 
   for (const PreparedRule &B : Rules) {
-    bool BApplicableJump = B.Root->opcode() == Opcode::Cond &&
-                           B.TakenIsCondZero;
-    if (B.IsJumpRule && !BApplicableJump)
-      continue;
-
-    // Candidate earlier rules whose pattern structurally subsumes B's:
-    // run B's own pattern through the discrimination tree as if it
-    // were a subject block.
-    std::vector<uint32_t> Candidates;
-    if (B.IsJumpRule)
-      Automaton.matchJump(B.Root->operand(0), Candidates);
-    else
-      Automaton.matchBody(B.Root, Candidates);
-
+    // Presentation-layer dedup: by default one shadowed-rule and one
+    // cost-dominated finding per rule (citing the highest-priority
+    // subsumer of each kind) keeps the report readable; the minimizer
+    // and --all-subsumers consumers get every pair.
     bool ReportedShadow = false;
     bool ReportedDomination = false;
-    for (uint32_t AIndex : Candidates) {
-      if (AIndex >= B.Index)
-        break; // Ascending order: only earlier rules shadow.
-      const PreparedRule &A = Rules[AIndex];
-      if (A.IsJumpRule != B.IsJumpRule)
-        continue;
+    for (uint32_t EdgeIdx : Relation.SubsumedBy[B.Index]) {
+      const SubsumptionEdge &Edge = Relation.Edges[EdgeIdx];
+      const PreparedRule &A = Rules[Edge.Subsumer];
 
-      const std::vector<ArgRole> &Roles = A.Goal->Spec->argRoles();
-      std::optional<MatchResult> Match;
-      if (B.IsJumpRule)
-        Match = matchPatternValue(A.TheRule->Pattern, Roles,
-                                  A.Root->operand(0), B.Root->operand(0));
-      else
-        Match = matchPattern(A.TheRule->Pattern, Roles, A.Root, B.Root);
-      if (!Match)
-        continue;
-
-      // Terminator matching aligns the condition values, so the Cond
-      // nodes themselves are outside the NodeMap; they correspond by
-      // construction (both applicable jump roots with matched
-      // selectors).
-      if (B.IsJumpRule)
-        Match->NodeMap.emplace(A.Root, B.Root);
-
-      // A must produce every result B promises (multi-result rules
-      // carry memory tokens and jump outcomes in their results).
-      std::map<std::pair<const Node *, unsigned>, bool> AProvides;
-      for (NodeRef Res : A.TheRule->Pattern.results())
-        AProvides[mappedRef(*Match, Res)] = true;
-      bool CoversResults = true;
-      for (NodeRef Res : B.TheRule->Pattern.results())
-        if (!AProvides.count({Res.Def, Res.Index})) {
-          CoversResults = false;
-          break;
-        }
-      if (!CoversResults)
-        continue;
-
-      // Precondition entailment: on any defined execution of B's
-      // pattern, A's (mapped) precondition must hold too.
-      SmtContext Smt;
-      SymbolicPattern BSym(Smt, B.TheRule->Pattern, "s");
-      std::vector<z3::expr> PA;
-      unsigned W = B.TheRule->Pattern.width();
-      for (Node *N : A.TheRule->Pattern.liveNodes()) {
-        Opcode Op = N->opcode();
-        if (Op != Opcode::Shl && Op != Opcode::Shr && Op != Opcode::Shrs)
-          continue;
-        auto [Def, Index] = mappedRef(*Match, N->operand(1));
-        PA.push_back(z3::ult(BSym.value(Def, Index),
-                             Smt.literal(BitValue(W, W))));
-      }
-      bool Entailed = true;
-      if (!PA.empty()) {
-        SmtSolver Solver(Smt);
-        Solver.setTimeoutMilliseconds(Options.SmtTimeoutMs);
-        Solver.add(Smt.mkAnd(BSym.shiftPreconditions()));
-        Solver.add(!Smt.mkAnd(PA));
-        Entailed = Solver.check() == SmtResult::Unsat;
-      }
-      if (!Entailed)
-        continue;
-
-      if (!ReportedShadow) {
+      if (Options.ReportAllSubsumers || !ReportedShadow) {
         ReportedShadow = true;
         std::ostringstream Msg;
         Msg << "rule is shadowed by the more general rule #" << A.Index
@@ -405,7 +211,8 @@ void checkShadowing(const PreparedLibrary &Library,
                             B.Cost.Size >= A.Cost.Size;
       bool StrictlyWorse = B.Cost.Latency > A.Cost.Latency ||
                            B.Cost.Size > A.Cost.Size;
-      if (!ReportedDomination && NoCheaperModel && StrictlyWorse) {
+      if ((Options.ReportAllSubsumers || !ReportedDomination) &&
+          NoCheaperModel && StrictlyWorse) {
         ReportedDomination = true;
         std::ostringstream Msg;
         Msg << "rule is cost-dominated by rule #" << A.Index << " (goal "
@@ -419,7 +226,7 @@ void checkShadowing(const PreparedLibrary &Library,
         Findings.push_back(libraryFinding("cost-dominated", "warning",
                                           Msg.str(), LibraryName, B));
       }
-      if (ReportedShadow && ReportedDomination)
+      if (!Options.ReportAllSubsumers && ReportedShadow && ReportedDomination)
         break; // One finding of each kind per rule is enough.
     }
   }
@@ -506,7 +313,8 @@ std::vector<LintFinding> selgen::auditIrText(const std::string &Text,
   return Findings;
 }
 
-std::string selgen::findingsToJson(const std::vector<LintFinding> &Findings) {
+std::string selgen::findingsToJson(const std::vector<LintFinding> &Findings,
+                                   size_t Suppressed) {
   unsigned Errors = 0, Warnings = 0, Notes = 0;
   for (const LintFinding &F : Findings) {
     if (F.Severity == "error")
@@ -519,13 +327,18 @@ std::string selgen::findingsToJson(const std::vector<LintFinding> &Findings) {
 
   std::ostringstream Out;
   Out << "{\n  \"errors\": " << Errors << ",\n  \"warnings\": " << Warnings
-      << ",\n  \"notes\": " << Notes << ",\n  \"findings\": [";
+      << ",\n  \"notes\": " << Notes << ",\n  \"suppressed\": " << Suppressed
+      << ",\n  \"findings\": [";
   bool First = true;
   for (const LintFinding &F : Findings) {
     Out << (First ? "\n" : ",\n") << "    {\"code\": ";
     appendJsonString(Out, F.Code);
     Out << ", \"severity\": ";
     appendJsonString(Out, F.Severity);
+    if (!F.Fingerprint.empty()) {
+      Out << ", \"fingerprint\": ";
+      appendJsonString(Out, F.Fingerprint);
+    }
     if (!F.Library.empty()) {
       Out << ", \"library\": ";
       appendJsonString(Out, F.Library);
@@ -547,6 +360,44 @@ std::string selgen::findingsToJson(const std::vector<LintFinding> &Findings) {
   }
   Out << (First ? "]" : "\n  ]") << "\n}\n";
   return Out.str();
+}
+
+std::set<std::string> selgen::parseBaselineFingerprints(
+    const std::string &BaselineJson) {
+  // The baseline is a previously-published findings report; all we
+  // need back out of it are the "fingerprint" values. A targeted scan
+  // keeps us independent of the (flat-object) JSON helpers, which do
+  // not parse nested documents.
+  std::set<std::string> Fingerprints;
+  const std::string Key = "\"fingerprint\"";
+  size_t Pos = 0;
+  while ((Pos = BaselineJson.find(Key, Pos)) != std::string::npos) {
+    Pos += Key.size();
+    while (Pos < BaselineJson.size() &&
+           (BaselineJson[Pos] == ' ' || BaselineJson[Pos] == ':'))
+      ++Pos;
+    if (Pos >= BaselineJson.size() || BaselineJson[Pos] != '"')
+      continue;
+    size_t End = BaselineJson.find('"', Pos + 1);
+    if (End == std::string::npos)
+      break;
+    Fingerprints.insert(BaselineJson.substr(Pos + 1, End - Pos - 1));
+    Pos = End + 1;
+  }
+  return Fingerprints;
+}
+
+size_t selgen::suppressBaselinedFindings(
+    std::vector<LintFinding> &Findings,
+    const std::set<std::string> &Baseline) {
+  size_t Before = Findings.size();
+  Findings.erase(std::remove_if(Findings.begin(), Findings.end(),
+                                [&](const LintFinding &F) {
+                                  return !F.Fingerprint.empty() &&
+                                         Baseline.count(F.Fingerprint) > 0;
+                                }),
+                 Findings.end());
+  return Before - Findings.size();
 }
 
 bool selgen::lintHasErrors(const std::vector<LintFinding> &Findings) {

@@ -32,6 +32,7 @@
 
 #include "isel/PreparedLibrary.h"
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -46,12 +47,24 @@ struct LintFinding {
   std::string Goal;     ///< Goal name (library findings only).
   int RuleIndex = -1;   ///< Prepared priority index (library findings).
   std::string File;     ///< IR file path (file findings only).
+  /// Stable identity for baselining: crc32 over the finding code plus
+  /// the rule's goal and canonical pattern fingerprint (library
+  /// findings) or the file and message (file findings). Survives rule
+  /// reordering and unrelated library edits; a changed pattern is a
+  /// new finding by design.
+  std::string Fingerprint;
 };
 
 struct LintOptions {
   unsigned SmtTimeoutMs = 10000; ///< Per-query solver budget.
   bool CheckPreconditions = true;
   bool CheckShadowing = true;
+  /// Report every subsuming pair instead of deduplicating to one
+  /// shadowed-rule and one cost-dominated finding per rule. The
+  /// default keeps the human-facing report readable; consumers that
+  /// need the full relation (the minimizer's certificates, relation
+  /// dumps) flip this on.
+  bool ReportAllSubsumers = false;
 };
 
 /// Audits a prepared rule library. \p LibraryName labels the findings
@@ -65,8 +78,22 @@ std::vector<LintFinding> auditPreparedLibrary(const PreparedLibrary &Library,
 std::vector<LintFinding> auditIrText(const std::string &Text,
                                      const std::string &FileName);
 
-/// Renders findings as the JSON document CI consumes.
-std::string findingsToJson(const std::vector<LintFinding> &Findings);
+/// Renders findings as the JSON document CI consumes. Each finding is
+/// stamped with its stable fingerprint; \p Suppressed records how many
+/// findings a baseline filtered out before rendering.
+std::string findingsToJson(const std::vector<LintFinding> &Findings,
+                           size_t Suppressed = 0);
+
+/// Extracts the set of finding fingerprints from a previously-published
+/// findings JSON document (the --baseline file).
+std::set<std::string> parseBaselineFingerprints(
+    const std::string &BaselineJson);
+
+/// Removes findings whose fingerprint appears in \p Baseline (the
+/// previously-acknowledged set); returns how many were suppressed.
+/// Findings without a fingerprint are never suppressed.
+size_t suppressBaselinedFindings(std::vector<LintFinding> &Findings,
+                                 const std::set<std::string> &Baseline);
 
 /// True if any finding carries severity "error".
 bool lintHasErrors(const std::vector<LintFinding> &Findings);

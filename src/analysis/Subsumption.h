@@ -1,0 +1,129 @@
+//===- Subsumption.h - Full rule-subsumption relation ------------*- C++ -*-===//
+//
+// Part of the selgen project (CGO'18 instruction-selection synthesis
+// reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The whole-library subsumption relation shared by the lint auditor
+/// (analysis/RuleAudit) and the library minimizer
+/// (analysis/LibraryMinimizer). An edge A -> B says: whenever rule B's
+/// pattern matches a subject, the earlier rule A already matches at
+/// the same root, produces every result B promises, and its shift
+/// precondition is entailed by B's — so under first-match priority B
+/// can never be the rule that fires.
+///
+/// Candidates are proposed by running each rule's own pattern through
+/// the discrimination-tree automaton as if it were a subject block
+/// (only structurally-more-general rules survive that walk), a
+/// structural match plus a result-coverage check confirms the shape,
+/// and an SMT query sat(P_B and not P_A) == Unsat discharges the
+/// preconditions through the supervised solver. A solver timeout or
+/// Unknown leaves the entailment unproven: the pair is simply *not*
+/// added to the relation, so every consumer degrades to "keep the
+/// rule" — never to an unsound delete.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SELGEN_ANALYSIS_SUBSUMPTION_H
+#define SELGEN_ANALYSIS_SUBSUMPTION_H
+
+#include "isel/Matcher.h"
+#include "isel/PreparedLibrary.h"
+#include "smt/SmtContext.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace selgen {
+
+/// Symbolic evaluation of a pattern graph without a memory model:
+/// every Arg and every loaded value becomes a fresh, unconstrained
+/// constant. Because the subsumption and lint queries are universally
+/// quantified over all inputs ("is P+ satisfiable at all", "does P_B
+/// entail P_A"), leaving memory uninterpreted only widens the input
+/// space and keeps the answers sound for how they are consumed (an
+/// Unsat stays Unsat under any refinement of the inputs).
+class SymbolicPattern {
+public:
+  SymbolicPattern(SmtContext &Smt, const Graph &G, const std::string &Prefix)
+      : Smt(Smt), G(G), Prefix(Prefix) {}
+
+  /// The term of a value-sorted (node, result index) position.
+  z3::expr value(const Node *Def, unsigned Index);
+  z3::expr value(NodeRef Ref) { return value(Ref.Def, Ref.Index); }
+
+  /// The formula of a bool-sorted position.
+  z3::expr boolean(const Node *Def, unsigned Index);
+
+  /// P+ of the pattern: the conjunction of 0 <= amount < width over
+  /// every live shift operation (IrSemantics models exactly this
+  /// precondition; everything else is total).
+  std::vector<z3::expr> shiftPreconditions();
+
+private:
+  using ValueKey = std::pair<const Node *, unsigned>;
+
+  z3::expr computeValue(const Node *Def, unsigned Index);
+
+  SmtContext &Smt;
+  const Graph &G;
+  std::string Prefix;
+  std::map<ValueKey, z3::expr> Values;
+};
+
+/// One subsumption pair: rule \p Subsumer (earlier prepared index)
+/// shadows rule \p Subsumed under first-match priority.
+struct SubsumptionEdge {
+  uint32_t Subsumer = 0;
+  uint32_t Subsumed = 0;
+  /// True when discharging the precondition entailment needed an SMT
+  /// query (the subsumer's pattern has live shifts); purely structural
+  /// edges carry no query.
+  bool NeededSmt = false;
+  /// crc32 hex over the deterministic rendering of the entailment
+  /// query (assumptions + negated goal), empty for structural edges.
+  /// A deletion certificate cites this so the exact proof obligation
+  /// can be re-identified.
+  std::string QueryFingerprint;
+};
+
+struct SubsumptionOptions {
+  unsigned SmtTimeoutMs = 10000; ///< Per-query solver budget.
+};
+
+/// The full relation over one prepared library.
+struct SubsumptionRelation {
+  /// All edges, grouped by subsumed rule in ascending prepared index,
+  /// subsumers ascending within a group.
+  std::vector<SubsumptionEdge> Edges;
+  /// Per prepared index: positions into Edges of the edges that
+  /// subsume this rule (ascending subsumer index). Empty for live
+  /// rules.
+  std::vector<std::vector<uint32_t>> SubsumedBy;
+  uint64_t SmtQueries = 0;      ///< Entailment queries issued.
+  uint64_t SmtInconclusive = 0; ///< Timeouts/Unknowns (pair dropped).
+};
+
+/// Computes the full subsumption relation: every (earlier, later) pair
+/// where the earlier rule provably shadows the later one, not just the
+/// first subsumer per rule. O(rules x candidates) structural work; one
+/// SMT query per shape-confirmed pair whose subsumer has shift
+/// preconditions.
+SubsumptionRelation computeSubsumption(const PreparedLibrary &Library,
+                                       const SubsumptionOptions &Options = {});
+
+/// The image of pattern-A value \p ARef inside pattern B's value
+/// space, given a structural match of A against B. Every A operation
+/// node maps through the NodeMap; A arguments map through their
+/// bindings.
+std::pair<const Node *, unsigned> mappedPatternRef(const MatchResult &Match,
+                                                   NodeRef ARef);
+
+} // namespace selgen
+
+#endif // SELGEN_ANALYSIS_SUBSUMPTION_H

@@ -24,14 +24,15 @@ namespace {
 
 /// Deserializes a rule-library text, prepares it like the tool does,
 /// and audits it.
-std::vector<LintFinding> auditLibraryText(const std::string &Text) {
+std::vector<LintFinding> auditLibraryText(const std::string &Text,
+                                          const LintOptions &Options = {}) {
   std::string Error;
   PatternDatabase Database = PatternDatabase::deserialize(Text, &Error);
   EXPECT_EQ(Error, "");
   Database.sortSpecificFirst();
   GoalLibrary Goals = GoalLibrary::build(8, GoalLibrary::allGroups());
   PreparedLibrary Library(Database, Goals);
-  return auditPreparedLibrary(Library, 8, "test.dat");
+  return auditPreparedLibrary(Library, 8, "test.dat", Options);
 }
 
 std::vector<const LintFinding *> byCode(const std::vector<LintFinding> &Fs,
@@ -185,6 +186,116 @@ TEST(RuleAudit, ShippedStyleLibraryIsErrorFree) {
                        "endrule\n");
   EXPECT_FALSE(lintHasErrors(Findings));
   EXPECT_TRUE(Findings.empty());
+}
+
+TEST(RuleAudit, ReportsAllSubsumersWhenAsked) {
+  // Three structurally identical rules. Default presentation dedupes
+  // to one shadowed-rule finding per rule (two findings); the full
+  // relation has three pairs (#1 by #0, #2 by #0, #2 by #1).
+  const std::string Text = "rule add_rr\n"
+                           "graph w8 args(bv8, bv8) {\n"
+                           "  n0 = Add(a0, a1)\n"
+                           "  results(n0)\n"
+                           "}\n"
+                           "endrule\n"
+                           "rule or_rr\n"
+                           "graph w8 args(bv8, bv8) {\n"
+                           "  n0 = Add(a0, a1)\n"
+                           "  results(n0)\n"
+                           "}\n"
+                           "endrule\n"
+                           "rule xor_rr\n"
+                           "graph w8 args(bv8, bv8) {\n"
+                           "  n0 = Add(a0, a1)\n"
+                           "  results(n0)\n"
+                           "}\n"
+                           "endrule\n";
+  std::vector<LintFinding> Deduped = auditLibraryText(Text);
+  EXPECT_EQ(byCode(Deduped, "shadowed-rule").size(), 2u);
+
+  LintOptions All;
+  All.ReportAllSubsumers = true;
+  std::vector<LintFinding> Full = auditLibraryText(Text, All);
+  EXPECT_EQ(byCode(Full, "shadowed-rule").size(), 3u);
+}
+
+TEST(RuleAudit, FindingFingerprintsSurviveReordering) {
+  // The baseline key must identify a finding by rule content, not by
+  // its current priority index: inserting an unrelated rule shifts
+  // every index but must not change the fingerprint.
+  const std::string Shadow = "rule add_rr\n"
+                             "graph w8 args(bv8, bv8) {\n"
+                             "  n0 = Add(a0, a1)\n"
+                             "  results(n0)\n"
+                             "}\n"
+                             "endrule\n"
+                             "rule or_rr\n"
+                             "graph w8 args(bv8, bv8) {\n"
+                             "  n0 = Add(a0, a1)\n"
+                             "  results(n0)\n"
+                             "}\n"
+                             "endrule\n";
+  const std::string Unrelated = "rule sub_ri\n"
+                                "graph w8 args(bv8, bv8) {\n"
+                                "  n0 = Const[0x05:8]()\n"
+                                "  n1 = Sub(a0, n0)\n"
+                                "  results(n1)\n"
+                                "}\n"
+                                "endrule\n";
+  std::vector<LintFinding> FirstCopy, SecondCopy;
+  std::vector<LintFinding> A = auditLibraryText(Shadow);
+  std::vector<LintFinding> B = auditLibraryText(Unrelated + Shadow);
+  for (const LintFinding *F : byCode(A, "shadowed-rule"))
+    FirstCopy.push_back(*F);
+  for (const LintFinding *F : byCode(B, "shadowed-rule"))
+    SecondCopy.push_back(*F);
+  ASSERT_EQ(FirstCopy.size(), 1u);
+  ASSERT_EQ(SecondCopy.size(), 1u);
+  EXPECT_FALSE(FirstCopy[0].Fingerprint.empty());
+  EXPECT_EQ(FirstCopy[0].Fingerprint, SecondCopy[0].Fingerprint);
+  // The sub_ri insertion really did shift the rule's index.
+  EXPECT_NE(FirstCopy[0].RuleIndex, SecondCopy[0].RuleIndex);
+}
+
+TEST(LintBaseline, SuppressesAcknowledgedFindings) {
+  LintFinding Old;
+  Old.Code = "shadowed-rule";
+  Old.Severity = "warning";
+  Old.Message = "old finding";
+  Old.Library = "lib.dat";
+  Old.Goal = "add_rr";
+  Old.Fingerprint = "deadbeef";
+
+  LintFinding New;
+  New.Code = "shadowed-rule";
+  New.Severity = "warning";
+  New.Message = "new finding";
+  New.Library = "lib.dat";
+  New.Goal = "or_rr";
+  New.Fingerprint = "0badcafe";
+
+  LintFinding NoFp;
+  NoFp.Code = "unreadable-file";
+  NoFp.Severity = "error";
+  NoFp.Message = "cannot read";
+  NoFp.File = "gone.dat";
+
+  // A baseline is just a previously-published findings report.
+  std::string BaselineJson = findingsToJson({Old});
+  std::set<std::string> Baseline = parseBaselineFingerprints(BaselineJson);
+  EXPECT_EQ(Baseline.count("deadbeef"), 1u);
+
+  std::vector<LintFinding> Findings = {Old, New, NoFp};
+  size_t Suppressed = suppressBaselinedFindings(Findings, Baseline);
+  EXPECT_EQ(Suppressed, 1u);
+  ASSERT_EQ(Findings.size(), 2u);
+  EXPECT_EQ(Findings[0].Message, "new finding");
+  // Findings without a fingerprint never match a baseline.
+  EXPECT_EQ(Findings[1].Code, "unreadable-file");
+
+  std::string Json = findingsToJson(Findings, Suppressed);
+  EXPECT_NE(Json.find("\"suppressed\": 1"), std::string::npos);
+  EXPECT_NE(Json.find("\"fingerprint\": \"0badcafe\""), std::string::npos);
 }
 
 TEST(IrAudit, FlagsMalformedIr) {

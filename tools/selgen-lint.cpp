@@ -55,8 +55,10 @@ static bool readFileToString(const std::string &Path, std::string &Out) {
 
 int main(int argc, char **argv) {
   const std::vector<std::string> Flags = {
-      "library", "width",           "output",           "smt-timeout-ms",
-      "quiet",   "no-shadowing",    "no-preconditions", "help"};
+      "library",  "width",        "output",
+      "baseline", "all-subsumers", "smt-timeout-ms",
+      "quiet",    "no-shadowing", "no-preconditions",
+      "help"};
   CommandLine Cli(argc, argv, Flags);
   if (!Cli.errors().empty() || Cli.hasFlag("help")) {
     for (const std::string &Error : Cli.errors())
@@ -73,6 +75,22 @@ int main(int argc, char **argv) {
       static_cast<unsigned>(Cli.intOption("smt-timeout-ms", 10000));
   Options.CheckShadowing = !Cli.hasFlag("no-shadowing");
   Options.CheckPreconditions = !Cli.hasFlag("no-preconditions");
+  Options.ReportAllSubsumers = Cli.hasFlag("all-subsumers");
+
+  // --baseline FILE: a previously-published findings report whose
+  // fingerprints are treated as acknowledged; matching findings are
+  // suppressed so CI gates on *new* findings only.
+  std::set<std::string> Baseline;
+  std::string BaselinePath = Cli.stringOption("baseline", "");
+  if (!BaselinePath.empty()) {
+    std::string BaselineText;
+    if (!readFileToString(BaselinePath, BaselineText)) {
+      std::fprintf(stderr, "selgen-lint: cannot read baseline %s\n",
+                   BaselinePath.c_str());
+      return 2;
+    }
+    Baseline = parseBaselineFingerprints(BaselineText);
+  }
 
   std::vector<LintFinding> Findings;
 
@@ -143,6 +161,20 @@ int main(int argc, char **argv) {
       Findings.push_back(std::move(F));
   }
 
+  // Tool-level findings (unreadable/malformed inputs) get a stable
+  // fingerprint too, mirroring the audit's file-finding scheme.
+  for (LintFinding &F : Findings)
+    if (F.Fingerprint.empty())
+      F.Fingerprint = crc32Hex(F.Code + "|" +
+                               (F.File.empty() ? F.Library : F.File) + "|" +
+                               F.Message);
+
+  size_t Suppressed = suppressBaselinedFindings(Findings, Baseline);
+  if (Suppressed > 0)
+    std::fprintf(stderr,
+                 "selgen-lint: %zu finding(s) suppressed by baseline %s\n",
+                 Suppressed, BaselinePath.c_str());
+
   if (!Cli.hasFlag("quiet"))
     for (const LintFinding &F : Findings) {
       const std::string &Subject = F.File.empty() ? F.Library : F.File;
@@ -155,7 +187,7 @@ int main(int argc, char **argv) {
                      F.Severity.c_str(), F.Message.c_str(), F.Code.c_str());
     }
 
-  std::string Json = findingsToJson(Findings);
+  std::string Json = findingsToJson(Findings, Suppressed);
   std::string OutputPath = Cli.stringOption("output", "");
   if (!OutputPath.empty()) {
     // Atomic publish: CI archives this file; never let it be torn.
