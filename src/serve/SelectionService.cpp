@@ -68,14 +68,39 @@ void SelectionService::workerMain() {
   }
 }
 
+void SelectionService::swapImage(std::shared_ptr<MappedAutomaton> NewImage) {
+  if (!NewImage || !NewImage->view().valid())
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  // The in-flight batch (if any) holds its own shared_ptr copy taken
+  // at dispatch, so dropping the previous image here cannot unmap
+  // memory a worker is matching against.
+  Swapped = std::move(NewImage);
+  ++SwapGeneration;
+}
+
+std::string SelectionService::imageFingerprint() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Swapped)
+    return Swapped->view().libraryFingerprint();
+  if (View)
+    return View->libraryFingerprint();
+  return Automaton->libraryFingerprint();
+}
+
+uint64_t SelectionService::imageGeneration() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return SwapGeneration;
+}
+
 void SelectionService::processItem(size_t Index) {
   // Everything below is per-request state owned by this worker; the
   // library and automaton are only ever read.
   Function F = buildWorkload(*Profiles[Index], Width);
   SelectionObserver Observer;
   SelectionResult Selected;
-  if (View) {
-    MappedCandidateSource Source(Library, *View);
+  if (BatchView) {
+    MappedCandidateSource Source(Library, *BatchView);
     Selected = Tiling
                    ? runTilingSelection(F, Library, Source, Cost, &Observer)
                    : runRuleSelection(F, Library, Source, "automaton",
@@ -129,6 +154,11 @@ SelectionService::process(const BatchRequest &Request, std::string *Error) {
   Reply.Results.resize(Request.Workloads.size());
   auto Start = std::chrono::steady_clock::now();
   if (!Request.Workloads.empty()) {
+    // Pin the image for this whole batch: the local shared_ptr keeps
+    // a hot-swapped-away mapping alive until every item finished, and
+    // BatchView is what the workers read — a concurrent swapImage
+    // only changes what the *next* batch pins.
+    std::shared_ptr<MappedAutomaton> PinnedImage;
     {
       std::lock_guard<std::mutex> Lock(Mutex);
       Batch = &Request;
@@ -136,6 +166,8 @@ SelectionService::process(const BatchRequest &Request, std::string *Error) {
       Out = &Reply.Results;
       NextItem = 0;
       ItemsDone = 0;
+      PinnedImage = Swapped;
+      BatchView = PinnedImage ? &PinnedImage->view() : View;
     }
     WorkCv.notify_all();
     std::unique_lock<std::mutex> Lock(Mutex);
@@ -144,6 +176,7 @@ SelectionService::process(const BatchRequest &Request, std::string *Error) {
     });
     Batch = nullptr;
     Out = nullptr;
+    BatchView = nullptr;
     Profiles.clear();
   }
   Reply.WallUs = std::chrono::duration<double, std::micro>(

@@ -35,6 +35,7 @@
 #include "serve/ServeProtocol.h"
 
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -83,6 +84,22 @@ public:
   std::optional<BatchReply> process(const BatchRequest &Request,
                                     std::string *Error = nullptr);
 
+  /// Atomically replaces the matcher image for *subsequent* batches
+  /// (hot reload). The batch in flight — if any — keeps selecting off
+  /// the image it snapshotted at dispatch, and that mapping stays
+  /// alive until the batch completes; no request ever observes a
+  /// half-swapped automaton. The caller must have validated the new
+  /// image against this service's library (fingerprint + cost rules,
+  /// see automatonStalenessError) — swapImage itself does not, so it
+  /// stays cheap enough to call under load. Thread-safe.
+  void swapImage(std::shared_ptr<MappedAutomaton> NewImage);
+
+  /// Hex content fingerprint of the image batches are currently
+  /// dispatched against, and the swap generation (0 = the image the
+  /// service started with; +1 per swapImage). Thread-safe.
+  std::string imageFingerprint() const;
+  uint64_t imageGeneration() const;
+
   unsigned width() const { return Width; }
   unsigned threads() const { return static_cast<unsigned>(Workers.size()); }
   const ServiceTelemetry &telemetry() const { return Telemetry; }
@@ -97,6 +114,13 @@ private:
   const PreparedLibrary &Library;
   const BinaryAutomatonView *View = nullptr;    ///< One of View /
   const MatcherAutomaton *Automaton = nullptr;  ///< Automaton is set.
+  /// Owner of the live image after a hot swap (null until the first
+  /// swapImage). Guarded by Mutex; batches snapshot it at dispatch.
+  std::shared_ptr<MappedAutomaton> Swapped;
+  uint64_t SwapGeneration = 0;
+  /// The view the *current* batch's workers match against (set under
+  /// Mutex at batch dispatch, untouched by mid-batch swaps).
+  const BinaryAutomatonView *BatchView = nullptr;
   unsigned Width;
   bool Tiling = false; ///< Cost-minimal tiling instead of first-match.
   CostKind Cost = CostKind::Unit;
@@ -104,7 +128,7 @@ private:
   std::vector<std::thread> Workers;
 
   // Batch dispatch state, guarded by Mutex.
-  std::mutex Mutex;
+  mutable std::mutex Mutex;
   std::condition_variable WorkCv; ///< Workers wait for items / stop.
   std::condition_variable DoneCv; ///< process() waits for completion.
   const BatchRequest *Batch = nullptr;

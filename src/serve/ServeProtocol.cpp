@@ -19,6 +19,9 @@ namespace {
 
 constexpr const char *RequestTag = "selgen-serve-batch-v1";
 constexpr const char *ReplyTag = "selgen-serve-reply-v1";
+constexpr const char *ErrorTag = "selgen-serve-error-v1";
+constexpr const char *HealthTag = "selgen-serve-health-v1";
+constexpr const char *HealthReplyTag = "selgen-serve-health-reply-v1";
 
 void fail(std::string *Error, const std::string &Message) {
   if (Error)
@@ -226,6 +229,157 @@ std::optional<BatchReply> selgen::decodeBatchReply(const std::string &Payload,
       return std::nullopt;
     }
     Reply.Results.push_back(std::move(R));
+  }
+  fail(Error, "missing end trailer");
+  return std::nullopt;
+}
+
+const char *selgen::serveErrorCodeName(ServeErrorCode Code) {
+  switch (Code) {
+  case ServeErrorCode::BadRequest:
+    return "bad-request";
+  case ServeErrorCode::Unsupported:
+    return "unsupported";
+  case ServeErrorCode::Timeout:
+    return "timeout";
+  case ServeErrorCode::Overloaded:
+    return "overloaded";
+  case ServeErrorCode::ShuttingDown:
+    return "shutting-down";
+  case ServeErrorCode::Internal:
+    return "internal";
+  }
+  return "internal";
+}
+
+std::string selgen::encodeServeError(const ServeError &Error) {
+  std::string Out = std::string(ErrorTag) + "\n";
+  Out += "code " + std::string(serveErrorCodeName(Error.Code)) + "\n";
+  if (Error.RetryAfterMs)
+    Out += "retry-after-ms " + std::to_string(Error.RetryAfterMs) + "\n";
+  // The message travels as a byte-counted raw block so it can carry
+  // anything (decoder errors quote client bytes verbatim).
+  Out += "message " + std::to_string(Error.Message.size()) + "\n";
+  Out += Error.Message;
+  Out += "\nend\n";
+  return Out;
+}
+
+ServeError selgen::decodeServeError(const std::string &Payload) {
+  ServeError Parsed;
+  Cursor C{Payload};
+  std::string Line;
+  if (!C.nextLine(Line) || Line != ErrorTag) {
+    // A bare message from a peer predating the typed encoding.
+    Parsed.Message = Payload;
+    return Parsed;
+  }
+  if (!C.nextLine(Line) || Line.rfind("code ", 0) != 0) {
+    Parsed.Message = Payload;
+    return Parsed;
+  }
+  std::string Name = Line.substr(5);
+  for (ServeErrorCode Code :
+       {ServeErrorCode::BadRequest, ServeErrorCode::Unsupported,
+        ServeErrorCode::Timeout, ServeErrorCode::Overloaded,
+        ServeErrorCode::ShuttingDown, ServeErrorCode::Internal})
+    if (Name == serveErrorCodeName(Code))
+      Parsed.Code = Code;
+  while (C.nextLine(Line)) {
+    if (Line == "end")
+      return Parsed;
+    uint64_t Value = 0;
+    if (Line.rfind("retry-after-ms ", 0) == 0 &&
+        parseU64(Line.substr(15), Value) && Value <= UINT32_MAX) {
+      Parsed.RetryAfterMs = static_cast<uint32_t>(Value);
+    } else if (Line.rfind("message ", 0) == 0 &&
+               parseU64(Line.substr(8), Value)) {
+      if (!C.takeRaw(Value, Parsed.Message))
+        return Parsed; // Truncated block: keep what parsed so far.
+    }
+  }
+  return Parsed;
+}
+
+bool selgen::isHealthRequest(const std::string &Payload) {
+  std::string Want = std::string(HealthTag) + "\n";
+  return Payload.size() >= Want.size() &&
+         Payload.compare(0, Want.size(), Want) == 0;
+}
+
+std::string selgen::encodeHealthRequest() {
+  return std::string(HealthTag) + "\nend\n";
+}
+
+std::string selgen::encodeHealthReply(const HealthReply &Reply) {
+  std::string Out = std::string(HealthReplyTag) + "\n";
+  auto Put = [&Out](const char *Key, uint64_t Value) {
+    Out += std::string(Key) + " " + std::to_string(Value) + "\n";
+  };
+  Put("uptime-ms", Reply.UptimeMs);
+  Put("width", Reply.Width);
+  Out += "fingerprint " + Reply.ImageFingerprint + "\n";
+  Put("image-generation", Reply.ImageGeneration);
+  Put("queue-depth", Reply.QueueDepth);
+  Put("batches", Reply.Batches);
+  Put("shed", Reply.Shed);
+  Put("timeouts", Reply.Timeouts);
+  Put("reloads", Reply.Reloads);
+  Put("reload-failures", Reply.ReloadFailures);
+  Out += "end\n";
+  return Out;
+}
+
+std::optional<HealthReply>
+selgen::decodeHealthReply(const std::string &Payload, std::string *Error) {
+  Cursor C{Payload};
+  std::string Line;
+  if (!C.nextLine(Line) || Line != HealthReplyTag) {
+    fail(Error, "not a health reply");
+    return std::nullopt;
+  }
+  HealthReply Reply;
+  bool Ok = true;
+  auto Take = [&](const std::string &L, const char *Key, uint64_t &Out) {
+    std::string Prefix = std::string(Key) + " ";
+    if (L.rfind(Prefix, 0) != 0)
+      return false;
+    uint64_t Value = 0;
+    if (!parseU64(L.substr(Prefix.size()), Value))
+      Ok = false;
+    Out = Value;
+    return true;
+  };
+  while (C.nextLine(Line)) {
+    if (Line == "end") {
+      if (!Ok || C.Pos != Payload.size()) {
+        fail(Error, "bad health field");
+        return std::nullopt;
+      }
+      return Reply;
+    }
+    uint64_t Width = 0;
+    if (Take(Line, "uptime-ms", Reply.UptimeMs) ||
+        Take(Line, "image-generation", Reply.ImageGeneration) ||
+        Take(Line, "queue-depth", Reply.QueueDepth) ||
+        Take(Line, "batches", Reply.Batches) ||
+        Take(Line, "shed", Reply.Shed) ||
+        Take(Line, "timeouts", Reply.Timeouts) ||
+        Take(Line, "reloads", Reply.Reloads) ||
+        Take(Line, "reload-failures", Reply.ReloadFailures))
+      continue;
+    if (Take(Line, "width", Width)) {
+      if (Width > 64)
+        Ok = false;
+      Reply.Width = static_cast<unsigned>(Width);
+      continue;
+    }
+    if (Line.rfind("fingerprint ", 0) == 0) {
+      Reply.ImageFingerprint = Line.substr(12);
+      continue;
+    }
+    fail(Error, "unknown health line: " + Line);
+    return std::nullopt;
   }
   fail(Error, "missing end trailer");
   return std::nullopt;

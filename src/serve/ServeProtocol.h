@@ -68,6 +68,62 @@ std::string encodeBatchReply(const BatchReply &Reply);
 std::optional<BatchReply> decodeBatchReply(const std::string &Payload,
                                            std::string *Error = nullptr);
 
+/// Why the server refused or failed a request. Every Error frame the
+/// server emits carries one of these (encoded, with an optional
+/// retry-after hint), so clients can tell a permanent rejection
+/// (BadRequest) from a transient one worth retrying (Overloaded,
+/// Timeout) from an orderly drain (ShuttingDown).
+enum class ServeErrorCode : uint8_t {
+  BadRequest,   ///< Malformed/unserveable payload; retrying is useless.
+  Unsupported,  ///< Well-formed frame of a kind this server lacks.
+  Timeout,      ///< The request blew its wall budget before service.
+  Overloaded,   ///< Admission queue / inflight-byte bound hit; retry.
+  ShuttingDown, ///< Server draining; finish elsewhere or retry later.
+  Internal,     ///< Server-side failure unrelated to the request.
+};
+
+const char *serveErrorCodeName(ServeErrorCode Code);
+
+struct ServeError {
+  ServeErrorCode Code = ServeErrorCode::Internal;
+  /// Suggested client backoff before retrying; 0 = no hint. Only
+  /// meaningful for the transient codes.
+  uint32_t RetryAfterMs = 0;
+  std::string Message;
+};
+
+std::string encodeServeError(const ServeError &Error);
+/// Total decoder; also accepts a bare unstructured message (the PR 6
+/// solver-pool style) as an Internal error so mixed-version peers
+/// still get an explanation instead of a decode failure.
+ServeError decodeServeError(const std::string &Payload);
+
+/// A health/readiness probe: no selection work, answered inline by the
+/// server loop even while the admission queue is full (a health check
+/// must not be sheddable, or orchestration kills a merely-busy
+/// server). Identified by its payload tag inside an ordinary Request
+/// frame.
+struct HealthReply {
+  uint64_t UptimeMs = 0;
+  unsigned Width = 0;
+  std::string ImageFingerprint; ///< Hex content hash of the live image.
+  uint64_t ImageGeneration = 0; ///< Bumped by every successful reload.
+  uint64_t QueueDepth = 0;      ///< Requests admitted but not served.
+  uint64_t Batches = 0;
+  uint64_t Shed = 0;     ///< Typed Overloaded rejections so far.
+  uint64_t Timeouts = 0; ///< Typed deadline rejections so far.
+  uint64_t Reloads = 0;  ///< Successful SIGHUP image swaps.
+  uint64_t ReloadFailures = 0;
+};
+
+/// True if \p Payload is a health probe (cheap tag check, total).
+bool isHealthRequest(const std::string &Payload);
+std::string encodeHealthRequest();
+
+std::string encodeHealthReply(const HealthReply &Reply);
+std::optional<HealthReply>
+decodeHealthReply(const std::string &Payload, std::string *Error = nullptr);
+
 } // namespace selgen
 
 #endif // SELGEN_SERVE_SERVEPROTOCOL_H

@@ -37,6 +37,21 @@
 ///                     pool's poll expires and SIGKILLs it)
 ///   worker_garbage_reply  selgen-solverd corrupts its reply frame
 ///                     (the pool's CRC check must reject it)
+///   serve_request_garbage  the compile server corrupts a request
+///                     payload after admission (the dispatcher's total
+///                     decoder must answer a typed BadRequest)
+///   serve_reply_torn  the compile server truncates a reply frame
+///                     (the client's CRC check must condemn the
+///                     stream and reconnect)
+///   serve_drop_client the compile server sends half a reply and
+///                     drops the connection (client sees a torn frame
+///                     plus EOF)
+///   serve_slow_write  the compile server's write pass skips a tick
+///                     (exercises reply buffering and, sustained, the
+///                     slow-writer eviction)
+///   serve_dispatch_stall  the compile server's dispatcher sleeps
+///                     400ms before serving a request (drives queue
+///                     growth for the overload and deadline tests)
 ///
 /// The worker_* sites fire inside the *worker* process; arm them via
 /// SolverPoolOptions::WorkerEnv (or the worker's environment), and

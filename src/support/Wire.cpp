@@ -176,3 +176,91 @@ wire::ReadStatus wire::readFrame(int Fd, Frame &Out, int64_t DeadlineMs) {
     return ReadStatus::Corrupt;
   return ReadStatus::Ok;
 }
+
+wire::FrameReader::Event wire::FrameReader::parse(Frame &Out) {
+  if (Buffer.size() < HeaderBytes)
+    return Event::None;
+  const unsigned char *Bytes =
+      reinterpret_cast<const unsigned char *>(Buffer.data());
+  if (getU32(Bytes) != FrameMagic)
+    return Event::Corrupt;
+  uint32_t Length = getU32(Bytes + 5);
+  if (Length > MaxFrameBytes)
+    return Event::Corrupt;
+  if (Buffer.size() < HeaderBytes + Length)
+    return Event::None;
+  uint32_t Crc = getU32(Bytes + 9);
+  Out.Type = Bytes[4];
+  Out.Payload.assign(Buffer, HeaderBytes, Length);
+  if (crc32(Out.Payload) != Crc)
+    return Event::Corrupt;
+  Buffer.erase(0, HeaderBytes + Length);
+  return Event::Frame;
+}
+
+wire::FrameReader::Event wire::FrameReader::advance(int Fd, Frame &Out) {
+  // A frame already buffered from a previous read beats touching the
+  // fd again: frames must be delivered in arrival order.
+  Event Parsed = parse(Out);
+  if (Parsed != Event::None)
+    return Parsed;
+  if (SawEof)
+    return Buffer.empty() ? Event::Eof : Event::Corrupt;
+
+  char Chunk[64 * 1024];
+  while (true) {
+    ssize_t Read = ::read(Fd, Chunk, sizeof(Chunk));
+    if (Read > 0) {
+      Buffer.append(Chunk, static_cast<size_t>(Read));
+      Parsed = parse(Out);
+      if (Parsed != Event::None)
+        return Parsed;
+      continue; // A frame may still be mid-delivery; keep reading.
+    }
+    if (Read < 0 && errno == EINTR)
+      continue;
+    if (Read < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return Event::None; // Drained the fd; wait for the next poll.
+    if (Read == 0) {
+      SawEof = true;
+      // EOF on a frame boundary is the peer leaving; inside a frame
+      // it tore the stream.
+      return Buffer.empty() ? Event::Eof : Event::Corrupt;
+    }
+    return Event::Corrupt; // Read error: the fd is broken.
+  }
+}
+
+void wire::WriteQueue::push(std::string Bytes) {
+  if (Bytes.empty())
+    return;
+  Pending += Bytes.size();
+  Chunks.push_back(std::move(Bytes));
+}
+
+wire::WriteStatus wire::WriteQueue::drain(int Fd, bool *Progress) {
+  if (Progress)
+    *Progress = false;
+  while (!Chunks.empty()) {
+    const std::string &Front = Chunks.front();
+    ssize_t Wrote =
+        ::write(Fd, Front.data() + Offset, Front.size() - Offset);
+    if (Wrote > 0) {
+      if (Progress)
+        *Progress = true;
+      Offset += static_cast<size_t>(Wrote);
+      Pending -= static_cast<size_t>(Wrote);
+      if (Offset == Front.size()) {
+        Chunks.pop_front();
+        Offset = 0;
+      }
+      continue;
+    }
+    if (Wrote < 0 && errno == EINTR)
+      continue;
+    if (Wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return WriteStatus::Ok; // The fd is full; resume next POLLOUT.
+    return WriteStatus::Error; // EPIPE et al. — the peer died.
+  }
+  return WriteStatus::Ok;
+}

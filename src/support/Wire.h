@@ -37,6 +37,7 @@
 #define SELGEN_SUPPORT_WIRE_H
 
 #include <cstdint>
+#include <deque>
 #include <string>
 
 namespace selgen {
@@ -99,6 +100,67 @@ enum class ReadStatus {
 /// must finish within that budget (enforced with poll(2)); -1 blocks
 /// indefinitely. A frame cut short by EOF is Corrupt, not Eof.
 ReadStatus readFrame(int Fd, Frame &Out, int64_t DeadlineMs = -1);
+
+/// Incremental frame parser for non-blocking fds. readFrame() above
+/// budgets one whole frame per call and discards partial bytes on
+/// timeout, which is fine for a dedicated pipe but wrong for a server
+/// multiplexing many clients: a slow client's half-delivered frame
+/// must survive across poll ticks without holding a thread. A
+/// FrameReader owns that partial state — feed it whatever the fd has
+/// whenever poll reports readable, and it emits complete frames as
+/// they finish.
+class FrameReader {
+public:
+  enum class Event {
+    None,   ///< No complete frame buffered yet; wait for more bytes.
+    Frame,  ///< \p Out holds one complete, CRC-valid frame.
+    Eof,    ///< Clean close on a frame boundary.
+    Corrupt ///< Bad magic / length / CRC, or EOF mid-frame.
+  };
+
+  /// Consumes whatever \p Fd has available right now (the fd should
+  /// be O_NONBLOCK; a blocking fd works but may park briefly) and
+  /// tries to complete one frame. Returns Frame with \p Out filled
+  /// when one finished — call again immediately, more frames may
+  /// already be buffered. After Corrupt the stream is condemned; the
+  /// reader must not be fed again.
+  Event advance(int Fd, Frame &Out);
+
+  /// True while a frame has started arriving but is not complete (an
+  /// EOF or a long stall now is a torn frame, not idleness).
+  bool midFrame() const { return !Buffer.empty(); }
+  size_t bufferedBytes() const { return Buffer.size(); }
+
+private:
+  /// Extracts one frame from Buffer if fully present.
+  Event parse(Frame &Out);
+
+  std::string Buffer;
+  bool SawEof = false;
+};
+
+/// Outgoing byte queue for a non-blocking fd: push whole encoded
+/// frames, drain as much as the fd accepts per poll tick. Tracks
+/// pending bytes so the server can bound buffered reply memory, and
+/// reports per-drain progress so a stalled client (POLLOUT never
+/// ready, zero bytes leaving) is detectable and evictable.
+class WriteQueue {
+public:
+  void push(std::string Bytes);
+  bool empty() const { return Chunks.empty(); }
+  size_t pendingBytes() const { return Pending; }
+
+  /// Writes until the fd would block or the queue empties. Ok means
+  /// "made whatever progress the fd allowed" (possibly zero bytes);
+  /// Error means the peer is gone. \p Progress is set to true iff at
+  /// least one byte left the queue. Never blocks on an O_NONBLOCK fd.
+  WriteStatus drain(int Fd, bool *Progress = nullptr);
+
+private:
+  std::deque<std::string> Chunks;
+  size_t Offset = 0;  ///< Bytes of Chunks.front() already written.
+  size_t Pending = 0; ///< Total unwritten bytes across all chunks.
+};
 
 } // namespace wire
 } // namespace selgen

@@ -16,16 +16,21 @@
 
 #include "eval/Workloads.h"
 #include "refsel/ReferenceSelectors.h"
+#include "serve/ImageReloader.h"
 #include "serve/SelectionServer.h"
+#include "support/FaultInjection.h"
 #include "support/Wire.h"
 
 #include <gtest/gtest.h>
 
 #include <csignal>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <thread>
 
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -409,4 +414,666 @@ TEST_F(ServeTest, SpawnedServerShutsDownCleanlyOnSigterm) {
   int Status = Server.wait();
   EXPECT_TRUE(WIFEXITED(Status)) << "SIGTERM must exit, not die on signal";
   EXPECT_EQ(WEXITSTATUS(Status), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Typed errors, health probes, and the hardening layer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Disarms fault injection on scope exit so one test's chaos cannot
+/// leak into the next.
+struct FaultGuard {
+  ~FaultGuard() { FaultInjector::get().disarm(); }
+};
+
+/// Reads one frame with a test-sized deadline so a server bug hangs an
+/// assertion, not the suite.
+wire::ReadStatus readOne(int Fd, wire::Frame &Out, int64_t DeadlineMs = 30000) {
+  return wire::readFrame(Fd, Out, DeadlineMs);
+}
+
+} // namespace
+
+TEST(ServeProtocol, ServeErrorRoundTripsEveryCode) {
+  for (ServeErrorCode Code :
+       {ServeErrorCode::BadRequest, ServeErrorCode::Unsupported,
+        ServeErrorCode::Timeout, ServeErrorCode::Overloaded,
+        ServeErrorCode::ShuttingDown, ServeErrorCode::Internal}) {
+    ServeError Error;
+    Error.Code = Code;
+    Error.RetryAfterMs = Code == ServeErrorCode::Overloaded ? 250 : 0;
+    // Messages travel as byte-counted raw blocks: embedded newlines and
+    // codec keywords must survive.
+    Error.Message = "queue full\nend\nretry-after-ms 9\n";
+    ServeError Decoded = decodeServeError(encodeServeError(Error));
+    EXPECT_EQ(Decoded.Code, Code) << serveErrorCodeName(Code);
+    EXPECT_EQ(Decoded.RetryAfterMs, Error.RetryAfterMs);
+    EXPECT_EQ(Decoded.Message, Error.Message);
+  }
+
+  // Bare unstructured messages (the PR 6 wire style) decode as
+  // Internal with the text preserved — never a decode failure.
+  ServeError Legacy = decodeServeError("width mismatch: request 16");
+  EXPECT_EQ(Legacy.Code, ServeErrorCode::Internal);
+  EXPECT_EQ(Legacy.Message, "width mismatch: request 16");
+  EXPECT_EQ(Legacy.RetryAfterMs, 0u);
+}
+
+TEST(ServeProtocol, HealthCodecRoundTripsAndStaysTotal) {
+  EXPECT_TRUE(isHealthRequest(encodeHealthRequest()));
+  EXPECT_FALSE(isHealthRequest(""));
+  EXPECT_FALSE(isHealthRequest("selgen-serve-batch-v1\nend\n"));
+
+  HealthReply Reply;
+  Reply.UptimeMs = 123456;
+  Reply.Width = 8;
+  Reply.ImageFingerprint = "deadbeef01";
+  Reply.ImageGeneration = 3;
+  Reply.QueueDepth = 17;
+  Reply.Batches = 99;
+  Reply.Shed = 5;
+  Reply.Timeouts = 2;
+  Reply.Reloads = 3;
+  Reply.ReloadFailures = 1;
+  std::string Error;
+  std::optional<HealthReply> Decoded =
+      decodeHealthReply(encodeHealthReply(Reply), &Error);
+  ASSERT_TRUE(Decoded) << Error;
+  EXPECT_EQ(Decoded->UptimeMs, Reply.UptimeMs);
+  EXPECT_EQ(Decoded->Width, Reply.Width);
+  EXPECT_EQ(Decoded->ImageFingerprint, Reply.ImageFingerprint);
+  EXPECT_EQ(Decoded->ImageGeneration, Reply.ImageGeneration);
+  EXPECT_EQ(Decoded->QueueDepth, Reply.QueueDepth);
+  EXPECT_EQ(Decoded->Shed, Reply.Shed);
+  EXPECT_EQ(Decoded->Reloads, Reply.Reloads);
+  EXPECT_EQ(Decoded->ReloadFailures, Reply.ReloadFailures);
+
+  EXPECT_FALSE(decodeHealthReply("", &Error));
+  EXPECT_FALSE(decodeHealthReply("garbage\n", &Error));
+  EXPECT_FALSE(decodeHealthReply(encodeHealthRequest(), &Error));
+  std::string Torn = encodeHealthReply(Reply);
+  EXPECT_FALSE(decodeHealthReply(Torn.substr(0, Torn.size() / 2), &Error));
+}
+
+TEST_F(ServeTest, HealthProbeAnsweredInline) {
+  int Fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  signal(SIGPIPE, SIG_IGN);
+  SelectionService Service(Library, View, W, 2);
+  SelectionServer Server(Service, Fds[0], Fds[0]);
+  std::thread ServerThread([&] { EXPECT_EQ(Server.run(), 0); });
+
+  ASSERT_TRUE(
+      wire::writeFrame(Fds[1], wire::Request, encodeHealthRequest()));
+  wire::Frame Frame;
+  ASSERT_EQ(readOne(Fds[1], Frame), wire::ReadStatus::Ok);
+  ASSERT_EQ(Frame.Type, wire::Response);
+  std::string Error;
+  std::optional<HealthReply> Health = decodeHealthReply(Frame.Payload, &Error);
+  ASSERT_TRUE(Health) << Error;
+  EXPECT_EQ(Health->Width, W);
+  EXPECT_EQ(Health->ImageFingerprint, Library.fingerprint());
+  EXPECT_EQ(Health->ImageGeneration, 0u);
+  EXPECT_EQ(Health->Batches, 0u);
+  EXPECT_EQ(Health->Reloads, 0u);
+
+  ASSERT_TRUE(wire::writeFrame(Fds[1], wire::Shutdown, ""));
+  ServerThread.join();
+  EXPECT_EQ(Server.stats().HealthProbes.load(), 1u);
+  close(Fds[0]);
+  close(Fds[1]);
+}
+
+TEST_F(ServeTest, OverloadShedsTypedOverloadedAndRecovers) {
+  FaultGuard Guard;
+  int Fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  signal(SIGPIPE, SIG_IGN);
+  SelectionService Service(Library, View, W, 2);
+  ServerOptions Options;
+  Options.MaxQueue = 2;
+  Options.PollMs = 20;
+  Options.RetryAfterMs = 75;
+  SelectionServer Server(Service, Fds[0], Fds[0], Options);
+
+  // Stall the dispatcher on its first request so the next two arrive
+  // against a held queue: slots go 1 (dispatching) + 1 (queued), and
+  // the third must shed.
+  ASSERT_TRUE(FaultInjector::get().configure("serve_dispatch_stall@n=1"));
+  std::thread ServerThread([&] { EXPECT_EQ(Server.run(), 0); });
+
+  BatchRequest Request;
+  Request.Width = W;
+  Request.Workloads = {"164.gzip"};
+  std::string Encoded = encodeBatchRequest(Request);
+  for (int I = 0; I < 3; ++I)
+    ASSERT_TRUE(wire::writeFrame(Fds[1], wire::Request, Encoded));
+
+  int Responses = 0, Overloads = 0;
+  for (int I = 0; I < 3; ++I) {
+    wire::Frame Frame;
+    ASSERT_EQ(readOne(Fds[1], Frame), wire::ReadStatus::Ok);
+    if (Frame.Type == wire::Response) {
+      ++Responses;
+      continue;
+    }
+    ASSERT_EQ(Frame.Type, wire::Error);
+    ServeError Error = decodeServeError(Frame.Payload);
+    EXPECT_EQ(Error.Code, ServeErrorCode::Overloaded)
+        << serveErrorCodeName(Error.Code) << ": " << Error.Message;
+    EXPECT_EQ(Error.RetryAfterMs, 75u) << "shed replies carry the hint";
+    ++Overloads;
+  }
+  EXPECT_EQ(Responses, 2);
+  EXPECT_EQ(Overloads, 1);
+
+  // The shed was the reply, not the connection: a retry now succeeds.
+  ASSERT_TRUE(wire::writeFrame(Fds[1], wire::Request, Encoded));
+  wire::Frame Frame;
+  ASSERT_EQ(readOne(Fds[1], Frame), wire::ReadStatus::Ok);
+  EXPECT_EQ(Frame.Type, wire::Response);
+
+  ASSERT_TRUE(wire::writeFrame(Fds[1], wire::Shutdown, ""));
+  ServerThread.join();
+  EXPECT_EQ(Server.stats().Shed.load(), 1u);
+  EXPECT_EQ(Server.stats().Batches.load(), 3u);
+  close(Fds[0]);
+  close(Fds[1]);
+}
+
+TEST_F(ServeTest, QueuedRequestPastDeadlineGetsTypedTimeout) {
+  FaultGuard Guard;
+  int Fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  signal(SIGPIPE, SIG_IGN);
+  SelectionService Service(Library, View, W, 2);
+  ServerOptions Options;
+  Options.RequestDeadlineMs = 100; // Far below the 400ms injected stall.
+  Options.PollMs = 20;
+  SelectionServer Server(Service, Fds[0], Fds[0], Options);
+  ASSERT_TRUE(FaultInjector::get().configure("serve_dispatch_stall@n=1"));
+  std::thread ServerThread([&] { EXPECT_EQ(Server.run(), 0); });
+
+  BatchRequest Request;
+  Request.Width = W;
+  Request.Workloads = {"164.gzip"};
+  ASSERT_TRUE(
+      wire::writeFrame(Fds[1], wire::Request, encodeBatchRequest(Request)));
+  wire::Frame Frame;
+  ASSERT_EQ(readOne(Fds[1], Frame), wire::ReadStatus::Ok);
+  ASSERT_EQ(Frame.Type, wire::Error);
+  ServeError Error = decodeServeError(Frame.Payload);
+  EXPECT_EQ(Error.Code, ServeErrorCode::Timeout)
+      << serveErrorCodeName(Error.Code) << ": " << Error.Message;
+  EXPECT_GT(Error.RetryAfterMs, 0u);
+
+  // The connection survived its timed-out request.
+  ASSERT_TRUE(
+      wire::writeFrame(Fds[1], wire::Request, encodeBatchRequest(Request)));
+  ASSERT_EQ(readOne(Fds[1], Frame), wire::ReadStatus::Ok);
+  EXPECT_EQ(Frame.Type, wire::Response);
+
+  ASSERT_TRUE(wire::writeFrame(Fds[1], wire::Shutdown, ""));
+  ServerThread.join();
+  EXPECT_EQ(Server.stats().Timeouts.load(), 1u);
+  EXPECT_EQ(Server.stats().Batches.load(), 1u);
+  close(Fds[0]);
+  close(Fds[1]);
+}
+
+TEST_F(ServeTest, MidFrameStallDropsOnlyThatConnection) {
+  int Stalled[2], Healthy[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, Stalled), 0);
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, Healthy), 0);
+  signal(SIGPIPE, SIG_IGN);
+  SelectionService Service(Library, View, W, 2);
+  ServerOptions Options;
+  Options.RequestDeadlineMs = 150; // Doubles as the mid-frame budget.
+  Options.PollMs = 20;
+  SelectionServer Server(Service, Options);
+  Server.addConnection(Stalled[0], Stalled[0]);
+  Server.addConnection(Healthy[0], Healthy[0]);
+  std::thread ServerThread([&] { EXPECT_EQ(Server.run(), 0); });
+
+  // Half a frame, then silence: unrecoverable by design, and the
+  // deadline must reclaim the connection instead of waiting forever.
+  BatchRequest Request;
+  Request.Width = W;
+  Request.Workloads = {"164.gzip"};
+  std::string Bytes = wire::encodeFrame(wire::Request,
+                                        encodeBatchRequest(Request));
+  ASSERT_TRUE(wire::writeAll(Stalled[1], Bytes.substr(0, 9)));
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(450));
+
+  // The other connection never noticed.
+  ASSERT_TRUE(wire::writeFrame(Healthy[1], wire::Request,
+                               encodeBatchRequest(Request)));
+  wire::Frame Frame;
+  ASSERT_EQ(readOne(Healthy[1], Frame), wire::ReadStatus::Ok);
+  EXPECT_EQ(Frame.Type, wire::Response);
+
+  ASSERT_TRUE(wire::writeFrame(Healthy[1], wire::Shutdown, ""));
+  ServerThread.join(); // Exits: the stalled conn was already dropped.
+  EXPECT_EQ(Server.stats().SlowClientDrops.load(), 1u);
+  close(Stalled[0]);
+  close(Stalled[1]);
+  close(Healthy[0]);
+  close(Healthy[1]);
+}
+
+TEST_F(ServeTest, SlowWriterIsEvictedWithBoundedBuffering) {
+  int Fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  signal(SIGPIPE, SIG_IGN);
+  // Tiny kernel buffers so the reply overwhelms them and parks in the
+  // server's write queue.
+  int Small = 4096;
+  setsockopt(Fds[0], SOL_SOCKET, SO_SNDBUF, &Small, sizeof(Small));
+  setsockopt(Fds[1], SOL_SOCKET, SO_RCVBUF, &Small, sizeof(Small));
+
+  SelectionService Service(Library, View, W, 4);
+  ServerOptions Options;
+  Options.RequestDeadlineMs = 30000;
+  Options.WriteStallMs = 150;
+  Options.PollMs = 20;
+  SelectionServer Server(Service, Fds[0], Fds[0], Options);
+  std::thread ServerThread([&] { EXPECT_EQ(Server.run(), 0); });
+
+  // A batch whose reply dwarfs the socket buffers — and a client that
+  // never reads a byte of it.
+  BatchRequest Request;
+  Request.Width = W;
+  for (int Round = 0; Round < 6; ++Round)
+    for (const std::string &Name : allWorkloadNames())
+      Request.Workloads.push_back(Name);
+  ASSERT_TRUE(
+      wire::writeFrame(Fds[1], wire::Request, encodeBatchRequest(Request)));
+
+  // The server must evict the stalled connection and exit on its own —
+  // never block forever behind a reader that went away.
+  ServerThread.join();
+  EXPECT_EQ(Server.stats().SlowClientDrops.load(), 1u);
+  EXPECT_EQ(Server.stats().Batches.load(), 1u);
+  close(Fds[0]);
+  close(Fds[1]);
+}
+
+namespace {
+
+/// Binds a unix stream listener at \p Path (unlinking any stale one).
+int listenAt(const std::string &Path) {
+  sockaddr_un Addr;
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return -1;
+  int Fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  ::unlink(Path.c_str());
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size());
+  if (bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+      listen(Fd, 64) < 0) {
+    close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+int connectTo(const std::string &Path) {
+  int Fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size());
+  if (connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+} // namespace
+
+TEST_F(ServeTest, WireFrameMutationFuzzYieldsTypedRejectionOrCondemnation) {
+  // Deterministic frame-mutation fuzz: flip single bits across the
+  // header and payload of a valid request frame. Every mutation must
+  // produce a *typed* Error reply or a condemned (closed) connection —
+  // never a hang, never a Response, and never memory unsafety (this
+  // test is in the ASan/UBSan CI matrix).
+  std::string Path = ::testing::TempDir() + "serve_fuzz.sock";
+  int ListenFd = listenAt(Path);
+  ASSERT_GE(ListenFd, 0);
+  signal(SIGPIPE, SIG_IGN);
+
+  SelectionService Service(Library, View, W, 2);
+  ServerOptions Options;
+  Options.PollMs = 20;
+  SelectionServer Server(Service, Options);
+  Server.serveListenFd(ListenFd);
+  std::thread ServerThread([&] { EXPECT_EQ(Server.run(), 0); });
+
+  BatchRequest Request;
+  Request.Id = 11;
+  Request.Width = W;
+  Request.Workloads = {"164.gzip"};
+  const std::string Valid =
+      wire::encodeFrame(wire::Request, encodeBatchRequest(Request));
+  constexpr size_t HeaderBytes = 13;
+  ASSERT_GT(Valid.size(), HeaderBytes + 4);
+
+  std::vector<size_t> Positions;
+  for (size_t I = 0; I < HeaderBytes; ++I)
+    Positions.push_back(I); // Magic, type, length, CRC.
+  Positions.push_back(HeaderBytes);              // First payload byte.
+  Positions.push_back(Valid.size() / 2);         // Middle.
+  Positions.push_back(Valid.size() - 1);         // Last.
+
+  int TypedErrors = 0, Condemned = 0;
+  for (size_t Pos : Positions) {
+    for (unsigned char Mask : {0x01, 0x80}) {
+      std::string Mutated = Valid;
+      Mutated[Pos] = static_cast<char>(Mutated[Pos] ^ Mask);
+      int Fd = connectTo(Path);
+      ASSERT_GE(Fd, 0);
+      wire::writeAll(Fd, Mutated); // EPIPE tolerated: server may have
+      shutdown(Fd, SHUT_WR);       // condemned us mid-write already.
+      wire::Frame Frame;
+      wire::ReadStatus Status = readOne(Fd, Frame, 10000);
+      if (Status == wire::ReadStatus::Ok) {
+        ASSERT_EQ(Frame.Type, wire::Error)
+            << "mutation at byte " << Pos << " mask " << int(Mask)
+            << " must never yield a Response";
+        ServeError Error = decodeServeError(Frame.Payload);
+        EXPECT_FALSE(Error.Message.empty());
+        ++TypedErrors;
+      } else {
+        ASSERT_NE(Status, wire::ReadStatus::Timeout)
+            << "mutation at byte " << Pos << " mask " << int(Mask)
+            << " hung the server";
+        ++Condemned; // Eof / torn reply: the connection was dropped.
+      }
+      close(Fd);
+    }
+  }
+  EXPECT_GT(Condemned, 0) << "payload flips must break the CRC";
+  EXPECT_GT(TypedErrors, 0) << "type-byte flips must draw typed errors";
+
+  // The server itself shrugged it all off.
+  int Fd = connectTo(Path);
+  ASSERT_GE(Fd, 0);
+  ASSERT_TRUE(wire::writeFrame(Fd, wire::Request, encodeBatchRequest(Request)));
+  wire::Frame Frame;
+  ASSERT_EQ(readOne(Fd, Frame), wire::ReadStatus::Ok);
+  ASSERT_EQ(Frame.Type, wire::Response);
+  std::string Error;
+  std::optional<BatchReply> Reply = decodeBatchReply(Frame.Payload, &Error);
+  ASSERT_TRUE(Reply) << Error;
+  EXPECT_EQ(Reply->Results[0].Asm, sequentialAsm("164.gzip"));
+  close(Fd);
+
+  Server.requestStop();
+  ServerThread.join();
+  close(ListenFd);
+  ::unlink(Path.c_str());
+  EXPECT_EQ(Server.stats().CondemnedConns.load(),
+            static_cast<uint64_t>(Condemned));
+}
+
+TEST_F(ServeTest, HotReloadUnderLoadIsByteIdenticalAndRefusesCorrupt) {
+  // The tentpole guarantee: swapping the automaton image under live
+  // traffic changes nothing observable (same library ⇒ byte-identical
+  // replies, zero failed requests), and a corrupt candidate is refused
+  // while the old image keeps serving.
+  std::string ImagePath = ::testing::TempDir() + "serve_reload.matb";
+  ASSERT_TRUE(buildMatcherAutomaton(Library).writeBinaryFile(ImagePath));
+  std::string MapError;
+  std::unique_ptr<MappedAutomaton> Mapped =
+      MatcherAutomaton::mapBinary(ImagePath, &MapError);
+  ASSERT_TRUE(Mapped) << MapError;
+
+  SelectionService Service(Library, Mapped->view(), W, 4);
+  ImageReloader Reloader(Service, Library, ImagePath);
+  int Fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  signal(SIGPIPE, SIG_IGN);
+  ServerOptions Options;
+  Options.PollMs = 20;
+  Options.TickHook = [&Reloader] { Reloader.tick(); };
+  Options.HealthAugment = [&Reloader](HealthReply &Reply) {
+    Reloader.augmentHealth(Reply);
+  };
+  SelectionServer Server(Service, Fds[0], Fds[0], Options);
+  std::thread ServerThread([&] { EXPECT_EQ(Server.run(), 0); });
+
+  std::vector<std::string> Expected;
+  for (const std::string &Name : allWorkloadNames())
+    Expected.push_back(sequentialAsm(Name));
+
+  auto roundTrip = [&] {
+    BatchRequest Request;
+    Request.Width = W;
+    Request.Workloads = allWorkloadNames();
+    ASSERT_TRUE(wire::writeFrame(Fds[1], wire::Request,
+                                 encodeBatchRequest(Request)));
+    wire::Frame Frame;
+    ASSERT_EQ(readOne(Fds[1], Frame, 120000), wire::ReadStatus::Ok);
+    ASSERT_EQ(Frame.Type, wire::Response)
+        << decodeServeError(Frame.Payload).Message;
+    std::string Error;
+    std::optional<BatchReply> Reply = decodeBatchReply(Frame.Payload, &Error);
+    ASSERT_TRUE(Reply) << Error;
+    ASSERT_EQ(Reply->Results.size(), Expected.size());
+    for (size_t I = 0; I < Expected.size(); ++I)
+      EXPECT_EQ(Reply->Results[I].Asm, Expected[I])
+          << "reply " << I << " diverged across reload";
+  };
+
+  roundTrip();
+  roundTrip();
+
+  // Atomic publish, exactly as an operator must do it: write the
+  // regenerated image to a temp file and rename(2) it over the served
+  // path. The rename gives the path a fresh inode, so the mapping the
+  // resident image holds stays valid no matter what happens to the
+  // path afterwards.
+  std::string StagePath = ImagePath + ".tmp";
+  ASSERT_TRUE(buildMatcherAutomaton(Library).writeBinaryFile(StagePath));
+  ASSERT_EQ(std::rename(StagePath.c_str(), ImagePath.c_str()), 0);
+  Reloader.requestReload();
+  ASSERT_TRUE(Reloader.drain());
+  EXPECT_EQ(Reloader.reloads(), 1u);
+  EXPECT_EQ(Reloader.failures(), 0u);
+  EXPECT_EQ(Service.imageGeneration(), 1u);
+
+  roundTrip();
+
+  // Corrupt candidate: atomically publish a truncated image (torn
+  // copy, partial upload — the realistic corruptions all arrive via
+  // rename too). The reload must be refused with the failure counted —
+  // and serving must continue unharmed on the already-resident image.
+  {
+    std::ifstream In(ImagePath, std::ios::binary);
+    std::string Bytes((std::istreambuf_iterator<char>(In)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream Out(StagePath, std::ios::binary | std::ios::trunc);
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size() / 3));
+  }
+  ASSERT_EQ(std::rename(StagePath.c_str(), ImagePath.c_str()), 0);
+  Reloader.requestReload();
+  ASSERT_TRUE(Reloader.drain());
+  EXPECT_EQ(Reloader.reloads(), 1u);
+  EXPECT_EQ(Reloader.failures(), 1u);
+  EXPECT_FALSE(Reloader.lastError().empty());
+  EXPECT_EQ(Service.imageGeneration(), 1u)
+      << "a refused candidate must not bump the generation";
+
+  roundTrip();
+
+  // The health probe reports the reload history.
+  ASSERT_TRUE(wire::writeFrame(Fds[1], wire::Request, encodeHealthRequest()));
+  wire::Frame Frame;
+  ASSERT_EQ(readOne(Fds[1], Frame), wire::ReadStatus::Ok);
+  std::string Error;
+  std::optional<HealthReply> Health = decodeHealthReply(Frame.Payload, &Error);
+  ASSERT_TRUE(Health) << Error;
+  EXPECT_EQ(Health->Reloads, 1u);
+  EXPECT_EQ(Health->ReloadFailures, 1u);
+  EXPECT_EQ(Health->ImageGeneration, 1u);
+  EXPECT_EQ(Health->ImageFingerprint, Library.fingerprint());
+
+  ASSERT_TRUE(wire::writeFrame(Fds[1], wire::Shutdown, ""));
+  ServerThread.join();
+  EXPECT_EQ(Server.stats().Batches.load(), 4u) << "zero failed requests";
+  close(Fds[0]);
+  close(Fds[1]);
+  ::unlink(ImagePath.c_str());
+}
+
+TEST_F(ServeTest, StopDrainsAdmittedRequestsUnderLoad) {
+  int Fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  signal(SIGPIPE, SIG_IGN);
+  SelectionService Service(Library, View, W, 4);
+  ServerOptions Options;
+  Options.PollMs = 20;
+  Options.RetryAfterMs = 200;
+  SelectionServer Server(Service, Fds[0], Fds[0], Options);
+  std::thread ServerThread([&] { EXPECT_EQ(Server.run(), 0); });
+
+  // Three sizable batches in flight...
+  BatchRequest Request;
+  Request.Width = W;
+  Request.Workloads = allWorkloadNames();
+  std::string Encoded = encodeBatchRequest(Request);
+  for (int I = 0; I < 3; ++I)
+    ASSERT_TRUE(wire::writeFrame(Fds[1], wire::Request, Encoded));
+  // ...all admitted before the stop lands...
+  for (int Spin = 0; Server.stats().Admitted.load() < 3 && Spin < 500; ++Spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_EQ(Server.stats().Admitted.load(), 3u);
+  Server.requestStop();
+  // ...and one more arriving *after* it.
+  ASSERT_TRUE(wire::writeFrame(Fds[1], wire::Request, Encoded));
+
+  // Drain contract: every admitted request gets its complete reply;
+  // the late one gets a typed ShuttingDown error; nothing is dropped.
+  int Responses = 0, Rejected = 0;
+  for (int I = 0; I < 4; ++I) {
+    wire::Frame Frame;
+    ASSERT_EQ(readOne(Fds[1], Frame, 120000), wire::ReadStatus::Ok);
+    if (Frame.Type == wire::Response) {
+      std::string Error;
+      std::optional<BatchReply> Reply =
+          decodeBatchReply(Frame.Payload, &Error);
+      ASSERT_TRUE(Reply) << Error;
+      ASSERT_EQ(Reply->Results.size(), Request.Workloads.size());
+      for (const BatchReply::Result &R : Reply->Results)
+        EXPECT_EQ(R.Asm, sequentialAsm(R.Workload));
+      ++Responses;
+    } else {
+      ASSERT_EQ(Frame.Type, wire::Error);
+      ServeError Error = decodeServeError(Frame.Payload);
+      EXPECT_EQ(Error.Code, ServeErrorCode::ShuttingDown)
+          << serveErrorCodeName(Error.Code) << ": " << Error.Message;
+      EXPECT_EQ(Error.RetryAfterMs, 200u);
+      ++Rejected;
+    }
+  }
+  EXPECT_EQ(Responses, 3);
+  EXPECT_EQ(Rejected, 1);
+
+  ServerThread.join(); // Flushed everything, then exited 0 on its own.
+  EXPECT_EQ(Server.stats().Batches.load(), 3u);
+  EXPECT_EQ(Server.stats().ShutdownRejects.load(), 1u);
+  close(Fds[0]);
+  close(Fds[1]);
+}
+
+TEST_F(ServeTest, SpawnedSocketServerDrainsOnSigtermAndUnlinksSocket) {
+  // The deployment-shape regression test for orderly shutdown: a large
+  // batch is in flight over the unix socket when SIGTERM lands. The
+  // accepted request must still get its complete, byte-identical
+  // reply; the process must exit 0; the socket file must be gone.
+  std::string LibraryPath = ::testing::TempDir() + "serve_drain.dat";
+  std::string ImagePath = ::testing::TempDir() + "serve_drain.matb";
+  std::string SocketPath = ::testing::TempDir() + "serve_drain.sock";
+  Rules.saveToFile(LibraryPath);
+  ASSERT_TRUE(buildMatcherAutomaton(Library).writeBinaryFile(ImagePath));
+
+  SpawnedServer Server;
+  Server.start({SELGEN_SERVED_TOOL, "--library", LibraryPath, "--automaton",
+                ImagePath, "--threads", "4", "--socket", SocketPath});
+  ASSERT_GE(Server.Pid, 0);
+
+  // Readiness: the health probe answers as soon as the socket binds.
+  int Fd = -1;
+  for (int Spin = 0; Spin < 1000 && Fd < 0; ++Spin) {
+    Fd = connectTo(SocketPath);
+    if (Fd < 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GE(Fd, 0) << "server never bound " << SocketPath;
+  ASSERT_TRUE(wire::writeFrame(Fd, wire::Request, encodeHealthRequest()));
+  wire::Frame Frame;
+  ASSERT_EQ(readOne(Fd, Frame, 120000), wire::ReadStatus::Ok);
+  std::string Error;
+  ASSERT_TRUE(decodeHealthReply(Frame.Payload, &Error)) << Error;
+
+  BatchRequest Request;
+  Request.Width = W;
+  for (int Round = 0; Round < 3; ++Round)
+    for (const std::string &Name : allWorkloadNames())
+      Request.Workloads.push_back(Name);
+  ASSERT_TRUE(
+      wire::writeFrame(Fd, wire::Request, encodeBatchRequest(Request)));
+
+  // Probe until the server has *admitted* the batch (or even finished
+  // it), so the SIGTERM provably lands with the request in flight.
+  // Health replies jump the queue, so each probe round-trips while the
+  // batch computes.
+  std::optional<BatchReply> Reply;
+  bool Admitted = false;
+  for (int Spin = 0; Spin < 1000 && !Admitted && !Reply; ++Spin) {
+    ASSERT_TRUE(wire::writeFrame(Fd, wire::Request, encodeHealthRequest()));
+    ASSERT_EQ(readOne(Fd, Frame, 120000), wire::ReadStatus::Ok);
+    ASSERT_EQ(Frame.Type, wire::Response)
+        << decodeServeError(Frame.Payload).Message;
+    if (std::optional<HealthReply> Health =
+            decodeHealthReply(Frame.Payload)) {
+      Admitted = Health->QueueDepth > 0 || Health->Batches > 0;
+      continue;
+    }
+    Reply = decodeBatchReply(Frame.Payload, &Error); // Batch won the race.
+    ASSERT_TRUE(Reply) << Error;
+  }
+  ASSERT_TRUE(Admitted || Reply);
+  ASSERT_EQ(kill(Server.Pid, SIGTERM), 0);
+
+  // Drain: the admitted batch still gets its complete reply (skipping
+  // any health replies still owed from the probe loop).
+  while (!Reply) {
+    ASSERT_EQ(readOne(Fd, Frame, 120000), wire::ReadStatus::Ok);
+    ASSERT_EQ(Frame.Type, wire::Response)
+        << decodeServeError(Frame.Payload).Message;
+    if (decodeHealthReply(Frame.Payload))
+      continue;
+    Reply = decodeBatchReply(Frame.Payload, &Error);
+    ASSERT_TRUE(Reply) << Error;
+  }
+  ASSERT_EQ(Reply->Results.size(), Request.Workloads.size());
+  for (const BatchReply::Result &R : Reply->Results)
+    EXPECT_EQ(R.Asm, sequentialAsm(R.Workload));
+  close(Fd);
+
+  int Status = Server.wait();
+  EXPECT_TRUE(WIFEXITED(Status)) << "drain must end in exit, not a signal";
+  EXPECT_EQ(WEXITSTATUS(Status), 0);
+  EXPECT_NE(access(SocketPath.c_str(), F_OK), 0)
+      << "socket file must be unlinked on shutdown";
 }

@@ -9,9 +9,22 @@ produces, so the smoke job can `diff -r` the two directly.
 
   serve_client.py --socket /tmp/selgen.sock --width 8 --out DIR 164.gzip ...
   serve_client.py --spawn "./selgen-served --library rules.dat" ...
+  serve_client.py --socket /tmp/selgen.sock --probe --wait-ms 10000
 
-Exit codes: 0 all results written, 1 protocol/usage error, 2 server
-returned an Error frame.
+The server answers transient pressure with typed Error frames
+(serve/ServeProtocol.h): `overloaded`, `timeout`, and `shutting-down`
+carry a retry-after hint, and in --socket mode the client retries
+those (and connect failures / torn streams, which the chaos sweep
+injects deliberately) with bounded exponential backoff. Permanent
+rejections (`bad-request`, `unsupported`) are never retried.
+
+--probe sends one health request instead of a batch and prints the
+decoded reply; with --wait-ms it re-probes until the server is ready,
+making it the CI readiness gate.
+
+Exit codes: 0 all results written (or probe healthy), 1 protocol or
+usage error, 2 the server's final answer was a typed Error even after
+retries.
 """
 
 import argparse
@@ -21,6 +34,7 @@ import socket
 import struct
 import subprocess
 import sys
+import time
 import zlib
 
 FRAME_MAGIC = 0x53474C46
@@ -29,6 +43,10 @@ TYPE_RESPONSE = 2
 TYPE_ERROR = 3
 TYPE_SHUTDOWN = 4
 MAX_FRAME = 64 << 20
+
+ERROR_TAG = b"selgen-serve-error-v1"
+HEALTH_REPLY_TAG = b"selgen-serve-health-reply-v1"
+RETRYABLE = ("overloaded", "timeout", "shutting-down")
 
 
 def encode_frame(ftype, payload):
@@ -68,8 +86,61 @@ def encode_batch(batch_id, width, workloads):
     return ("\n".join(lines) + "\n").encode()
 
 
+def encode_health():
+    return b"selgen-serve-health-v1\nend\n"
+
+
+def decode_serve_error(payload):
+    """Returns (code, retry_after_ms, message). Mirrors the total C++
+    decoder: anything unparseable is an `internal` bare message."""
+    lines = payload.split(b"\n")
+    if not lines or lines[0] != ERROR_TAG or len(lines) < 2 \
+            or not lines[1].startswith(b"code "):
+        return "internal", 0, payload.decode(errors="replace")
+    code = lines[1][5:].decode(errors="replace")
+    retry_after = 0
+    message = ""
+    body = payload.split(b"\n", 2)[2] if payload.count(b"\n") >= 2 else b""
+    pos = 0
+    while pos < len(body):
+        end = body.find(b"\n", pos)
+        if end < 0:
+            break
+        line = body[pos:end]
+        pos = end + 1
+        if line == b"end":
+            break
+        if line.startswith(b"retry-after-ms "):
+            try:
+                retry_after = int(line[15:])
+            except ValueError:
+                pass
+        elif line.startswith(b"message "):
+            try:
+                n = int(line[8:])
+            except ValueError:
+                break
+            message = body[pos : pos + n].decode(errors="replace")
+            pos += n + 1  # skip the block's newline terminator
+    return code, retry_after, message
+
+
+def decode_health_reply(payload):
+    fields = {}
+    lines = payload.split(b"\n")
+    if not lines or lines[0] != HEALTH_REPLY_TAG:
+        raise IOError("not a health reply")
+    for line in lines[1:]:
+        if line == b"end":
+            return fields
+        if b" " in line:
+            key, value = line.split(b" ", 1)
+            fields[key.decode()] = value.decode(errors="replace")
+    raise IOError("missing end trailer")
+
+
 def decode_reply(payload):
-    """Returns {workload: asm_bytes} preserving duplicates by suffixing."""
+    """Returns [(workload, asm_bytes)] preserving duplicates."""
     results = []
     pos = 0
 
@@ -101,41 +172,128 @@ def decode_reply(payload):
         results.append((name, asm))
 
 
+def socket_exchange(path, request_payload, shutdown_after):
+    """One connect / one request / one reply. Raises OSError or IOError
+    on transport trouble (retryable); returns (ftype, payload)."""
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        sock.settimeout(60)
+        sock.connect(path)
+        sock.sendall(encode_frame(TYPE_REQUEST, request_payload))
+        if shutdown_after:
+            sock.sendall(encode_frame(TYPE_SHUTDOWN, b""))
+        return read_frame(sock.recv)
+    finally:
+        sock.close()
+
+
+def backoff_ms(attempt, retry_after, base_ms):
+    """Server hint wins; otherwise exponential from base_ms, capped."""
+    if retry_after > 0:
+        return min(retry_after, 5000)
+    return min(base_ms * (1 << attempt), 5000)
+
+
+def run_probe(args):
+    deadline = time.monotonic() + args.wait_ms / 1000.0
+    attempt = 0
+    last = "no attempt made"
+    while True:
+        try:
+            ftype, payload = socket_exchange(args.socket, encode_health(), False)
+            if ftype == TYPE_ERROR:
+                code, _, message = decode_serve_error(payload)
+                last = "typed error %s: %s" % (code, message)
+            else:
+                fields = decode_health_reply(payload)
+                print(" ".join("%s=%s" % kv for kv in sorted(fields.items())))
+                return 0
+        except (OSError, EOFError) as exc:
+            last = str(exc)
+        if time.monotonic() >= deadline:
+            sys.stderr.write("probe failed after %d attempt(s): %s\n"
+                             % (attempt + 1, last))
+            return 1
+        time.sleep(backoff_ms(attempt, 0, args.backoff_ms) / 1000.0)
+        attempt += 1
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--socket", help="unix socket path of a running server")
     parser.add_argument("--spawn", help="server command to spawn on stdin/stdout")
     parser.add_argument("--width", type=int, default=8)
-    parser.add_argument("--out", required=True, help="directory for .s files")
+    parser.add_argument("--out", help="directory for .s files")
     parser.add_argument("--repeat", type=int, default=1,
                         help="send each workload this many times")
-    parser.add_argument("workloads", nargs="+")
+    parser.add_argument("--probe", action="store_true",
+                        help="send a health probe instead of a batch")
+    parser.add_argument("--wait-ms", type=int, default=0,
+                        help="with --probe: keep probing this long for readiness")
+    parser.add_argument("--max-retries", type=int, default=5,
+                        help="retry budget for transient failures (socket mode)")
+    parser.add_argument("--backoff-ms", type=int, default=50,
+                        help="base backoff when the server sends no hint")
+    parser.add_argument("workloads", nargs="*")
     args = parser.parse_args()
     if bool(args.socket) == bool(args.spawn):
         parser.error("exactly one of --socket / --spawn is required")
+    if args.probe:
+        if not args.socket:
+            parser.error("--probe requires --socket")
+        return run_probe(args)
+    if not args.out or not args.workloads:
+        parser.error("--out and at least one workload are required")
 
     batch = encode_batch(1, args.width, args.workloads * args.repeat)
-    request = encode_frame(TYPE_REQUEST, batch)
+    retries = 0
 
-    proc = None
     if args.socket:
-        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        sock.connect(args.socket)
-        sock.sendall(request)
-        sock.sendall(encode_frame(TYPE_SHUTDOWN, b""))
-        readfn = sock.recv
+        attempt = 0
+        while True:
+            try:
+                ftype, payload = socket_exchange(args.socket, batch, True)
+            except (OSError, EOFError) as exc:
+                # Connect refusal, torn stream, CRC mismatch: all
+                # transient under the chaos sweep's injected faults.
+                if attempt >= args.max_retries:
+                    sys.stderr.write("transport failed after %d retries: %s\n"
+                                     % (retries, exc))
+                    return 1
+                time.sleep(backoff_ms(attempt, 0, args.backoff_ms) / 1000.0)
+                attempt += 1
+                retries += 1
+                continue
+            if ftype == TYPE_ERROR:
+                code, retry_after, message = decode_serve_error(payload)
+                if code in RETRYABLE and attempt < args.max_retries:
+                    time.sleep(backoff_ms(attempt, retry_after,
+                                          args.backoff_ms) / 1000.0)
+                    attempt += 1
+                    retries += 1
+                    continue
+                sys.stderr.write("server error [%s] after %d retries: %s\n"
+                                 % (code, retries, message))
+                return 2
+            break
     else:
         proc = subprocess.Popen(shlex.split(args.spawn),
                                 stdin=subprocess.PIPE, stdout=subprocess.PIPE)
-        proc.stdin.write(request)
+        proc.stdin.write(encode_frame(TYPE_REQUEST, batch))
         proc.stdin.write(encode_frame(TYPE_SHUTDOWN, b""))
         proc.stdin.flush()
-        readfn = proc.stdout.read
+        ftype, payload = read_frame(proc.stdout.read)
+        if ftype == TYPE_ERROR:
+            code, _, message = decode_serve_error(payload)
+            sys.stderr.write("server error [%s]: %s\n" % (code, message))
+            proc.stdin.close()
+            proc.wait(timeout=30)
+            return 2
+        proc.stdin.close()
+        if proc.wait(timeout=30) != 0:
+            sys.stderr.write("server exited with %d\n" % proc.returncode)
+            return 1
 
-    ftype, payload = read_frame(readfn)
-    if ftype == TYPE_ERROR:
-        sys.stderr.write("server error: %s\n" % payload.decode(errors="replace"))
-        return 2
     if ftype != TYPE_RESPONSE:
         sys.stderr.write("unexpected frame type %d\n" % ftype)
         return 1
@@ -145,13 +303,8 @@ def main():
     for name, asm in results:
         with open(os.path.join(args.out, name + ".s"), "wb") as fh:
             fh.write(asm)
-    print("wrote %d results to %s" % (len(results), args.out))
-
-    if proc:
-        proc.stdin.close()
-        if proc.wait(timeout=30) != 0:
-            sys.stderr.write("server exited with %d\n" % proc.returncode)
-            return 1
+    print("wrote %d results to %s (retries=%d)" % (len(results), args.out,
+                                                   retries))
     return 0
 
 

@@ -9,10 +9,10 @@
 /// The resident compile server: loads one rule library and one matcher
 /// automaton at startup (preferably an mmap'ed binary image —
 /// validation instead of parsing, O(1) startup), then serves batched
-/// selection requests over the selgen frame protocol until EOF,
-/// Shutdown, or SIGTERM. Selection fans out over a pool of worker
-/// threads sharing the read-only automaton; results are byte-identical
-/// to single-shot `selgen-compile --selector auto` runs.
+/// selection requests over the selgen frame protocol. Selection fans
+/// out over a pool of worker threads sharing the read-only automaton;
+/// results are byte-identical to single-shot
+/// `selgen-compile --selector auto` runs.
 ///
 ///   selgen-matchergen --library rules.dat --output rules.matb --format binary
 ///   selgen-served --library rules.dat --automaton rules.matb --threads 4
@@ -22,13 +22,27 @@
 /// worker convention: the protocol fd is claimed and stdout redirected
 /// to stderr before anything else runs, so stray prints cannot corrupt
 /// frames). With --socket PATH the server binds a unix stream socket
-/// and serves connections one at a time; clients reconnect cheaply and
-/// the automaton stays resident across connections. SIGTERM/SIGINT
-/// finish the in-flight batch, then exit 0.
+/// and multiplexes every connection in one event loop; clients
+/// reconnect cheaply and the automaton stays resident.
+///
+/// Production hardening (see serve/SelectionServer.h for the model):
+///   --request-deadline-ms  wall budget per request (typed Timeout)
+///   --write-stall-ms       stalled-writer eviction budget
+///   --max-queue            admission queue bound (typed Overloaded)
+///   --max-inflight-bytes   resident request+reply byte bound
+///   --retry-after-ms       backoff hint in transient error replies
+///
+/// SIGTERM/SIGINT drain: every admitted request is answered, late
+/// arrivals get a typed ShuttingDown error, then exit 0 with the
+/// socket unlinked. SIGHUP hot-reloads the --automaton binary image
+/// off-thread (validate, then an atomic swap; a corrupt or stale
+/// candidate is refused and the old image keeps serving) without
+/// dropping a connection.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "isel/AutomatonSelector.h"
+#include "serve/ImageReloader.h"
 #include "serve/SelectionServer.h"
 #include "support/CommandLine.h"
 #include "support/Statistics.h"
@@ -39,7 +53,6 @@
 #include <cstring>
 #include <memory>
 
-#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -49,13 +62,16 @@ using namespace selgen;
 namespace {
 
 std::atomic<bool> GStop{false};
+std::atomic<bool> GReload{false};
 SelectionServer *volatile GActiveServer = nullptr;
 
 void onTerminate(int) {
   GStop.store(true, std::memory_order_relaxed);
   if (SelectionServer *Server = GActiveServer)
-    Server->requestStop(); // Atomic store; async-signal-safe.
+    Server->requestStop(); // Atomic store + pipe write; signal-safe.
 }
+
+void onReload(int) { GReload.store(true, std::memory_order_relaxed); }
 
 int listenUnixSocket(const std::string &Path) {
   sockaddr_un Addr;
@@ -73,7 +89,7 @@ int listenUnixSocket(const std::string &Path) {
   Addr.sun_family = AF_UNIX;
   std::memcpy(Addr.sun_path, Path.c_str(), Path.size());
   if (bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
-      listen(Fd, 8) < 0) {
+      listen(Fd, 64) < 0) {
     std::perror("bind/listen");
     close(Fd);
     return -1;
@@ -81,45 +97,15 @@ int listenUnixSocket(const std::string &Path) {
   return Fd;
 }
 
-/// Accepts and serves connections sequentially until stop. Returns 0
-/// on a clean stop; per-connection corruption only condemns that
-/// connection, not the server.
-int serveSocket(SelectionService &Service, const std::string &Path) {
-  int ListenFd = listenUnixSocket(Path);
-  if (ListenFd < 0)
-    return 1;
-  std::fprintf(stderr, "selgen-served: listening on %s\n", Path.c_str());
-  while (!GStop.load(std::memory_order_relaxed)) {
-    pollfd P = {ListenFd, POLLIN, 0};
-    int Ready = poll(&P, 1, 200);
-    if (Ready < 0 && errno != EINTR)
-      break;
-    if (Ready <= 0)
-      continue;
-    int ClientFd = accept(ListenFd, nullptr, nullptr);
-    if (ClientFd < 0)
-      continue;
-    SelectionServer Server(Service, ClientFd, ClientFd);
-    GActiveServer = &Server;
-    if (GStop.load(std::memory_order_relaxed))
-      Server.requestStop(); // SIGTERM raced the accept.
-    int Code = Server.run();
-    GActiveServer = nullptr;
-    close(ClientFd);
-    if (Code != 0)
-      std::fprintf(stderr, "selgen-served: dropped corrupt connection\n");
-  }
-  close(ListenFd);
-  ::unlink(Path.c_str());
-  return 0;
-}
-
 } // namespace
 
 int main(int argc, char **argv) {
   const std::vector<std::string> Flags = {
-      "library", "width",      "automaton", "threads",    "socket",
-      "selector", "cost-model", "stats-json", "help"};
+      "library",      "width",           "automaton",
+      "threads",      "socket",          "selector",
+      "cost-model",   "stats-json",      "request-deadline-ms",
+      "write-stall-ms", "max-queue",     "max-inflight-bytes",
+      "retry-after-ms", "help"};
   CommandLine Cli(argc, argv, Flags);
   if (!Cli.errors().empty() || Cli.hasFlag("help") ||
       !Cli.positional().empty()) {
@@ -155,11 +141,32 @@ int main(int argc, char **argv) {
     return 1;
   }
 
+  ServerOptions ServerOpts;
+  ServerOpts.RequestDeadlineMs = Cli.intOption("request-deadline-ms", 30000);
+  ServerOpts.WriteStallMs = Cli.intOption("write-stall-ms", 10000);
+  // atoll parses garbage as 0, and a 0 bound is a server that sheds
+  // every request; refuse it rather than serve nothing quietly. The
+  // deadline knobs may be <= 0 (that documented value disables them).
+  int64_t MaxQueue = Cli.intOption("max-queue", 64);
+  int64_t MaxInflightBytes = Cli.intOption("max-inflight-bytes", 256ll << 20);
+  int64_t RetryAfterMs = Cli.intOption("retry-after-ms", 100);
+  if (MaxQueue < 1 || MaxInflightBytes < 1 || RetryAfterMs < 0 ||
+      RetryAfterMs > UINT32_MAX) {
+    std::fprintf(stderr,
+                 "error: --max-queue and --max-inflight-bytes must be "
+                 ">= 1 and --retry-after-ms >= 0\n");
+    return 1;
+  }
+  ServerOpts.MaxQueue = static_cast<size_t>(MaxQueue);
+  ServerOpts.MaxInflightBytes = static_cast<size_t>(MaxInflightBytes);
+  ServerOpts.RetryAfterMs = static_cast<uint32_t>(RetryAfterMs);
+
   // A client that vanished mid-reply must surface as a failed write,
   // not a SIGPIPE death.
   signal(SIGPIPE, SIG_IGN);
   signal(SIGTERM, onTerminate);
   signal(SIGINT, onTerminate);
+  signal(SIGHUP, onReload);
 
   PatternDatabase Database = PatternDatabase::loadFromFile(LibraryPath);
   Database.filterNonNormalized();
@@ -206,6 +213,31 @@ int main(int argc, char **argv) {
   else
     Service = std::make_unique<SelectionService>(Library, *Heap, Width,
                                                  Threads, Tiling, *CostModel);
+
+  // SIGHUP hot reload is only meaningful for an on-disk binary image
+  // (text and in-memory automata have nothing to re-map).
+  std::unique_ptr<ImageReloader> Reloader;
+  if (Mapped)
+    Reloader =
+        std::make_unique<ImageReloader>(*Service, Library, AutomatonPath);
+  ServerOpts.TickHook = [&Reloader] {
+    if (GReload.exchange(false, std::memory_order_relaxed)) {
+      if (Reloader)
+        Reloader->requestReload();
+      else
+        std::fprintf(stderr, "selgen-served: ignoring SIGHUP (no binary "
+                             "automaton image to reload)\n");
+    }
+    if (Reloader)
+      Reloader->tick();
+  };
+  if (Reloader) {
+    ImageReloader *R = Reloader.get();
+    ServerOpts.HealthAugment = [R](HealthReply &Reply) {
+      R->augmentHealth(Reply);
+    };
+  }
+
   std::fprintf(stderr,
                "selgen-served: %zu rules, %zu states (%s), %u threads, "
                "selector %s%s%s\n",
@@ -217,21 +249,64 @@ int main(int argc, char **argv) {
                Tiling ? costKindName(*CostModel) : "");
 
   int Code;
-  if (!SocketPath.empty()) {
-    Code = serveSocket(*Service, SocketPath);
-  } else {
-    // stdin/stdout mode: claim the protocol stream, then point stdout
-    // at stderr so no library print can interleave with frames.
-    int ProtocolFd = dup(STDOUT_FILENO);
-    if (ProtocolFd < 0)
-      return 2;
-    dup2(STDERR_FILENO, STDOUT_FILENO);
-    SelectionServer Server(*Service, STDIN_FILENO, ProtocolFd);
-    GActiveServer = &Server;
+  Statistics &Stats = Statistics::get();
+  {
+    int ListenFd = -1;
+    std::unique_ptr<SelectionServer> Server;
+    if (!SocketPath.empty()) {
+      ListenFd = listenUnixSocket(SocketPath);
+      if (ListenFd < 0)
+        return 1;
+      Server = std::make_unique<SelectionServer>(*Service, ServerOpts);
+      Server->serveListenFd(ListenFd);
+      std::fprintf(stderr, "selgen-served: listening on %s\n",
+                   SocketPath.c_str());
+    } else {
+      // stdin/stdout mode: claim the protocol stream, then point
+      // stdout at stderr so no library print can interleave with
+      // frames.
+      int ProtocolFd = dup(STDOUT_FILENO);
+      if (ProtocolFd < 0)
+        return 2;
+      dup2(STDERR_FILENO, STDOUT_FILENO);
+      Server = std::make_unique<SelectionServer>(*Service, STDIN_FILENO,
+                                                 ProtocolFd, ServerOpts);
+    }
+    GActiveServer = Server.get();
     if (GStop.load(std::memory_order_relaxed))
-      Server.requestStop();
-    Code = Server.run();
+      Server->requestStop(); // A signal raced startup.
+    Code = Server->run();
     GActiveServer = nullptr;
+    if (ListenFd >= 0) {
+      close(ListenFd);
+      ::unlink(SocketPath.c_str());
+      Code = 0; // Socket mode: corruption only ever cost a connection.
+    }
+
+    const ServerStats &SS = Server->stats();
+    auto Note = [&Stats](const char *Name,
+                         const std::atomic<uint64_t> &Value) {
+      Stats.add(Name, static_cast<int64_t>(
+                          Value.load(std::memory_order_relaxed)));
+    };
+    Note("served.admitted", SS.Admitted);
+    Note("served.shed", SS.Shed);
+    Note("served.timeouts", SS.Timeouts);
+    Note("served.bad_requests", SS.BadRequests);
+    Note("served.health_probes", SS.HealthProbes);
+    Note("served.shutdown_rejects", SS.ShutdownRejects);
+    Note("served.slow_client_drops", SS.SlowClientDrops);
+    Note("served.condemned_conns", SS.CondemnedConns);
+    Note("served.connections", SS.Connections);
+    Note("served.queue_peak", SS.QueuePeak);
+    Note("served.inflight_bytes_peak", SS.InflightPeak);
+    Note("served.request_us_total", SS.RequestUsTotal);
+  }
+  if (Reloader) {
+    Reloader->drain();
+    Stats.add("served.reloads", static_cast<int64_t>(Reloader->reloads()));
+    Stats.add("served.reload_failures",
+              static_cast<int64_t>(Reloader->failures()));
   }
 
   const ServiceTelemetry &T = Service->telemetry();
@@ -239,7 +314,6 @@ int main(int argc, char **argv) {
                "selgen-served: served %llu batches, %llu functions\n",
                static_cast<unsigned long long>(T.Batches),
                static_cast<unsigned long long>(T.Functions));
-  Statistics &Stats = Statistics::get();
   Stats.add("served.batches", static_cast<int64_t>(T.Batches));
   Stats.add("served.functions", static_cast<int64_t>(T.Functions));
   Stats.add("served.rules_tried", static_cast<int64_t>(T.RulesTried));
